@@ -1,0 +1,114 @@
+"""Ablations — which mechanism buys what.
+
+The paper combines several ideas; this bench isolates them:
+
+- decoder sharing on/off (Table 1's between-switch redundancy),
+- redundancy-aware mapping (shared-cell pinning + route reuse) vs naive,
+- adaptive-LB packing credit on/off,
+- RCM for switches only vs adaptive LBs only vs both.
+"""
+
+import pytest
+
+from repro.analysis.experiments import map_program, measured_mixes
+from repro.core.area_model import AreaModel, PatternMix, Technology, TileCounts
+from repro.core.decoder_synth import DecoderBank
+from repro.core.patterns import ContextPattern, PatternClass
+from repro.utils.tables import TextTable, format_ratio
+
+
+class TestDecoderSharingAblation:
+    def test_sharing_on_off(self, benchmark, mapped_suite):
+        m = mapped_suite["random_mut"]
+        masks = [
+            mk for mk in m.stats().switch.used.values()
+            if ContextPattern(mk, 4).classify() is PatternClass.GENERAL
+        ]
+        if not masks:
+            pytest.skip("workload produced no GENERAL switch patterns")
+
+        def both():
+            shared = DecoderBank(4, share=True)
+            isolated = DecoderBank(4, share=False)
+            for mk in masks:
+                shared.request(ContextPattern(mk, 4))
+                isolated.request(ContextPattern(mk, 4))
+            return shared.block.se_count(), isolated.block.se_count()
+
+        s, i = benchmark.pedantic(both, rounds=1, iterations=1)
+        print(f"\ndecoder SEs: shared={s} isolated={i} "
+              f"(saving {format_ratio(1 - s / i)})")
+        assert s <= i
+
+
+class TestMappingAblation:
+    def test_share_aware_vs_naive(self, benchmark, suite, mapped_suite, mapped_naive):
+        """Redundancy-aware mapping must produce more CONSTANT patterns
+        (and hence cheaper fabric) than independent per-context mapping."""
+
+        def collect():
+            rows = []
+            for name in suite:
+                aware = mapped_suite[name].stats().class_fractions()
+                naive = mapped_naive[name].stats().class_fractions()
+                rows.append((
+                    name,
+                    aware[PatternClass.CONSTANT],
+                    naive[PatternClass.CONSTANT],
+                    mapped_suite[name].reuse_fraction(),
+                ))
+            return rows
+
+        rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+        t = TextTable(
+            ["workload", "constant (aware)", "constant (naive)", "route reuse"],
+            title="Ablation: redundancy-aware vs naive multi-context mapping",
+        )
+        for name, a, n, r in rows:
+            t.add_row([name, format_ratio(a), format_ratio(n), format_ratio(r)])
+        print("\n" + t.render())
+        for name, a, n, _ in rows:
+            assert a >= n - 0.01, name
+
+    def test_reuse_fraction_substantial(self, mapped_suite):
+        """At 5% mutation most nets are unchanged across contexts, so
+        share-aware routing should reuse the majority of routes."""
+        for name, m in mapped_suite.items():
+            if "mut" in name:
+                assert m.reuse_fraction() > 0.5, name
+
+
+class TestMechanismDecomposition:
+    def test_switch_only_lb_only_both(self, benchmark, mapped_suite):
+        """Which part of the 45% comes from where."""
+        m = mapped_suite["adder_mut"]
+        mix, planes = measured_mixes(m.stats())
+        from repro.arch.params import paper_params
+
+        device = paper_params()
+        counts = TileCounts.from_arch(device)
+        model = AreaModel()
+        conv_mix = PatternMix(1.0, 0.0, 0.0)
+
+        def decompose():
+            full = model.compare(counts, 4, mix, planes, 2, 2.0, tech=Technology.CMOS)
+            # switches only: LBs stay conventional (planes = n_contexts)
+            sw_only = model.compare(counts, 4, mix, 4.0, 2, 2.0, tech=Technology.CMOS)
+            # LBs only: switches stay at worst-case (all bits general)
+            lb_only = model.compare(
+                counts, 4, PatternMix(0.0, 0.0, 1.0), planes, 2, 2.0,
+                tech=Technology.CMOS,
+            )
+            return full, sw_only, lb_only
+
+        full, sw_only, lb_only = benchmark.pedantic(decompose, rounds=1, iterations=1)
+        t = TextTable(
+            ["configuration", "area ratio"],
+            title="Ablation: mechanism decomposition (CMOS)",
+        )
+        t.add_row(["RCM switches + adaptive LBs", format_ratio(full.ratio)])
+        t.add_row(["RCM switches only", format_ratio(sw_only.ratio)])
+        t.add_row(["adaptive LBs only", format_ratio(lb_only.ratio)])
+        print("\n" + t.render())
+        assert full.ratio <= sw_only.ratio
+        assert full.ratio <= lb_only.ratio

@@ -1,0 +1,77 @@
+"""Fig. 12 — the multi-context multi-granularity LUT.
+
+Regenerates the planes-for-inputs trade (4-input x 4 planes vs 5-input
+x 2 planes on one 64-bit memory), measures the LUT-count effect of
+bigger LUTs on real circuits, and benchmarks LUT evaluation.
+"""
+
+import numpy as np
+
+from repro.core.mcmg_lut import MCMGGeometry, MCMGLut, equivalent_settings
+from repro.netlist.techmap import tech_map
+from repro.utils.tables import TextTable
+from repro.workloads.generators import random_dag, ripple_adder
+
+
+class TestGranularityTrade:
+    def test_fig12_settings_table(self, benchmark):
+        g = MCMGGeometry(base_inputs=4, n_contexts=4)
+        settings = benchmark(equivalent_settings, g)
+        t = TextTable(
+            ["granularity", "LUT inputs", "config planes", "memory bits"],
+            title="Fig. 12: MCMG-LUT settings (fixed 64-bit memory)",
+        )
+        for e, n_in, n_planes in settings:
+            t.add_row([e, n_in, n_planes, (1 << n_in) * n_planes])
+        print("\n" + t.render())
+        assert settings == [(0, 4, 4), (1, 5, 2), (2, 6, 1)]
+
+    def test_plane_select_matches_fig12b(self):
+        """Two-plane mode selects planes by S0 only."""
+        lut = MCMGLut(MCMGGeometry(4, 4), granularity=1)
+        assert [lut.plane_for_context(c) for c in range(4)] == [0, 1, 0, 1]
+
+    def test_evaluation_kernel(self, benchmark):
+        lut = MCMGLut(MCMGGeometry(6, 4, n_outputs=2), granularity=0)
+        rng = np.random.default_rng(0)
+        for p in range(4):
+            for o in range(2):
+                lut.load_plane(p, rng.integers(0, 2, 64).astype(np.uint8), output=o)
+        words = rng.integers(0, 64, 4096)
+
+        def kernel():
+            return int(lut.evaluate_vector(2, words, output=1).sum())
+
+        total = benchmark(kernel)
+        assert 0 <= total <= 4096
+
+
+class TestLutCountVsSize:
+    def test_bigger_luts_fewer_luts(self, benchmark):
+        """The motivation for trading planes for inputs: 'LUTs with a
+        larger number of inputs reduce the total number of required
+        LUTs for a mapping'."""
+        circuits = {
+            "adder4": ripple_adder(4),
+            "rand24": random_dag(n_inputs=6, n_gates=24, n_outputs=4, seed=5),
+        }
+
+        def sweep():
+            rows = []
+            for name, circ in circuits.items():
+                for k in (4, 5, 6):
+                    mapped = tech_map(circ, k=k)
+                    rows.append((name, k, len(mapped.luts()), mapped.depth()))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        t = TextTable(
+            ["circuit", "LUT inputs", "LUTs", "depth"],
+            title="Fig. 12 payoff: mapping size vs LUT granularity",
+        )
+        for row in rows:
+            t.add_row(list(row))
+        print("\n" + t.render())
+        for name in circuits:
+            per_k = {k: n for c, k, n, _ in rows if c == name}
+            assert per_k[6] <= per_k[4]

@@ -1,0 +1,85 @@
+"""Figs. 13-14 — globally vs locally controlled MCMG-LUTs.
+
+Regenerates the paper's example exactly (3 LBs under global control,
+2 LBs under local control with node sharing), then sweeps the comparison
+across the workload suite and mutation rates.
+"""
+
+import pytest
+
+from repro.netlist.dfg import paper_example_program
+from repro.netlist.sharing import analyze_sharing, pack_global, pack_local
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.utils.tables import TextTable, format_ratio
+from repro.workloads.generators import ripple_adder
+from repro.workloads.multicontext import mutated_program
+
+
+class TestPaperExample:
+    def test_3_lbs_global_2_lbs_local(self, benchmark):
+        prog = paper_example_program()
+
+        def pack_both():
+            return pack_global(prog), pack_local(prog)
+
+        g, l = benchmark(pack_both)
+        t = TextTable(
+            ["policy", "LBs", "stored planes", "redundant planes"],
+            title="Figs. 13-14: the paper's example DFG",
+        )
+        t.add_row([g.policy, g.n_lbs, g.stored_planes, g.redundant_planes])
+        t.add_row([l.policy, l.n_lbs, l.stored_planes, l.redundant_planes])
+        print("\n" + t.render())
+        assert g.n_lbs == 3  # Fig. 13(b)
+        assert l.n_lbs == 2  # Fig. 14(b)
+
+    def test_shared_nodes_found(self):
+        rep = analyze_sharing(paper_example_program())
+        assert len(rep.shared_groups) == 2  # O2 and O3
+
+
+class TestSuiteSweep:
+    def test_local_control_across_suite(self, benchmark, suite):
+        def sweep():
+            rows = []
+            for name, prog in suite.items():
+                g = pack_global(prog)
+                l = pack_local(prog)
+                rows.append((name, g.n_lbs, l.n_lbs, l.n_lbs / g.n_lbs))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        t = TextTable(
+            ["workload", "global LBs", "local LBs", "local/global"],
+            title="Figs. 13-14 across the workload suite",
+        )
+        for name, g, l, r in rows:
+            t.add_row([name, g, l, format_ratio(r)])
+        print("\n" + t.render())
+        for name, g, l, _ in rows:
+            assert l <= g, name
+
+    def test_sharing_degrades_with_mutation(self, benchmark):
+        """As contexts diverge, local control's advantage shrinks."""
+        base = tech_map(ripple_adder(4), k=4)
+
+        def sweep():
+            out = []
+            for frac in (0.0, 0.1, 0.5, 1.0):
+                prog = mutated_program(base, 4, frac, seed=11)
+                g, l = pack_global(prog), pack_local(prog)
+                out.append((frac, l.n_lbs / g.n_lbs))
+            return out
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        t = TextTable(
+            ["mutation rate", "local/global LBs"],
+            title="Local-control advantage vs context divergence",
+        )
+        for frac, r in rows:
+            t.add_row([frac, format_ratio(r)])
+        print("\n" + t.render())
+        ratios = [r for _, r in rows]
+        assert ratios[0] <= ratios[-1]
+        assert ratios[0] <= 0.5  # identical contexts: ~1/n_contexts

@@ -1,0 +1,73 @@
+"""Fig. 15 — the ferroelectric functional pass-gate.
+
+Checks the truth table against the CMOS SE, the 50% area claim's effect,
+non-volatile retention through power cycles, and the static-power story.
+"""
+
+from repro.core.area_model import (
+    AreaConstants,
+    Technology,
+    TileCounts,
+    static_power_model,
+)
+from repro.core.fepg import FePG
+from repro.core.switch_element import SEConfig, SwitchElement
+from repro.utils.tables import TextTable
+
+
+class TestFig15Device:
+    def test_truth_table_equivalence(self, benchmark):
+        def sweep():
+            mismatches = 0
+            for d1 in (0, 1):
+                for d0 in (0, 1):
+                    fepg = FePG()
+                    fepg.program(d1, d0)
+                    se = SwitchElement(SEConfig(d1, d0))
+                    for u in (0, 1):
+                        if fepg.gate_signal(u) != se.gate_signal(u):
+                            mismatches += 1
+            return mismatches
+
+        assert benchmark(sweep) == 0
+
+    def test_nonvolatile_reconfiguration_cycles(self, benchmark):
+        def cycle():
+            fepg = FePG()
+            for i in range(100):
+                fepg.program(i & 1, (i >> 1) & 1)
+                fepg.power_down()
+                fepg.power_up()
+                assert fepg.as_se_config().d1 == (i & 1)
+            return fepg.d1.writes
+
+        writes = benchmark.pedantic(cycle, rounds=1, iterations=1)
+        assert writes <= 100
+
+
+class TestFig15Area:
+    def test_se_area_half(self):
+        c = AreaConstants()
+        assert c.se_area(Technology.FEPG) == 0.5 * c.se_area(Technology.CMOS)
+
+    def test_area_and_power_table(self, benchmark):
+        counts = TileCounts(switch_bits=160, lut_bits=128)
+
+        def build():
+            t = TextTable(
+                ["device", "SE area (T)", "static-power proxy"],
+                title="Fig. 15: FePG vs CMOS switch elements",
+            )
+            c = AreaConstants.paper_calibrated()
+            rows = []
+            for tech in (Technology.CMOS, Technology.FEPG):
+                power = static_power_model(counts, 4, tech, distinct_planes=1.3)
+                t.add_row([tech.value, c.se_area(tech), f"{power:.0f}"])
+                rows.append(power)
+            conv = static_power_model(counts, 4, Technology.CMOS)
+            t.add_row(["conventional", "-", f"{conv:.0f}"])
+            return t, rows, conv
+
+        t, rows, conv = benchmark.pedantic(build, rounds=1, iterations=1)
+        print("\n" + t.render())
+        assert rows[1] < rows[0] < conv  # FePG < proposed CMOS < conventional

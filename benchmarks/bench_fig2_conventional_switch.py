@@ -1,0 +1,81 @@
+"""Fig. 2 — the conventional multi-context switch baseline.
+
+Exercises the conventional cell (n memory bits + n:1 mux per
+configuration bit) and prints its cost scaling with context count — the
+overhead the RCM is built to remove.
+"""
+
+import numpy as np
+
+from repro.core.area_model import AreaConstants
+from repro.core.context_memory import ConventionalContextMemory
+from repro.core.patterns import ContextPattern
+from repro.utils.tables import TextTable
+
+
+class TestFig2:
+    def test_read_mux_behaviour(self, benchmark):
+        """The Fig. 2 semantics: read(ctx) returns plane ctx's bit."""
+        mem = ConventionalContextMemory(n_bits=1024, n_contexts=4)
+        rng = np.random.default_rng(0)
+        for c in range(4):
+            mem.load_plane(c, rng.integers(0, 2, 1024).astype(np.uint8))
+
+        def read_all_contexts():
+            out = 0
+            for c in range(4):
+                mem.switch_context(c)
+                out ^= mem.read(17)
+            return out
+
+        benchmark(read_all_contexts)
+        for c in range(4):
+            mem.switch_context(c)
+            assert mem.read(5) == int(mem.planes[c, 5])
+
+    def test_cost_scaling_table(self, benchmark):
+        """Conventional per-bit cost grows linearly with contexts; the
+        memory overhead is n bits/bit regardless of redundancy."""
+        constants = AreaConstants.paper_calibrated()
+
+        def build():
+            t = TextTable(
+                ["contexts", "memory bits/cfg bit", "cell area (T)"],
+                title="Fig. 2: conventional multi-context switch cost",
+            )
+            rows = []
+            for n in (2, 4, 8, 16):
+                cell = ConventionalContextMemory(1, n)
+                area = constants.conventional_cell_area(n)
+                t.add_row([n, cell.memory_bit_count(), f"{area:.1f}"])
+                rows.append((n, area))
+            return t, rows
+
+        t, rows = benchmark.pedantic(build, rounds=1, iterations=1)
+        print("\n" + t.render())
+        areas = [a for _, a in rows]
+        assert areas == sorted(areas)
+        # constant patterns still pay full price — the paper's complaint
+        cell = ConventionalContextMemory(1, 4)
+        assert cell.memory_bit_count() == 4
+
+    def test_switch_energy_proxy(self, benchmark, mapped_suite):
+        """Bits flipped on context switch in a conventional memory."""
+        m = next(iter(mapped_suite.values()))
+        sp = m.stats().switch
+        masks = list(sp.used.values())
+        mem = ConventionalContextMemory(len(masks), 4)
+        for c in range(4):
+            mem.load_plane(
+                c, np.array([(mk >> c) & 1 for mk in masks], dtype=np.uint8)
+            )
+
+        def cycle():
+            flips = 0
+            for c in (1, 2, 3, 0):
+                flips += mem.switch_context(c)
+            return flips
+
+        flips = benchmark(cycle)
+        assert flips >= 0
+        print(f"\nbits flipped over one context cycle: {flips} / {4 * len(masks)}")

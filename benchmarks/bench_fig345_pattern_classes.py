@@ -1,0 +1,80 @@
+"""Figs. 3-5 — the sixteen configuration-bit patterns and their classes.
+
+Regenerates the classification (2 CONSTANT / 4 LITERAL / 10 GENERAL),
+the per-class hardware cost in SEs, and the *measured* class mix on
+mapped workloads at several mutation rates — the distribution that makes
+the RCM economical.
+"""
+
+import pytest
+
+from repro.analysis.pattern_stats import (
+    measured_pattern_histogram,
+    pattern_class_table,
+    pattern_cost_table,
+)
+from repro.core.area_model import analytic_pattern_mix
+from repro.core.patterns import PatternClass, class_census
+from repro.utils.tables import TextTable, format_ratio
+
+
+class TestClassification:
+    def test_render_all_16(self, benchmark):
+        text = benchmark(pattern_class_table, 4)
+        print("\n" + text)
+
+    def test_census_2_4_10(self, benchmark):
+        census = benchmark(class_census, 4)
+        assert census[PatternClass.CONSTANT] == 2   # Fig. 3
+        assert census[PatternClass.LITERAL] == 4    # Fig. 4
+        assert census[PatternClass.GENERAL] == 10   # Fig. 5
+
+    def test_per_class_costs(self):
+        t = pattern_cost_table(4)
+        assert t["avg_cost_constant"] == 1.0
+        assert t["avg_cost_literal"] == 1.0
+        assert t["avg_cost_general"] == 4.0
+
+
+class TestMeasuredMix:
+    def test_measured_histogram(self, benchmark, mapped_suite):
+        m = mapped_suite["adder_mut"]
+
+        def histogram():
+            return measured_pattern_histogram(
+                list(m.stats().switch.used.values()), 4,
+                title="Measured switch patterns — adder_mut (used switches)",
+            )
+
+        text = benchmark.pedantic(histogram, rounds=1, iterations=1)
+        print("\n" + text)
+
+    def test_class_mix_vs_change_rate(self, benchmark):
+        """The analytic curve behind Figs. 3-5's frequency argument."""
+
+        def build():
+            t = TextTable(
+                ["change rate", "constant", "literal", "general"],
+                title="Pattern-class mix vs configuration change rate",
+            )
+            rows = []
+            for p in (0.0, 0.01, 0.03, 0.05, 0.10, 0.20):
+                mix = analytic_pattern_mix(p, 4)
+                t.add_row([
+                    format_ratio(p), format_ratio(mix.constant),
+                    format_ratio(mix.literal), format_ratio(mix.general),
+                ])
+                rows.append(mix)
+            return t, rows
+
+        t, rows = benchmark.pedantic(build, rounds=1, iterations=1)
+        print("\n" + t.render())
+        # rare-change regime: CONSTANT dominates, as the paper asserts
+        assert rows[3].constant > 0.85  # 5% point
+        assert all(r.general < 0.5 for r in rows[:5])
+
+    def test_suite_dominated_by_cheap_classes(self, mapped_suite):
+        for name, m in mapped_suite.items():
+            fr = m.stats().class_fractions()
+            cheap = fr[PatternClass.CONSTANT] + fr[PatternClass.LITERAL]
+            assert cheap > 0.9, name

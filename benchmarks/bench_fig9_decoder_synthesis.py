@@ -1,0 +1,92 @@
+"""Fig. 9 — generating configuration-bit patterns from switch elements.
+
+Regenerates the figure's headline (pattern (1,0,0,0) from four SEs),
+then the full cost table for all 16 patterns, decoder-bank sharing, and
+the >4-context generalization.  Every synthesized decoder is verified
+electrically through the RCM fixpoint solver.
+"""
+
+from repro.core.decoder_synth import (
+    DecoderBank,
+    decoder_cost,
+    isolated_cost_table,
+    synthesize_single,
+)
+from repro.core.patterns import ContextPattern, PatternClass, classify_mask
+from repro.utils.tables import TextTable
+
+
+class TestFig9Headline:
+    def test_pattern_1000_needs_four_ses(self, benchmark):
+        p = ContextPattern.from_paper_row((1, 0, 0, 0))
+        block, net, n_ses = benchmark(synthesize_single, p)
+        assert n_ses == 4
+        assert block.read_pattern(net) == (0, 0, 0, 1)
+
+    def test_cost_table_all_16(self, benchmark):
+        table = benchmark(isolated_cost_table, 4)
+        t = TextTable(
+            ["pattern (C3..C0)", "class", "SEs"],
+            title="Fig. 9 generalized: isolated decoder cost per pattern",
+        )
+        for mask, cost in sorted(table.items()):
+            p = ContextPattern(mask, 4)
+            t.add_row(["".join(map(str, p.paper_row())), str(p.classify()), cost])
+        print("\n" + t.render())
+        assert sum(1 for c in table.values() if c == 1) == 6
+        assert sum(1 for c in table.values() if c == 4) == 10
+
+
+class TestBankSynthesis:
+    def test_all_16_in_one_bank(self, benchmark):
+        def build():
+            bank = DecoderBank(4)
+            for m in range(16):
+                bank.request(ContextPattern(m, 4))
+            bank.verify()
+            return bank
+
+        bank = benchmark.pedantic(build, rounds=1, iterations=1)
+        isolated = sum(decoder_cost(m, 4) for m in range(16))
+        print(
+            f"\nbank SEs for all 16 patterns: {bank.block.se_count()} "
+            f"(isolated sum: {isolated})"
+        )
+        assert bank.block.se_count() < isolated
+
+    def test_workload_bank(self, benchmark, mapped_suite):
+        """Synthesize decoders for every GENERAL pattern a real mapped
+        workload produced; report the sharing factor."""
+        m = mapped_suite["random_mut"]
+        masks = [
+            mk for mk in m.stats().switch.used.values()
+            if classify_mask(mk, 4) is PatternClass.GENERAL
+        ]
+
+        def build():
+            bank = DecoderBank(4)
+            for mk in masks:
+                bank.request(ContextPattern(mk, 4))
+            return bank
+
+        bank = benchmark.pedantic(build, rounds=1, iterations=1)
+        if masks:
+            bank.verify()
+            print(
+                f"\n{len(masks)} GENERAL switch patterns -> "
+                f"{bank.block.se_count()} SEs "
+                f"(sharing {bank.stats.sharing_factor:.2f}x)"
+            )
+            assert bank.block.se_count() <= 4 * len(masks)
+
+
+class TestScaling:
+    def test_eight_context_costs(self, benchmark):
+        def table():
+            return {m: decoder_cost(m, 8) for m in range(256)}
+
+        costs = benchmark.pedantic(table, rounds=1, iterations=1)
+        worst = max(costs.values())
+        print(f"\n8-context decoder cost: worst {worst} SEs, "
+              f"mean {sum(costs.values()) / 256:.2f}")
+        assert worst <= 12  # two-level mux trees with shared leaves

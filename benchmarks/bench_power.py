@@ -1,0 +1,98 @@
+"""Power evaluation — the paper's second claim, quantified.
+
+The paper motivates the RCM with area *and power* overhead of context
+memory, and sells FePGs on static power.  This bench regenerates the
+comparison: static leakage, context-switch energy, and total power
+across switch rates, for conventional / proposed-CMOS / proposed-FePG,
+using both the analytic operating point and measured workloads.
+"""
+
+from repro.core.area_model import TileCounts
+from repro.core.power import PowerModel, power_from_stats
+from repro.utils.tables import TextTable, format_ratio
+
+COUNTS = TileCounts(switch_bits=160, lut_bits=128)
+
+
+class TestStaticPower:
+    def test_three_way_comparison(self, benchmark):
+        model = PowerModel()
+        out = benchmark.pedantic(
+            lambda: model.compare(COUNTS, 4, 0.05, 1.3), rounds=1, iterations=1
+        )
+        t = TextTable(
+            ["fabric", "static leak", "switch energy", "vs conventional"],
+            title="Power at the paper's operating point",
+        )
+        conv = out["conventional"].static
+        for name, rep in out.items():
+            t.add_row([
+                name, f"{rep.static:.0f}", f"{rep.switch_energy:.1f}",
+                format_ratio(rep.static / conv),
+            ])
+        print("\n" + t.render())
+        assert out["proposed-fepg"].static < out["proposed-cmos"].static < conv
+
+    def test_static_ratio_tracks_memory_reduction(self):
+        """Leakage ratio mirrors the stored-bit ratio: the same
+        redundancy that buys area buys power."""
+        model = PowerModel()
+        out = model.compare(COUNTS, 4, 0.05, 1.0)
+        ratio = out["proposed-cmos"].static / out["conventional"].static
+        # 2 bits/SE + 1 plane vs 4 bits/bit everywhere
+        assert 0.2 < ratio < 0.5
+
+
+class TestSwitchRateSweep:
+    def test_total_power_vs_rate(self, benchmark):
+        model = PowerModel()
+
+        def sweep():
+            rows = []
+            out = model.compare(COUNTS, 4, 0.05, 1.3)
+            for rate in (0.0, 0.1, 0.5, 1.0):
+                rows.append((
+                    rate,
+                    out["conventional"].total_at(rate),
+                    out["proposed-cmos"].total_at(rate),
+                    out["proposed-fepg"].total_at(rate),
+                ))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        t = TextTable(
+            ["switch rate", "conventional", "proposed CMOS", "proposed FePG"],
+            title="Total power vs context-switch rate (normalized)",
+        )
+        for rate, c, pc, pf in rows:
+            t.add_row([rate, f"{c:.0f}", f"{pc:.0f}", f"{pf:.0f}"])
+        print("\n" + t.render())
+        for _, c, pc, pf in rows:
+            assert pf < pc < c
+
+
+class TestMeasuredPower:
+    def test_workload_power(self, benchmark, mapped_suite):
+        def run():
+            out = {}
+            for name, m in mapped_suite.items():
+                out[name] = power_from_stats(
+                    m.stats(), COUNTS, m.params.n_contexts
+                )
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        t = TextTable(
+            ["workload", "conventional", "proposed CMOS", "proposed FePG"],
+            title="Measured static power (per tile, normalized)",
+        )
+        for name, out in results.items():
+            t.add_row([
+                name,
+                f"{out['conventional'].static:.0f}",
+                f"{out['proposed-cmos'].static:.0f}",
+                f"{out['proposed-fepg'].static:.0f}",
+            ])
+        print("\n" + t.render())
+        for name, out in results.items():
+            assert out["proposed-fepg"].static < out["conventional"].static

@@ -1,0 +1,96 @@
+"""Section 5 — the headline evaluation: proposed vs conventional area.
+
+Regenerates the paper's two numbers (proposed = 45% of conventional in
+CMOS, 37% with FePG-based SEs) at the stated operating point (4
+contexts, 6-input 2-output MCMG-LUTs, 5% configuration change), with:
+
+- the analytic operating point (paper-calibrated and textbook constants),
+- measured operating points from real mapped workloads,
+- sensitivity sweeps over change rate and context count.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_area_experiment,
+    sweep_change_rate,
+    sweep_contexts,
+)
+from repro.analysis.report import area_comparison_table, breakdown_table, sweep_table
+from repro.core.area_model import AreaConstants, AreaModel, Technology
+
+
+class TestHeadline:
+    def test_paper_operating_point(self, benchmark):
+        """Paper: 45% (CMOS), 37% (FePG)."""
+        out = benchmark.pedantic(
+            lambda: run_area_experiment(measured=False), rounds=1, iterations=1
+        )
+        print("\n" + area_comparison_table(out))
+        print("\n" + breakdown_table(out["cmos"], "Breakdown (CMOS)"))
+        assert out["cmos"].ratio == pytest.approx(0.45, abs=0.02)
+        assert out["fepg"].ratio == pytest.approx(0.37, abs=0.02)
+
+    def test_textbook_constants_same_ordering(self, benchmark):
+        """Shape check with uncalibrated first-principles constants."""
+        model = AreaModel(AreaConstants.textbook())
+
+        def run():
+            return {
+                tech.value: model.paper_operating_point(tech=tech)
+                for tech in (Technology.CMOS, Technology.FEPG)
+            }
+
+        out = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\n" + area_comparison_table(
+            out, title="Section 5 with textbook constants (shape check)"
+        ))
+        assert out["fepg"].ratio < out["cmos"].ratio < 1.0
+
+    def test_measured_workloads(self, benchmark, suite):
+        """Measured pattern statistics plugged into the device geometry."""
+
+        def run():
+            return {
+                name: run_area_experiment(prog, seed=3)
+                for name, prog in suite.items()
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print()
+        for name, out in results.items():
+            print(area_comparison_table(
+                out, title=f"Section 5, measured — {name}"
+            ))
+            print()
+            assert out["cmos"].ratio < 1.0, name
+            assert out["fepg"].ratio < out["cmos"].ratio, name
+
+
+class TestSweeps:
+    def test_change_rate_sensitivity(self, benchmark):
+        rows = benchmark.pedantic(
+            lambda: sweep_change_rate([0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.50]),
+            rounds=1, iterations=1,
+        )
+        print("\n" + sweep_table(
+            rows, ["change rate", "CMOS ratio", "FePG ratio"],
+            "Section 5 sensitivity: area ratio vs change rate",
+        ))
+        ratios = [r[1] for r in rows]
+        assert ratios == sorted(ratios)  # monotone degradation
+
+    def test_context_count_sweep(self, benchmark):
+        rows = benchmark.pedantic(
+            lambda: sweep_contexts([2, 4, 8, 16]), rounds=1, iterations=1
+        )
+        print("\n" + sweep_table(
+            rows, ["contexts", "CMOS ratio", "FePG ratio"],
+            "Section 5: advantage vs context count",
+        ))
+        # the advantage widens through 8 contexts; at 16 contexts with a
+        # fixed 5% per-transition change rate most bits become
+        # non-constant (1 - 0.95^15 ~ 54%) and the trend reverses — a
+        # genuine limit of the architecture, worth surfacing
+        cmos = [r[1] for r in rows[:3]]
+        assert cmos == sorted(cmos, reverse=True)

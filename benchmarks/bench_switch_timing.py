@@ -1,0 +1,69 @@
+"""Context-switch timing — the local-decode claim of Section 3.
+
+"To prevent RCM from degrading the context-switching speed, context-ID
+bits are routed with high-speed global wires and decoded locally with
+the RCM."  This bench regenerates the scaling comparison: central
+decode + loaded select lines vs global ID wires + bounded local decode.
+"""
+
+from repro.route.switch_timing import SwitchTimingModel, switch_time_sweep
+from repro.utils.tables import TextTable
+
+
+class TestSwitchTiming:
+    def test_die_size_sweep(self, benchmark):
+        rows = benchmark.pedantic(
+            lambda: switch_time_sweep([16, 64, 256, 1024, 4096]),
+            rounds=1, iterations=1,
+        )
+        t = TextTable(
+            ["tiles", "conventional (central decode)", "proposed (local RCM)"],
+            title="Context-switch time vs die size (normalized)",
+        )
+        for n, conv, prop in rows:
+            t.add_row([n, f"{conv:.2f}", f"{prop:.2f}"])
+        print("\n" + t.render())
+        # proposed must win beyond trivial sizes and the gap must widen
+        gaps = [c - p for _, c, p in rows]
+        assert gaps[-1] > gaps[0]
+        assert all(c > p for _, c, p in rows[1:])
+
+    def test_single_cycle_switching_preserved(self, benchmark):
+        """Local decode depth <= 2 SEs keeps switch time within one
+        cycle-ish budget regardless of fabric size (the MC-FPGA
+        requirement the RCM must not break)."""
+        m = SwitchTimingModel()
+
+        def worst_local():
+            return max(
+                m.proposed_switch_time(4, n, local_decode_depth=2)
+                - m.t_register - (n ** 0.5) * m.t_wire_per_tile
+                for n in (16, 64, 256, 1024)
+            )
+
+        local_part = benchmark(worst_local)
+        # chain_delay(2): constant, size-independent
+        assert abs(local_part - 3.0) < 1e-9
+
+    def test_context_count_effect(self, benchmark):
+        m = SwitchTimingModel()
+
+        def sweep():
+            return [
+                (n, m.conventional_switch_time(n, 256, 288),
+                 m.proposed_switch_time(n, 256))
+                for n in (2, 4, 8, 16)
+            ]
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        t = TextTable(
+            ["contexts", "conventional", "proposed"],
+            title="Context-switch time vs context count (256 tiles)",
+        )
+        for n, conv, prop in rows:
+            t.add_row([n, f"{conv:.2f}", f"{prop:.2f}"])
+        print("\n" + t.render())
+        conv_times = [c for _, c, _ in rows]
+        prop_times = [p for _, _, p in rows]
+        assert conv_times == sorted(conv_times)
+        assert prop_times[0] == prop_times[-1]  # independent of n

@@ -1,0 +1,31 @@
+"""Table 2 — context-ID encoding.
+
+Regenerates the S1/S0-per-context table and verifies the invariants the
+whole pattern algebra rests on: ``S_j = (ctx >> j) & 1`` and the derived
+LITERAL pattern masks.
+"""
+
+from repro.analysis.pattern_stats import context_id_table
+from repro.core.patterns import context_id_bits, id_bit_pattern_mask
+
+
+class TestTable2:
+    def test_render(self, benchmark):
+        text = benchmark(context_id_table, 4)
+        print("\n" + text)
+        assert "S0" in text
+
+    def test_encoding_matches_paper(self):
+        """S0 = 0101 and S1 = 0011 across contexts 0..3."""
+        s0 = [context_id_bits(c, 2)[1] for c in range(4)]
+        s1 = [context_id_bits(c, 2)[0] for c in range(4)]
+        assert s0 == [0, 1, 0, 1]
+        assert s1 == [0, 0, 1, 1]
+
+    def test_literal_masks_follow(self):
+        assert id_bit_pattern_mask(0, 4) == 0b1010
+        assert id_bit_pattern_mask(1, 4) == 0b1100
+
+    def test_scales_to_eight_contexts(self, benchmark):
+        text = benchmark(context_id_table, 8)
+        assert "S2" in text

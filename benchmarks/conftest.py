@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the corresponding rows (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them).  Mapped programs are cached at session scope because
+several benches reuse the same place-and-route results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import MappedProgram, map_program
+from repro.workloads.multicontext import workload_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full multi-context workload suite (4 contexts, 5% mutation)."""
+    return workload_suite(n_contexts=4, change_rate=0.05, seed=7, small=False)
+
+
+@pytest.fixture(scope="session")
+def mapped_suite(suite) -> dict[str, MappedProgram]:
+    """Share-aware mappings of every suite program."""
+    return {
+        name: map_program(prog, share_aware=True, seed=3, effort=0.5)
+        for name, prog in suite.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def mapped_naive(suite) -> dict[str, MappedProgram]:
+    """Naive (share-unaware) mappings for the ablation benches."""
+    return {
+        name: map_program(prog, share_aware=False, seed=3, effort=0.5)
+        for name, prog in suite.items()
+    }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Decoder workbench: play with RCM pattern decoders interactively.
+
+Synthesizes decoders for every 4-context pattern and a sample of
+8-context patterns, verifies each electrically through the RCM fixpoint
+solver, and shows how a decoder *bank* amortizes cost across switches
+that share configuration data (the paper's G2 == G4 observation).
+
+Run:  python examples/decoder_workbench.py [pattern ...]
+      python examples/decoder_workbench.py 1000 0110 1111
+"""
+
+import sys
+
+from repro.core.decoder_synth import DecoderBank, decoder_cost, synthesize_single
+from repro.core.patterns import ContextPattern, all_patterns
+from repro.utils.tables import TextTable
+
+
+def show_pattern(bits: str) -> None:
+    row = tuple(int(b) for b in bits)
+    pattern = ContextPattern.from_paper_row(row)
+    block, net, n_ses = synthesize_single(pattern)
+    swept = block.read_pattern(net)
+    print(f"pattern (C{len(row) - 1}..C0) = {bits}")
+    print(f"  class     : {pattern.classify()}")
+    print(f"  SEs       : {n_ses}")
+    print(f"  verified  : value per context (0..{len(row) - 1}) = {swept}")
+    print(f"  RCM usage : {block.utilization()}")
+    print()
+
+
+def full_table() -> None:
+    t = TextTable(
+        ["pattern", "class", "isolated SEs", "marginal SEs in a bank"],
+        title="All 16 four-context patterns",
+    )
+    bank = DecoderBank(4)
+    for p in all_patterns(4):
+        dec = bank.request(p)
+        t.add_row([
+            "".join(map(str, p.paper_row())),
+            str(p.classify()),
+            decoder_cost(p.mask, 4),
+            dec.marginal_ses,
+        ])
+    bank.verify()
+    print(t.render())
+    print(f"\nwhole bank: {bank.block.se_count()} SEs for 16 patterns "
+          f"(isolated sum would be "
+          f"{sum(decoder_cost(m, 4) for m in range(16))})")
+    print()
+
+
+def eight_context_sample() -> None:
+    t = TextTable(
+        ["pattern (C7..C0)", "SEs"],
+        title="8-context decoder samples (3 ID bits)",
+    )
+    for mask in (0b10000000, 0b11110000, 0b10101010, 0b01100110, 0b00011000):
+        p = ContextPattern(mask, 8)
+        block, net, n_ses = synthesize_single(p)
+        assert block.read_pattern(net) == p.values()
+        t.add_row(["".join(map(str, p.paper_row())), n_ses])
+    print(t.render())
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    if args:
+        for bits in args:
+            show_pattern(bits)
+    else:
+        show_pattern("1000")  # the paper's Fig. 9 example
+        full_table()
+        eight_context_sample()

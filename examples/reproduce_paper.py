@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline claims in one run.
+
+The fastest possible answer to "does this reproduction hold up?": a
+scorecard over every quantitative claim — pattern census, Fig. 9's SE
+count, Figs. 13/14's packing, Section 5's 45%/37% — plus an end-to-end
+mapped-workload check.  The full evidence trail lives in the benchmark
+harness (``pytest benchmarks/ --benchmark-only -s``) and EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import sys
+
+from repro.analysis.summary import reproduce_paper
+
+
+def main() -> int:
+    report = reproduce_paper(include_measured_flow=True)
+    print(report.render())
+    print()
+    if report.all_passed:
+        print("all reproduction checks passed.")
+        return 0
+    print("SOME CHECKS FAILED — see EXPERIMENTS.md for expected values.")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

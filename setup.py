@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Offline environment lacks the `wheel` package, so `pip install -e .`
+# (PEP 660) cannot build; `python setup.py develop` installs the same
+# editable package using only setuptools. Metadata lives in pyproject.toml.
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Architecture of a Multi-Context FPGA Using
+Reconfigurable Context Memory" (Chong, Ogata, Hariyama, Kameyama,
+IPDPS 2005).
+
+The package splits into:
+
+- :mod:`repro.core` — the paper's contribution: context-pattern algebra
+  (Figs. 3-5), switch elements (Fig. 8), the reconfigurable context
+  memory (Fig. 7), decoder synthesis (Fig. 9), MCMG-LUTs (Fig. 12),
+  adaptive logic blocks (Figs. 13-14), FePGs (Fig. 15), the full device
+  and the Section-5 area model.
+- :mod:`repro.arch` — island-style fabric: parameters, wire segmentation
+  (double-length lines, Fig. 10), routing-resource graph.
+- :mod:`repro.netlist` — truth tables, netlists, DFGs, expression
+  synthesis, k-LUT technology mapping, cross-context sharing.
+- :mod:`repro.place` / :mod:`repro.route` — simulated-annealing placer
+  and PathFinder router with cross-context route reuse.
+- :mod:`repro.sim` — levelized, event-driven and multi-context
+  (DPGA-schedule) simulators.
+- :mod:`repro.workloads` — circuit generators and multi-context
+  workloads with controllable redundancy.
+- :mod:`repro.analysis` — redundancy statistics, pattern censuses, and
+  the experiment drivers behind every benchmark.
+"""
+
+from repro.core import (
+    AdaptiveLogicBlock,
+    AreaConstants,
+    AreaModel,
+    ContextPattern,
+    DecoderBank,
+    MCMGGeometry,
+    MCMGLut,
+    MultiContextFPGA,
+    PatternClass,
+    RCMBlock,
+    RCMSwitchBlock,
+    SEConfig,
+    SwitchElement,
+    Technology,
+    analytic_pattern_mix,
+    class_census,
+    decoder_cost,
+)
+from repro.arch import ArchParams
+from repro.arch.params import conventional_params, paper_params
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveLogicBlock",
+    "ArchParams",
+    "AreaConstants",
+    "AreaModel",
+    "ContextPattern",
+    "DecoderBank",
+    "MCMGGeometry",
+    "MCMGLut",
+    "MultiContextFPGA",
+    "PatternClass",
+    "RCMBlock",
+    "RCMSwitchBlock",
+    "ReproError",
+    "SEConfig",
+    "SwitchElement",
+    "Technology",
+    "analytic_pattern_mix",
+    "class_census",
+    "conventional_params",
+    "decoder_cost",
+    "paper_params",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Architecture design-space exploration.
+
+Classic FPGA-architecture methodology applied to the RCM fabric:
+
+- :func:`minimum_channel_width` — bisect the narrowest channel a
+  workload routes on (the routability cost of architecture choices),
+- :func:`explore_double_fraction` — sweep the single/double track split
+  and report routability + critical path (Fig. 10's design knob),
+- :func:`explore_fc` — connection-block flexibility vs wirelength.
+
+Each returns plain rows so benches and notebooks can render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import ArchParams
+from repro.arch.rrg import build_rrg
+from repro.errors import RoutingError
+from repro.netlist.netlist import Netlist
+from repro.place.placer import place
+from repro.route.pathfinder import route_context
+from repro.route.timing import critical_path
+
+
+@dataclass
+class RoutePoint:
+    """One architecture point's routing outcome."""
+
+    routed: bool
+    wirelength: int = 0
+    critical_path: float = 0.0
+    iterations: int = 0
+
+
+def _try_route(netlist: Netlist, params: ArchParams, seed: int, effort: float) -> RoutePoint:
+    g = build_rrg(params)
+    pl = place(netlist, params, seed=seed, effort=effort)
+    try:
+        rr = route_context(g, netlist, pl, max_iterations=25)
+    except RoutingError:
+        return RoutePoint(False)
+    return RoutePoint(
+        True,
+        wirelength=rr.wirelength(g),
+        critical_path=critical_path(g, netlist, rr, pl),
+        iterations=rr.iterations,
+    )
+
+
+def minimum_channel_width(
+    netlist: Netlist,
+    base: ArchParams,
+    lo: int = 2,
+    hi: int = 24,
+    seed: int = 0,
+    effort: float = 0.3,
+) -> int:
+    """Smallest channel width that routes ``netlist`` on ``base``'s grid.
+
+    Standard bisection with a routable upper bound; raises
+    :class:`RoutingError` when even ``hi`` fails.
+    """
+    if not _try_route(netlist, base.with_(channel_width=hi), seed, effort).routed:
+        raise RoutingError(f"unroutable even at W={hi}")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _try_route(netlist, base.with_(channel_width=mid), seed, effort).routed:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def explore_double_fraction(
+    netlist: Netlist,
+    base: ArchParams,
+    fractions: list[float] = (0.0, 0.25, 0.5, 0.75),
+    seed: int = 0,
+    effort: float = 0.3,
+) -> list[tuple[float, RoutePoint]]:
+    """Sweep the double-length track share (Fig. 10's knob)."""
+    return [
+        (f, _try_route(netlist, base.with_(double_fraction=f), seed, effort))
+        for f in fractions
+    ]
+
+
+def explore_fc(
+    netlist: Netlist,
+    base: ArchParams,
+    fcs: list[float] = (1.0, 0.5, 0.3),
+    seed: int = 0,
+    effort: float = 0.3,
+) -> list[tuple[float, RoutePoint]]:
+    """Sweep connection-block flexibility."""
+    return [
+        (fc, _try_route(netlist, base.with_(fc_in=fc, fc_out=fc), seed, effort))
+        for fc in fcs
+    ]

@@ -1,0 +1,111 @@
+"""ASCII floorplan rendering of placements and multi-context occupancy.
+
+Terminal-friendly visualization used by examples and debugging: the
+tile grid with placed cells, per-context occupancy maps, and a sharing
+overlay showing which tiles hold cells pinned across contexts (the
+adaptive-LB payoff made visible).
+"""
+
+from __future__ import annotations
+
+from repro.arch.geometry import Coord
+from repro.arch.params import ArchParams
+from repro.netlist.dfg import MultiContextProgram
+from repro.place.placer import Placement
+
+
+def render_placement(
+    placement: Placement,
+    params: ArchParams,
+    label_width: int = 6,
+    title: str | None = None,
+) -> str:
+    """One context's placement as a grid of cell-name cells.
+
+    Rows print north-to-south (row ``rows-1`` on top); empty tiles show
+    dots, I/O pads are annotated on the frame.
+    """
+    w = label_width
+    occupied: dict[Coord, str] = {
+        coord: name for name, coord in placement.cells.items()
+    }
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    horiz = "+" + "+".join("-" * w for _ in range(params.cols)) + "+"
+    for y in reversed(range(params.rows)):
+        lines.append(horiz)
+        row_cells = []
+        for x in range(params.cols):
+            name = occupied.get(Coord(x, y), "")
+            text = (name[-w:] if name else "." * (w // 2)).center(w)
+            row_cells.append(text)
+        lines.append("|" + "|".join(row_cells) + "|")
+    lines.append(horiz)
+    ios = ", ".join(
+        f"{n}@({c.x},{c.y}).{p}" for n, (c, p) in sorted(placement.ios.items())
+    )
+    if ios:
+        lines.append(f"io: {ios}")
+    return "\n".join(lines)
+
+
+def render_occupancy(
+    placements: list[Placement],
+    params: ArchParams,
+    title: str = "Multi-context occupancy",
+) -> str:
+    """Grid where each tile shows which contexts use it.
+
+    ``0``-``9`` single context; ``*`` = several contexts with *the same*
+    shared location (the redundancy-aware mapper's pinning); ``#`` =
+    used by several contexts with different cells.
+    """
+    per_tile: dict[Coord, list[tuple[int, str]]] = {}
+    for c, pl in enumerate(placements):
+        for name, coord in pl.cells.items():
+            per_tile.setdefault(coord, []).append((c, name))
+    lines = [title]
+    for y in reversed(range(params.rows)):
+        row = []
+        for x in range(params.cols):
+            users = per_tile.get(Coord(x, y), [])
+            if not users:
+                ch = "."
+            elif len(users) == 1:
+                ch = str(users[0][0] % 10)
+            else:
+                names = {n for _, n in users}
+                ch = "*" if len(names) == 1 else "#"
+            row.append(ch)
+        lines.append(" ".join(row))
+    legend = (
+        "legend: digit = single context, * = shared cell pinned across "
+        "contexts, # = tile reused by different cells, . = free"
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def occupancy_stats(
+    placements: list[Placement], params: ArchParams
+) -> dict[str, float]:
+    """Numbers behind the overlay: tile usage and sharing fractions."""
+    per_tile: dict[Coord, list[str]] = {}
+    for pl in placements:
+        for name, coord in pl.cells.items():
+            per_tile.setdefault(coord, []).append(name)
+    used = len(per_tile)
+    shared = sum(
+        1 for names in per_tile.values()
+        if len(names) > 1 and len(set(names)) == 1
+    )
+    multi = sum(1 for names in per_tile.values() if len(names) > 1)
+    return {
+        "tiles": params.n_tiles,
+        "tiles_used": used,
+        "utilization": used / params.n_tiles if params.n_tiles else 0.0,
+        "tiles_shared_pinned": shared,
+        "tiles_multi_context": multi,
+        "pinned_fraction": shared / used if used else 0.0,
+    }

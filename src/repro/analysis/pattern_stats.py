@@ -1,0 +1,94 @@
+"""Pattern-class tables (paper Figs. 3-5 and Table 2).
+
+Renders (a) the closed-form 16-pattern classification with per-pattern
+decoder cost — the content of Figs. 3, 4, 5 — and (b) measured pattern
+histograms from real bitstreams.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.core.decoder_synth import decoder_cost
+from repro.core.patterns import (
+    ContextPattern,
+    PatternClass,
+    all_patterns,
+    context_id_bits,
+)
+from repro.utils.tables import TextTable, format_ratio
+
+
+def context_id_table(n_contexts: int = 4) -> str:
+    """Paper Table 2: context-ID bits per context."""
+    from repro.utils.bitops import clog2
+
+    k = clog2(n_contexts)
+    t = TextTable(
+        ["ID bit"] + [f"Context {c}" for c in range(n_contexts)],
+        title="Table 2: context-ID encoding",
+    )
+    for j in range(k):
+        t.add_row([f"S{j}"] + [(c >> j) & 1 for c in range(n_contexts)])
+    return t.render()
+
+
+def pattern_class_table(n_contexts: int = 4) -> str:
+    """Figs. 3-5: every pattern, its class, and its decoder hardware."""
+    t = TextTable(
+        ["pattern (C3..C0)", "class", "SEs", "hardware"],
+        title=f"Figs. 3-5: the {1 << n_contexts} patterns of a "
+              f"{n_contexts}-context configuration bit",
+    )
+    for p in all_patterns(n_contexts):
+        cls = p.classify()
+        cost = decoder_cost(p.mask, n_contexts)
+        if cls is PatternClass.CONSTANT:
+            hw = f"memory bit = {p.value(0)} (Fig. 3)"
+        elif cls is PatternClass.LITERAL:
+            j, inv = p.literal_form()
+            hw = f"wire from {'~' if inv else ''}S{j} (Fig. 4)"
+        else:
+            hw = "2:1 mux tree over ID bits (Fig. 5)"
+        t.add_row(["".join(map(str, p.paper_row())), str(cls), cost, hw])
+    return t.render()
+
+
+def pattern_cost_table(n_contexts: int = 4) -> dict[str, float]:
+    """Aggregate Figs. 3-5 numbers used by tests and benches."""
+    census: dict[PatternClass, int] = {c: 0 for c in PatternClass}
+    cost_sum: dict[PatternClass, int] = {c: 0 for c in PatternClass}
+    for p in all_patterns(n_contexts):
+        cls = p.classify()
+        census[cls] += 1
+        cost_sum[cls] += decoder_cost(p.mask, n_contexts)
+    return {
+        "n_constant": census[PatternClass.CONSTANT],
+        "n_literal": census[PatternClass.LITERAL],
+        "n_general": census[PatternClass.GENERAL],
+        "avg_cost_constant": cost_sum[PatternClass.CONSTANT] / max(1, census[PatternClass.CONSTANT]),
+        "avg_cost_literal": cost_sum[PatternClass.LITERAL] / max(1, census[PatternClass.LITERAL]),
+        "avg_cost_general": cost_sum[PatternClass.GENERAL] / max(1, census[PatternClass.GENERAL]),
+    }
+
+
+def measured_pattern_histogram(
+    masks: Iterable[int], n_contexts: int = 4,
+    title: str = "Measured pattern histogram",
+) -> str:
+    """Histogram of actual pattern masks from a mapped bitstream."""
+    counts = Counter(masks)
+    total = sum(counts.values())
+    t = TextTable(
+        ["pattern (C3..C0)", "class", "count", "fraction"], title=title
+    )
+    for mask, count in counts.most_common():
+        p = ContextPattern(mask, n_contexts)
+        t.add_row([
+            "".join(map(str, p.paper_row())),
+            str(p.classify()),
+            count,
+            format_ratio(count / total if total else 0.0),
+        ])
+    return t.render()

@@ -1,0 +1,91 @@
+"""Redundancy & regularity statistics (paper Section 2, Table 1).
+
+Quantifies, for a mapped multi-context program, exactly the phenomena
+Table 1 illustrates:
+
+- *within-switch redundancy*: configuration bits that never change
+  (CONSTANT patterns — Table 1's G3, G9),
+- *regularity*: bits tracking a context-ID line (LITERAL — G2/G4's
+  repeating (0,1) pattern),
+- *between-switch redundancy*: distinct switches carrying identical
+  patterns (G2 == G4), which decoder banks exploit via sharing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.bitstream import BitstreamStats
+from repro.core.patterns import ContextPattern, PatternClass
+from repro.utils.tables import TextTable, format_ratio
+
+
+@dataclass
+class RedundancyReport:
+    """Measured redundancy statistics of one mapped program."""
+
+    n_bits: int
+    constant_fraction: float
+    literal_fraction: float
+    general_fraction: float
+    change_fraction: float
+    duplicate_fraction: float
+    sharing_factor: float
+
+    def render(self, title: str = "Redundancy & regularity (Table 1 statistics)") -> str:
+        t = TextTable(["statistic", "value"], title=title)
+        t.add_row(["configuration bits", self.n_bits])
+        t.add_row(["constant patterns (Fig. 3)", format_ratio(self.constant_fraction)])
+        t.add_row(["literal patterns (Fig. 4)", format_ratio(self.literal_fraction)])
+        t.add_row(["general patterns (Fig. 5)", format_ratio(self.general_fraction)])
+        t.add_row(["bits changing per switch", format_ratio(self.change_fraction)])
+        t.add_row(["bits sharing another bit's pattern", format_ratio(self.duplicate_fraction)])
+        t.add_row(["decoder sharing factor", f"{self.sharing_factor:.2f}x"])
+        return t.render()
+
+
+def redundancy_report(stats: BitstreamStats) -> RedundancyReport:
+    """Compute the Table-1 statistics from extracted bitstream patterns."""
+    census = stats.combined_census()
+    total = sum(census.values())
+    masks = stats.switch.all_masks() + stats.luts.all_masks()
+    counts = Counter(masks)
+    # bits whose pattern is carried by at least one other bit
+    duplicates = sum(c for c in counts.values() if c > 1)
+    nonzero = {m: c for m, c in counts.items() if m != 0}
+    sharing = (
+        sum(nonzero.values()) / len(nonzero) if nonzero else 1.0
+    )
+    return RedundancyReport(
+        n_bits=total,
+        constant_fraction=census[PatternClass.CONSTANT] / total if total else 0.0,
+        literal_fraction=census[PatternClass.LITERAL] / total if total else 0.0,
+        general_fraction=census[PatternClass.GENERAL] / total if total else 0.0,
+        change_fraction=stats.switch.change_fraction(),
+        duplicate_fraction=duplicates / total if total else 0.0,
+        sharing_factor=sharing,
+    )
+
+
+def table1_view(
+    masks: dict[str, int], n_contexts: int = 4,
+    title: str = "Table 1: configuration data across contexts",
+) -> str:
+    """Render named switch patterns in the paper's Table-1 layout."""
+    cols = ["switch"] + [f"ctx {c} (C{c})" for c in reversed(range(n_contexts))]
+    cols += ["class"]
+    t = TextTable(cols, title=title)
+    for name, mask in masks.items():
+        pat = ContextPattern(mask, n_contexts)
+        row = [name, *pat.paper_row(), str(pat.classify())]
+        t.add_row(row)
+    return t.render()
+
+
+def paper_table1() -> str:
+    """The paper's own Table 1 example, rendered."""
+    from repro.core.patterns import table1_patterns
+
+    pats = table1_patterns()
+    return table1_view({k: v.mask for k, v in pats.items()})

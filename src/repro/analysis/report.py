@@ -1,0 +1,62 @@
+"""Report rendering shared by benches and examples."""
+
+from __future__ import annotations
+
+from repro.core.area_model import AreaComparison
+from repro.utils.tables import TextTable, format_ratio
+
+
+def area_comparison_table(
+    comparisons: dict[str, AreaComparison],
+    title: str = "Section 5: proposed vs conventional MC-FPGA area",
+    paper_reference: dict[str, float] | None = None,
+) -> str:
+    """Render the headline area table, optionally with paper numbers."""
+    ref = paper_reference or {"cmos": 0.45, "fepg": 0.37}
+    t = TextTable(
+        ["technology", "conventional", "proposed", "ratio", "paper"],
+        title=title,
+    )
+    for tech, cmp in comparisons.items():
+        t.add_row([
+            tech,
+            f"{cmp.conventional.total:.0f} T",
+            f"{cmp.proposed.total:.0f} T",
+            format_ratio(cmp.ratio),
+            format_ratio(ref[tech]) if tech in ref else "-",
+        ])
+    return t.render()
+
+
+def breakdown_table(cmp: AreaComparison, title: str = "Area breakdown") -> str:
+    t = TextTable(["component", "conventional", "proposed"], title=title)
+    t.add_row([
+        "switch block",
+        f"{cmp.conventional.switch_area:.0f}",
+        f"{cmp.proposed.switch_area:.0f}",
+    ])
+    t.add_row([
+        "logic block",
+        f"{cmp.conventional.lut_area:.0f}",
+        f"{cmp.proposed.lut_area:.0f}",
+    ])
+    t.add_row([
+        "RCM overhead",
+        "0",
+        f"{cmp.proposed.overhead_area:.0f}",
+    ])
+    t.add_row(["total", f"{cmp.conventional.total:.0f}", f"{cmp.proposed.total:.0f}"])
+    return t.render()
+
+
+def sweep_table(
+    rows: list[tuple], columns: list[str], title: str
+) -> str:
+    t = TextTable(columns, title=title)
+    for row in rows:
+        formatted = [
+            format_ratio(v) if isinstance(v, float) and 0 <= v <= 1 else v
+            for v in row
+        ]
+        t.add_row(formatted)
+    return t.render()

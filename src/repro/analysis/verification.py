@@ -1,0 +1,208 @@
+"""Equivalence checking between netlists and against configured devices.
+
+The reproduction's trust chain: synthesis → optimization → technology
+mapping → placement/routing → device configuration must all preserve
+function.  This module provides the checkers the test-suite and flows
+lean on:
+
+- :func:`equivalent` — exhaustive for small input counts (bit-parallel,
+  64 vectors per word), Monte-Carlo beyond, with a counterexample on
+  failure;
+- :func:`verify_device` — configured-device vs source-program check for
+  every context;
+- :class:`Miter` — XOR-miter construction for structural flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fpga import MultiContextFPGA
+from repro.errors import SimulationError
+from repro.netlist.dfg import MultiContextProgram
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+from repro.sim.levelized import LevelizedSimulator
+from repro.utils.rng import ensure_rng
+
+#: Exhaustive checking is used up to this many primary inputs (2^18
+#: vectors, packed 64/word — fast).
+EXHAUSTIVE_LIMIT = 18
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    vectors_checked: int
+    exhaustive: bool
+    counterexample: dict[str, int] | None = None
+    mismatched_output: str | None = None
+
+
+def _common_io(a: Netlist, b: Netlist) -> tuple[list[str], list[str]]:
+    in_a = sorted(c.output for c in a.inputs())
+    in_b = sorted(c.output for c in b.inputs())
+    if in_a != in_b:
+        raise SimulationError(f"input sets differ: {in_a} vs {in_b}")
+    out_a = sorted(c.name for c in a.outputs())
+    out_b = sorted(c.name for c in b.outputs())
+    if out_a != out_b:
+        raise SimulationError(f"output sets differ: {out_a} vs {out_b}")
+    return in_a, out_a
+
+
+def equivalent(
+    a: Netlist,
+    b: Netlist,
+    n_random: int = 4096,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Check combinational equivalence of two netlists.
+
+    Exhaustive when the shared input count is at most
+    :data:`EXHAUSTIVE_LIMIT`; otherwise ``n_random`` random vectors.
+    """
+    inputs, outputs = _common_io(a, b)
+    n = len(inputs)
+    sim_a = LevelizedSimulator(a)
+    sim_b = LevelizedSimulator(b)
+
+    if n <= EXHAUSTIVE_LIMIT:
+        total = 1 << n
+        words = (total + 63) // 64
+        stim: dict[str, np.ndarray] = {}
+        lanes = np.arange(total, dtype=np.uint64)
+        for j, name in enumerate(inputs):
+            bits = (lanes >> np.uint64(j)) & np.uint64(1)
+            packed = np.zeros(words, dtype=np.uint64)
+            for w in range(words):
+                chunk = bits[w * 64 : (w + 1) * 64]
+                packed[w] = np.bitwise_or.reduce(
+                    chunk << np.arange(chunk.size, dtype=np.uint64)
+                ) if chunk.size else np.uint64(0)
+            stim[name] = packed
+        out_a = sim_a.outputs(stim)
+        out_b = sim_b.outputs(stim)
+        for oname in outputs:
+            diff = out_a[oname] ^ out_b[oname]
+            if diff.any():
+                w = int(np.nonzero(diff)[0][0])
+                lane = int(diff[w]).bit_length() - 1
+                vec_index = w * 64 + lane
+                cex = {
+                    name: (vec_index >> j) & 1 for j, name in enumerate(inputs)
+                }
+                return EquivalenceResult(False, total, True, cex, oname)
+        return EquivalenceResult(True, total, True)
+
+    rng = ensure_rng(seed)
+    words = (n_random + 63) // 64
+    stim = {
+        name: rng.integers(0, 2**63, words, dtype=np.int64).astype(np.uint64)
+        for name in inputs
+    }
+    out_a = sim_a.outputs(stim)
+    out_b = sim_b.outputs(stim)
+    for oname in outputs:
+        diff = out_a[oname] ^ out_b[oname]
+        if diff.any():
+            w = int(np.nonzero(diff)[0][0])
+            lane = int(diff[w]).bit_length() - 1
+            cex = {
+                name: int((stim[name][w] >> np.uint64(lane)) & np.uint64(1))
+                for name in inputs
+            }
+            return EquivalenceResult(False, words * 64, False, cex, oname)
+    return EquivalenceResult(True, words * 64, False)
+
+
+def assert_equivalent(a: Netlist, b: Netlist, **kwargs) -> None:
+    """Raise :class:`SimulationError` with the counterexample on mismatch."""
+    result = equivalent(a, b, **kwargs)
+    if not result.equivalent:
+        raise SimulationError(
+            f"netlists differ on output {result.mismatched_output!r} "
+            f"at {result.counterexample}"
+        )
+
+
+def verify_device(
+    device: MultiContextFPGA,
+    program: MultiContextProgram,
+    n_vectors: int = 64,
+    seed: int = 0,
+) -> int:
+    """Check every context of a configured device against its source.
+
+    Returns the number of vectors checked; raises on any divergence.
+    """
+    rng = ensure_rng(seed)
+    checked = 0
+    for ctx in range(program.n_contexts):
+        netlist = program.contexts[ctx]
+        names = [c.name for c in netlist.inputs()]
+        for _ in range(n_vectors):
+            vec = {n: int(rng.integers(2)) for n in names}
+            want = netlist.evaluate_outputs(vec)
+            got = device.evaluate(ctx, vec)
+            if want != got:
+                raise SimulationError(
+                    f"context {ctx}: device={got} source={want} on {vec}"
+                )
+            checked += 1
+    return checked
+
+
+class Miter:
+    """XOR-miter of two netlists: one output that is 1 iff they differ.
+
+    Useful for flows that want a single satisfiability-style check; the
+    miter itself is a plain :class:`Netlist` so any simulator runs it.
+    """
+
+    def __init__(self, a: Netlist, b: Netlist) -> None:
+        inputs, outputs = _common_io(a, b)
+        self.netlist = Netlist(f"miter_{a.name}_{b.name}")
+        for name in inputs:
+            self.netlist.add_input(name)
+        self._splice(a, "A")
+        self._splice(b, "B")
+        xor = TruthTable.from_function(2, lambda x, y: x ^ y)
+        or2 = TruthTable.from_function(2, lambda x, y: x | y)
+        diff_nets = []
+        for oname in outputs:
+            net = f"diff_{oname}"
+            self.netlist.add_lut(
+                f"{net}_cell",
+                [f"A_{self._out_net(a, oname)}", f"B_{self._out_net(b, oname)}"],
+                net, xor,
+            )
+            diff_nets.append(net)
+        acc = diff_nets[0]
+        for i, net in enumerate(diff_nets[1:]):
+            nxt = f"acc_{i}"
+            self.netlist.add_lut(f"{nxt}_cell", [acc, net], nxt, or2)
+            acc = nxt
+        self.netlist.add_output("differ", acc)
+        self.netlist.validate()
+
+    @staticmethod
+    def _out_net(n: Netlist, oname: str) -> str:
+        return n.cells[oname].inputs[0]
+
+    def _splice(self, src: Netlist, prefix: str) -> None:
+        for cell in src.luts():
+            ins = [
+                net if net in {c.output for c in src.inputs()} else f"{prefix}_{net}"
+                for net in cell.inputs
+            ]
+            self.netlist.add_lut(
+                f"{prefix}_{cell.name}", ins, f"{prefix}_{cell.output}", cell.table
+            )
+
+    def differs_on(self, vector: dict[str, int]) -> bool:
+        return self.netlist.evaluate_outputs(vector)["differ"] == 1

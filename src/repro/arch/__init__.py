@@ -1,0 +1,19 @@
+"""Island-style MC-FPGA fabric description: parameters, geometry, wiring,
+and the routing-resource graph the placer/router operate on."""
+
+from repro.arch.geometry import Coord, Side
+from repro.arch.params import ArchParams
+from repro.arch.rrg import NodeKind, RoutingResourceGraph, build_rrg
+from repro.arch.wires import SegmentKind, TrackSpec, make_track_specs
+
+__all__ = [
+    "ArchParams",
+    "Coord",
+    "NodeKind",
+    "RoutingResourceGraph",
+    "SegmentKind",
+    "Side",
+    "TrackSpec",
+    "build_rrg",
+    "make_track_specs",
+]

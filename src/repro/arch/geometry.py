@@ -1,0 +1,110 @@
+"""Grid geometry for the island-style fabric.
+
+The device is a ``cols x rows`` array of logic tiles.  Tile ``(x, y)``
+has routing channels on all four sides: horizontal channel segments run
+in the gaps between tile rows, vertical segments between tile columns.
+Channel coordinates follow the VPR convention: horizontal channel ``y``
+sits *above* tile row ``y`` (``y`` ranges ``0 .. rows``), vertical
+channel ``x`` sits *right of* tile column ``x`` (``x`` ranges
+``0 .. cols``); index 0 is the device edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.errors import ArchitectureError
+
+
+class Side(enum.Enum):
+    """Sides of a tile / directions in the channel graph."""
+
+    NORTH = "N"
+    EAST = "E"
+    SOUTH = "S"
+    WEST = "W"
+
+    def opposite(self) -> "Side":
+        return _OPPOSITE[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_OPPOSITE = {
+    Side.NORTH: Side.SOUTH,
+    Side.SOUTH: Side.NORTH,
+    Side.EAST: Side.WEST,
+    Side.WEST: Side.EAST,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Coord:
+    """A tile coordinate; ``(0, 0)`` is the south-west corner."""
+
+    x: int
+    y: int
+
+    def step(self, side: Side) -> "Coord":
+        dx, dy = _DELTA[side]
+        return Coord(self.x + dx, self.y + dy)
+
+    def manhattan(self, other: "Coord") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y})"
+
+
+_DELTA = {
+    Side.NORTH: (0, 1),
+    Side.SOUTH: (0, -1),
+    Side.EAST: (1, 0),
+    Side.WEST: (-1, 0),
+}
+
+
+class Grid:
+    """Bounds-checked tile grid with iteration helpers."""
+
+    def __init__(self, cols: int, rows: int) -> None:
+        if cols < 1 or rows < 1:
+            raise ArchitectureError(f"grid must be at least 1x1, got {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+
+    def contains(self, c: Coord) -> bool:
+        return 0 <= c.x < self.cols and 0 <= c.y < self.rows
+
+    def check(self, c: Coord) -> Coord:
+        if not self.contains(c):
+            raise ArchitectureError(f"coordinate {c} outside {self.cols}x{self.rows} grid")
+        return c
+
+    def tiles(self) -> Iterator[Coord]:
+        for y in range(self.rows):
+            for x in range(self.cols):
+                yield Coord(x, y)
+
+    def perimeter(self) -> Iterator[Coord]:
+        """Tiles on the device edge (I/O-capable in our model)."""
+        for c in self.tiles():
+            if c.x in (0, self.cols - 1) or c.y in (0, self.rows - 1):
+                yield c
+
+    @property
+    def n_tiles(self) -> int:
+        return self.cols * self.rows
+
+    def index(self, c: Coord) -> int:
+        """Dense row-major index of a tile."""
+        self.check(c)
+        return c.y * self.cols + c.x
+
+    def coord(self, index: int) -> Coord:
+        if not 0 <= index < self.n_tiles:
+            raise ArchitectureError(f"tile index {index} out of range")
+        return Coord(index % self.cols, index // self.cols)

@@ -1,0 +1,154 @@
+"""Architecture parameters for the MC-FPGA device family.
+
+One :class:`ArchParams` instance fully describes a device: grid size,
+context count, MCMG-LUT geometry, channel composition and the RCM
+capacity provisioning.  The evaluation section's operating point
+(4 contexts, 6-input 2-output MCMG-LUTs, 5% change rate) is available as
+:func:`paper_params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.wires import SegmentKind, TrackSpec, make_track_specs
+from repro.core.mcmg_lut import MCMGGeometry
+from repro.errors import ArchitectureError
+from repro.utils.bitops import clog2, is_pow2
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Parameters of one MC-FPGA architecture instance.
+
+    Attributes
+    ----------
+    cols, rows:
+        Logic-tile grid size.
+    n_contexts:
+        Number of configuration planes (power of two).
+    lut_inputs:
+        *Base* LUT inputs ``k`` of the MCMG geometry (granularity 0).
+    lut_outputs:
+        Outputs per MCMG-LUT (the paper evaluates 2).
+    channel_width:
+        Tracks per routing channel.
+    double_fraction:
+        Fraction of channel tracks that are buffered double-length lines.
+    io_capacity:
+        Primary I/O pads available on each perimeter tile.
+    fc_in, fc_out:
+        Connection-block flexibility: fraction of adjacent channel
+        tracks each input (output) pin can reach.  1.0 = fully
+        populated (the default keeps small test fabrics routable);
+        realistic fabrics use ~0.25-0.5.
+    rcm_se_budget:
+        SEs provisioned per tile's RCM block for *decoders* (beyond the
+        one-SE-per-switch baseline).  ``None`` = unbounded (measure mode).
+    general_pool_fraction:
+        Architecture provisioning assumption: fraction of configuration
+        bits expected to need GENERAL decoders (the paper designs for 5%).
+    adaptive_logic_blocks:
+        True = proposed adaptive (locally controlled) LBs; False =
+        conventional fixed-context LBs (baseline).
+    """
+
+    cols: int = 8
+    rows: int = 8
+    n_contexts: int = 4
+    lut_inputs: int = 4
+    lut_outputs: int = 1
+    channel_width: int = 8
+    double_fraction: float = 0.5
+    io_capacity: int = 4
+    fc_in: float = 1.0
+    fc_out: float = 1.0
+    rcm_se_budget: int | None = None
+    general_pool_fraction: float = 0.05
+    adaptive_logic_blocks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ArchitectureError(f"grid must be >= 1x1, got {self.cols}x{self.rows}")
+        if not is_pow2(self.n_contexts):
+            raise ArchitectureError(
+                f"n_contexts must be a power of two, got {self.n_contexts}"
+            )
+        if self.lut_inputs < 1:
+            raise ArchitectureError(f"lut_inputs must be >= 1, got {self.lut_inputs}")
+        if self.lut_outputs < 1:
+            raise ArchitectureError(f"lut_outputs must be >= 1, got {self.lut_outputs}")
+        if self.channel_width < 1:
+            raise ArchitectureError(
+                f"channel_width must be >= 1, got {self.channel_width}"
+            )
+        if not 0.0 <= self.double_fraction <= 1.0:
+            raise ArchitectureError("double_fraction must be in [0, 1]")
+        if not 0.0 <= self.general_pool_fraction <= 1.0:
+            raise ArchitectureError("general_pool_fraction must be in [0, 1]")
+        if self.io_capacity < 0:
+            raise ArchitectureError("io_capacity must be >= 0")
+        if not 0.0 < self.fc_in <= 1.0 or not 0.0 < self.fc_out <= 1.0:
+            raise ArchitectureError("fc_in/fc_out must be in (0, 1]")
+
+    # -- derived quantities ------------------------------------------------ #
+    @property
+    def n_id_bits(self) -> int:
+        """Context-ID width ``k = log2(n_contexts)``."""
+        return clog2(self.n_contexts)
+
+    @property
+    def n_tiles(self) -> int:
+        return self.cols * self.rows
+
+    def lut_geometry(self) -> MCMGGeometry:
+        return MCMGGeometry(
+            base_inputs=self.lut_inputs,
+            n_contexts=self.n_contexts,
+            n_outputs=self.lut_outputs,
+        )
+
+    def track_specs(self) -> list[TrackSpec]:
+        return make_track_specs(self.channel_width, self.double_fraction)
+
+    def n_single_tracks(self) -> int:
+        return sum(1 for t in self.track_specs() if t.kind is SegmentKind.SINGLE)
+
+    def n_double_tracks(self) -> int:
+        return sum(1 for t in self.track_specs() if t.kind is SegmentKind.DOUBLE)
+
+    def lut_config_bits_per_tile(self) -> int:
+        """Logical LUT configuration bits a tile must provide per context."""
+        return self.lut_outputs * (1 << self.lut_inputs)
+
+    def with_(self, **kwargs) -> "ArchParams":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)
+
+
+def paper_params(cols: int = 8, rows: int = 8, channel_width: int = 10) -> ArchParams:
+    """The evaluation section's operating point.
+
+    4 contexts, 6-input 2-output MCMG-LUTs, adaptive logic blocks,
+    provisioning for a 5% configuration-change rate.
+    """
+    return ArchParams(
+        cols=cols,
+        rows=rows,
+        n_contexts=4,
+        lut_inputs=6,
+        lut_outputs=2,
+        channel_width=channel_width,
+        double_fraction=0.5,
+        general_pool_fraction=0.05,
+        adaptive_logic_blocks=True,
+    )
+
+
+def conventional_params(base: ArchParams | None = None) -> ArchParams:
+    """The conventional MC-FPGA baseline for a given proposed device:
+    same grid, contexts and LUT geometry, fixed (non-adaptive) LBs, and
+    no double-length/RCM structure assumptions (those only change area
+    accounting, not the logical fabric)."""
+    b = base if base is not None else paper_params()
+    return b.with_(adaptive_logic_blocks=False)

@@ -1,0 +1,93 @@
+"""Fabric statistics derived from a built routing-resource graph.
+
+The area and power models need per-tile resource counts; this module
+derives them from the *actual* RRG instead of closed-form estimates, and
+summarizes channel composition for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.rrg import EdgeKind, NodeKind, RoutingResourceGraph
+from repro.arch.wires import SegmentKind
+
+
+@dataclass
+class FabricStats:
+    """Resource census of one built fabric."""
+
+    n_tiles: int
+    n_wires: int
+    n_single_segments: int
+    n_double_segments: int
+    n_pass_switches: int
+    n_buf_switches: int
+    n_pin_switches: int
+    n_ipins: int
+    n_opins: int
+
+    @property
+    def switches_per_tile(self) -> float:
+        total = self.n_pass_switches + self.n_buf_switches + self.n_pin_switches
+        return total / self.n_tiles if self.n_tiles else 0.0
+
+    @property
+    def wirelength_capacity(self) -> int:
+        """Total routable tile-lengths of wire."""
+        return self.n_single_segments + 2 * self.n_double_segments
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_tiles} tiles, {self.n_wires} wire segments "
+            f"({self.n_single_segments} single / {self.n_double_segments} double), "
+            f"{self.n_pass_switches} SE switches, {self.n_buf_switches} buffered, "
+            f"{self.n_pin_switches} connection-block switches "
+            f"({self.switches_per_tile:.1f} switches/tile)"
+        )
+
+
+def fabric_stats(g: RoutingResourceGraph) -> FabricStats:
+    """Census the graph (undirected switches counted once)."""
+    singles = doubles = 0
+    for n in g.wire_nodes():
+        if n.seg_kind is SegmentKind.SINGLE:
+            singles += 1
+        elif n.seg_kind is SegmentKind.DOUBLE:
+            doubles += 1
+    n_pass = n_buf = n_pin = 0
+    for a, edges in enumerate(g.out_edges):
+        for b, kind in edges:
+            if kind is EdgeKind.PASS and a < b:
+                n_pass += 1
+            elif kind is EdgeKind.BUF and a < b:
+                n_buf += 1
+            elif kind is EdgeKind.PIN:
+                n_pin += 1
+    return FabricStats(
+        n_tiles=g.params.n_tiles,
+        n_wires=len(g.wire_nodes()),
+        n_single_segments=singles,
+        n_double_segments=doubles,
+        n_pass_switches=n_pass,
+        n_buf_switches=n_buf,
+        n_pin_switches=n_pin,
+        n_ipins=len(g.nodes_of_kind(NodeKind.IPIN)),
+        n_opins=len(g.nodes_of_kind(NodeKind.OPIN)),
+    )
+
+
+def channel_utilization(
+    g: RoutingResourceGraph, used_nodes: set[int]
+) -> dict[str, float]:
+    """Fraction of wire capacity a routing actually uses."""
+    total = used = 0
+    for n in g.wire_nodes():
+        total += n.length
+        if n.id in used_nodes:
+            used += n.length
+    return {
+        "capacity": float(total),
+        "used": float(used),
+        "utilization": used / total if total else 0.0,
+    }

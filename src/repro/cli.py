@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing Python::
+
+    python -m repro patterns                 # Figs. 3-5 classification
+    python -m repro decoder 1000 0110       # synthesize & verify decoders
+    python -m repro area --change-rate 0.05 # Section-5 evaluation
+    python -m repro map --workload adder    # full flow on a workload
+    python -m repro reorder --workload adder  # context-ID optimization
+    python -m repro sweep --what change-rate  # sensitivity curves
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Architecture of a Multi-Context FPGA Using "
+            "Reconfigurable Context Memory' (IPDPS 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("patterns", help="Figs. 3-5: pattern classification")
+    p.add_argument("--contexts", type=int, default=4)
+
+    p = sub.add_parser("decoder", help="Fig. 9: synthesize pattern decoders")
+    p.add_argument("patterns", nargs="+",
+                   help="patterns in paper (C{n-1}..C0) bit order, e.g. 1000")
+
+    p = sub.add_parser("area", help="Section 5: area evaluation")
+    p.add_argument("--change-rate", type=float, default=0.05)
+    p.add_argument("--contexts", type=int, default=4)
+    p.add_argument("--sharing", type=float, default=2.0)
+    p.add_argument("--constants", choices=["paper", "textbook"], default="paper")
+
+    p = sub.add_parser("map", help="full flow: map a workload, print stats")
+    p.add_argument("--workload", default="adder",
+                   choices=["adder", "random", "crc", "parity", "cmp"])
+    p.add_argument("--contexts", type=int, default=4)
+    p.add_argument("--mutation", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--naive", action="store_true",
+                   help="disable redundancy-aware mapping")
+
+    p = sub.add_parser("reorder", help="optimize the context-ID assignment")
+    p.add_argument("--workload", default="adder",
+                   choices=["adder", "random", "crc", "parity", "cmp"])
+    p.add_argument("--contexts", type=int, default=4)
+    p.add_argument("--mutation", type=float, default=0.15)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("sweep", help="sensitivity sweeps")
+    p.add_argument("--what", choices=["change-rate", "contexts"],
+                   default="change-rate")
+    return parser
+
+
+def _build_workload(name: str, n_contexts: int, mutation: float, seed: int):
+    from repro.netlist.techmap import tech_map
+    from repro.workloads import generators as gen
+    from repro.workloads.multicontext import mutated_program, temporal_partition
+
+    circuits = {
+        "adder": lambda: gen.ripple_adder(4),
+        "random": lambda: gen.random_dag(6, 24, 4, seed=11),
+        "crc": lambda: gen.crc_step(8),
+        "parity": lambda: gen.parity_tree(8),
+        "cmp": lambda: gen.comparator(4),
+    }
+    base = tech_map(circuits[name](), k=4)
+    if name in ("crc", "parity"):
+        return temporal_partition(base, n_contexts)
+    return mutated_program(base, n_contexts, mutation, seed=seed)
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    from repro.analysis.pattern_stats import context_id_table, pattern_class_table
+
+    print(context_id_table(args.contexts))
+    print()
+    print(pattern_class_table(args.contexts))
+    return 0
+
+
+def cmd_decoder(args: argparse.Namespace) -> int:
+    from repro.core.decoder_synth import synthesize_single
+    from repro.core.patterns import ContextPattern
+
+    for bits in args.patterns:
+        if any(b not in "01" for b in bits):
+            print(f"error: pattern {bits!r} must be binary", file=sys.stderr)
+            return 2
+        pattern = ContextPattern.from_paper_row(tuple(int(b) for b in bits))
+        block, net, n_ses = synthesize_single(pattern)
+        swept = block.read_pattern(net)
+        print(f"{bits}: class={pattern.classify()} SEs={n_ses} "
+              f"per-context values={swept}")
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    from repro.analysis.report import area_comparison_table, breakdown_table
+    from repro.core.area_model import AreaConstants, AreaModel, Technology
+
+    constants = (
+        AreaConstants.paper_calibrated()
+        if args.constants == "paper"
+        else AreaConstants.textbook()
+    )
+    model = AreaModel(constants)
+    out = {
+        tech.value: model.paper_operating_point(
+            change_rate=args.change_rate,
+            n_contexts=args.contexts,
+            sharing_factor=args.sharing,
+            tech=tech,
+        )
+        for tech in (Technology.CMOS, Technology.FEPG)
+    }
+    print(area_comparison_table(out))
+    print()
+    print(breakdown_table(out["cmos"], "Breakdown (CMOS)"))
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_full_flow
+    from repro.analysis.redundancy import redundancy_report
+
+    program = _build_workload(args.workload, args.contexts, args.mutation, args.seed)
+    result = run_full_flow(program, share_aware=not args.naive, seed=args.seed)
+    print(f"workload {args.workload}: "
+          f"{[len(nl.luts()) for nl in program.contexts]} LUTs per context, "
+          f"grid {result.mapped.params.cols}x{result.mapped.params.rows}, "
+          f"verified={result.verified}")
+    print()
+    print(redundancy_report(result.stats).render())
+    return 0
+
+
+def cmd_reorder(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import map_program
+    from repro.core.reorder import optimize_context_order
+
+    program = _build_workload(args.workload, args.contexts, args.mutation, args.seed)
+    mapped = map_program(program, seed=args.seed)
+    masks = list(mapped.stats().switch.used.values())
+    result = optimize_context_order(masks, args.contexts)
+    print(f"decoder cost before: {result.cost_before} SEs")
+    print(f"decoder cost after : {result.cost_after} SEs "
+          f"(saving {result.saving:.1%})")
+    print(f"physical ID schedule: {result.physical_schedule()}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import sweep_change_rate, sweep_contexts
+    from repro.analysis.report import sweep_table
+
+    if args.what == "change-rate":
+        rows = sweep_change_rate([0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5])
+        print(sweep_table(rows, ["change rate", "CMOS", "FePG"],
+                          "Area ratio vs change rate"))
+    else:
+        rows = sweep_contexts([2, 4, 8, 16])
+        print(sweep_table(rows, ["contexts", "CMOS", "FePG"],
+                          "Area ratio vs context count"))
+    return 0
+
+
+_COMMANDS = {
+    "patterns": cmd_patterns,
+    "decoder": cmd_decoder,
+    "area": cmd_area,
+    "map": cmd_map,
+    "reorder": cmd_reorder,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""The paper's contribution: context patterns, switch elements, the
+reconfigurable context memory, decoder synthesis, MCMG-LUTs, adaptive
+logic blocks, switch blocks, the full device, and the area model."""
+
+from repro.core.area_model import (
+    AreaComparison,
+    AreaConstants,
+    AreaModel,
+    PatternMix,
+    Technology,
+    TileCounts,
+    analytic_pattern_mix,
+)
+from repro.core.bitstream import (
+    BitstreamStats,
+    extract_bitstream_stats,
+    extract_lut_patterns,
+    extract_switch_patterns,
+)
+from repro.core.context_memory import ConventionalCell, ConventionalContextMemory
+from repro.core.decoder_synth import DecoderBank, decoder_cost, synthesize_single
+from repro.core.diamond import DiamondSwitch, Direction
+from repro.core.fepg import FePG, FePGCell
+from repro.core.fpga import MultiContextFPGA
+from repro.core.logic_block import AdaptiveLogicBlock, SizeControl
+from repro.core.mcmg_lut import MCMGGeometry, MCMGLut
+from repro.core.patterns import ContextPattern, PatternClass, all_patterns, class_census
+from repro.core.rcm import RCMBlock
+from repro.core.switch_block import RCMSwitchBlock
+from repro.core.switch_element import SEConfig, SwitchElement
+
+__all__ = [
+    "AdaptiveLogicBlock",
+    "AreaComparison",
+    "AreaConstants",
+    "AreaModel",
+    "BitstreamStats",
+    "ContextPattern",
+    "ConventionalCell",
+    "ConventionalContextMemory",
+    "DecoderBank",
+    "DiamondSwitch",
+    "Direction",
+    "FePG",
+    "FePGCell",
+    "MCMGGeometry",
+    "MCMGLut",
+    "MultiContextFPGA",
+    "PatternClass",
+    "PatternMix",
+    "RCMBlock",
+    "RCMSwitchBlock",
+    "SEConfig",
+    "SizeControl",
+    "SwitchElement",
+    "Technology",
+    "TileCounts",
+    "all_patterns",
+    "analytic_pattern_mix",
+    "class_census",
+    "decoder_cost",
+    "extract_bitstream_stats",
+    "extract_lut_patterns",
+    "extract_switch_patterns",
+    "synthesize_single",
+]

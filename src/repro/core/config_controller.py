@@ -1,0 +1,167 @@
+"""Configuration controller: programming ports and the context sequencer.
+
+The device-management layer a real MC-FPGA ships with:
+
+- :class:`ProgrammingPort` — a serial configuration chain.  Full
+  bitstream loads shift every frame; *partial reconfiguration* shifts
+  only frames that differ from what the device holds, which is where the
+  paper's redundancy pays off a third time (background plane updates
+  touch few frames when contexts are similar).
+- :class:`ContextSequencer` — drives the global context-ID wires.  It
+  accepts an arbitrary physical-ID schedule, which is exactly the degree
+  of freedom :mod:`repro.core.reorder` optimizes; switching is
+  single-cycle (the defining MC-FPGA property, paper Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import clog2, is_pow2
+
+#: Configuration frame width in bits (one shift-register segment).
+FRAME_BITS = 32
+
+
+@dataclass
+class LoadReport:
+    """Cost accounting of one programming operation."""
+
+    frames_total: int
+    frames_written: int
+    shift_cycles: int
+
+    @property
+    def skipped_fraction(self) -> float:
+        if self.frames_total == 0:
+            return 0.0
+        return 1.0 - self.frames_written / self.frames_total
+
+
+class ProgrammingPort:
+    """Serial configuration access to one plane-organized memory.
+
+    The backing store is a flat bit array per context plane; frames of
+    :data:`FRAME_BITS` bits are the unit of partial reconfiguration.
+    """
+
+    def __init__(self, n_bits: int, n_contexts: int) -> None:
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        if not is_pow2(n_contexts):
+            raise ConfigurationError("n_contexts must be a power of two")
+        self.n_bits = n_bits
+        self.n_contexts = n_contexts
+        self.n_frames = (n_bits + FRAME_BITS - 1) // FRAME_BITS
+        self.planes = np.zeros((n_contexts, n_bits), dtype=np.uint8)
+        self.total_shift_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    def full_load(self, ctx: int, bits: np.ndarray) -> LoadReport:
+        """Shift a complete plane through the chain (cold programming)."""
+        self._check(ctx, bits)
+        self.planes[ctx] = bits
+        cycles = self.n_frames * FRAME_BITS
+        self.total_shift_cycles += cycles
+        return LoadReport(self.n_frames, self.n_frames, cycles)
+
+    def partial_load(self, ctx: int, bits: np.ndarray) -> LoadReport:
+        """Write only frames that differ from the currently held plane.
+
+        This models frame-addressable reconfiguration (Kennedy [4]'s
+        "exploiting redundancy to speed up reconfiguration", the paper's
+        reference for the <3% change statistic).
+        """
+        self._check(ctx, bits)
+        written = 0
+        for f in range(self.n_frames):
+            lo = f * FRAME_BITS
+            hi = min(lo + FRAME_BITS, self.n_bits)
+            if not np.array_equal(self.planes[ctx, lo:hi], bits[lo:hi]):
+                self.planes[ctx, lo:hi] = bits[lo:hi]
+                written += 1
+        cycles = written * FRAME_BITS
+        self.total_shift_cycles += cycles
+        return LoadReport(self.n_frames, written, cycles)
+
+    def readback(self, ctx: int) -> np.ndarray:
+        """Read a plane back out (verification flows)."""
+        if not 0 <= ctx < self.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")
+        return self.planes[ctx].copy()
+
+    def _check(self, ctx: int, bits: np.ndarray) -> None:
+        if not 0 <= ctx < self.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")
+        arr = np.asarray(bits)
+        if arr.shape != (self.n_bits,):
+            raise ConfigurationError(
+                f"plane must have shape ({self.n_bits},), got {arr.shape}"
+            )
+        if arr.size and arr.max() > 1:
+            raise ConfigurationError("plane bits must be 0/1")
+
+
+@dataclass
+class SequencerTrace:
+    """History of issued context IDs and their switch costs."""
+
+    issued: list[int] = field(default_factory=list)
+    decode_cycles: int = 0
+
+
+class ContextSequencer:
+    """Drives the global context-ID wires (paper Section 3: "context-ID
+    bits are routed with high-speed global wires and decoded locally").
+
+    ``schedule`` maps logical step -> physical context ID; by default the
+    identity round-robin.  A reordering result from
+    :func:`repro.core.reorder.optimize_context_order` plugs in directly.
+    """
+
+    def __init__(
+        self,
+        n_contexts: int,
+        schedule: list[int] | None = None,
+    ) -> None:
+        if not is_pow2(n_contexts):
+            raise ConfigurationError("n_contexts must be a power of two")
+        self.n_contexts = n_contexts
+        self.n_id_bits = clog2(n_contexts)
+        self.schedule = schedule if schedule is not None else list(range(n_contexts))
+        for pid in self.schedule:
+            if not 0 <= pid < n_contexts:
+                raise ConfigurationError(f"physical ID {pid} out of range")
+        if len(set(self.schedule)) != len(self.schedule):
+            raise ConfigurationError("schedule must not repeat physical IDs")
+        self.step = 0
+        self.trace = SequencerTrace()
+
+    def current_id(self) -> int:
+        return self.schedule[self.step % len(self.schedule)]
+
+    def id_bits(self) -> tuple[int, ...]:
+        """(S_{k-1} .. S_0) currently on the global wires."""
+        pid = self.current_id()
+        return tuple((pid >> j) & 1 for j in reversed(range(self.n_id_bits)))
+
+    def advance(self) -> int:
+        """One context switch: single cycle, returns the new physical ID."""
+        self.step += 1
+        pid = self.current_id()
+        self.trace.issued.append(pid)
+        self.trace.decode_cycles += 1
+        return pid
+
+    def apply_reordering(self, assignment: list[int] | tuple[int, ...]) -> None:
+        """Adopt a context-ID reassignment: logical step ``c`` now issues
+        physical ID ``assignment[c]``."""
+        if sorted(assignment) != list(range(self.n_contexts)):
+            raise ConfigurationError(
+                "assignment must be a permutation of context IDs"
+            )
+        self.schedule = [assignment[c] for c in range(self.n_contexts)]
+        self.step = 0

@@ -1,0 +1,166 @@
+"""Conventional multi-context configuration memory (paper Fig. 2).
+
+The baseline the paper compares against: every configuration bit owns
+``n`` memory bits (one per context) plus an ``n:1`` multiplexer selected
+by the decoded context ID.  A conventional multi-context *switch* is one
+such cell whose output drives a routing pass-gate.
+
+The model is deliberately exact about the paper's cost structure —
+``n`` bits *per configuration bit* regardless of redundancy — because
+that is precisely the overhead the RCM attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.patterns import ContextPattern
+from repro.errors import ConfigurationError
+from repro.utils.bitops import is_pow2
+
+
+@dataclass
+class ConventionalCell:
+    """One conventional multi-context configuration bit (Fig. 2).
+
+    ``bits[c]`` is the configuration value in context ``c``; ``read(ctx)``
+    models the n:1 mux behind the 2-to-n context decoder.
+    """
+
+    n_contexts: int = 4
+    bits: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.n_contexts):
+            raise ConfigurationError(
+                f"n_contexts must be a power of two, got {self.n_contexts}"
+            )
+        if not self.bits:
+            self.bits = [0] * self.n_contexts
+        if len(self.bits) != self.n_contexts:
+            raise ConfigurationError(
+                f"cell needs {self.n_contexts} bits, got {len(self.bits)}"
+            )
+        for b in self.bits:
+            if b not in (0, 1):
+                raise ConfigurationError(f"memory bits must be 0/1, got {b!r}")
+
+    @classmethod
+    def from_pattern(cls, pattern: ContextPattern) -> "ConventionalCell":
+        return cls(pattern.n_contexts, list(pattern.values()))
+
+    def program(self, ctx: int, value: int) -> None:
+        if not 0 <= ctx < self.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")
+        if value not in (0, 1):
+            raise ConfigurationError(f"value must be 0/1, got {value!r}")
+        self.bits[ctx] = value
+
+    def read(self, ctx: int) -> int:
+        """Mux output for context ``ctx`` (the configuration bit G)."""
+        if not 0 <= ctx < self.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")
+        return self.bits[ctx]
+
+    def pattern(self) -> ContextPattern:
+        return ContextPattern.from_values(self.bits)
+
+    def memory_bit_count(self) -> int:
+        """Storage cost: always ``n_contexts`` bits — the paper's overhead."""
+        return self.n_contexts
+
+
+class ConventionalContextMemory:
+    """A plane-organized array of conventional cells.
+
+    Models the configuration memory of a whole conventional MC-FPGA block:
+    ``n_bits`` configuration bits × ``n_contexts`` planes, with single-cycle
+    context switching (the defining MC-FPGA property) and a NumPy backing
+    store so bitstream-level statistics stay vectorized.
+    """
+
+    def __init__(self, n_bits: int, n_contexts: int = 4) -> None:
+        if n_bits < 0:
+            raise ConfigurationError(f"n_bits must be >= 0, got {n_bits}")
+        if not is_pow2(n_contexts):
+            raise ConfigurationError(
+                f"n_contexts must be a power of two, got {n_contexts}"
+            )
+        self.n_bits = n_bits
+        self.n_contexts = n_contexts
+        # planes[c, i] = configuration bit i in context c
+        self.planes = np.zeros((n_contexts, n_bits), dtype=np.uint8)
+        self.active_context = 0
+
+    # -- programming ---------------------------------------------------- #
+    def load_plane(self, ctx: int, values: np.ndarray) -> None:
+        """Write a whole configuration plane (background load)."""
+        self._check_ctx(ctx)
+        arr = np.asarray(values, dtype=np.uint8)
+        if arr.shape != (self.n_bits,):
+            raise ConfigurationError(
+                f"plane must have shape ({self.n_bits},), got {arr.shape}"
+            )
+        if arr.max(initial=0) > 1:
+            raise ConfigurationError("plane values must be 0/1")
+        self.planes[ctx] = arr
+
+    def program_bit(self, ctx: int, index: int, value: int) -> None:
+        self._check_ctx(ctx)
+        if not 0 <= index < self.n_bits:
+            raise ConfigurationError(f"bit index {index} out of range")
+        if value not in (0, 1):
+            raise ConfigurationError(f"value must be 0/1, got {value!r}")
+        self.planes[ctx, index] = value
+
+    # -- context switching ---------------------------------------------- #
+    def switch_context(self, ctx: int) -> int:
+        """Select the active plane; returns the number of bits that flipped.
+
+        The flip count is what drives dynamic reconfiguration energy — and
+        is the quantity the paper's 5%-change assumption bounds.
+        """
+        self._check_ctx(ctx)
+        flips = int(np.count_nonzero(self.planes[self.active_context] != self.planes[ctx]))
+        self.active_context = ctx
+        return flips
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self.n_bits:
+            raise ConfigurationError(f"bit index {index} out of range")
+        return int(self.planes[self.active_context, index])
+
+    def active_plane(self) -> np.ndarray:
+        return self.planes[self.active_context].copy()
+
+    # -- analysis -------------------------------------------------------- #
+    def pattern_masks(self) -> np.ndarray:
+        """Per-bit context-pattern masks (bit ``c`` = value in context c).
+
+        Vectorized: ``masks[i] = sum_c planes[c, i] << c``.
+        """
+        weights = (1 << np.arange(self.n_contexts, dtype=np.int64))[:, None]
+        return (self.planes.astype(np.int64) * weights).sum(axis=0)
+
+    def change_fraction(self) -> float:
+        """Fraction of configuration bits that differ between consecutive
+        contexts, averaged over the cyclic context schedule.
+
+        This is the statistic the paper assumes to be ~5% (citing [4]'s
+        <3% measurement).
+        """
+        if self.n_bits == 0 or self.n_contexts == 1:
+            return 0.0
+        diffs = 0
+        for c in range(self.n_contexts):
+            diffs += int(np.count_nonzero(self.planes[c] != self.planes[c - 1]))
+        return diffs / (self.n_bits * self.n_contexts)
+
+    def memory_bit_count(self) -> int:
+        return self.n_bits * self.n_contexts
+
+    def _check_ctx(self, ctx: int) -> None:
+        if not 0 <= ctx < self.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")

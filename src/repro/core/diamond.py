@@ -1,0 +1,163 @@
+"""Diamond switch (paper Figs. 10-11).
+
+A diamond switch sits where double-length lines cross a switch-block
+position: it "connects a line from one direction to another three lines
+at different directions".  With four terminals (N, E, S, W) there are
+six unordered direction pairs; the switch is built from SEs — one per
+pair — whose variable inputs ``U1..U6`` come from the surrounding RCM,
+so each pair-connection can be a full per-context pattern.
+
+Fig. 11's drawing shows the SE array with six U inputs; we model one SE
+per pair (6 SEs) and expose the count as a parameter for the area model
+(the figure's exact SE count is ambiguous in the scan — ``SES_PER_DIAMOND``
+documents our reading).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.patterns import ContextPattern
+from repro.core.switch_element import SEConfig, SwitchElement
+from repro.errors import ConfigurationError
+
+#: SEs per diamond switch: one per unordered direction pair.
+SES_PER_DIAMOND = 6
+
+
+class Direction(enum.Enum):
+    """The four terminals of a diamond switch."""
+
+    NORTH = "N"
+    EAST = "E"
+    SOUTH = "S"
+    WEST = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Unordered terminal pairs, in a fixed canonical order (U1..U6).
+DIRECTION_PAIRS: tuple[tuple[Direction, Direction], ...] = tuple(
+    itertools.combinations(list(Direction), 2)
+)
+
+
+def pair_index(a: Direction, b: Direction) -> int:
+    """Canonical index (0..5) of an unordered direction pair."""
+    if a == b:
+        raise ConfigurationError(f"no self-pair {a} in a diamond switch")
+    key = tuple(sorted((a, b), key=lambda d: d.value))
+    for i, (x, y) in enumerate(DIRECTION_PAIRS):
+        if tuple(sorted((x, y), key=lambda d: d.value)) == key:
+            return i
+    raise ConfigurationError(f"unknown pair ({a}, {b})")
+
+
+@dataclass
+class DiamondSwitch:
+    """One diamond switch: six pass-gate SEs, one per direction pair.
+
+    Each pair has a per-context on/off pattern; ``connections(ctx)``
+    returns the conducting pairs for a context.  The patterns feed the
+    RCM decoder bank for area accounting (the Us of Fig. 11).
+    """
+
+    n_contexts: int = 4
+    name: str = "diamond"
+    patterns: list[ContextPattern] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            self.patterns = [
+                ContextPattern.constant(0, self.n_contexts)
+                for _ in DIRECTION_PAIRS
+            ]
+        if len(self.patterns) != len(DIRECTION_PAIRS):
+            raise ConfigurationError(
+                f"diamond needs {len(DIRECTION_PAIRS)} patterns, got {len(self.patterns)}"
+            )
+
+    def set_pair(self, a: Direction, b: Direction, pattern: ContextPattern) -> None:
+        if pattern.n_contexts != self.n_contexts:
+            raise ConfigurationError(
+                f"pattern has {pattern.n_contexts} contexts, diamond has {self.n_contexts}"
+            )
+        self.patterns[pair_index(a, b)] = pattern
+
+    def connect(self, a: Direction, b: Direction, ctx: int) -> None:
+        """Turn the pair on in one context (keeping other contexts)."""
+        idx = pair_index(a, b)
+        mask = self.patterns[idx].mask | (1 << ctx)
+        self.patterns[idx] = ContextPattern(mask, self.n_contexts)
+
+    def disconnect(self, a: Direction, b: Direction, ctx: int) -> None:
+        idx = pair_index(a, b)
+        mask = self.patterns[idx].mask & ~(1 << ctx)
+        self.patterns[idx] = ContextPattern(mask, self.n_contexts)
+
+    def is_connected(self, a: Direction, b: Direction, ctx: int) -> bool:
+        return self.patterns[pair_index(a, b)].value(ctx) == 1
+
+    def connections(self, ctx: int) -> list[tuple[Direction, Direction]]:
+        """All conducting pairs in context ``ctx``."""
+        return [
+            pair
+            for pair, pat in zip(DIRECTION_PAIRS, self.patterns)
+            if pat.value(ctx) == 1
+        ]
+
+    def connected_group(self, start: Direction, ctx: int) -> set[Direction]:
+        """Terminals electrically joined to ``start`` in ``ctx``.
+
+        A diamond can connect one incoming line to up to three others —
+        this computes the transitive group through conducting pairs.
+        """
+        group = {start}
+        changed = True
+        while changed:
+            changed = False
+            for a, b in self.connections(ctx):
+                if a in group and b not in group:
+                    group.add(b)
+                    changed = True
+                elif b in group and a not in group:
+                    group.add(a)
+                    changed = True
+        return group
+
+    def fanout_ok(self, ctx: int) -> bool:
+        """Check the paper's constraint: a line connects to at most the
+        other three directions (always true with 4 terminals) and no pair
+        is redundantly on through two paths — i.e. the conducting pairs
+        form a forest (no cycle wastes pass-gates)."""
+        edges = self.connections(ctx)
+        parent: dict[Direction, Direction] = {d: d for d in Direction}
+
+        def find(x: Direction) -> Direction:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in edges:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return False
+            parent[ra] = rb
+        return True
+
+    def se_elements(self) -> list[SwitchElement]:
+        """Materialize the six SEs at a given instant (for structural sims).
+
+        The decoder side lives in the RCM bank; here each SE only carries
+        its pass-gate role, so configs are placeholders refreshed per
+        context by the fabric model.
+        """
+        return [SwitchElement(SEConfig(), name=f"{self.name}.SE{i}") for i in range(6)]
+
+    def decoder_patterns(self) -> list[ContextPattern]:
+        """The six patterns the RCM must decode (U1..U6 of Fig. 11)."""
+        return list(self.patterns)

@@ -1,0 +1,123 @@
+"""Ferroelectric-based functional pass-gate (FePG) device model (Fig. 15).
+
+An FePG merges logic and storage: two configuration values ``d1``/``d0``
+live in non-volatile ferroelectric capacitors, and the device computes
+the same gate function as a CMOS switch element::
+
+    G = U   if d1 == 1
+    G = d0  if d1 == 0
+
+(Fig. 15(c) truth table: (d1,d0)=(0,0) -> G=0; (0,1) -> G=1; (1,*) -> G=U.)
+
+The paper uses FePGs as drop-in SE replacements at 50% of the CMOS SE
+area, with zero static power because storage is non-volatile.  We model:
+
+- the truth table (behavioral equivalence with :class:`SwitchElement`),
+- the write protocol through word line (WL) / bit line (BL) / restore
+  line (RL) — enough to simulate non-volatile reconfiguration cycles,
+- retention across power-down (the defining FeRAM property),
+- a bounded write-endurance counter, since ferroelectric fatigue is the
+  practical limit of FeRAM-configured fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.switch_element import FLOATING, SEConfig
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class FePGCell:
+    """One non-volatile ferroelectric storage cell.
+
+    Polarization is the stored bit; it survives :meth:`power_down`.
+    """
+
+    polarization: int = 0
+    writes: int = 0
+    endurance: int = 10**12  # typical FeRAM endurance, switch events
+
+    def write(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ConfigurationError(f"FePG cell value must be 0/1, got {value!r}")
+        if self.writes >= self.endurance:
+            raise SimulationError("FePG cell exceeded write endurance")
+        if value != self.polarization:
+            self.writes += 1
+        self.polarization = value
+
+    def read(self) -> int:
+        return self.polarization
+
+
+@dataclass
+class FePG:
+    """A functional pass-gate with two ferroelectric cells (d1, d0).
+
+    Behaviorally identical to a CMOS :class:`~repro.core.switch_element.
+    SwitchElement`; the difference the library tracks is area (50% of the
+    CMOS SE, Section 5) and static power (zero when idle).
+    """
+
+    d1: FePGCell = field(default_factory=FePGCell)
+    d0: FePGCell = field(default_factory=FePGCell)
+    powered: bool = True
+
+    # -- configuration ------------------------------------------------- #
+    def program(self, d1: int, d0: int) -> None:
+        """Write both cells through the WL/BL port."""
+        if not self.powered:
+            raise SimulationError("cannot program a powered-down FePG")
+        self.d1.write(d1)
+        self.d0.write(d0)
+
+    def program_config(self, config: SEConfig) -> None:
+        """Program from an SE configuration (drop-in SE replacement)."""
+        self.program(config.d1, config.d0)
+
+    def as_se_config(self) -> SEConfig:
+        return SEConfig(d1=self.d1.read(), d0=self.d0.read())
+
+    # -- power --------------------------------------------------------- #
+    def power_down(self) -> None:
+        """Remove power; polarization (configuration) is retained."""
+        self.powered = False
+
+    def power_up(self) -> None:
+        self.powered = True
+
+    # -- logic (Fig. 15(c)) --------------------------------------------- #
+    def gate_signal(self, u: int = 0) -> int:
+        if not self.powered:
+            raise SimulationError("FePG evaluated while powered down")
+        if self.d1.read() == 0:
+            return self.d0.read()
+        if u == FLOATING:
+            return FLOATING
+        if u not in (0, 1):
+            raise ConfigurationError(f"FePG input must be 0/1/FLOATING, got {u!r}")
+        return u
+
+    def pass_value(self, a: int, u: int = 0) -> int:
+        g = self.gate_signal(u)
+        return a if g == 1 else FLOATING
+
+    def static_power(self) -> float:
+        """Static power in arbitrary units; non-volatile storage draws none.
+
+        The CMOS SE baseline leaks through its two SRAM cells; the area
+        model uses this hook for the power comparison bench.
+        """
+        return 0.0
+
+
+def fepg_truth_table() -> list[tuple[int, int, int | str, int | str]]:
+    """Fig. 15(c): ``(d1, d0, U, G)`` rows; 'U' means G follows U."""
+    return [
+        (0, 0, "x", 0),
+        (0, 1, "x", 1),
+        (1, 0, "U", "U"),
+        (1, 1, "U", "U"),
+    ]

@@ -1,0 +1,239 @@
+"""The full multi-context FPGA device model.
+
+:class:`MultiContextFPGA` ties the pieces together: a grid of adaptive
+logic blocks, the routing fabric (RRG), per-context configuration, and
+single-cycle context switching.  A configured device can
+
+- evaluate any context like hardware would (LUT lookups over routed
+  connectivity — *not* by re-running the source netlist, so bitstream
+  and routing bugs are caught),
+- switch contexts and report how many configuration bits flip,
+- report the measured pattern statistics and feed the area model.
+
+The configuration source is a mapped program: one placement + routing
+per context (see :mod:`repro.analysis.experiments` for the one-call
+flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.geometry import Coord
+from repro.arch.params import ArchParams
+from repro.arch.rrg import RoutingResourceGraph, build_rrg
+from repro.core.bitstream import BitstreamStats, extract_bitstream_stats
+from repro.core.logic_block import AdaptiveLogicBlock, SizeControl
+from repro.core.mcmg_lut import MCMGGeometry
+from repro.errors import ConfigurationError, SimulationError
+from repro.netlist.dfg import MultiContextProgram
+from repro.netlist.netlist import CellKind
+from repro.place.placer import Placement
+from repro.route.pathfinder import RouteResult
+
+
+@dataclass
+class ConfiguredContext:
+    """Everything the device stores for one context."""
+
+    netlist_name: str
+    #: tile -> (cell name, truth table array, n_inputs)
+    lut_config: dict[Coord, tuple[str, np.ndarray, int]] = field(default_factory=dict)
+    #: net name -> (driver kind, driver tile/pad, sink list)
+    connectivity: dict[str, dict] = field(default_factory=dict)
+
+
+class MultiContextFPGA:
+    """A behavioral MC-FPGA instance."""
+
+    def __init__(self, params: ArchParams, build_graph: bool = True) -> None:
+        self.params = params
+        self.geometry: MCMGGeometry = params.lut_geometry()
+        control = (
+            SizeControl.LOCAL if params.adaptive_logic_blocks else SizeControl.GLOBAL
+        )
+        self.logic_blocks: dict[Coord, AdaptiveLogicBlock] = {}
+        for y in range(params.rows):
+            for x in range(params.cols):
+                c = Coord(x, y)
+                self.logic_blocks[c] = AdaptiveLogicBlock(
+                    self.geometry, control, name=f"LB{c}"
+                )
+        self.rrg: RoutingResourceGraph | None = build_rrg(params) if build_graph else None
+        self.contexts: dict[int, ConfiguredContext] = {}
+        self.active_context = 0
+        self._program: MultiContextProgram | None = None
+        self._placements: list[Placement] | None = None
+        self._routes: list[RouteResult] | None = None
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def configure_program(
+        self,
+        program: MultiContextProgram,
+        placements: list[Placement],
+        routes: list[RouteResult] | None = None,
+    ) -> None:
+        """Load a mapped program (one placement per context)."""
+        if program.n_contexts > self.params.n_contexts:
+            raise ConfigurationError(
+                f"program has {program.n_contexts} contexts, device has "
+                f"{self.params.n_contexts}"
+            )
+        if len(placements) != program.n_contexts:
+            raise ConfigurationError("one placement per context required")
+        self._program = program
+        self._placements = placements
+        self._routes = routes
+        self.contexts.clear()
+        k = self.params.lut_inputs
+        for c, (netlist, placement) in enumerate(zip(program.contexts, placements)):
+            ctx = ConfiguredContext(netlist.name)
+            for cell in netlist.cells.values():
+                if cell.kind is not CellKind.LUT:
+                    continue
+                coord = placement.cells[cell.name]
+                if cell.table.n_inputs > k:
+                    raise ConfigurationError(
+                        f"cell {cell.name!r}: {cell.table.n_inputs} inputs "
+                        f"exceed physical LUT size {k}"
+                    )
+                ctx.lut_config[coord] = (
+                    cell.name,
+                    cell.table.to_array(),
+                    cell.table.n_inputs,
+                )
+            # connectivity: net -> driver + sinks, resolved to tiles
+            for net, driver_name in netlist.net_driver.items():
+                driver = netlist.cells[driver_name]
+                sinks = []
+                for s in netlist.cells.values():
+                    for slot, in_net in enumerate(s.inputs):
+                        if in_net == net:
+                            sinks.append((s.name, s.kind.value, slot))
+                ctx.connectivity[net] = {
+                    "driver": driver_name,
+                    "driver_kind": driver.kind.value,
+                    "sinks": sinks,
+                }
+            self.contexts[c] = ctx
+
+        # program the logic blocks (planes per context)
+        for coord, lb in self.logic_blocks.items():
+            lb.lut.memory[:] = 0
+        for c, ctx in self.contexts.items():
+            for coord, (cell_name, table, n_in) in ctx.lut_config.items():
+                lb = self.logic_blocks[coord]
+                plane_bits = 1 << self.params.lut_inputs
+                padded = np.zeros(plane_bits, dtype=np.uint8)
+                reps = plane_bits // table.size
+                padded[:] = np.tile(table, reps)
+                plane = lb.lut.plane_for_context(c)
+                lb.lut.load_plane(plane, padded, output=0)
+
+    # ------------------------------------------------------------------ #
+    # context switching
+    # ------------------------------------------------------------------ #
+    def switch_context(self, ctx: int) -> int:
+        """Activate a context; returns the number of LUT config bits that
+        effectively change (the dynamic-reconfiguration cost)."""
+        if not 0 <= ctx < self.params.n_contexts:
+            raise ConfigurationError(f"context {ctx} out of range")
+        flips = 0
+        for coord, lb in self.logic_blocks.items():
+            old = lb.lut.truth_table(self.active_context)
+            new = lb.lut.truth_table(ctx)
+            flips += int(np.count_nonzero(old != new))
+        self.active_context = ctx
+        return flips
+
+    # ------------------------------------------------------------------ #
+    # evaluation (fabric-level: LUT lookups over stored planes)
+    # ------------------------------------------------------------------ #
+    def evaluate(self, ctx: int, inputs: dict[str, int]) -> dict[str, int]:
+        """Evaluate a context's primary outputs from stored configuration.
+
+        Walks the configured connectivity in topological order, reading
+        each tile's *stored plane* (not the source netlist) — so a wrong
+        plane load or placement shows up as a functional mismatch.
+        """
+        if ctx not in self.contexts:
+            raise SimulationError(f"context {ctx} is not configured")
+        if self._program is None:
+            raise SimulationError("device is not configured")
+        netlist = self._program.contexts[ctx]
+        placement = self._placements[ctx]
+        values: dict[str, int] = {}
+        for cell in netlist.inputs():
+            if cell.output not in inputs and cell.name not in inputs:
+                raise SimulationError(f"missing value for input {cell.name!r}")
+            values[cell.output] = inputs.get(cell.output, inputs.get(cell.name, 0))
+        for cell in netlist.dffs():
+            values[cell.output] = 0
+        for name in netlist.topo_order():
+            cell = netlist.cells[name]
+            if cell.kind is not CellKind.LUT:
+                continue
+            coord = placement.cells[cell.name]
+            lb = self.logic_blocks[coord]
+            word = 0
+            for j, net in enumerate(cell.inputs):
+                word |= values[net] << j
+            values[cell.output] = lb.lut.evaluate(ctx, word)
+        return {
+            c.name: values[c.inputs[0]] for c in netlist.outputs()
+        }
+
+    def verify_against_source(self, ctx: int, n_vectors: int = 32, seed: int = 0) -> None:
+        """Random-vector equivalence: fabric evaluation vs source netlist."""
+        if self._program is None:
+            raise SimulationError("device is not configured")
+        rng = np.random.default_rng(seed)
+        netlist = self._program.contexts[ctx]
+        in_names = [c.name for c in netlist.inputs()]
+        for _ in range(n_vectors):
+            vec = {n: int(rng.integers(2)) for n in in_names}
+            want = netlist.evaluate_outputs(vec)
+            got = self.evaluate(ctx, vec)
+            if want != got:
+                raise SimulationError(
+                    f"context {ctx} fabric mismatch on {vec}: "
+                    f"fabric={got} netlist={want}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # analysis hooks
+    # ------------------------------------------------------------------ #
+    def bitstream_stats(self) -> BitstreamStats:
+        if (
+            self._program is None
+            or self._placements is None
+            or self._routes is None
+            or self.rrg is None
+        ):
+            raise SimulationError("need a fully routed configuration for stats")
+        return extract_bitstream_stats(
+            self.rrg, self._program, self._placements, self._routes, self.params
+        )
+
+    def utilization(self) -> dict[str, float]:
+        used_tiles = set()
+        for ctx in self.contexts.values():
+            used_tiles.update(ctx.lut_config.keys())
+        return {
+            "tiles": self.params.n_tiles,
+            "tiles_used": len(used_tiles),
+            "utilization": len(used_tiles) / self.params.n_tiles,
+            "contexts_configured": len(self.contexts),
+        }
+
+    def distinct_planes_histogram(self) -> dict[int, int]:
+        """How many tiles need 1, 2, ... distinct planes (Fig. 12 payoff)."""
+        hist: dict[int, int] = {}
+        for lb in self.logic_blocks.values():
+            d = lb.lut.distinct_planes(output=0)
+            hist[d] = hist.get(d, 0) + 1
+        return hist

@@ -1,0 +1,331 @@
+"""Context-pattern algebra (paper Sections 2, Figs. 3-5, Table 2).
+
+A *context pattern* is the sequence of values a single configuration bit
+takes across the ``n = 2**k`` contexts of a multi-context FPGA.  Because
+the context is selected by ``k`` context-ID bits ``S_{k-1} .. S_0`` with
+``S_j = (ctx >> j) & 1`` (paper Table 2), a pattern is exactly a boolean
+function of the ID bits.  The paper's observation is that real
+configuration data is dominated by three cheap classes:
+
+- :attr:`PatternClass.CONSTANT` — the bit never changes (Fig. 3);
+  one memory bit suffices.
+- :attr:`PatternClass.LITERAL` — the bit equals one ID bit or its
+  complement (Fig. 4); a wire plus an optional inverter suffices.
+- :attr:`PatternClass.GENERAL` — everything else (Fig. 5); needs a
+  2:1-mux tree over the ID bits.
+
+Patterns are stored as int bitmasks: bit ``c`` of :attr:`ContextPattern.mask`
+is the configuration-bit value in context ``c``.  For four contexts the
+paper's ``(C3, C2, C1, C0)`` row notation corresponds to the mask read
+MSB-to-LSB, e.g. ``(1, 0, 0, 0)`` (Fig. 9) is ``mask == 0b1000``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import ArchitectureError
+from repro.utils.bitops import bit, clog2, is_pow2, mask as ones, popcount
+
+
+class PatternClass(enum.Enum):
+    """Hardware-cost class of a context pattern (paper Figs. 3-5)."""
+
+    CONSTANT = "constant"
+    LITERAL = "literal"
+    GENERAL = "general"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def context_id_bits(ctx: int, n_id_bits: int) -> tuple[int, ...]:
+    """Return ``(S_{k-1}, ..., S_0)`` for context ``ctx`` (Table 2).
+
+    >>> context_id_bits(2, 2)   # context 2 -> S1=1, S0=0
+    (1, 0)
+    """
+    if not 0 <= ctx < (1 << n_id_bits):
+        raise ArchitectureError(f"context {ctx} out of range for {n_id_bits} ID bits")
+    return tuple((ctx >> j) & 1 for j in reversed(range(n_id_bits)))
+
+
+def id_bit_pattern_mask(bit_index: int, n_contexts: int, inverted: bool = False) -> int:
+    """Mask of the pattern that tracks ID bit ``S_{bit_index}``.
+
+    For 4 contexts: ``S0 -> 0b1010`` (contexts 1 and 3), ``S1 -> 0b1100``
+    (contexts 2 and 3) — i.e. Table 2 rows.
+    """
+    m = 0
+    for c in range(n_contexts):
+        v = (c >> bit_index) & 1
+        if inverted:
+            v ^= 1
+        m |= v << c
+    return m
+
+
+@dataclass(frozen=True)
+class ContextPattern:
+    """A configuration bit's value across all contexts.
+
+    Attributes
+    ----------
+    mask:
+        Bit ``c`` is the configuration value in context ``c``.
+    n_contexts:
+        Number of contexts; must be a power of two.
+    """
+
+    mask: int
+    n_contexts: int
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.n_contexts):
+            raise ArchitectureError(
+                f"n_contexts must be a power of two, got {self.n_contexts}"
+            )
+        if not 0 <= self.mask <= ones(self.n_contexts):
+            raise ArchitectureError(
+                f"mask {self.mask:#x} out of range for {self.n_contexts} contexts"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "ContextPattern":
+        """Build from per-context values, index ``c`` = context ``c``.
+
+        >>> ContextPattern.from_values([0, 0, 0, 1]).mask
+        8
+        """
+        m = 0
+        for c, v in enumerate(values):
+            if v not in (0, 1):
+                raise ArchitectureError(f"pattern values must be 0/1, got {v!r}")
+            m |= v << c
+        return cls(m, len(values))
+
+    @classmethod
+    def from_paper_row(cls, row: Sequence[int]) -> "ContextPattern":
+        """Build from the paper's ``(C_{n-1}, ..., C_0)`` row notation.
+
+        >>> ContextPattern.from_paper_row((1, 0, 0, 0)).mask   # Fig. 9
+        8
+        """
+        return cls.from_values(list(reversed(list(row))))
+
+    @classmethod
+    def constant(cls, value: int, n_contexts: int) -> "ContextPattern":
+        """The all-``value`` pattern (Fig. 3)."""
+        if value not in (0, 1):
+            raise ArchitectureError(f"constant value must be 0/1, got {value!r}")
+        return cls(ones(n_contexts) if value else 0, n_contexts)
+
+    @classmethod
+    def literal(cls, bit_index: int, n_contexts: int, inverted: bool = False) -> "ContextPattern":
+        """The pattern equal to ID bit ``S_{bit_index}`` (or its complement)."""
+        k = clog2(n_contexts)
+        if not 0 <= bit_index < k:
+            raise ArchitectureError(
+                f"ID bit index {bit_index} out of range for {n_contexts} contexts"
+            )
+        return cls(id_bit_pattern_mask(bit_index, n_contexts, inverted), n_contexts)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_id_bits(self) -> int:
+        """Number of context-ID bits ``k = log2(n_contexts)``."""
+        return clog2(self.n_contexts)
+
+    def value(self, ctx: int) -> int:
+        """Configuration-bit value in context ``ctx``."""
+        if not 0 <= ctx < self.n_contexts:
+            raise ArchitectureError(f"context {ctx} out of range")
+        return bit(self.mask, ctx)
+
+    def values(self) -> tuple[int, ...]:
+        """Per-context values, index = context number."""
+        return tuple(bit(self.mask, c) for c in range(self.n_contexts))
+
+    def paper_row(self) -> tuple[int, ...]:
+        """Values in the paper's ``(C_{n-1}, ..., C_0)`` order."""
+        return tuple(reversed(self.values()))
+
+    def n_changes(self) -> int:
+        """Number of contexts whose value differs from the previous context.
+
+        This is the per-bit version of the "percentage of changes in
+        configuration data between contexts" the evaluation section keys on.
+        Context switching is cyclic in a DPGA schedule, so the count wraps.
+        """
+        vals = self.values()
+        return sum(vals[c] != vals[c - 1] for c in range(self.n_contexts))
+
+    def is_constant(self) -> bool:
+        return self.mask == 0 or self.mask == ones(self.n_contexts)
+
+    def support(self) -> tuple[int, ...]:
+        """ID bits the pattern actually depends on.
+
+        >>> ContextPattern.literal(1, 4).support()
+        (1,)
+        """
+        deps = []
+        for j in range(self.n_id_bits):
+            for c in range(self.n_contexts):
+                if not (c >> j) & 1:
+                    # compare cofactors f|S_j=0 vs f|S_j=1
+                    if bit(self.mask, c) != bit(self.mask, c | (1 << j)):
+                        deps.append(j)
+                        break
+        return tuple(deps)
+
+    def literal_form(self) -> tuple[int, bool] | None:
+        """If the pattern is exactly ``S_j`` or ``~S_j``, return ``(j, inverted)``."""
+        for j in range(self.n_id_bits):
+            if self.mask == id_bit_pattern_mask(j, self.n_contexts, False):
+                return (j, False)
+            if self.mask == id_bit_pattern_mask(j, self.n_contexts, True):
+                return (j, True)
+        return None
+
+    def classify(self) -> PatternClass:
+        """Classify into the paper's three hardware classes (Figs. 3-5)."""
+        return classify_mask(self.mask, self.n_contexts)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def invert(self) -> "ContextPattern":
+        """Bitwise complement (the input controller ``C`` of Fig. 7(c))."""
+        return ContextPattern(self.mask ^ ones(self.n_contexts), self.n_contexts)
+
+    def cofactor(self, bit_index: int, value: int) -> "ContextPattern":
+        """Shannon cofactor: restrict ID bit ``S_{bit_index}`` to ``value``.
+
+        The result is a pattern over ``n_contexts // 2`` contexts (the
+        remaining ID bits, re-packed densely).
+        """
+        if not 0 <= bit_index < self.n_id_bits:
+            raise ArchitectureError(f"ID bit {bit_index} out of range")
+        if value not in (0, 1):
+            raise ArchitectureError(f"cofactor value must be 0/1, got {value!r}")
+        sub_vals = []
+        for c in range(self.n_contexts):
+            if (c >> bit_index) & 1 == value:
+                sub_vals.append(bit(self.mask, c))
+        return ContextPattern.from_values(sub_vals)
+
+    def mux(self, bit_index: int, when0: "ContextPattern", when1: "ContextPattern") -> None:
+        raise NotImplementedError("use patterns.shannon_compose")
+
+    def __and__(self, other: "ContextPattern") -> "ContextPattern":
+        self._check_compat(other)
+        return ContextPattern(self.mask & other.mask, self.n_contexts)
+
+    def __or__(self, other: "ContextPattern") -> "ContextPattern":
+        self._check_compat(other)
+        return ContextPattern(self.mask | other.mask, self.n_contexts)
+
+    def __xor__(self, other: "ContextPattern") -> "ContextPattern":
+        self._check_compat(other)
+        return ContextPattern(self.mask ^ other.mask, self.n_contexts)
+
+    def _check_compat(self, other: "ContextPattern") -> None:
+        if self.n_contexts != other.n_contexts:
+            raise ArchitectureError(
+                f"pattern context counts differ: {self.n_contexts} vs {other.n_contexts}"
+            )
+
+    def __str__(self) -> str:
+        row = "".join(str(v) for v in self.paper_row())
+        return f"ContextPattern({row}, class={self.classify()})"
+
+
+def shannon_compose(
+    bit_index: int, when0: ContextPattern, when1: ContextPattern, n_contexts: int
+) -> ContextPattern:
+    """Inverse of :meth:`ContextPattern.cofactor`: ``S_j ? when1 : when0``.
+
+    ``when0``/``when1`` are patterns over ``n_contexts // 2`` contexts.
+    """
+    if when0.n_contexts * 2 != n_contexts or when1.n_contexts * 2 != n_contexts:
+        raise ArchitectureError("cofactor sizes do not match target context count")
+    vals = []
+    for c in range(n_contexts):
+        sel = (c >> bit_index) & 1
+        # index within the cofactor: drop bit `bit_index` from c
+        low = c & ((1 << bit_index) - 1)
+        high = (c >> (bit_index + 1)) << bit_index
+        sub = high | low
+        vals.append((when1 if sel else when0).value(sub))
+    return ContextPattern.from_values(vals)
+
+
+@lru_cache(maxsize=None)
+def classify_mask(mask_value: int, n_contexts: int) -> PatternClass:
+    """Classify a raw mask without building a ``ContextPattern``."""
+    if mask_value == 0 or mask_value == ones(n_contexts):
+        return PatternClass.CONSTANT
+    k = clog2(n_contexts)
+    for j in range(k):
+        plain = id_bit_pattern_mask(j, n_contexts, False)
+        if mask_value == plain or mask_value == plain ^ ones(n_contexts):
+            return PatternClass.LITERAL
+    return PatternClass.GENERAL
+
+
+def all_patterns(n_contexts: int) -> Iterator[ContextPattern]:
+    """Enumerate all ``2**n_contexts`` patterns (16 for four contexts)."""
+    for m in range(1 << n_contexts):
+        yield ContextPattern(m, n_contexts)
+
+
+def class_census(n_contexts: int) -> dict[PatternClass, int]:
+    """Count patterns per class; for 4 contexts this is Figs. 3/4/5: 2/4/10.
+
+    >>> class_census(4)[PatternClass.GENERAL]
+    10
+    """
+    census: dict[PatternClass, int] = {c: 0 for c in PatternClass}
+    for p in all_patterns(n_contexts):
+        census[p.classify()] += 1
+    return census
+
+
+def classify_many(masks: Iterable[int], n_contexts: int) -> dict[PatternClass, int]:
+    """Histogram of classes over an iterable of pattern masks.
+
+    This is the workhorse for bitstream analysis (Table 1 statistics).
+    """
+    census: dict[PatternClass, int] = {c: 0 for c in PatternClass}
+    for m in masks:
+        census[classify_mask(m, n_contexts)] += 1
+    return census
+
+
+# Named patterns from the paper, handy for tests and examples -------------- #
+
+#: Table 1 example configuration data as (C3,C2,C1,C0) rows.  The prose
+#: pins down G3/G9 (constant), and G2 == G4 repeating in order (0,1)
+#: (a LITERAL pattern); G1 is illustrative (the scan is ambiguous) and is
+#: chosen GENERAL so the example exercises all three classes.
+TABLE1_ROWS: dict[str, tuple[int, int, int, int]] = {
+    "G1": (0, 1, 1, 0),
+    "G2": (0, 1, 0, 1),
+    "G3": (0, 0, 0, 0),
+    "G4": (0, 1, 0, 1),
+    "G9": (1, 1, 1, 1),
+}
+
+
+def table1_patterns() -> dict[str, ContextPattern]:
+    """The paper's Table 1 rows as patterns."""
+    return {name: ContextPattern.from_paper_row(row) for name, row in TABLE1_ROWS.items()}

@@ -1,0 +1,333 @@
+"""Reconfigurable context memory (RCM) block — paper Fig. 7.
+
+The RCM is a fine-grained fabric of three primitives:
+
+- **switch elements (SE)** — pass-gate + 2:1 mux + two memory bits
+  (:mod:`repro.core.switch_element`),
+- **programmable switches (P)** — statically programmed pass-gates that
+  join a vertical track to a horizontal track (Fig. 7(b)),
+- **input controllers (C)** — programmable inverters on block inputs
+  (Fig. 7(c)), used mainly to derive ``~S_j`` from a context-ID bit.
+
+This module models an RCM block *structurally*: components are attached
+to named nets and the block is evaluated by relaxation to a fixpoint —
+ON pass-gates merge nets, merged groups adopt the value of their driver,
+gate signals are recomputed from net values, and the process repeats
+until stable.  Contention (two different driver values shorted together)
+and oscillation raise :class:`~repro.errors.SimulationError`; this is how
+the unit tests prove that synthesized decoders (Fig. 9) are electrically
+well-formed, not just logically correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.switch_element import FLOATING, SEConfig, SwitchElement
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+
+GND = "GND"
+VDD = "VDD"
+
+
+@dataclass
+class InputController:
+    """Programmable inverter on a block input (Fig. 7(c)).
+
+    Directed: drives ``out_net`` with ``in_net`` xor ``invert``.
+    """
+
+    in_net: int
+    out_net: int
+    invert: bool = False
+    name: str = "C"
+
+
+@dataclass
+class PSwitch:
+    """Statically programmed track-joining switch (Fig. 7(b))."""
+
+    a: int
+    b: int
+    on: bool = False
+    name: str = "P"
+
+
+@dataclass
+class PlacedSE:
+    """A switch element attached to block nets.
+
+    ``u`` is the variable (mux) input net, or ``None`` when unused; the
+    pass-gate connects nets ``a`` and ``b`` when the gate signal is 1.
+    """
+
+    element: SwitchElement
+    a: int
+    b: int
+    u: int | None = None
+
+    @property
+    def config(self) -> SEConfig:
+        return self.element.config
+
+
+@dataclass
+class RCMEvaluation:
+    """Result of one block evaluation."""
+
+    net_values: dict[int, int]
+    iterations: int
+
+    def value(self, net: int) -> int:
+        return self.net_values[net]
+
+
+class RCMBlock:
+    """One reconfigurable-context-memory block.
+
+    Parameters
+    ----------
+    n_id_bits:
+        Context-ID width ``k``; the block exposes input nets ``S0..S{k-1}``
+        and (through input controllers) their complements.
+    max_ses, max_pswitches, max_controllers:
+        Physical capacity; exceeding any raises
+        :class:`~repro.errors.CapacityError`.  ``None`` means unbounded
+        (useful for synthesis experiments that *measure* required capacity).
+    """
+
+    def __init__(
+        self,
+        n_id_bits: int = 2,
+        max_ses: int | None = None,
+        max_pswitches: int | None = None,
+        max_controllers: int | None = None,
+    ) -> None:
+        if n_id_bits < 0:
+            raise ConfigurationError(f"n_id_bits must be >= 0, got {n_id_bits}")
+        self.n_id_bits = n_id_bits
+        self.max_ses = max_ses
+        self.max_pswitches = max_pswitches
+        self.max_controllers = max_controllers
+
+        self._net_names: list[str] = []
+        self._net_ids: dict[str, int] = {}
+        self.ses: list[PlacedSE] = []
+        self.pswitches: list[PSwitch] = []
+        self.controllers: list[InputController] = []
+        self._inputs: dict[str, int] = {}
+
+        # Power/ground rails are always present.
+        self._gnd = self.new_net(GND)
+        self._vdd = self.new_net(VDD)
+
+        # Context-ID inputs and their inverted forms (via C controllers).
+        self._id_nets: list[int] = []
+        self._id_inv_nets: list[int] = []
+        for j in range(n_id_bits):
+            nid = self.add_input(f"S{j}")
+            self._id_nets.append(nid)
+            inv = self.new_net(f"~S{j}")
+            self._add_controller(nid, inv, invert=True, name=f"C_S{j}")
+            self._id_inv_nets.append(inv)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def new_net(self, name: str | None = None) -> int:
+        nid = len(self._net_names)
+        if name is None:
+            name = f"n{nid}"
+        if name in self._net_ids:
+            raise ConfigurationError(f"duplicate net name {name!r}")
+        self._net_names.append(name)
+        self._net_ids[name] = nid
+        return nid
+
+    def add_input(self, name: str) -> int:
+        nid = self.new_net(name)
+        self._inputs[name] = nid
+        return nid
+
+    def _add_controller(self, in_net: int, out_net: int, invert: bool, name: str) -> InputController:
+        if self.max_controllers is not None and len(self.controllers) >= self.max_controllers:
+            raise CapacityError(f"RCM block out of input controllers (max {self.max_controllers})")
+        c = InputController(in_net, out_net, invert, name)
+        self.controllers.append(c)
+        return c
+
+    def add_controller(self, in_net: int, invert: bool = True, name: str | None = None) -> int:
+        """Attach an input controller; returns its output net."""
+        out = self.new_net(name)
+        self._add_controller(in_net, out, invert, name or f"C{len(self.controllers)}")
+        return out
+
+    def add_pswitch(self, a: int, b: int, on: bool = False) -> PSwitch:
+        if self.max_pswitches is not None and len(self.pswitches) >= self.max_pswitches:
+            raise CapacityError(f"RCM block out of P switches (max {self.max_pswitches})")
+        self._check_net(a)
+        self._check_net(b)
+        p = PSwitch(a, b, on, name=f"P{len(self.pswitches)}")
+        self.pswitches.append(p)
+        return p
+
+    def add_se(self, a: int, b: int, u: int | None = None, config: SEConfig | None = None) -> PlacedSE:
+        """Place a switch element with pass-gate between nets ``a``/``b``."""
+        if self.max_ses is not None and len(self.ses) >= self.max_ses:
+            raise CapacityError(f"RCM block out of switch elements (max {self.max_ses})")
+        self._check_net(a)
+        self._check_net(b)
+        if u is not None:
+            self._check_net(u)
+        cfg = config if config is not None else SEConfig()
+        se = PlacedSE(SwitchElement(cfg, name=f"SE{len(self.ses)}"), a=a, b=b, u=u)
+        self.ses.append(se)
+        return se
+
+    def _check_net(self, nid: int) -> None:
+        if not 0 <= nid < len(self._net_names):
+            raise ConfigurationError(f"net id {nid} does not exist")
+
+    # ------------------------------------------------------------------ #
+    # named accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def gnd(self) -> int:
+        return self._gnd
+
+    @property
+    def vdd(self) -> int:
+        return self._vdd
+
+    def rail(self, value: int) -> int:
+        """Net id of the constant-``value`` rail."""
+        if value not in (0, 1):
+            raise ConfigurationError(f"rail value must be 0/1, got {value!r}")
+        return self._vdd if value else self._gnd
+
+    def id_net(self, bit_index: int, inverted: bool = False) -> int:
+        """Net carrying context-ID bit ``S_{bit_index}`` (or its complement)."""
+        if not 0 <= bit_index < self.n_id_bits:
+            raise ConfigurationError(f"ID bit {bit_index} out of range")
+        return self._id_inv_nets[bit_index] if inverted else self._id_nets[bit_index]
+
+    def net_name(self, nid: int) -> str:
+        return self._net_names[nid]
+
+    @property
+    def n_nets(self) -> int:
+        return len(self._net_names)
+
+    def se_count(self) -> int:
+        return len(self.ses)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        context: int | None = None,
+        inputs: dict[str, int] | None = None,
+        max_iterations: int | None = None,
+    ) -> RCMEvaluation:
+        """Relax the block to a fixpoint and return all net values.
+
+        ``context`` sets the ID-bit inputs per Table 2 (``S_j = (ctx>>j)&1``);
+        additional user inputs may be given by name in ``inputs``.
+        """
+        values: list[int] = [FLOATING] * self.n_nets
+        driver_values: dict[int, int] = {self._gnd: 0, self._vdd: 1}
+
+        provided = dict(inputs or {})
+        if context is not None:
+            if not 0 <= context < (1 << self.n_id_bits):
+                raise ConfigurationError(
+                    f"context {context} out of range for {self.n_id_bits} ID bits"
+                )
+            for j in range(self.n_id_bits):
+                provided.setdefault(f"S{j}", (context >> j) & 1)
+
+        for name, v in provided.items():
+            if name not in self._inputs:
+                raise ConfigurationError(f"unknown input {name!r}")
+            if v not in (0, 1):
+                raise ConfigurationError(f"input {name!r} must be 0/1, got {v!r}")
+            driver_values[self._inputs[name]] = v
+
+        limit = max_iterations or (4 + 2 * (len(self.ses) + len(self.controllers)))
+        for iteration in range(1, limit + 1):
+            new_values = self._relax_once(values, driver_values)
+            if new_values == values:
+                return RCMEvaluation(dict(enumerate(values)), iteration)
+            values = new_values
+        raise SimulationError(
+            f"RCM block did not reach a fixpoint within {limit} iterations "
+            "(combinational loop through pass-gates?)"
+        )
+
+    def _relax_once(self, values: list[int], driver_values: dict[int, int]) -> list[int]:
+        # Input controllers are directed buffers evaluated from current values.
+        drivers = dict(driver_values)
+        for c in self.controllers:
+            src = drivers.get(c.in_net, values[c.in_net])
+            if src == FLOATING:
+                continue
+            drivers[c.out_net] = src ^ 1 if c.invert else src
+
+        # Union nets joined by conducting pass-gates.
+        parent = list(range(self.n_nets))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: int, y: int) -> None:
+            rx, ry = find(x), find(y)
+            if rx != ry:
+                parent[rx] = ry
+
+        for p in self.pswitches:
+            if p.on:
+                union(p.a, p.b)
+        for se in self.ses:
+            u = 0 if se.u is None else values[se.u]
+            if se.element.gate_signal(u) == 1:
+                union(se.a, se.b)
+
+        # Each connected component adopts its (unique) driver value.
+        component_value: dict[int, int] = {}
+        for nid, v in drivers.items():
+            root = find(nid)
+            prev = component_value.get(root)
+            if prev is not None and prev != v:
+                raise SimulationError(
+                    f"contention: nets shorted with conflicting drivers near "
+                    f"{self._net_names[nid]!r}"
+                )
+            component_value[root] = v
+
+        return [component_value.get(find(n), FLOATING) for n in range(self.n_nets)]
+
+    def read_pattern(self, net: int, n_contexts: int | None = None) -> tuple[int, ...]:
+        """Sweep all contexts and return the value of ``net`` in each.
+
+        The tuple is indexed by context number; converting with
+        :meth:`repro.core.patterns.ContextPattern.from_values` recovers the
+        generated configuration-bit pattern.
+        """
+        n = n_contexts if n_contexts is not None else (1 << self.n_id_bits)
+        out = []
+        for ctx in range(n):
+            out.append(self.evaluate(context=ctx).value(net))
+        return tuple(out)
+
+    def utilization(self) -> dict[str, int]:
+        """Component usage counters for area accounting."""
+        return {
+            "ses": len(self.ses),
+            "pswitches": len(self.pswitches),
+            "controllers": len(self.controllers),
+            "nets": self.n_nets,
+        }

@@ -1,0 +1,154 @@
+"""Context-ID reassignment: squeezing patterns into cheaper classes.
+
+The paper's conclusion defers "mapping tools that exploit regularity and
+redundancy of configuration bits" to future work.  This module builds
+one such tool: **context reordering**.
+
+A DPGA's context IDs are arbitrary labels — the sequencer can issue any
+ID sequence, so the mapping between *logical* contexts (the program's
+execution steps) and *physical* context IDs (the S-bit codes that drive
+the RCM decoders) is free.  But pattern class is *not* invariant under
+that mapping: the logical pattern ``(1, 0, 1, 0)`` is LITERAL under the
+identity assignment and a relabeling can make a GENERAL pattern LITERAL
+(e.g. logical ``0110`` — GENERAL — becomes ``0011 = S1`` if physical IDs
+are assigned in the order 1,2,0,3... ).  Choosing the assignment that
+minimizes total decoder cost is a pure post-processing win: no circuit,
+placement or routing changes, only the sequencer's ID schedule.
+
+Cost model: distinct patterns share one decoder (DecoderBank semantics),
+so the objective is ``sum over distinct permuted masks of
+decoder_cost(mask)``; an occurrence-weighted variant is provided for
+architectures without sharing.
+
+Search: exhaustive over ``n!`` assignments for n <= 4 (24 candidates);
+seeded steepest-descent over transpositions beyond that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.decoder_synth import decoder_cost
+from repro.errors import SynthesisError
+from repro.utils.bitops import is_pow2
+from repro.utils.rng import ensure_rng
+
+
+def permute_mask(mask: int, assignment: Sequence[int], n_contexts: int) -> int:
+    """Relabel contexts: bit ``assignment[c]`` of the result is bit ``c``
+    of ``mask`` — logical context ``c`` executes under physical ID
+    ``assignment[c]``."""
+    out = 0
+    for c in range(n_contexts):
+        if (mask >> c) & 1:
+            out |= 1 << assignment[c]
+    return out
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of a context-reordering search."""
+
+    assignment: tuple[int, ...]
+    cost_before: int
+    cost_after: int
+    n_contexts: int
+
+    @property
+    def saving(self) -> float:
+        if self.cost_before == 0:
+            return 0.0
+        return 1.0 - self.cost_after / self.cost_before
+
+    def physical_schedule(self) -> list[int]:
+        """Physical ID sequence the sequencer must issue so logical
+        contexts still execute in program order."""
+        return list(self.assignment)
+
+
+def bank_cost(masks: Iterable[int], n_contexts: int, share: bool = True) -> int:
+    """Total decoder SEs for a set of per-bit patterns.
+
+    With sharing, each distinct non-trivial pattern is synthesized once;
+    without, every occurrence pays full cost.  Constant patterns cost
+    nothing here (their SE is the switch itself, unaffected by order).
+    """
+    counter = Counter(m for m in masks)
+    total = 0
+    for mask, count in counter.items():
+        from repro.core.patterns import PatternClass, classify_mask
+
+        if classify_mask(mask, n_contexts) is PatternClass.CONSTANT:
+            continue
+        c = decoder_cost(mask, n_contexts)
+        total += c if share else c * count
+    return total
+
+
+def optimize_context_order(
+    masks: Iterable[int],
+    n_contexts: int,
+    share: bool = True,
+    seed: int | None = 0,
+    max_iterations: int = 200,
+) -> ReorderResult:
+    """Find a context-ID assignment minimizing total decoder cost.
+
+    Exhaustive for ``n_contexts <= 4``; steepest-descent over pairwise
+    transpositions (with a fixed seed for reproducibility) beyond.
+    """
+    if not is_pow2(n_contexts):
+        raise SynthesisError(f"n_contexts must be a power of two, got {n_contexts}")
+    mask_counter = Counter(masks)
+    identity = tuple(range(n_contexts))
+
+    def cost_of(assignment: Sequence[int]) -> int:
+        permuted: list[int] = []
+        for mask, count in mask_counter.items():
+            pm = permute_mask(mask, assignment, n_contexts)
+            permuted.extend([pm] * (1 if share else count))
+        return bank_cost(permuted, n_contexts, share=share)
+
+    base = cost_of(identity)
+
+    if n_contexts <= 4:
+        best, best_cost = identity, base
+        for perm in itertools.permutations(range(n_contexts)):
+            c = cost_of(perm)
+            if c < best_cost:
+                best, best_cost = perm, c
+        return ReorderResult(tuple(best), base, best_cost, n_contexts)
+
+    # steepest descent over transpositions
+    rng = ensure_rng(seed)
+    current = list(identity)
+    current_cost = base
+    for _ in range(max_iterations):
+        best_move = None
+        best_cost = current_cost
+        for i in range(n_contexts):
+            for j in range(i + 1, n_contexts):
+                current[i], current[j] = current[j], current[i]
+                c = cost_of(current)
+                current[i], current[j] = current[j], current[i]
+                if c < best_cost:
+                    best_cost = c
+                    best_move = (i, j)
+        if best_move is None:
+            break
+        i, j = best_move
+        current[i], current[j] = current[j], current[i]
+        current_cost = best_cost
+    return ReorderResult(tuple(current), base, current_cost, n_contexts)
+
+
+def reorder_program_masks(
+    masks: Iterable[int], result: ReorderResult
+) -> list[int]:
+    """Apply a reordering to a mask list (for downstream statistics)."""
+    return [
+        permute_mask(m, result.assignment, result.n_contexts) for m in masks
+    ]

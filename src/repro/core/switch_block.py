@@ -1,0 +1,160 @@
+"""RCM-based switch block (paper Section 3, Figs. 6-10).
+
+One switch block serves one tile: ``W`` diamond switches (one per
+channel track) whose 6 pair-connections each carry a per-context on/off
+pattern, decoded locally by a :class:`~repro.core.decoder_synth.
+DecoderBank` living in the tile's RCM.  Context-ID bits arrive on global
+wires (they are the bank's ``S_j`` inputs); everything else — decoder
+muxes, routing pass-gates — is switch elements.
+
+The block enforces the physical SE budget: decoders beyond capacity
+raise :class:`~repro.errors.CapacityError`, which is how architecture
+provisioning (``ArchParams.rcm_se_budget`` /
+``general_pool_fraction``) becomes a testable constraint instead of a
+hand-wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decoder_synth import BankStats, DecoderBank
+from repro.core.diamond import DIRECTION_PAIRS, DiamondSwitch, Direction
+from repro.core.patterns import ContextPattern, PatternClass
+from repro.core.rcm import RCMBlock
+from repro.errors import CapacityError, ConfigurationError
+from repro.utils.bitops import clog2
+
+
+@dataclass
+class SwitchBlockStats:
+    """Area-relevant usage counters of one programmed switch block."""
+
+    n_tracks: int
+    n_switch_bits: int
+    n_used_switch_bits: int
+    decoder_ses: int
+    routing_ses: int
+    bank: BankStats
+
+    @property
+    def total_ses(self) -> int:
+        return self.decoder_ses + self.routing_ses
+
+
+class RCMSwitchBlock:
+    """Switch block for one tile position.
+
+    Parameters
+    ----------
+    n_tracks:
+        Channel width W; one diamond switch per track.
+    n_contexts:
+        Configuration planes.
+    se_budget:
+        Physical SEs available for *decoders* (routing SEs are the
+        diamonds' own 6 x W pass-gates).  ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        n_tracks: int,
+        n_contexts: int = 4,
+        se_budget: int | None = None,
+        name: str = "SB",
+    ) -> None:
+        if n_tracks < 1:
+            raise ConfigurationError(f"n_tracks must be >= 1, got {n_tracks}")
+        self.n_tracks = n_tracks
+        self.n_contexts = n_contexts
+        self.se_budget = se_budget
+        self.name = name
+        self.diamonds = [
+            DiamondSwitch(n_contexts, name=f"{name}.d{t}") for t in range(n_tracks)
+        ]
+        k = clog2(n_contexts)
+        block = RCMBlock(n_id_bits=k, max_ses=se_budget)
+        self.bank = DecoderBank(n_contexts, block=block)
+        self._programmed = False
+
+    # -- programming ---------------------------------------------------------- #
+    def connect(self, track: int, a: Direction, b: Direction, ctx: int) -> None:
+        """Turn one diamond pair on in one context."""
+        self._check_track(track)
+        self.diamonds[track].connect(a, b, ctx)
+        self._programmed = False
+
+    def set_pattern(
+        self, track: int, a: Direction, b: Direction, pattern: ContextPattern
+    ) -> None:
+        self._check_track(track)
+        self.diamonds[track].set_pair(a, b, pattern)
+        self._programmed = False
+
+    def synthesize_decoders(self) -> SwitchBlockStats:
+        """Build the RCM decoder bank for every non-trivial pattern.
+
+        CONSTANT patterns need no bank decoder (the routing SE's own two
+        memory bits hold them); LITERAL patterns wire the routing SE's U
+        input to an ID line (no bank SEs either); GENERAL patterns get a
+        bank decoder, shared between identical patterns.
+        Raises CapacityError when the bank outgrows ``se_budget``.
+        """
+        before = self.bank.block.se_count()
+        for d in self.diamonds:
+            for pat in d.decoder_patterns():
+                if pat.classify() is PatternClass.GENERAL:
+                    self.bank.request(pat)
+        self._programmed = True
+        decoder_ses = self.bank.block.se_count()
+        routing_ses = self.n_tracks * len(DIRECTION_PAIRS)
+        used = sum(
+            1
+            for d in self.diamonds
+            for pat in d.decoder_patterns()
+            if pat.mask != 0
+        )
+        if self.se_budget is not None and decoder_ses > self.se_budget:
+            raise CapacityError(
+                f"{self.name}: decoder bank needs {decoder_ses} SEs, "
+                f"budget is {self.se_budget}"
+            )
+        return SwitchBlockStats(
+            n_tracks=self.n_tracks,
+            n_switch_bits=self.n_tracks * len(DIRECTION_PAIRS),
+            n_used_switch_bits=used,
+            decoder_ses=decoder_ses,
+            routing_ses=routing_ses,
+            bank=self.bank.stats,
+        )
+
+    def verify(self) -> None:
+        """Electrically verify every bank decoder (fixpoint simulation)."""
+        self.bank.verify()
+
+    # -- behaviour ---------------------------------------------------------------#
+    def connections(self, ctx: int) -> list[tuple[int, Direction, Direction]]:
+        """All conducting (track, a, b) in context ``ctx``."""
+        out = []
+        for t, d in enumerate(self.diamonds):
+            for a, b in d.connections(ctx):
+                out.append((t, a, b))
+        return out
+
+    def is_connected(self, track: int, a: Direction, b: Direction, ctx: int) -> bool:
+        self._check_track(track)
+        return self.diamonds[track].is_connected(a, b, ctx)
+
+    def pattern_census(self) -> dict[PatternClass, int]:
+        from repro.core.patterns import classify_many
+
+        masks = [
+            pat.mask for d in self.diamonds for pat in d.decoder_patterns()
+        ]
+        return classify_many(masks, self.n_contexts)
+
+    def _check_track(self, track: int) -> None:
+        if not 0 <= track < self.n_tracks:
+            raise ConfigurationError(
+                f"track {track} out of range (W={self.n_tracks})"
+            )

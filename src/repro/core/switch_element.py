@@ -1,0 +1,117 @@
+"""Behavioral model of the RCM switch element (paper Fig. 8).
+
+An SE has two memory bits ``D1``/``D0``, a 2:1 multiplexer and a
+pass-gate.  The multiplexer produces the *gate signal*::
+
+    G = U   if D1 == 1        (variable input, Fig. 8 bottom rows)
+    G = D0  if D1 == 0        (constant, Fig. 8 top rows)
+
+``U`` is the SE's variable input (typically a context-ID bit, possibly
+inverted by an input controller, or another SE's output).  The pass-gate
+connects the SE's two routing terminals when ``G == 1``.
+
+SEs are the single primitive of the reconfigurable context memory: used
+with ``D1=0`` they are one-bit configuration cells; with ``D1=1`` they
+forward/decode context-ID bits; their pass-gates compose into wider
+multiplexers (Fig. 9) and diamond switches (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Signal value used for an undriven/floating node in behavioral sims.
+FLOATING = -1
+
+
+@dataclass
+class SEConfig:
+    """Programming of one switch element.
+
+    ``d1 == 0`` → G is the constant ``d0``;  ``d1 == 1`` → G follows U.
+    """
+
+    d1: int = 0
+    d0: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d1 not in (0, 1) or self.d0 not in (0, 1):
+            raise ConfigurationError(
+                f"SE memory bits must be 0/1, got d1={self.d1!r} d0={self.d0!r}"
+            )
+
+    @classmethod
+    def constant(cls, value: int) -> "SEConfig":
+        """Program the SE to output a constant gate signal (Fig. 3 rows)."""
+        return cls(d1=0, d0=value)
+
+    @classmethod
+    def follow_input(cls) -> "SEConfig":
+        """Program the SE so G tracks the variable input U (Fig. 4 rows)."""
+        return cls(d1=1, d0=0)
+
+    @property
+    def uses_input(self) -> bool:
+        return self.d1 == 1
+
+    def memory_bits(self) -> tuple[int, int]:
+        return (self.d1, self.d0)
+
+
+@dataclass
+class SwitchElement:
+    """One RCM switch element: decoder mux + pass-gate.
+
+    The class is deliberately tiny — large RCM simulations model SEs
+    structurally (see :mod:`repro.core.rcm`) and only use
+    :meth:`gate_signal` / :meth:`pass_value` as the semantic kernel.
+    """
+
+    config: SEConfig = field(default_factory=SEConfig)
+    name: str = "SE"
+
+    def gate_signal(self, u: int = 0) -> int:
+        """The mux output ``G`` for variable input ``u``.
+
+        ``u`` may be :data:`FLOATING`; a floating U with ``d1=1`` yields a
+        floating G (caught by the RCM fixpoint solver as an error if it
+        ever controls a pass-gate).
+        """
+        if self.config.d1 == 0:
+            return self.config.d0
+        if u == FLOATING:
+            return FLOATING
+        if u not in (0, 1):
+            raise ConfigurationError(f"SE input must be 0/1/FLOATING, got {u!r}")
+        return u
+
+    def pass_value(self, a: int, u: int = 0) -> int:
+        """Value seen at terminal B when terminal A carries ``a``.
+
+        Returns :data:`FLOATING` when the pass-gate is off (G == 0) or the
+        gate itself is floating.
+        """
+        g = self.gate_signal(u)
+        if g == 1:
+            return a
+        return FLOATING
+
+    def is_on(self, u: int = 0) -> bool:
+        """True when the pass-gate conducts under input ``u``."""
+        return self.gate_signal(u) == 1
+
+
+def se_truth_table() -> list[tuple[int, int, int | str, int | str]]:
+    """Reproduce Fig. 8's function table as ``(D1, D0, U, G)`` rows.
+
+    ``'U'`` in the G column denotes "follows the variable input".
+    """
+    rows: list[tuple[int, int, int | str, int | str]] = [
+        (0, 0, "x", 0),
+        (0, 1, "x", 1),
+        (1, 0, "U", "U"),
+        (1, 1, "U", "U"),
+    ]
+    return rows

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid or inconsistent architecture parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid programming of a device (bad bitstream, bad plane index...)."""
+
+
+class SynthesisError(ReproError):
+    """Logic synthesis or decoder synthesis failed."""
+
+
+class MappingError(ReproError):
+    """Technology mapping / logic-block packing failed."""
+
+
+class PlacementError(ReproError):
+    """Placement failed or produced an illegal result."""
+
+
+class RoutingError(ReproError):
+    """Routing failed (unroutable net, congestion never resolved...)."""
+
+
+class SimulationError(ReproError):
+    """Behavioral simulation failed (contention, floating node, X value...)."""
+
+
+class CapacityError(ReproError):
+    """A block ran out of physical resources (SEs, tracks, LUTs...)."""

@@ -1,0 +1,17 @@
+"""Logic representation substrate: truth tables, gate networks, LUT
+netlists, DFGs, synthesis, technology mapping and cross-context sharing."""
+
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Cell, CellKind, Netlist
+from repro.netlist.synth import parse_expression, synthesize
+from repro.netlist.techmap import tech_map
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Netlist",
+    "TruthTable",
+    "parse_expression",
+    "synthesize",
+    "tech_map",
+]

@@ -1,0 +1,193 @@
+"""Data-flow graphs and multi-context programs (paper Figs. 13-14).
+
+A DPGA-style application is a *multi-context program*: one netlist per
+context, executed round-robin on the same fabric.  The paper's Section 4
+example maps two contexts whose DFGs overlap — nodes ``O2``/``O3``
+appear in both contexts, node ``O1`` only in context 1 and ``O4`` only
+in context 2.  Shared nodes are the source of the configuration-plane
+redundancy the adaptive logic block exploits.
+
+:class:`DFG` is a thin operation-graph layer that lowers onto
+:class:`~repro.netlist.netlist.Netlist`; :func:`paper_example_program`
+reconstructs the Fig. 13/14 workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SynthesisError
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+
+#: Operation library for DFG nodes (name -> truth table).
+OPS: dict[str, TruthTable] = {
+    "and": TruthTable.from_function(2, lambda a, b: a & b),
+    "or": TruthTable.from_function(2, lambda a, b: a | b),
+    "xor": TruthTable.from_function(2, lambda a, b: a ^ b),
+    "nand": TruthTable.from_function(2, lambda a, b: 1 - (a & b)),
+    "nor": TruthTable.from_function(2, lambda a, b: 1 - (a | b)),
+    "xnor": TruthTable.from_function(2, lambda a, b: 1 - (a ^ b)),
+    "not": TruthTable.inverter(),
+    "buf": TruthTable.identity(),
+    "mux": TruthTable.from_function(3, lambda s, a, b: b if s else a),
+    "maj": TruthTable.from_function(3, lambda a, b, c: (a + b + c) >= 2),
+}
+
+
+@dataclass
+class DFGNode:
+    """One operation node: ``name = op(args...)``.
+
+    ``args`` reference primary inputs or other node names.
+    """
+
+    name: str
+    op: str
+    args: list[str] = field(default_factory=list)
+
+    def table(self) -> TruthTable:
+        if self.op not in OPS:
+            raise SynthesisError(f"unknown DFG op {self.op!r}")
+        t = OPS[self.op]
+        if len(self.args) != t.n_inputs:
+            raise SynthesisError(
+                f"node {self.name!r}: op {self.op!r} takes {t.n_inputs} args, "
+                f"got {len(self.args)}"
+            )
+        return t
+
+
+class DFG:
+    """An operation DAG with named primary inputs and outputs."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self.inputs: list[str] = []
+        self.nodes: dict[str, DFGNode] = {}
+        self.outputs: dict[str, str] = {}  # output name -> node/input name
+
+    def add_input(self, name: str) -> None:
+        if name in self.inputs:
+            raise SynthesisError(f"duplicate DFG input {name!r}")
+        self.inputs.append(name)
+
+    def add_node(self, name: str, op: str, args: list[str]) -> DFGNode:
+        if name in self.nodes or name in self.inputs:
+            raise SynthesisError(f"duplicate DFG node {name!r}")
+        node = DFGNode(name, op, list(args))
+        node.table()  # validates arity
+        self.nodes[name] = node
+        return node
+
+    def mark_output(self, out_name: str, source: str) -> None:
+        self.outputs[out_name] = source
+
+    def to_netlist(self) -> Netlist:
+        """Lower to a LUT netlist (one LUT per node)."""
+        n = Netlist(self.name)
+        for pi in self.inputs:
+            n.add_input(pi)
+        for node in self.nodes.values():
+            for a in node.args:
+                if a not in self.inputs and a not in self.nodes:
+                    raise SynthesisError(
+                        f"node {node.name!r} references unknown {a!r}"
+                    )
+            n.add_lut(node.name, list(node.args), f"{node.name}__net", node.table())
+        # rewrite node references to nets
+        for cell in n.luts():
+            cell.inputs = [
+                a if a in self.inputs else f"{a}__net" for a in cell.inputs
+            ]
+        for out, src in self.outputs.items():
+            net = src if src in self.inputs else f"{src}__net"
+            n.add_output(out, net)
+        n.validate()
+        return n
+
+
+class MultiContextProgram:
+    """One netlist per context, run round-robin on the fabric.
+
+    All contexts share the device's primary I/O; a context may use a
+    subset of the pins.
+    """
+
+    def __init__(self, contexts: list[Netlist], name: str = "program") -> None:
+        if not contexts:
+            raise SynthesisError("a program needs at least one context")
+        self.name = name
+        self.contexts = contexts
+
+    @property
+    def n_contexts(self) -> int:
+        return len(self.contexts)
+
+    def context(self, c: int) -> Netlist:
+        return self.contexts[c]
+
+    def all_input_names(self) -> list[str]:
+        names: list[str] = []
+        for nl in self.contexts:
+            for cell in nl.inputs():
+                if cell.name not in names:
+                    names.append(cell.name)
+        return names
+
+    def all_output_names(self) -> list[str]:
+        names: list[str] = []
+        for nl in self.contexts:
+            for cell in nl.outputs():
+                if cell.name not in names:
+                    names.append(cell.name)
+        return names
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "contexts": self.n_contexts,
+            "luts_per_context": [len(nl.luts()) for nl in self.contexts],
+            "inputs": len(self.all_input_names()),
+            "outputs": len(self.all_output_names()),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# The paper's Section-4 example (Figs. 13-14)
+# --------------------------------------------------------------------------- #
+def paper_example_dfgs() -> tuple[DFG, DFG]:
+    """The two-context DFG of Fig. 13(a).
+
+    Context 1 computes ``O1`` plus the shared pair ``O2``/``O3``;
+    context 2 computes ``O4`` plus the same shared pair.  (The scan's
+    exact operator choices are ambiguous; the structure — which nodes
+    repeat and which differ — is what Figs. 13/14 depend on.)
+    """
+    ctx1 = DFG("fig13_ctx1")
+    for pi in ("R", "T", "V", "W", "X", "Z", "Y"):
+        ctx1.add_input(pi)
+    ctx1.add_node("O2", "and", ["R", "T"])
+    ctx1.add_node("O3", "xor", ["V", "W"])
+    ctx1.add_node("O1", "or", ["X", "Z"])
+    ctx1.mark_output("P_O1", "O1")
+    ctx1.mark_output("P_O2", "O2")
+    ctx1.mark_output("P_O3", "O3")
+
+    ctx2 = DFG("fig13_ctx2")
+    for pi in ("R", "T", "V", "W", "X", "Z", "Y"):
+        ctx2.add_input(pi)
+    ctx2.add_node("O2", "and", ["R", "T"])
+    ctx2.add_node("O3", "xor", ["V", "W"])
+    ctx2.add_node("O4", "xor", ["X", "Z"])
+    ctx2.mark_output("P_O4", "O4")
+    ctx2.mark_output("P_O2", "O2")
+    ctx2.mark_output("P_O3", "O3")
+    return ctx1, ctx2
+
+
+def paper_example_program() -> MultiContextProgram:
+    """Fig. 13/14's workload as a 2-context program."""
+    ctx1, ctx2 = paper_example_dfgs()
+    return MultiContextProgram(
+        [ctx1.to_netlist(), ctx2.to_netlist()], name="fig13_14"
+    )

@@ -1,0 +1,231 @@
+"""Boolean-expression synthesis into primitive-gate netlists.
+
+The front door for examples and workload generators: infix expressions
+over named inputs become a :class:`~repro.netlist.netlist.Netlist` of
+1-3 input LUT cells, ready for :func:`repro.netlist.techmap.tech_map`.
+
+Grammar (C-style precedence, tightest first)::
+
+    expr    := xor_e ( '|' xor_e )*
+    xor_e   := and_e ( '^' and_e )*
+    and_e   := unary ( '&' unary )*
+    unary   := '~' unary | atom
+    atom    := NAME | '0' | '1' | '(' expr ')'
+             | 'mux(' expr ',' expr ',' expr ')'    # mux(sel, a0, a1)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9\[\]\.]*)|(?P<const>[01])"
+    r"|(?P<op>[~&^|(),]))"
+)
+
+
+@dataclass
+class _Node:
+    """Expression AST node: op in {VAR, CONST, NOT, AND, XOR, OR, MUX}."""
+
+    op: str
+    args: tuple
+    name: str = ""
+    value: int = 0
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[tuple[str, str]]:
+        tokens = []
+        i = 0
+        while i < len(text):
+            m = _TOKEN_RE.match(text, i)
+            if not m or m.end() == i:
+                if text[i:].strip():
+                    raise SynthesisError(f"bad token at: {text[i:]!r}")
+                break
+            if m.group("name"):
+                tokens.append(("name", m.group("name")))
+            elif m.group("const"):
+                tokens.append(("const", m.group("const")))
+            else:
+                tokens.append(("op", m.group("op")))
+            i = m.end()
+        return tokens
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, kind: str | None = None, value: str | None = None) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise SynthesisError("unexpected end of expression")
+        if kind and tok[0] != kind:
+            raise SynthesisError(f"expected {kind}, got {tok}")
+        if value and tok[1] != value:
+            raise SynthesisError(f"expected {value!r}, got {tok[1]!r}")
+        self.pos += 1
+        return tok
+
+    # precedence-climbing
+    def parse(self) -> _Node:
+        node = self.parse_or()
+        if self.peek() is not None:
+            raise SynthesisError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return node
+
+    def parse_or(self) -> _Node:
+        node = self.parse_xor()
+        while self.peek() == ("op", "|"):
+            self.take()
+            node = _Node("OR", (node, self.parse_xor()))
+        return node
+
+    def parse_xor(self) -> _Node:
+        node = self.parse_and()
+        while self.peek() == ("op", "^"):
+            self.take()
+            node = _Node("XOR", (node, self.parse_and()))
+        return node
+
+    def parse_and(self) -> _Node:
+        node = self.parse_unary()
+        while self.peek() == ("op", "&"):
+            self.take()
+            node = _Node("AND", (node, self.parse_unary()))
+        return node
+
+    def parse_unary(self) -> _Node:
+        if self.peek() == ("op", "~"):
+            self.take()
+            return _Node("NOT", (self.parse_unary(),))
+        return self.parse_atom()
+
+    def parse_atom(self) -> _Node:
+        tok = self.take()
+        kind, val = tok
+        if kind == "const":
+            return _Node("CONST", (), value=int(val))
+        if kind == "name":
+            if val == "mux" and self.peek() == ("op", "("):
+                self.take()
+                sel = self.parse_or()
+                self.take("op", ",")
+                a0 = self.parse_or()
+                self.take("op", ",")
+                a1 = self.parse_or()
+                self.take("op", ")")
+                return _Node("MUX", (sel, a0, a1))
+            return _Node("VAR", (), name=val)
+        if (kind, val) == ("op", "("):
+            node = self.parse_or()
+            self.take("op", ")")
+            return node
+        raise SynthesisError(f"unexpected token {tok}")
+
+
+def parse_expression(text: str) -> _Node:
+    """Parse an expression string into an AST (exposed for tests)."""
+    return _Parser(text).parse()
+
+
+_GATE_TABLES = {
+    "NOT": TruthTable.inverter(),
+    "AND": TruthTable.from_function(2, lambda a, b: a & b),
+    "OR": TruthTable.from_function(2, lambda a, b: a | b),
+    "XOR": TruthTable.from_function(2, lambda a, b: a ^ b),
+    "MUX": TruthTable.from_function(3, lambda s, a0, a1: a1 if s else a0),
+}
+
+
+class _Builder:
+    """Emit gates into a netlist with structural hashing (CSE)."""
+
+    def __init__(self, netlist: Netlist, prefix: str) -> None:
+        self.netlist = netlist
+        self.prefix = prefix
+        self.counter = 0
+        self.cse: dict[tuple, str] = {}
+
+    def emit(self, node: _Node) -> str:
+        if node.op == "VAR":
+            return node.name
+        if node.op == "CONST":
+            key = ("CONST", node.value)
+            if key not in self.cse:
+                net = self._fresh(f"const{node.value}")
+                self.netlist.add_lut(
+                    f"{net}_cell", [], net, TruthTable.constant(node.value)
+                )
+                self.cse[key] = net
+            return self.cse[key]
+        args = tuple(self.emit(a) for a in node.args)
+        key = (node.op, args)
+        if key in self.cse:
+            return self.cse[key]
+        net = self._fresh(node.op.lower())
+        self.netlist.add_lut(f"{net}_cell", list(args), net, _GATE_TABLES[node.op])
+        self.cse[key] = net
+        return net
+
+    def _fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"{self.prefix}{hint}_{self.counter}"
+
+
+def synthesize(
+    inputs: list[str],
+    outputs: dict[str, str],
+    name: str = "design",
+    registers: dict[str, str] | None = None,
+) -> Netlist:
+    """Synthesize expressions into a primitive-gate netlist.
+
+    Parameters
+    ----------
+    inputs:
+        Primary input names.
+    outputs:
+        ``{output_name: expression}``; expressions may reference inputs,
+        register outputs, and constants ``0``/``1``.
+    registers:
+        ``{register_name: next_state_expression}``; register outputs are
+        readable in any expression under their own name.
+
+    >>> n = synthesize(["a", "b"], {"s": "a ^ b", "c": "a & b"})
+    >>> n.evaluate_outputs({"a": 1, "b": 1})
+    {'s': 0, 'c': 1}
+    """
+    netlist = Netlist(name)
+    for pi in inputs:
+        netlist.add_input(pi)
+    regs = registers or {}
+    # Register outputs are nets named after the register.
+    for rname in regs:
+        netlist.add_dff(f"{rname}_ff", f"{rname}_next", rname)
+    builder = _Builder(netlist, prefix=f"{name}__")
+    for rname, expr in regs.items():
+        ast = parse_expression(expr)
+        net = builder.emit(ast)
+        _alias(netlist, builder, net, f"{rname}_next")
+    for oname, expr in outputs.items():
+        ast = parse_expression(expr)
+        net = builder.emit(ast)
+        netlist.add_output(oname, net)
+    netlist.validate()
+    return netlist
+
+
+def _alias(netlist: Netlist, builder: _Builder, src_net: str, dst_net: str) -> None:
+    """Drive ``dst_net`` with the value of ``src_net`` through a buffer LUT."""
+    netlist.add_lut(f"{dst_net}_buf", [src_net], dst_net, TruthTable.identity())

@@ -1,0 +1,25 @@
+"""Placement cost: half-perimeter wirelength (HPWL).
+
+The classic bounding-box estimator: for each net, the half-perimeter of
+the smallest rectangle containing its driver and sinks.  Cheap enough to
+evaluate incrementally inside the annealer, and monotone with routed
+wirelength on island fabrics.
+"""
+
+from __future__ import annotations
+
+from repro.arch.geometry import Coord
+
+
+def net_hpwl(points: list[Coord]) -> int:
+    """Half-perimeter of the bounding box of ``points``."""
+    if len(points) <= 1:
+        return 0
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def hpwl_cost(nets: list[list[Coord]]) -> int:
+    """Total HPWL over a list of nets (each a list of terminals)."""
+    return sum(net_hpwl(points) for points in nets)

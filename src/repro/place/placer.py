@@ -1,0 +1,292 @@
+"""Simulated-annealing placement.
+
+Places LUT cells onto logic tiles (one LUT slot per tile output — we
+place one cell per tile and let the 2-output MCMG packing happen in the
+analysis layer) and primary I/O onto perimeter pads.  Supports *pinned*
+cells, which is how the multi-context mapper keeps shared cells at the
+same physical location across contexts (the prerequisite for their
+configuration bits to become CONSTANT patterns).
+
+The annealer is a standard VPR-style schedule: swap/move proposals,
+adaptive temperature decay, incremental HPWL via per-net bounding boxes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.geometry import Coord, Grid
+from repro.arch.params import ArchParams
+from repro.errors import PlacementError
+from repro.netlist.dfg import MultiContextProgram
+from repro.netlist.netlist import CellKind, Netlist
+from repro.place.cost import net_hpwl
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Placement:
+    """Placement of one context's netlist.
+
+    ``cells`` maps LUT cell names to tile coordinates; ``ios`` maps
+    primary input/output cell names to ``(coord, pad_index)``.
+    """
+
+    cells: dict[str, Coord] = field(default_factory=dict)
+    ios: dict[str, tuple[Coord, int]] = field(default_factory=dict)
+    cost: float = 0.0
+
+    def location(self, cell_name: str) -> Coord:
+        if cell_name in self.cells:
+            return self.cells[cell_name]
+        if cell_name in self.ios:
+            return self.ios[cell_name][0]
+        raise PlacementError(f"cell {cell_name!r} not placed")
+
+
+def _net_terminals(netlist: Netlist) -> dict[str, list[str]]:
+    """Net -> cell names touching it (driver + fanout), LUT/IO only."""
+    terminals: dict[str, list[str]] = {}
+    for cell in netlist.cells.values():
+        if cell.kind is CellKind.LUT or cell.kind is CellKind.INPUT:
+            if cell.output:
+                terminals.setdefault(cell.output, []).append(cell.name)
+        if cell.kind in (CellKind.LUT, CellKind.OUTPUT):
+            for net in cell.inputs:
+                terminals.setdefault(net, []).append(cell.name)
+        if cell.kind is CellKind.DFF:
+            # DFFs live inside the driver/sink LBs in this model; tie the
+            # net endpoints to the cells around them.
+            for net in cell.inputs:
+                terminals.setdefault(net, []).append(cell.name)
+            terminals.setdefault(cell.output, []).append(cell.name)
+    return terminals
+
+
+def place(
+    netlist: Netlist,
+    params: ArchParams,
+    seed: int | np.random.Generator | None = 0,
+    pinned: dict[str, Coord] | None = None,
+    effort: float = 1.0,
+) -> Placement:
+    """Anneal a placement for ``netlist`` on the ``params`` grid.
+
+    ``pinned`` cells keep their given coordinates; ``effort`` scales the
+    move budget (1.0 ≈ VPR default for small designs).
+    """
+    rng = ensure_rng(seed)
+    grid = Grid(params.cols, params.rows)
+    pinned = dict(pinned or {})
+
+    movable = [c.name for c in netlist.luts() if c.name not in pinned]
+    dffs = [c.name for c in netlist.dffs() if c.name not in pinned]
+    movable += dffs
+    n_place = len(movable) + len(pinned)
+    if n_place > grid.n_tiles:
+        raise PlacementError(
+            f"{n_place} cells exceed {grid.n_tiles} tiles "
+            f"({params.cols}x{params.rows})"
+        )
+
+    # --- initial assignment: pinned first, then row-major scan ---------- #
+    occupied: dict[Coord, str] = {}
+    location: dict[str, Coord] = {}
+    for name, coord in pinned.items():
+        grid.check(coord)
+        if coord in occupied:
+            raise PlacementError(f"pinned collision at {coord}")
+        occupied[coord] = name
+        location[name] = coord
+    free_tiles = [t for t in grid.tiles() if t not in occupied]
+    order = rng.permutation(len(free_tiles))
+    for name, idx in zip(movable, order):
+        t = free_tiles[int(idx)]
+        occupied[t] = name
+        location[name] = t
+
+    # --- I/O pads: greedy nearest perimeter tile ------------------------- #
+    ios = _assign_ios(netlist, params, grid, location, rng)
+
+    # --- build net terminal lists ---------------------------------------- #
+    terminals = _net_terminals(netlist)
+
+    def terminal_coord(cell_name: str) -> Coord | None:
+        if cell_name in location:
+            return location[cell_name]
+        if cell_name in ios:
+            return ios[cell_name][0]
+        return None
+
+    nets: list[list[str]] = [t for t in terminals.values() if len(t) > 1]
+    cell_nets: dict[str, list[int]] = {}
+    for i, t in enumerate(nets):
+        for cname in t:
+            cell_nets.setdefault(cname, []).append(i)
+
+    def net_cost(i: int) -> int:
+        pts = [terminal_coord(c) for c in nets[i]]
+        return net_hpwl([p for p in pts if p is not None])
+
+    cost = float(sum(net_cost(i) for i in range(len(nets))))
+
+    if not movable:
+        return Placement(dict(location), ios, cost)
+
+    # --- annealing schedule ----------------------------------------------- #
+    moves_per_t = max(10, int(effort * 10 * (len(movable) ** 1.33)))
+    temperature = max(1.0, 0.05 * cost / max(1, len(nets)) * 20)
+    min_t = 0.005
+    span = max(params.cols, params.rows)
+
+    while temperature > min_t:
+        accepted = 0
+        for _ in range(moves_per_t):
+            name = movable[int(rng.integers(len(movable)))]
+            src = location[name]
+            dx = int(rng.integers(-span, span + 1))
+            dy = int(rng.integers(-span, span + 1))
+            dst = Coord(
+                min(max(src.x + dx, 0), params.cols - 1),
+                min(max(src.y + dy, 0), params.rows - 1),
+            )
+            if dst == src:
+                continue
+            other = occupied.get(dst)
+            if other is not None and other in pinned:
+                continue
+            affected = set(cell_nets.get(name, []))
+            if other is not None:
+                affected |= set(cell_nets.get(other, []))
+            before = sum(net_cost(i) for i in affected)
+            # tentative swap
+            occupied[dst] = name
+            location[name] = dst
+            if other is not None:
+                occupied[src] = other
+                location[other] = src
+            else:
+                del occupied[src]
+            after = sum(net_cost(i) for i in affected)
+            delta = after - before
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                cost += delta
+                accepted += 1
+            else:  # revert
+                occupied[src] = name
+                location[name] = src
+                if other is not None:
+                    occupied[dst] = other
+                    location[other] = dst
+                else:
+                    del occupied[dst]
+        ratio = accepted / max(1, moves_per_t)
+        if ratio > 0.96:
+            temperature *= 0.5
+        elif ratio > 0.8:
+            temperature *= 0.9
+        elif ratio > 0.15:
+            temperature *= 0.95
+        else:
+            temperature *= 0.8
+
+    # refresh IO pads for final cell positions
+    ios = _assign_ios(netlist, params, grid, location, rng)
+    cost = float(sum(net_cost(i) for i in range(len(nets))))
+    return Placement(dict(location), ios, cost)
+
+
+def _assign_ios(
+    netlist: Netlist,
+    params: ArchParams,
+    grid: Grid,
+    location: dict[str, Coord],
+    rng: np.random.Generator,
+) -> dict[str, tuple[Coord, int]]:
+    """Assign each primary input/output to a perimeter pad near its logic."""
+    pads_free: dict[Coord, list[int]] = {
+        t: list(range(params.io_capacity)) for t in grid.perimeter()
+    }
+    ios: dict[str, tuple[Coord, int]] = {}
+    io_cells = netlist.inputs() + netlist.outputs()
+    for cell in io_cells:
+        # barycenter of connected logic
+        if cell.kind is CellKind.INPUT:
+            conn = [c for c in netlist.cells.values() if cell.output in c.inputs]
+        else:
+            drv = netlist.net_driver.get(cell.inputs[0])
+            conn = [netlist.cells[drv]] if drv else []
+        pts = [location[c.name] for c in conn if c.name in location]
+        if pts:
+            bx = sum(p.x for p in pts) / len(pts)
+            by = sum(p.y for p in pts) / len(pts)
+        else:
+            bx, by = params.cols / 2, params.rows / 2
+        best, best_d = None, None
+        for t, free in pads_free.items():
+            if not free:
+                continue
+            d = abs(t.x - bx) + abs(t.y - by)
+            if best_d is None or d < best_d:
+                best, best_d = t, d
+        if best is None:
+            raise PlacementError(
+                f"out of I/O pads for {cell.name!r} "
+                f"(capacity {params.io_capacity}/perimeter tile)"
+            )
+        pad = pads_free[best].pop(0)
+        ios[cell.name] = (best, pad)
+    return ios
+
+
+def place_program(
+    program: MultiContextProgram,
+    params: ArchParams,
+    seed: int | np.random.Generator | None = 0,
+    share_aware: bool = True,
+    effort: float = 1.0,
+) -> list[Placement]:
+    """Place every context of a multi-context program.
+
+    With ``share_aware=True`` (the proposed mapping style) cells that
+    compute the same function of the same primary inputs in different
+    contexts are *pinned to the same tile*, so their LUT configuration
+    repeats (single-plane) and their routing can be reused — the
+    precondition for CONSTANT context patterns.  With False each context
+    is placed independently (the conventional/naive baseline).
+    """
+    from repro.netlist.sharing import analyze_sharing
+
+    rng = ensure_rng(seed)
+    placements: list[Placement] = []
+
+    # signature-group anchors: once any member of a shared group is
+    # placed, every later member is pinned to that tile.
+    group_of_cell: dict[tuple[int, str], int] = {}
+    anchors: dict[int, Coord] = {}
+    if share_aware and program.n_contexts > 1:
+        report = analyze_sharing(program)
+        for gi, group in enumerate(report.shared_groups):
+            for c, cell_name in group.members.items():
+                group_of_cell[(c, cell_name)] = gi
+
+    for c, netlist in enumerate(program.contexts):
+        pinned: dict[str, Coord] = {}
+        used_tiles: set[Coord] = set()
+        for cell in netlist.luts():
+            gi = group_of_cell.get((c, cell.name))
+            if gi is not None and gi in anchors and anchors[gi] not in used_tiles:
+                # two groups anchored in different contexts may collide on a
+                # tile; keep the first and let the annealer place the other
+                pinned[cell.name] = anchors[gi]
+                used_tiles.add(anchors[gi])
+        pl = place(netlist, params, seed=rng, pinned=pinned, effort=effort)
+        placements.append(pl)
+        for cell in netlist.luts():
+            gi = group_of_cell.get((c, cell.name))
+            if gi is not None and gi not in anchors and cell.name in pl.cells:
+                anchors[gi] = pl.cells[cell.name]
+    return placements

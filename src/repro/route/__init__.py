@@ -1,0 +1,15 @@
+"""Routing: negotiated-congestion (PathFinder) router and the SE-chain /
+double-length-line timing model."""
+
+from repro.route.pathfinder import RouteResult, RoutedNet, route_context, route_program
+from repro.route.timing import DelayModel, path_delay, route_tree_delays
+
+__all__ = [
+    "DelayModel",
+    "RouteResult",
+    "RoutedNet",
+    "path_delay",
+    "route_context",
+    "route_program",
+    "route_tree_delays",
+]

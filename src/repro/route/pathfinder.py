@@ -1,0 +1,277 @@
+"""PathFinder negotiated-congestion routing on the RRG.
+
+Classic iterative rip-up-and-reroute: every net is routed by Dijkstra
+over the routing-resource graph; node costs grow with present overuse
+and accumulated (history) congestion until the solution is overlap-free.
+Multi-sink nets route as Steiner-ish trees by re-running Dijkstra from
+the partial tree to the nearest remaining sink.
+
+Multi-context specifics: each context is an independent routing problem
+on the same RRG, but the *proposed* flow reuses routes for nets that are
+identical across contexts (same source and sink nodes) — reused routes
+make the corresponding switch patterns CONSTANT, which is what the RCM
+rewards (paper Section 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.arch.rrg import EdgeKind, NodeKind, RoutingResourceGraph
+from repro.errors import RoutingError
+from repro.netlist.dfg import MultiContextProgram
+from repro.netlist.netlist import CellKind, Netlist
+from repro.place.placer import Placement
+
+#: PathFinder schedule parameters.
+MAX_ITERATIONS = 40
+PRES_FAC_FIRST = 0.6
+PRES_FAC_MULT = 1.6
+HIST_FAC = 0.35
+
+
+@dataclass
+class RoutedNet:
+    """One routed net: the branch to each sink plus the full node set."""
+
+    name: str
+    source: int
+    sinks: list[int]
+    nodes: set[int] = field(default_factory=set)
+    edges: set[tuple[int, int]] = field(default_factory=set)
+    sink_paths: dict[int, list[int]] = field(default_factory=dict)
+    reused: bool = False
+
+
+@dataclass
+class RouteResult:
+    """Routing of one context."""
+
+    nets: dict[str, RoutedNet]
+    iterations: int
+    context: int = 0
+
+    def used_edges(self) -> set[tuple[int, int]]:
+        out: set[tuple[int, int]] = set()
+        for net in self.nets.values():
+            out |= net.edges
+        return out
+
+    def wirelength(self, g: RoutingResourceGraph) -> int:
+        total = 0
+        for net in self.nets.values():
+            for nid in net.nodes:
+                if g.nodes[nid].kind in (NodeKind.CHANX, NodeKind.CHANY):
+                    total += g.nodes[nid].length
+        return total
+
+
+def _net_endpoints(
+    netlist: Netlist, placement: Placement, g: RoutingResourceGraph
+) -> list[tuple[str, int, list[int]]]:
+    """Extract (net name, source node, sink nodes) for every routable net."""
+    out: list[tuple[str, int, list[int]]] = []
+    for net_name, driver_name in netlist.net_driver.items():
+        driver = netlist.cells[driver_name]
+        sinks: list[int] = []
+        for cell in netlist.cells.values():
+            for slot, in_net in enumerate(cell.inputs):
+                if in_net != net_name:
+                    continue
+                if cell.kind in (CellKind.LUT, CellKind.DFF):
+                    loc = placement.location(cell.name)
+                    sinks.append(g.lb_sink[(loc.x, loc.y, slot if cell.kind is CellKind.LUT else 0)])
+                elif cell.kind is CellKind.OUTPUT:
+                    coord, pad = placement.ios[cell.name]
+                    sinks.append(g.io_sink[(coord.x, coord.y, pad)])
+        if not sinks:
+            continue
+        if driver.kind is CellKind.INPUT:
+            coord, pad = placement.ios[driver.name]
+            source = g.io_source[(coord.x, coord.y, pad)]
+        elif driver.kind in (CellKind.LUT, CellKind.DFF):
+            loc = placement.location(driver.name)
+            source = g.lb_source[(loc.x, loc.y, 0)]
+        else:
+            continue
+        out.append((net_name, source, sorted(set(sinks))))
+    return out
+
+
+class _CongestionState:
+    """Per-context PathFinder bookkeeping."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.usage = [0] * n_nodes
+        self.history = [0.0] * n_nodes
+        self.pres_fac = PRES_FAC_FIRST
+
+    def node_cost(self, g: RoutingResourceGraph, nid: int) -> float:
+        node = g.nodes[nid]
+        base = 1.0 + 0.2 * (node.length - 1)
+        over = max(0, self.usage[nid] + 1 - node.capacity)
+        return base * (1.0 + self.pres_fac * over) + self.history[nid]
+
+    def add(self, nodes: set[int]) -> None:
+        for n in nodes:
+            self.usage[n] += 1
+
+    def remove(self, nodes: set[int]) -> None:
+        for n in nodes:
+            self.usage[n] -= 1
+
+    def overused(self, g: RoutingResourceGraph) -> int:
+        return sum(
+            1 for nid, u in enumerate(self.usage) if u > g.nodes[nid].capacity
+        )
+
+    def bump_history(self, g: RoutingResourceGraph) -> None:
+        for nid, u in enumerate(self.usage):
+            if u > g.nodes[nid].capacity:
+                self.history[nid] += HIST_FAC * (u - g.nodes[nid].capacity)
+
+
+def _dijkstra_to_sink(
+    g: RoutingResourceGraph,
+    state: _CongestionState,
+    tree_nodes: set[int],
+    target: int,
+) -> list[int]:
+    """Shortest path from the current route tree to ``target``."""
+    dist: dict[int, float] = {}
+    prev: dict[int, int] = {}
+    heap: list[tuple[float, int]] = []
+    for n in tree_nodes:
+        dist[n] = 0.0
+        heapq.heappush(heap, (0.0, n))
+    while heap:
+        d, nid = heapq.heappop(heap)
+        if d > dist.get(nid, float("inf")):
+            continue
+        if nid == target:
+            path = [nid]
+            while path[-1] not in tree_nodes:
+                path.append(prev[path[-1]])
+            path.reverse()
+            return path
+        for nxt, _kind in g.out_edges[nid]:
+            if g.nodes[nxt].kind is NodeKind.SINK and nxt != target:
+                continue
+            nd = d + state.node_cost(g, nxt)
+            if nd < dist.get(nxt, float("inf")):
+                dist[nxt] = nd
+                prev[nxt] = nid
+                heapq.heappush(heap, (nd, nxt))
+    raise RoutingError(f"no path to sink node {target} ({g.nodes[target].name})")
+
+
+def _route_net(
+    g: RoutingResourceGraph,
+    state: _CongestionState,
+    name: str,
+    source: int,
+    sinks: list[int],
+) -> RoutedNet:
+    net = RoutedNet(name, source, list(sinks))
+    net.nodes = {source}
+    for sink in sinks:
+        path = _dijkstra_to_sink(g, state, net.nodes, sink)
+        # record full root->sink path for timing: splice at the join point
+        join = path[0]
+        net.sink_paths[sink] = list(path)
+        for a, b in zip(path, path[1:]):
+            net.edges.add((a, b))
+        net.nodes.update(path)
+    return net
+
+
+def route_context(
+    g: RoutingResourceGraph,
+    netlist: Netlist,
+    placement: Placement,
+    context: int = 0,
+    reuse: dict[str, RoutedNet] | None = None,
+    max_iterations: int = MAX_ITERATIONS,
+) -> RouteResult:
+    """Route one context's placed netlist to congestion-freedom.
+
+    ``reuse`` maps *endpoint signatures* (see :func:`endpoint_signature`)
+    to routes from earlier contexts; matching nets adopt the previous
+    route up front (they still participate in congestion resolution —
+    a reused route that conflicts within this context gets ripped up,
+    losing its reuse mark).
+    """
+    endpoints = _net_endpoints(netlist, placement, g)
+    state = _CongestionState(g.n_nodes)
+    routes: dict[str, RoutedNet] = {}
+    reuse_sig: dict[str, str] = {}
+
+    # initial routing (reuse first, then fresh)
+    for name, source, sinks in endpoints:
+        sig = endpoint_signature(source, sinks)
+        prior = reuse.get(sig) if reuse else None
+        if prior is not None:
+            net = RoutedNet(name, source, list(sinks))
+            net.nodes = set(prior.nodes)
+            net.edges = set(prior.edges)
+            net.sink_paths = {k: list(v) for k, v in prior.sink_paths.items()}
+            net.reused = True
+            routes[name] = net
+            state.add(net.nodes)
+        else:
+            net = _route_net(g, state, name, source, sinks)
+            routes[name] = net
+            state.add(net.nodes)
+        reuse_sig[name] = sig
+
+    iteration = 1
+    while iteration < max_iterations:
+        over = state.overused(g)
+        if over == 0:
+            break
+        state.bump_history(g)
+        state.pres_fac *= PRES_FAC_MULT
+        # rip up and reroute congested nets only
+        for name, net in routes.items():
+            if all(state.usage[n] <= g.nodes[n].capacity for n in net.nodes):
+                continue
+            state.remove(net.nodes)
+            fresh = _route_net(g, state, name, net.source, net.sinks)
+            routes[name] = fresh
+            state.add(fresh.nodes)
+        iteration += 1
+    else:
+        raise RoutingError(
+            f"context {context}: congestion unresolved after {max_iterations} "
+            f"iterations ({state.overused(g)} overused nodes)"
+        )
+    return RouteResult(routes, iteration, context)
+
+
+def endpoint_signature(source: int, sinks: list[int]) -> str:
+    """Canonical key identifying a net by its physical endpoints."""
+    return f"{source}->{','.join(map(str, sorted(sinks)))}"
+
+
+def route_program(
+    g: RoutingResourceGraph,
+    program: MultiContextProgram,
+    placements: list[Placement],
+    share_aware: bool = True,
+) -> list[RouteResult]:
+    """Route all contexts; with ``share_aware`` routes are reused across
+    contexts whenever endpoints coincide (the proposed mapping flow)."""
+    if len(placements) != program.n_contexts:
+        raise RoutingError("one placement per context required")
+    results: list[RouteResult] = []
+    bank: dict[str, RoutedNet] = {}
+    for c, (netlist, placement) in enumerate(zip(program.contexts, placements)):
+        res = route_context(
+            g, netlist, placement, context=c, reuse=bank if share_aware else None
+        )
+        results.append(res)
+        if share_aware:
+            for net in res.nets.values():
+                bank.setdefault(endpoint_signature(net.source, net.sinks), net)
+    return results

@@ -1,0 +1,95 @@
+"""Context-switch timing: local RCM decode vs central decoding.
+
+Paper Section 3: "To prevent RCM from degrading the context-switching
+speed, context-ID bits are routed with high-speed global wires and
+decoded locally with the RCM."  This module models the context-switch
+critical path for both organizations:
+
+- **conventional**: a central 2-to-n decoder drives n one-hot plane
+  lines across the die; switch time = decoder delay + the RC flight of
+  heavily loaded select lines (load grows with the number of cells).
+- **proposed**: two (log n) ID bits ride buffered global wires (light
+  load, one gate per tile bank), and each tile's RCM decodes locally
+  through at most ``depth`` series SEs — depth 1 for LITERAL patterns,
+  2 for the Fig. 9 mux trees (one branch level), independent of die
+  size.
+
+The asymptotics are the point: conventional switch time grows with the
+fabric, proposed stays constant after the global-wire flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.route.timing import DelayModel, chain_delay
+from repro.utils.bitops import clog2, is_pow2
+
+
+@dataclass(frozen=True)
+class SwitchTimingModel:
+    """Normalized context-switch timing constants.
+
+    ``t_wire_per_tile`` is the incremental buffered-wire delay of one
+    tile of global-ID routing; ``load_factor`` converts fanout (cells on
+    a decoded plane line) into added RC delay for the conventional
+    central organization.
+    """
+
+    t_decoder_gate: float = 0.6     # one decode gate level
+    t_wire_per_tile: float = 0.15   # buffered global wire, per tile span
+    load_factor: float = 0.002      # RC per cell hanging on a select line
+    t_register: float = 0.5         # context-ID register clk->q
+
+    def conventional_switch_time(
+        self, n_contexts: int, n_tiles: int, cells_per_tile: int
+    ) -> float:
+        """Central decode + loaded one-hot select-line distribution."""
+        _check(n_contexts, n_tiles, cells_per_tile)
+        k = clog2(n_contexts)
+        decode = self.t_register + max(1, k) * self.t_decoder_gate
+        span = n_tiles ** 0.5  # die edge in tiles
+        wire = span * self.t_wire_per_tile
+        load = n_tiles * cells_per_tile * self.load_factor
+        return decode + wire + load
+
+    def proposed_switch_time(
+        self, n_contexts: int, n_tiles: int, local_decode_depth: int = 2
+    ) -> float:
+        """Global ID wires + local RCM decode (bounded SE chain)."""
+        _check(n_contexts, n_tiles, 1)
+        if local_decode_depth < 0:
+            raise ArchitectureError("decode depth must be >= 0")
+        span = n_tiles ** 0.5
+        wire = self.t_register + span * self.t_wire_per_tile
+        local = chain_delay(local_decode_depth, DelayModel())
+        return wire + local
+
+
+def _check(n_contexts: int, n_tiles: int, cells_per_tile: int) -> None:
+    if not is_pow2(n_contexts):
+        raise ArchitectureError("n_contexts must be a power of two")
+    if n_tiles < 1:
+        raise ArchitectureError("n_tiles must be >= 1")
+    if cells_per_tile < 1:
+        raise ArchitectureError("cells_per_tile must be >= 1")
+
+
+def switch_time_sweep(
+    tile_counts: list[int],
+    n_contexts: int = 4,
+    cells_per_tile: int = 288,
+    model: SwitchTimingModel | None = None,
+) -> list[tuple[int, float, float]]:
+    """(tiles, conventional, proposed) context-switch times across die
+    sizes — the scaling argument behind local decoding."""
+    m = model or SwitchTimingModel()
+    return [
+        (
+            n,
+            m.conventional_switch_time(n_contexts, n, cells_per_tile),
+            m.proposed_switch_time(n_contexts, n),
+        )
+        for n in tile_counts
+    ]

@@ -1,0 +1,14 @@
+"""Simulators: levelized and event-driven logic simulation, plus the
+DPGA-style multi-context execution model."""
+
+from repro.sim.context_switch import ContextSchedule, MultiContextExecutor
+from repro.sim.events import EventSimulator, Waveform
+from repro.sim.levelized import LevelizedSimulator
+
+__all__ = [
+    "ContextSchedule",
+    "EventSimulator",
+    "LevelizedSimulator",
+    "MultiContextExecutor",
+    "Waveform",
+]

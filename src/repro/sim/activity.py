@@ -1,0 +1,103 @@
+"""Switching-activity estimation for dynamic-power accounting.
+
+Estimates per-net toggle rates by bit-parallel simulation over random
+(or supplied) stimulus streams: for each net, the fraction of adjacent
+vector pairs on which its value changes.  Feeds the dynamic-logic term
+of :mod:`repro.core.power` and gives the event-driven simulator's
+glitch counts a zero-delay baseline to compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.netlist import CellKind, Netlist
+from repro.sim.levelized import LevelizedSimulator
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ActivityReport:
+    """Per-net toggle rates over a stimulus stream."""
+
+    rates: dict[str, float]
+    n_transitions_total: float
+    vectors: int
+
+    def rate(self, net: str) -> float:
+        if net not in self.rates:
+            raise SimulationError(f"no activity recorded for net {net!r}")
+        return self.rates[net]
+
+    def hottest(self, k: int = 5) -> list[tuple[str, float]]:
+        return sorted(self.rates.items(), key=lambda kv: -kv[1])[:k]
+
+    def mean_rate(self) -> float:
+        if not self.rates:
+            return 0.0
+        return sum(self.rates.values()) / len(self.rates)
+
+
+def estimate_activity(
+    netlist: Netlist,
+    n_vectors: int = 1024,
+    seed: int | np.random.Generator | None = 0,
+    stimulus: dict[str, np.ndarray] | None = None,
+) -> ActivityReport:
+    """Toggle rate per net under random (or supplied) stimulus.
+
+    Vectors are packed 64 per word; the toggle count of a net is the
+    popcount of ``v ^ (v >> 1)`` across lanes (with cross-word stitching),
+    so the whole estimate is a handful of NumPy ops per net.
+    """
+    if n_vectors < 2:
+        raise SimulationError("need at least 2 vectors to observe a toggle")
+    rng = ensure_rng(seed)
+    sim = LevelizedSimulator(netlist)
+    words = (n_vectors + 63) // 64
+    n_vectors = words * 64  # bit-parallel lanes come in whole words
+    if stimulus is None:
+        stimulus = {
+            c.output: rng.integers(0, 2**63, words, dtype=np.int64).astype(np.uint64)
+            for c in netlist.inputs()
+        }
+    values = sim.run(stimulus)
+
+    rates: dict[str, float] = {}
+    total = 0.0
+    for net, packed in values.items():
+        toggles = 0
+        prev_last_bit: int | None = None
+        for w in range(packed.size):
+            word = int(packed[w])
+            # transitions inside the word: bit i vs bit i+1
+            inside = (word ^ (word >> 1)) & ((1 << 63) - 1)
+            toggles += bin(inside).count("1")
+            if prev_last_bit is not None:
+                if (word & 1) != prev_last_bit:
+                    toggles += 1
+            prev_last_bit = (word >> 63) & 1
+        pairs = n_vectors - 1
+        rates[net] = toggles / pairs if pairs else 0.0
+        total += toggles
+    return ActivityReport(rates, total, n_vectors)
+
+
+def dynamic_logic_energy(
+    report: ActivityReport,
+    netlist: Netlist,
+    energy_per_toggle: float = 1.0,
+) -> float:
+    """Energy proxy: sum of LUT-output toggle rates.
+
+    Identical mapped circuits draw identical logic energy on any of the
+    three fabrics — this term cancels in fabric comparisons but completes
+    energy-per-computation accounting.
+    """
+    total = 0.0
+    for cell in netlist.luts():
+        total += report.rates.get(cell.output, 0.0)
+    return total * energy_per_toggle

@@ -1,0 +1,89 @@
+"""Levelized (oblivious) simulation with NumPy bit-parallelism.
+
+Evaluates a netlist over many stimulus vectors at once: each net holds a
+uint64 array where every *bit lane* is an independent vector, giving
+64-way parallelism per word — the classic bit-parallel trick for fast
+functional regression of mapped designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.netlist import CellKind, Netlist
+
+
+class LevelizedSimulator:
+    """Bit-parallel levelized simulator for combinational netlists."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.order = [
+            name
+            for name in netlist.topo_order()
+            if netlist.cells[name].kind is CellKind.LUT
+        ]
+
+    def run(self, stimulus: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Evaluate over packed-uint64 stimulus.
+
+        Each input maps to a uint64 array; bit lane ``i`` of word ``w``
+        is vector ``64*w + i``.  Returns packed values for every net.
+        """
+        values: dict[str, np.ndarray] = {}
+        width = None
+        for cell in self.netlist.inputs():
+            arr = stimulus.get(cell.output, stimulus.get(cell.name))
+            if arr is None:
+                raise SimulationError(f"missing stimulus for {cell.name!r}")
+            arr = np.asarray(arr, dtype=np.uint64)
+            if width is None:
+                width = arr.shape
+            elif arr.shape != width:
+                raise SimulationError("stimulus arrays must share a shape")
+            values[cell.output] = arr
+        if width is None:
+            width = (1,)
+        zero = np.zeros(width, dtype=np.uint64)
+        for cell in self.netlist.dffs():
+            values[cell.output] = zero
+
+        for name in self.order:
+            cell = self.netlist.cells[name]
+            ins = [values[n] for n in cell.inputs]
+            values[cell.output] = _apply_table(cell.table.bits, ins, width)
+        return values
+
+    def outputs(self, stimulus: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        values = self.run(stimulus)
+        return {
+            c.name: values[c.inputs[0]] for c in self.netlist.outputs()
+        }
+
+    @staticmethod
+    def random_stimulus(
+        netlist: Netlist, n_words: int = 4, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            c.output: rng.integers(0, 2**63, size=n_words, dtype=np.int64).astype(
+                np.uint64
+            )
+            for c in netlist.inputs()
+        }
+
+
+def _apply_table(bits: int, ins: list[np.ndarray], width) -> np.ndarray:
+    """Bit-parallel LUT evaluation via Shannon expansion over the inputs."""
+    if not ins:
+        full = np.uint64(0xFFFFFFFFFFFFFFFF)
+        return np.full(width, full if bits & 1 else np.uint64(0), dtype=np.uint64)
+    x = ins[-1]
+    n = len(ins)
+    half = 1 << (n - 1)
+    mask_low = (1 << half) - 1
+    f0 = _apply_table(bits & mask_low, ins[:-1], width)
+    f1 = _apply_table((bits >> half) & mask_low, ins[:-1], width)
+    return (f1 & x) | (f0 & ~x)

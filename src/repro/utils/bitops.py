@@ -1,0 +1,115 @@
+"""Bit-level helpers used throughout the pattern algebra and bitstreams.
+
+Configuration data in this library is stored as Python ints treated as
+bit vectors (bit ``i`` of the int is element ``i`` of the vector).  These
+helpers keep that convention in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1).
+
+    >>> bit(0b1010, 1)
+    1
+    >>> bit(0b1010, 0)
+    0
+    """
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits.
+
+    >>> mask(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative int.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if value < 0:
+        raise ValueError("popcount expects a non-negative int")
+    return value.bit_count()
+
+
+# Alias kept for readability at call sites that count configuration bits.
+bit_count = popcount
+
+
+def parity(value: int) -> int:
+    """Parity (XOR-reduction) of the bits of ``value``.
+
+    >>> parity(0b111)
+    1
+    """
+    return popcount(value) & 1
+
+
+def bits_of(value: int, width: int) -> Iterator[int]:
+    """Yield the low ``width`` bits of ``value``, LSB first.
+
+    >>> list(bits_of(0b0110, 4))
+    [0, 1, 1, 0]
+    """
+    for i in range(width):
+        yield (value >> i) & 1
+
+
+def from_bits(bits: Iterable[int]) -> int:
+    """Pack an iterable of 0/1 (LSB first) into an int.
+
+    >>> from_bits([0, 1, 1, 0])
+    6
+    """
+    value = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b!r} at index {i}")
+        value |= b << i
+    return value
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    >>> reverse_bits(0b0011, 4)
+    12
+    """
+    out = 0
+    for i in range(width):
+        if (value >> i) & 1:
+            out |= 1 << (width - 1 - i)
+    return out
+
+
+def clog2(value: int) -> int:
+    """Ceiling log base 2 for positive ints; ``clog2(1) == 0``.
+
+    >>> [clog2(n) for n in (1, 2, 3, 4, 5, 8)]
+    [0, 1, 2, 2, 3, 3]
+    """
+    if value <= 0:
+        raise ValueError(f"clog2 expects a positive int, got {value}")
+    return (value - 1).bit_length()
+
+
+def is_pow2(value: int) -> bool:
+    """True when ``value`` is a positive power of two.
+
+    >>> is_pow2(4), is_pow2(6), is_pow2(0)
+    (True, False, False)
+    """
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,41 @@
+"""Deterministic RNG plumbing.
+
+Every stochastic component in the library takes either a seed or an
+existing :class:`numpy.random.Generator`; :func:`ensure_rng` normalizes
+both into a Generator so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    - ``None`` → a fixed default seed (0) so library behaviour is
+      deterministic unless the caller opts into their own entropy.
+    - ``int`` → ``np.random.default_rng(seed)``.
+    - an existing ``Generator`` → returned unchanged (shared state).
+    """
+    if seed is None:
+        return np.random.default_rng(0)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used when a driver fans work out to sub-components that must not
+    perturb each other's streams (e.g. per-context circuit mutation).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

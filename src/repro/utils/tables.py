@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark and analysis reports.
+
+The benchmark harness prints the same rows the paper reports; this module
+keeps the formatting consistent (and dependency-free) across benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_ratio(value: float, digits: int = 1) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.451 -> '45.1%'``."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format with SI prefixes: ``12500 -> '12.50 k'``."""
+    prefixes = [(1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n")]
+    av = abs(value)
+    for factor, prefix in prefixes:
+        if av >= factor or (factor == 1e-9):
+            return f"{value / factor:.{digits}f} {prefix}{unit}".rstrip()
+    return f"{value:.{digits}f} {unit}".rstrip()
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    >>> t = TextTable(["name", "value"], title="demo")
+    >>> t.add_row(["x", 1])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(sep))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())

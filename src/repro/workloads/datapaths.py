@@ -1,0 +1,161 @@
+"""Larger datapath and control workloads.
+
+Extends the base generator set with the circuit families the paper's
+introduction gestures at (DPGAs as sequences of datapath processors):
+shifters, encoders, counters-of-ones, FIR taps, FSM next-state logic
+and the classic ISCAS-85 c17 sanity netlist.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.netlist.netlist import Netlist
+from repro.netlist.synth import synthesize
+
+
+def barrel_shifter(width: int = 4, name: str | None = None) -> Netlist:
+    """Logical left barrel shifter: d[], s[] -> y[] = d << s (truncating).
+
+    ``width`` must be a power of two; shift amount has log2(width) bits.
+    """
+    from repro.utils.bitops import clog2, is_pow2
+
+    if not is_pow2(width):
+        raise SynthesisError("barrel shifter width must be a power of two")
+    stages = clog2(width)
+    inputs = [f"d{i}" for i in range(width)] + [f"s{j}" for j in range(stages)]
+    # stage j shifts by 2^j when s_j
+    current = [f"d{i}" for i in range(width)]
+    exprs: dict[str, str] = {}
+    for j in range(stages):
+        shift = 1 << j
+        nxt = []
+        for i in range(width):
+            src = current[i - shift] if i - shift >= 0 else "0"
+            cur = current[i]
+            nxt.append(f"mux(s{j}, {_p(cur)}, {_p(src)})")
+        current = nxt
+    for i in range(width):
+        exprs[f"y{i}"] = current[i]
+    return synthesize(inputs, exprs, name=name or f"bshift{width}")
+
+
+def _p(e: str) -> str:
+    return e if e.isidentifier() or e in ("0", "1") else f"({e})"
+
+
+def priority_encoder(width: int = 4, name: str | None = None) -> Netlist:
+    """Highest-set-bit encoder: r[] -> e[] (binary index), valid."""
+    from repro.utils.bitops import clog2
+
+    inputs = [f"r{i}" for i in range(width)]
+    bits = clog2(max(2, width))
+    exprs: dict[str, str] = {}
+    # valid = OR of all requests
+    exprs["valid"] = " | ".join(inputs)
+    for b in range(bits):
+        terms = []
+        for i in range(width):
+            if (i >> b) & 1:
+                # request i wins if set and no higher request set
+                higher = [f"~r{j}" for j in range(i + 1, width)]
+                term = " & ".join([f"r{i}"] + higher) if higher else f"r{i}"
+                terms.append(f"({term})")
+        exprs[f"e{b}"] = " | ".join(terms) if terms else "0"
+    return synthesize(inputs, exprs, name=name or f"prio{width}")
+
+
+def popcount3(name: str | None = None) -> Netlist:
+    """3-input population count -> 2-bit sum (a carry-save primitive)."""
+    return synthesize(
+        ["x0", "x1", "x2"],
+        {
+            "c0": "x0 ^ x1 ^ x2",
+            "c1": "(x0 & x1) | (x1 & x2) | (x0 & x2)",
+        },
+        name=name or "popcount3",
+    )
+
+
+def fir_tap(width: int = 3, name: str | None = None) -> Netlist:
+    """One bit-serial FIR tap: acc' = acc + (coef ? sample : 0).
+
+    Sequential: ``width``-bit accumulator registers, 1-bit sample input
+    and a ``width``-bit coefficient input ANDed in serially.
+    """
+    inputs = ["sample"] + [f"k{i}" for i in range(width)]
+    regs: dict[str, str] = {}
+    outputs: dict[str, str] = {}
+    carry = "0"
+    for i in range(width):
+        addend = f"(k{i} & sample)"
+        regs[f"acc{i}"] = f"acc{i} ^ {addend} ^ {_p(carry)}"
+        carry = f"((acc{i} & {addend}) | ({_p(carry)} & (acc{i} ^ {addend})))"
+        outputs[f"a{i}"] = f"acc{i}"
+    return synthesize(inputs, outputs, registers=regs, name=name or f"fir{width}")
+
+
+def sequence_detector(pattern: str = "1011", name: str | None = None) -> Netlist:
+    """Mealy detector for a binary ``pattern`` on serial input ``d``.
+
+    Overlapping matches; one-hot state registers; output ``hit``.
+    """
+    if not pattern or any(c not in "01" for c in pattern):
+        raise SynthesisError("pattern must be a non-empty binary string")
+    n = len(pattern)
+
+    # KMP-style next-state table over states 0..n-1 (progress so far).
+    # After a full match the machine falls back to the longest *proper*
+    # prefix that is a suffix, so overlapping matches are caught.
+    def advance(state: int, bit: str) -> int:
+        s = pattern[:state] + bit
+        while s:
+            if pattern.startswith(s) and len(s) < n:
+                return len(s)
+            s = s[1:]
+        return 0
+
+    regs: dict[str, str] = {}
+    # one-hot state bits st0..st{n-1}; st0 is implicit (no progress)
+    for target in range(1, n):
+        sources = []
+        for state in range(n):
+            for bit in "01":
+                if advance(state, bit) == target:
+                    cond = f"{'d' if bit == '1' else '~d'}"
+                    state_net = f"st{state}" if state else None
+                    if state == 0:
+                        zero = " & ".join(
+                            f"~st{s}" for s in range(1, n)
+                        )
+                        sources.append(f"(({zero}) & {cond})")
+                    else:
+                        sources.append(f"(st{state} & {cond})")
+        regs[f"st{target}"] = " | ".join(sources) if sources else "0"
+    last_bit = "d" if pattern[-1] == "1" else "~d"
+    outputs = {"hit": f"st{n - 1} & {last_bit}"}
+    return synthesize(["d"], outputs, registers=regs,
+                      name=name or f"seqdet_{pattern}")
+
+
+def iscas_c17(name: str | None = None) -> Netlist:
+    """The ISCAS-85 c17 benchmark: 6 NAND gates, 5 inputs, 2 outputs.
+
+    Gate-for-gate transcription::
+
+        n10 = NAND(n1,  n3)      n16 = NAND(n2,  n11)
+        n11 = NAND(n3,  n6)      n19 = NAND(n11, n7)
+        n22 = NAND(n10, n16)     n23 = NAND(n16, n19)
+    """
+    n10 = "~(n1 & n3)"
+    n11 = "~(n3 & n6)"
+    n16 = f"~(n2 & ({n11}))"
+    n19 = f"~(({n11}) & n7)"
+    return synthesize(
+        ["n1", "n2", "n3", "n6", "n7"],
+        {
+            "n22": f"~(({n10}) & ({n16}))",
+            "n23": f"~(({n16}) & ({n19}))",
+        },
+        name=name or "c17",
+    )

@@ -1,0 +1,185 @@
+"""Benchmark circuit generators.
+
+The paper evaluates no concrete circuits (its 5% change rate is an
+assumption from the literature), so this module provides the synthetic
+suite the reproduction *measures* instead: arithmetic, encoding, random
+logic and sequential blocks sized for the behavioral fabric.  All
+generators are deterministic given their arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SynthesisError
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+from repro.netlist.synth import synthesize
+from repro.utils.rng import ensure_rng
+
+
+def ripple_adder(width: int = 4, name: str | None = None) -> Netlist:
+    """``width``-bit ripple-carry adder: a[], b[], cin -> s[], cout."""
+    if width < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width}")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)] + ["cin"]
+    outputs: dict[str, str] = {}
+    carry = "cin"
+    for i in range(width):
+        outputs[f"s{i}"] = f"a{i} ^ b{i} ^ {_p(carry)}"
+        carry = f"((a{i} & b{i}) | ({_p(carry)} & (a{i} ^ b{i})))"
+    outputs["cout"] = carry
+    return synthesize(inputs, outputs, name=name or f"adder{width}")
+
+
+def _p(expr: str) -> str:
+    return expr if expr.isidentifier() else f"({expr})"
+
+
+def comparator(width: int = 4, name: str | None = None) -> Netlist:
+    """Equality + greater-than comparator for two ``width``-bit words."""
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    eq_terms = [f"~(a{i} ^ b{i})" for i in range(width)]
+    eq = " & ".join(f"({t})" for t in eq_terms)
+    # a > b : MSB-first priority
+    gt_terms = []
+    prefix = ""
+    for i in reversed(range(width)):
+        term = f"(a{i} & ~b{i})"
+        if prefix:
+            term = f"({prefix} & {term})"
+        gt_terms.append(term)
+        eqb = f"(~(a{i} ^ b{i}))"
+        prefix = eqb if not prefix else f"({prefix} & {eqb})"
+    gt = " | ".join(gt_terms)
+    return synthesize(inputs, {"eq": eq, "gt": gt}, name=name or f"cmp{width}")
+
+
+def parity_tree(width: int = 8, name: str | None = None) -> Netlist:
+    """XOR-reduction of ``width`` inputs."""
+    inputs = [f"x{i}" for i in range(width)]
+    expr = " ^ ".join(inputs)
+    return synthesize(inputs, {"p": expr}, name=name or f"parity{width}")
+
+
+def majority_tree(width: int = 9, name: str | None = None) -> Netlist:
+    """Majority vote over ``width`` (odd) inputs via adder-less counting."""
+    if width % 2 == 0:
+        raise SynthesisError("majority width must be odd")
+    inputs = [f"x{i}" for i in range(width)]
+    netlist = Netlist(name or f"maj{width}")
+    for pi in inputs:
+        netlist.add_input(pi)
+    # tree of 3-input majority LUTs (sound for vote aggregation demos)
+    maj3 = TruthTable.from_function(3, lambda a, b, c: (a + b + c) >= 2)
+    layer = list(inputs)
+    counter = 0
+    while len(layer) > 1:
+        nxt = []
+        while len(layer) >= 3:
+            a, b, c = layer.pop(0), layer.pop(0), layer.pop(0)
+            counter += 1
+            out = f"m{counter}"
+            netlist.add_lut(f"{out}_cell", [a, b, c], out, maj3)
+            nxt.append(out)
+        nxt.extend(layer)
+        layer = nxt
+    netlist.add_output("vote", layer[0])
+    netlist.validate()
+    return netlist
+
+
+def crc_step(width: int = 8, poly: int = 0x07, name: str | None = None) -> Netlist:
+    """One combinational CRC update step: crc[], d -> next_crc[].
+
+    Implements ``next = (crc << 1) ^ (poly if (msb ^ d) else 0)``.
+    """
+    inputs = [f"c{i}" for i in range(width)] + ["d"]
+    fb = f"(c{width - 1} ^ d)"
+    outputs: dict[str, str] = {}
+    for i in range(width):
+        prev = f"c{i - 1}" if i > 0 else "0"
+        if (poly >> i) & 1:
+            outputs[f"n{i}"] = f"({prev}) ^ {fb}"
+        else:
+            outputs[f"n{i}"] = f"({prev})"
+    return synthesize(inputs, outputs, name=name or f"crc{width}")
+
+
+def alu_slice(name: str | None = None) -> Netlist:
+    """One-bit ALU slice: op1/op0 select among AND, OR, XOR, ADD."""
+    inputs = ["a", "b", "cin", "op0", "op1"]
+    outputs = {
+        "y": "mux(op1, mux(op0, a & b, a | b), mux(op0, a ^ b, a ^ b ^ cin))",
+        "cout": "(a & b) | (cin & (a ^ b))",
+    }
+    return synthesize(inputs, outputs, name=name or "alu_slice")
+
+
+def gray_encoder(width: int = 4, name: str | None = None) -> Netlist:
+    """Binary to Gray code."""
+    inputs = [f"b{i}" for i in range(width)]
+    outputs = {f"g{i}": (f"b{i} ^ b{i + 1}" if i + 1 < width else f"b{i}")
+               for i in range(width)}
+    return synthesize(inputs, outputs, name=name or f"gray{width}")
+
+
+def ripple_counter(width: int = 3, name: str | None = None) -> Netlist:
+    """``width``-bit synchronous counter (sequential workload)."""
+    regs: dict[str, str] = {}
+    outputs: dict[str, str] = {}
+    carry = "1"
+    for i in range(width):
+        regs[f"q{i}"] = f"q{i} ^ ({carry})"
+        carry = f"({carry}) & q{i}"
+        outputs[f"o{i}"] = f"q{i}"
+    return synthesize([], outputs, registers=regs, name=name or f"cnt{width}")
+
+
+def lfsr(width: int = 4, taps: tuple[int, ...] = (3, 2), name: str | None = None) -> Netlist:
+    """Fibonacci LFSR with XOR feedback from ``taps`` (sequential)."""
+    if any(t >= width for t in taps):
+        raise SynthesisError("tap index out of range")
+    fb = " ^ ".join(f"q{t}" for t in taps)
+    # ensure non-zero startup: xnor-style feedback on bit 0 via OR of all-zero
+    zero = " & ".join(f"~q{i}" for i in range(width))
+    regs = {"q0": f"({fb}) ^ ({zero})"}
+    for i in range(1, width):
+        regs[f"q{i}"] = f"q{i - 1}"
+    outputs = {f"o{i}": f"q{i}" for i in range(width)}
+    return synthesize([], outputs, registers=regs, name=name or f"lfsr{width}")
+
+
+def random_dag(
+    n_inputs: int = 6,
+    n_gates: int = 20,
+    n_outputs: int = 4,
+    seed: int | np.random.Generator | None = 0,
+    name: str | None = None,
+) -> Netlist:
+    """Random 2-3 input gate DAG — the "random logic" workload class."""
+    rng = ensure_rng(seed)
+    netlist = Netlist(name or f"rand{n_gates}")
+    nets: list[str] = []
+    for i in range(n_inputs):
+        netlist.add_input(f"x{i}")
+        nets.append(f"x{i}")
+    ops2 = ["and", "or", "xor", "nand", "nor", "xnor"]
+    from repro.netlist.dfg import OPS
+
+    for gi in range(n_gates):
+        arity = 3 if rng.random() < 0.25 else 2
+        if arity == 3:
+            op = "mux" if rng.random() < 0.5 else "maj"
+        else:
+            op = ops2[int(rng.integers(len(ops2)))]
+        picks = rng.choice(len(nets), size=arity, replace=len(nets) < arity)
+        args = [nets[int(p)] for p in picks]
+        out = f"g{gi}"
+        netlist.add_lut(f"{out}_cell", args, out, OPS[op])
+        nets.append(out)
+    # outputs from the last gates (guaranteed to exist)
+    for oi in range(n_outputs):
+        netlist.add_output(f"y{oi}", nets[-(oi + 1)])
+    netlist.validate()
+    return netlist

@@ -1,0 +1,61 @@
+"""Tests for ASCII floorplan rendering."""
+
+import pytest
+
+from repro.analysis.floorplan import (
+    occupancy_stats,
+    render_occupancy,
+    render_placement,
+)
+from repro.arch.params import ArchParams
+from repro.netlist.dfg import paper_example_program
+from repro.place.placer import place_program
+
+
+@pytest.fixture(scope="module")
+def placed():
+    params = ArchParams(cols=4, rows=4, channel_width=8, io_capacity=4)
+    prog = paper_example_program()
+    pls = place_program(prog, params, seed=1, share_aware=True, effort=0.3)
+    return params, prog, pls
+
+
+class TestRenderPlacement:
+    def test_contains_cells_and_frame(self, placed):
+        params, prog, pls = placed
+        text = render_placement(pls[0], params, title="ctx0")
+        assert "ctx0" in text
+        assert "O2" in text
+        assert text.count("+") > 8  # grid frame
+
+    def test_grid_dimensions(self, placed):
+        params, _, pls = placed
+        text = render_placement(pls[0], params)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == params.rows
+
+    def test_io_annotated(self, placed):
+        params, _, pls = placed
+        text = render_placement(pls[0], params)
+        assert "io:" in text
+
+
+class TestRenderOccupancy:
+    def test_shared_tiles_starred(self, placed):
+        params, _, pls = placed
+        text = render_occupancy(pls, params)
+        # O2/O3 are pinned across both contexts -> '*'
+        assert "*" in text
+        assert "legend" in text
+
+    def test_stats(self, placed):
+        params, _, pls = placed
+        stats = occupancy_stats(pls, params)
+        assert stats["tiles_used"] >= 4  # O1, O4, O2, O3 (O1/O4 may share)
+        assert stats["tiles_shared_pinned"] == 2  # O2 and O3
+        assert 0 < stats["utilization"] <= 1
+
+    def test_empty_placements(self):
+        params = ArchParams(cols=2, rows=2)
+        stats = occupancy_stats([], params)
+        assert stats["tiles_used"] == 0

@@ -1,0 +1,48 @@
+"""Tests for pattern-class tables (Figs. 3-5, Table 2)."""
+
+from repro.analysis.pattern_stats import (
+    context_id_table,
+    measured_pattern_histogram,
+    pattern_class_table,
+    pattern_cost_table,
+)
+
+
+class TestContextIdTable:
+    def test_table2_content(self):
+        text = context_id_table(4)
+        assert "S0" in text and "S1" in text
+        assert "Context 3" in text
+
+
+class TestClassTable:
+    def test_all_16_rows(self):
+        text = pattern_class_table(4)
+        assert text.count("constant") == 2
+        assert text.count("literal") == 4
+        assert text.count("general") == 10
+
+    def test_hardware_descriptions(self):
+        text = pattern_class_table(4)
+        assert "memory bit" in text
+        assert "S0" in text or "S1" in text
+        assert "mux tree" in text
+
+
+class TestCostTable:
+    def test_figures_345_numbers(self):
+        t = pattern_cost_table(4)
+        assert t["n_constant"] == 2
+        assert t["n_literal"] == 4
+        assert t["n_general"] == 10
+        assert t["avg_cost_constant"] == 1.0
+        assert t["avg_cost_literal"] == 1.0
+        assert t["avg_cost_general"] == 4.0
+
+
+class TestHistogram:
+    def test_renders_counts(self):
+        text = measured_pattern_histogram([0, 0, 0b1111, 0b1000], 4)
+        assert "0000" in text
+        assert "1000" in text
+        assert "50.0%" in text

@@ -1,0 +1,53 @@
+"""Tests for redundancy reporting (Table 1 statistics)."""
+
+import pytest
+
+from repro.analysis.experiments import map_program
+from repro.analysis.redundancy import paper_table1, redundancy_report, table1_view
+from repro.core.patterns import table1_patterns
+from repro.netlist.dfg import paper_example_program
+
+
+@pytest.fixture(scope="module")
+def stats():
+    mapped = map_program(paper_example_program(), share_aware=True, seed=2,
+                         effort=0.3)
+    return mapped.stats()
+
+
+class TestReport:
+    def test_fractions_sum_to_one(self, stats):
+        rep = redundancy_report(stats)
+        assert rep.constant_fraction + rep.literal_fraction + rep.general_fraction == pytest.approx(1.0)
+
+    def test_dominated_by_constants(self, stats):
+        rep = redundancy_report(stats)
+        assert rep.constant_fraction > 0.9
+
+    def test_change_fraction_small(self, stats):
+        """The <3-5% phenomenon the paper builds on."""
+        rep = redundancy_report(stats)
+        assert rep.change_fraction < 0.05
+
+    def test_duplicates_exist(self, stats):
+        """Between-switch redundancy (G2 == G4) appears in real maps."""
+        rep = redundancy_report(stats)
+        assert rep.duplicate_fraction > 0.5
+
+    def test_render(self, stats):
+        text = redundancy_report(stats).render()
+        assert "constant" in text
+        assert "%" in text
+
+
+class TestTable1View:
+    def test_paper_table_renders(self):
+        text = paper_table1()
+        assert "G2" in text and "G9" in text
+        assert "constant" in text
+
+    def test_custom_view(self):
+        pats = {k: v.mask for k, v in table1_patterns().items()}
+        text = table1_view(pats)
+        for name in pats:
+            assert name in text

@@ -1,0 +1,59 @@
+"""Tests for report rendering."""
+
+from repro.analysis.report import (
+    area_comparison_table,
+    breakdown_table,
+    sweep_table,
+)
+from repro.core.area_model import AreaModel, Technology
+
+
+def comparisons():
+    model = AreaModel()
+    return {
+        tech.value: model.paper_operating_point(tech=tech)
+        for tech in (Technology.CMOS, Technology.FEPG)
+    }
+
+
+class TestAreaTable:
+    def test_includes_paper_reference(self):
+        text = area_comparison_table(comparisons())
+        assert "45.0%" in text and "37.0%" in text
+        assert "cmos" in text and "fepg" in text
+
+    def test_custom_reference(self):
+        text = area_comparison_table(
+            comparisons(), paper_reference={"cmos": 0.5}
+        )
+        assert "50.0%" in text
+        assert "-" in text  # fepg has no reference
+
+    def test_custom_title(self):
+        text = area_comparison_table(comparisons(), title="XYZ")
+        assert text.startswith("XYZ")
+
+
+class TestBreakdownTable:
+    def test_components_listed(self):
+        text = breakdown_table(comparisons()["cmos"])
+        for row in ("switch block", "logic block", "RCM overhead", "total"):
+            assert row in text
+
+    def test_conventional_has_no_overhead(self):
+        text = breakdown_table(comparisons()["cmos"])
+        line = [l for l in text.splitlines() if "RCM overhead" in l][0]
+        assert "| 0 " in line or "| 0" in line
+
+
+class TestSweepTable:
+    def test_ratio_formatting(self):
+        rows = [(0.05, 0.448, 0.371), (0.10, 0.515, 0.427)]
+        text = sweep_table(rows, ["rate", "cmos", "fepg"], "t")
+        assert "44.8%" in text
+        assert "5.0%" in text
+
+    def test_non_ratio_values_passthrough(self):
+        rows = [(4, 0.448, 0.371)]
+        text = sweep_table(rows, ["n", "cmos", "fepg"], "t")
+        assert "4" in text.splitlines()[-1]

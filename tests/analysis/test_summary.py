@@ -1,0 +1,32 @@
+"""Tests for the one-call reproduction driver."""
+
+import pytest
+
+from repro.analysis.summary import reproduce_paper
+
+
+class TestReproducePaper:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return reproduce_paper(include_measured_flow=True, seed=7)
+
+    def test_all_checks_pass(self, report):
+        failing = [c.artifact for c in report.checks if not c.passed]
+        assert report.all_passed, f"failing checks: {failing}"
+
+    def test_covers_headline_claims(self, report):
+        artifacts = " ".join(c.artifact for c in report.checks)
+        assert "Figs. 3-5" in artifacts
+        assert "Fig. 9" in artifacts
+        assert "Figs. 13-14" in artifacts
+        assert "Section 5" in artifacts
+
+    def test_render(self, report):
+        text = report.render()
+        assert "scorecard" in text
+        assert "45" in text
+
+    def test_fast_mode_skips_flow(self):
+        quick = reproduce_paper(include_measured_flow=False)
+        assert len(quick.checks) == 6
+        assert quick.all_passed

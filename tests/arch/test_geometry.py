@@ -1,0 +1,71 @@
+"""Tests for grid geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.geometry import Coord, Grid, Side
+from repro.errors import ArchitectureError
+
+
+class TestSide:
+    def test_opposites(self):
+        assert Side.NORTH.opposite() is Side.SOUTH
+        assert Side.EAST.opposite() is Side.WEST
+
+    def test_double_opposite(self):
+        for s in Side:
+            assert s.opposite().opposite() is s
+
+
+class TestCoord:
+    def test_step(self):
+        c = Coord(2, 3)
+        assert c.step(Side.NORTH) == Coord(2, 4)
+        assert c.step(Side.WEST) == Coord(1, 3)
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_step_round_trip(self, x, y):
+        c = Coord(x, y)
+        for s in Side:
+            assert c.step(s).step(s.opposite()) == c
+
+    def test_manhattan(self):
+        assert Coord(0, 0).manhattan(Coord(3, 4)) == 7
+
+    def test_ordering(self):
+        assert Coord(0, 1) < Coord(1, 0)
+
+
+class TestGrid:
+    def test_contains(self):
+        g = Grid(3, 2)
+        assert g.contains(Coord(2, 1))
+        assert not g.contains(Coord(3, 0))
+        assert not g.contains(Coord(-1, 0))
+
+    def test_check_raises(self):
+        with pytest.raises(ArchitectureError):
+            Grid(2, 2).check(Coord(2, 2))
+
+    def test_tiles_count(self):
+        assert len(list(Grid(4, 3).tiles())) == 12
+
+    def test_perimeter(self):
+        per = list(Grid(3, 3).perimeter())
+        assert len(per) == 8
+        assert Coord(1, 1) not in per
+
+    def test_perimeter_small_grid(self):
+        assert len(list(Grid(1, 1).perimeter())) == 1
+        assert len(list(Grid(2, 2).perimeter())) == 4
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_index_roundtrip(self, cols, rows):
+        g = Grid(cols, rows)
+        for t in g.tiles():
+            assert g.coord(g.index(t)) == t
+
+    def test_invalid_grid(self):
+        with pytest.raises(ArchitectureError):
+            Grid(0, 5)

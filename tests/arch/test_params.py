@@ -1,0 +1,66 @@
+"""Tests for architecture parameters."""
+
+import pytest
+
+from repro.arch.params import ArchParams, conventional_params, paper_params
+from repro.errors import ArchitectureError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = ArchParams()
+        assert p.n_tiles == 64
+
+    def test_rejects_non_pow2_contexts(self):
+        with pytest.raises(ArchitectureError):
+            ArchParams(n_contexts=3)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ArchitectureError):
+            ArchParams(cols=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ArchitectureError):
+            ArchParams(double_fraction=2.0)
+
+
+class TestDerived:
+    def test_n_id_bits(self):
+        assert ArchParams(n_contexts=4).n_id_bits == 2
+        assert ArchParams(n_contexts=8).n_id_bits == 3
+
+    def test_lut_geometry(self):
+        p = ArchParams(lut_inputs=6, lut_outputs=2, n_contexts=4)
+        g = p.lut_geometry()
+        assert g.base_inputs == 6
+        assert g.n_outputs == 2
+
+    def test_track_split(self):
+        p = ArchParams(channel_width=10, double_fraction=0.5)
+        assert p.n_single_tracks() == 5
+        assert p.n_double_tracks() == 5
+
+    def test_lut_config_bits(self):
+        p = ArchParams(lut_inputs=6, lut_outputs=2)
+        assert p.lut_config_bits_per_tile() == 128
+
+    def test_with_(self):
+        p = ArchParams().with_(n_contexts=8)
+        assert p.n_contexts == 8
+        assert p.cols == ArchParams().cols
+
+
+class TestPresets:
+    def test_paper_params(self):
+        """Section 5: 4 contexts, 6-input 2-output MCMG-LUTs, 5% rate."""
+        p = paper_params()
+        assert p.n_contexts == 4
+        assert p.lut_inputs == 6
+        assert p.lut_outputs == 2
+        assert p.general_pool_fraction == 0.05
+        assert p.adaptive_logic_blocks
+
+    def test_conventional_counterpart(self):
+        c = conventional_params(paper_params())
+        assert not c.adaptive_logic_blocks
+        assert c.n_contexts == paper_params().n_contexts

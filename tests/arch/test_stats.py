@@ -1,0 +1,70 @@
+"""Tests for fabric statistics."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.rrg import build_rrg
+from repro.arch.stats import channel_utilization, fabric_stats
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    params = ArchParams(cols=4, rows=4, channel_width=8,
+                        double_fraction=0.5, io_capacity=2)
+    return params, build_rrg(params)
+
+
+class TestFabricStats:
+    def test_census_consistent(self, fabric):
+        params, g = fabric
+        s = fabric_stats(g)
+        assert s.n_tiles == 16
+        assert s.n_wires == s.n_single_segments + s.n_double_segments
+        assert s.n_pass_switches == g.pass_switch_count()
+        assert s.n_ipins > 0 and s.n_opins > 0
+
+    def test_wirelength_capacity(self, fabric):
+        _, g = fabric
+        s = fabric_stats(g)
+        assert s.wirelength_capacity > s.n_wires  # doubles count twice
+
+    def test_all_double_fabric(self):
+        params = ArchParams(cols=3, rows=3, channel_width=4,
+                            double_fraction=1.0)
+        s = fabric_stats(build_rrg(params))
+        assert s.n_single_segments == 0
+        assert s.n_pass_switches == 0  # everything buffered
+
+    def test_all_single_fabric(self):
+        params = ArchParams(cols=3, rows=3, channel_width=4,
+                            double_fraction=0.0)
+        s = fabric_stats(build_rrg(params))
+        assert s.n_double_segments == 0
+        assert s.n_buf_switches == 0
+
+    def test_summary_text(self, fabric):
+        _, g = fabric
+        assert "tiles" in fabric_stats(g).summary()
+
+
+class TestChannelUtilization:
+    def test_routed_design_uses_some_capacity(self, fabric):
+        from repro.netlist.techmap import tech_map
+        from repro.place.placer import place
+        from repro.route.pathfinder import route_context
+        from repro.workloads.generators import ripple_adder
+
+        params, g = fabric
+        n = tech_map(ripple_adder(2), k=4)
+        pl = place(n, params, seed=0, effort=0.3)
+        rr = route_context(g, n, pl)
+        used = set()
+        for net in rr.nets.values():
+            used.update(net.nodes)
+        u = channel_utilization(g, used)
+        assert 0 < u["utilization"] < 1.0
+
+    def test_empty_routing(self, fabric):
+        _, g = fabric
+        u = channel_utilization(g, set())
+        assert u["used"] == 0.0

@@ -1,0 +1,80 @@
+"""Tests for wire segmentation (double-length lines, Fig. 10)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.wires import SegmentKind, TrackSpec, make_track_specs
+from repro.errors import ArchitectureError
+
+
+class TestSegmentKind:
+    def test_lengths(self):
+        assert SegmentKind.SINGLE.length == 1
+        assert SegmentKind.DOUBLE.length == 2
+
+    def test_buffering(self):
+        """Double-length lines are driven by buffers; RCM singles ride
+        pass-gates (the delay contrast of Fig. 10)."""
+        assert SegmentKind.DOUBLE.buffered
+        assert not SegmentKind.SINGLE.buffered
+
+
+class TestTrackSpec:
+    def test_single_starts_everywhere(self):
+        t = TrackSpec(0, SegmentKind.SINGLE)
+        assert all(t.starts_segment_at(p) for p in range(5))
+
+    def test_double_alternates(self):
+        """Double-length lines bypass alternate switch positions."""
+        t = TrackSpec(1, SegmentKind.DOUBLE, phase=0)
+        assert [t.starts_segment_at(p) for p in range(4)] == [True, False, True, False]
+
+    def test_phase_staggering(self):
+        t0 = TrackSpec(1, SegmentKind.DOUBLE, phase=0)
+        t1 = TrackSpec(2, SegmentKind.DOUBLE, phase=1)
+        for p in range(6):
+            assert t0.starts_segment_at(p) != t1.starts_segment_at(p)
+
+    def test_segment_origin(self):
+        t = TrackSpec(1, SegmentKind.DOUBLE, phase=0)
+        assert t.segment_origin(0) == 0
+        assert t.segment_origin(1) == 0
+        assert t.segment_origin(2) == 2
+
+    def test_single_has_no_phase(self):
+        with pytest.raises(ArchitectureError):
+            TrackSpec(0, SegmentKind.SINGLE, phase=1)
+
+
+class TestMakeTrackSpecs:
+    def test_half_split(self):
+        specs = make_track_specs(8, 0.5)
+        kinds = [s.kind for s in specs]
+        assert kinds.count(SegmentKind.SINGLE) == 4
+        assert kinds.count(SegmentKind.DOUBLE) == 4
+
+    def test_all_single(self):
+        specs = make_track_specs(4, 0.0)
+        assert all(s.kind is SegmentKind.SINGLE for s in specs)
+
+    def test_all_double(self):
+        specs = make_track_specs(4, 1.0)
+        assert all(s.kind is SegmentKind.DOUBLE for s in specs)
+
+    @given(st.integers(1, 32), st.floats(0.0, 1.0))
+    def test_width_preserved_and_indices_unique(self, w, frac):
+        specs = make_track_specs(w, frac)
+        assert len(specs) == w
+        assert sorted(s.index for s in specs) == list(range(w))
+
+    def test_double_phases_alternate(self):
+        specs = make_track_specs(6, 1.0)
+        phases = [s.phase for s in specs]
+        assert phases == [0, 1, 0, 1, 0, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ArchitectureError):
+            make_track_specs(0)
+        with pytest.raises(ArchitectureError):
+            make_track_specs(4, 1.5)

@@ -1,0 +1,114 @@
+"""Tests for bitstream extraction and pattern statistics."""
+
+import pytest
+
+from repro.analysis.experiments import map_program
+from repro.core.bitstream import (
+    extract_lut_patterns,
+    extract_switch_patterns,
+)
+from repro.core.patterns import PatternClass
+from repro.netlist.dfg import paper_example_program
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.workloads.multicontext import mutated_program
+
+
+@pytest.fixture(scope="module")
+def mapped_identical():
+    """Two identical contexts mapped share-aware: maximal redundancy."""
+    base = tech_map(
+        synthesize(["a", "b", "c"], {"o": "(a & b) ^ c"}), k=4
+    )
+    prog = mutated_program(base, n_contexts=2, fraction=0.0, seed=1)
+    return map_program(prog, share_aware=True, seed=2, effort=0.3)
+
+
+@pytest.fixture(scope="module")
+def mapped_example():
+    return map_program(paper_example_program(), share_aware=True, seed=2,
+                       effort=0.3)
+
+
+class TestSwitchPatterns:
+    def test_identical_contexts_all_constant(self, mapped_identical):
+        """Identical contexts with route reuse: every switch bit is
+        CONSTANT — the redundancy ceiling."""
+        sp = extract_switch_patterns(
+            mapped_identical.rrg, mapped_identical.routes,
+            mapped_identical.params.n_contexts,
+        )
+        census = sp.census()
+        assert census[PatternClass.LITERAL] == 0
+        assert census[PatternClass.GENERAL] == 0
+        assert sp.change_fraction() == 0.0
+
+    def test_total_switch_count_includes_unused(self, mapped_identical):
+        sp = extract_switch_patterns(
+            mapped_identical.rrg, mapped_identical.routes,
+            mapped_identical.params.n_contexts,
+        )
+        assert sp.n_total_switches > len(sp.used)
+        assert len(sp.all_masks()) == sp.n_total_switches
+
+    def test_used_masks_nonzero(self, mapped_example):
+        sp = extract_switch_patterns(
+            mapped_example.rrg, mapped_example.routes,
+            mapped_example.params.n_contexts,
+        )
+        assert all(m != 0 for m in sp.used.values())
+
+    def test_census_excluding_unused(self, mapped_example):
+        sp = extract_switch_patterns(
+            mapped_example.rrg, mapped_example.routes,
+            mapped_example.params.n_contexts,
+        )
+        with_unused = sum(sp.census(True).values())
+        without = sum(sp.census(False).values())
+        assert with_unused - without == sp.n_total_switches - len(sp.used)
+
+
+class TestLutPatterns:
+    def test_shared_cells_constant_patterns(self, mapped_example):
+        """Fig. 13's shared O2/O3 produce CONSTANT LUT-bit patterns."""
+        lp = extract_lut_patterns(
+            mapped_example.program, mapped_example.placements,
+            mapped_example.params,
+        )
+        census = lp.census(include_unused=False)
+        assert census[PatternClass.CONSTANT] > 0
+
+    def test_distinct_planes(self, mapped_example):
+        lp = extract_lut_patterns(
+            mapped_example.program, mapped_example.placements,
+            mapped_example.params,
+        )
+        planes = lp.distinct_planes_per_tile()
+        # O2/O3 tiles: 1 plane; O1/O4 tile: 2 planes
+        assert set(planes.values()) <= {1, 2}
+        assert 2 in planes.values()
+        assert 1 in planes.values()
+
+    def test_total_bits_accounting(self, mapped_example):
+        lp = extract_lut_patterns(
+            mapped_example.program, mapped_example.placements,
+            mapped_example.params,
+        )
+        assert (
+            len(lp.all_masks())
+            == lp.n_total_tiles * lp.lut_bits_per_tile
+        )
+
+
+class TestCombinedStats:
+    def test_class_fractions_sum_to_one(self, mapped_example):
+        stats = mapped_example.stats()
+        fracs = stats.class_fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_mostly_constant(self, mapped_example):
+        """Real mapped fabrics are dominated by CONSTANT patterns — the
+        observation the whole paper builds on."""
+        stats = mapped_example.stats()
+        fracs = stats.class_fractions()
+        assert fracs[PatternClass.CONSTANT] > 0.9

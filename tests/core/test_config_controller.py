@@ -1,0 +1,92 @@
+"""Tests for the programming port and context sequencer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_controller import (
+    FRAME_BITS,
+    ContextSequencer,
+    ProgrammingPort,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProgrammingPort:
+    def test_full_load_roundtrip(self):
+        port = ProgrammingPort(n_bits=100, n_contexts=4)
+        bits = np.random.default_rng(0).integers(0, 2, 100).astype(np.uint8)
+        report = port.full_load(1, bits)
+        assert (port.readback(1) == bits).all()
+        assert report.frames_written == report.frames_total == 4
+        assert report.shift_cycles == 4 * FRAME_BITS
+
+    def test_partial_load_skips_unchanged(self):
+        port = ProgrammingPort(n_bits=128, n_contexts=2)
+        base = np.zeros(128, dtype=np.uint8)
+        port.full_load(0, base)
+        changed = base.copy()
+        changed[0] = 1  # touches frame 0 only
+        report = port.partial_load(0, changed)
+        assert report.frames_written == 1
+        assert report.skipped_fraction == pytest.approx(0.75)
+
+    def test_partial_load_identical_writes_nothing(self):
+        port = ProgrammingPort(n_bits=64, n_contexts=2)
+        bits = np.ones(64, dtype=np.uint8)
+        port.full_load(0, bits)
+        report = port.partial_load(0, bits)
+        assert report.frames_written == 0
+        assert report.shift_cycles == 0
+
+    def test_cycle_accounting_accumulates(self):
+        port = ProgrammingPort(n_bits=32, n_contexts=2)
+        port.full_load(0, np.zeros(32, dtype=np.uint8))
+        port.full_load(1, np.ones(32, dtype=np.uint8))
+        assert port.total_shift_cycles == 2 * FRAME_BITS
+
+    def test_validation(self):
+        port = ProgrammingPort(n_bits=8, n_contexts=2)
+        with pytest.raises(ConfigurationError):
+            port.full_load(2, np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            port.full_load(0, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            port.full_load(0, np.full(8, 2, dtype=np.uint8))
+
+
+class TestContextSequencer:
+    def test_round_robin_default(self):
+        seq = ContextSequencer(4)
+        ids = [seq.current_id()] + [seq.advance() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 0, 1]
+
+    def test_id_bits_match_table2(self):
+        seq = ContextSequencer(4)
+        seq.advance()  # context 1
+        assert seq.id_bits() == (0, 1)  # (S1, S0)
+        seq.advance()  # context 2
+        assert seq.id_bits() == (1, 0)
+
+    def test_reordering_applied(self):
+        seq = ContextSequencer(4)
+        seq.apply_reordering((2, 0, 3, 1))
+        assert seq.current_id() == 2
+        assert seq.advance() == 0
+
+    def test_reordering_must_be_permutation(self):
+        seq = ContextSequencer(4)
+        with pytest.raises(ConfigurationError):
+            seq.apply_reordering((0, 0, 1, 2))
+
+    def test_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContextSequencer(4, schedule=[0, 1, 1, 2])
+        with pytest.raises(ConfigurationError):
+            ContextSequencer(4, schedule=[0, 5])
+
+    def test_trace_records_switches(self):
+        seq = ContextSequencer(2)
+        seq.advance()
+        seq.advance()
+        assert seq.trace.issued == [1, 0]
+        assert seq.trace.decode_cycles == 2

@@ -1,0 +1,93 @@
+"""Tests for the conventional multi-context memory baseline (Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.context_memory import ConventionalCell, ConventionalContextMemory
+from repro.core.patterns import ContextPattern
+from repro.errors import ConfigurationError
+
+
+class TestConventionalCell:
+    def test_read_selects_context_bit(self):
+        cell = ConventionalCell(4, [0, 1, 1, 0])
+        assert [cell.read(c) for c in range(4)] == [0, 1, 1, 0]
+
+    def test_from_pattern_roundtrip(self):
+        p = ContextPattern(0b1001, 4)
+        cell = ConventionalCell.from_pattern(p)
+        assert cell.pattern() == p
+
+    def test_always_n_memory_bits(self):
+        """The overhead the paper attacks: n bits even for constants."""
+        cell = ConventionalCell.from_pattern(ContextPattern.constant(0, 4))
+        assert cell.memory_bit_count() == 4
+
+    def test_program(self):
+        cell = ConventionalCell(4)
+        cell.program(2, 1)
+        assert cell.read(2) == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalCell(3)
+        with pytest.raises(ConfigurationError):
+            ConventionalCell(4, [0, 1])
+        with pytest.raises(ConfigurationError):
+            ConventionalCell(4).read(4)
+
+
+class TestConventionalContextMemory:
+    def test_plane_load_and_read(self):
+        mem = ConventionalContextMemory(8, 4)
+        mem.load_plane(1, np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8))
+        mem.switch_context(1)
+        assert mem.read(0) == 1
+        assert mem.read(1) == 0
+
+    def test_switch_counts_flips(self):
+        mem = ConventionalContextMemory(4, 2)
+        mem.load_plane(0, np.array([0, 0, 0, 0], dtype=np.uint8))
+        mem.load_plane(1, np.array([1, 1, 0, 0], dtype=np.uint8))
+        assert mem.switch_context(1) == 2
+        assert mem.switch_context(1) == 0
+
+    def test_pattern_masks_vectorized(self):
+        mem = ConventionalContextMemory(2, 4)
+        for c in range(4):
+            mem.load_plane(c, np.array([c & 1, (c >> 1) & 1], dtype=np.uint8))
+        masks = mem.pattern_masks()
+        assert masks[0] == 0b1010  # tracks S0
+        assert masks[1] == 0b1100  # tracks S1
+
+    def test_change_fraction(self):
+        mem = ConventionalContextMemory(4, 4)
+        # one bit flips once per cycle through the 4 contexts (twice: up/down)
+        mem.load_plane(2, np.array([1, 0, 0, 0], dtype=np.uint8))
+        mem.load_plane(3, np.array([1, 0, 0, 0], dtype=np.uint8))
+        frac = mem.change_fraction()
+        assert frac == pytest.approx(2 / 16)
+
+    def test_memory_bit_count(self):
+        assert ConventionalContextMemory(10, 4).memory_bit_count() == 40
+
+    def test_bad_plane_shape(self):
+        mem = ConventionalContextMemory(4, 2)
+        with pytest.raises(ConfigurationError):
+            mem.load_plane(0, np.zeros(3, dtype=np.uint8))
+
+    def test_bad_plane_values(self):
+        mem = ConventionalContextMemory(2, 2)
+        with pytest.raises(ConfigurationError):
+            mem.load_plane(0, np.array([0, 2], dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=16))
+    def test_masks_roundtrip(self, masks):
+        mem = ConventionalContextMemory(len(masks), 4)
+        for c in range(4):
+            mem.load_plane(
+                c, np.array([(m >> c) & 1 for m in masks], dtype=np.uint8)
+            )
+        assert list(mem.pattern_masks()) == masks

@@ -1,0 +1,128 @@
+"""Tests for decoder synthesis (paper Fig. 9 and its generalization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder_synth import (
+    DecoderBank,
+    best_split_bit,
+    decoder_cost,
+    isolated_cost_table,
+    synthesize_single,
+)
+from repro.core.patterns import ContextPattern, PatternClass, classify_mask
+from repro.errors import SynthesisError
+
+
+class TestDecoderCost:
+    def test_constant_and_literal_cost_one(self):
+        assert decoder_cost(0b0000, 4) == 1
+        assert decoder_cost(0b1111, 4) == 1
+        assert decoder_cost(0b1010, 4) == 1
+        assert decoder_cost(0b0011, 4) == 1
+
+    def test_fig9_pattern_costs_four(self):
+        """Fig. 9: (1,0,0,0) needs four SEs."""
+        mask = ContextPattern.from_paper_row((1, 0, 0, 0)).mask
+        assert decoder_cost(mask, 4) == 4
+
+    def test_all_general_patterns_cost_four(self):
+        """Every 2-ID-bit GENERAL pattern is a depth-1 mux: 4 SEs."""
+        for m in range(16):
+            if classify_mask(m, 4) is PatternClass.GENERAL:
+                assert decoder_cost(m, 4) == 4
+
+    def test_cost_table_census(self):
+        table = isolated_cost_table(4)
+        assert sorted(table.values()).count(1) == 6
+        assert sorted(table.values()).count(4) == 10
+
+    def test_eight_contexts_bounded(self):
+        # depth-2 mux trees: at most 2 + 2*(2 + 1 + 1) = 10 SEs
+        for m in [0b10000000, 0b01100110, 0b00011110]:
+            assert 1 <= decoder_cost(m, 8) <= 10
+
+    def test_best_split_bit_valid(self):
+        mask = 0b1000
+        j = best_split_bit(mask, 4)
+        assert j in (0, 1)
+
+    def test_best_split_requires_general(self):
+        with pytest.raises(SynthesisError):
+            best_split_bit(0b1111, 4)  # constant has no split
+
+
+class TestSingleSynthesis:
+    @pytest.mark.parametrize("mask", list(range(16)))
+    def test_all_16_patterns_electrically_correct(self, mask):
+        """Synthesize each pattern onto an RCM block and sweep contexts."""
+        p = ContextPattern(mask, 4)
+        block, net, n_ses = synthesize_single(p)
+        assert block.read_pattern(net) == p.values()
+        assert n_ses == decoder_cost(mask, 4)
+
+    def test_fig9_uses_exactly_four_ses(self):
+        p = ContextPattern.from_paper_row((1, 0, 0, 0))
+        _, _, n_ses = synthesize_single(p)
+        assert n_ses == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 255))
+    def test_eight_context_synthesis_correct(self, mask):
+        p = ContextPattern(mask, 8)
+        block, net, _ = synthesize_single(p)
+        assert block.read_pattern(net) == p.values()
+
+
+class TestDecoderBank:
+    def test_identical_patterns_shared(self):
+        """Table 1's G2 == G4: second request costs zero SEs."""
+        bank = DecoderBank(4)
+        first = bank.request(ContextPattern(0b1010, 4))
+        second = bank.request(ContextPattern(0b1010, 4))
+        assert not first.shared
+        assert second.shared
+        assert second.marginal_ses == 0
+        assert second.output_net == first.output_net
+
+    def test_leaf_sharing_between_general_patterns(self):
+        """Two GENERAL patterns sharing a cofactor reuse its SEs."""
+        bank = DecoderBank(4)
+        a = bank.request(ContextPattern(0b1000, 4))  # S1 & S0
+        b = bank.request(ContextPattern(0b0010, 4))  # ~S1 & S0
+        assert a.marginal_ses == 4
+        assert b.marginal_ses < 4  # S0 leaf already present
+        bank.verify()
+
+    def test_share_disabled_pays_full(self):
+        bank = DecoderBank(4, share=False)
+        bank.request(ContextPattern(0b1000, 4))
+        again = bank.request(ContextPattern(0b1000, 4))
+        assert again.marginal_ses == 4
+
+    def test_verify_whole_bank(self):
+        bank = DecoderBank(4)
+        for m in range(16):
+            bank.request(ContextPattern(m, 4))
+        bank.verify()
+        assert bank.stats.n_requests == 16
+
+    def test_sharing_factor(self):
+        bank = DecoderBank(4)
+        for _ in range(3):
+            bank.request(ContextPattern(0b1100, 4))
+        assert bank.stats.sharing_factor == 3.0
+
+    def test_wrong_context_count_rejected(self):
+        bank = DecoderBank(4)
+        with pytest.raises(SynthesisError):
+            bank.request(ContextPattern(0b1, 2))
+
+    def test_bank_cheaper_than_isolated(self):
+        """Synthesizing all 16 patterns shares leaves: fewer SEs than sum
+        of isolated costs (6*1 + 10*4 = 46)."""
+        bank = DecoderBank(4)
+        for m in range(16):
+            bank.request(ContextPattern(m, 4))
+        assert bank.block.se_count() < 46

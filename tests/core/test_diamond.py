@@ -1,0 +1,94 @@
+"""Tests for the diamond switch (paper Fig. 11)."""
+
+import pytest
+
+from repro.core.diamond import (
+    DIRECTION_PAIRS,
+    SES_PER_DIAMOND,
+    DiamondSwitch,
+    Direction,
+    pair_index,
+)
+from repro.core.patterns import ContextPattern
+from repro.errors import ConfigurationError
+
+
+class TestStructure:
+    def test_six_pairs_for_four_terminals(self):
+        assert len(DIRECTION_PAIRS) == 6
+        assert SES_PER_DIAMOND == 6
+
+    def test_pair_index_symmetric(self):
+        for a, b in DIRECTION_PAIRS:
+            assert pair_index(a, b) == pair_index(b, a)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pair_index(Direction.NORTH, Direction.NORTH)
+
+    def test_se_elements_count(self):
+        assert len(DiamondSwitch().se_elements()) == 6
+
+
+class TestConnections:
+    def test_connect_per_context(self):
+        d = DiamondSwitch(4)
+        d.connect(Direction.NORTH, Direction.EAST, ctx=1)
+        assert d.is_connected(Direction.NORTH, Direction.EAST, 1)
+        assert not d.is_connected(Direction.NORTH, Direction.EAST, 0)
+
+    def test_disconnect(self):
+        d = DiamondSwitch(4)
+        d.connect(Direction.NORTH, Direction.EAST, 2)
+        d.disconnect(Direction.NORTH, Direction.EAST, 2)
+        assert not d.is_connected(Direction.NORTH, Direction.EAST, 2)
+
+    def test_one_to_three_fanout(self):
+        """The paper: a line connects to up to three other directions."""
+        d = DiamondSwitch(4)
+        d.connect(Direction.NORTH, Direction.EAST, 0)
+        d.connect(Direction.NORTH, Direction.SOUTH, 0)
+        d.connect(Direction.NORTH, Direction.WEST, 0)
+        group = d.connected_group(Direction.NORTH, 0)
+        assert group == set(Direction)
+        assert d.fanout_ok(0)
+
+    def test_cycle_detected(self):
+        d = DiamondSwitch(4)
+        d.connect(Direction.NORTH, Direction.EAST, 0)
+        d.connect(Direction.EAST, Direction.SOUTH, 0)
+        d.connect(Direction.SOUTH, Direction.NORTH, 0)
+        assert not d.fanout_ok(0)
+
+    def test_connections_listing(self):
+        d = DiamondSwitch(4)
+        d.connect(Direction.EAST, Direction.WEST, 3)
+        assert len(d.connections(3)) == 1
+        assert len(d.connections(0)) == 0
+
+
+class TestPatterns:
+    def test_set_pattern(self):
+        d = DiamondSwitch(4)
+        p = ContextPattern(0b1010, 4)
+        d.set_pair(Direction.NORTH, Direction.SOUTH, p)
+        for c in range(4):
+            assert d.is_connected(Direction.NORTH, Direction.SOUTH, c) == bool(
+                (0b1010 >> c) & 1
+            )
+
+    def test_decoder_patterns_exposed(self):
+        d = DiamondSwitch(4)
+        assert len(d.decoder_patterns()) == 6
+
+    def test_wrong_context_count_rejected(self):
+        d = DiamondSwitch(4)
+        with pytest.raises(ConfigurationError):
+            d.set_pair(Direction.NORTH, Direction.EAST, ContextPattern(0b1, 2))
+
+    def test_connect_accumulates_into_pattern(self):
+        d = DiamondSwitch(4)
+        d.connect(Direction.NORTH, Direction.EAST, 0)
+        d.connect(Direction.NORTH, Direction.EAST, 3)
+        pat = d.patterns[pair_index(Direction.NORTH, Direction.EAST)]
+        assert pat.mask == 0b1001

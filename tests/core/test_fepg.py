@@ -1,0 +1,87 @@
+"""Tests for the ferroelectric functional pass-gate (paper Fig. 15)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fepg import FePG, FePGCell, fepg_truth_table
+from repro.core.switch_element import FLOATING, SEConfig, SwitchElement
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestFePGCell:
+    def test_write_read(self):
+        c = FePGCell()
+        c.write(1)
+        assert c.read() == 1
+
+    def test_write_counts_only_changes(self):
+        c = FePGCell()
+        c.write(1)
+        c.write(1)
+        c.write(0)
+        assert c.writes == 2
+
+    def test_endurance_enforced(self):
+        c = FePGCell(endurance=2)
+        c.write(1)
+        c.write(0)
+        with pytest.raises(SimulationError):
+            c.write(1)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FePGCell().write(2)
+
+
+class TestTruthTable:
+    """Fig. 15(c): identical function to the CMOS SE."""
+
+    @given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    def test_equivalent_to_cmos_se(self, d1, d0, u):
+        fepg = FePG()
+        fepg.program(d1, d0)
+        se = SwitchElement(SEConfig(d1, d0))
+        assert fepg.gate_signal(u) == se.gate_signal(u)
+        assert fepg.pass_value(1, u) == se.pass_value(1, u)
+
+    def test_table_rows(self):
+        rows = fepg_truth_table()
+        assert (0, 0, "x", 0) in rows
+        assert (1, 1, "U", "U") in rows
+
+
+class TestNonVolatility:
+    def test_retains_through_power_cycle(self):
+        fepg = FePG()
+        fepg.program(1, 0)
+        fepg.power_down()
+        fepg.power_up()
+        assert fepg.as_se_config() == SEConfig(1, 0)
+
+    def test_no_evaluation_while_down(self):
+        fepg = FePG()
+        fepg.power_down()
+        with pytest.raises(SimulationError):
+            fepg.gate_signal(0)
+
+    def test_no_programming_while_down(self):
+        fepg = FePG()
+        fepg.power_down()
+        with pytest.raises(SimulationError):
+            fepg.program(1, 1)
+
+    def test_zero_static_power(self):
+        assert FePG().static_power() == 0.0
+
+
+class TestSEInterop:
+    def test_program_from_se_config(self):
+        fepg = FePG()
+        fepg.program_config(SEConfig.constant(1))
+        assert fepg.gate_signal(0) == 1
+
+    def test_floating_passthrough(self):
+        fepg = FePG()
+        fepg.program(1, 0)
+        assert fepg.gate_signal(FLOATING) == FLOATING

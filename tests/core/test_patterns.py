@@ -1,0 +1,198 @@
+"""Tests for the context-pattern algebra (paper Section 2, Figs. 3-5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    ContextPattern,
+    PatternClass,
+    all_patterns,
+    class_census,
+    classify_many,
+    classify_mask,
+    context_id_bits,
+    id_bit_pattern_mask,
+    shannon_compose,
+    table1_patterns,
+)
+from repro.errors import ArchitectureError
+
+masks4 = st.integers(0, 15)
+
+
+class TestContextIdBits:
+    """Paper Table 2: S0 = 0101, S1 = 0011 across contexts 0..3."""
+
+    def test_table2_s0(self):
+        assert [(c & 1) for c in range(4)] == [0, 1, 0, 1]
+        assert [context_id_bits(c, 2)[1] for c in range(4)] == [0, 1, 0, 1]
+
+    def test_table2_s1(self):
+        assert [context_id_bits(c, 2)[0] for c in range(4)] == [0, 0, 1, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            context_id_bits(4, 2)
+
+    def test_id_bit_pattern_masks(self):
+        assert id_bit_pattern_mask(0, 4) == 0b1010
+        assert id_bit_pattern_mask(1, 4) == 0b1100
+        assert id_bit_pattern_mask(0, 4, inverted=True) == 0b0101
+
+
+class TestConstruction:
+    def test_from_values(self):
+        p = ContextPattern.from_values([0, 0, 0, 1])
+        assert p.mask == 0b1000
+
+    def test_from_paper_row_fig9(self):
+        """Fig. 9's (C3,C2,C1,C0) = (1,0,0,0): on only in context 3."""
+        p = ContextPattern.from_paper_row((1, 0, 0, 0))
+        assert p.values() == (0, 0, 0, 1)
+        assert p.paper_row() == (1, 0, 0, 0)
+
+    def test_constant(self):
+        assert ContextPattern.constant(1, 4).mask == 0b1111
+        assert ContextPattern.constant(0, 4).mask == 0
+
+    def test_literal(self):
+        assert ContextPattern.literal(0, 4).mask == 0b1010
+        assert ContextPattern.literal(1, 4, inverted=True).mask == 0b0011
+
+    def test_bad_values(self):
+        with pytest.raises(ArchitectureError):
+            ContextPattern.from_values([0, 2, 0, 0])
+        with pytest.raises(ArchitectureError):
+            ContextPattern(3, 3)  # non-pow2 contexts
+        with pytest.raises(ArchitectureError):
+            ContextPattern(16, 4)  # mask too wide
+
+
+class TestClassification:
+    """Figs. 3/4/5: exactly 2 CONSTANT, 4 LITERAL, 10 GENERAL patterns."""
+
+    def test_census_4_contexts(self):
+        census = class_census(4)
+        assert census[PatternClass.CONSTANT] == 2
+        assert census[PatternClass.LITERAL] == 4
+        assert census[PatternClass.GENERAL] == 10
+
+    def test_census_sums_to_16(self):
+        assert sum(class_census(4).values()) == 16
+
+    def test_census_8_contexts(self):
+        census = class_census(8)
+        assert census[PatternClass.CONSTANT] == 2
+        assert census[PatternClass.LITERAL] == 6  # 3 bits x 2 polarities
+        assert sum(census.values()) == 256
+
+    def test_fig3_patterns_constant(self):
+        assert ContextPattern.from_paper_row((0, 0, 0, 0)).classify() is PatternClass.CONSTANT
+        assert ContextPattern.from_paper_row((1, 1, 1, 1)).classify() is PatternClass.CONSTANT
+
+    def test_fig4_patterns_literal(self):
+        for row in [(0, 1, 0, 1), (0, 0, 1, 1), (1, 0, 1, 0), (1, 1, 0, 0)]:
+            assert ContextPattern.from_paper_row(row).classify() is PatternClass.LITERAL
+
+    def test_fig5_sample_patterns_general(self):
+        for row in [(1, 0, 0, 0), (0, 1, 1, 0), (1, 1, 1, 0), (1, 0, 0, 1)]:
+            assert ContextPattern.from_paper_row(row).classify() is PatternClass.GENERAL
+
+    @given(masks4)
+    def test_complement_preserves_class(self, m):
+        p = ContextPattern(m, 4)
+        assert p.classify() == p.invert().classify()
+
+    def test_classify_many(self):
+        census = classify_many([0, 0b1111, 0b1010, 0b1000], 4)
+        assert census[PatternClass.CONSTANT] == 2
+        assert census[PatternClass.LITERAL] == 1
+        assert census[PatternClass.GENERAL] == 1
+
+
+class TestQueries:
+    def test_value_and_values(self):
+        p = ContextPattern(0b0110, 4)
+        assert [p.value(c) for c in range(4)] == [0, 1, 1, 0]
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            ContextPattern(0, 4).value(4)
+
+    def test_n_changes_cyclic(self):
+        assert ContextPattern(0b0000, 4).n_changes() == 0
+        assert ContextPattern(0b1010, 4).n_changes() == 4
+        assert ContextPattern(0b0011, 4).n_changes() == 2
+
+    def test_support(self):
+        assert ContextPattern.literal(1, 4).support() == (1,)
+        assert ContextPattern.constant(0, 4).support() == ()
+        assert ContextPattern(0b1000, 4).support() == (0, 1)
+
+    def test_literal_form(self):
+        assert ContextPattern(0b1010, 4).literal_form() == (0, False)
+        assert ContextPattern(0b0101, 4).literal_form() == (0, True)
+        assert ContextPattern(0b1000, 4).literal_form() is None
+
+
+class TestAlgebra:
+    @given(masks4, st.integers(0, 1), st.integers(0, 1))
+    def test_cofactor_values(self, m, j, v):
+        p = ContextPattern(m, 4)
+        cof = p.cofactor(j, v)
+        assert cof.n_contexts == 2
+        # every context with S_j == v must agree
+        idx = 0
+        for c in range(4):
+            if (c >> j) & 1 == v:
+                assert cof.value(idx) == p.value(c)
+                idx += 1
+
+    @given(masks4, st.integers(0, 1))
+    def test_shannon_roundtrip(self, m, j):
+        p = ContextPattern(m, 4)
+        f0 = p.cofactor(j, 0)
+        f1 = p.cofactor(j, 1)
+        assert shannon_compose(j, f0, f1, 4).mask == m
+
+    @given(masks4, masks4)
+    def test_boolean_ops(self, a, b):
+        pa, pb = ContextPattern(a, 4), ContextPattern(b, 4)
+        assert (pa & pb).mask == (a & b)
+        assert (pa | pb).mask == (a | b)
+        assert (pa ^ pb).mask == (a ^ b)
+
+    def test_incompatible_sizes(self):
+        with pytest.raises(ArchitectureError):
+            ContextPattern(0, 4) & ContextPattern(0, 8)
+
+    @given(masks4)
+    def test_double_invert(self, m):
+        p = ContextPattern(m, 4)
+        assert p.invert().invert() == p
+
+
+class TestTable1:
+    def test_g3_g9_constant(self):
+        pats = table1_patterns()
+        assert pats["G3"].classify() is PatternClass.CONSTANT
+        assert pats["G9"].classify() is PatternClass.CONSTANT
+
+    def test_g2_equals_g4(self):
+        pats = table1_patterns()
+        assert pats["G2"].mask == pats["G4"].mask
+
+    def test_g2_is_regular(self):
+        """G2/G4 repeat bits in order (0,1) — a LITERAL pattern."""
+        assert table1_patterns()["G2"].classify() is PatternClass.LITERAL
+
+
+class TestEnumeration:
+    def test_all_patterns_count(self):
+        assert len(list(all_patterns(4))) == 16
+        assert len(list(all_patterns(2))) == 4
+
+    @given(masks4)
+    def test_classify_mask_matches_method(self, m):
+        assert classify_mask(m, 4) == ContextPattern(m, 4).classify()

@@ -1,0 +1,68 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.analysis.experiments import map_program
+from repro.core.area_model import TileCounts, Technology
+from repro.core.power import PowerModel, PowerReport, power_from_stats
+from repro.errors import ArchitectureError
+from repro.netlist.dfg import paper_example_program
+
+COUNTS = TileCounts(switch_bits=160, lut_bits=128)
+
+
+class TestStaticOrdering:
+    def test_conventional_leaks_most(self):
+        model = PowerModel()
+        out = model.compare(COUNTS, 4, change_fraction=0.05, distinct_planes=1.3)
+        assert out["conventional"].static > out["proposed-cmos"].static
+        assert out["proposed-cmos"].static > out["proposed-fepg"].static
+
+    def test_fepg_leaks_only_plane_sram(self):
+        model = PowerModel()
+        rep = model.proposed(COUNTS, 4, 0.05, distinct_planes=1.0,
+                             tech=Technology.FEPG)
+        assert rep.static == pytest.approx(128 / 4)
+
+    def test_conventional_scales_with_contexts(self):
+        model = PowerModel()
+        p4 = model.conventional(COUNTS, 4, 0.05)
+        p8 = model.conventional(COUNTS, 8, 0.05)
+        assert p8.static == pytest.approx(2 * p4.static)
+
+
+class TestSwitchEnergy:
+    def test_zero_change_minimal_energy(self):
+        model = PowerModel()
+        prop = model.proposed(COUNTS, 4, 0.0, 1.0)
+        assert prop.switch_energy == 0.0
+
+    def test_proposed_switch_cheaper(self):
+        model = PowerModel()
+        out = model.compare(COUNTS, 4, 0.05, 1.3)
+        assert out["proposed-cmos"].switch_energy < out["conventional"].switch_energy
+
+    def test_energy_grows_with_change(self):
+        model = PowerModel()
+        lo = model.proposed(COUNTS, 4, 0.01, 1.3).switch_energy
+        hi = model.proposed(COUNTS, 4, 0.20, 1.3).switch_energy
+        assert hi > lo
+
+    def test_total_at_rate(self):
+        rep = PowerReport("x", static=10.0, switch_energy=2.0)
+        assert rep.total_at(0.0) == 10.0
+        assert rep.total_at(5.0) == 20.0
+
+
+class TestValidation:
+    def test_bad_change_fraction(self):
+        with pytest.raises(ArchitectureError):
+            PowerModel().conventional(COUNTS, 4, 1.5)
+
+
+class TestFromStats:
+    def test_measured_pipeline(self):
+        mapped = map_program(paper_example_program(), seed=2, effort=0.3)
+        out = power_from_stats(mapped.stats(), COUNTS, 2)
+        assert set(out) == {"conventional", "proposed-cmos", "proposed-fepg"}
+        assert out["proposed-fepg"].static < out["conventional"].static

@@ -1,0 +1,114 @@
+"""Deep property tests across the core: invariants that tie modules
+together, run with hypothesis at scale."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_memory import ConventionalCell
+from repro.core.decoder_synth import DecoderBank, decoder_cost, synthesize_single
+from repro.core.patterns import (
+    ContextPattern,
+    PatternClass,
+    classify_mask,
+)
+from repro.core.reorder import optimize_context_order, permute_mask
+
+masks4 = st.integers(0, 15)
+masks8 = st.integers(0, 255)
+
+
+class TestDecoderConventionalAgreement:
+    """The RCM decoder and the conventional cell must produce the same
+    configuration bit for every pattern and context — they are two
+    implementations of the same specification."""
+
+    @given(masks4)
+    @settings(max_examples=16, deadline=None)
+    def test_same_bit_every_context(self, mask):
+        pattern = ContextPattern(mask, 4)
+        conventional = ConventionalCell.from_pattern(pattern)
+        block, net, _ = synthesize_single(pattern)
+        for ctx in range(4):
+            assert block.evaluate(context=ctx).value(net) == conventional.read(ctx)
+
+
+class TestCostInvariants:
+    @given(masks4)
+    def test_cost_invariant_under_complement(self, mask):
+        assert decoder_cost(mask, 4) == decoder_cost(mask ^ 0xF, 4)
+
+    @given(masks4, st.permutations(list(range(4))))
+    def test_class_preserved_by_id_bit_swap(self, mask, perm):
+        """Relabeling contexts never makes a CONSTANT non-constant and
+        vice versa (CONSTANT is permutation-invariant)."""
+        new = permute_mask(mask, perm, 4)
+        a = classify_mask(mask, 4)
+        b = classify_mask(new, 4)
+        if a is PatternClass.CONSTANT:
+            assert b is PatternClass.CONSTANT
+        if b is PatternClass.CONSTANT:
+            assert a is PatternClass.CONSTANT
+
+    @given(masks8)
+    @settings(max_examples=40, deadline=None)
+    def test_eight_context_cost_bounds(self, mask):
+        cost = decoder_cost(mask, 8)
+        cls = classify_mask(mask, 8)
+        if cls in (PatternClass.CONSTANT, PatternClass.LITERAL):
+            assert cost == 1
+        else:
+            assert 4 <= cost <= 12
+
+
+class TestBankInvariants:
+    @given(st.lists(masks4, min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_bank_never_exceeds_isolated_sum(self, masks):
+        bank = DecoderBank(4)
+        for m in masks:
+            bank.request(ContextPattern(m, 4))
+        isolated = sum(decoder_cost(m, 4) for m in set(masks))
+        assert bank.block.se_count() <= isolated
+        bank.verify()
+
+    @given(st.lists(masks4, min_size=1, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_bank_outputs_always_correct(self, masks):
+        bank = DecoderBank(4)
+        decs = [bank.request(ContextPattern(m, 4)) for m in masks]
+        for ctx in range(4):
+            ev = bank.block.evaluate(context=ctx)
+            for m, dec in zip(masks, decs):
+                assert ev.value(dec.output_net) == (m >> ctx) & 1
+
+
+class TestReorderInvariants:
+    @given(st.lists(masks4, min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_reorder_never_hurts(self, masks):
+        result = optimize_context_order(masks, 4)
+        assert result.cost_after <= result.cost_before
+
+    @given(st.lists(masks4, min_size=1, max_size=6), st.permutations(list(range(4))))
+    @settings(max_examples=20, deadline=None)
+    def test_optimum_dominates_any_fixed_permutation(self, masks, perm):
+        from repro.core.reorder import bank_cost
+
+        result = optimize_context_order(masks, 4)
+        fixed = bank_cost(
+            [permute_mask(m, perm, 4) for m in set(masks)], 4
+        )
+        assert result.cost_after <= fixed
+
+
+class TestPatternChangeStatistics:
+    @given(masks4)
+    def test_n_changes_even(self, mask):
+        """Cyclic change counts are always even (you must come back)."""
+        assert ContextPattern(mask, 4).n_changes() % 2 == 0
+
+    @given(masks4)
+    def test_constant_iff_zero_changes(self, mask):
+        p = ContextPattern(mask, 4)
+        assert (p.n_changes() == 0) == p.is_constant()

@@ -1,0 +1,142 @@
+"""Tests for the RCM block and its fixpoint solver (paper Fig. 7)."""
+
+import pytest
+
+from repro.core.rcm import RCMBlock
+from repro.core.switch_element import FLOATING, SEConfig
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+
+
+class TestConstruction:
+    def test_rails_always_present(self):
+        b = RCMBlock(n_id_bits=0)
+        ev = b.evaluate()
+        assert ev.value(b.gnd) == 0
+        assert ev.value(b.vdd) == 1
+
+    def test_id_nets_follow_context(self):
+        b = RCMBlock(n_id_bits=2)
+        for ctx in range(4):
+            ev = b.evaluate(context=ctx)
+            assert ev.value(b.id_net(0)) == (ctx >> 0) & 1
+            assert ev.value(b.id_net(1)) == (ctx >> 1) & 1
+
+    def test_inverted_id_nets(self):
+        """Input controllers (Fig. 7(c)) provide ~S_j."""
+        b = RCMBlock(n_id_bits=2)
+        for ctx in range(4):
+            ev = b.evaluate(context=ctx)
+            assert ev.value(b.id_net(0, inverted=True)) == 1 - ((ctx >> 0) & 1)
+
+    def test_duplicate_net_name_rejected(self):
+        b = RCMBlock()
+        b.new_net("x")
+        with pytest.raises(ConfigurationError):
+            b.new_net("x")
+
+    def test_rail_accessor(self):
+        b = RCMBlock()
+        assert b.rail(0) == b.gnd
+        assert b.rail(1) == b.vdd
+        with pytest.raises(ConfigurationError):
+            b.rail(2)
+
+
+class TestPassGatePropagation:
+    def test_always_on_se_copies_value(self):
+        b = RCMBlock(n_id_bits=1)
+        out = b.new_net("out")
+        b.add_se(a=b.vdd, b=out, config=SEConfig.constant(1))
+        assert b.evaluate(context=0).value(out) == 1
+
+    def test_off_se_leaves_floating(self):
+        b = RCMBlock(n_id_bits=1)
+        out = b.new_net("out")
+        b.add_se(a=b.vdd, b=out, config=SEConfig.constant(0))
+        assert b.evaluate(context=0).value(out) == FLOATING
+
+    def test_follow_input_se(self):
+        b = RCMBlock(n_id_bits=1)
+        out = b.new_net("out")
+        b.add_se(a=b.vdd, b=out, u=b.id_net(0), config=SEConfig.follow_input())
+        assert b.evaluate(context=0).value(out) == FLOATING
+        assert b.evaluate(context=1).value(out) == 1
+
+    def test_chain_of_ses(self):
+        b = RCMBlock(n_id_bits=1)
+        n1, n2, n3 = b.new_net(), b.new_net(), b.new_net()
+        b.add_se(a=b.vdd, b=n1, config=SEConfig.constant(1))
+        b.add_se(a=n1, b=n2, config=SEConfig.constant(1))
+        b.add_se(a=n2, b=n3, config=SEConfig.constant(1))
+        assert b.evaluate(context=0).value(n3) == 1
+
+    def test_pswitch_joins_tracks(self):
+        b = RCMBlock(n_id_bits=1)
+        t = b.new_net("t")
+        p = b.add_pswitch(b.vdd, t, on=False)
+        assert b.evaluate(context=0).value(t) == FLOATING
+        p.on = True
+        assert b.evaluate(context=0).value(t) == 1
+
+    def test_gate_driven_by_generated_signal(self):
+        """An SE's U may come from another SE's output net (two-level)."""
+        b = RCMBlock(n_id_bits=1)
+        mid = b.new_net("mid")
+        out = b.new_net("out")
+        b.add_se(a=b.id_net(0), b=mid, config=SEConfig.constant(1))
+        b.add_se(a=b.vdd, b=out, u=mid, config=SEConfig.follow_input())
+        assert b.evaluate(context=0).value(out) == FLOATING
+        assert b.evaluate(context=1).value(out) == 1
+
+
+class TestErrors:
+    def test_contention_detected(self):
+        b = RCMBlock(n_id_bits=0)
+        n = b.new_net()
+        b.add_se(a=b.vdd, b=n, config=SEConfig.constant(1))
+        b.add_se(a=b.gnd, b=n, config=SEConfig.constant(1))
+        with pytest.raises(SimulationError, match="contention"):
+            b.evaluate()
+
+    def test_capacity_enforced(self):
+        b = RCMBlock(n_id_bits=0, max_ses=1)
+        n = b.new_net()
+        b.add_se(a=b.vdd, b=n, config=SEConfig.constant(1))
+        with pytest.raises(CapacityError):
+            b.add_se(a=b.vdd, b=n, config=SEConfig.constant(0))
+
+    def test_unknown_input_rejected(self):
+        b = RCMBlock(n_id_bits=1)
+        with pytest.raises(ConfigurationError):
+            b.evaluate(inputs={"bogus": 1})
+
+    def test_context_out_of_range(self):
+        b = RCMBlock(n_id_bits=1)
+        with pytest.raises(ConfigurationError):
+            b.evaluate(context=2)
+
+    def test_unknown_net_rejected(self):
+        b = RCMBlock()
+        with pytest.raises(ConfigurationError):
+            b.add_se(a=999, b=0)
+
+
+class TestReadPattern:
+    def test_literal_pattern(self):
+        b = RCMBlock(n_id_bits=2)
+        out = b.new_net("out")
+        b.add_se(a=b.id_net(1), b=out, config=SEConfig.constant(1))
+        assert b.read_pattern(out) == (0, 0, 1, 1)
+
+    def test_user_inputs(self):
+        b = RCMBlock(n_id_bits=1)
+        x = b.add_input("x")
+        out = b.new_net("out")
+        b.add_se(a=x, b=out, config=SEConfig.constant(1))
+        assert b.evaluate(context=0, inputs={"x": 1}).value(out) == 1
+
+    def test_utilization_counters(self):
+        b = RCMBlock(n_id_bits=2)
+        u = b.utilization()
+        assert u["controllers"] == 2  # one per ID bit
+        assert u["ses"] == 0

@@ -1,0 +1,95 @@
+"""Tests for context-ID reassignment optimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder_synth import decoder_cost
+from repro.core.patterns import ContextPattern, PatternClass
+from repro.core.reorder import (
+    bank_cost,
+    optimize_context_order,
+    permute_mask,
+    reorder_program_masks,
+)
+from repro.errors import SynthesisError
+
+
+class TestPermuteMask:
+    def test_identity(self):
+        assert permute_mask(0b1010, (0, 1, 2, 3), 4) == 0b1010
+
+    def test_swap(self):
+        # logical context 1's bit moves to physical ID 3
+        assert permute_mask(0b0010, (0, 3, 2, 1), 4) == 0b1000
+
+    @given(st.integers(0, 15))
+    def test_bit_count_preserved(self, mask):
+        out = permute_mask(mask, (2, 0, 3, 1), 4)
+        assert bin(out).count("1") == bin(mask).count("1")
+
+    @given(st.integers(0, 15))
+    def test_identity_roundtrip(self, mask):
+        perm = (1, 3, 0, 2)
+        inverse = tuple(perm.index(i) for i in range(4))
+        assert permute_mask(permute_mask(mask, perm, 4), inverse, 4) == mask
+
+
+class TestBankCost:
+    def test_constants_free(self):
+        assert bank_cost([0b0000, 0b1111], 4) == 0
+
+    def test_sharing_counts_distinct(self):
+        assert bank_cost([0b1000, 0b1000, 0b1000], 4) == 4
+        assert bank_cost([0b1000, 0b1000], 4, share=False) == 8
+
+    def test_literal_cost(self):
+        assert bank_cost([0b1010], 4) == 1
+
+
+class TestOptimize:
+    def test_general_to_literal_conversion(self):
+        """0110 (GENERAL, 4 SEs) can be relabeled to 1100 = S1 (1 SE)."""
+        result = optimize_context_order([0b0110], 4)
+        assert result.cost_before == 4
+        assert result.cost_after == 1
+        new_mask = permute_mask(0b0110, result.assignment, 4)
+        assert ContextPattern(new_mask, 4).classify() is PatternClass.LITERAL
+
+    def test_never_worse_than_identity(self):
+        masks = [0b1000, 0b0110, 0b1010, 0b0001, 0b1111]
+        result = optimize_context_order(masks, 4)
+        assert result.cost_after <= result.cost_before
+
+    def test_identity_when_already_optimal(self):
+        result = optimize_context_order([0b1010], 4)  # already LITERAL
+        assert result.cost_after == 1
+        assert result.saving == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=6))
+    def test_exhaustive_is_sound(self, masks):
+        """Reported cost matches recomputation under the assignment."""
+        result = optimize_context_order(masks, 4)
+        permuted = reorder_program_masks(masks, result)
+        assert bank_cost(permuted, 4) == result.cost_after
+
+    def test_conflicting_patterns_tradeoff(self):
+        """With patterns favouring different orders the optimizer still
+        returns the best achievable total."""
+        masks = [0b0110, 0b1001]  # complements: same optimal relabeling
+        result = optimize_context_order(masks, 4)
+        assert result.cost_after <= 5  # at least one becomes literal
+
+    def test_eight_contexts_descent(self):
+        masks = [0b01010101, 0b00110011, 0b11000011]
+        result = optimize_context_order(masks, 8, seed=1)
+        assert result.cost_after <= result.cost_before
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(SynthesisError):
+            optimize_context_order([1], 3)
+
+    def test_schedule_is_permutation(self):
+        result = optimize_context_order([0b0110, 0b0111], 4)
+        assert sorted(result.physical_schedule()) == [0, 1, 2, 3]

@@ -1,0 +1,72 @@
+"""Tests for the RCM-based switch block."""
+
+import pytest
+
+from repro.core.diamond import Direction
+from repro.core.patterns import ContextPattern, PatternClass
+from repro.core.switch_block import RCMSwitchBlock
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestProgramming:
+    def test_connect_and_query(self):
+        sb = RCMSwitchBlock(n_tracks=4, n_contexts=4)
+        sb.connect(0, Direction.NORTH, Direction.SOUTH, ctx=2)
+        assert sb.is_connected(0, Direction.NORTH, Direction.SOUTH, 2)
+        assert not sb.is_connected(0, Direction.NORTH, Direction.SOUTH, 1)
+
+    def test_track_bounds(self):
+        sb = RCMSwitchBlock(n_tracks=2)
+        with pytest.raises(ConfigurationError):
+            sb.connect(2, Direction.NORTH, Direction.SOUTH, 0)
+
+    def test_connections_listing(self):
+        sb = RCMSwitchBlock(n_tracks=3, n_contexts=4)
+        sb.connect(1, Direction.EAST, Direction.WEST, 0)
+        sb.connect(2, Direction.NORTH, Direction.EAST, 0)
+        assert len(sb.connections(0)) == 2
+        assert len(sb.connections(1)) == 0
+
+
+class TestDecoderSynthesis:
+    def test_constant_patterns_need_no_bank_ses(self):
+        sb = RCMSwitchBlock(n_tracks=2, n_contexts=4)
+        # always-on in every context: CONSTANT
+        sb.set_pattern(0, Direction.NORTH, Direction.SOUTH,
+                       ContextPattern.constant(1, 4))
+        stats = sb.synthesize_decoders()
+        assert stats.decoder_ses == 0
+        assert stats.routing_ses == 2 * 6
+
+    def test_general_pattern_uses_bank(self):
+        sb = RCMSwitchBlock(n_tracks=2, n_contexts=4)
+        sb.set_pattern(0, Direction.NORTH, Direction.SOUTH,
+                       ContextPattern(0b1000, 4))
+        stats = sb.synthesize_decoders()
+        assert stats.decoder_ses == 4  # Fig. 9
+        sb.verify()
+
+    def test_identical_general_patterns_share(self):
+        """Between-switch redundancy: same pattern on two tracks, one
+        decoder."""
+        sb = RCMSwitchBlock(n_tracks=2, n_contexts=4)
+        p = ContextPattern(0b1000, 4)
+        sb.set_pattern(0, Direction.NORTH, Direction.SOUTH, p)
+        sb.set_pattern(1, Direction.EAST, Direction.WEST, p)
+        stats = sb.synthesize_decoders()
+        assert stats.decoder_ses == 4
+        assert stats.bank.sharing_factor == 2.0
+
+    def test_budget_enforced(self):
+        sb = RCMSwitchBlock(n_tracks=3, n_contexts=4, se_budget=4)
+        sb.set_pattern(0, Direction.NORTH, Direction.SOUTH, ContextPattern(0b1000, 4))
+        sb.set_pattern(1, Direction.NORTH, Direction.SOUTH, ContextPattern(0b0110, 4))
+        with pytest.raises(CapacityError):
+            sb.synthesize_decoders()
+
+    def test_census(self):
+        sb = RCMSwitchBlock(n_tracks=1, n_contexts=4)
+        sb.set_pattern(0, Direction.NORTH, Direction.SOUTH, ContextPattern(0b1010, 4))
+        census = sb.pattern_census()
+        assert census[PatternClass.LITERAL] == 1
+        assert census[PatternClass.CONSTANT] == 5  # remaining pairs off

@@ -1,0 +1,82 @@
+"""Tests for the switch element (paper Fig. 8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.switch_element import FLOATING, SEConfig, SwitchElement, se_truth_table
+from repro.errors import ConfigurationError
+
+
+class TestSEConfig:
+    def test_constant_factory(self):
+        assert SEConfig.constant(1).memory_bits() == (0, 1)
+        assert SEConfig.constant(0).memory_bits() == (0, 0)
+
+    def test_follow_factory(self):
+        cfg = SEConfig.follow_input()
+        assert cfg.d1 == 1
+        assert cfg.uses_input
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            SEConfig(d1=2, d0=0)
+
+
+class TestGateFunction:
+    """Fig. 8's function table: (0,0)->0, (0,1)->1, (1,x)->U."""
+
+    def test_constant_zero(self):
+        se = SwitchElement(SEConfig(0, 0))
+        assert se.gate_signal(0) == 0
+        assert se.gate_signal(1) == 0
+
+    def test_constant_one(self):
+        se = SwitchElement(SEConfig(0, 1))
+        assert se.gate_signal(0) == 1
+        assert se.gate_signal(1) == 1
+
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_follow_input(self, d0, u):
+        se = SwitchElement(SEConfig(1, d0))
+        assert se.gate_signal(u) == u
+
+    def test_floating_input_propagates(self):
+        se = SwitchElement(SEConfig.follow_input())
+        assert se.gate_signal(FLOATING) == FLOATING
+
+    def test_bad_input_rejected(self):
+        se = SwitchElement(SEConfig.follow_input())
+        with pytest.raises(ConfigurationError):
+            se.gate_signal(2)
+
+
+class TestPassGate:
+    @given(st.integers(0, 1))
+    def test_on_passes(self, a):
+        se = SwitchElement(SEConfig.constant(1))
+        assert se.pass_value(a) == a
+
+    @given(st.integers(0, 1))
+    def test_off_floats(self, a):
+        se = SwitchElement(SEConfig.constant(0))
+        assert se.pass_value(a) == FLOATING
+
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_follow_controls_pass(self, a, u):
+        se = SwitchElement(SEConfig.follow_input())
+        expected = a if u == 1 else FLOATING
+        assert se.pass_value(a, u) == expected
+
+    def test_is_on(self):
+        assert SwitchElement(SEConfig.constant(1)).is_on()
+        assert not SwitchElement(SEConfig.constant(0)).is_on()
+
+
+class TestTruthTable:
+    def test_fig8_rows(self):
+        rows = se_truth_table()
+        assert (0, 0, "x", 0) in rows
+        assert (0, 1, "x", 1) in rows
+        assert (1, 0, "U", "U") in rows
+        assert len(rows) == 4

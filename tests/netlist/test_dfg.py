@@ -1,0 +1,90 @@
+"""Tests for DFGs and the paper's Fig. 13/14 example."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.netlist.dfg import (
+    DFG,
+    MultiContextProgram,
+    paper_example_dfgs,
+    paper_example_program,
+)
+
+
+class TestDFG:
+    def test_build_and_lower(self):
+        d = DFG("t")
+        d.add_input("x")
+        d.add_input("y")
+        d.add_node("n1", "xor", ["x", "y"])
+        d.add_node("n2", "not", ["n1"])
+        d.mark_output("o", "n2")
+        n = d.to_netlist()
+        assert n.evaluate_outputs({"x": 1, "y": 0}) == {"o": 0}
+        assert n.evaluate_outputs({"x": 1, "y": 1}) == {"o": 1}
+
+    def test_arity_validated(self):
+        d = DFG()
+        d.add_input("x")
+        with pytest.raises(SynthesisError):
+            d.add_node("n", "and", ["x"])
+
+    def test_unknown_op(self):
+        d = DFG()
+        d.add_input("x")
+        with pytest.raises(SynthesisError):
+            d.add_node("n", "frobnicate", ["x"])
+
+    def test_duplicate_node(self):
+        d = DFG()
+        d.add_input("x")
+        d.add_node("n", "not", ["x"])
+        with pytest.raises(SynthesisError):
+            d.add_node("n", "not", ["x"])
+
+    def test_unknown_reference(self):
+        d = DFG()
+        d.add_input("x")
+        d.add_node("n", "and", ["x", "ghost"])
+        with pytest.raises(SynthesisError):
+            d.to_netlist()
+
+
+class TestPaperExample:
+    def test_structure(self):
+        """Context 1 has O1+O2+O3; context 2 has O4+O2+O3 (Fig. 13(a))."""
+        c1, c2 = paper_example_dfgs()
+        assert set(c1.nodes) == {"O1", "O2", "O3"}
+        assert set(c2.nodes) == {"O4", "O2", "O3"}
+
+    def test_shared_nodes_identical(self):
+        c1, c2 = paper_example_dfgs()
+        for shared in ("O2", "O3"):
+            assert c1.nodes[shared].op == c2.nodes[shared].op
+            assert c1.nodes[shared].args == c2.nodes[shared].args
+
+    def test_program_two_contexts(self):
+        prog = paper_example_program()
+        assert prog.n_contexts == 2
+        assert prog.stats()["luts_per_context"] == [3, 3]
+
+    def test_program_functional(self):
+        prog = paper_example_program()
+        out1 = prog.context(0).evaluate_outputs(
+            {"R": 1, "T": 1, "V": 1, "W": 0, "X": 0, "Z": 1, "Y": 0}
+        )
+        assert out1["P_O2"] == 1  # R & T
+        assert out1["P_O3"] == 1  # V ^ W
+        assert out1["P_O1"] == 1  # X | Z
+
+
+class TestMultiContextProgram:
+    def test_requires_context(self):
+        with pytest.raises(SynthesisError):
+            MultiContextProgram([])
+
+    def test_io_union(self):
+        prog = paper_example_program()
+        assert "R" in prog.all_input_names()
+        assert "P_O1" in prog.all_output_names()
+        assert "P_O4" in prog.all_output_names()

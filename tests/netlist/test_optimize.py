@@ -1,0 +1,99 @@
+"""Tests for netlist optimization passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verification import assert_equivalent
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+from repro.netlist.optimize import (
+    collapse_buffers,
+    optimize,
+    propagate_constants,
+    sweep_dead,
+)
+from repro.netlist.synth import synthesize
+from repro.workloads.generators import random_dag
+
+
+class TestConstantPropagation:
+    def test_folds_constant_and(self):
+        n = synthesize(["a"], {"o": "a & 1"})
+        before = len(n.luts())
+        changed = propagate_constants(n)
+        assert changed > 0
+        # functionally unchanged
+        assert n.evaluate_outputs({"a": 1}) == {"o": 1}
+        assert n.evaluate_outputs({"a": 0}) == {"o": 0}
+
+    def test_collapses_to_constant(self):
+        n = synthesize(["a"], {"o": "a & 0"})
+        propagate_constants(n)
+        assert n.evaluate_outputs({"a": 1}) == {"o": 0}
+
+    def test_fixpoint_chains(self):
+        n = synthesize(["a", "b"], {"o": "(a & 0) | (b & 1)"})
+        optimize(n)
+        assert n.evaluate_outputs({"a": 1, "b": 0}) == {"o": 0}
+        assert n.evaluate_outputs({"a": 0, "b": 1}) == {"o": 1}
+
+
+class TestBufferCollapse:
+    def test_removes_buffer(self):
+        n = Netlist("buf")
+        n.add_input("a")
+        n.add_lut("buf1", ["a"], "w", TruthTable.identity())
+        n.add_lut("inv", ["w"], "x", TruthTable.inverter())
+        n.add_output("o", "x")
+        removed = collapse_buffers(n)
+        assert removed == 1
+        assert n.evaluate_outputs({"a": 1}) == {"o": 0}
+
+    def test_keeps_buffer_driving_output_net(self):
+        """A buffer directly feeding a primary output keeps the net alive
+        (the OUTPUT cell references it)."""
+        n = Netlist("bufout")
+        n.add_input("a")
+        n.add_lut("buf1", ["a"], "w", TruthTable.identity())
+        n.add_output("o", "w")
+        collapse_buffers(n)
+        n.validate()
+        assert n.evaluate_outputs({"a": 1}) == {"o": 1}
+
+    def test_inverters_not_collapsed(self):
+        n = Netlist("inv")
+        n.add_input("a")
+        n.add_lut("inv1", ["a"], "w", TruthTable.inverter())
+        n.add_output("o", "w")
+        assert collapse_buffers(n) == 0
+
+
+class TestDeadSweep:
+    def test_removes_unreachable(self):
+        n = synthesize(["a", "b"], {"o": "a & b"})
+        n.add_lut("orphan", ["a"], "dead_net",
+                  TruthTable.inverter())
+        removed = sweep_dead(n)
+        assert removed == 1
+        assert "orphan" not in n.cells
+
+    def test_keeps_register_cones(self):
+        n = synthesize(["a"], {"o": "r"}, registers={"r": "a ^ r"})
+        assert sweep_dead(n) == 0
+        n.validate()
+
+
+class TestOptimizePreservesFunction:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_dags_unchanged(self, seed):
+        n = random_dag(n_inputs=4, n_gates=12, n_outputs=3, seed=seed)
+        golden = n.copy("golden")
+        optimize(n)
+        assert_equivalent(golden, n)
+
+    def test_reports_counts(self):
+        n = synthesize(["a"], {"o": "(a & 1) | 0"})
+        totals = optimize(n)
+        assert totals["constants"] > 0

@@ -1,0 +1,84 @@
+"""Tests for cross-context sharing analysis (Fig. 14)."""
+
+import pytest
+
+from repro.netlist.dfg import paper_example_program
+from repro.netlist.sharing import (
+    analyze_sharing,
+    cell_signature,
+    pack_global,
+    pack_local,
+)
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.workloads.multicontext import mutated_program
+
+
+class TestSignatures:
+    def test_identical_functions_match(self):
+        """Structurally different, semantically equal cones share."""
+        a = synthesize(["x", "y"], {"o": "~(~x | ~y)"})  # = x & y
+        b = synthesize(["x", "y"], {"o": "x & y"})
+        sig_a = cell_signature(a, a.outputs()[0].inputs[0] + "_cell"
+                               if False else a.driver_cell(a.outputs()[0].inputs[0]).name)
+        sig_b = cell_signature(b, b.driver_cell(b.outputs()[0].inputs[0]).name)
+        assert sig_a == sig_b
+
+    def test_different_functions_differ(self):
+        a = synthesize(["x", "y"], {"o": "x & y"})
+        b = synthesize(["x", "y"], {"o": "x | y"})
+        sig_a = cell_signature(a, a.driver_cell(a.outputs()[0].inputs[0]).name)
+        sig_b = cell_signature(b, b.driver_cell(b.outputs()[0].inputs[0]).name)
+        assert sig_a != sig_b
+
+    def test_state_dependent_unsignable(self):
+        n = synthesize(["x"], {"o": "x ^ r"}, registers={"r": "~r"})
+        cell = n.driver_cell(n.outputs()[0].inputs[0])
+        assert cell_signature(n, cell.name) is None
+
+
+class TestSharingAnalysis:
+    def test_paper_example_groups(self):
+        """O2 and O3 form the two cross-context groups (Fig. 14(a))."""
+        rep = analyze_sharing(paper_example_program())
+        assert len(rep.shared_groups) == 2
+        shared_names = {
+            tuple(sorted(g.members.values())) for g in rep.shared_groups
+        }
+        assert ("O2", "O2") in shared_names
+        assert ("O3", "O3") in shared_names
+
+    def test_sharing_fraction(self):
+        rep = analyze_sharing(paper_example_program())
+        assert rep.sharing_fraction() == pytest.approx(4 / 6)
+
+    def test_identical_contexts_fully_shared(self):
+        base = tech_map(synthesize(["a", "b"], {"o": "a ^ b"}), k=4)
+        prog = mutated_program(base, n_contexts=4, fraction=0.0)
+        rep = analyze_sharing(prog)
+        assert rep.sharing_fraction() == 1.0
+
+
+class TestPacking:
+    def test_paper_result_3_vs_2_lbs(self):
+        """The headline of Figs. 13-14: global needs 3 LBs, local 2."""
+        prog = paper_example_program()
+        assert pack_global(prog).n_lbs == 3
+        assert pack_local(prog).n_lbs == 2
+
+    def test_global_stores_redundant_planes(self):
+        g = pack_global(paper_example_program())
+        assert g.redundant_planes > 0
+
+    def test_local_stores_no_redundant_planes(self):
+        l = pack_local(paper_example_program())
+        assert l.redundant_planes == 0
+
+    def test_local_never_worse(self):
+        base = tech_map(
+            synthesize(["a", "b", "c"], {"o1": "a & b | c", "o2": "a ^ c"}),
+            k=4,
+        )
+        for frac in (0.0, 0.3, 1.0):
+            prog = mutated_program(base, n_contexts=4, fraction=frac, seed=9)
+            assert pack_local(prog).n_lbs <= pack_global(prog).n_lbs

@@ -1,0 +1,86 @@
+"""Tests for k-LUT technology mapping, including the functional
+equivalence property that underwrites every downstream experiment."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import mapping_stats, tech_map
+from repro.workloads.generators import random_dag, ripple_adder
+
+
+def assert_equivalent(a, b, max_inputs=10):
+    names = [c.name for c in a.inputs()]
+    assert names == [c.name for c in b.inputs()]
+    if len(names) <= max_inputs:
+        space = itertools.product([0, 1], repeat=len(names))
+    else:  # pragma: no cover - all suite circuits are small
+        space = []
+    for vals in space:
+        iv = dict(zip(names, vals))
+        assert a.evaluate_outputs(iv) == b.evaluate_outputs(iv), iv
+
+
+class TestCorrectness:
+    def test_adder_equivalent(self):
+        n = ripple_adder(3)
+        m = tech_map(n, k=4)
+        assert_equivalent(n, m, max_inputs=7)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_equivalence_across_k(self, k):
+        n = synthesize(
+            ["a", "b", "c", "d"],
+            {"o1": "(a & b) | (c & d)", "o2": "a ^ b ^ c ^ d"},
+        )
+        m = tech_map(n, k=k)
+        assert_equivalent(n, m)
+        for cell in m.luts():
+            assert cell.table.n_inputs <= k
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_dags_equivalent(self, seed):
+        n = random_dag(n_inputs=4, n_gates=10, n_outputs=2, seed=seed)
+        m = tech_map(n, k=4)
+        assert_equivalent(n, m, max_inputs=4)
+
+    def test_sequential_preserved(self):
+        n = synthesize([], {"q": "r1"},
+                       registers={"r0": "~r0", "r1": "r0 ^ r1"})
+        m = tech_map(n, k=4)
+        sa, sb = {}, {}
+        for _ in range(6):
+            oa, sa = n.step({}, sa)
+            ob, sb = m.step({}, sb)
+            assert oa == ob
+
+
+class TestQuality:
+    def test_mapping_reduces_depth(self):
+        n = ripple_adder(4)
+        m = tech_map(n, k=4)
+        assert m.depth() <= n.depth()
+
+    def test_bigger_k_never_more_luts(self):
+        n = ripple_adder(4)
+        m4 = tech_map(n, k=4)
+        m6 = tech_map(n, k=6)
+        assert len(m6.luts()) <= len(m4.luts())
+
+    def test_mapping_stats(self):
+        n = ripple_adder(2)
+        m = tech_map(n, k=4)
+        s = mapping_stats(n, m)
+        assert s["luts"] == len(m.luts())
+        assert s["compression"] >= 1.0
+
+
+class TestErrors:
+    def test_k_too_small(self):
+        with pytest.raises(MappingError):
+            tech_map(ripple_adder(2), k=1)

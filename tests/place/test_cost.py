@@ -1,0 +1,36 @@
+"""Tests for the HPWL cost function."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.geometry import Coord
+from repro.place.cost import hpwl_cost, net_hpwl
+
+coords = st.builds(Coord, st.integers(0, 15), st.integers(0, 15))
+
+
+class TestNetHpwl:
+    def test_single_point_zero(self):
+        assert net_hpwl([Coord(3, 3)]) == 0
+
+    def test_two_points(self):
+        assert net_hpwl([Coord(0, 0), Coord(2, 3)]) == 5
+
+    def test_interior_points_free(self):
+        base = net_hpwl([Coord(0, 0), Coord(4, 4)])
+        assert net_hpwl([Coord(0, 0), Coord(2, 2), Coord(4, 4)]) == base
+
+    @given(st.lists(coords, min_size=1, max_size=8))
+    def test_non_negative_and_bounded(self, pts):
+        v = net_hpwl(pts)
+        assert 0 <= v <= 30
+
+    @given(st.lists(coords, min_size=2, max_size=8))
+    def test_permutation_invariant(self, pts):
+        assert net_hpwl(pts) == net_hpwl(list(reversed(pts)))
+
+
+class TestTotal:
+    def test_sums(self):
+        nets = [[Coord(0, 0), Coord(1, 0)], [Coord(0, 0), Coord(0, 2)]]
+        assert hpwl_cost(nets) == 3

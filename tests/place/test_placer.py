@@ -1,0 +1,118 @@
+"""Tests for the simulated-annealing placer."""
+
+import pytest
+
+from repro.arch.geometry import Coord
+from repro.arch.params import ArchParams
+from repro.errors import PlacementError
+from repro.netlist.dfg import paper_example_program
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.place.placer import place, place_program
+from repro.workloads.generators import random_dag, ripple_adder
+from repro.workloads.multicontext import mutated_program
+
+
+def params(cols=5, rows=5) -> ArchParams:
+    return ArchParams(cols=cols, rows=rows, channel_width=8, io_capacity=4)
+
+
+class TestLegality:
+    def test_one_cell_per_tile(self):
+        n = tech_map(ripple_adder(3), k=4)
+        pl = place(n, params(), seed=0, effort=0.3)
+        coords = list(pl.cells.values())
+        assert len(coords) == len(set(coords))
+
+    def test_all_cells_placed_in_bounds(self):
+        n = tech_map(ripple_adder(3), k=4)
+        p = params()
+        pl = place(n, p, seed=0, effort=0.3)
+        assert set(pl.cells) == {c.name for c in n.luts()}
+        for coord in pl.cells.values():
+            assert 0 <= coord.x < p.cols and 0 <= coord.y < p.rows
+
+    def test_ios_on_perimeter(self):
+        n = tech_map(ripple_adder(2), k=4)
+        p = params()
+        pl = place(n, p, seed=0, effort=0.3)
+        for cell in n.inputs() + n.outputs():
+            coord, pad = pl.ios[cell.name]
+            assert coord.x in (0, p.cols - 1) or coord.y in (0, p.rows - 1)
+            assert 0 <= pad < p.io_capacity
+
+    def test_io_pads_unique(self):
+        n = tech_map(ripple_adder(3), k=4)
+        pl = place(n, params(), seed=0, effort=0.3)
+        pads = list(pl.ios.values())
+        assert len(pads) == len(set(pads))
+
+    def test_overflow_rejected(self):
+        # map at k=2 so the LUT count stays near the gate count
+        n = tech_map(random_dag(n_inputs=4, n_gates=30, n_outputs=8, seed=1), k=3)
+        assert len(n.luts()) > 9
+        with pytest.raises(PlacementError):
+            place(n, params(3, 3), seed=0, effort=0.1)
+
+
+class TestPinning:
+    def test_pinned_cells_stay(self):
+        n = tech_map(ripple_adder(2), k=4)
+        target = n.luts()[0].name
+        anchor = Coord(2, 2)
+        pl = place(n, params(), seed=0, pinned={target: anchor}, effort=0.3)
+        assert pl.cells[target] == anchor
+
+    def test_pinned_collision_rejected(self):
+        n = tech_map(ripple_adder(2), k=4)
+        names = [c.name for c in n.luts()][:2]
+        with pytest.raises(PlacementError):
+            place(n, params(), pinned={names[0]: Coord(1, 1), names[1]: Coord(1, 1)})
+
+
+class TestQuality:
+    def test_annealing_beats_pathological_spread(self):
+        """High effort should not lose badly to a token-effort anneal on
+        a design big enough for placement to matter."""
+        n = tech_map(random_dag(n_inputs=6, n_gates=40, n_outputs=6, seed=3), k=3)
+        assert len(n.luts()) >= 15
+        lazy = place(n, params(8, 8), seed=1, effort=0.02)
+        hard = place(n, params(8, 8), seed=1, effort=1.0)
+        assert hard.cost <= lazy.cost * 1.1
+
+    def test_deterministic_given_seed(self):
+        n = tech_map(ripple_adder(2), k=4)
+        a = place(n, params(), seed=42, effort=0.3)
+        b = place(n, params(), seed=42, effort=0.3)
+        assert a.cells == b.cells
+
+
+class TestProgramPlacement:
+    def test_share_aware_pins_shared_cells(self):
+        """Fig. 14 prerequisite: shared cells land on the same tile in
+        every context."""
+        prog = paper_example_program()
+        pls = place_program(prog, params(), seed=1, share_aware=True, effort=0.3)
+        assert pls[0].cells["O2"] == pls[1].cells["O2"]
+        assert pls[0].cells["O3"] == pls[1].cells["O3"]
+
+    def test_naive_mode_places_all(self):
+        prog = paper_example_program()
+        pls = place_program(prog, params(), seed=1, share_aware=False, effort=0.3)
+        assert len(pls) == 2
+        for pl, nl in zip(pls, prog.contexts):
+            assert set(pl.cells) == {c.name for c in nl.luts()}
+
+    def test_location_accessor(self):
+        prog = paper_example_program()
+        pls = place_program(prog, params(), seed=1, effort=0.3)
+        assert pls[0].location("O2") == pls[0].cells["O2"]
+        with pytest.raises(PlacementError):
+            pls[0].location("ghost")
+
+    def test_fully_shared_program_identical_placements(self):
+        base = tech_map(synthesize(["a", "b"], {"o": "a & b"}), k=4)
+        prog = mutated_program(base, n_contexts=3, fraction=0.0)
+        pls = place_program(prog, params(), seed=2, share_aware=True, effort=0.3)
+        for pl in pls[1:]:
+            assert pl.cells == pls[0].cells

@@ -1,0 +1,112 @@
+"""Tests for the PathFinder router."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.rrg import NodeKind, build_rrg
+from repro.errors import RoutingError
+from repro.netlist.dfg import paper_example_program
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.place.placer import place, place_program
+from repro.route.pathfinder import (
+    endpoint_signature,
+    route_context,
+    route_program,
+)
+from repro.workloads.generators import random_dag, ripple_adder
+from repro.workloads.multicontext import mutated_program
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = ArchParams(cols=5, rows=5, channel_width=8, io_capacity=4)
+    g = build_rrg(params)
+    n = tech_map(ripple_adder(3), k=4)
+    pl = place(n, params, seed=0, effort=0.3)
+    return params, g, n, pl
+
+
+class TestSingleContext:
+    def test_routes_all_nets(self, setup):
+        _, g, n, pl = setup
+        rr = route_context(g, n, pl)
+        routable = {
+            net for net, drv in n.net_driver.items() if n.fanout(net)
+        }
+        assert set(rr.nets) == routable
+
+    def test_no_overuse(self, setup):
+        """Congestion-freedom: each wire node used by at most one net."""
+        _, g, n, pl = setup
+        rr = route_context(g, n, pl)
+        usage: dict[int, int] = {}
+        for net in rr.nets.values():
+            for node in net.nodes:
+                if g.nodes[node].kind in (NodeKind.CHANX, NodeKind.CHANY,
+                                          NodeKind.IPIN, NodeKind.OPIN):
+                    usage[node] = usage.get(node, 0) + 1
+        assert all(v <= 1 for v in usage.values())
+
+    def test_every_sink_reached(self, setup):
+        _, g, n, pl = setup
+        rr = route_context(g, n, pl)
+        for net in rr.nets.values():
+            for sink in net.sinks:
+                assert sink in net.nodes
+
+    def test_edges_exist_in_rrg(self, setup):
+        _, g, n, pl = setup
+        rr = route_context(g, n, pl)
+        for net in rr.nets.values():
+            for a, b in net.edges:
+                assert any(dst == b for dst, _ in g.out_edges[a])
+
+    def test_wirelength_positive(self, setup):
+        _, g, n, pl = setup
+        rr = route_context(g, n, pl)
+        assert rr.wirelength(g) > 0
+
+    def test_unroutable_raises(self):
+        """A width-1 channel cannot carry a dense design."""
+        params = ArchParams(cols=3, rows=3, channel_width=1,
+                            double_fraction=0.0, io_capacity=4)
+        g = build_rrg(params)
+        n = tech_map(random_dag(n_inputs=4, n_gates=8, n_outputs=3, seed=2), k=4)
+        pl = place(n, params, seed=0, effort=0.2)
+        with pytest.raises(RoutingError):
+            route_context(g, n, pl, max_iterations=6)
+
+
+class TestMultiContext:
+    def test_route_reuse_for_shared_nets(self):
+        """Identical contexts, share-aware: every net in context 1 reuses
+        context 0's route -> all switch patterns CONSTANT."""
+        params = ArchParams(cols=5, rows=5, channel_width=8, io_capacity=4)
+        g = build_rrg(params)
+        base = tech_map(synthesize(["a", "b", "c"], {"o": "(a & b) ^ c"}), k=4)
+        prog = mutated_program(base, n_contexts=2, fraction=0.0)
+        pls = place_program(prog, params, seed=1, share_aware=True, effort=0.3)
+        rrs = route_program(g, prog, pls, share_aware=True)
+        assert all(net.reused for net in rrs[1].nets.values())
+
+    def test_naive_mode_no_reuse_flag(self):
+        params = ArchParams(cols=5, rows=5, channel_width=8, io_capacity=4)
+        g = build_rrg(params)
+        prog = paper_example_program()
+        pls = place_program(prog, params, seed=1, share_aware=False, effort=0.3)
+        rrs = route_program(g, prog, pls, share_aware=False)
+        assert all(not net.reused for rr in rrs for net in rr.nets.values())
+
+    def test_placement_count_checked(self):
+        params = ArchParams(cols=4, rows=4, channel_width=8)
+        g = build_rrg(params)
+        prog = paper_example_program()
+        with pytest.raises(RoutingError):
+            route_program(g, prog, [], share_aware=True)
+
+
+class TestSignature:
+    def test_signature_canonical(self):
+        assert endpoint_signature(5, [9, 3]) == endpoint_signature(5, [3, 9])
+        assert endpoint_signature(5, [3]) != endpoint_signature(6, [3])

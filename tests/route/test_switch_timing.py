@@ -1,0 +1,76 @@
+"""Tests for context-switch timing (local RCM decode vs central)."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.route.switch_timing import SwitchTimingModel, switch_time_sweep
+
+
+class TestConventional:
+    def test_grows_with_die_size(self):
+        m = SwitchTimingModel()
+        small = m.conventional_switch_time(4, 16, 288)
+        big = m.conventional_switch_time(4, 256, 288)
+        assert big > small
+
+    def test_grows_with_load(self):
+        m = SwitchTimingModel()
+        light = m.conventional_switch_time(4, 64, 100)
+        heavy = m.conventional_switch_time(4, 64, 500)
+        assert heavy > light
+
+    def test_grows_with_contexts(self):
+        m = SwitchTimingModel()
+        assert m.conventional_switch_time(8, 64, 288) > \
+            m.conventional_switch_time(4, 64, 288)
+
+
+class TestProposed:
+    def test_local_decode_independent_of_cells(self):
+        """The paper's point: local decode cost does not scale with the
+        number of configuration cells."""
+        m = SwitchTimingModel()
+        t = m.proposed_switch_time(4, 64)
+        # no cells_per_tile parameter exists at all — structural property
+        assert t > 0
+
+    def test_wire_flight_scales_with_die_edge(self):
+        m = SwitchTimingModel()
+        t16 = m.proposed_switch_time(4, 16)
+        t256 = m.proposed_switch_time(4, 256)
+        assert t256 > t16
+        # but only by the wire term: sqrt scaling
+        assert (t256 - t16) == pytest.approx(
+            (16 - 4) * m.t_wire_per_tile, rel=1e-6
+        )
+
+    def test_decode_depth_costs_quadratically(self):
+        m = SwitchTimingModel()
+        d1 = m.proposed_switch_time(4, 64, local_decode_depth=1)
+        d3 = m.proposed_switch_time(4, 64, local_decode_depth=3)
+        assert d3 - d1 == pytest.approx(6.0 - 1.0)  # chain_delay diff
+
+    def test_bad_depth(self):
+        with pytest.raises(ArchitectureError):
+            SwitchTimingModel().proposed_switch_time(4, 64, local_decode_depth=-1)
+
+
+class TestCrossover:
+    def test_proposed_wins_at_scale(self):
+        """On any realistically sized fabric the local-decode scheme
+        switches faster; the gap widens with the die."""
+        rows = switch_time_sweep([16, 64, 256, 1024])
+        gaps = [conv - prop for _, conv, prop in rows]
+        assert all(g > 0 for g in gaps[1:])
+        assert gaps == sorted(gaps)
+
+    def test_sweep_shape(self):
+        rows = switch_time_sweep([4, 16])
+        assert len(rows) == 2
+        assert rows[0][0] == 4
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            SwitchTimingModel().conventional_switch_time(3, 64, 288)
+        with pytest.raises(ArchitectureError):
+            SwitchTimingModel().conventional_switch_time(4, 0, 288)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPatterns:
+    def test_runs(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "S0" in out
+        assert "general" in out
+
+    def test_eight_contexts(self, capsys):
+        assert main(["patterns", "--contexts", "8"]) == 0
+        assert "S2" in capsys.readouterr().out
+
+
+class TestDecoder:
+    def test_fig9(self, capsys):
+        assert main(["decoder", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "SEs=4" in out
+
+    def test_multiple(self, capsys):
+        assert main(["decoder", "1111", "0101"]) == 0
+        out = capsys.readouterr().out
+        assert "constant" in out and "literal" in out
+
+    def test_bad_pattern(self, capsys):
+        assert main(["decoder", "10x0"]) == 2
+
+
+class TestArea:
+    def test_paper_point(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "44.8%" in out
+        assert "37.1%" in out
+
+    def test_textbook(self, capsys):
+        assert main(["area", "--constants", "textbook"]) == 0
+        assert "%" in capsys.readouterr().out
+
+
+class TestMap:
+    def test_crc_workload(self, capsys):
+        assert main(["map", "--workload", "crc"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert "constant" in out
+
+
+class TestReorder:
+    def test_runs(self, capsys):
+        assert main(["reorder", "--workload", "random", "--mutation", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "decoder cost" in out
+        assert "schedule" in out
+
+
+class TestSweep:
+    def test_change_rate(self, capsys):
+        assert main(["sweep", "--what", "change-rate"]) == 0
+        assert "change rate" in capsys.readouterr().out
+
+    def test_contexts(self, capsys):
+        assert main(["sweep", "--what", "contexts"]) == 0
+        assert "contexts" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

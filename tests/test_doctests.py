@@ -1,0 +1,32 @@
+"""Run the executable examples embedded in module docstrings.
+
+Keeps the documentation honest: every ``>>>`` block in the listed
+modules must stay correct as the code evolves.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.patterns
+import repro.netlist.logic
+import repro.route.timing
+import repro.utils.bitops
+import repro.utils.tables
+
+MODULES = [
+    repro.utils.bitops,
+    repro.utils.tables,
+    repro.core.patterns,
+    repro.netlist.logic,
+    repro.route.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, optionflags=doctest.ELLIPSIS
+    )
+    assert tests > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,100 @@
+"""Unit + property tests for bit utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit,
+    bits_of,
+    clog2,
+    from_bits,
+    is_pow2,
+    mask,
+    parity,
+    popcount,
+    reverse_bits,
+)
+
+
+class TestBit:
+    def test_extracts_bits(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 3) == 1
+        assert bit(0b1010, 4) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(4) == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPopcountParity:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_parity(self):
+        assert parity(0b111) == 1
+        assert parity(0b11) == 0
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestBitsRoundtrip:
+    def test_bits_of(self):
+        assert list(bits_of(0b0110, 4)) == [0, 1, 1, 0]
+
+    def test_from_bits(self):
+        assert from_bits([0, 1, 1, 0]) == 6
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2])
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_roundtrip(self, v):
+        assert from_bits(bits_of(v, 20)) == v
+
+
+class TestReverse:
+    def test_reverse(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_involution(self, v):
+        assert reverse_bits(reverse_bits(v, 12), 12) == v
+
+
+class TestClog2:
+    def test_values(self):
+        assert [clog2(n) for n in (1, 2, 3, 4, 5, 8, 9)] == [0, 1, 2, 2, 3, 3, 4]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+
+    @given(st.integers(1, 10**6))
+    def test_bound(self, n):
+        k = clog2(n)
+        assert 2**k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestIsPow2:
+    def test_values(self):
+        assert is_pow2(1) and is_pow2(2) and is_pow2(64)
+        assert not is_pow2(0) and not is_pow2(6) and not is_pow2(-4)

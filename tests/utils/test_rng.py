@@ -1,0 +1,38 @@
+"""Tests for RNG plumbing determinism."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).integers(0, 1000, 10)
+        b = ensure_rng(None).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_int_seed(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        kids1 = spawn(ensure_rng(5), 3)
+        kids2 = spawn(ensure_rng(5), 3)
+        for a, b in zip(kids1, kids2):
+            assert (a.integers(0, 100, 5) == b.integers(0, 100, 5)).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)

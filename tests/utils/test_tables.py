@@ -1,0 +1,53 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_ratio, format_si
+
+
+class TestFormatRatio:
+    def test_basic(self):
+        assert format_ratio(0.451) == "45.1%"
+        assert format_ratio(1.0) == "100.0%"
+
+    def test_digits(self):
+        assert format_ratio(0.12345, digits=2) == "12.35%"
+
+
+class TestFormatSi:
+    def test_kilo(self):
+        assert format_si(12500) == "12.50 k"
+
+    def test_unit(self):
+        assert "T" in format_si(3.2e6, "T")
+
+
+class TestTextTable:
+    def test_renders_columns_and_rows(self):
+        t = TextTable(["a", "b"], title="demo")
+        t.add_row([1, "x"])
+        out = t.render()
+        assert "demo" in out
+        assert "a" in out and "b" in out
+        assert "1" in out and "x" in out
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        t = TextTable(["v"])
+        t.add_row([0.123456789])
+        assert "0.1235" in t.render()
+
+    def test_alignment(self):
+        t = TextTable(["name", "v"])
+        t.add_row(["long-name-here", 1])
+        lines = t.render().splitlines()
+        # all data lines share a width
+        assert len(lines[-1]) == len(lines[0]) or len(lines) >= 3

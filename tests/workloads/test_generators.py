@@ -1,0 +1,158 @@
+"""Functional correctness of every workload generator against Python
+golden models."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.workloads.generators import (
+    alu_slice,
+    comparator,
+    crc_step,
+    gray_encoder,
+    lfsr,
+    majority_tree,
+    parity_tree,
+    random_dag,
+    ripple_adder,
+    ripple_counter,
+)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_matches_integer_addition(self, width):
+        n = ripple_adder(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                for cin in (0, 1):
+                    iv = {f"a{i}": (a >> i) & 1 for i in range(width)}
+                    iv |= {f"b{i}": (b >> i) & 1 for i in range(width)}
+                    iv["cin"] = cin
+                    out = n.evaluate_outputs(iv)
+                    total = a + b + cin
+                    got = sum(out[f"s{i}"] << i for i in range(width))
+                    got |= out["cout"] << width
+                    assert got == total
+
+    def test_bad_width(self):
+        with pytest.raises(SynthesisError):
+            ripple_adder(0)
+
+
+class TestComparator:
+    def test_matches_python(self):
+        n = comparator(3)
+        for a in range(8):
+            for b in range(8):
+                iv = {f"a{i}": (a >> i) & 1 for i in range(3)}
+                iv |= {f"b{i}": (b >> i) & 1 for i in range(3)}
+                out = n.evaluate_outputs(iv)
+                assert out["eq"] == int(a == b)
+                assert out["gt"] == int(a > b)
+
+
+class TestParityMajority:
+    def test_parity(self):
+        n = parity_tree(5)
+        for word in range(32):
+            iv = {f"x{i}": (word >> i) & 1 for i in range(5)}
+            assert n.evaluate_outputs(iv)["p"] == bin(word).count("1") % 2
+
+    def test_majority(self):
+        n = majority_tree(3)
+        for word in range(8):
+            iv = {f"x{i}": (word >> i) & 1 for i in range(3)}
+            assert n.evaluate_outputs(iv)["vote"] == int(bin(word).count("1") >= 2)
+
+    def test_majority_must_be_odd(self):
+        with pytest.raises(SynthesisError):
+            majority_tree(4)
+
+
+class TestCrc:
+    def test_matches_shift_xor(self):
+        width, poly = 4, 0x3
+        n = crc_step(width, poly)
+        for crc in range(16):
+            for d in (0, 1):
+                iv = {f"c{i}": (crc >> i) & 1 for i in range(width)}
+                iv["d"] = d
+                out = n.evaluate_outputs(iv)
+                fb = ((crc >> (width - 1)) & 1) ^ d
+                want = ((crc << 1) & (ctypes_mask := (1 << width) - 1)) ^ (poly if fb else 0)
+                got = sum(out[f"n{i}"] << i for i in range(width))
+                assert got == want
+
+
+class TestAluSlice:
+    def test_all_ops(self):
+        n = alu_slice()
+        for a, b, cin in itertools.product([0, 1], repeat=3):
+            base = {"a": a, "b": b, "cin": cin}
+            assert n.evaluate_outputs({**base, "op1": 0, "op0": 0})["y"] == (a & b)
+            assert n.evaluate_outputs({**base, "op1": 0, "op0": 1})["y"] == (a | b)
+            assert n.evaluate_outputs({**base, "op1": 1, "op0": 0})["y"] == (a ^ b)
+            assert n.evaluate_outputs({**base, "op1": 1, "op0": 1})["y"] == (a ^ b ^ cin)
+            assert n.evaluate_outputs({**base, "op1": 1, "op0": 1})["cout"] == (
+                (a & b) | (cin & (a ^ b))
+            )
+
+
+class TestGray:
+    def test_gray_property(self):
+        """Adjacent binary codes differ in exactly one Gray bit."""
+        width = 4
+        n = gray_encoder(width)
+
+        def encode(b):
+            iv = {f"b{i}": (b >> i) & 1 for i in range(width)}
+            out = n.evaluate_outputs(iv)
+            return sum(out[f"g{i}"] << i for i in range(width))
+
+        for b in range(15):
+            assert bin(encode(b) ^ encode(b + 1)).count("1") == 1
+
+    def test_matches_formula(self):
+        n = gray_encoder(3)
+        for b in range(8):
+            iv = {f"b{i}": (b >> i) & 1 for i in range(3)}
+            out = n.evaluate_outputs(iv)
+            got = sum(out[f"g{i}"] << i for i in range(3))
+            assert got == b ^ (b >> 1)
+
+
+class TestSequentialGenerators:
+    def test_counter_counts(self):
+        n = ripple_counter(3)
+        st, seq = {}, []
+        for _ in range(9):
+            outs, st = n.step({}, st)
+            seq.append(sum(outs[f"o{i}"] << i for i in range(3)))
+        assert seq == [0, 1, 2, 3, 4, 5, 6, 7, 0]
+
+    def test_lfsr_cycles_through_states(self):
+        n = lfsr(3, taps=(2, 1))
+        st, seen = {}, set()
+        for _ in range(10):
+            outs, st = n.step({}, st)
+            seen.add(tuple(outs[f"o{i}"] for i in range(3)))
+        assert len(seen) >= 4  # escapes the all-zero state and cycles
+
+    def test_lfsr_tap_bounds(self):
+        with pytest.raises(SynthesisError):
+            lfsr(3, taps=(5,))
+
+
+class TestRandomDag:
+    def test_deterministic(self):
+        a = random_dag(seed=3)
+        b = random_dag(seed=3)
+        iv = {f"x{i}": 1 for i in range(6)}
+        assert a.evaluate_outputs(iv) == b.evaluate_outputs(iv)
+
+    def test_validates(self):
+        n = random_dag(n_inputs=4, n_gates=15, n_outputs=3, seed=9)
+        n.validate()
+        assert len(n.luts()) == 15

@@ -1,0 +1,114 @@
+"""Tests for multi-context workload construction."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.netlist.synth import synthesize
+from repro.netlist.techmap import tech_map
+from repro.workloads.generators import parity_tree, ripple_adder
+from repro.workloads.multicontext import (
+    mutate_netlist,
+    mutated_program,
+    temporal_partition,
+    workload_suite,
+)
+
+
+def base_netlist():
+    return tech_map(ripple_adder(3), k=4)
+
+
+class TestMutation:
+    def test_zero_fraction_identical(self):
+        n = base_netlist()
+        m = mutate_netlist(n, 0.0, seed=1)
+        for name, cell in n.cells.items():
+            if cell.table is not None:
+                assert m.cells[name].table == cell.table
+
+    def test_fraction_controls_mutation_count(self):
+        n = base_netlist()
+        m = mutate_netlist(n, 0.5, seed=1)
+        changed = sum(
+            1
+            for name, cell in n.cells.items()
+            if cell.table is not None and m.cells[name].table != cell.table
+        )
+        assert changed == round(0.5 * len(n.luts()))
+
+    def test_mutant_still_valid(self):
+        m = mutate_netlist(base_netlist(), 0.4, seed=2)
+        m.validate()
+        m.evaluate_outputs({c.name: 0 for c in m.inputs()})
+
+    def test_deterministic(self):
+        a = mutate_netlist(base_netlist(), 0.3, seed=5)
+        b = mutate_netlist(base_netlist(), 0.3, seed=5)
+        for name in a.cells:
+            if a.cells[name].table is not None:
+                assert a.cells[name].table == b.cells[name].table
+
+    def test_bad_fraction(self):
+        with pytest.raises(SynthesisError):
+            mutate_netlist(base_netlist(), 1.5)
+
+
+class TestMutatedProgram:
+    def test_chain_structure(self):
+        prog = mutated_program(base_netlist(), n_contexts=4, fraction=0.2, seed=3)
+        assert prog.n_contexts == 4
+        sizes = {len(nl.luts()) for nl in prog.contexts}
+        assert len(sizes) == 1  # mutation preserves LUT count
+
+    def test_zero_fraction_all_contexts_equal(self):
+        prog = mutated_program(base_netlist(), n_contexts=3, fraction=0.0)
+        t0 = [c.table for c in prog.contexts[0].luts()]
+        for nl in prog.contexts[1:]:
+            assert [c.table for c in nl.luts()] == t0
+
+
+class TestTemporalPartition:
+    def test_bands_cover_all_luts(self):
+        flat = base_netlist()
+        prog = temporal_partition(flat, n_contexts=3)
+        total = sum(len(nl.luts()) for nl in prog.contexts[:3])
+        # padding may duplicate the last band; count unique bands only
+        names = set()
+        for nl in prog.contexts:
+            names.update(c.name for c in nl.luts())
+        assert names == {c.name for c in flat.luts()}
+
+    def test_each_band_valid(self):
+        prog = temporal_partition(base_netlist(), n_contexts=4)
+        for nl in prog.contexts:
+            nl.validate()
+
+    def test_rejects_sequential(self):
+        seq = synthesize([], {"q": "r"}, registers={"r": "~r"})
+        with pytest.raises(SynthesisError):
+            temporal_partition(seq, 2)
+
+    def test_shallow_netlist_padded(self):
+        flat = tech_map(parity_tree(4), k=4)  # depth 1 after mapping
+        prog = temporal_partition(flat, n_contexts=4)
+        assert prog.n_contexts == 4
+
+
+class TestSuite:
+    def test_small_suite_shape(self):
+        suite = workload_suite(small=True)
+        assert set(suite) == {"adder_mut", "random_mut", "crc_tp"}
+        for prog in suite.values():
+            assert prog.n_contexts == 4
+
+    def test_full_suite_has_more(self):
+        suite = workload_suite(small=False)
+        assert len(suite) >= 5
+
+    def test_deterministic(self):
+        a = workload_suite(small=True, seed=3)
+        b = workload_suite(small=True, seed=3)
+        for name in a:
+            ta = [c.table for c in a[name].contexts[1].luts()]
+            tb = [c.table for c in b[name].contexts[1].luts()]
+            assert ta == tb

@@ -10,17 +10,37 @@ The package splits into:
   adaptive logic blocks (Figs. 13-14), FePGs (Fig. 15), the full device
   and the Section-5 area model.
 - :mod:`repro.arch` — island-style fabric: parameters, wire segmentation
-  (double-length lines, Fig. 10), routing-resource graph.
+  (double-length lines, Fig. 10), routing-resource graph, and its
+  *compiled* flat-array form (:mod:`repro.arch.compiled`): CSR
+  adjacency plus node-attribute arrays, built once per
+  :class:`ArchParams` through an LRU build cache and shared by every
+  mapping job on the same device.
 - :mod:`repro.netlist` — truth tables, netlists, DFGs, expression
   synthesis, k-LUT technology mapping, cross-context sharing.
 - :mod:`repro.place` / :mod:`repro.route` — simulated-annealing placer
-  and PathFinder router with cross-context route reuse.
+  (flat coordinate maps, cached net bounding boxes, precomputed
+  per-grid distance tables) and PathFinder router with cross-context
+  route reuse.  Routing runs on the compiled RRG: array Dijkstra with
+  epoch-stamped scratch buffers and per-net bounding-box pruning; the
+  original object-graph router survives as
+  ``route_context_legacy``/``route_program_legacy`` and the public
+  entry points are thin adapters, so both paths produce identical
+  routes (pinned by the equivalence test suite).
 - :mod:`repro.sim` — levelized, event-driven and multi-context
   (DPGA-schedule) simulators.
 - :mod:`repro.workloads` — circuit generators and multi-context
   workloads with controllable redundancy.
-- :mod:`repro.analysis` — redundancy statistics, pattern censuses, and
-  the experiment drivers behind every benchmark.
+- :mod:`repro.analysis` — redundancy statistics, pattern censuses, the
+  unified :class:`~repro.analysis.engine.MappingEngine`
+  (``map_batch(programs, params, workers=N)`` shares one compiled RRG
+  across jobs and routes independent contexts in parallel), and the
+  experiment drivers behind every benchmark.
+
+Picking ``workers``: share-aware routing is sequential across contexts
+by construction (later contexts adopt earlier routes), so parallelism
+applies to share-unaware contexts and to independent batch jobs.  Under
+the GIL, ``workers=1`` is the safe default; raise it for batch sweeps
+on free-threaded builds or when jobs are I/O-bound.
 """
 
 from repro.core import (

@@ -1,0 +1,128 @@
+"""Unified mapping engine: one compiled substrate, many mapping jobs.
+
+:class:`MappingEngine` is the single entry point the experiment drivers,
+the CLI and the benchmarks ride on.  It owns the compiled-RRG build
+cache (see :func:`repro.arch.compiled.compiled_rrg_for`), so every job
+targeting the same :class:`~repro.arch.params.ArchParams` shares one
+flat-array substrate, and it exposes batch mapping with a worker pool:
+
+- :meth:`MappingEngine.map` — place and route one program (what
+  :func:`repro.analysis.experiments.map_program` delegates to);
+- :meth:`MappingEngine.map_batch` — map many programs concurrently.
+  The compiled RRG is read-only during routing, so jobs share it
+  safely; each routing job allocates its own scratch buffers.
+
+Choosing ``workers``: batch jobs are pure-Python CPU work, so with the
+GIL the pool mostly helps when jobs block (different grids compiling,
+I/O in callers) or on free-threaded builds; ``workers=1`` (the default)
+is the safe sequential baseline and never slower for a single program.
+Routing *within* one program parallelises per context only in
+share-unaware mode — share-aware routing reuses earlier contexts'
+routes, which is a sequential dependency by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Sequence
+
+from repro.arch.compiled import CompiledRRG, compile_rrg, compiled_rrg_for
+from repro.arch.params import ArchParams
+from repro.arch.rrg import RoutingResourceGraph
+from repro.place.placer import place_program
+from repro.route.pathfinder import route_program_compiled
+
+
+class MappingEngine:
+    """Place-and-route engine sharing one compiled RRG across jobs."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        #: default worker count for :meth:`map_batch` (``None`` = 1).
+        self.workers = workers
+
+    # -- substrate --------------------------------------------------------- #
+    def compiled(self, params: ArchParams) -> CompiledRRG:
+        """The (cached) compiled routing substrate for ``params``."""
+        return compiled_rrg_for(params)
+
+    # -- single job --------------------------------------------------------- #
+    def map(
+        self,
+        program,
+        params: ArchParams | None = None,
+        share_aware: bool = True,
+        seed: int = 0,
+        effort: float = 0.5,
+        rrg: RoutingResourceGraph | CompiledRRG | None = None,
+        route_workers: int | None = None,
+    ):
+        """Place and route every context of ``program``.
+
+        Returns a :class:`~repro.analysis.experiments.MappedProgram`.
+        ``rrg`` overrides the cached substrate (object graphs are
+        lowered on first use); ``route_workers`` parallelises context
+        routing in share-unaware mode.
+        """
+        from repro.analysis.experiments import MappedProgram, _fit_params
+
+        if params is None:
+            params = _fit_params(program)
+        if rrg is None:
+            compiled = self.compiled(params)
+        elif isinstance(rrg, CompiledRRG):
+            compiled = rrg
+        else:
+            compiled = compile_rrg(rrg)
+        placements = place_program(
+            program, params, seed=seed, share_aware=share_aware, effort=effort
+        )
+        routes = route_program_compiled(
+            compiled, program, placements,
+            share_aware=share_aware, workers=route_workers,
+        )
+        return MappedProgram(
+            program, params, placements, routes, compiled.source, share_aware
+        )
+
+    # -- batch -------------------------------------------------------------- #
+    def map_batch(
+        self,
+        programs: Sequence,
+        params: ArchParams | None = None,
+        share_aware: bool = True,
+        seed: int = 0,
+        effort: float = 0.5,
+        workers: int | None = None,
+    ) -> list:
+        """Map every program, sharing the compiled substrate.
+
+        ``params=None`` auto-fits a grid per program (jobs with equal
+        fitted params still share one compiled RRG through the cache).
+        ``workers`` (default: the engine's ``workers``) sizes the
+        thread pool; ``1`` or ``None`` maps sequentially.  Results keep
+        the order of ``programs``; a failing job raises its error at
+        collection, after all jobs were submitted.
+        """
+        if params is not None:
+            # warm the cache once so parallel jobs never race a build
+            self.compiled(params)
+        n = workers if workers is not None else self.workers
+        jobs = list(programs)
+        if not n or n <= 1 or len(jobs) <= 1:
+            return [
+                self.map(p, params, share_aware=share_aware,
+                         seed=seed, effort=effort)
+                for p in jobs
+            ]
+        with ThreadPoolExecutor(max_workers=min(n, len(jobs))) as pool:
+            futures = [
+                pool.submit(self.map, p, params, share_aware=share_aware,
+                            seed=seed, effort=effort)
+                for p in jobs
+            ]
+            return [f.result() for f in futures]
+
+
+#: Shared default engine — what the module-level convenience APIs use,
+#: so independent callers still hit one compiled-RRG cache.
+DEFAULT_ENGINE = MappingEngine()

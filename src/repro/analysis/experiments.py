@@ -14,10 +14,12 @@ here, so results are reproducible from the library API alone:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from repro.arch.compiled import CompiledRRG
 from repro.arch.params import ArchParams
-from repro.arch.rrg import RoutingResourceGraph, build_rrg
+from repro.arch.rrg import RoutingResourceGraph
 from repro.core.area_model import (
     AreaComparison,
     AreaModel,
@@ -31,8 +33,8 @@ from repro.core.fpga import MultiContextFPGA
 from repro.errors import ReproError
 from repro.netlist.dfg import MultiContextProgram
 from repro.netlist.sharing import pack_global, pack_local
-from repro.place.placer import Placement, place_program
-from repro.route.pathfinder import RouteResult, route_program
+from repro.place.placer import Placement
+from repro.route.pathfinder import RouteResult
 
 
 @dataclass
@@ -52,13 +54,20 @@ class MappedProgram:
         )
 
     def reuse_fraction(self) -> float:
-        """Fraction of later-context nets that reused an earlier route."""
+        """Fraction of later-context nets that reused an earlier route.
+
+        A program with no later-context nets — single-context, or one
+        whose contexts after the first route nothing — offers no reuse
+        opportunities at all, so the fraction is defined as 0.0.
+        """
         total = reused = 0
         for rr in self.routes[1:]:
             for net in rr.nets.values():
                 total += 1
                 reused += 1 if net.reused else 0
-        return reused / total if total else 0.0
+        if total == 0:
+            return 0.0
+        return reused / total
 
 
 def map_program(
@@ -67,23 +76,25 @@ def map_program(
     share_aware: bool = True,
     seed: int = 0,
     effort: float = 0.5,
-    rrg: RoutingResourceGraph | None = None,
+    rrg: RoutingResourceGraph | CompiledRRG | None = None,
 ) -> MappedProgram:
-    """Place and route every context of ``program``."""
-    if params is None:
-        params = _fit_params(program)
-    g = rrg if rrg is not None else build_rrg(params)
-    placements = place_program(
-        program, params, seed=seed, share_aware=share_aware, effort=effort
+    """Place and route every context of ``program``.
+
+    Thin adapter over the shared :class:`~repro.analysis.engine.MappingEngine`,
+    so repeated calls with equal ``params`` share one compiled routing
+    substrate.  An explicit ``rrg`` (object graph or compiled) bypasses
+    the cache.
+    """
+    from repro.analysis.engine import DEFAULT_ENGINE
+
+    return DEFAULT_ENGINE.map(
+        program, params, share_aware=share_aware, seed=seed,
+        effort=effort, rrg=rrg,
     )
-    routes = route_program(g, program, placements, share_aware=share_aware)
-    return MappedProgram(program, params, placements, routes, g, share_aware)
 
 
 def _fit_params(program: MultiContextProgram) -> ArchParams:
     """Pick a grid comfortably holding the largest context."""
-    import math
-
     biggest = max(
         len(nl.luts()) + len(nl.dffs()) for nl in program.contexts
     )
@@ -116,6 +127,23 @@ class ExperimentResult:
         return self.stats.switch.change_fraction()
 
 
+def verify_mapped(mapped: MappedProgram, seed: int = 0, n_vectors: int = 16) -> bool:
+    """Functional verification of a mapped program on a configured device.
+
+    Configures a behavioural device from the mapping and checks every
+    context against its source netlist on random vectors; raises
+    :class:`~repro.errors.SimulationError` on mismatch, returns True
+    otherwise.  Shared by :func:`run_full_flow` and the CLI flows so
+    verification policy lives in one place.
+    """
+    device = MultiContextFPGA(mapped.params, build_graph=False)
+    device.rrg = mapped.rrg
+    device.configure_program(mapped.program, mapped.placements, mapped.routes)
+    for c in range(mapped.program.n_contexts):
+        device.verify_against_source(c, n_vectors=n_vectors, seed=seed)
+    return True
+
+
 def run_full_flow(
     program: MultiContextProgram,
     params: ArchParams | None = None,
@@ -128,12 +156,7 @@ def run_full_flow(
     stats = mapped.stats()
     verified = False
     if verify:
-        device = MultiContextFPGA(mapped.params, build_graph=False)
-        device.rrg = mapped.rrg
-        device.configure_program(program, mapped.placements, mapped.routes)
-        for c in range(program.n_contexts):
-            device.verify_against_source(c, n_vectors=16, seed=seed)
-        verified = True
+        verified = verify_mapped(mapped, seed=seed)
     return ExperimentResult(program.name, mapped, stats, verified)
 
 

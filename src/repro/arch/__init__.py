@@ -1,6 +1,8 @@
 """Island-style MC-FPGA fabric description: parameters, geometry, wiring,
-and the routing-resource graph the placer/router operate on."""
+the routing-resource graph the placer/router operate on, and its
+compiled flat-array lowering (the routing hot-path substrate)."""
 
+from repro.arch.compiled import CompiledRRG, compile_rrg, compiled_rrg_for
 from repro.arch.geometry import Coord, Side
 from repro.arch.params import ArchParams
 from repro.arch.rrg import NodeKind, RoutingResourceGraph, build_rrg
@@ -8,6 +10,7 @@ from repro.arch.wires import SegmentKind, TrackSpec, make_track_specs
 
 __all__ = [
     "ArchParams",
+    "CompiledRRG",
     "Coord",
     "NodeKind",
     "RoutingResourceGraph",
@@ -15,5 +18,7 @@ __all__ = [
     "Side",
     "TrackSpec",
     "build_rrg",
+    "compile_rrg",
+    "compiled_rrg_for",
     "make_track_specs",
 ]

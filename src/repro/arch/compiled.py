@@ -1,0 +1,255 @@
+"""Compiled flat-array routing-resource graph.
+
+:class:`~repro.arch.rrg.RoutingResourceGraph` is the *construction*
+representation: dataclass nodes, per-node adjacency lists, name strings.
+That is the right shape for building and inspecting the fabric, but a
+terrible shape for the router's inner loop, which touches every edge of
+the graph many times per iteration.  :class:`CompiledRRG` lowers the
+object graph into flat arrays once, so the hot paths index plain
+``array('i')`` / ``array('d')`` buffers instead of chasing Python
+objects:
+
+- **CSR adjacency** — ``edge_start[n] .. edge_start[n+1]`` indexes into
+  ``edge_dst`` / ``edge_kind``.  Within each node's range, edges whose
+  destination is a SINK are segregated *after* ``edge_mid[n]``, so the
+  router's inner loop needs no per-edge kind test (relaxation order
+  within one node does not affect Dijkstra's result — heap order is
+  decided by ``(dist, node)`` values, not push order).
+- **node attribute arrays** — kind, capacity, wire length and the
+  congestion *base cost* ``1.0 + 0.2 * (length - 1)`` precomputed per
+  node.  The hot arrays are plain Python lists rather than
+  ``array('i')``/``array('d')``: list indexing returns the stored
+  (cached) object, while ``array`` boxes a fresh int/float on every
+  read — measurably slower in the router's inner loop.
+- **spatial extents** — per-node tile-coordinate bounding boxes
+  (``xlo``/``xhi``/``ylo``/``yhi``, mirrored as numpy arrays) from
+  which the router builds per-net bounding-box prune masks in one
+  vectorised expression.
+- **pin indexes** — the per-tile SOURCE/SINK lookup dicts are shared
+  with the source graph (they are read-only after construction).
+
+Compiled graphs are cached two ways: :func:`compile_rrg` memoises on the
+graph instance (so repeated routing of one graph compiles once), and
+:func:`compiled_rrg_for` is an ``lru_cache`` keyed by the *frozen*
+:class:`~repro.arch.params.ArchParams`, which is what lets a batch of
+mapping jobs on the same device family share one substrate.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.arch.params import ArchParams
+from repro.arch.rrg import (
+    EdgeKind,
+    NodeKind,
+    RoutingResourceGraph,
+    build_rrg,
+)
+
+#: Stable integer encoding of :class:`NodeKind` (array-friendly).
+NODE_KIND_INDEX: dict[NodeKind, int] = {k: i for i, k in enumerate(NodeKind)}
+NODE_KINDS: tuple[NodeKind, ...] = tuple(NodeKind)
+
+#: Stable integer encoding of :class:`EdgeKind`.
+EDGE_KIND_INDEX: dict[EdgeKind, int] = {k: i for i, k in enumerate(EdgeKind)}
+EDGE_KINDS: tuple[EdgeKind, ...] = tuple(EdgeKind)
+
+#: Integer ids the router special-cases, exported as module constants so
+#: the inner loop never touches the enum machinery.
+KIND_SINK = NODE_KIND_INDEX[NodeKind.SINK]
+KIND_CHANX = NODE_KIND_INDEX[NodeKind.CHANX]
+KIND_CHANY = NODE_KIND_INDEX[NodeKind.CHANY]
+
+#: Extra wire-length cost factor, mirrored from the legacy router's
+#: ``_CongestionState.node_cost`` so both paths price nodes identically.
+LENGTH_COST_FACTOR = 0.2
+
+
+class CompiledRRG:
+    """Flat-array lowering of one :class:`RoutingResourceGraph`.
+
+    The source graph stays reachable as :attr:`source` — everything that
+    is *not* hot (stats extraction, pin lookups, describe strings) keeps
+    using the object representation, so this class only carries what the
+    router and placer inner loops need.
+    """
+
+    __slots__ = (
+        "source",
+        "params",
+        "n_nodes",
+        "n_edges",
+        "node_kind",
+        "node_capacity",
+        "node_length",
+        "base_cost",
+        "xlo",
+        "xhi",
+        "ylo",
+        "yhi",
+        "xlo_np",
+        "xhi_np",
+        "ylo_np",
+        "yhi_np",
+        "edge_start",
+        "edge_mid",
+        "edge_dst",
+        "edge_kind",
+    )
+
+    def __init__(self, source: RoutingResourceGraph) -> None:
+        self.source = source
+        self.params = source.params
+        n = source.n_nodes
+        self.n_nodes = n
+
+        self.node_kind: list[int] = [0] * n
+        self.node_capacity: list[int] = [0] * n
+        self.node_length: list[int] = [0] * n
+        self.base_cost: list[float] = [0.0] * n
+        self.xlo: list[int] = [0] * n
+        self.xhi: list[int] = [0] * n
+        self.ylo: list[int] = [0] * n
+        self.yhi: list[int] = [0] * n
+
+        for node in source.nodes:
+            nid = node.id
+            self.node_kind[nid] = NODE_KIND_INDEX[node.kind]
+            self.node_capacity[nid] = node.capacity
+            self.node_length[nid] = node.length
+            self.base_cost[nid] = 1.0 + LENGTH_COST_FACTOR * (node.length - 1)
+            if node.kind is NodeKind.CHANX:
+                # horizontal segment: covers tile x-positions pos..pos+len-1;
+                # channel y sits between tile rows y-1 and y
+                self.xlo[nid] = node.pos
+                self.xhi[nid] = node.pos + node.length - 1
+                self.ylo[nid] = node.y - 1
+                self.yhi[nid] = node.y
+            elif node.kind is NodeKind.CHANY:
+                self.xlo[nid] = node.x - 1
+                self.xhi[nid] = node.x
+                self.ylo[nid] = node.pos
+                self.yhi[nid] = node.pos + node.length - 1
+            else:
+                self.xlo[nid] = self.xhi[nid] = node.x
+                self.ylo[nid] = self.yhi[nid] = node.y
+
+        # vectorised mirrors for per-net bounding-box mask construction
+        self.xlo_np = np.asarray(self.xlo, dtype=np.int32)
+        self.xhi_np = np.asarray(self.xhi, dtype=np.int32)
+        self.ylo_np = np.asarray(self.ylo, dtype=np.int32)
+        self.yhi_np = np.asarray(self.yhi, dtype=np.int32)
+
+        # CSR adjacency: per node, non-SINK destinations first, SINK
+        # destinations after edge_mid[n] (lets the router skip the
+        # per-edge "is this someone else's sink" test)
+        sink = NODE_KIND_INDEX[NodeKind.SINK]
+        kind_of = self.node_kind
+        edge_start: list[int] = [0] * (n + 1)
+        edge_mid: list[int] = [0] * n
+        edge_dst: list[int] = []
+        edge_kind: list[int] = []
+        for nid in range(n):
+            edge_start[nid] = len(edge_dst)
+            tail: list[tuple[int, EdgeKind]] = []
+            for dst, kind in source.out_edges[nid]:
+                if kind_of[dst] == sink:
+                    tail.append((dst, kind))
+                else:
+                    edge_dst.append(dst)
+                    edge_kind.append(EDGE_KIND_INDEX[kind])
+            edge_mid[nid] = len(edge_dst)
+            for dst, kind in tail:
+                edge_dst.append(dst)
+                edge_kind.append(EDGE_KIND_INDEX[kind])
+        edge_start[n] = len(edge_dst)
+        self.n_edges = len(edge_dst)
+        self.edge_start = edge_start
+        self.edge_mid = edge_mid
+        self.edge_dst = edge_dst
+        # not read by the router; retained so structural checks (and any
+        # future compiled timing model) can see switch kinds without
+        # re-deriving them from the object graph (~one int per edge)
+        self.edge_kind = edge_kind
+
+    def bbox_mask(
+        self, bxlo: int, bxhi: int, bylo: int, byhi: int
+    ) -> bytes:
+        """Per-node membership mask for a tile-coordinate bounding box.
+
+        A node is *inside* when its spatial extent intersects the box;
+        the router skips zero-mask nodes.  Built vectorised; the result
+        is an immutable ``bytes`` indexable to 0/1 ints.
+        """
+        inside = (
+            (self.xhi_np >= bxlo) & (self.xlo_np <= bxhi)
+            & (self.yhi_np >= bylo) & (self.ylo_np <= byhi)
+        )
+        return inside.tobytes()
+
+    # -- convenience -------------------------------------------------------- #
+    @property
+    def lb_source(self) -> dict[tuple[int, int, int], int]:
+        return self.source.lb_source
+
+    @property
+    def lb_sink(self) -> dict[tuple[int, int, int], int]:
+        return self.source.lb_sink
+
+    @property
+    def io_source(self) -> dict[tuple[int, int, int], int]:
+        return self.source.io_source
+
+    @property
+    def io_sink(self) -> dict[tuple[int, int, int], int]:
+        return self.source.io_sink
+
+    def kind_of(self, nid: int) -> NodeKind:
+        return NODE_KINDS[self.node_kind[nid]]
+
+    def is_wire(self, nid: int) -> bool:
+        k = self.node_kind[nid]
+        return k == KIND_CHANX or k == KIND_CHANY
+
+    def describe(self) -> str:
+        return (
+            f"CompiledRRG {self.params.cols}x{self.params.rows} "
+            f"W={self.params.channel_width}: {self.n_nodes} nodes "
+            f"{self.n_edges} edges (CSR)"
+        )
+
+
+def compile_rrg(g: RoutingResourceGraph) -> CompiledRRG:
+    """Lower ``g`` to flat arrays, memoised on the graph instance.
+
+    The compiled form is attached to the graph as ``_compiled`` so that
+    the adapter entry points (``route_context`` on an object graph) pay
+    the lowering cost once per graph, not once per call.
+    """
+    cached = getattr(g, "_compiled", None)
+    if cached is not None and cached.n_nodes == g.n_nodes:
+        return cached
+    compiled = CompiledRRG(g)
+    g._compiled = compiled  # type: ignore[attr-defined]
+    return compiled
+
+
+@lru_cache(maxsize=16)
+def compiled_rrg_for(params: ArchParams) -> CompiledRRG:
+    """Build-and-compile cache keyed by the frozen ``ArchParams``.
+
+    Two mapping jobs on the same device parameters share one compiled
+    substrate (and its legacy source graph).  The cache holds the 16
+    most recent device configurations, which comfortably covers a
+    batch sweep; use :func:`clear_rrg_cache` between memory-sensitive
+    experiments.
+    """
+    return compile_rrg(build_rrg(params))
+
+
+def clear_rrg_cache() -> None:
+    """Drop all cached compiled graphs (mainly for tests / memory)."""
+    compiled_rrg_for.cache_clear()

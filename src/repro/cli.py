@@ -6,15 +6,23 @@ Exposes the library's main flows without writing Python::
     python -m repro decoder 1000 0110       # synthesize & verify decoders
     python -m repro area --change-rate 0.05 # Section-5 evaluation
     python -m repro map --workload adder    # full flow on a workload
+    python -m repro batch --workloads adder,crc --workers 2  # engine batch
     python -m repro reorder --workload adder  # context-ID optimization
     python -m repro sweep --what change-rate  # sensitivity curves
+
+``map``, ``area`` and ``batch`` accept ``--json`` to emit their stats as
+machine-readable JSON (for benchmark harnesses and external tooling)
+instead of rendered tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+
+_WORKLOADS = ["adder", "random", "crc", "parity", "cmp"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,19 +47,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--contexts", type=int, default=4)
     p.add_argument("--sharing", type=float, default=2.0)
     p.add_argument("--constants", choices=["paper", "textbook"], default="paper")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of tables")
 
     p = sub.add_parser("map", help="full flow: map a workload, print stats")
-    p.add_argument("--workload", default="adder",
-                   choices=["adder", "random", "crc", "parity", "cmp"])
+    p.add_argument("--workload", default="adder", choices=_WORKLOADS)
     p.add_argument("--contexts", type=int, default=4)
     p.add_argument("--mutation", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--naive", action="store_true",
                    help="disable redundancy-aware mapping")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "batch", help="map several workloads through the shared engine"
+    )
+    p.add_argument("--workloads", default="adder,crc",
+                   help=f"comma-separated subset of {','.join(_WORKLOADS)}")
+    p.add_argument("--contexts", type=int, default=4)
+    p.add_argument("--mutation", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="mapping jobs run concurrently (1 = sequential)")
+    p.add_argument("--naive", action="store_true",
+                   help="disable redundancy-aware mapping")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of tables")
 
     p = sub.add_parser("reorder", help="optimize the context-ID assignment")
-    p.add_argument("--workload", default="adder",
-                   choices=["adder", "random", "crc", "parity", "cmp"])
+    p.add_argument("--workload", default="adder", choices=_WORKLOADS)
     p.add_argument("--contexts", type=int, default=4)
     p.add_argument("--mutation", type=float, default=0.15)
     p.add_argument("--seed", type=int, default=7)
@@ -124,10 +149,60 @@ def cmd_area(args: argparse.Namespace) -> int:
         )
         for tech in (Technology.CMOS, Technology.FEPG)
     }
+    if args.json:
+        print(json.dumps(_area_json(args, out), indent=2))
+        return 0
     print(area_comparison_table(out))
     print()
     print(breakdown_table(out["cmos"], "Breakdown (CMOS)"))
     return 0
+
+
+def _area_json(args: argparse.Namespace, out: dict) -> dict:
+    return {
+        "change_rate": args.change_rate,
+        "contexts": args.contexts,
+        "sharing_factor": args.sharing,
+        "constants": args.constants,
+        "technologies": {
+            name: {
+                "ratio": cmp.ratio,
+                "proposed": {
+                    "switch_area": cmp.proposed.switch_area,
+                    "lut_area": cmp.proposed.lut_area,
+                    "overhead_area": cmp.proposed.overhead_area,
+                    "total": cmp.proposed.total,
+                },
+                "conventional": {
+                    "switch_area": cmp.conventional.switch_area,
+                    "lut_area": cmp.conventional.lut_area,
+                    "overhead_area": cmp.conventional.overhead_area,
+                    "total": cmp.conventional.total,
+                },
+            }
+            for name, cmp in out.items()
+        },
+    }
+
+
+def _map_result_json(name: str, result) -> dict:
+    """JSON-ready stats for one mapped workload (shared by map/batch)."""
+    mapped = result.mapped
+    return {
+        "workload": name,
+        "grid": [mapped.params.cols, mapped.params.rows],
+        "contexts": mapped.program.n_contexts,
+        "luts_per_context": [len(nl.luts()) for nl in mapped.program.contexts],
+        "verified": result.verified,
+        "share_aware": mapped.share_aware,
+        "wirelength": sum(rr.wirelength(mapped.rrg) for rr in mapped.routes),
+        "route_iterations": [rr.iterations for rr in mapped.routes],
+        "reuse_fraction": mapped.reuse_fraction(),
+        "switch_change_rate": result.stats.switch.change_fraction(),
+        "class_fractions": {
+            str(k): v for k, v in result.stats.class_fractions().items()
+        },
+    }
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -136,12 +211,50 @@ def cmd_map(args: argparse.Namespace) -> int:
 
     program = _build_workload(args.workload, args.contexts, args.mutation, args.seed)
     result = run_full_flow(program, share_aware=not args.naive, seed=args.seed)
+    if args.json:
+        print(json.dumps(_map_result_json(args.workload, result), indent=2))
+        return 0
     print(f"workload {args.workload}: "
           f"{[len(nl.luts()) for nl in program.contexts]} LUTs per context, "
           f"grid {result.mapped.params.cols}x{result.mapped.params.rows}, "
           f"verified={result.verified}")
     print()
     print(redundancy_report(result.stats).render())
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import MappingEngine
+    from repro.analysis.experiments import ExperimentResult, verify_mapped
+
+    names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    bad = [w for w in names if w not in _WORKLOADS]
+    if bad or not names:
+        print(f"error: unknown workloads {bad or args.workloads!r} "
+              f"(choose from {', '.join(_WORKLOADS)})", file=sys.stderr)
+        return 2
+    programs = [
+        _build_workload(w, args.contexts, args.mutation, args.seed)
+        for w in names
+    ]
+    engine = MappingEngine(workers=args.workers)
+    mapped = engine.map_batch(
+        programs, share_aware=not args.naive, seed=args.seed,
+    )
+    results = [
+        ExperimentResult(name, m, m.stats(), verify_mapped(m, seed=args.seed))
+        for name, m in zip(names, mapped)
+    ]
+    if args.json:
+        print(json.dumps(
+            [_map_result_json(n, r) for n, r in zip(names, results)], indent=2
+        ))
+        return 0
+    for name, r in zip(names, results):
+        print(f"{name}: grid {r.mapped.params.cols}x{r.mapped.params.rows} "
+              f"verified={r.verified} "
+              f"reuse={r.mapped.reuse_fraction():.1%} "
+              f"change-rate={r.change_rate:.1%}")
     return 0
 
 
@@ -180,6 +293,7 @@ _COMMANDS = {
     "decoder": cmd_decoder,
     "area": cmd_area,
     "map": cmd_map,
+    "batch": cmd_batch,
     "reorder": cmd_reorder,
     "sweep": cmd_sweep,
 }

@@ -9,12 +9,22 @@ configuration bits to become CONSTANT patterns).
 
 The annealer is a standard VPR-style schedule: swap/move proposals,
 adaptive temperature decay, incremental HPWL via per-net bounding boxes.
+
+Hot-path layout: terminal coordinates live in flat ``name -> int``
+maps and every net's bounding-box cost is cached, so a move proposal
+recomputes only its affected nets' Manhattan terms (the "before" half
+comes from the cache for free).  Perimeter pad assignment uses the
+per-grid precomputed distance tables of :func:`distance_tables`.
+All of this is cost *evaluation* only — the proposal schedule and RNG
+call sequence are untouched, so placements are bit-identical to the
+original implementation for a given seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -23,7 +33,6 @@ from repro.arch.params import ArchParams
 from repro.errors import PlacementError
 from repro.netlist.dfg import MultiContextProgram
 from repro.netlist.netlist import CellKind, Netlist
-from repro.place.cost import net_hpwl
 from repro.utils.rng import ensure_rng
 
 
@@ -45,6 +54,32 @@ class Placement:
         if cell_name in self.ios:
             return self.ios[cell_name][0]
         raise PlacementError(f"cell {cell_name!r} not placed")
+
+
+class DistanceTables:
+    """Precomputed per-grid geometry tables for placement hot paths.
+
+    ``perimeter`` fixes the pad-candidate iteration order; ``perim_x`` /
+    ``perim_y`` are its coordinates as numpy arrays so nearest-pad
+    selection is one vectorised Manhattan expression instead of a
+    Python loop over tiles.
+    """
+
+    __slots__ = ("cols", "rows", "perimeter", "perim_x", "perim_y")
+
+    def __init__(self, cols: int, rows: int) -> None:
+        self.cols = cols
+        self.rows = rows
+        grid = Grid(cols, rows)
+        self.perimeter: list[Coord] = list(grid.perimeter())
+        self.perim_x = np.array([t.x for t in self.perimeter], dtype=np.float64)
+        self.perim_y = np.array([t.y for t in self.perimeter], dtype=np.float64)
+
+
+@lru_cache(maxsize=32)
+def distance_tables(cols: int, rows: int) -> DistanceTables:
+    """Cached :class:`DistanceTables` for a grid size."""
+    return DistanceTables(cols, rows)
 
 
 def _net_terminals(netlist: Netlist) -> dict[str, list[str]]:
@@ -114,24 +149,53 @@ def place(
     # --- build net terminal lists ---------------------------------------- #
     terminals = _net_terminals(netlist)
 
-    def terminal_coord(cell_name: str) -> Coord | None:
-        if cell_name in location:
-            return location[cell_name]
-        if cell_name in ios:
-            return ios[cell_name][0]
-        return None
-
     nets: list[list[str]] = [t for t in terminals.values() if len(t) > 1]
     cell_nets: dict[str, list[int]] = {}
     for i, t in enumerate(nets):
         for cname in t:
             cell_nets.setdefault(cname, []).append(i)
 
-    def net_cost(i: int) -> int:
-        pts = [terminal_coord(c) for c in nets[i]]
-        return net_hpwl([p for p in pts if p is not None])
+    # flat terminal coordinate maps: one dict hit per terminal in the
+    # annealing inner loop instead of Coord construction + attr access
+    px: dict[str, int] = {}
+    py: dict[str, int] = {}
 
-    cost = float(sum(net_cost(i) for i in range(len(nets))))
+    def refresh_xy() -> None:
+        for cname, coord in location.items():
+            px[cname] = coord.x
+            py[cname] = coord.y
+        for cname, (coord, _pad) in ios.items():
+            px[cname] = coord.x
+            py[cname] = coord.y
+
+    refresh_xy()
+
+    def net_cost(i: int) -> int:
+        """Half-perimeter bounding box of net ``i`` over the flat maps."""
+        minx = maxx = miny = maxy = -1
+        for cname in nets[i]:
+            x = px.get(cname)
+            if x is None:
+                continue
+            y = py[cname]
+            if minx < 0:
+                minx = maxx = x
+                miny = maxy = y
+                continue
+            if x < minx:
+                minx = x
+            elif x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            elif y > maxy:
+                maxy = y
+        if minx < 0:
+            return 0
+        return (maxx - minx) + (maxy - miny)
+
+    net_cost_cache: list[int] = [net_cost(i) for i in range(len(nets))]
+    cost = float(sum(net_cost_cache))
 
     if not movable:
         return Placement(dict(location), ios, cost)
@@ -161,26 +225,44 @@ def place(
             affected = set(cell_nets.get(name, []))
             if other is not None:
                 affected |= set(cell_nets.get(other, []))
-            before = sum(net_cost(i) for i in affected)
+            affected_t = tuple(affected)
+            before = 0
+            for i in affected_t:
+                before += net_cost_cache[i]
             # tentative swap
             occupied[dst] = name
             location[name] = dst
+            px[name] = dst.x
+            py[name] = dst.y
             if other is not None:
                 occupied[src] = other
                 location[other] = src
+                px[other] = src.x
+                py[other] = src.y
             else:
                 del occupied[src]
-            after = sum(net_cost(i) for i in affected)
+            after = 0
+            new_costs = []
+            for i in affected_t:
+                nc = net_cost(i)
+                new_costs.append(nc)
+                after += nc
             delta = after - before
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 cost += delta
                 accepted += 1
+                for i, nc in zip(affected_t, new_costs):
+                    net_cost_cache[i] = nc
             else:  # revert
                 occupied[src] = name
                 location[name] = src
+                px[name] = src.x
+                py[name] = src.y
                 if other is not None:
                     occupied[dst] = other
                     location[other] = dst
+                    px[other] = dst.x
+                    py[other] = dst.y
                 else:
                     del occupied[dst]
         ratio = accepted / max(1, moves_per_t)
@@ -195,6 +277,7 @@ def place(
 
     # refresh IO pads for final cell positions
     ios = _assign_ios(netlist, params, grid, location, rng)
+    refresh_xy()
     cost = float(sum(net_cost(i) for i in range(len(nets))))
     return Placement(dict(location), ios, cost)
 
@@ -206,10 +289,16 @@ def _assign_ios(
     location: dict[str, Coord],
     rng: np.random.Generator,
 ) -> dict[str, tuple[Coord, int]]:
-    """Assign each primary input/output to a perimeter pad near its logic."""
-    pads_free: dict[Coord, list[int]] = {
-        t: list(range(params.io_capacity)) for t in grid.perimeter()
-    }
+    """Assign each primary input/output to a perimeter pad near its logic.
+
+    Candidate distances come from the grid's precomputed
+    :class:`DistanceTables`: one vectorised Manhattan evaluation per I/O
+    cell, with exhausted tiles masked out.  ``argmin`` returns the first
+    minimum in perimeter order — the same tile the original
+    tile-by-tile scan picked.
+    """
+    tables = distance_tables(params.cols, params.rows)
+    free = np.full(len(tables.perimeter), params.io_capacity, dtype=np.int64)
     ios: dict[str, tuple[Coord, int]] = {}
     io_cells = netlist.inputs() + netlist.outputs()
     for cell in io_cells:
@@ -225,20 +314,17 @@ def _assign_ios(
             by = sum(p.y for p in pts) / len(pts)
         else:
             bx, by = params.cols / 2, params.rows / 2
-        best, best_d = None, None
-        for t, free in pads_free.items():
-            if not free:
-                continue
-            d = abs(t.x - bx) + abs(t.y - by)
-            if best_d is None or d < best_d:
-                best, best_d = t, d
-        if best is None:
+        d = np.abs(tables.perim_x - bx) + np.abs(tables.perim_y - by)
+        d[free == 0] = np.inf
+        idx = int(np.argmin(d))
+        if free[idx] == 0:
             raise PlacementError(
                 f"out of I/O pads for {cell.name!r} "
                 f"(capacity {params.io_capacity}/perimeter tile)"
             )
-        pad = pads_free[best].pop(0)
-        ios[cell.name] = (best, pad)
+        pad = params.io_capacity - int(free[idx])
+        free[idx] -= 1
+        ios[cell.name] = (tables.perimeter[idx], pad)
     return ios
 
 

@@ -11,14 +11,46 @@ on the same RRG, but the *proposed* flow reuses routes for nets that are
 identical across contexts (same source and sink nodes) — reused routes
 make the corresponding switch patterns CONSTANT, which is what the RCM
 rewards (paper Section 3).
+
+Two implementations share this module:
+
+- the **compiled engine** (default) — Dijkstra over the flat CSR arrays
+  of a :class:`~repro.arch.compiled.CompiledRRG`, with reusable scratch
+  buffers reset by epoch stamping (no per-search allocation) and
+  per-net bounding-box pruning (with a full-graph fallback, so
+  routability never regresses);
+- the **legacy object-graph router** (``route_context_legacy`` /
+  ``route_program_legacy``) — the original dict/set implementation,
+  kept verbatim as the reference for the equivalence tests and the
+  ``bench_engine_scaling`` baseline.
+
+``route_context`` / ``route_program`` are thin adapters: they accept
+either graph representation, lower object graphs on first use (cached
+on the graph), and run the compiled engine.  Both engines share cost
+arithmetic and tie-breaking, so searches over the same node set are
+bit-identical; bounding-box pruning *can* in principle divert a net
+whose legacy-optimal detour leaves the terminal box by more than
+``BBOX_MARGIN`` tiles while a costlier in-box path exists.  The
+equivalence suite (``tests/route/test_compiled_equivalence.py``) pins
+bit-identical routes across its workloads, and the scaling bench
+asserts equal wirelength at every measured scale, so a divergence
+fails loudly rather than shipping silently.
 """
 
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.arch.rrg import EdgeKind, NodeKind, RoutingResourceGraph
+from repro.arch.compiled import (
+    KIND_CHANX,
+    KIND_CHANY,
+    LENGTH_COST_FACTOR,
+    CompiledRRG,
+    compile_rrg,
+)
+from repro.arch.rrg import NodeKind, RoutingResourceGraph
 from repro.errors import RoutingError
 from repro.netlist.dfg import MultiContextProgram
 from repro.netlist.netlist import CellKind, Netlist
@@ -29,6 +61,12 @@ MAX_ITERATIONS = 40
 PRES_FAC_FIRST = 0.6
 PRES_FAC_MULT = 1.6
 HIST_FAC = 0.35
+
+#: Tiles of slack added around a net's terminal bounding box before the
+#: compiled router prunes the search.  Generous enough that detours under
+#: congestion stay inside the box on realistic fabrics; when a search
+#: still fails inside the box it is retried unpruned.
+BBOX_MARGIN = 3
 
 
 @dataclass
@@ -58,7 +96,16 @@ class RouteResult:
             out |= net.edges
         return out
 
-    def wirelength(self, g: RoutingResourceGraph) -> int:
+    def wirelength(self, g: RoutingResourceGraph | CompiledRRG) -> int:
+        if isinstance(g, CompiledRRG):
+            kinds, lengths = g.node_kind, g.node_length
+            total = 0
+            for net in self.nets.values():
+                for nid in net.nodes:
+                    k = kinds[nid]
+                    if k == KIND_CHANX or k == KIND_CHANY:
+                        total += lengths[nid]
+            return total
         total = 0
         for net in self.nets.values():
             for nid in net.nodes:
@@ -68,7 +115,7 @@ class RouteResult:
 
 
 def _net_endpoints(
-    netlist: Netlist, placement: Placement, g: RoutingResourceGraph
+    netlist: Netlist, placement: Placement, g: RoutingResourceGraph | CompiledRRG
 ) -> list[tuple[str, int, list[int]]]:
     """Extract (net name, source node, sink nodes) for every routable net."""
     out: list[tuple[str, int, list[int]]] = []
@@ -99,8 +146,319 @@ def _net_endpoints(
     return out
 
 
+# ========================================================================= #
+# compiled engine
+# ========================================================================= #
+class RouterScratch:
+    """Reusable Dijkstra buffers for one compiled graph.
+
+    ``dist``/``prev`` are never cleared between searches: a per-node
+    ``stamp`` records the epoch that last wrote the entry, and a stale
+    stamp reads as "unvisited".  One scratch serves any number of
+    sequential searches; concurrent searches need one scratch each.
+    """
+
+    __slots__ = ("n", "dist", "prev", "stamp", "epoch")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n = n_nodes
+        self.dist: list[float] = [0.0] * n_nodes
+        self.prev: list[int] = [-1] * n_nodes
+        self.stamp: list[int] = [0] * n_nodes
+        self.epoch = 0
+
+
+class _FlatCongestion:
+    """Array-backed PathFinder congestion bookkeeping for one context.
+
+    ``static`` folds ``base_cost + history`` per node — the exact cost
+    of an uncongested node (identical rounding to the legacy
+    ``base * 1.0 + history``), refreshed whenever history moves, so the
+    router's common case is one load + one add.
+    """
+
+    __slots__ = ("c", "usage", "history", "static", "pres_fac")
+
+    def __init__(self, c: CompiledRRG) -> None:
+        self.c = c
+        self.usage: list[int] = [0] * c.n_nodes
+        self.history: list[float] = [0.0] * c.n_nodes
+        self.static: list[float] = list(c.base_cost)
+        self.pres_fac = PRES_FAC_FIRST
+
+    def add(self, nodes: set[int]) -> None:
+        usage = self.usage
+        for n in nodes:
+            usage[n] += 1
+
+    def remove(self, nodes: set[int]) -> None:
+        usage = self.usage
+        for n in nodes:
+            usage[n] -= 1
+
+    def overused(self) -> int:
+        cap = self.c.node_capacity
+        return sum(1 for nid, u in enumerate(self.usage) if u > cap[nid])
+
+    def bump_history(self) -> None:
+        cap = self.c.node_capacity
+        base = self.c.base_cost
+        history, static = self.history, self.static
+        for nid, u in enumerate(self.usage):
+            if u > cap[nid]:
+                history[nid] += HIST_FAC * (u - cap[nid])
+                static[nid] = base[nid] + history[nid]
+
+
+def _dijkstra_flat(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    tree_nodes: set[int],
+    target: int,
+    scratch: RouterScratch,
+    mask: bytes | None,
+) -> list[int] | None:
+    """Shortest path from the route tree to ``target`` over flat arrays.
+
+    ``mask`` is a per-node 0/1 membership mask (the net's expanded
+    bounding box); zero-mask nodes are never relaxed.  Returns ``None``
+    when ``target`` is unreachable inside the mask (the caller retries
+    unmasked); mirrors the legacy router's cost arithmetic and
+    tie-breaking exactly otherwise.
+    """
+    scratch.epoch += 1
+    ep = scratch.epoch
+    dist, prev, stamp = scratch.dist, scratch.prev, scratch.stamp
+    usage, history, static = state.usage, state.history, state.static
+    pres_fac = state.pres_fac
+    base, cap = c.base_cost, c.node_capacity
+    estart, emid, edst = c.edge_start, c.edge_mid, c.edge_dst
+
+    heap: list[tuple[float, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for n in tree_nodes:
+        stamp[n] = ep
+        dist[n] = 0.0
+        push(heap, (0.0, n))
+    while heap:
+        d, nid = pop(heap)
+        if d > dist[nid] and stamp[nid] == ep:
+            continue
+        if nid == target:
+            path = [nid]
+            tail = nid
+            while tail not in tree_nodes:
+                tail = prev[tail]
+                path.append(tail)
+            path.reverse()
+            return path
+        lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
+        # non-SINK destinations (bulk of the fan-out, no kind test needed)
+        for nxt in edst[lo:mid]:
+            if mask is not None and not mask[nxt]:
+                continue
+            u1 = usage[nxt] + 1 - cap[nxt]
+            if u1 > 0:
+                nd = d + base[nxt] * (1.0 + pres_fac * u1) + history[nxt]
+            else:
+                nd = d + static[nxt]
+            if stamp[nxt] != ep or nd < dist[nxt]:
+                stamp[nxt] = ep
+                dist[nxt] = nd
+                prev[nxt] = nid
+                push(heap, (nd, nxt))
+        # SINK destinations: only the net's own target is enterable
+        for nxt in edst[mid:hi]:
+            if nxt != target:
+                continue
+            u1 = usage[nxt] + 1 - cap[nxt]
+            if u1 > 0:
+                nd = d + base[nxt] * (1.0 + pres_fac * u1) + history[nxt]
+            else:
+                nd = d + static[nxt]
+            if stamp[nxt] != ep or nd < dist[nxt]:
+                stamp[nxt] = ep
+                dist[nxt] = nd
+                prev[nxt] = nid
+                push(heap, (nd, nxt))
+    return None
+
+
+def _net_mask(
+    c: CompiledRRG, source: int, sinks: list[int], margin: int = BBOX_MARGIN
+) -> bytes | None:
+    """Bounding-box prune mask for a net, ``None`` when it cannot prune."""
+    xlo, xhi, ylo, yhi = c.xlo, c.xhi, c.ylo, c.yhi
+    bxlo, bxhi = xlo[source], xhi[source]
+    bylo, byhi = ylo[source], yhi[source]
+    for s in sinks:
+        if xlo[s] < bxlo:
+            bxlo = xlo[s]
+        if xhi[s] > bxhi:
+            bxhi = xhi[s]
+        if ylo[s] < bylo:
+            bylo = ylo[s]
+        if yhi[s] > byhi:
+            byhi = yhi[s]
+    bxlo -= margin
+    bxhi += margin
+    bylo -= margin
+    byhi += margin
+    p = c.params
+    if bxlo <= -1 and bylo <= -1 and bxhi >= p.cols and byhi >= p.rows:
+        return None  # box covers the whole fabric; masking is pure overhead
+    return c.bbox_mask(bxlo, bxhi, bylo, byhi)
+
+
+def _route_net_flat(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    name: str,
+    source: int,
+    sinks: list[int],
+    scratch: RouterScratch,
+    mask: bytes | None,
+) -> RoutedNet:
+    net = RoutedNet(name, source, list(sinks))
+    net.nodes = {source}
+    for sink in sinks:
+        path = _dijkstra_flat(c, state, net.nodes, sink, scratch, mask)
+        if path is None and mask is not None:
+            # the pruned region disconnected this sink — search the full graph
+            path = _dijkstra_flat(c, state, net.nodes, sink, scratch, None)
+        if path is None:
+            raise RoutingError(
+                f"no path to sink node {sink} ({c.source.nodes[sink].name})"
+            )
+        net.sink_paths[sink] = list(path)
+        for a, b in zip(path, path[1:]):
+            net.edges.add((a, b))
+        net.nodes.update(path)
+    return net
+
+
+def route_context_compiled(
+    c: CompiledRRG,
+    netlist: Netlist,
+    placement: Placement,
+    context: int = 0,
+    reuse: dict[str, RoutedNet] | None = None,
+    max_iterations: int = MAX_ITERATIONS,
+    scratch: RouterScratch | None = None,
+) -> RouteResult:
+    """Route one context's placed netlist over the compiled RRG.
+
+    Mirrors :func:`route_context_legacy` decision-for-decision (same net
+    order, same congestion schedule, same rip-up criterion), but runs
+    Dijkstra over CSR arrays with epoch-stamped scratch buffers and
+    per-net bounding boxes (see the module docstring for the one case
+    where pruning may pick a different route than the legacy engine).
+    """
+    endpoints = _net_endpoints(netlist, placement, c)
+    state = _FlatCongestion(c)
+    if scratch is None or scratch.n != c.n_nodes:
+        scratch = RouterScratch(c.n_nodes)
+    routes: dict[str, RoutedNet] = {}
+    # prune masks are built lazily: a reused net only needs one if it is
+    # ripped up later, and mask construction is O(n_nodes) per net
+    masks: dict[str, bytes | None] = {}
+
+    def mask_for(name: str, source: int, sinks: list[int]) -> bytes | None:
+        if name not in masks:
+            masks[name] = _net_mask(c, source, sinks)
+        return masks[name]
+
+    for name, source, sinks in endpoints:
+        sig = endpoint_signature(source, sinks)
+        prior = reuse.get(sig) if reuse else None
+        if prior is not None:
+            net = RoutedNet(name, source, list(sinks))
+            net.nodes = set(prior.nodes)
+            net.edges = set(prior.edges)
+            net.sink_paths = {k: list(v) for k, v in prior.sink_paths.items()}
+            net.reused = True
+        else:
+            net = _route_net_flat(
+                c, state, name, source, sinks, scratch,
+                mask_for(name, source, sinks),
+            )
+        routes[name] = net
+        state.add(net.nodes)
+
+    usage, cap = state.usage, c.node_capacity
+    iteration = 1
+    while iteration < max_iterations:
+        if state.overused() == 0:
+            break
+        state.bump_history()
+        state.pres_fac *= PRES_FAC_MULT
+        # rip up and reroute congested nets only
+        for name, net in routes.items():
+            if all(usage[n] <= cap[n] for n in net.nodes):
+                continue
+            state.remove(net.nodes)
+            fresh = _route_net_flat(
+                c, state, name, net.source, net.sinks, scratch,
+                mask_for(name, net.source, net.sinks),
+            )
+            routes[name] = fresh
+            state.add(fresh.nodes)
+        iteration += 1
+    else:
+        raise RoutingError(
+            f"context {context}: congestion unresolved after {max_iterations} "
+            f"iterations ({state.overused()} overused nodes)"
+        )
+    return RouteResult(routes, iteration, context)
+
+
+def route_program_compiled(
+    c: CompiledRRG,
+    program: MultiContextProgram,
+    placements: list[Placement],
+    share_aware: bool = True,
+    workers: int | None = None,
+) -> list[RouteResult]:
+    """Route all contexts over the compiled RRG.
+
+    With ``share_aware`` the contexts are routed in order so each can
+    adopt earlier contexts' routes (the reuse bank is a sequential
+    dependency).  Without it every context is an independent problem
+    and ``workers > 1`` routes them in parallel, one scratch buffer per
+    job, sharing the read-only compiled substrate.
+    """
+    if len(placements) != program.n_contexts:
+        raise RoutingError("one placement per context required")
+    jobs = list(enumerate(zip(program.contexts, placements)))
+    if not share_aware and workers and workers > 1 and len(jobs) > 1:
+        def _one(job: tuple[int, tuple[Netlist, Placement]]) -> RouteResult:
+            ci, (netlist, placement) = job
+            return route_context_compiled(c, netlist, placement, context=ci)
+
+        with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            return list(pool.map(_one, jobs))
+
+    results: list[RouteResult] = []
+    bank: dict[str, RoutedNet] = {}
+    scratch = RouterScratch(c.n_nodes)
+    for ci, (netlist, placement) in jobs:
+        res = route_context_compiled(
+            c, netlist, placement, context=ci,
+            reuse=bank if share_aware else None, scratch=scratch,
+        )
+        results.append(res)
+        if share_aware:
+            for net in res.nets.values():
+                bank.setdefault(endpoint_signature(net.source, net.sinks), net)
+    return results
+
+
+# ========================================================================= #
+# legacy object-graph engine (reference implementation)
+# ========================================================================= #
 class _CongestionState:
-    """Per-context PathFinder bookkeeping."""
+    """Per-context PathFinder bookkeeping (legacy object-graph router)."""
 
     def __init__(self, n_nodes: int) -> None:
         self.usage = [0] * n_nodes
@@ -109,7 +467,7 @@ class _CongestionState:
 
     def node_cost(self, g: RoutingResourceGraph, nid: int) -> float:
         node = g.nodes[nid]
-        base = 1.0 + 0.2 * (node.length - 1)
+        base = 1.0 + LENGTH_COST_FACTOR * (node.length - 1)
         over = max(0, self.usage[nid] + 1 - node.capacity)
         return base * (1.0 + self.pres_fac * over) + self.history[nid]
 
@@ -178,7 +536,6 @@ def _route_net(
     for sink in sinks:
         path = _dijkstra_to_sink(g, state, net.nodes, sink)
         # record full root->sink path for timing: splice at the join point
-        join = path[0]
         net.sink_paths[sink] = list(path)
         for a, b in zip(path, path[1:]):
             net.edges.add((a, b))
@@ -186,7 +543,7 @@ def _route_net(
     return net
 
 
-def route_context(
+def route_context_legacy(
     g: RoutingResourceGraph,
     netlist: Netlist,
     placement: Placement,
@@ -194,18 +551,15 @@ def route_context(
     reuse: dict[str, RoutedNet] | None = None,
     max_iterations: int = MAX_ITERATIONS,
 ) -> RouteResult:
-    """Route one context's placed netlist to congestion-freedom.
+    """Route one context with the original dict/set PathFinder.
 
-    ``reuse`` maps *endpoint signatures* (see :func:`endpoint_signature`)
-    to routes from earlier contexts; matching nets adopt the previous
-    route up front (they still participate in congestion resolution —
-    a reused route that conflicts within this context gets ripped up,
-    losing its reuse mark).
+    Kept as the reference implementation: the equivalence tests assert
+    the compiled engine reproduces its routes, and the scaling bench
+    measures the speedup against it.
     """
     endpoints = _net_endpoints(netlist, placement, g)
     state = _CongestionState(g.n_nodes)
     routes: dict[str, RoutedNet] = {}
-    reuse_sig: dict[str, str] = {}
 
     # initial routing (reuse first, then fresh)
     for name, source, sinks in endpoints:
@@ -223,7 +577,6 @@ def route_context(
             net = _route_net(g, state, name, source, sinks)
             routes[name] = net
             state.add(net.nodes)
-        reuse_sig[name] = sig
 
     iteration = 1
     while iteration < max_iterations:
@@ -249,29 +602,76 @@ def route_context(
     return RouteResult(routes, iteration, context)
 
 
-def endpoint_signature(source: int, sinks: list[int]) -> str:
-    """Canonical key identifying a net by its physical endpoints."""
-    return f"{source}->{','.join(map(str, sorted(sinks)))}"
-
-
-def route_program(
+def route_program_legacy(
     g: RoutingResourceGraph,
     program: MultiContextProgram,
     placements: list[Placement],
     share_aware: bool = True,
 ) -> list[RouteResult]:
-    """Route all contexts; with ``share_aware`` routes are reused across
-    contexts whenever endpoints coincide (the proposed mapping flow)."""
+    """Route all contexts with the legacy object-graph router."""
     if len(placements) != program.n_contexts:
         raise RoutingError("one placement per context required")
     results: list[RouteResult] = []
     bank: dict[str, RoutedNet] = {}
-    for c, (netlist, placement) in enumerate(zip(program.contexts, placements)):
-        res = route_context(
-            g, netlist, placement, context=c, reuse=bank if share_aware else None
+    for ci, (netlist, placement) in enumerate(zip(program.contexts, placements)):
+        res = route_context_legacy(
+            g, netlist, placement, context=ci, reuse=bank if share_aware else None
         )
         results.append(res)
         if share_aware:
             for net in res.nets.values():
                 bank.setdefault(endpoint_signature(net.source, net.sinks), net)
     return results
+
+
+# ========================================================================= #
+# public adapters
+# ========================================================================= #
+def _as_compiled(g: RoutingResourceGraph | CompiledRRG) -> CompiledRRG:
+    return g if isinstance(g, CompiledRRG) else compile_rrg(g)
+
+
+def route_context(
+    g: RoutingResourceGraph | CompiledRRG,
+    netlist: Netlist,
+    placement: Placement,
+    context: int = 0,
+    reuse: dict[str, RoutedNet] | None = None,
+    max_iterations: int = MAX_ITERATIONS,
+) -> RouteResult:
+    """Route one context's placed netlist to congestion-freedom.
+
+    ``reuse`` maps *endpoint signatures* (see :func:`endpoint_signature`)
+    to routes from earlier contexts; matching nets adopt the previous
+    route up front (they still participate in congestion resolution —
+    a reused route that conflicts within this context gets ripped up,
+    losing its reuse mark).
+
+    Accepts either graph representation; object graphs are lowered to a
+    :class:`CompiledRRG` on first use (cached on the graph instance).
+    """
+    return route_context_compiled(
+        _as_compiled(g), netlist, placement, context=context,
+        reuse=reuse, max_iterations=max_iterations,
+    )
+
+
+def route_program(
+    g: RoutingResourceGraph | CompiledRRG,
+    program: MultiContextProgram,
+    placements: list[Placement],
+    share_aware: bool = True,
+    workers: int | None = None,
+) -> list[RouteResult]:
+    """Route all contexts; with ``share_aware`` routes are reused across
+    contexts whenever endpoints coincide (the proposed mapping flow).
+    ``workers`` parallelises share-unaware (independent) contexts."""
+    return route_program_compiled(
+        _as_compiled(g), program, placements,
+        share_aware=share_aware, workers=workers,
+    )
+
+
+def endpoint_signature(source: int, sinks: list[int]) -> str:
+    """Canonical key identifying a net by its physical endpoints."""
+    return f"{source}->{','.join(map(str, sorted(sinks)))}"

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -43,6 +45,17 @@ class TestArea:
         assert main(["area", "--constants", "textbook"]) == 0
         assert "%" in capsys.readouterr().out
 
+    def test_json_output(self, capsys):
+        assert main(["area", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["technologies"]["cmos"]["ratio"] == pytest.approx(0.448, abs=0.01)
+        assert data["technologies"]["fepg"]["ratio"] == pytest.approx(0.371, abs=0.01)
+        breakdown = data["technologies"]["cmos"]["proposed"]
+        assert breakdown["total"] == pytest.approx(
+            breakdown["switch_area"] + breakdown["lut_area"]
+            + breakdown["overhead_area"]
+        )
+
 
 class TestMap:
     def test_crc_workload(self, capsys):
@@ -50,6 +63,34 @@ class TestMap:
         out = capsys.readouterr().out
         assert "verified=True" in out
         assert "constant" in out
+
+    def test_json_output(self, capsys):
+        assert main(["map", "--workload", "crc", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "crc"
+        assert data["verified"] is True
+        assert data["wirelength"] > 0
+        assert data["contexts"] == 4
+        assert abs(sum(data["class_fractions"].values()) - 1.0) < 1e-9
+
+
+class TestBatch:
+    def test_two_workloads(self, capsys):
+        assert main(["batch", "--workloads", "adder,crc"]) == 0
+        out = capsys.readouterr().out
+        assert "adder:" in out and "crc:" in out
+        assert "verified=True" in out
+
+    def test_json_output_with_workers(self, capsys):
+        assert main(["batch", "--workloads", "adder,crc",
+                     "--workers", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["workload"] for d in data] == ["adder", "crc"]
+        assert all(d["verified"] for d in data)
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["batch", "--workloads", "bogus"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
 
 
 class TestReorder:

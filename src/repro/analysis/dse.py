@@ -9,19 +9,32 @@ Classic FPGA-architecture methodology applied to the RCM fabric:
 - :func:`explore_fc` — connection-block flexibility vs wirelength.
 
 Each returns plain rows so benches and notebooks can render them.
+
+All exploration rides on the compiled sweep subsystem
+(:mod:`repro.analysis.sweep`): points are evaluated on the cached
+flat-array substrate with placements shared across points that differ
+only in routing resources.  Verdicts and wirelengths match the legacy
+per-point flow exactly (``tests/analysis/test_sweep.py`` pins the
+equivalence).  Pass a :class:`~repro.analysis.sweep.SweepRunner` with
+``backend="process"`` to fan grid points out across cores.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.analysis.sweep import (
+    SweepJob,
+    SweepPoint,
+    SweepRunner,
+    channel_width_jobs,
+    double_fraction_jobs,
+    fc_jobs,
+)
 from repro.arch.params import ArchParams
-from repro.arch.rrg import build_rrg
 from repro.errors import RoutingError
 from repro.netlist.netlist import Netlist
-from repro.place.placer import place
-from repro.route.pathfinder import route_context
-from repro.route.timing import critical_path
 
 
 @dataclass
@@ -34,19 +47,21 @@ class RoutePoint:
     iterations: int = 0
 
 
-def _try_route(netlist: Netlist, params: ArchParams, seed: int, effort: float) -> RoutePoint:
-    g = build_rrg(params)
-    pl = place(netlist, params, seed=seed, effort=effort)
-    try:
-        rr = route_context(g, netlist, pl, max_iterations=25)
-    except RoutingError:
-        return RoutePoint(False)
-    return RoutePoint(
-        True,
-        wirelength=rr.wirelength(g),
-        critical_path=critical_path(g, netlist, rr, pl),
-        iterations=rr.iterations,
-    )
+def _as_route_point(pt: SweepPoint) -> RoutePoint:
+    return RoutePoint(pt.routed, pt.wirelength, pt.critical_path, pt.iterations)
+
+
+def _try_route(
+    netlist: Netlist,
+    params: ArchParams,
+    seed: int,
+    effort: float,
+    runner: SweepRunner | None = None,
+) -> RoutePoint:
+    """Evaluate one architecture point (compiled engine, pooled scratch)."""
+    runner = runner if runner is not None else SweepRunner()
+    job = SweepJob("point", 0.0, params, netlist, seed, effort)
+    return _as_route_point(runner.run([job])[0])
 
 
 def minimum_channel_width(
@@ -56,17 +71,29 @@ def minimum_channel_width(
     hi: int = 24,
     seed: int = 0,
     effort: float = 0.3,
+    runner: SweepRunner | None = None,
 ) -> int:
     """Smallest channel width that routes ``netlist`` on ``base``'s grid.
 
     Standard bisection with a routable upper bound; raises
-    :class:`RoutingError` when even ``hi`` fails.
+    :class:`RoutingError` when even ``hi`` fails.  Bisection probes are
+    sequential by nature (each depends on the last verdict), but every
+    probe reuses the runner's cached placement — the anneal is
+    independent of channel width — so only the routing is repeated.
     """
-    if not _try_route(netlist, base.with_(channel_width=hi), seed, effort).routed:
+    runner = runner if runner is not None else SweepRunner()
+
+    def routed(width: int) -> bool:
+        jobs = channel_width_jobs(
+            netlist, base, [width], seed=seed, effort=effort
+        )
+        return runner.run(jobs)[0].routed
+
+    if not routed(hi):
         raise RoutingError(f"unroutable even at W={hi}")
     while lo < hi:
         mid = (lo + hi) // 2
-        if _try_route(netlist, base.with_(channel_width=mid), seed, effort).routed:
+        if routed(mid):
             hi = mid
         else:
             lo = mid + 1
@@ -76,26 +103,34 @@ def minimum_channel_width(
 def explore_double_fraction(
     netlist: Netlist,
     base: ArchParams,
-    fractions: list[float] = (0.0, 0.25, 0.5, 0.75),
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
     seed: int = 0,
     effort: float = 0.3,
+    runner: SweepRunner | None = None,
 ) -> list[tuple[float, RoutePoint]]:
     """Sweep the double-length track share (Fig. 10's knob)."""
+    fractions = list(fractions)
+    runner = runner if runner is not None else SweepRunner()
+    jobs = double_fraction_jobs(netlist, base, fractions, seed=seed, effort=effort)
     return [
-        (f, _try_route(netlist, base.with_(double_fraction=f), seed, effort))
-        for f in fractions
+        (f, _as_route_point(pt))
+        for f, pt in zip(fractions, runner.run(jobs))
     ]
 
 
 def explore_fc(
     netlist: Netlist,
     base: ArchParams,
-    fcs: list[float] = (1.0, 0.5, 0.3),
+    fcs: Sequence[float] = (1.0, 0.5, 0.3),
     seed: int = 0,
     effort: float = 0.3,
+    runner: SweepRunner | None = None,
 ) -> list[tuple[float, RoutePoint]]:
     """Sweep connection-block flexibility."""
+    fcs = list(fcs)
+    runner = runner if runner is not None else SweepRunner()
+    jobs = fc_jobs(netlist, base, fcs, seed=seed, effort=effort)
     return [
-        (fc, _try_route(netlist, base.with_(fc_in=fc, fc_out=fc), seed, effort))
-        for fc in fcs
+        (fc, _as_route_point(pt))
+        for fc, pt in zip(fcs, runner.run(jobs))
     ]

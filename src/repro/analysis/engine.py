@@ -12,10 +12,27 @@ flat-array substrate, and it exposes batch mapping with a worker pool:
   The compiled RRG is read-only during routing, so jobs share it
   safely; each routing job allocates its own scratch buffers.
 
-Choosing ``workers``: batch jobs are pure-Python CPU work, so with the
-GIL the pool mostly helps when jobs block (different grids compiling,
-I/O in callers) or on free-threaded builds; ``workers=1`` (the default)
-is the safe sequential baseline and never slower for a single program.
+Choosing ``backend`` and ``workers`` for :meth:`MappingEngine.map_batch`:
+
+- ``backend="thread"`` (default) runs jobs in a thread pool.  Batch
+  jobs are pure-Python CPU work, so with the GIL the pool mostly helps
+  when jobs block (different grids compiling, I/O in callers) or on
+  free-threaded builds; ``workers=1`` (the default) is the safe
+  sequential baseline and never slower for a single program.
+- ``backend="process"`` fans jobs out to a ``ProcessPoolExecutor`` —
+  the one that beats the GIL.  Programs, placements and routes are
+  picklable; each worker process builds (and caches) its own compiled
+  substrate, and the parent re-binds results to *its* cached substrate,
+  so the returned :class:`MappedProgram` objects are indistinguishable
+  from thread-backend results.  Worth it when per-job routing time
+  dwarfs the ~1-10 ms pickling + process dispatch overhead (big grids,
+  many contexts); for tiny jobs stay on threads.
+
+Scratch buffers: all routing entry points lease their Dijkstra scratch
+from :data:`repro.route.pathfinder.SCRATCH_POOL`, so sequential batch
+jobs reuse one allocation and concurrent jobs hold one each (workers in
+a process pool each own a per-process pool).
+
 Routing *within* one program parallelises per context only in
 share-unaware mode — share-aware routing reuses earlier contexts'
 routes, which is a sequential dependency by construction.
@@ -23,14 +40,43 @@ routes, which is a sequential dependency by construction.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from collections.abc import Sequence
 
-from repro.arch.compiled import CompiledRRG, compile_rrg, compiled_rrg_for
+from repro.arch.compiled import (
+    CompiledRRG,
+    compile_rrg,
+    compiled_rrg_for,
+    flat_rrg_for,
+)
 from repro.arch.params import ArchParams
 from repro.arch.rrg import RoutingResourceGraph
 from repro.place.placer import place_program
 from repro.route.pathfinder import route_program_compiled
+
+_BATCH_BACKENDS = ("thread", "process")
+
+
+def _process_map_job(
+    program, params: ArchParams | None, share_aware: bool, seed: int,
+    effort: float,
+):
+    """Top-level worker for the process backend (must be picklable).
+
+    Returns ``(params, placements, routes)`` — deliberately *not* the
+    :class:`MappedProgram`, so the worker never ships its RRG object
+    graph back over the pipe; the parent re-binds the (small) mapping
+    artifacts to its own cached substrate.
+    """
+    from repro.analysis.experiments import _fit_params
+
+    if params is None:
+        params = _fit_params(program)
+    mapped = MappingEngine().map(
+        program, params, share_aware=share_aware, seed=seed, effort=effort
+    )
+    return params, mapped.placements, mapped.routes
 
 
 class MappingEngine:
@@ -44,6 +90,17 @@ class MappingEngine:
     def compiled(self, params: ArchParams) -> CompiledRRG:
         """The (cached) compiled routing substrate for ``params``."""
         return compiled_rrg_for(params)
+
+    def flat(self, params: ArchParams) -> CompiledRRG:
+        """The (cached) route-only substrate for ``params``.
+
+        Source-stripped flat arrays: enough to place, route and time a
+        sweep point, at a fraction of the resident-object cost of the
+        full substrate (see :func:`repro.arch.compiled.flat_rrg_for`).
+        Not usable for statistics extraction or verification — those
+        flows go through :meth:`compiled`.
+        """
+        return flat_rrg_for(params)
 
     # -- single job --------------------------------------------------------- #
     def map(
@@ -93,20 +150,34 @@ class MappingEngine:
         seed: int = 0,
         effort: float = 0.5,
         workers: int | None = None,
+        backend: str = "thread",
     ) -> list:
         """Map every program, sharing the compiled substrate.
 
         ``params=None`` auto-fits a grid per program (jobs with equal
         fitted params still share one compiled RRG through the cache).
-        ``workers`` (default: the engine's ``workers``) sizes the
-        thread pool; ``1`` or ``None`` maps sequentially.  Results keep
-        the order of ``programs``; a failing job raises its error at
-        collection, after all jobs were submitted.
+        ``workers`` (default: the engine's ``workers``) sizes the pool;
+        ``1`` or ``None`` maps sequentially — except under
+        ``backend="process"``, where an unset worker count defaults to
+        all cores (asking for the process pool and getting the GIL
+        would be a silent no-op).  ``backend`` picks the pool flavour —
+        ``"thread"`` or ``"process"`` (see the module docstring for
+        when each wins).  Results keep the order of ``programs``; a
+        failing job raises its error at collection, after all jobs
+        were submitted.
         """
+        if backend not in _BATCH_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BATCH_BACKENDS}, got {backend!r}"
+            )
         if params is not None:
             # warm the cache once so parallel jobs never race a build
             self.compiled(params)
         n = workers if workers is not None else self.workers
+        if n is None and backend == "process":
+            # an explicit process request defaults to all cores (matching
+            # SweepRunner) rather than silently degrading to sequential
+            n = os.cpu_count() or 1
         jobs = list(programs)
         if not n or n <= 1 or len(jobs) <= 1:
             return [
@@ -114,6 +185,10 @@ class MappingEngine:
                          seed=seed, effort=effort)
                 for p in jobs
             ]
+        if backend == "process":
+            return self._map_batch_process(
+                jobs, params, share_aware, seed, effort, n
+            )
         with ThreadPoolExecutor(max_workers=min(n, len(jobs))) as pool:
             futures = [
                 pool.submit(self.map, p, params, share_aware=share_aware,
@@ -121,6 +196,35 @@ class MappingEngine:
                 for p in jobs
             ]
             return [f.result() for f in futures]
+
+    def _map_batch_process(
+        self, jobs: list, params: ArchParams | None, share_aware: bool,
+        seed: int, effort: float, n: int,
+    ) -> list:
+        """Process-pool batch: ship jobs out, re-bind results locally.
+
+        Workers return ``(fitted params, placements, routes)``; the
+        parent attaches each result to its own cached substrate so
+        callers see the usual substrate sharing
+        (``out[i].rrg is out[j].rrg`` for equal params).
+        """
+        from repro.analysis.experiments import MappedProgram
+
+        with ProcessPoolExecutor(max_workers=min(n, len(jobs))) as pool:
+            futures = [
+                pool.submit(_process_map_job, p, params, share_aware,
+                            seed, effort)
+                for p in jobs
+            ]
+            out = []
+            for program, fut in zip(jobs, futures):
+                fitted, placements, routes = fut.result()
+                compiled = self.compiled(fitted)
+                out.append(MappedProgram(
+                    program, fitted, placements, routes,
+                    compiled.source, share_aware,
+                ))
+            return out
 
 
 #: Shared default engine — what the module-level convenience APIs use,

@@ -15,6 +15,7 @@ here, so results are reproducible from the library API alone:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.arch.compiled import CompiledRRG
@@ -26,7 +27,6 @@ from repro.core.area_model import (
     PatternMix,
     Technology,
     TileCounts,
-    analytic_pattern_mix,
 )
 from repro.core.bitstream import BitstreamStats, extract_bitstream_stats
 from repro.core.fpga import MultiContextFPGA
@@ -220,50 +220,48 @@ def run_area_experiment(
 
 
 def sweep_change_rate(
-    rates: list[float],
+    rates: Sequence[float],
     n_contexts: int = 4,
     sharing_factor: float = 2.0,
 ) -> list[tuple[float, float, float]]:
     """(rate, cmos ratio, fepg ratio) across change rates — the
-    sensitivity curve behind the paper's single 5% point."""
-    model = AreaModel()
-    rows = []
-    for r in rates:
-        cm = model.paper_operating_point(
-            change_rate=r, tech=Technology.CMOS, sharing_factor=sharing_factor
+    sensitivity curve behind the paper's single 5% point.
+
+    Thin row-tuple adapter over
+    :func:`repro.analysis.sweep.sweep_change_rate_points` (the sweep
+    subsystem owns the implementation) for table renderers.
+
+    ``n_contexts`` is honored since the sweep-subsystem port; the
+    original implementation accepted it but always evaluated at the
+    model's 4-context default.
+    """
+    from repro.analysis.sweep import sweep_change_rate_points
+
+    return [
+        (pt.value, pt.cmos_ratio, pt.fepg_ratio)
+        for pt in sweep_change_rate_points(
+            rates, n_contexts=n_contexts, sharing_factor=sharing_factor
         )
-        fe = model.paper_operating_point(
-            change_rate=r, tech=Technology.FEPG, sharing_factor=sharing_factor
-        )
-        rows.append((r, cm.ratio, fe.ratio))
-    return rows
+    ]
 
 
 def sweep_contexts(
-    context_counts: list[int],
+    context_counts: Sequence[int],
     change_rate: float = 0.05,
     sharing_factor: float = 2.0,
 ) -> list[tuple[int, float, float]]:
     """(n_contexts, cmos ratio, fepg ratio): the overhead the RCM attacks
-    grows with context count, so the proposed advantage should widen."""
-    from repro.arch.params import paper_params
+    grows with context count, so the proposed advantage should widen.
 
-    model = AreaModel()
-    rows = []
-    for n in context_counts:
-        mix = analytic_pattern_mix(change_rate, n)
-        params = paper_params().with_(n_contexts=n)
-        counts = TileCounts.from_arch(params)
-        from repro.core.area_model import expected_distinct_planes
+    Thin row-tuple adapter over
+    :func:`repro.analysis.sweep.sweep_contexts_points`.
+    """
+    from repro.analysis.sweep import sweep_contexts_points
 
-        planes = expected_distinct_planes(min(1.0, 2 * change_rate), n)
-        cm = model.compare(
-            counts, n, mix, planes, params.lut_outputs, sharing_factor,
-            tech=Technology.CMOS,
+    return [
+        (int(pt.value), pt.cmos_ratio, pt.fepg_ratio)
+        for pt in sweep_contexts_points(
+            context_counts, change_rate=change_rate,
+            sharing_factor=sharing_factor,
         )
-        fe = model.compare(
-            counts, n, mix, planes, params.lut_outputs, sharing_factor,
-            tech=Technology.FEPG,
-        )
-        rows.append((n, cm.ratio, fe.ratio))
-    return rows
+    ]

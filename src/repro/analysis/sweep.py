@@ -1,0 +1,373 @@
+"""Sweep/DSE subsystem: parameter grids as first-class routing jobs.
+
+The design-space experiments — minimum channel width, double-length
+track and connection-block (Fc) sweeps, change-rate and context-count
+sensitivity — all reduce to the same shape: evaluate a *grid* of
+``(ArchParams, netlist, seed)`` points and collect structured results.
+This module makes that shape explicit (Lumos-style parameter-space
+exploration: points are data, the runner is policy):
+
+- :class:`SweepJob` — one architecture point to evaluate (picklable,
+  so grids can be shipped to worker processes);
+- :class:`SweepPoint` — the structured outcome (routed, wirelength,
+  critical path, iterations), JSON-serializable via
+  :meth:`~SweepPoint.to_dict` / :meth:`~SweepPoint.from_dict`;
+- :class:`SweepRunner` — executes a grid on the compiled mapping
+  engine with a selectable backend;
+- grid builders (:func:`channel_width_jobs`,
+  :func:`double_fraction_jobs`, :func:`fc_jobs`) and the analytic
+  area-model sweeps (:func:`sweep_change_rate_points`,
+  :func:`sweep_contexts_points`).
+
+Backend and pool selection
+--------------------------
+``backend="sequential"`` (default) evaluates points in order, reusing
+one leased :class:`~repro.route.pathfinder.RouterScratch` per substrate
+through the shared scratch pool — the right choice for small grids and
+for bisection, where points depend on earlier outcomes.
+``backend="thread"`` overlaps points with a thread pool; routing is
+pure-Python CPU work, so under the GIL this only helps when jobs block
+(it exists for API uniformity with
+:meth:`~repro.analysis.engine.MappingEngine.map_batch`).
+``backend="process"`` fans points out to a ``ProcessPoolExecutor`` —
+jobs and results are picklable by construction, so this is the one
+that beats the GIL for big grids; each worker process warms its own
+compiled-RRG cache and scratch pool.  ``workers=None`` sizes parallel
+backends to ``os.cpu_count()``.
+
+Two sweep-level optimisations keep grids cheap without changing any
+verdict: the runner caches *placements* across points that share a
+placement-relevant configuration (grid size, I/O capacity, seed,
+effort — channel width, track mix and Fc are invisible to the placer),
+and the compiled-RRG cache shares substrates across points with equal
+``ArchParams``.  Every point still routes exactly as the legacy
+per-point flow did (same placement seed, same PathFinder schedule), so
+compiled sweeps reproduce legacy verdicts and wirelengths — the
+equivalence suite in ``tests/analysis/test_sweep.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.arch.params import ArchParams
+from repro.errors import RoutingError
+from repro.netlist.netlist import Netlist
+from repro.place.placer import Placement, place
+from repro.route.pathfinder import route_context_compiled
+from repro.route.timing import critical_path
+
+#: PathFinder iteration budget per sweep point.  Matches the legacy
+#: per-point flow (``route_context(..., max_iterations=25)``), so sweep
+#: verdicts are comparable with historical results.
+POINT_MAX_ITERATIONS = 25
+
+_BACKENDS = ("sequential", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One architecture point of a sweep grid.
+
+    ``axis``/``value`` name the swept knob (e.g. ``"channel_width"``,
+    10); ``params`` is the fully-resolved device configuration.  Jobs
+    are immutable and picklable, so a grid can be shipped wholesale to
+    worker processes.
+    """
+
+    axis: str
+    value: float
+    params: ArchParams
+    netlist: Netlist
+    seed: int = 0
+    effort: float = 0.3
+    max_iterations: int = POINT_MAX_ITERATIONS
+
+
+@dataclass
+class SweepPoint:
+    """Structured outcome of one sweep point."""
+
+    axis: str
+    value: float
+    routed: bool
+    wirelength: int = 0
+    critical_path: float = 0.0
+    iterations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "axis": self.axis,
+            "value": self.value,
+            "routed": self.routed,
+            "wirelength": self.wirelength,
+            "critical_path": self.critical_path,
+            "iterations": self.iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepPoint":
+        return cls(
+            axis=d["axis"],
+            value=d["value"],
+            routed=d["routed"],
+            wirelength=d.get("wirelength", 0),
+            critical_path=d.get("critical_path", 0.0),
+            iterations=d.get("iterations", 0),
+        )
+
+
+@dataclass
+class AreaPoint:
+    """One analytic area-model sweep point (no routing involved)."""
+
+    axis: str
+    value: float
+    cmos_ratio: float
+    fepg_ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "axis": self.axis,
+            "value": self.value,
+            "cmos_ratio": self.cmos_ratio,
+            "fepg_ratio": self.fepg_ratio,
+        }
+
+
+def _placement_key(job: SweepJob) -> tuple:
+    """Cache key over exactly the inputs the placer reads.
+
+    The placer sees the grid (``cols``/``rows``), the perimeter pad
+    budget (``io_capacity``) and the anneal seed/effort — channel
+    width, the single/double track mix and Fc only exist in the
+    routing graph.  Keying on the netlist *object* (identity hash)
+    keeps a strong reference, so ids cannot be recycled under us.
+    """
+    return (
+        job.netlist, job.params.cols, job.params.rows,
+        job.params.io_capacity, job.seed, job.effort,
+    )
+
+
+def evaluate_point(
+    job: SweepJob, placement: Placement | None = None, engine=None
+) -> SweepPoint:
+    """Evaluate one sweep point on the compiled engine.
+
+    Places (unless a cached ``placement`` is supplied), routes over the
+    cached *route-only* substrate for ``job.params`` (flat arrays, no
+    object graph resident — see
+    :func:`repro.arch.compiled.flat_rrg_for`; sweeping dozens of
+    configurations on full substrates spends more time in the garbage
+    collector than in the router), and extracts the structured outcome.
+    An unroutable point is a *result* (``routed=False``), not an error.
+    """
+    if engine is None:
+        from repro.analysis.engine import DEFAULT_ENGINE
+        engine = DEFAULT_ENGINE
+    c = engine.flat(job.params)
+    if placement is None:
+        placement = place(
+            job.netlist, job.params, seed=job.seed, effort=job.effort
+        )
+    try:
+        rr = route_context_compiled(
+            c, job.netlist, placement, max_iterations=job.max_iterations
+        )
+    except RoutingError:
+        return SweepPoint(job.axis, job.value, False)
+    return SweepPoint(
+        job.axis,
+        job.value,
+        True,
+        wirelength=rr.wirelength(c),
+        critical_path=critical_path(c, job.netlist, rr, placement),
+        iterations=rr.iterations,
+    )
+
+
+def _evaluate_shipped(job: SweepJob, placement: Placement) -> SweepPoint:
+    """Top-level process-pool entry point (must be picklable)."""
+    return evaluate_point(job, placement)
+
+
+class SweepRunner:
+    """Executes sweep grids on the shared mapping engine.
+
+    See the module docstring for backend and pool selection.  The
+    placement cache lives on the runner, so successive :meth:`run`
+    calls (a bisection probing one width at a time, say) keep sharing
+    placements; use a fresh runner to drop them.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        backend: str = "sequential",
+        workers: int | None = None,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if engine is None:
+            from repro.analysis.engine import DEFAULT_ENGINE
+            engine = DEFAULT_ENGINE
+        self.engine = engine
+        self.backend = backend
+        self.workers = workers
+        self._placements: dict[tuple, Placement] = {}
+
+    def placement_for(self, job: SweepJob) -> Placement:
+        """The (cached) placement for a job's placement-relevant config."""
+        key = _placement_key(job)
+        pl = self._placements.get(key)
+        if pl is None:
+            pl = place(
+                job.netlist, job.params, seed=job.seed, effort=job.effort
+            )
+            self._placements[key] = pl
+        return pl
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[SweepPoint]:
+        """Evaluate every job; results keep the order of ``jobs``."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        # placements are computed (and deduplicated) up front in the
+        # parent: points differing only in routing resources share one
+        # anneal, and worker processes receive ready placements
+        pairs = [(job, self.placement_for(job)) for job in jobs]
+        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        n = min(n, len(pairs))
+        if self.backend == "sequential" or n <= 1:
+            return [
+                evaluate_point(job, pl, self.engine) for job, pl in pairs
+            ]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                futures = [
+                    pool.submit(evaluate_point, job, pl, self.engine)
+                    for job, pl in pairs
+                ]
+                return [f.result() for f in futures]
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            futures = [
+                pool.submit(_evaluate_shipped, job, pl) for job, pl in pairs
+            ]
+            return [f.result() for f in futures]
+
+
+# ------------------------------------------------------------------------- #
+# grid builders
+# ------------------------------------------------------------------------- #
+def channel_width_jobs(
+    netlist: Netlist,
+    base: ArchParams,
+    widths: Sequence[int],
+    seed: int = 0,
+    effort: float = 0.3,
+) -> list[SweepJob]:
+    """One job per channel width on ``base``'s grid."""
+    return [
+        SweepJob("channel_width", w, base.with_(channel_width=w),
+                 netlist, seed, effort)
+        for w in widths
+    ]
+
+
+def double_fraction_jobs(
+    netlist: Netlist,
+    base: ArchParams,
+    fractions: Sequence[float],
+    seed: int = 0,
+    effort: float = 0.3,
+) -> list[SweepJob]:
+    """One job per single/double track split (Fig. 10's knob)."""
+    return [
+        SweepJob("double_fraction", f, base.with_(double_fraction=f),
+                 netlist, seed, effort)
+        for f in fractions
+    ]
+
+
+def fc_jobs(
+    netlist: Netlist,
+    base: ArchParams,
+    fcs: Sequence[float],
+    seed: int = 0,
+    effort: float = 0.3,
+) -> list[SweepJob]:
+    """One job per connection-block flexibility value (input = output)."""
+    return [
+        SweepJob("fc", fc, base.with_(fc_in=fc, fc_out=fc),
+                 netlist, seed, effort)
+        for fc in fcs
+    ]
+
+
+# ------------------------------------------------------------------------- #
+# analytic area-model sweeps (no routing; kept with the grid machinery so
+# every sweep the CLI exposes lives in one subsystem)
+# ------------------------------------------------------------------------- #
+def sweep_change_rate_points(
+    rates: Sequence[float],
+    n_contexts: int = 4,
+    sharing_factor: float = 2.0,
+) -> list[AreaPoint]:
+    """Area ratio vs configuration-change rate — the sensitivity curve
+    behind the paper's single 5% operating point."""
+    from repro.core.area_model import AreaModel, Technology
+
+    model = AreaModel()
+    out = []
+    for r in rates:
+        cm = model.paper_operating_point(
+            change_rate=r, n_contexts=n_contexts,
+            tech=Technology.CMOS, sharing_factor=sharing_factor,
+        )
+        fe = model.paper_operating_point(
+            change_rate=r, n_contexts=n_contexts,
+            tech=Technology.FEPG, sharing_factor=sharing_factor,
+        )
+        out.append(AreaPoint("change_rate", r, cm.ratio, fe.ratio))
+    return out
+
+
+def sweep_contexts_points(
+    context_counts: Sequence[int],
+    change_rate: float = 0.05,
+    sharing_factor: float = 2.0,
+) -> list[AreaPoint]:
+    """Area ratio vs context count: the overhead the RCM attacks grows
+    with context count, so the proposed advantage should widen."""
+    from repro.arch.params import paper_params
+    from repro.core.area_model import (
+        AreaModel,
+        Technology,
+        TileCounts,
+        analytic_pattern_mix,
+        expected_distinct_planes,
+    )
+
+    model = AreaModel()
+    out = []
+    for n in context_counts:
+        mix = analytic_pattern_mix(change_rate, n)
+        params = paper_params().with_(n_contexts=n)
+        counts = TileCounts.from_arch(params)
+        planes = expected_distinct_planes(min(1.0, 2 * change_rate), n)
+        cm = model.compare(
+            counts, n, mix, planes, params.lut_outputs, sharing_factor,
+            tech=Technology.CMOS,
+        )
+        fe = model.compare(
+            counts, n, mix, planes, params.lut_outputs, sharing_factor,
+            tech=Technology.FEPG,
+        )
+        out.append(AreaPoint("n_contexts", n, cm.ratio, fe.ratio))
+    return out

@@ -86,6 +86,8 @@ class CompiledRRG:
         "node_capacity",
         "node_length",
         "base_cost",
+        "node_capacity_np",
+        "base_cost_np",
         "xlo",
         "xhi",
         "ylo",
@@ -98,11 +100,21 @@ class CompiledRRG:
         "edge_mid",
         "edge_dst",
         "edge_kind",
+        "lb_source",
+        "lb_sink",
+        "io_source",
+        "io_sink",
     )
 
     def __init__(self, source: RoutingResourceGraph) -> None:
         self.source = source
         self.params = source.params
+        # pin indexes are referenced directly (small tuple->int dicts),
+        # so a stripped substrate keeps them without the object graph
+        self.lb_source = source.lb_source
+        self.lb_sink = source.lb_sink
+        self.io_source = source.io_source
+        self.io_sink = source.io_sink
         n = source.n_nodes
         self.n_nodes = n
 
@@ -137,7 +149,11 @@ class CompiledRRG:
                 self.xlo[nid] = self.xhi[nid] = node.x
                 self.ylo[nid] = self.yhi[nid] = node.y
 
-        # vectorised mirrors for per-net bounding-box mask construction
+        # vectorised mirrors: capacity/base-cost feed the congestion
+        # bookkeeping (overuse scans, effective-cost refreshes), the
+        # bounding boxes feed per-net prune-mask construction
+        self.node_capacity_np = np.asarray(self.node_capacity, dtype=np.int64)
+        self.base_cost_np = np.asarray(self.base_cost, dtype=np.float64)
         self.xlo_np = np.asarray(self.xlo, dtype=np.int32)
         self.xhi_np = np.asarray(self.xhi, dtype=np.int32)
         self.ylo_np = np.asarray(self.ylo, dtype=np.int32)
@@ -191,21 +207,24 @@ class CompiledRRG:
         return inside.tobytes()
 
     # -- convenience -------------------------------------------------------- #
-    @property
-    def lb_source(self) -> dict[tuple[int, int, int], int]:
-        return self.source.lb_source
+    def strip_source(self) -> None:
+        """Drop the object graph, keeping only the flat substrate.
 
-    @property
-    def lb_sink(self) -> dict[tuple[int, int, int], int]:
-        return self.source.lb_sink
+        Routing, wirelength and compiled timing analysis keep working
+        (everything they touch is arrays or the pin dicts); statistics
+        extraction and functional verification need the object graph
+        and must use a full substrate.  Stripping matters for sweep
+        caches: a flat substrate is a handful of container objects,
+        while an object graph is hundreds of thousands of tracked
+        Python objects that make every gen-2 GC pass expensive.
+        """
+        self.source = None
 
-    @property
-    def io_source(self) -> dict[tuple[int, int, int], int]:
-        return self.source.io_source
-
-    @property
-    def io_sink(self) -> dict[tuple[int, int, int], int]:
-        return self.source.io_sink
+    def node_name(self, nid: int) -> str:
+        """Best-effort node description (error paths, diagnostics)."""
+        if self.source is not None:
+            return self.source.nodes[nid].name
+        return f"node {nid} ({NODE_KINDS[self.node_kind[nid]].value})"
 
     def kind_of(self, nid: int) -> NodeKind:
         return NODE_KINDS[self.node_kind[nid]]
@@ -250,6 +269,32 @@ def compiled_rrg_for(params: ArchParams) -> CompiledRRG:
     return compile_rrg(build_rrg(params))
 
 
+@lru_cache(maxsize=32)
+def flat_rrg_for(params: ArchParams) -> CompiledRRG:
+    """Route-only substrate cache: flat arrays, no object graph.
+
+    Sweep grids touch many device configurations but only ever route
+    and time them — they never extract bitstream statistics or run
+    functional verification, which are the only consumers of the
+    object graph.  Caching *stripped* substrates keeps the resident
+    object count (and thus every gen-2 GC pass) small even with dozens
+    of configurations cached; a full sweep on object-graph caches
+    spends more time in the collector than in the router.
+
+    Distinct from :func:`compiled_rrg_for` on purpose: a substrate
+    cached here cannot serve :meth:`MappedProgram.stats` or
+    verification, so mapping flows keep their own full cache.
+    """
+    c = CompiledRRG(build_rrg(params))
+    c.strip_source()  # the freshly-built object graph becomes garbage
+    return c
+
+
 def clear_rrg_cache() -> None:
-    """Drop all cached compiled graphs (mainly for tests / memory)."""
+    """Drop all cached compiled graphs and their pooled router scratch
+    buffers (mainly for tests / memory)."""
     compiled_rrg_for.cache_clear()
+    flat_rrg_for.cache_clear()
+    from repro.route.pathfinder import SCRATCH_POOL
+
+    SCRATCH_POOL.clear()

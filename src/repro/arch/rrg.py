@@ -243,9 +243,17 @@ def _build_switch_points(g: RoutingResourceGraph, specs: list[TrackSpec]) -> Non
                     if spec.kind is SegmentKind.DOUBLE
                     else EdgeKind.PASS
                 )
+                # inlined add_biedge: this pairwise loop dominates the
+                # switch-point build (distinct nodes by construction)
+                out_edges, in_edges = g.out_edges, g.in_edges
                 for i in range(len(incident)):
+                    a = incident[i]
                     for j in range(i + 1, len(incident)):
-                        g.add_biedge(incident[i], incident[j], kind)
+                        b = incident[j]
+                        out_edges[a].append((b, kind))
+                        in_edges[b].append((a, kind))
+                        out_edges[b].append((a, kind))
+                        in_edges[a].append((b, kind))
 
 
 def _touches_start(node: RRGNode, position: int) -> bool:
@@ -296,6 +304,10 @@ def _build_logic_pins(g: RoutingResourceGraph) -> None:
     geom = p.lut_geometry()
     n_in = geom.base_inputs + geom.max_extra_inputs
     n_out = p.lut_outputs
+    # inlined add_edge below: connection-block population is the hottest
+    # part of the whole build (pins x adjacent wires per tile)
+    out_edges, in_edges = g.out_edges, g.in_edges
+    pin, internal = EdgeKind.PIN, EdgeKind.INTERNAL
     for tile in g.grid.tiles():
         wires = _adjacent_wires(g, tile)
         ipins = []
@@ -306,8 +318,10 @@ def _build_logic_pins(g: RoutingResourceGraph) -> None:
             )
             g.lb_ipin[(tile.x, tile.y, i)] = ipin
             ipins.append(ipin)
+            ipin_in = in_edges[ipin]
             for w in _pin_wires(wires, i, p.fc_in):
-                g.add_edge(w, ipin, EdgeKind.PIN)
+                out_edges[w].append((ipin, pin))
+                ipin_in.append((w, pin))
         for i in range(n_in):
             sink = g.add_node(
                 RRGNode(-1, NodeKind.SINK, tile.x, tile.y, pin=i,
@@ -315,8 +329,10 @@ def _build_logic_pins(g: RoutingResourceGraph) -> None:
             )
             g.lb_sink[(tile.x, tile.y, i)] = sink
             # input-pin equivalence: any IPIN can feed any input slot
+            sink_in = in_edges[sink]
             for ipin in ipins:
-                g.add_edge(ipin, sink, EdgeKind.INTERNAL)
+                out_edges[ipin].append((sink, internal))
+                sink_in.append((ipin, internal))
         for o in range(n_out):
             opin = g.add_node(
                 RRGNode(-1, NodeKind.OPIN, tile.x, tile.y, pin=o,
@@ -329,8 +345,10 @@ def _build_logic_pins(g: RoutingResourceGraph) -> None:
             )
             g.lb_source[(tile.x, tile.y, o)] = src
             g.add_edge(src, opin, EdgeKind.INTERNAL)
+            opin_out = out_edges[opin]
             for w in _pin_wires(wires, o, p.fc_out):
-                g.add_edge(opin, w, EdgeKind.PIN)
+                opin_out.append((w, pin))
+                in_edges[w].append((opin, pin))
 
 
 # ------------------------------------------------------------------------- #
@@ -338,6 +356,8 @@ def _build_logic_pins(g: RoutingResourceGraph) -> None:
 # ------------------------------------------------------------------------- #
 def _build_io(g: RoutingResourceGraph) -> None:
     p = g.params
+    out_edges, in_edges = g.out_edges, g.in_edges
+    pin = EdgeKind.PIN
     for tile in g.grid.perimeter():
         wires = _adjacent_wires(g, tile)
         for pad in range(p.io_capacity):
@@ -350,8 +370,10 @@ def _build_io(g: RoutingResourceGraph) -> None:
                         name=f"IO{tile} opin{pad}")
             )
             g.add_edge(src, opin, EdgeKind.INTERNAL)
+            opin_out = out_edges[opin]
             for w in wires:
-                g.add_edge(opin, w, EdgeKind.PIN)
+                opin_out.append((w, pin))
+                in_edges[w].append((opin, pin))
             g.io_source[(tile.x, tile.y, pad)] = src
 
             ipin = g.add_node(
@@ -362,7 +384,9 @@ def _build_io(g: RoutingResourceGraph) -> None:
                 RRGNode(-1, NodeKind.SINK, tile.x, tile.y, pin=pad,
                         name=f"IO{tile} sink{pad}")
             )
+            ipin_in = in_edges[ipin]
             for w in wires:
-                g.add_edge(w, ipin, EdgeKind.PIN)
+                out_edges[w].append((ipin, pin))
+                ipin_in.append((w, pin))
             g.add_edge(ipin, sink, EdgeKind.INTERNAL)
             g.io_sink[(tile.x, tile.y, pad)] = sink

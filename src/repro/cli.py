@@ -9,10 +9,15 @@ Exposes the library's main flows without writing Python::
     python -m repro batch --workloads adder,crc --workers 2  # engine batch
     python -m repro reorder --workload adder  # context-ID optimization
     python -m repro sweep --what change-rate  # sensitivity curves
+    python -m repro sweep --what channel-width --workload crc \
+        --backend process                     # routing design-space sweep
 
-``map``, ``area`` and ``batch`` accept ``--json`` to emit their stats as
-machine-readable JSON (for benchmark harnesses and external tooling)
-instead of rendered tables.
+``map``, ``area``, ``batch`` and ``sweep`` accept ``--json`` to emit
+their stats as machine-readable JSON (for benchmark harnesses and
+external tooling) instead of rendered tables.  Routing sweeps
+(``channel-width`` / ``double-fraction`` / ``fc``) run on the compiled
+sweep subsystem (:mod:`repro.analysis.sweep`) and accept ``--backend
+process`` to fan points out across cores.
 """
 
 from __future__ import annotations
@@ -81,16 +86,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mutation", type=float, default=0.15)
     p.add_argument("--seed", type=int, default=7)
 
-    p = sub.add_parser("sweep", help="sensitivity sweeps")
-    p.add_argument("--what", choices=["change-rate", "contexts"],
+    p = sub.add_parser("sweep", help="design-space and sensitivity sweeps")
+    p.add_argument("--what",
+                   choices=["change-rate", "contexts", "channel-width",
+                            "double-fraction", "fc"],
                    default="change-rate")
+    p.add_argument("--workload", default="adder", choices=_WORKLOADS,
+                   help="circuit for routing sweeps (ignored by the "
+                        "analytic change-rate/contexts sweeps)")
+    p.add_argument("--grid", type=int, default=6,
+                   help="fabric side length for routing sweeps")
+    p.add_argument("--values", default=None,
+                   help="comma-separated sweep values (defaults per axis)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--effort", type=float, default=0.3,
+                   help="placement effort for routing sweeps")
+    p.add_argument("--backend",
+                   choices=["sequential", "thread", "process"],
+                   default="sequential",
+                   help="how routing sweep points are executed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size for thread/process backends "
+                        "(default: all cores)")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of tables")
     return parser
 
 
-def _build_workload(name: str, n_contexts: int, mutation: float, seed: int):
+def _build_circuit(name: str):
+    """Tech-mapped single-context netlist for a named workload."""
     from repro.netlist.techmap import tech_map
     from repro.workloads import generators as gen
-    from repro.workloads.multicontext import mutated_program, temporal_partition
 
     circuits = {
         "adder": lambda: gen.ripple_adder(4),
@@ -99,7 +125,13 @@ def _build_workload(name: str, n_contexts: int, mutation: float, seed: int):
         "parity": lambda: gen.parity_tree(8),
         "cmp": lambda: gen.comparator(4),
     }
-    base = tech_map(circuits[name](), k=4)
+    return tech_map(circuits[name](), k=4)
+
+
+def _build_workload(name: str, n_contexts: int, mutation: float, seed: int):
+    from repro.workloads.multicontext import mutated_program, temporal_partition
+
+    base = _build_circuit(name)
     if name in ("crc", "parity"):
         return temporal_partition(base, n_contexts)
     return mutated_program(base, n_contexts, mutation, seed=seed)
@@ -273,19 +305,105 @@ def cmd_reorder(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.experiments import sweep_change_rate, sweep_contexts
+#: Default grids per sweep axis (``--values`` overrides).
+_SWEEP_DEFAULTS = {
+    "change-rate": [0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5],
+    "contexts": [2, 4, 8, 16],
+    "channel-width": [4, 6, 8, 10, 12],
+    "double-fraction": [0.0, 0.25, 0.5, 0.75],
+    "fc": [1.0, 0.5, 0.3],
+}
+
+
+def _sweep_values(args: argparse.Namespace) -> list[float]:
+    if args.values is None:
+        return list(_SWEEP_DEFAULTS[args.what])
+    cast = int if args.what in ("contexts", "channel-width") else float
+    return [cast(v) for v in args.values.split(",") if v.strip()]
+
+
+def _analytic_sweep(args: argparse.Namespace, values: list[float]) -> int:
     from repro.analysis.report import sweep_table
+    from repro.analysis.sweep import (
+        sweep_change_rate_points,
+        sweep_contexts_points,
+    )
 
     if args.what == "change-rate":
-        rows = sweep_change_rate([0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5])
-        print(sweep_table(rows, ["change rate", "CMOS", "FePG"],
-                          "Area ratio vs change rate"))
+        points = sweep_change_rate_points(values)
+        label, title = "change rate", "Area ratio vs change rate"
     else:
-        rows = sweep_contexts([2, 4, 8, 16])
-        print(sweep_table(rows, ["contexts", "CMOS", "FePG"],
-                          "Area ratio vs context count"))
+        points = sweep_contexts_points([int(v) for v in values])
+        label, title = "contexts", "Area ratio vs context count"
+    if args.json:
+        print(json.dumps({
+            "sweep": args.what,
+            "points": [pt.to_dict() for pt in points],
+        }, indent=2))
+        return 0
+    rows = [(pt.value, pt.cmos_ratio, pt.fepg_ratio) for pt in points]
+    print(sweep_table(rows, [label, "CMOS", "FePG"], title))
     return 0
+
+
+def _routing_sweep(args: argparse.Namespace, values: list[float]) -> int:
+    from repro.analysis.sweep import (
+        SweepRunner,
+        channel_width_jobs,
+        double_fraction_jobs,
+        fc_jobs,
+    )
+    from repro.arch.params import ArchParams
+    from repro.utils.tables import TextTable
+
+    netlist = _build_circuit(args.workload)
+    base = ArchParams(
+        cols=args.grid, rows=args.grid, channel_width=10, io_capacity=4
+    )
+    build = {
+        "channel-width": channel_width_jobs,
+        "double-fraction": double_fraction_jobs,
+        "fc": fc_jobs,
+    }[args.what]
+    if args.backend == "sequential" and args.workers is not None:
+        print("note: --workers has no effect with the sequential backend; "
+              "pass --backend thread|process to parallelize",
+              file=sys.stderr)
+    jobs = build(netlist, base, values, seed=args.seed, effort=args.effort)
+    runner = SweepRunner(backend=args.backend, workers=args.workers)
+    points = runner.run(jobs)
+    if args.json:
+        print(json.dumps({
+            "sweep": args.what,
+            "workload": args.workload,
+            "grid": [base.cols, base.rows],
+            "backend": args.backend,
+            "points": [pt.to_dict() for pt in points],
+        }, indent=2))
+        return 0
+    t = TextTable(
+        [args.what, "routed", "wirelength", "critical path", "iterations"],
+        title=f"{args.what} sweep: {args.workload} on "
+              f"{base.cols}x{base.rows}",
+    )
+    for pt in points:
+        t.add_row([
+            pt.value, pt.routed, pt.wirelength,
+            f"{pt.critical_path:.1f}", pt.iterations,
+        ])
+    print(t.render())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    values = _sweep_values(args)
+    if args.what in ("change-rate", "contexts"):
+        if args.backend != "sequential" or args.workers is not None:
+            print(f"note: --backend/--workers have no effect on the "
+                  f"analytic {args.what} sweep (no routing involved)",
+                  file=sys.stderr)
+        return _analytic_sweep(args, values)
+    return _routing_sweep(args, values)
 
 
 _COMMANDS = {

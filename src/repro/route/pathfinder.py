@@ -40,8 +40,12 @@ fails loudly rather than shipping silently.
 from __future__ import annotations
 
 import heapq
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.arch.compiled import (
     KIND_CHANX,
@@ -168,46 +172,173 @@ class RouterScratch:
         self.epoch = 0
 
 
-class _FlatCongestion:
-    """Array-backed PathFinder congestion bookkeeping for one context.
+class ScratchPool:
+    """Thread-safe, bounded free-list of :class:`RouterScratch` buffers.
 
-    ``static`` folds ``base_cost + history`` per node — the exact cost
-    of an uncongested node (identical rounding to the legacy
-    ``base * 1.0 + history``), refreshed whenever history moves, so the
-    router's common case is one load + one add.
+    Scratch buffers are ~3 lists of ``n_nodes`` entries; allocating them
+    per routing call dominates short jobs (small contexts in a batch or
+    sweep).  The pool keys free buffers by node count, so sequential
+    jobs on one substrate reuse a single scratch while concurrent jobs
+    each lease their own (epoch stamping makes reuse safe across
+    *different* graphs of equal size too — stale stamps read as
+    unvisited).
+
+    A sweep over varying grids or channel widths visits many distinct
+    graph sizes whose buffers can never serve each other, so the pool
+    is bounded both ways: at most ``max_per_size`` free buffers per
+    size (surplus concurrent releases become garbage) and at most
+    ``max_sizes`` sizes, evicting the least-recently-used size
+    wholesale.  :func:`repro.arch.compiled.clear_rrg_cache` also calls
+    :meth:`clear`, so dropping the substrates drops their scratch too.
+
+    :data:`SCRATCH_POOL` is the shared module-level instance the
+    routing entry points fall back to when no explicit scratch is
+    passed; :class:`~repro.analysis.engine.MappingEngine` and the sweep
+    runner ride on it implicitly.
     """
 
-    __slots__ = ("c", "usage", "history", "static", "pres_fac")
+    def __init__(self, max_sizes: int = 8, max_per_size: int = 8) -> None:
+        self._lock = threading.Lock()
+        self._free: dict[int, list[RouterScratch]] = {}  # insertion = LRU
+        self.max_sizes = max_sizes
+        self.max_per_size = max_per_size
+
+    def acquire(self, n_nodes: int) -> RouterScratch:
+        with self._lock:
+            free = self._free.get(n_nodes)
+            if free:
+                scratch = free.pop()
+                if free:
+                    self._free[n_nodes] = self._free.pop(n_nodes)  # LRU touch
+                else:
+                    # a drained size must not occupy an LRU slot, or empty
+                    # placeholders could evict the one size holding buffers
+                    del self._free[n_nodes]
+                return scratch
+        return RouterScratch(n_nodes)
+
+    def release(self, scratch: RouterScratch) -> None:
+        with self._lock:
+            free = self._free.get(scratch.n)
+            if free is None:
+                while len(self._free) >= self.max_sizes:
+                    self._free.pop(next(iter(self._free)))  # oldest size
+                free = self._free[scratch.n] = []
+            else:
+                self._free[scratch.n] = self._free.pop(scratch.n)
+            if len(free) < self.max_per_size:
+                free.append(scratch)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (memory hook for cache clears)."""
+        with self._lock:
+            self._free.clear()
+
+    @contextmanager
+    def lease(self, n_nodes: int):
+        scratch = self.acquire(n_nodes)
+        try:
+            yield scratch
+        finally:
+            self.release(scratch)
+
+    def size(self) -> int:
+        """Free buffers currently pooled (for tests/diagnostics)."""
+        with self._lock:
+            return sum(len(v) for v in self._free.values())
+
+
+#: Shared scratch pool for all compiled-router entry points.
+SCRATCH_POOL = ScratchPool()
+
+
+class _FlatCongestion:
+    """numpy-backed PathFinder congestion bookkeeping for one context.
+
+    The entire node-cost formula — ``base * (1 + pres_fac * overuse) +
+    history`` with ``overuse = max(0, usage + 1 - capacity)`` — is
+    folded into one *effective cost* per node, so the Dijkstra relax is
+    a single load + add.  ``usage`` and ``history`` are numpy buffers:
+    usage add/remove are scatter updates that re-price only the touched
+    nodes, and the whole-graph re-price after each PathFinder iteration
+    (history bump + pressure escalation) is one vectorised expression.
+    The effective costs are mirrored into a plain list for the inner
+    loop (list indexing returns the cached float object; numpy scalar
+    reads box a fresh one — measurably slower per edge).
+
+    ``overused_ids`` is maintained incrementally by the scatter
+    updates, which makes the per-iteration overuse census O(1) and the
+    per-net congestion test a set intersection instead of an O(nodes)
+    scan.  All arithmetic matches the legacy router bit-for-bit (the
+    acceptance gate is equal wirelength, but the refresh uses the exact
+    same IEEE operations, so routes stay identical in practice — the
+    equivalence suite pins this).
+    """
+
+    __slots__ = ("c", "usage", "history", "eff", "pres_fac", "overused_ids")
 
     def __init__(self, c: CompiledRRG) -> None:
         self.c = c
-        self.usage: list[int] = [0] * c.n_nodes
-        self.history: list[float] = [0.0] * c.n_nodes
-        self.static: list[float] = list(c.base_cost)
+        self.usage = np.zeros(c.n_nodes, dtype=np.int64)
+        self.history = np.zeros(c.n_nodes, dtype=np.float64)
         self.pres_fac = PRES_FAC_FIRST
+        self.overused_ids: set[int] = set()
+        self.eff: list[float] = []
+        self._refresh_all()
+
+    def _refresh_all(self) -> None:
+        """Vectorised whole-graph re-price of the effective costs."""
+        c = self.c
+        over = self.usage + 1 - c.node_capacity_np
+        np.maximum(over, 0, out=over)
+        eff = c.base_cost_np * (1.0 + self.pres_fac * over) + self.history
+        self.eff = eff.tolist()
+
+    def _scatter(self, nodes: set[int], delta: int) -> None:
+        idx = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+        usage = self.usage
+        usage[idx] += delta
+        cap = self.c.node_capacity_np[idx]
+        used = usage[idx]
+        over = np.maximum(used + 1 - cap, 0)
+        vals = self.c.base_cost_np[idx] * (1.0 + self.pres_fac * over) \
+            + self.history[idx]
+        eff = self.eff
+        overused_ids = self.overused_ids
+        for nid, v, congested in zip(
+            idx.tolist(), vals.tolist(), (used > cap).tolist()
+        ):
+            eff[nid] = v
+            if congested:
+                overused_ids.add(nid)
+            else:
+                overused_ids.discard(nid)
 
     def add(self, nodes: set[int]) -> None:
-        usage = self.usage
-        for n in nodes:
-            usage[n] += 1
+        self._scatter(nodes, 1)
 
     def remove(self, nodes: set[int]) -> None:
-        usage = self.usage
-        for n in nodes:
-            usage[n] -= 1
+        self._scatter(nodes, -1)
 
     def overused(self) -> int:
-        cap = self.c.node_capacity
-        return sum(1 for nid, u in enumerate(self.usage) if u > cap[nid])
+        return len(self.overused_ids)
 
     def bump_history(self) -> None:
-        cap = self.c.node_capacity
-        base = self.c.base_cost
-        history, static = self.history, self.static
-        for nid, u in enumerate(self.usage):
-            if u > cap[nid]:
-                history[nid] += HIST_FAC * (u - cap[nid])
-                static[nid] = base[nid] + history[nid]
+        if not self.overused_ids:
+            return
+        idx = np.fromiter(
+            self.overused_ids, dtype=np.int64, count=len(self.overused_ids)
+        )
+        self.history[idx] += HIST_FAC * (
+            self.usage[idx] - self.c.node_capacity_np[idx]
+        )
+
+    def next_iteration(self) -> None:
+        """One PathFinder escalation step: history bump, pressure-factor
+        growth, and the vectorised re-price they both invalidate."""
+        self.bump_history()
+        self.pres_fac *= PRES_FAC_MULT
+        self._refresh_all()
 
 
 def _dijkstra_flat(
@@ -224,14 +355,13 @@ def _dijkstra_flat(
     bounding box); zero-mask nodes are never relaxed.  Returns ``None``
     when ``target`` is unreachable inside the mask (the caller retries
     unmasked); mirrors the legacy router's cost arithmetic and
-    tie-breaking exactly otherwise.
+    tie-breaking exactly otherwise — the full congestion formula is
+    pre-folded into ``state.eff``, so a relax is one load + one add.
     """
     scratch.epoch += 1
     ep = scratch.epoch
     dist, prev, stamp = scratch.dist, scratch.prev, scratch.stamp
-    usage, history, static = state.usage, state.history, state.static
-    pres_fac = state.pres_fac
-    base, cap = c.base_cost, c.node_capacity
+    eff = state.eff
     estart, emid, edst = c.edge_start, c.edge_mid, c.edge_dst
 
     heap: list[tuple[float, int]] = []
@@ -258,11 +388,7 @@ def _dijkstra_flat(
         for nxt in edst[lo:mid]:
             if mask is not None and not mask[nxt]:
                 continue
-            u1 = usage[nxt] + 1 - cap[nxt]
-            if u1 > 0:
-                nd = d + base[nxt] * (1.0 + pres_fac * u1) + history[nxt]
-            else:
-                nd = d + static[nxt]
+            nd = d + eff[nxt]
             if stamp[nxt] != ep or nd < dist[nxt]:
                 stamp[nxt] = ep
                 dist[nxt] = nd
@@ -272,11 +398,7 @@ def _dijkstra_flat(
         for nxt in edst[mid:hi]:
             if nxt != target:
                 continue
-            u1 = usage[nxt] + 1 - cap[nxt]
-            if u1 > 0:
-                nd = d + base[nxt] * (1.0 + pres_fac * u1) + history[nxt]
-            else:
-                nd = d + static[nxt]
+            nd = d + eff[nxt]
             if stamp[nxt] != ep or nd < dist[nxt]:
                 stamp[nxt] = ep
                 dist[nxt] = nd
@@ -329,7 +451,7 @@ def _route_net_flat(
             path = _dijkstra_flat(c, state, net.nodes, sink, scratch, None)
         if path is None:
             raise RoutingError(
-                f"no path to sink node {sink} ({c.source.nodes[sink].name})"
+                f"no path to sink node {sink} ({c.node_name(sink)})"
             )
         net.sink_paths[sink] = list(path)
         for a, b in zip(path, path[1:]):
@@ -354,11 +476,34 @@ def route_context_compiled(
     Dijkstra over CSR arrays with epoch-stamped scratch buffers and
     per-net bounding boxes (see the module docstring for the one case
     where pruning may pick a different route than the legacy engine).
+
+    ``scratch`` buffers are leased from :data:`SCRATCH_POOL` when not
+    supplied, so repeated calls (batch jobs, sweep points) reuse one
+    allocation per worker instead of reallocating per call.
     """
+    pooled = scratch is None or scratch.n != c.n_nodes
+    if pooled:
+        scratch = SCRATCH_POOL.acquire(c.n_nodes)
+    try:
+        return _route_context_compiled(
+            c, netlist, placement, context, reuse, max_iterations, scratch
+        )
+    finally:
+        if pooled:
+            SCRATCH_POOL.release(scratch)
+
+
+def _route_context_compiled(
+    c: CompiledRRG,
+    netlist: Netlist,
+    placement: Placement,
+    context: int,
+    reuse: dict[str, RoutedNet] | None,
+    max_iterations: int,
+    scratch: RouterScratch,
+) -> RouteResult:
     endpoints = _net_endpoints(netlist, placement, c)
     state = _FlatCongestion(c)
-    if scratch is None or scratch.n != c.n_nodes:
-        scratch = RouterScratch(c.n_nodes)
     routes: dict[str, RoutedNet] = {}
     # prune masks are built lazily: a reused net only needs one if it is
     # ripped up later, and mask construction is O(n_nodes) per net
@@ -386,16 +531,17 @@ def route_context_compiled(
         routes[name] = net
         state.add(net.nodes)
 
-    usage, cap = state.usage, c.node_capacity
+    overused_ids = state.overused_ids
     iteration = 1
     while iteration < max_iterations:
-        if state.overused() == 0:
+        if not overused_ids:
             break
-        state.bump_history()
-        state.pres_fac *= PRES_FAC_MULT
-        # rip up and reroute congested nets only
+        state.next_iteration()
+        # rip up and reroute congested nets only; ``overused_ids`` is
+        # live-updated by add/remove, so the test sees reroutes made
+        # earlier in this same sweep over the nets (legacy semantics)
         for name, net in routes.items():
-            if all(usage[n] <= cap[n] for n in net.nodes):
+            if overused_ids.isdisjoint(net.nodes):
                 continue
             state.remove(net.nodes)
             fresh = _route_net_flat(
@@ -441,16 +587,18 @@ def route_program_compiled(
 
     results: list[RouteResult] = []
     bank: dict[str, RoutedNet] = {}
-    scratch = RouterScratch(c.n_nodes)
-    for ci, (netlist, placement) in jobs:
-        res = route_context_compiled(
-            c, netlist, placement, context=ci,
-            reuse=bank if share_aware else None, scratch=scratch,
-        )
-        results.append(res)
-        if share_aware:
-            for net in res.nets.values():
-                bank.setdefault(endpoint_signature(net.source, net.sinks), net)
+    with SCRATCH_POOL.lease(c.n_nodes) as scratch:
+        for ci, (netlist, placement) in jobs:
+            res = route_context_compiled(
+                c, netlist, placement, context=ci,
+                reuse=bank if share_aware else None, scratch=scratch,
+            )
+            results.append(res)
+            if share_aware:
+                for net in res.nets.values():
+                    bank.setdefault(
+                        endpoint_signature(net.source, net.sinks), net
+                    )
     return results
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.arch.compiled import EDGE_KINDS, CompiledRRG
 from repro.arch.rrg import EdgeKind, NodeKind, RoutingResourceGraph
 from repro.errors import SimulationError
 from repro.netlist.netlist import CellKind, Netlist
@@ -64,7 +65,7 @@ def chain_delay(n_series_ses: int, model: DelayModel | None = None) -> float:
 
 
 def path_delay(
-    g: RoutingResourceGraph,
+    g: RoutingResourceGraph | CompiledRRG,
     path: list[int],
     model: DelayModel | None = None,
 ) -> float:
@@ -88,7 +89,15 @@ def path_delay(
     return total
 
 
-def _edge_kind(g: RoutingResourceGraph, a: int, b: int) -> EdgeKind:
+def _edge_kind(
+    g: RoutingResourceGraph | CompiledRRG, a: int, b: int
+) -> EdgeKind:
+    if isinstance(g, CompiledRRG):
+        dst = g.edge_dst
+        for i in range(g.edge_start[a], g.edge_start[a + 1]):
+            if dst[i] == b:
+                return EDGE_KINDS[g.edge_kind[i]]
+        raise SimulationError(f"no RRG edge {a}->{b}")
     for nxt, kind in g.out_edges[a]:
         if nxt == b:
             return kind
@@ -96,7 +105,7 @@ def _edge_kind(g: RoutingResourceGraph, a: int, b: int) -> EdgeKind:
 
 
 def route_tree_delays(
-    g: RoutingResourceGraph,
+    g: RoutingResourceGraph | CompiledRRG,
     net: RoutedNet,
     model: DelayModel | None = None,
 ) -> dict[int, float]:
@@ -138,7 +147,7 @@ def route_tree_delays(
 
 
 def critical_path(
-    g: RoutingResourceGraph,
+    g: RoutingResourceGraph | CompiledRRG,
     netlist: Netlist,
     route: RouteResult,
     placement,
@@ -149,6 +158,11 @@ def critical_path(
     Arrival at a LUT = max over fanin (driver arrival + routed net delay
     to the LUT's sink) + t_lut.  Returns the worst primary-output /
     DFF-input arrival.
+
+    Accepts either graph representation; a (possibly source-stripped)
+    :class:`CompiledRRG` resolves edge kinds from its CSR arrays and
+    produces bit-identical delays, which is what lets sweep grids run
+    without any object graph resident.
     """
     m = model or DelayModel()
     net_sink_delay: dict[tuple[str, int], float] = {}

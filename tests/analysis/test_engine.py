@@ -108,3 +108,46 @@ class TestBatch:
 
     def test_empty_batch(self, params):
         assert MappingEngine().map_batch([], params) == []
+
+
+class TestProcessBackend:
+    def _programs(self):
+        adder = tech_map(ripple_adder(2), k=4)
+        return [
+            mutated_program(adder, 2, 0.0, seed=1),
+            mutated_program(adder, 2, 0.3, seed=2),
+        ]
+
+    def test_matches_sequential(self, params):
+        progs = self._programs()
+        engine = MappingEngine()
+        seq = engine.map_batch(progs, params, seed=5, effort=0.3, workers=1)
+        proc = engine.map_batch(progs, params, seed=5, effort=0.3,
+                                workers=2, backend="process")
+        for a, b in zip(seq, proc):
+            assert _placement_key(a) == _placement_key(b)
+            assert [r.wirelength(a.rrg) for r in a.routes] == [
+                r.wirelength(b.rrg) for r in b.routes
+            ]
+
+    def test_preserves_order_and_substrate(self, params):
+        progs = self._programs()
+        out = MappingEngine().map_batch(
+            progs, params, effort=0.3, workers=2, backend="process"
+        )
+        assert [m.program.name for m in out] == [p.name for p in progs]
+        # results are re-bound to the parent's cached substrate
+        engine_view = MappingEngine().compiled(params)
+        assert all(m.rrg is engine_view.source for m in out)
+
+    def test_auto_fit_params(self):
+        out = MappingEngine().map_batch(
+            self._programs(), effort=0.3, workers=2, backend="process"
+        )
+        assert all(m.params.n_tiles >= 1 for m in out)
+
+    def test_unknown_backend_rejected(self, params):
+        with pytest.raises(ValueError):
+            MappingEngine().map_batch(
+                self._programs(), params, workers=2, backend="rayon"
+            )

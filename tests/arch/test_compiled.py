@@ -121,3 +121,61 @@ class TestCaching:
         _, _, c = graphs
         assert "CompiledRRG" in c.describe()
         assert "CSR" in c.describe()
+
+
+class TestFlatSubstrate:
+    def test_flat_matches_full_arrays(self):
+        from repro.arch.compiled import flat_rrg_for
+
+        params = ArchParams(cols=4, rows=4, channel_width=6, io_capacity=2)
+        flat = flat_rrg_for(params)
+        full = compiled_rrg_for(params)
+        assert flat.source is None and full.source is not None
+        assert flat.n_nodes == full.n_nodes
+        assert flat.edge_start == full.edge_start
+        assert flat.edge_mid == full.edge_mid
+        assert flat.edge_dst == full.edge_dst
+        assert flat.edge_kind == full.edge_kind
+        assert flat.node_kind == full.node_kind
+        assert flat.base_cost == full.base_cost
+        assert flat.lb_sink == full.lb_sink
+        assert flat.io_source == full.io_source
+
+    def test_flat_cache_hits(self):
+        from repro.arch.compiled import flat_rrg_for
+
+        params = ArchParams(cols=3, rows=3, channel_width=4)
+        assert flat_rrg_for(params) is flat_rrg_for(params)
+
+    def test_node_name_without_source(self):
+        from repro.arch.compiled import flat_rrg_for
+
+        params = ArchParams(cols=3, rows=3, channel_width=4)
+        flat = flat_rrg_for(params)
+        full = compiled_rrg_for(params)
+        assert full.node_name(0) == full.source.nodes[0].name
+        assert "node 0" in flat.node_name(0)
+
+    def test_flat_routes_and_times_like_full(self):
+        """Routing + STA on a stripped substrate == the full substrate."""
+        from repro.arch.compiled import flat_rrg_for
+        from repro.netlist.techmap import tech_map
+        from repro.place.placer import place
+        from repro.route.pathfinder import route_context_compiled
+        from repro.route.timing import critical_path
+        from repro.workloads.generators import ripple_adder
+
+        params = ArchParams(cols=5, rows=5, channel_width=8, io_capacity=4)
+        net = tech_map(ripple_adder(3), k=4)
+        pl = place(net, params, seed=0, effort=0.2)
+        flat = flat_rrg_for(params)
+        full = compiled_rrg_for(params)
+        rr_flat = route_context_compiled(flat, net, pl)
+        rr_full = route_context_compiled(full, net, pl)
+        for name in rr_full.nets:
+            assert rr_flat.nets[name].nodes == rr_full.nets[name].nodes
+        assert rr_flat.wirelength(flat) == rr_full.wirelength(full)
+        # compiled STA == object-graph STA, bit for bit
+        assert critical_path(flat, net, rr_flat, pl) == critical_path(
+            full.source, net, rr_full, pl
+        )

@@ -110,6 +110,47 @@ class TestSweep:
         assert main(["sweep", "--what", "contexts"]) == 0
         assert "contexts" in capsys.readouterr().out
 
+    def test_change_rate_json(self, capsys):
+        assert main(["sweep", "--what", "change-rate", "--values",
+                     "0.0,0.05", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["sweep"] == "change-rate"
+        assert [pt["value"] for pt in data["points"]] == [0.0, 0.05]
+        assert all(0 < pt["cmos_ratio"] < 1 for pt in data["points"])
+
+    def test_channel_width_table(self, capsys):
+        assert main(["sweep", "--what", "channel-width", "--grid", "5",
+                     "--values", "6,8", "--effort", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "channel-width" in out and "wirelength" in out
+
+    def test_channel_width_json(self, capsys):
+        assert main(["sweep", "--what", "channel-width", "--grid", "5",
+                     "--values", "6,8", "--effort", "0.2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["sweep"] == "channel-width"
+        assert data["workload"] == "adder"
+        assert [pt["value"] for pt in data["points"]] == [6, 8]
+        assert all(pt["routed"] for pt in data["points"])
+
+    def test_fc_process_backend_json(self, capsys):
+        # two values so the runner actually spawns pool workers (a
+        # single job short-circuits to the sequential path)
+        assert main(["sweep", "--what", "fc", "--workload", "cmp",
+                     "--grid", "5", "--values", "1.0,0.5",
+                     "--effort", "0.2",
+                     "--backend", "process", "--workers", "2",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "process"
+        assert [pt["value"] for pt in data["points"]] == [1.0, 0.5]
+        assert data["points"][0]["routed"] is True
+
+    def test_double_fraction_table(self, capsys):
+        assert main(["sweep", "--what", "double-fraction", "--grid", "5",
+                     "--values", "0.0,0.5", "--effort", "0.2"]) == 0
+        assert "double-fraction" in capsys.readouterr().out
+
 
 class TestParser:
     def test_missing_command_rejected(self):

@@ -190,8 +190,9 @@ def evaluate_point(
     )
 
 
-def _evaluate_shipped(job: SweepJob, placement: Placement) -> SweepPoint:
+def _evaluate_shipped(pair: tuple[SweepJob, Placement]) -> SweepPoint:
     """Top-level process-pool entry point (must be picklable)."""
+    job, placement = pair
     return evaluate_point(job, placement)
 
 
@@ -233,6 +234,31 @@ class SweepRunner:
             self._placements[key] = pl
         return pl
 
+    def map_items(self, fn, items: Sequence) -> list:
+        """Execute ``fn`` over ``items`` on the configured backend.
+
+        The generic executor under :meth:`run`, exposed so other grid
+        subsystems (the reliability layer's Monte Carlo yield campaigns
+        ride it) inherit the backend/pool semantics without reinventing
+        them.  Results keep the order of ``items``; a failing item
+        raises its error at collection.  ``fn`` must be a picklable
+        top-level callable for the process backend.
+        """
+        items = list(items)
+        if not items:
+            return []
+        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        n = min(n, len(items))
+        if self.backend == "sequential" or n <= 1:
+            return [fn(it) for it in items]
+        pool_cls = (
+            ThreadPoolExecutor if self.backend == "thread"
+            else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=n) as pool:
+            futures = [pool.submit(fn, it) for it in items]
+            return [f.result() for f in futures]
+
     def run(self, jobs: Sequence[SweepJob]) -> list[SweepPoint]:
         """Evaluate every job; results keep the order of ``jobs``."""
         jobs = list(jobs)
@@ -243,23 +269,14 @@ class SweepRunner:
         # anneal, and worker processes receive ready placements
         pairs = [(job, self.placement_for(job)) for job in jobs]
         n = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        n = min(n, len(pairs))
-        if self.backend == "sequential" or n <= 1:
-            return [
-                evaluate_point(job, pl, self.engine) for job, pl in pairs
-            ]
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=n) as pool:
-                futures = [
-                    pool.submit(evaluate_point, job, pl, self.engine)
-                    for job, pl in pairs
-                ]
-                return [f.result() for f in futures]
-        with ProcessPoolExecutor(max_workers=n) as pool:
-            futures = [
-                pool.submit(_evaluate_shipped, job, pl) for job, pl in pairs
-            ]
-            return [f.result() for f in futures]
+        if self.backend == "process" and min(n, len(pairs)) > 1:
+            return self.map_items(_evaluate_shipped, pairs)
+        # sequential/thread (and the process single-worker fallback)
+        # evaluate through the runner's own engine, as before map_items
+        engine = self.engine
+        return self.map_items(
+            lambda pair: evaluate_point(pair[0], pair[1], engine), pairs
+        )
 
 
 # ------------------------------------------------------------------------- #

@@ -49,6 +49,11 @@ from repro.arch.rrg import (
     build_rrg,
 )
 
+#: Edge kinds that are physical programmable switches — defect-injection
+#: candidates for the reliability subsystem.  INTERNAL edges are logical
+#: bookkeeping (source->opin / ipin->sink) with no silicon of their own.
+SWITCH_EDGE_KINDS = (EdgeKind.PASS, EdgeKind.BUF, EdgeKind.PIN)
+
 #: Stable integer encoding of :class:`NodeKind` (array-friendly).
 NODE_KIND_INDEX: dict[NodeKind, int] = {k: i for i, k in enumerate(NodeKind)}
 NODE_KINDS: tuple[NodeKind, ...] = tuple(NodeKind)
@@ -104,6 +109,10 @@ class CompiledRRG:
         "lb_sink",
         "io_source",
         "io_sink",
+        "_wire_ids",
+        "_switch_edge_ids",
+        "_edge_src",
+        "_logic_tiles",
     )
 
     def __init__(self, source: RoutingResourceGraph) -> None:
@@ -190,6 +199,71 @@ class CompiledRRG:
         # future compiled timing model) can see switch kinds without
         # re-deriving them from the object graph (~one int per edge)
         self.edge_kind = edge_kind
+
+        # defect-candidate indexes (reliability subsystem) are derived
+        # lazily and cached, so routing-only flows never pay for them
+        # but Monte Carlo trials sample against ready-made arrays
+        self._wire_ids: np.ndarray | None = None
+        self._switch_edge_ids: np.ndarray | None = None
+        self._edge_src: np.ndarray | None = None
+        self._logic_tiles: tuple[tuple[int, int], ...] | None = None
+
+    # -- defect-candidate indexes (reliability subsystem) ------------------- #
+    def wire_node_ids(self) -> np.ndarray:
+        """Node ids of every wire segment (CHANX/CHANY), cached.
+
+        These are the *wire* defect candidates: an open or short on a
+        metal segment takes the whole segment (and every context that
+        would use it) out of service.
+        """
+        if self._wire_ids is None:
+            kind = np.asarray(self.node_kind, dtype=np.int64)
+            self._wire_ids = np.flatnonzero(
+                (kind == KIND_CHANX) | (kind == KIND_CHANY)
+            )
+        return self._wire_ids
+
+    def switch_edge_ids(self) -> np.ndarray:
+        """CSR edge indexes of every programmable switch, cached.
+
+        PASS (SE pass-gates), BUF (double-length drivers) and PIN
+        (connection-block) edges are physical switches and thus *switch*
+        defect candidates; INTERNAL edges are logical bookkeeping.
+        """
+        if self._switch_edge_ids is None:
+            kinds = np.asarray(self.edge_kind, dtype=np.int64)
+            want = np.array(
+                [EDGE_KIND_INDEX[k] for k in SWITCH_EDGE_KINDS], dtype=np.int64
+            )
+            self._switch_edge_ids = np.flatnonzero(np.isin(kinds, want))
+        return self._switch_edge_ids
+
+    def edge_src_ids(self) -> np.ndarray:
+        """Source node of every CSR edge (row expansion), cached.
+
+        Gives defective edges a spatial position (their source node's
+        tile) for clustered defect models, and lets edge indexes be
+        reported as ``(src, dst)`` pairs.
+        """
+        if self._edge_src is None:
+            starts = np.asarray(self.edge_start, dtype=np.int64)
+            self._edge_src = np.repeat(
+                np.arange(self.n_nodes, dtype=np.int64), np.diff(starts)
+            )
+        return self._edge_src
+
+    def logic_tiles(self) -> tuple[tuple[int, int], ...]:
+        """Tile coordinates hosting a logic block, cached.
+
+        The *logic-site* defect candidates: a fabrication fault in an
+        LB kills every cell the placer would put there, so repair must
+        escalate to re-placement.
+        """
+        if self._logic_tiles is None:
+            self._logic_tiles = tuple(
+                sorted({(x, y) for (x, y, _pin) in self.lb_source})
+            )
+        return self._logic_tiles
 
     def bbox_mask(
         self, bxlo: int, bxhi: int, bylo: int, byhi: int

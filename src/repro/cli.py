@@ -11,13 +11,17 @@ Exposes the library's main flows without writing Python::
     python -m repro sweep --what change-rate  # sensitivity curves
     python -m repro sweep --what channel-width --workload crc \
         --backend process                     # routing design-space sweep
+    python -m repro yield --defect-rate 0.01,0.03 --trials 16 \
+        --backend process                     # Monte Carlo yield campaign
 
-``map``, ``area``, ``batch`` and ``sweep`` accept ``--json`` to emit
-their stats as machine-readable JSON (for benchmark harnesses and
-external tooling) instead of rendered tables.  Routing sweeps
+``map``, ``area``, ``batch``, ``sweep`` and ``yield`` accept ``--json``
+to emit their stats as machine-readable JSON (for benchmark harnesses
+and external tooling) instead of rendered tables.  Routing sweeps
 (``channel-width`` / ``double-fraction`` / ``fc``) run on the compiled
 sweep subsystem (:mod:`repro.analysis.sweep`) and accept ``--backend
-process`` to fan points out across cores.
+process`` to fan points out across cores; ``yield`` runs the
+reliability subsystem's Monte Carlo campaigns (:mod:`repro.reliability`)
+with the same backend semantics.
 """
 
 from __future__ import annotations
@@ -105,6 +109,40 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["sequential", "thread", "process"],
                    default="sequential",
                    help="how routing sweep points are executed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size for thread/process backends "
+                        "(default: all cores)")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "yield",
+        help="Monte Carlo manufacturing-yield campaign over fabric defects",
+    )
+    p.add_argument("--workload", default="adder", choices=_WORKLOADS)
+    p.add_argument("--grid", type=int, default=6,
+                   help="fabric side length")
+    p.add_argument("--width", type=int, default=8,
+                   help="base channel width")
+    p.add_argument("--defect-rate", default="0.0,0.01,0.03",
+                   help="comma-separated per-resource defect rates")
+    p.add_argument("--trials", type=int, default=8,
+                   help="Monte Carlo dies sampled per campaign point")
+    p.add_argument("--model", choices=["uniform", "clustered"],
+                   default="uniform",
+                   help="spatial defect model")
+    p.add_argument("--spare", default=None,
+                   help="comma-separated spare channel widths: sweeps "
+                        "yield vs spares at the first defect rate "
+                        "instead of sweeping rates")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--effort", type=float, default=0.3,
+                   help="placement effort (golden mapping and re-place "
+                        "repair)")
+    p.add_argument("--backend",
+                   choices=["sequential", "thread", "process"],
+                   default="sequential",
+                   help="how Monte Carlo trials are executed")
     p.add_argument("--workers", type=int, default=None,
                    help="pool size for thread/process backends "
                         "(default: all cores)")
@@ -395,6 +433,72 @@ def _routing_sweep(args: argparse.Namespace, values: list[float]) -> int:
     return 0
 
 
+def cmd_yield(args: argparse.Namespace) -> int:
+    from repro.arch.params import ArchParams
+    from repro.reliability import YieldRunner
+    from repro.utils.tables import TextTable
+
+    try:
+        rates = [float(v) for v in args.defect_rate.split(",") if v.strip()]
+        spares = (
+            [int(v) for v in args.spare.split(",") if v.strip()]
+            if args.spare is not None else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not rates:
+        print("error: --defect-rate needs at least one rate", file=sys.stderr)
+        return 2
+    netlist = _build_circuit(args.workload)
+    base = ArchParams(
+        cols=args.grid, rows=args.grid, channel_width=args.width,
+        io_capacity=4,
+    )
+    runner = YieldRunner(backend=args.backend, workers=args.workers)
+    if spares is not None:
+        points = runner.spare_width_curve(
+            netlist, args.workload, base, spares, rates[0], args.trials,
+            model=args.model, seed=args.seed, effort=args.effort,
+        )
+        axis, axis_of = "spare tracks", (lambda pt: pt.spare_tracks)
+    else:
+        points = runner.run_campaign(
+            netlist, args.workload, base, rates, args.trials,
+            model=args.model, seed=args.seed, effort=args.effort,
+        )
+        axis, axis_of = "defect rate", (lambda pt: pt.defect_rate)
+    if args.json:
+        print(json.dumps({
+            "campaign": "spare-width" if spares is not None else "defect-rate",
+            "workload": args.workload,
+            "grid": [base.cols, base.rows],
+            "model": args.model,
+            "trials": args.trials,
+            "backend": args.backend,
+            "points": [pt.to_dict() for pt in points],
+        }, indent=2))
+        return 0
+    t = TextTable(
+        [axis, "W", "yield", "none/route/reroute/replace/fail",
+         "wl ovh", "cp ovh"],
+        title=f"Monte Carlo yield: {args.workload} on "
+              f"{base.cols}x{base.rows} ({args.model}, "
+              f"{args.trials} trials/point)",
+    )
+    for pt in points:
+        h = pt.repair_histogram
+        t.add_row([
+            axis_of(pt), pt.channel_width, f"{pt.yield_fraction:.1%}",
+            "/".join(str(h.get(k, 0)) for k in
+                     ("none", "route_around", "reroute", "replace", "fail")),
+            f"{pt.mean_wirelength_overhead:.3f}",
+            f"{pt.mean_critical_path_overhead:.3f}",
+        ])
+    print(t.render())
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     values = _sweep_values(args)
     if args.what in ("change-rate", "contexts"):
@@ -414,6 +518,7 @@ _COMMANDS = {
     "batch": cmd_batch,
     "reorder": cmd_reorder,
     "sweep": cmd_sweep,
+    "yield": cmd_yield,
 }
 
 

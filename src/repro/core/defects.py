@@ -52,6 +52,17 @@ class DecoderFaultReport:
             return 0.0
         return self.corrupted_decoders / self.total_decoders
 
+    def to_dict(self) -> dict:
+        """JSON-ready row, composable with the physical-defect reports
+        of :mod:`repro.reliability` in one artifact."""
+        return {
+            "se_index": self.se_index,
+            "kind": self.kind.value,
+            "corrupted_decoders": self.corrupted_decoders,
+            "total_decoders": self.total_decoders,
+            "blast_radius": self.blast_radius,
+        }
+
 
 def inject_se_fault(bank: DecoderBank, se_index: int, kind: FaultKind) -> DecoderFaultReport:
     """Force one SE's gate stuck at 0/1 and count corrupted decoders.
@@ -104,6 +115,24 @@ def conventional_blast_radius() -> float:
     return 0.0  # 0 of the *other* decoders; its own bit is always lost
 
 
+def decoder_campaign_summary(reports: list[DecoderFaultReport]) -> dict:
+    """JSON-ready aggregate of a stuck-at campaign.
+
+    The shape :func:`repro.reliability.combined_reliability_report`
+    embeds, so behavioral (decoder blast radius) and physical (fabric
+    yield) results land in one machine-readable report.
+    """
+    radii = [r.blast_radius for r in reports]
+    return {
+        "faults_injected": len(reports),
+        "faults_with_corruption": sum(1 for r in reports if r.corrupted_decoders),
+        "mean_blast_radius": sum(radii) / len(radii) if radii else 0.0,
+        "max_blast_radius": max(radii, default=0.0),
+        "conventional_blast_radius": conventional_blast_radius(),
+        "reports": [r.to_dict() for r in reports],
+    }
+
+
 @dataclass
 class SoftErrorReport:
     """Outcome of a configuration-upset experiment on a device."""
@@ -112,6 +141,20 @@ class SoftErrorReport:
     detected_by_readback: int
     functionally_visible: int
     vectors_checked: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary; ``silent_corruption`` is the
+        readback-detected-but-functionally-invisible window FeRAM's
+        upset immunity closes."""
+        return {
+            "flipped_bits": self.flipped_bits,
+            "detected_by_readback": self.detected_by_readback,
+            "functionally_visible": self.functionally_visible,
+            "vectors_checked": self.vectors_checked,
+            "silent_corruption": (
+                self.detected_by_readback - self.functionally_visible
+            ),
+        }
 
 
 def inject_soft_errors(

@@ -107,24 +107,31 @@ def place(
     seed: int | np.random.Generator | None = 0,
     pinned: dict[str, Coord] | None = None,
     effort: float = 1.0,
+    forbidden: "set[Coord] | frozenset[Coord] | None" = None,
 ) -> Placement:
     """Anneal a placement for ``netlist`` on the ``params`` grid.
 
     ``pinned`` cells keep their given coordinates; ``effort`` scales the
-    move budget (1.0 ≈ VPR default for small designs).
+    move budget (1.0 ≈ VPR default for small designs).  ``forbidden``
+    tiles are never used (defective logic sites — the reliability
+    subsystem's re-place repair); an empty/absent set leaves the anneal
+    trajectory bit-identical to the pre-``forbidden`` placer, since the
+    membership test then never fires and the RNG stream is untouched.
     """
     rng = ensure_rng(seed)
     grid = Grid(params.cols, params.rows)
     pinned = dict(pinned or {})
+    forbidden = frozenset(forbidden or ())
 
     movable = [c.name for c in netlist.luts() if c.name not in pinned]
     dffs = [c.name for c in netlist.dffs() if c.name not in pinned]
     movable += dffs
     n_place = len(movable) + len(pinned)
-    if n_place > grid.n_tiles:
+    n_usable = grid.n_tiles - sum(1 for t in grid.tiles() if t in forbidden)
+    if n_place > n_usable:
         raise PlacementError(
-            f"{n_place} cells exceed {grid.n_tiles} tiles "
-            f"({params.cols}x{params.rows})"
+            f"{n_place} cells exceed {n_usable} usable tiles "
+            f"({params.cols}x{params.rows}, {len(forbidden)} forbidden)"
         )
 
     # --- initial assignment: pinned first, then row-major scan ---------- #
@@ -132,11 +139,15 @@ def place(
     location: dict[str, Coord] = {}
     for name, coord in pinned.items():
         grid.check(coord)
+        if coord in forbidden:
+            raise PlacementError(f"pinned cell {name!r} on forbidden tile {coord}")
         if coord in occupied:
             raise PlacementError(f"pinned collision at {coord}")
         occupied[coord] = name
         location[name] = coord
-    free_tiles = [t for t in grid.tiles() if t not in occupied]
+    free_tiles = [
+        t for t in grid.tiles() if t not in occupied and t not in forbidden
+    ]
     order = rng.permutation(len(free_tiles))
     for name, idx in zip(movable, order):
         t = free_tiles[int(idx)]
@@ -217,7 +228,7 @@ def place(
                 min(max(src.x + dx, 0), params.cols - 1),
                 min(max(src.y + dy, 0), params.rows - 1),
             )
-            if dst == src:
+            if dst == src or dst in forbidden:
                 continue
             other = occupied.get(dst)
             if other is not None and other in pinned:
@@ -334,6 +345,7 @@ def place_program(
     seed: int | np.random.Generator | None = 0,
     share_aware: bool = True,
     effort: float = 1.0,
+    forbidden: "set[Coord] | frozenset[Coord] | None" = None,
 ) -> list[Placement]:
     """Place every context of a multi-context program.
 
@@ -343,6 +355,8 @@ def place_program(
     repeats (single-plane) and their routing can be reused — the
     precondition for CONSTANT context patterns.  With False each context
     is placed independently (the conventional/naive baseline).
+    ``forbidden`` tiles (defective logic sites) are excluded in every
+    context.
     """
     from repro.netlist.sharing import analyze_sharing
 
@@ -369,7 +383,10 @@ def place_program(
                 # tile; keep the first and let the annealer place the other
                 pinned[cell.name] = anchors[gi]
                 used_tiles.add(anchors[gi])
-        pl = place(netlist, params, seed=rng, pinned=pinned, effort=effort)
+        pl = place(
+            netlist, params, seed=rng, pinned=pinned, effort=effort,
+            forbidden=forbidden,
+        )
         placements.append(pl)
         for cell in netlist.luts():
             gi = group_of_cell.get((c, cell.name))

@@ -1,0 +1,48 @@
+"""Defect-tolerant mapping & Monte Carlo yield subsystem.
+
+Physical defect models on the compiled routing fabric
+(:mod:`~repro.reliability.defect_map`), a defect-avoidance repair
+ladder for the mapping flow (:mod:`~repro.reliability.repair`), and
+Monte Carlo yield campaigns riding the sweep backends
+(:mod:`~repro.reliability.yield_runner`).  Complements the behavioral
+fault layer in :mod:`repro.core.defects` — that one corrupts a
+*configured* device, this one breaks the *die*.
+"""
+
+from repro.reliability.defect_map import DefectMap
+from repro.reliability.repair import (
+    GoldenMapping,
+    RepairLevel,
+    RepairOutcome,
+    build_golden,
+    dirty_net_names,
+    placement_blocked,
+    repair_mapping,
+)
+from repro.reliability.yield_runner import (
+    TrialResult,
+    YieldPoint,
+    YieldRunner,
+    YieldTrialJob,
+    combined_reliability_report,
+    evaluate_trial,
+    trial_seed,
+)
+
+__all__ = [
+    "DefectMap",
+    "GoldenMapping",
+    "RepairLevel",
+    "RepairOutcome",
+    "TrialResult",
+    "YieldPoint",
+    "YieldRunner",
+    "YieldTrialJob",
+    "build_golden",
+    "combined_reliability_report",
+    "dirty_net_names",
+    "evaluate_trial",
+    "placement_blocked",
+    "repair_mapping",
+    "trial_seed",
+]

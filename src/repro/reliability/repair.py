@@ -1,0 +1,219 @@
+"""Defect-avoidance mapping: the repair escalation ladder.
+
+Given a *golden* (defect-free) mapping of a workload and one die's
+:class:`~repro.reliability.defect_map.DefectMap`, decide whether the die
+can still run the workload — spending as little mapping effort as the
+defects demand:
+
+0. **NONE** — the golden placement avoids every dead logic site and the
+   golden routes touch no dead wire/switch: the die works as-is.
+1. **ROUTE_AROUND** — placement is fine but some routes cross defects:
+   reroute *only* the dirty nets, seeding the router's reuse bank with
+   the healthy routes (they are adopted as-is and only ripped up if the
+   detours create congestion).
+2. **REROUTE** — route-around could not converge: rip everything up and
+   reroute the whole context under the defect mask.
+3. **REPLACE** — the placement itself sits on dead logic (or rerouting
+   is hopeless around the current pin positions): re-place with the
+   dead tiles forbidden, then reroute.
+4. **FAIL** — even re-place+reroute cannot map the workload; the die is
+   scrap for this workload.
+
+The ladder is exactly the knob manufacturers trade CAD time against
+yield with, so :class:`RepairOutcome` records which rung succeeded plus
+the quality cost (wirelength / critical-path overhead vs the golden
+mapping) of surviving.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.compiled import CompiledRRG
+from repro.errors import PlacementError, RoutingError
+from repro.netlist.netlist import Netlist
+from repro.place.placer import Placement, place
+from repro.reliability.defect_map import DefectMap
+from repro.route.pathfinder import (
+    RouteResult,
+    endpoint_signature,
+    route_context_compiled,
+)
+from repro.route.timing import critical_path
+
+
+class RepairLevel(enum.IntEnum):
+    """Rungs of the escalation ladder, cheapest first."""
+
+    NONE = 0
+    ROUTE_AROUND = 1
+    REROUTE = 2
+    REPLACE = 3
+    FAIL = 4
+
+
+@dataclass
+class GoldenMapping:
+    """Defect-free reference mapping of one workload on one device."""
+
+    placement: Placement
+    routes: RouteResult
+    wirelength: int
+    critical_path: float
+
+
+@dataclass
+class RepairOutcome:
+    """What one die needed to run one workload (one Monte Carlo trial)."""
+
+    level: RepairLevel
+    routed: bool
+    wirelength: int = 0
+    critical_path: float = 0.0
+    dirty_nets: int = 0
+    n_defects: int = 0
+
+    def overheads(self, golden: GoldenMapping) -> tuple[float, float]:
+        """(wirelength, critical-path) ratios vs the golden mapping."""
+        if not self.routed:
+            return 0.0, 0.0
+        wl = self.wirelength / golden.wirelength if golden.wirelength else 1.0
+        cp = (
+            self.critical_path / golden.critical_path
+            if golden.critical_path
+            else 1.0
+        )
+        return wl, cp
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level.name.lower(),
+            "routed": self.routed,
+            "wirelength": self.wirelength,
+            "critical_path": self.critical_path,
+            "dirty_nets": self.dirty_nets,
+            "n_defects": self.n_defects,
+        }
+
+
+def build_golden(
+    c: CompiledRRG,
+    netlist: Netlist,
+    placement: Placement,
+    max_iterations: int,
+) -> GoldenMapping | None:
+    """Route the defect-free reference mapping (``None`` if unroutable).
+
+    The placement is supplied by the caller so campaigns can share one
+    anneal across defect rates and spare-width points (placement does
+    not see routing resources — the same invariant the sweep runner's
+    placement cache exploits).
+    """
+    try:
+        rr = route_context_compiled(
+            c, netlist, placement, max_iterations=max_iterations
+        )
+    except RoutingError:
+        return None
+    return GoldenMapping(
+        placement, rr, rr.wirelength(c),
+        critical_path(c, netlist, rr, placement),
+    )
+
+
+def dirty_net_names(routes: RouteResult, dm: DefectMap) -> set[str]:
+    """Nets whose golden route crosses a dead wire or dead switch."""
+    node_ok = dm.node_ok
+    bad_pairs = dm.bad_edge_pairs
+    out: set[str] = set()
+    for name, net in routes.nets.items():
+        if not all(node_ok[n] for n in net.nodes):
+            out.add(name)
+        elif bad_pairs and not bad_pairs.isdisjoint(net.edges):
+            out.add(name)
+    return out
+
+
+def placement_blocked(placement: Placement, dm: DefectMap) -> bool:
+    """True when any placed cell sits on a dead logic site."""
+    if not dm.bad_tiles:
+        return False
+    return any(coord in dm.bad_tiles for coord in placement.cells.values())
+
+
+def repair_mapping(
+    c: CompiledRRG,
+    netlist: Netlist,
+    golden: GoldenMapping,
+    dm: DefectMap,
+    seed: int = 0,
+    effort: float = 0.3,
+    max_iterations: int = 25,
+) -> RepairOutcome:
+    """Climb the repair ladder until the die maps the workload (or not).
+
+    ``seed``/``effort`` parameterise the re-place rung; routing rungs
+    inherit ``max_iterations`` so repair verdicts stay comparable with
+    sweep verdicts.
+    """
+    blocked = placement_blocked(golden.placement, dm)
+    dirty = dirty_net_names(golden.routes, dm) if not blocked else set()
+    if not blocked and not dirty:
+        return RepairOutcome(
+            RepairLevel.NONE, True, golden.wirelength, golden.critical_path,
+            0, dm.n_defects,
+        )
+
+    if not blocked:
+        # rung 1: reroute only the dirty nets; healthy routes enter the
+        # reuse bank and are adopted verbatim (rip-up only on congestion)
+        bank = {
+            endpoint_signature(net.source, net.sinks): net
+            for name, net in golden.routes.nets.items()
+            if name not in dirty
+        }
+        try:
+            rr = route_context_compiled(
+                c, netlist, golden.placement, reuse=bank, defects=dm,
+                max_iterations=max_iterations,
+            )
+            return RepairOutcome(
+                RepairLevel.ROUTE_AROUND, True, rr.wirelength(c),
+                critical_path(c, netlist, rr, golden.placement),
+                len(dirty), dm.n_defects,
+            )
+        except RoutingError:
+            pass
+        # rung 2: full rip-up-and-reroute under the defect mask
+        try:
+            rr = route_context_compiled(
+                c, netlist, golden.placement, defects=dm,
+                max_iterations=max_iterations,
+            )
+            return RepairOutcome(
+                RepairLevel.REROUTE, True, rr.wirelength(c),
+                critical_path(c, netlist, rr, golden.placement),
+                len(dirty), dm.n_defects,
+            )
+        except RoutingError:
+            pass
+
+    # rung 3: re-place off the dead tiles, then reroute
+    try:
+        pl = place(
+            netlist, dm.params, seed=seed, effort=effort,
+            forbidden=dm.bad_tiles,
+        )
+        rr = route_context_compiled(
+            c, netlist, pl, defects=dm, max_iterations=max_iterations
+        )
+        return RepairOutcome(
+            RepairLevel.REPLACE, True, rr.wirelength(c),
+            critical_path(c, netlist, rr, pl),
+            len(dirty), dm.n_defects,
+        )
+    except (PlacementError, RoutingError):
+        return RepairOutcome(
+            RepairLevel.FAIL, False, 0, 0.0, len(dirty), dm.n_defects
+        )

@@ -35,6 +35,14 @@ equivalence suite (``tests/route/test_compiled_equivalence.py``) pins
 bit-identical routes across its workloads, and the scaling bench
 asserts equal wirelength at every measured scale, so a divergence
 fails loudly rather than shipping silently.
+
+The compiled engine also accepts a
+:class:`~repro.reliability.defect_map.DefectMap` (``defects=``):
+defective wires/switches are excluded from every search and priced
+unroutable in the congestion state, which is what the defect-tolerant
+mapping and Monte Carlo yield subsystem (:mod:`repro.reliability`)
+rides on.  A clean map is normalised away up front, so defect-free
+routing takes the exact original code path.
 """
 
 from __future__ import annotations
@@ -44,8 +52,12 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.reliability.defect_map import DefectMap
 
 from repro.arch.compiled import (
     KIND_CHANX,
@@ -275,30 +287,43 @@ class _FlatCongestion:
     equivalence suite pins this).
     """
 
-    __slots__ = ("c", "usage", "history", "eff", "pres_fac", "overused_ids")
+    __slots__ = (
+        "c", "usage", "history", "eff", "pres_fac", "overused_ids",
+        "capacity_np",
+    )
 
-    def __init__(self, c: CompiledRRG) -> None:
+    def __init__(self, c: CompiledRRG, defects: "DefectMap | None" = None) -> None:
         self.c = c
         self.usage = np.zeros(c.n_nodes, dtype=np.int64)
         self.history = np.zeros(c.n_nodes, dtype=np.float64)
         self.pres_fac = PRES_FAC_FIRST
         self.overused_ids: set[int] = set()
         self.eff: list[float] = []
+        # a defect mask zeroes the capacity of dead nodes and prices
+        # them infinite (via the history term, which flows through both
+        # the whole-graph refresh and the scatter updates unchanged);
+        # without defects the capacity view *is* the substrate's array,
+        # so the defect-free cost arithmetic is untouched
+        if defects is None:
+            self.capacity_np = c.node_capacity_np
+        else:
+            bad = ~defects.node_ok
+            self.capacity_np = np.where(bad, 0, c.node_capacity_np)
+            self.history[bad] = np.inf
         self._refresh_all()
 
     def _refresh_all(self) -> None:
         """Vectorised whole-graph re-price of the effective costs."""
-        c = self.c
-        over = self.usage + 1 - c.node_capacity_np
+        over = self.usage + 1 - self.capacity_np
         np.maximum(over, 0, out=over)
-        eff = c.base_cost_np * (1.0 + self.pres_fac * over) + self.history
+        eff = self.c.base_cost_np * (1.0 + self.pres_fac * over) + self.history
         self.eff = eff.tolist()
 
     def _scatter(self, nodes: set[int], delta: int) -> None:
         idx = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
         usage = self.usage
         usage[idx] += delta
-        cap = self.c.node_capacity_np[idx]
+        cap = self.capacity_np[idx]
         used = usage[idx]
         over = np.maximum(used + 1 - cap, 0)
         vals = self.c.base_cost_np[idx] * (1.0 + self.pres_fac * over) \
@@ -330,7 +355,7 @@ class _FlatCongestion:
             self.overused_ids, dtype=np.int64, count=len(self.overused_ids)
         )
         self.history[idx] += HIST_FAC * (
-            self.usage[idx] - self.c.node_capacity_np[idx]
+            self.usage[idx] - self.capacity_np[idx]
         )
 
     def next_iteration(self) -> None:
@@ -407,6 +432,74 @@ def _dijkstra_flat(
     return None
 
 
+def _dijkstra_flat_edges(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    tree_nodes: set[int],
+    target: int,
+    scratch: RouterScratch,
+    mask: bytes | None,
+    edge_ok: bytes,
+) -> list[int] | None:
+    """:func:`_dijkstra_flat` with a per-edge usability mask.
+
+    Only used when a defect map contains *switch* (edge) defects — the
+    common healthy/wire-defect paths keep the leaner loop that never
+    materialises edge indexes.  Identical cost arithmetic and
+    tie-breaking otherwise, so an all-ones ``edge_ok`` reproduces
+    :func:`_dijkstra_flat` exactly.
+    """
+    scratch.epoch += 1
+    ep = scratch.epoch
+    dist, prev, stamp = scratch.dist, scratch.prev, scratch.stamp
+    eff = state.eff
+    estart, emid, edst = c.edge_start, c.edge_mid, c.edge_dst
+
+    heap: list[tuple[float, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for n in tree_nodes:
+        stamp[n] = ep
+        dist[n] = 0.0
+        push(heap, (0.0, n))
+    while heap:
+        d, nid = pop(heap)
+        if d > dist[nid] and stamp[nid] == ep:
+            continue
+        if nid == target:
+            path = [nid]
+            tail = nid
+            while tail not in tree_nodes:
+                tail = prev[tail]
+                path.append(tail)
+            path.reverse()
+            return path
+        lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
+        for ei in range(lo, mid):
+            if not edge_ok[ei]:
+                continue
+            nxt = edst[ei]
+            if mask is not None and not mask[nxt]:
+                continue
+            nd = d + eff[nxt]
+            if stamp[nxt] != ep or nd < dist[nxt]:
+                stamp[nxt] = ep
+                dist[nxt] = nd
+                prev[nxt] = nid
+                push(heap, (nd, nxt))
+        for ei in range(mid, hi):
+            nxt = edst[ei]
+            if nxt != target or not edge_ok[ei]:
+                continue
+            nd = d + eff[nxt]
+            if stamp[nxt] != ep or nd < dist[nxt]:
+                stamp[nxt] = ep
+                dist[nxt] = nd
+                prev[nxt] = nid
+                push(heap, (nd, nxt))
+    return None
+
+
 def _net_mask(
     c: CompiledRRG, source: int, sinks: list[int], margin: int = BBOX_MARGIN
 ) -> bytes | None:
@@ -441,14 +534,25 @@ def _route_net_flat(
     sinks: list[int],
     scratch: RouterScratch,
     mask: bytes | None,
+    base_mask: bytes | None = None,
+    edge_ok: bytes | None = None,
 ) -> RoutedNet:
+    """Route one net.  ``mask`` is the net's (defect-combined) prune
+    mask; ``base_mask`` is the defect-only floor the full-graph retry
+    must keep honouring (``None`` without defects), and ``edge_ok``
+    switches to the per-edge Dijkstra variant when switch defects
+    exist."""
+    search = _dijkstra_flat if edge_ok is None else (
+        lambda *a: _dijkstra_flat_edges(*a, edge_ok)
+    )
     net = RoutedNet(name, source, list(sinks))
     net.nodes = {source}
     for sink in sinks:
-        path = _dijkstra_flat(c, state, net.nodes, sink, scratch, mask)
-        if path is None and mask is not None:
-            # the pruned region disconnected this sink — search the full graph
-            path = _dijkstra_flat(c, state, net.nodes, sink, scratch, None)
+        path = search(c, state, net.nodes, sink, scratch, mask)
+        if path is None and mask is not base_mask:
+            # the pruned region disconnected this sink — retry without
+            # the bounding box (defective resources stay excluded)
+            path = search(c, state, net.nodes, sink, scratch, base_mask)
         if path is None:
             raise RoutingError(
                 f"no path to sink node {sink} ({c.node_name(sink)})"
@@ -468,6 +572,7 @@ def route_context_compiled(
     reuse: dict[str, RoutedNet] | None = None,
     max_iterations: int = MAX_ITERATIONS,
     scratch: RouterScratch | None = None,
+    defects: "DefectMap | None" = None,
 ) -> RouteResult:
     """Route one context's placed netlist over the compiled RRG.
 
@@ -480,13 +585,19 @@ def route_context_compiled(
     ``scratch`` buffers are leased from :data:`SCRATCH_POOL` when not
     supplied, so repeated calls (batch jobs, sweep points) reuse one
     allocation per worker instead of reallocating per call.
+
+    ``defects`` (a :class:`~repro.reliability.defect_map.DefectMap`)
+    excludes dead wires/switches from every search and prices them
+    unroutable in the congestion state.  A clean map is normalised to
+    ``None``, so the defect-free path — and its routes — is untouched.
     """
     pooled = scratch is None or scratch.n != c.n_nodes
     if pooled:
         scratch = SCRATCH_POOL.acquire(c.n_nodes)
     try:
         return _route_context_compiled(
-            c, netlist, placement, context, reuse, max_iterations, scratch
+            c, netlist, placement, context, reuse, max_iterations, scratch,
+            defects,
         )
     finally:
         if pooled:
@@ -501,9 +612,14 @@ def _route_context_compiled(
     reuse: dict[str, RoutedNet] | None,
     max_iterations: int,
     scratch: RouterScratch,
+    defects: "DefectMap | None" = None,
 ) -> RouteResult:
+    if defects is not None and defects.is_clean:
+        defects = None  # all-healthy map: take the defect-free path verbatim
     endpoints = _net_endpoints(netlist, placement, c)
-    state = _FlatCongestion(c)
+    state = _FlatCongestion(c, defects)
+    base_mask = defects.node_ok_bytes if defects is not None else None
+    edge_ok = defects.edge_ok_bytes if defects is not None else None
     routes: dict[str, RoutedNet] = {}
     # prune masks are built lazily: a reused net only needs one if it is
     # ripped up later, and mask construction is O(n_nodes) per net
@@ -511,7 +627,16 @@ def _route_context_compiled(
 
     def mask_for(name: str, source: int, sinks: list[int]) -> bytes | None:
         if name not in masks:
-            masks[name] = _net_mask(c, source, sinks)
+            m = _net_mask(c, source, sinks)
+            if base_mask is not None:
+                # fold the defect floor into the per-net prune mask; with
+                # no bounding box the combined mask IS the floor, so the
+                # full-graph retry (``mask is not base_mask``) stays off
+                m = base_mask if m is None else (
+                    np.frombuffer(m, dtype=np.uint8)
+                    & np.frombuffer(base_mask, dtype=np.uint8)
+                ).tobytes()
+            masks[name] = m
         return masks[name]
 
     for name, source, sinks in endpoints:
@@ -526,7 +651,7 @@ def _route_context_compiled(
         else:
             net = _route_net_flat(
                 c, state, name, source, sinks, scratch,
-                mask_for(name, source, sinks),
+                mask_for(name, source, sinks), base_mask, edge_ok,
             )
         routes[name] = net
         state.add(net.nodes)
@@ -546,7 +671,7 @@ def _route_context_compiled(
             state.remove(net.nodes)
             fresh = _route_net_flat(
                 c, state, name, net.source, net.sinks, scratch,
-                mask_for(name, net.source, net.sinks),
+                mask_for(name, net.source, net.sinks), base_mask, edge_ok,
             )
             routes[name] = fresh
             state.add(fresh.nodes)
@@ -565,6 +690,7 @@ def route_program_compiled(
     placements: list[Placement],
     share_aware: bool = True,
     workers: int | None = None,
+    defects: "DefectMap | None" = None,
 ) -> list[RouteResult]:
     """Route all contexts over the compiled RRG.
 
@@ -572,7 +698,9 @@ def route_program_compiled(
     adopt earlier contexts' routes (the reuse bank is a sequential
     dependency).  Without it every context is an independent problem
     and ``workers > 1`` routes them in parallel, one scratch buffer per
-    job, sharing the read-only compiled substrate.
+    job, sharing the read-only compiled substrate.  ``defects`` applies
+    one defect map to every context (manufacturing defects are a
+    property of the die, not of a configuration).
     """
     if len(placements) != program.n_contexts:
         raise RoutingError("one placement per context required")
@@ -580,7 +708,9 @@ def route_program_compiled(
     if not share_aware and workers and workers > 1 and len(jobs) > 1:
         def _one(job: tuple[int, tuple[Netlist, Placement]]) -> RouteResult:
             ci, (netlist, placement) = job
-            return route_context_compiled(c, netlist, placement, context=ci)
+            return route_context_compiled(
+                c, netlist, placement, context=ci, defects=defects
+            )
 
         with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
             return list(pool.map(_one, jobs))
@@ -592,6 +722,7 @@ def route_program_compiled(
             res = route_context_compiled(
                 c, netlist, placement, context=ci,
                 reuse=bank if share_aware else None, scratch=scratch,
+                defects=defects,
             )
             results.append(res)
             if share_aware:
@@ -786,6 +917,7 @@ def route_context(
     context: int = 0,
     reuse: dict[str, RoutedNet] | None = None,
     max_iterations: int = MAX_ITERATIONS,
+    defects: "DefectMap | None" = None,
 ) -> RouteResult:
     """Route one context's placed netlist to congestion-freedom.
 
@@ -793,14 +925,15 @@ def route_context(
     to routes from earlier contexts; matching nets adopt the previous
     route up front (they still participate in congestion resolution —
     a reused route that conflicts within this context gets ripped up,
-    losing its reuse mark).
+    losing its reuse mark).  ``defects`` excludes a defect map's dead
+    resources from every search.
 
     Accepts either graph representation; object graphs are lowered to a
     :class:`CompiledRRG` on first use (cached on the graph instance).
     """
     return route_context_compiled(
         _as_compiled(g), netlist, placement, context=context,
-        reuse=reuse, max_iterations=max_iterations,
+        reuse=reuse, max_iterations=max_iterations, defects=defects,
     )
 
 
@@ -810,13 +943,15 @@ def route_program(
     placements: list[Placement],
     share_aware: bool = True,
     workers: int | None = None,
+    defects: "DefectMap | None" = None,
 ) -> list[RouteResult]:
     """Route all contexts; with ``share_aware`` routes are reused across
     contexts whenever endpoints coincide (the proposed mapping flow).
-    ``workers`` parallelises share-unaware (independent) contexts."""
+    ``workers`` parallelises share-unaware (independent) contexts;
+    ``defects`` applies one die's defect map to every context."""
     return route_program_compiled(
         _as_compiled(g), program, placements,
-        share_aware=share_aware, workers=workers,
+        share_aware=share_aware, workers=workers, defects=defects,
     )
 
 

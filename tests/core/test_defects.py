@@ -98,3 +98,39 @@ class TestSoftErrors:
         dev = MultiContextFPGA(ArchParams(cols=3, rows=3), build_graph=False)
         with pytest.raises(SimulationError):
             inject_soft_errors(dev)
+
+
+class TestJsonBridges:
+    """The behavioral fault layer now emits JSON dicts, so its results
+    compose with the physical-defect reports of repro.reliability."""
+
+    def test_decoder_report_to_dict(self):
+        bank = small_bank()
+        report = inject_se_fault(bank, 0, FaultKind.STUCK_AT_0)
+        d = report.to_dict()
+        assert d["se_index"] == 0
+        assert d["kind"] == "sa0"
+        assert d["blast_radius"] == pytest.approx(report.blast_radius)
+
+    def test_campaign_summary_is_json_ready(self):
+        import json
+
+        from repro.core.defects import decoder_campaign_summary
+
+        bank = small_bank()
+        reports = decoder_fault_campaign(bank)
+        summary = decoder_campaign_summary(reports)
+        assert summary["faults_injected"] == len(reports)
+        assert summary["faults_with_corruption"] <= summary["faults_injected"]
+        assert 0.0 <= summary["mean_blast_radius"] <= 1.0
+        assert summary["max_blast_radius"] >= summary["mean_blast_radius"]
+        assert len(summary["reports"]) == len(reports)
+        json.dumps(summary)
+
+    def test_soft_error_report_to_dict(self):
+        from repro.core.defects import SoftErrorReport
+
+        d = SoftErrorReport(10, 10, 4, 16).to_dict()
+        assert d["flipped_bits"] == 10
+        assert d["silent_corruption"] == 6
+        assert d["vectors_checked"] == 16

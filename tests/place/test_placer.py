@@ -116,3 +116,53 @@ class TestProgramPlacement:
         pls = place_program(prog, params(), seed=2, share_aware=True, effort=0.3)
         for pl in pls[1:]:
             assert pl.cells == pls[0].cells
+
+
+class TestForbiddenTiles:
+    """Defective-logic-site avoidance (the reliability subsystem's
+    re-place repair rides this)."""
+
+    def test_forbidden_tiles_never_used(self):
+        nl = tech_map(ripple_adder(4), k=4)
+        forbidden = {Coord(2, 2), Coord(3, 1)}
+        pl = place(nl, params(), seed=0, effort=0.3, forbidden=forbidden)
+        assert forbidden.isdisjoint(pl.cells.values())
+
+    def test_empty_forbidden_is_bit_identical(self):
+        """The membership test never fires and the RNG stream is
+        untouched, so the anneal trajectory must match exactly."""
+        nl = tech_map(ripple_adder(4), k=4)
+        base = place(nl, params(), seed=7, effort=0.3)
+        guarded = place(nl, params(), seed=7, effort=0.3, forbidden=set())
+        assert base.cells == guarded.cells
+        assert base.ios == guarded.ios
+        assert base.cost == guarded.cost
+
+    def test_pinned_on_forbidden_rejected(self):
+        nl = tech_map(ripple_adder(3), k=4)
+        lut = nl.luts()[0].name
+        with pytest.raises(PlacementError):
+            place(nl, params(), seed=0,
+                  pinned={lut: Coord(1, 1)}, forbidden={Coord(1, 1)})
+
+    def test_capacity_accounts_for_forbidden(self):
+        nl = tech_map(random_dag(4, 8, 3, seed=1), k=4)
+        small = params(cols=3, rows=3)
+        n_luts = len(nl.luts()) + len(nl.dffs())
+        forbidden = {
+            Coord(x, y) for x in range(3) for y in range(3)
+        }
+        keep = 9 - n_luts + 1  # leave one tile too few
+        forbidden = set(list(forbidden)[: keep])
+        with pytest.raises(PlacementError):
+            place(nl, small, seed=0, forbidden=forbidden)
+
+    def test_place_program_threads_forbidden(self):
+        prog = mutated_program(tech_map(ripple_adder(3), k=4), 3, 0.1, seed=1)
+        forbidden = {Coord(0, 0), Coord(4, 4)}
+        pls = place_program(
+            prog, params(), seed=1, share_aware=True, effort=0.2,
+            forbidden=forbidden,
+        )
+        for pl in pls:
+            assert forbidden.isdisjoint(pl.cells.values())

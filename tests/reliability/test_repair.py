@@ -1,0 +1,161 @@
+"""Tests for the repair escalation ladder and defect-aware routing."""
+
+import pytest
+
+from repro.arch.compiled import flat_rrg_for
+from repro.arch.geometry import Coord
+from repro.arch.params import ArchParams
+from repro.netlist.techmap import tech_map
+from repro.place.placer import place
+from repro.reliability import (
+    DefectMap,
+    RepairLevel,
+    build_golden,
+    dirty_net_names,
+    placement_blocked,
+    repair_mapping,
+)
+from repro.route.pathfinder import route_context_compiled
+from repro.workloads.generators import ripple_adder
+
+PARAMS = ArchParams(cols=6, rows=6, channel_width=8, io_capacity=4)
+MAX_ITERS = 25
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    c = flat_rrg_for(PARAMS)
+    netlist = tech_map(ripple_adder(4), k=4)
+    placement = place(netlist, PARAMS, seed=0, effort=0.3)
+    golden = build_golden(c, netlist, placement, MAX_ITERS)
+    assert golden is not None
+    return c, netlist, placement, golden
+
+
+def wire_on_route(c, golden):
+    """A wire node some golden route actually uses."""
+    for net in golden.routes.nets.values():
+        for nid in sorted(net.nodes):
+            if c.is_wire(nid):
+                return nid
+    raise AssertionError("no wire in any golden route")
+
+
+class TestDefectAwareRouting:
+    def test_routes_avoid_dead_wires(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.from_defects(c, wire_nodes=[wire_on_route(c, golden)])
+        rr = route_context_compiled(
+            c, netlist, placement, max_iterations=MAX_ITERS, defects=dm
+        )
+        for net in rr.nets.values():
+            assert all(dm.node_ok[n] for n in net.nodes)
+
+    def test_routes_avoid_dead_switches(self, mapping):
+        c, netlist, placement, golden = mapping
+        # kill every switch edge some golden route traverses
+        used = set()
+        for net in golden.routes.nets.values():
+            used |= net.edges
+        src = c.edge_src_ids()
+        bad = [
+            int(e) for e in c.switch_edge_ids().tolist()
+            if (int(src[e]), c.edge_dst[e]) in used
+        ][:3]
+        assert bad
+        dm = DefectMap.from_defects(c, switch_edges=bad)
+        rr = route_context_compiled(
+            c, netlist, placement, max_iterations=MAX_ITERS, defects=dm
+        )
+        for net in rr.nets.values():
+            assert dm.bad_edge_pairs.isdisjoint(net.edges)
+
+    def test_dirty_net_detection(self, mapping):
+        c, netlist, placement, golden = mapping
+        nid = wire_on_route(c, golden)
+        dm = DefectMap.from_defects(c, wire_nodes=[nid])
+        dirty = dirty_net_names(golden.routes, dm)
+        assert dirty
+        for name in dirty:
+            assert nid in golden.routes.nets[name].nodes
+
+    def test_placement_blocked_detection(self, mapping):
+        c, netlist, placement, golden = mapping
+        used_tile = next(iter(placement.cells.values()))
+        dm = DefectMap.from_defects(c, logic_tiles=[(used_tile.x, used_tile.y)])
+        assert placement_blocked(placement, dm)
+        free = next(
+            t for t in (Coord(x, y) for x in range(PARAMS.cols)
+                        for y in range(PARAMS.rows))
+            if t not in placement.cells.values()
+        )
+        dm2 = DefectMap.from_defects(c, logic_tiles=[(free.x, free.y)])
+        assert not placement_blocked(placement, dm2)
+
+
+class TestRepairLadder:
+    def test_clean_die_needs_no_repair(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.from_defects(c)
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert out.level is RepairLevel.NONE
+        assert out.routed
+        assert out.wirelength == golden.wirelength
+        assert out.critical_path == golden.critical_path
+
+    def test_defect_off_route_needs_no_repair(self, mapping):
+        c, netlist, placement, golden = mapping
+        used = set()
+        for net in golden.routes.nets.values():
+            used |= net.nodes
+        spare = next(
+            int(n) for n in c.wire_node_ids().tolist() if n not in used
+        )
+        dm = DefectMap.from_defects(c, wire_nodes=[spare])
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert out.level is RepairLevel.NONE
+
+    def test_wire_defect_routes_around(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.from_defects(c, wire_nodes=[wire_on_route(c, golden)])
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert out.level is RepairLevel.ROUTE_AROUND
+        assert out.routed
+        assert out.dirty_nets >= 1
+
+    def test_dead_logic_site_forces_replace(self, mapping):
+        c, netlist, placement, golden = mapping
+        tile = next(iter(placement.cells.values()))
+        dm = DefectMap.from_defects(c, logic_tiles=[(tile.x, tile.y)])
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert out.level is RepairLevel.REPLACE
+        assert out.routed
+
+    def test_replace_avoids_the_dead_tile(self, mapping):
+        c, netlist, placement, golden = mapping
+        tile = next(iter(placement.cells.values()))
+        dm = DefectMap.from_defects(c, logic_tiles=[(tile.x, tile.y)])
+        pl = place(
+            netlist, PARAMS, seed=0, effort=0.3, forbidden=dm.bad_tiles
+        )
+        assert tile not in pl.cells.values()
+
+    def test_hopeless_die_fails(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.from_defects(
+            c, wire_nodes=c.wire_node_ids().tolist()
+        )
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert out.level is RepairLevel.FAIL
+        assert not out.routed
+
+    def test_outcome_overheads(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.from_defects(c, wire_nodes=[wire_on_route(c, golden)])
+        out = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        wl, cp = out.overheads(golden)
+        assert wl >= 0.9  # a detour can only cost wirelength (tiny slack
+        assert cp > 0.0   # for equal-length alternates)
+        d = out.to_dict()
+        assert d["level"] == out.level.name.lower()
+        assert d["routed"] is True

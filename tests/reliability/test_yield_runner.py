@@ -1,0 +1,151 @@
+"""Tests for the Monte Carlo yield campaigns."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.netlist.techmap import tech_map
+from repro.reliability import (
+    YieldPoint,
+    YieldRunner,
+    combined_reliability_report,
+    trial_seed,
+)
+from repro.workloads.generators import ripple_adder
+
+PARAMS = ArchParams(cols=5, rows=5, channel_width=7, io_capacity=4)
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return tech_map(ripple_adder(3), k=4)
+
+
+class TestTrialSeeds:
+    def test_deterministic(self):
+        assert trial_seed(0, 1, 2) == trial_seed(0, 1, 2)
+
+    def test_distinct_across_indices(self):
+        seeds = {trial_seed(0, p, t) for p in range(4) for t in range(16)}
+        assert len(seeds) == 64
+
+
+class TestCampaign:
+    def test_zero_rate_yields_everything(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.0], TRIALS, seed=3
+        )
+        assert pt.yield_fraction == 1.0
+        assert pt.repair_histogram["none"] == TRIALS
+        assert pt.mean_wirelength_overhead == 1.0
+
+    def test_histogram_sums_to_trials(self, netlist):
+        runner = YieldRunner()
+        points = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.02, 0.1], TRIALS, seed=3
+        )
+        for pt in points:
+            assert sum(pt.repair_histogram.values()) == TRIALS
+            assert 0.0 <= pt.yield_fraction <= 1.0
+
+    def test_yield_monotone_in_defect_rate(self, netlist):
+        """Smoke for the first-order physics: more defects, fewer good
+        dies (deterministic for the pinned seed/rate grid)."""
+        runner = YieldRunner()
+        points = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.0, 0.05, 0.4], TRIALS, seed=3
+        )
+        fractions = [pt.yield_fraction for pt in points]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == 1.0
+        assert fractions[-1] < 1.0
+
+    def test_mean_defects_grow_with_rate(self, netlist):
+        runner = YieldRunner()
+        points = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.01, 0.2], TRIALS, seed=3
+        )
+        assert points[0].mean_defects < points[1].mean_defects
+
+    def test_backends_identical_rows(self, netlist):
+        rows = {}
+        for backend in ("sequential", "thread", "process"):
+            runner = YieldRunner(backend=backend, workers=2)
+            pts = runner.run_campaign(
+                netlist, "adder", PARAMS, [0.01, 0.08], 3, seed=5
+            )
+            rows[backend] = [pt.to_dict() for pt in pts]
+        assert rows["sequential"] == rows["thread"]
+        assert rows["sequential"] == rows["process"]
+
+    def test_clustered_model_runs(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.05], TRIALS, model="clustered",
+            seed=3,
+        )
+        assert pt.model == "clustered"
+        assert sum(pt.repair_histogram.values()) == TRIALS
+
+    def test_unroutable_golden_reports_zero_yield(self, netlist):
+        tight = PARAMS.with_(channel_width=1)
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", tight, [0.01], TRIALS, seed=3
+        )
+        assert pt.yield_fraction == 0.0
+        assert not pt.golden_routed
+        assert pt.repair_histogram["fail"] == TRIALS
+
+    def test_rejects_unknown_model(self, netlist):
+        runner = YieldRunner()
+        with pytest.raises(ValueError):
+            runner.run_campaign(netlist, "adder", PARAMS, [0.1], 2,
+                                model="bogus")
+
+
+class TestSpareWidthCurve:
+    def test_spares_annotate_and_help(self, netlist):
+        runner = YieldRunner()
+        points = runner.spare_width_curve(
+            netlist, "adder", PARAMS, [0, 3], rate=0.1, trials=TRIALS,
+            seed=3,
+        )
+        assert [pt.spare_tracks for pt in points] == [0, 3]
+        assert points[1].channel_width == PARAMS.channel_width + 3
+        # spare routing can only help (deterministic for pinned seeds)
+        assert points[1].yield_fraction >= points[0].yield_fraction
+
+    def test_placements_shared_across_widths(self, netlist):
+        runner = YieldRunner()
+        runner.spare_width_curve(
+            netlist, "adder", PARAMS, [0, 1], rate=0.01, trials=2, seed=3
+        )
+        # channel width is invisible to the placer: one cached anneal
+        assert len(runner._runner._placements) == 1
+
+
+class TestSerialization:
+    def test_yield_point_round_trip(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.05], 3, seed=3
+        )
+        again = YieldPoint.from_dict(pt.to_dict())
+        assert again.to_dict() == pt.to_dict()
+
+    def test_combined_report_composes_both_layers(self, netlist):
+        import json
+
+        from repro.core.defects import SoftErrorReport
+
+        runner = YieldRunner()
+        pts = runner.run_campaign(netlist, "adder", PARAMS, [0.02], 2, seed=3)
+        report = combined_reliability_report(
+            yield_points=pts,
+            soft_error=SoftErrorReport(8, 8, 5, 16),
+        )
+        assert len(report["physical_yield"]) == 1
+        assert report["soft_errors"]["silent_corruption"] == 3
+        json.dumps(report)  # fully JSON-serializable

@@ -103,6 +103,49 @@ class TestRoutedEquivalence:
                     device.verify_against_source(c, n_vectors=8, seed=9)
 
 
+class TestDefectMaskNeutrality:
+    """The reliability gate: an all-healthy DefectMap must not perturb
+    routing — bit-identical routes on the same pinned suite."""
+
+    def test_empty_mask_routes_bit_identical(self, cases):
+        from repro.arch.compiled import compile_rrg as _compile
+        from repro.reliability import DefectMap
+
+        for name, params, prog, pls, g, _legacy, compiled in cases:
+            c = _compile(g)
+            dm = DefectMap.sample(c, 0.0, seed=0)
+            assert dm.is_clean
+            with_mask = route_program_compiled(
+                c, prog, pls, share_aware=True, defects=dm
+            )
+            for a, b in zip(compiled, with_mask):
+                assert set(a.nets) == set(b.nets), name
+                for net_name in a.nets:
+                    assert a.nets[net_name].nodes == b.nets[net_name].nodes, (
+                        f"{name}:{net_name}"
+                    )
+                    assert a.nets[net_name].edges == b.nets[net_name].edges, (
+                        f"{name}:{net_name}"
+                    )
+                assert a.iterations == b.iterations, name
+
+    def test_defective_resources_never_used(self, cases):
+        from repro.arch.compiled import compile_rrg as _compile
+        from repro.reliability import DefectMap
+
+        name, params, prog, pls, g, _legacy, _compiled = cases[0]
+        c = _compile(g)
+        dm = DefectMap.sample(c, 0.02, seed=12, logic_rate=0.0)
+        assert not dm.is_clean
+        results = route_program_compiled(
+            c, prog, pls, share_aware=True, defects=dm
+        )
+        for rr in results:
+            for net in rr.nets.values():
+                assert all(dm.node_ok[n] for n in net.nodes), name
+                assert dm.bad_edge_pairs.isdisjoint(net.edges), name
+
+
 class TestAdapters:
     def test_route_program_accepts_object_graph(self):
         """Public adapter lowers object graphs and matches the legacy path."""

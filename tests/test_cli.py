@@ -152,6 +152,57 @@ class TestSweep:
         assert "double-fraction" in capsys.readouterr().out
 
 
+class TestYield:
+    def test_defect_rate_table(self, capsys):
+        assert main(["yield", "--grid", "5", "--width", "7",
+                     "--defect-rate", "0.0,0.05", "--trials", "3",
+                     "--effort", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte Carlo yield" in out
+        assert "defect rate" in out
+
+    def test_json_output(self, capsys):
+        assert main(["yield", "--grid", "5", "--width", "7",
+                     "--defect-rate", "0.0,0.05", "--trials", "3",
+                     "--effort", "0.2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaign"] == "defect-rate"
+        assert [pt["defect_rate"] for pt in data["points"]] == [0.0, 0.05]
+        assert data["points"][0]["yield_fraction"] == 1.0
+        for pt in data["points"]:
+            assert sum(pt["repair_histogram"].values()) == 3
+
+    def test_spare_curve_json(self, capsys):
+        assert main(["yield", "--grid", "5", "--width", "7",
+                     "--defect-rate", "0.05", "--spare", "0,2",
+                     "--trials", "3", "--effort", "0.2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaign"] == "spare-width"
+        assert [pt["spare_tracks"] for pt in data["points"]] == [0, 2]
+        assert [pt["channel_width"] for pt in data["points"]] == [7, 9]
+
+    def test_process_backend_matches_sequential(self, capsys):
+        args = ["yield", "--grid", "5", "--width", "7",
+                "--defect-rate", "0.03", "--trials", "3",
+                "--effort", "0.2", "--json"]
+        assert main(args) == 0
+        seq = json.loads(capsys.readouterr().out)
+        assert main(args + ["--backend", "process", "--workers", "2"]) == 0
+        proc = json.loads(capsys.readouterr().out)
+        assert seq["points"] == proc["points"]
+
+    def test_bad_rate_rejected(self, capsys):
+        assert main(["yield", "--defect-rate", "abc"]) == 2
+
+    def test_clustered_model(self, capsys):
+        assert main(["yield", "--grid", "5", "--width", "7",
+                     "--defect-rate", "0.05", "--trials", "3",
+                     "--model", "clustered", "--effort", "0.2",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model"] == "clustered"
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

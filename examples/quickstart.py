@@ -1,30 +1,35 @@
 #!/usr/bin/env python
 """Quickstart: the reconfigurable context memory in five minutes.
 
-Walks the paper's core ideas end to end:
+Walks the paper's core ideas end to end, through the public
+:mod:`repro.api` facade wherever a flow is involved:
 
 1. context patterns and their three hardware classes (Figs. 3-5),
 2. synthesizing a pattern decoder from switch elements (Fig. 9),
-3. mapping a small two-context program onto a behavioral MC-FPGA,
+3. mapping a small two-context program onto a behavioral MC-FPGA
+   (``Session.map_program``),
 4. single-cycle context switching with flip accounting,
-5. the headline area comparison (Section 5).
+5. the headline area comparison via ``Session.run(AreaRequest())``,
+6. a whole declarative campaign via ``Session.run_spec``.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    AreaModel,
     ContextPattern,
     DecoderBank,
     MultiContextFPGA,
-    Technology,
     class_census,
 )
-from repro.analysis.experiments import map_program
+from repro.api import AreaRequest, ExperimentSpec, Session
 from repro.core.decoder_synth import synthesize_single
 from repro.netlist.synth import synthesize
 from repro.netlist.techmap import tech_map
 from repro.workloads.multicontext import mutated_program
+
+#: One session for the whole walkthrough: every step shares its
+#: compiled-substrate, placement and netlist caches.
+SESSION = Session()
 
 
 def step1_patterns() -> None:
@@ -69,7 +74,7 @@ def step3_map_program() -> MultiContextFPGA:
         k=4,
     )
     program = mutated_program(base, n_contexts=2, fraction=0.25, seed=1)
-    mapped = map_program(program, share_aware=True, seed=1)
+    mapped = SESSION.map_program(program, share_aware=True, seed=1)
     print(f"grid: {mapped.params.cols}x{mapped.params.rows}, "
           f"LUTs per context: {[len(nl.luts()) for nl in program.contexts]}")
     print(f"route reuse across contexts: {mapped.reuse_fraction():.0%}")
@@ -105,13 +110,37 @@ def step4_context_switch(device: MultiContextFPGA) -> None:
 
 def step5_area() -> None:
     print("=" * 64)
-    print("5. The Section-5 area comparison")
+    print("5. The Section-5 area comparison (Session.run)")
     print("=" * 64)
-    model = AreaModel()
-    for tech in (Technology.CMOS, Technology.FEPG):
-        cmp = model.paper_operating_point(tech=tech)
-        print(f"  {tech.value:5s}: proposed / conventional = {cmp.ratio:.1%} "
-              f"(paper: {'45%' if tech is Technology.CMOS else '37%'})")
+    result = SESSION.run(AreaRequest())
+    for name, paper in (("cmos", "45%"), ("fepg", "37%")):
+        ratio = result.technologies[name]["ratio"]
+        print(f"  {name:5s}: proposed / conventional = {ratio:.1%} "
+              f"(paper: {paper})")
+    print()
+
+
+def step6_spec() -> None:
+    print("=" * 64)
+    print("6. A declarative campaign (Session.run_spec)")
+    print("=" * 64)
+    spec = ExperimentSpec.from_dict({
+        "schema_version": 1,
+        "name": "quickstart",
+        "workload": "adder",
+        "arch": {"grid": 5, "width": 7},
+        "execution": {"backend": "sequential", "seed": 0, "effort": 0.2},
+        "stages": [
+            {"stage": "map"},
+            {"stage": "sweep", "what": "channel-width", "values": [6, 8]},
+            {"stage": "report"},
+        ],
+    })
+    result = SESSION.run_spec(spec)
+    print(f"spec {result.name!r} ran {len(result.stages)} stages; "
+          f"report: {result.stages[-1].summary}")
+    print("(spec files live in examples/specs/ — run them with "
+          "`python -m repro run examples/specs/ci_smoke.json`)")
     print()
 
 
@@ -121,4 +150,5 @@ if __name__ == "__main__":
     device = step3_map_program()
     step4_context_switch(device)
     step5_area()
+    step6_spec()
     print("done.")

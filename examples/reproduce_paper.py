@@ -4,21 +4,53 @@
 The fastest possible answer to "does this reproduction hold up?": a
 scorecard over every quantitative claim — pattern census, Fig. 9's SE
 count, Figs. 13/14's packing, Section 5's 45%/37% — plus an end-to-end
-mapped-workload check.  The full evidence trail lives in the benchmark
-harness (``pytest benchmarks/ --benchmark-only -s``) and EXPERIMENTS.md.
+campaign executed through the public :mod:`repro.api` facade: the
+``examples/specs/paper_headline.json`` :class:`~repro.api.ExperimentSpec`
+maps the CRC workload, sweeps the change-rate sensitivity curve and
+runs a small clustered-defect yield campaign, streaming rows as they
+complete.  The full evidence trail lives in the benchmark harness
+(``pytest benchmarks/ --benchmark-only -s``) and EXPERIMENTS.md.
 
 Run:  python examples/reproduce_paper.py
 """
 
+import os
 import sys
 
 from repro.analysis.summary import reproduce_paper
+from repro.api import ExperimentSpec, Session
+
+SPEC_PATH = os.path.join(
+    os.path.dirname(__file__), "specs", "paper_headline.json"
+)
+
+
+def run_headline_spec() -> None:
+    """Stream the headline campaign spec through one Session."""
+    spec = ExperimentSpec.from_file(SPEC_PATH)
+    session = Session()
+    print(f"running spec {spec.name!r} (workload {spec.workload}) ...")
+    for stage, item in session.stream_spec(spec):
+        label = type(item).__name__
+        print(f"  [{stage}] {label}: ", end="")
+        if hasattr(item, "yield_fraction"):
+            print(f"rate={item.defect_rate} yield={item.yield_fraction:.1%}")
+        elif hasattr(item, "cmos_ratio"):
+            print(f"{item.axis}={item.value} cmos={item.cmos_ratio:.1%}")
+        elif hasattr(item, "verified"):
+            print(f"verified={item.verified} wirelength={item.wirelength}")
+        elif hasattr(item, "summary"):
+            print(item.summary)
+        else:
+            print(item)
+    print()
 
 
 def main() -> int:
     report = reproduce_paper(include_measured_flow=True)
     print(report.render())
     print()
+    run_headline_spec()
     if report.all_passed:
         print("all reproduction checks passed.")
         return 0

@@ -35,6 +35,11 @@ The package splits into:
   (``map_batch(programs, params, workers=N)`` shares one compiled RRG
   across jobs and routes independent contexts in parallel), and the
   experiment drivers behind every benchmark.
+- :mod:`repro.api` — the public facade: typed requests/results with a
+  versioned JSON contract, the :class:`~repro.api.Session`
+  (``run``/``stream``/``run_spec``) and declarative
+  :class:`~repro.api.ExperimentSpec` campaigns.  External harnesses
+  and the CLI both ride this surface.
 
 Picking ``workers``: share-aware routing is sequential across contexts
 by construction (later contexts adopt earlier routes), so parallelism

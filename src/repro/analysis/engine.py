@@ -142,6 +142,60 @@ class MappingEngine:
         )
 
     # -- batch -------------------------------------------------------------- #
+    def iter_map_batch(
+        self,
+        programs: Sequence,
+        params: ArchParams | None = None,
+        share_aware: bool = True,
+        seed: int = 0,
+        effort: float = 0.5,
+        workers: int | None = None,
+        backend: str = "thread",
+    ):
+        """Streaming form of :meth:`map_batch`: yield each
+        :class:`~repro.analysis.experiments.MappedProgram` as soon as it
+        (and everything before it) is done, in ``programs`` order.
+
+        Parallel backends submit the whole batch up front, so the rows
+        a streaming consumer sees are exactly what :meth:`map_batch`
+        would collect — just earlier.
+        """
+        if backend not in _BATCH_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BATCH_BACKENDS}, got {backend!r}"
+            )
+        if params is not None:
+            # warm the cache once so parallel jobs never race a build
+            self.compiled(params)
+        n = workers if workers is not None else self.workers
+        if n is None and backend == "process":
+            # an explicit process request defaults to all cores (matching
+            # SweepRunner) rather than silently degrading to sequential
+            n = os.cpu_count() or 1
+        jobs = list(programs)
+        if not n or n <= 1 or len(jobs) <= 1:
+            for p in jobs:
+                yield self.map(p, params, share_aware=share_aware,
+                               seed=seed, effort=effort)
+            return
+        if backend == "process":
+            yield from self._iter_map_batch_process(
+                jobs, params, share_aware, seed, effort, n
+            )
+            return
+        pool = ThreadPoolExecutor(max_workers=min(n, len(jobs)))
+        try:
+            futures = [
+                pool.submit(self.map, p, params, share_aware=share_aware,
+                            seed=seed, effort=effort)
+                for p in jobs
+            ]
+            for f in futures:
+                yield f.result()
+        finally:
+            # don't block an abandoned generator on the rest of the batch
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def map_batch(
         self,
         programs: Sequence,
@@ -166,41 +220,15 @@ class MappingEngine:
         failing job raises its error at collection, after all jobs
         were submitted.
         """
-        if backend not in _BATCH_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {_BATCH_BACKENDS}, got {backend!r}"
-            )
-        if params is not None:
-            # warm the cache once so parallel jobs never race a build
-            self.compiled(params)
-        n = workers if workers is not None else self.workers
-        if n is None and backend == "process":
-            # an explicit process request defaults to all cores (matching
-            # SweepRunner) rather than silently degrading to sequential
-            n = os.cpu_count() or 1
-        jobs = list(programs)
-        if not n or n <= 1 or len(jobs) <= 1:
-            return [
-                self.map(p, params, share_aware=share_aware,
-                         seed=seed, effort=effort)
-                for p in jobs
-            ]
-        if backend == "process":
-            return self._map_batch_process(
-                jobs, params, share_aware, seed, effort, n
-            )
-        with ThreadPoolExecutor(max_workers=min(n, len(jobs))) as pool:
-            futures = [
-                pool.submit(self.map, p, params, share_aware=share_aware,
-                            seed=seed, effort=effort)
-                for p in jobs
-            ]
-            return [f.result() for f in futures]
+        return list(self.iter_map_batch(
+            programs, params, share_aware=share_aware, seed=seed,
+            effort=effort, workers=workers, backend=backend,
+        ))
 
-    def _map_batch_process(
+    def _iter_map_batch_process(
         self, jobs: list, params: ArchParams | None, share_aware: bool,
         seed: int, effort: float, n: int,
-    ) -> list:
+    ):
         """Process-pool batch: ship jobs out, re-bind results locally.
 
         Workers return ``(fitted params, placements, routes)``; the
@@ -210,21 +238,23 @@ class MappingEngine:
         """
         from repro.analysis.experiments import MappedProgram
 
-        with ProcessPoolExecutor(max_workers=min(n, len(jobs))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(n, len(jobs)))
+        try:
             futures = [
                 pool.submit(_process_map_job, p, params, share_aware,
                             seed, effort)
                 for p in jobs
             ]
-            out = []
             for program, fut in zip(jobs, futures):
                 fitted, placements, routes = fut.result()
                 compiled = self.compiled(fitted)
-                out.append(MappedProgram(
+                yield MappedProgram(
                     program, fitted, placements, routes,
                     compiled.source, share_aware,
-                ))
-            return out
+                )
+        finally:
+            # don't block an abandoned generator on the rest of the batch
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 #: Shared default engine — what the module-level convenience APIs use,

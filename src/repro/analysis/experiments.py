@@ -80,14 +80,16 @@ def map_program(
 ) -> MappedProgram:
     """Place and route every context of ``program``.
 
-    Thin adapter over the shared :class:`~repro.analysis.engine.MappingEngine`,
-    so repeated calls with equal ``params`` share one compiled routing
-    substrate.  An explicit ``rrg`` (object graph or compiled) bypasses
-    the cache.
+    Deprecation shim: kept so historical imports keep working, but the
+    implementation is :meth:`repro.api.Session.map_program` on the
+    process-wide default session — new code should hold a
+    :class:`~repro.api.Session` and call that directly.  Repeated calls
+    with equal ``params`` share one compiled routing substrate; an
+    explicit ``rrg`` (object graph or compiled) bypasses the cache.
     """
-    from repro.analysis.engine import DEFAULT_ENGINE
+    from repro.api.session import default_session
 
-    return DEFAULT_ENGINE.map(
+    return default_session().map_program(
         program, params, share_aware=share_aware, seed=seed,
         effort=effort, rrg=rrg,
     )

@@ -137,6 +137,15 @@ class AreaPoint:
             "fepg_ratio": self.fepg_ratio,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "AreaPoint":
+        return cls(
+            axis=d["axis"],
+            value=d["value"],
+            cmos_ratio=d["cmos_ratio"],
+            fepg_ratio=d["fepg_ratio"],
+        )
+
 
 def _placement_key(job: SweepJob) -> tuple:
     """Cache key over exactly the inputs the placer reads.
@@ -234,6 +243,41 @@ class SweepRunner:
             self._placements[key] = pl
         return pl
 
+    def iter_items(self, fn, items: Sequence):
+        """Execute ``fn`` over ``items``, yielding results incrementally.
+
+        Results keep the order of ``items`` on every backend: parallel
+        backends submit the whole grid up front and yield each result as
+        soon as it (and everything before it) is done, so streaming
+        consumers see exactly the rows :meth:`map_items` would collect —
+        bit-identical, just earlier.  A failing item raises its error
+        when its slot is reached.  ``fn`` must be a picklable top-level
+        callable for the process backend.
+        """
+        items = list(items)
+        if not items:
+            return
+        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        n = min(n, len(items))
+        if self.backend == "sequential" or n <= 1:
+            for it in items:
+                yield fn(it)
+            return
+        pool_cls = (
+            ThreadPoolExecutor if self.backend == "thread"
+            else ProcessPoolExecutor
+        )
+        pool = pool_cls(max_workers=n)
+        try:
+            futures = [pool.submit(fn, it) for it in items]
+            for f in futures:
+                yield f.result()
+        finally:
+            # an abandoned generator (consumer stopped early) must not
+            # block on the rest of the grid: drop pending work instead
+            # of the `with` block's shutdown(wait=True)
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def map_items(self, fn, items: Sequence) -> list:
         """Execute ``fn`` over ``items`` on the configured backend.
 
@@ -244,39 +288,32 @@ class SweepRunner:
         raises its error at collection.  ``fn`` must be a picklable
         top-level callable for the process backend.
         """
-        items = list(items)
-        if not items:
-            return []
-        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        n = min(n, len(items))
-        if self.backend == "sequential" or n <= 1:
-            return [fn(it) for it in items]
-        pool_cls = (
-            ThreadPoolExecutor if self.backend == "thread"
-            else ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=n) as pool:
-            futures = [pool.submit(fn, it) for it in items]
-            return [f.result() for f in futures]
+        return list(self.iter_items(fn, items))
 
-    def run(self, jobs: Sequence[SweepJob]) -> list[SweepPoint]:
-        """Evaluate every job; results keep the order of ``jobs``."""
+    def iter_run(self, jobs: Sequence[SweepJob]):
+        """Evaluate every job, yielding each :class:`SweepPoint` as it
+        completes (in job order) — the streaming form of :meth:`run`."""
         jobs = list(jobs)
         if not jobs:
-            return []
+            return
         # placements are computed (and deduplicated) up front in the
         # parent: points differing only in routing resources share one
         # anneal, and worker processes receive ready placements
         pairs = [(job, self.placement_for(job)) for job in jobs]
         n = self.workers if self.workers is not None else (os.cpu_count() or 1)
         if self.backend == "process" and min(n, len(pairs)) > 1:
-            return self.map_items(_evaluate_shipped, pairs)
+            yield from self.iter_items(_evaluate_shipped, pairs)
+            return
         # sequential/thread (and the process single-worker fallback)
         # evaluate through the runner's own engine, as before map_items
         engine = self.engine
-        return self.map_items(
+        yield from self.iter_items(
             lambda pair: evaluate_point(pair[0], pair[1], engine), pairs
         )
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[SweepPoint]:
+        """Evaluate every job; results keep the order of ``jobs``."""
+        return list(self.iter_run(jobs))
 
 
 # ------------------------------------------------------------------------- #

@@ -1,0 +1,380 @@
+"""Typed, validated, JSON-serializable requests for the public api.
+
+One frozen dataclass per flow the system runs — :class:`MapRequest`,
+:class:`BatchRequest`, :class:`SweepRequest`, :class:`YieldRequest`,
+:class:`AreaRequest`, :class:`ReorderRequest` — each carrying a shared
+:class:`ExecutionConfig` (backend / workers / seed / effort) and a
+versioned ``to_dict()``/``from_dict()`` pair (see
+:mod:`repro.api.serialize`).  Validation happens at construction and
+raises :class:`~repro.errors.RequestError`, so a bad backend name or a
+negative worker count fails before any work is scheduled — uniformly,
+where the underlying runners used to each spell their own conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.api.serialize import check, stamp
+from repro.api.workloads import WORKLOADS, check_workload
+from repro.errors import RequestError
+
+#: Backends every grid-shaped request understands.  ``sequential`` is
+#: in-process and ordered; ``thread``/``process`` fan out over pools
+#: (``workers=None`` = all cores on both — the facade normalizes the
+#: historical drift where some runners read ``None`` as "sequential").
+BACKENDS = ("sequential", "thread", "process")
+
+#: Sweep axes (the CLI spelling; analytic axes involve no routing).
+SWEEP_AXES = ("change-rate", "contexts", "channel-width",
+              "double-fraction", "fc")
+ANALYTIC_AXES = ("change-rate", "contexts")
+
+#: Spatial defect models a yield campaign accepts.
+YIELD_MODELS = ("uniform", "clustered")
+
+#: Default sweep values per axis (``values=None`` resolves to these).
+SWEEP_DEFAULTS = {
+    "change-rate": (0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5),
+    "contexts": (2, 4, 8, 16),
+    "channel-width": (4, 6, 8, 10, 12),
+    "double-fraction": (0.0, 0.25, 0.5, 0.75),
+    "fc": (1.0, 0.5, 0.3),
+}
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a request executes: backend, pool size, seed, effort.
+
+    ``effort=None`` means "the flow's historical default" (0.5 for
+    mapping flows, 0.3 for sweep/yield points), so requests that don't
+    care inherit exactly the behavior the subsystems always had.
+    """
+
+    backend: str = "sequential"
+    workers: int | None = None
+    seed: int = 0
+    effort: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise RequestError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise RequestError(
+                f"workers must be None or a positive int, got {self.workers!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise RequestError(f"seed must be an int, got {self.seed!r}")
+        if self.effort is not None and not 0.0 < self.effort <= 1.0:
+            raise RequestError(
+                f"effort must be in (0, 1] or None, got {self.effort!r}"
+            )
+
+    def effort_or(self, default: float) -> float:
+        """The configured effort, or the calling flow's default."""
+        return self.effort if self.effort is not None else default
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "seed": self.seed,
+            "effort": self.effort,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExecutionConfig":
+        unknown = set(d) - {"backend", "workers", "seed", "effort"}
+        if unknown:
+            # a typo'd key must not silently run with defaults
+            raise RequestError(
+                f"unknown execution keys {sorted(unknown)} "
+                f"(known: backend, workers, seed, effort)"
+            )
+        return cls(
+            backend=d.get("backend", "sequential"),
+            workers=d.get("workers"),
+            seed=d.get("seed", 0),
+            effort=d.get("effort"),
+        )
+
+
+class _Request:
+    """Shared (de)serialization plumbing for the request types.
+
+    Subclasses set ``TYPE_TAG``; fields named in ``_TUPLE_FIELDS`` are
+    rebuilt as tuples on the way in (JSON only has lists), and the
+    ``execution`` field round-trips through :class:`ExecutionConfig`.
+    """
+
+    TYPE_TAG = ""
+    _TUPLE_FIELDS: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        payload = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name == "execution":
+                v = v.to_dict()
+            elif isinstance(v, tuple):
+                v = list(v)
+            payload[f.name] = v
+        return stamp(self.TYPE_TAG, payload)
+
+    @classmethod
+    def from_dict(cls, d: dict):
+        check(d, cls.TYPE_TAG)
+        kwargs = {}
+        for f in fields(cls):
+            if f.name not in d:
+                continue
+            v = d[f.name]
+            if f.name == "execution":
+                v = ExecutionConfig.from_dict(v or {})
+            elif f.name in cls._TUPLE_FIELDS and v is not None:
+                v = tuple(v)
+            kwargs[f.name] = v
+        try:
+            return cls(**kwargs)
+        except RequestError:
+            raise
+        except TypeError as exc:
+            raise RequestError(
+                f"malformed {cls.TYPE_TAG} payload: {exc}"
+            ) from exc
+
+
+def _check_contexts(n: int) -> None:
+    if not isinstance(n, int) or n < 1:
+        raise RequestError(f"contexts must be a positive int, got {n!r}")
+
+
+def _check_fraction(name: str, v: float) -> None:
+    if not 0.0 <= v <= 1.0:
+        raise RequestError(f"{name} must be in [0, 1], got {v!r}")
+
+
+@dataclass(frozen=True)
+class MapRequest(_Request):
+    """Map one named workload end to end (place + route + verify)."""
+
+    TYPE_TAG = "map_request"
+
+    workload: str = "adder"
+    contexts: int = 4
+    mutation: float = 0.05
+    share_aware: bool = True
+    verify: bool = True
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        check_workload(self.workload)
+        _check_contexts(self.contexts)
+        _check_fraction("mutation", self.mutation)
+
+
+@dataclass(frozen=True)
+class BatchRequest(_Request):
+    """Map several named workloads through the shared engine."""
+
+    TYPE_TAG = "batch_request"
+    _TUPLE_FIELDS = ("workloads",)
+
+    workloads: tuple[str, ...] = ("adder", "crc")
+    contexts: int = 4
+    mutation: float = 0.05
+    share_aware: bool = True
+    verify: bool = True
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise RequestError("workloads must name at least one workload")
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        bad = [w for w in self.workloads if w not in WORKLOADS]
+        if bad:
+            raise RequestError(
+                f"unknown workloads {bad!r} "
+                f"(choose from {', '.join(WORKLOADS)})"
+            )
+        _check_contexts(self.contexts)
+        _check_fraction("mutation", self.mutation)
+
+
+@dataclass(frozen=True)
+class SweepRequest(_Request):
+    """One design-space or sensitivity sweep.
+
+    ``what`` in :data:`ANALYTIC_AXES` evaluates the area model (no
+    routing, so ``workload``/``grid``/``width`` and the execution
+    backend are ignored); the routing axes place once per
+    placement-relevant configuration and route a grid of device
+    variants.
+    """
+
+    TYPE_TAG = "sweep_request"
+    _TUPLE_FIELDS = ("values",)
+
+    what: str = "change-rate"
+    workload: str = "adder"
+    grid: int = 6
+    width: int = 10
+    values: tuple[float, ...] | None = None
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        if self.what not in SWEEP_AXES:
+            raise RequestError(
+                f"what must be one of {SWEEP_AXES}, got {self.what!r}"
+            )
+        check_workload(self.workload)
+        if self.grid < 1:
+            raise RequestError(f"grid must be >= 1, got {self.grid!r}")
+        if self.width < 1:
+            raise RequestError(f"width must be >= 1, got {self.width!r}")
+        if self.values is not None:
+            if not self.values:
+                raise RequestError("values must be None or non-empty")
+            for v in self.values:
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    raise RequestError(
+                        f"sweep values must be numbers, got {v!r}"
+                    )
+                if self.what in ("contexts", "channel-width") \
+                        and float(v) != int(v):
+                    raise RequestError(
+                        f"{self.what} values must be integers, got {v!r}"
+                    )
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def analytic(self) -> bool:
+        return self.what in ANALYTIC_AXES
+
+    def resolved_values(self) -> list:
+        """The requested sweep values, or the axis defaults."""
+        vals = self.values if self.values is not None \
+            else SWEEP_DEFAULTS[self.what]
+        cast = int if self.what in ("contexts", "channel-width") else float
+        return [cast(v) for v in vals]
+
+
+@dataclass(frozen=True)
+class YieldRequest(_Request):
+    """Monte Carlo manufacturing-yield campaign over fabric defects.
+
+    ``spares`` switches the campaign from a defect-rate sweep to a
+    yield-vs-spare-track curve at ``rates[0]``.
+    """
+
+    TYPE_TAG = "yield_request"
+    _TUPLE_FIELDS = ("rates", "spares")
+
+    workload: str = "adder"
+    grid: int = 6
+    width: int = 8
+    rates: tuple[float, ...] = (0.0, 0.01, 0.03)
+    trials: int = 8
+    model: str = "uniform"
+    spares: tuple[int, ...] | None = None
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        check_workload(self.workload)
+        if self.grid < 1:
+            raise RequestError(f"grid must be >= 1, got {self.grid!r}")
+        if self.width < 1:
+            raise RequestError(f"width must be >= 1, got {self.width!r}")
+        if not self.rates:
+            raise RequestError("rates must name at least one defect rate")
+        object.__setattr__(
+            self, "rates", tuple(float(r) for r in self.rates)
+        )
+        if any(r < 0 for r in self.rates):
+            raise RequestError(f"defect rates must be >= 0, got {self.rates}")
+        if self.trials < 0:
+            raise RequestError(f"trials must be >= 0, got {self.trials!r}")
+        if self.model not in YIELD_MODELS:
+            raise RequestError(
+                f"model must be one of {YIELD_MODELS}, got {self.model!r}"
+            )
+        if self.spares is not None:
+            if not self.spares:
+                raise RequestError("spares must be None or non-empty")
+            object.__setattr__(
+                self, "spares", tuple(int(s) for s in self.spares)
+            )
+            if any(s < 0 for s in self.spares):
+                raise RequestError(
+                    f"spare widths must be >= 0, got {self.spares}"
+                )
+
+    @property
+    def campaign(self) -> str:
+        return "spare-width" if self.spares is not None else "defect-rate"
+
+
+@dataclass(frozen=True)
+class AreaRequest(_Request):
+    """Section-5 area evaluation at one operating point."""
+
+    TYPE_TAG = "area_request"
+
+    change_rate: float = 0.05
+    contexts: int = 4
+    sharing: float = 2.0
+    constants: str = "paper"
+
+    def __post_init__(self) -> None:
+        _check_fraction("change_rate", self.change_rate)
+        _check_contexts(self.contexts)
+        if self.sharing <= 0:
+            raise RequestError(f"sharing must be > 0, got {self.sharing!r}")
+        if self.constants not in ("paper", "textbook"):
+            raise RequestError(
+                f"constants must be 'paper' or 'textbook', "
+                f"got {self.constants!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ReorderRequest(_Request):
+    """Context-ID reordering optimisation for one mapped workload."""
+
+    TYPE_TAG = "reorder_request"
+
+    workload: str = "adder"
+    contexts: int = 4
+    mutation: float = 0.15
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        check_workload(self.workload)
+        _check_contexts(self.contexts)
+        _check_fraction("mutation", self.mutation)
+
+
+#: Type tag -> request class, for generic deserialization.
+REQUEST_TYPES = {
+    cls.TYPE_TAG: cls
+    for cls in (MapRequest, BatchRequest, SweepRequest, YieldRequest,
+                AreaRequest, ReorderRequest)
+}
+
+
+def request_from_dict(d: dict):
+    """Deserialize any request payload by its ``type`` tag."""
+    if not isinstance(d, dict) or "type" not in d:
+        raise RequestError("request payload needs a 'type' tag")
+    cls = REQUEST_TYPES.get(d["type"])
+    if cls is None:
+        raise RequestError(
+            f"unknown request type {d['type']!r} "
+            f"(known: {sorted(REQUEST_TYPES)})"
+        )
+    return cls.from_dict(d)

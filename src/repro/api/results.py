@@ -1,0 +1,336 @@
+"""Typed, JSON-serializable results matching the api's request types.
+
+Each ``*Result`` carries exactly the machine-readable fields the three
+old ad-hoc JSON shapes (``cli.py``'s hand-rolled dicts, ``sweep.py``'s
+and ``yield_runner.py``'s row dicts) used to spell separately, behind
+one versioned ``to_dict()``/``from_dict()`` contract.  Heavyweight
+in-memory artifacts (the mapped program, the area-model comparison
+objects) ride along in ``compare=False`` fields so table renderers can
+reach them, but they never serialize and never affect equality — the
+round-trip contract ``from_dict(to_dict(x)) == x`` holds for every
+type.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+
+from repro.analysis.sweep import AreaPoint, SweepPoint
+from repro.api.serialize import check, stamp
+from repro.errors import RequestError
+from repro.reliability.yield_runner import YieldPoint
+
+
+@contextmanager
+def _malformed_as_request_error(type_tag: str):
+    """Missing/mistyped payload fields surface as the contract's
+    :class:`RequestError`, never a raw TypeError/KeyError."""
+    try:
+        yield
+    except RequestError:
+        raise
+    except (TypeError, KeyError) as exc:
+        raise RequestError(
+            f"malformed {type_tag} payload: {exc}"
+        ) from exc
+
+
+class _Result:
+    """Shared (de)serialization plumbing (mirror of ``_Request``)."""
+
+    TYPE_TAG = ""
+    _TUPLE_FIELDS: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        payload = {}
+        for f in fields(self):
+            if not f.compare:
+                continue
+            v = getattr(self, f.name)
+            if isinstance(v, tuple):
+                v = list(v)
+            payload[f.name] = v
+        return stamp(self.TYPE_TAG, payload)
+
+    @classmethod
+    def from_dict(cls, d: dict):
+        check(d, cls.TYPE_TAG)
+        kwargs = {}
+        for f in fields(cls):
+            if not f.compare or f.name not in d:
+                continue
+            v = d[f.name]
+            if f.name in cls._TUPLE_FIELDS and v is not None:
+                v = tuple(v)
+            kwargs[f.name] = v
+        with _malformed_as_request_error(cls.TYPE_TAG):
+            return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class MapResult(_Result):
+    """Outcome of mapping one workload (also the per-workload row of a
+    :class:`BatchResult`)."""
+
+    TYPE_TAG = "map_result"
+    _TUPLE_FIELDS = ("grid", "luts_per_context", "route_iterations")
+
+    workload: str
+    grid: tuple[int, int]
+    contexts: int
+    luts_per_context: tuple[int, ...]
+    verified: bool
+    share_aware: bool
+    wirelength: int
+    route_iterations: tuple[int, ...]
+    reuse_fraction: float
+    switch_change_rate: float
+    class_fractions: dict
+    #: the full in-memory experiment (mapped program + stats) for table
+    #: renderers and downstream stages; never serialized.
+    experiment: object | None = field(default=None, compare=False,
+                                      repr=False)
+
+    @classmethod
+    def from_experiment(cls, workload: str, result) -> "MapResult":
+        """Build from an :class:`~repro.analysis.experiments.ExperimentResult`."""
+        mapped = result.mapped
+        return cls(
+            workload=workload,
+            grid=(mapped.params.cols, mapped.params.rows),
+            contexts=mapped.program.n_contexts,
+            luts_per_context=tuple(
+                len(nl.luts()) for nl in mapped.program.contexts
+            ),
+            verified=result.verified,
+            share_aware=mapped.share_aware,
+            wirelength=sum(
+                rr.wirelength(mapped.rrg) for rr in mapped.routes
+            ),
+            route_iterations=tuple(rr.iterations for rr in mapped.routes),
+            reuse_fraction=mapped.reuse_fraction(),
+            switch_change_rate=result.stats.switch.change_fraction(),
+            class_fractions={
+                str(k): v for k, v in result.stats.class_fractions().items()
+            },
+            experiment=result,
+        )
+
+
+@dataclass(frozen=True)
+class BatchResult(_Result):
+    """One :class:`MapResult` per requested workload, in request order."""
+
+    TYPE_TAG = "batch_result"
+
+    results: tuple[MapResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def to_dict(self) -> dict:
+        return stamp(self.TYPE_TAG,
+                     {"results": [r.to_dict() for r in self.results]})
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BatchResult":
+        check(d, cls.TYPE_TAG)
+        with _malformed_as_request_error(cls.TYPE_TAG):
+            return cls(results=tuple(
+                MapResult.from_dict(r) for r in d.get("results", ())
+            ))
+
+
+def _point_from_dict(what: str, d: dict):
+    from repro.api.requests import ANALYTIC_AXES
+
+    return (AreaPoint if what in ANALYTIC_AXES else SweepPoint).from_dict(d)
+
+
+@dataclass(frozen=True)
+class SweepResult(_Result):
+    """Rows of one sweep: :class:`~repro.analysis.sweep.SweepPoint` for
+    routing axes, :class:`~repro.analysis.sweep.AreaPoint` for the
+    analytic ones.  ``sweep``/``workload``/``grid``/``backend`` mirror
+    the request so the payload is self-describing."""
+
+    TYPE_TAG = "sweep_result"
+    _TUPLE_FIELDS = ("grid",)
+
+    sweep: str
+    workload: str | None
+    grid: tuple[int, int] | None
+    backend: str
+    points: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def to_dict(self) -> dict:
+        return stamp(self.TYPE_TAG, {
+            "sweep": self.sweep,
+            "workload": self.workload,
+            "grid": list(self.grid) if self.grid is not None else None,
+            "backend": self.backend,
+            "points": [pt.to_dict() for pt in self.points],
+        })
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepResult":
+        check(d, cls.TYPE_TAG)
+        grid = d.get("grid")
+        with _malformed_as_request_error(cls.TYPE_TAG):
+            return cls(
+                sweep=d["sweep"],
+                workload=d.get("workload"),
+                grid=tuple(grid) if grid is not None else None,
+                backend=d.get("backend", "sequential"),
+                points=tuple(
+                    _point_from_dict(d["sweep"], pt) for pt in d["points"]
+                ),
+            )
+
+
+@dataclass(frozen=True)
+class YieldResult(_Result):
+    """Rows of one Monte Carlo yield campaign
+    (:class:`~repro.reliability.yield_runner.YieldPoint` per cell)."""
+
+    TYPE_TAG = "yield_result"
+    _TUPLE_FIELDS = ("grid",)
+
+    campaign: str
+    workload: str
+    grid: tuple[int, int]
+    model: str
+    trials: int
+    backend: str
+    points: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def to_dict(self) -> dict:
+        return stamp(self.TYPE_TAG, {
+            "campaign": self.campaign,
+            "workload": self.workload,
+            "grid": list(self.grid),
+            "model": self.model,
+            "trials": self.trials,
+            "backend": self.backend,
+            "points": [pt.to_dict() for pt in self.points],
+        })
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "YieldResult":
+        check(d, cls.TYPE_TAG)
+        with _malformed_as_request_error(cls.TYPE_TAG):
+            return cls(
+                campaign=d["campaign"],
+                workload=d["workload"],
+                grid=tuple(d["grid"]),
+                model=d["model"],
+                trials=d["trials"],
+                backend=d.get("backend", "sequential"),
+                points=tuple(YieldPoint.from_dict(pt) for pt in d["points"]),
+            )
+
+
+@dataclass(frozen=True)
+class AreaResult(_Result):
+    """Section-5 comparison: per-technology area breakdown dicts
+    (the same shape the CLI's ``area --json`` always printed)."""
+
+    TYPE_TAG = "area_result"
+
+    change_rate: float
+    contexts: int
+    sharing_factor: float
+    constants: str
+    technologies: dict
+    #: the AreaComparison objects behind ``technologies``, for table
+    #: renderers; never serialized.
+    comparisons: dict | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class ReorderResult(_Result):
+    """Context-ID reordering outcome for one workload."""
+
+    TYPE_TAG = "reorder_result"
+    _TUPLE_FIELDS = ("schedule",)
+
+    workload: str
+    contexts: int
+    cost_before: int
+    cost_after: int
+    saving: float
+    schedule: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedule", tuple(self.schedule))
+
+
+@dataclass(frozen=True)
+class ReportResult(_Result):
+    """Cross-stage summary a spec's ``report`` stage emits."""
+
+    TYPE_TAG = "report_result"
+
+    summary: dict
+
+
+@dataclass(frozen=True)
+class SpecResult(_Result):
+    """Everything one :class:`~repro.api.spec.ExperimentSpec` run
+    produced: the typed result of every stage, in spec order."""
+
+    TYPE_TAG = "spec_result"
+
+    name: str
+    workload: str
+    stages: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+
+    def to_dict(self) -> dict:
+        return stamp(self.TYPE_TAG, {
+            "name": self.name,
+            "workload": self.workload,
+            "stages": [r.to_dict() for r in self.stages],
+        })
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpecResult":
+        check(d, cls.TYPE_TAG)
+        with _malformed_as_request_error(cls.TYPE_TAG):
+            return cls(
+                name=d["name"],
+                workload=d["workload"],
+                stages=tuple(
+                    result_from_dict(r) for r in d.get("stages", ())
+                ),
+            )
+
+
+#: Type tag -> result class, for generic deserialization.
+RESULT_TYPES = {
+    cls.TYPE_TAG: cls
+    for cls in (MapResult, BatchResult, SweepResult, YieldResult,
+                AreaResult, ReorderResult, ReportResult, SpecResult)
+}
+
+
+def result_from_dict(d: dict):
+    """Deserialize any result payload by its ``type`` tag."""
+    if not isinstance(d, dict) or "type" not in d:
+        raise RequestError("result payload needs a 'type' tag")
+    cls = RESULT_TYPES.get(d["type"])
+    if cls is None:
+        raise RequestError(
+            f"unknown result type {d['type']!r} "
+            f"(known: {sorted(RESULT_TYPES)})"
+        )
+    return cls.from_dict(d)

@@ -1,0 +1,544 @@
+"""The `Session` facade: one object, every flow, shared caches.
+
+A :class:`Session` owns the compiled-substrate engine, one
+:class:`~repro.analysis.sweep.SweepRunner` per (backend, workers)
+configuration (placement cache included), the reliability layer's
+golden-mapping caches, and a netlist cache keyed by workload name — so
+any mix of requests executed through it shares every expensive
+artifact the subsystems know how to share.  Three entry points:
+
+- :meth:`Session.run` — execute any typed request, return its typed
+  result (dispatch on request type);
+- :meth:`Session.stream` — the same rows, incrementally: sweep points,
+  yield points and batch rows are yielded as they complete (in request
+  order, bit-identical to the blocking call), with an optional
+  ``progress(done, total, item)`` callback;
+- :meth:`Session.run_spec` / :meth:`Session.stream_spec` — execute a
+  declarative :class:`~repro.api.spec.ExperimentSpec` stage by stage,
+  with caching shared *across* stages (one substrate build per device,
+  the yield stage's golden mapping reuses the sweep stage's placement).
+
+The CLI is a thin shell over this module; external harnesses should
+target it directly (requests and results all have versioned
+``to_dict``/``from_dict``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.engine import DEFAULT_ENGINE, MappingEngine
+from repro.analysis.sweep import (
+    SweepRunner,
+    channel_width_jobs,
+    double_fraction_jobs,
+    fc_jobs,
+    sweep_change_rate_points,
+    sweep_contexts_points,
+)
+from repro.api.requests import (
+    AreaRequest,
+    BatchRequest,
+    ExecutionConfig,
+    MapRequest,
+    ReorderRequest,
+    SweepRequest,
+    YieldRequest,
+)
+from repro.api.results import (
+    AreaResult,
+    BatchResult,
+    MapResult,
+    ReorderResult,
+    ReportResult,
+    SpecResult,
+    SweepResult,
+    YieldResult,
+)
+from repro.api.spec import ExperimentSpec
+from repro.api.workloads import build_circuit, build_program
+from repro.arch.params import ArchParams
+from repro.errors import RequestError
+from repro.reliability.yield_runner import YieldRunner
+
+#: Historical per-flow effort defaults (``ExecutionConfig.effort=None``).
+MAP_EFFORT = 0.5
+POINT_EFFORT = 0.3
+
+_JOB_BUILDERS = {
+    "channel-width": channel_width_jobs,
+    "double-fraction": double_fraction_jobs,
+    "fc": fc_jobs,
+}
+
+
+def _noop_progress(done: int, total: int, item) -> None:
+    return None
+
+
+class Session:
+    """Facade over the whole system; see the module docstring."""
+
+    def __init__(self, engine: MappingEngine | None = None) -> None:
+        self.engine = engine if engine is not None else DEFAULT_ENGINE
+        self._circuits: dict[str, object] = {}
+        self._programs: dict[tuple, object] = {}
+        self._sweep_runners: dict[tuple, SweepRunner] = {}
+        self._yield_runners: dict[tuple, YieldRunner] = {}
+
+    # -- shared caches ------------------------------------------------------ #
+    def circuit(self, workload: str):
+        """The (cached) tech-mapped netlist for a named workload.
+
+        Caching matters beyond build time: the sweep placement cache
+        keys on netlist *identity*, so two stages asking for the same
+        workload must receive the same object to share an anneal.
+        """
+        nl = self._circuits.get(workload)
+        if nl is None:
+            nl = build_circuit(workload)
+            self._circuits[workload] = nl
+        return nl
+
+    def program(self, workload: str, contexts: int, mutation: float,
+                seed: int):
+        """The (cached) multi-context program for a named workload."""
+        key = (workload, contexts, mutation, seed)
+        prog = self._programs.get(key)
+        if prog is None:
+            prog = build_program(workload, contexts, mutation, seed,
+                                 base=self.circuit(workload))
+            self._programs[key] = prog
+        return prog
+
+    def sweep_runner(self, config: ExecutionConfig | None = None
+                     ) -> SweepRunner:
+        """The session's sweep runner for one backend configuration
+        (placement cache shared across every request that uses it)."""
+        config = config if config is not None else ExecutionConfig()
+        key = (config.backend, config.workers)
+        runner = self._sweep_runners.get(key)
+        if runner is None:
+            runner = SweepRunner(engine=self.engine, backend=config.backend,
+                                 workers=config.workers)
+            self._sweep_runners[key] = runner
+        return runner
+
+    def yield_runner(self, config: ExecutionConfig | None = None
+                     ) -> YieldRunner:
+        """The session's yield runner for one backend configuration —
+        rides the matching sweep runner, so golden mappings reuse
+        placements that sweep stages already computed."""
+        config = config if config is not None else ExecutionConfig()
+        key = (config.backend, config.workers)
+        runner = self._yield_runners.get(key)
+        if runner is None:
+            runner = YieldRunner(runner=self.sweep_runner(config))
+            self._yield_runners[key] = runner
+        return runner
+
+    def map_program(self, program, params=None, share_aware: bool = True,
+                    seed: int = 0, effort: float = MAP_EFFORT, rrg=None):
+        """Place and route an explicit program object (the facade form
+        of :func:`repro.analysis.experiments.map_program`)."""
+        return self.engine.map(
+            program, params, share_aware=share_aware, seed=seed,
+            effort=effort, rrg=rrg,
+        )
+
+    # -- dispatch ----------------------------------------------------------- #
+    def run(self, request):
+        """Execute any typed request, blocking; returns its result type."""
+        handler = self._RUN.get(type(request))
+        if handler is None:
+            raise RequestError(
+                f"unsupported request type {type(request).__name__}"
+            )
+        return handler(self, request)
+
+    def stream(self, request, progress=None):
+        """Execute a request, yielding rows incrementally.
+
+        Sweep requests yield their points, yield requests their
+        campaign cells, batch requests one :class:`MapResult` per
+        workload; single-shot requests (map, area, reorder) yield their
+        one result.  Rows arrive in request order and are bit-identical
+        to what :meth:`run` folds into its result.  ``progress`` is
+        called as ``progress(done, total, item)`` after each row.
+        """
+        handler = self._STREAM.get(type(request))
+        if handler is None:
+            raise RequestError(
+                f"unsupported request type {type(request).__name__}"
+            )
+        return handler(self, request, progress or _noop_progress)
+
+    # -- map / batch -------------------------------------------------------- #
+    def _map_one(self, workload: str, contexts: int, mutation: float,
+                 share_aware: bool, verify: bool,
+                 config: ExecutionConfig) -> MapResult:
+        from repro.analysis.experiments import ExperimentResult, verify_mapped
+
+        program = self.program(workload, contexts, mutation, config.seed)
+        mapped = self.map_program(
+            program, share_aware=share_aware, seed=config.seed,
+            effort=config.effort_or(MAP_EFFORT),
+        )
+        stats = mapped.stats()
+        verified = verify_mapped(mapped, seed=config.seed) if verify else False
+        experiment = ExperimentResult(program.name, mapped, stats, verified)
+        return MapResult.from_experiment(workload, experiment)
+
+    def _run_map(self, req: MapRequest) -> MapResult:
+        return self._map_one(req.workload, req.contexts, req.mutation,
+                             req.share_aware, req.verify, req.execution)
+
+    def _stream_map(self, req: MapRequest, progress):
+        result = self._run_map(req)
+        progress(1, 1, result)
+        yield result
+
+    def _run_batch(self, req: BatchRequest) -> BatchResult:
+        return BatchResult(results=tuple(self._stream_batch(
+            req, _noop_progress
+        )))
+
+    def _stream_batch(self, req: BatchRequest, progress):
+        from repro.analysis.experiments import ExperimentResult, verify_mapped
+
+        cfg = req.execution
+        total = len(req.workloads)
+        if cfg.backend == "sequential":
+            for i, w in enumerate(req.workloads):
+                result = self._map_one(w, req.contexts, req.mutation,
+                                       req.share_aware, req.verify, cfg)
+                progress(i + 1, total, result)
+                yield result
+            return
+        # parallel backends ride the engine's streaming batch path (one
+        # compiled substrate, whole batch submitted up front, rows
+        # yielded as they complete in request order; pool semantics
+        # normalized: workers=None = all cores)
+        programs = [
+            self.program(w, req.contexts, req.mutation, cfg.seed)
+            for w in req.workloads
+        ]
+        workers = cfg.workers if cfg.workers is not None \
+            else (os.cpu_count() or 1)
+        mapped = self.engine.iter_map_batch(
+            programs, share_aware=req.share_aware, seed=cfg.seed,
+            effort=cfg.effort_or(MAP_EFFORT), workers=workers,
+            backend=cfg.backend,
+        )
+        for i, (w, m) in enumerate(zip(req.workloads, mapped)):
+            verified = (
+                verify_mapped(m, seed=cfg.seed) if req.verify else False
+            )
+            experiment = ExperimentResult(w, m, m.stats(), verified)
+            result = MapResult.from_experiment(w, experiment)
+            progress(i + 1, total, result)
+            yield result
+
+    # -- sweep -------------------------------------------------------------- #
+    def _sweep_result(self, req: SweepRequest, points) -> SweepResult:
+        if req.analytic:
+            return SweepResult(sweep=req.what, workload=None, grid=None,
+                               backend="sequential", points=tuple(points))
+        return SweepResult(
+            sweep=req.what, workload=req.workload,
+            grid=(req.grid, req.grid), backend=req.execution.backend,
+            points=tuple(points),
+        )
+
+    def _run_sweep(self, req: SweepRequest) -> SweepResult:
+        return self._sweep_result(
+            req, list(self._stream_sweep(req, _noop_progress))
+        )
+
+    def _stream_sweep(self, req: SweepRequest, progress):
+        values = req.resolved_values()
+        if req.analytic:
+            if req.what == "change-rate":
+                points = sweep_change_rate_points(values)
+            else:
+                points = sweep_contexts_points([int(v) for v in values])
+            for i, pt in enumerate(points):
+                progress(i + 1, len(points), pt)
+                yield pt
+            return
+        cfg = req.execution
+        netlist = self.circuit(req.workload)
+        base = ArchParams(
+            cols=req.grid, rows=req.grid, channel_width=req.width,
+            io_capacity=4,
+        )
+        jobs = _JOB_BUILDERS[req.what](
+            netlist, base, values, seed=cfg.seed,
+            effort=cfg.effort_or(POINT_EFFORT),
+        )
+        runner = self.sweep_runner(cfg)
+        for i, pt in enumerate(runner.iter_run(jobs)):
+            progress(i + 1, len(jobs), pt)
+            yield pt
+
+    # -- yield -------------------------------------------------------------- #
+    def _yield_result(self, req: YieldRequest, points) -> YieldResult:
+        return YieldResult(
+            campaign=req.campaign, workload=req.workload,
+            grid=(req.grid, req.grid), model=req.model, trials=req.trials,
+            backend=req.execution.backend, points=tuple(points),
+        )
+
+    def _run_yield(self, req: YieldRequest) -> YieldResult:
+        return self._yield_result(
+            req, list(self._stream_yield(req, _noop_progress))
+        )
+
+    def _stream_yield(self, req: YieldRequest, progress):
+        cfg = req.execution
+        netlist = self.circuit(req.workload)
+        base = ArchParams(
+            cols=req.grid, rows=req.grid, channel_width=req.width,
+            io_capacity=4,
+        )
+        runner = self.yield_runner(cfg)
+        effort = cfg.effort_or(POINT_EFFORT)
+        if req.spares is not None:
+            total = len(req.spares)
+            points = runner.iter_spare_width_curve(
+                netlist, req.workload, base, list(req.spares), req.rates[0],
+                req.trials, model=req.model, seed=cfg.seed, effort=effort,
+            )
+        else:
+            total = len(req.rates)
+            points = runner.iter_campaign(
+                netlist, req.workload, base, list(req.rates), req.trials,
+                model=req.model, seed=cfg.seed, effort=effort,
+            )
+        for i, pt in enumerate(points):
+            progress(i + 1, total, pt)
+            yield pt
+
+    # -- area / reorder ----------------------------------------------------- #
+    def _run_area(self, req: AreaRequest) -> AreaResult:
+        from repro.core.area_model import AreaConstants, AreaModel, Technology
+
+        constants = (
+            AreaConstants.paper_calibrated() if req.constants == "paper"
+            else AreaConstants.textbook()
+        )
+        model = AreaModel(constants)
+        comparisons = {
+            tech.value: model.paper_operating_point(
+                change_rate=req.change_rate,
+                n_contexts=req.contexts,
+                sharing_factor=req.sharing,
+                tech=tech,
+            )
+            for tech in (Technology.CMOS, Technology.FEPG)
+        }
+        technologies = {
+            name: {
+                "ratio": cmp.ratio,
+                "proposed": {
+                    "switch_area": cmp.proposed.switch_area,
+                    "lut_area": cmp.proposed.lut_area,
+                    "overhead_area": cmp.proposed.overhead_area,
+                    "total": cmp.proposed.total,
+                },
+                "conventional": {
+                    "switch_area": cmp.conventional.switch_area,
+                    "lut_area": cmp.conventional.lut_area,
+                    "overhead_area": cmp.conventional.overhead_area,
+                    "total": cmp.conventional.total,
+                },
+            }
+            for name, cmp in comparisons.items()
+        }
+        return AreaResult(
+            change_rate=req.change_rate, contexts=req.contexts,
+            sharing_factor=req.sharing, constants=req.constants,
+            technologies=technologies, comparisons=comparisons,
+        )
+
+    def _stream_area(self, req: AreaRequest, progress):
+        result = self._run_area(req)
+        progress(1, 1, result)
+        yield result
+
+    def _run_reorder(self, req: ReorderRequest) -> ReorderResult:
+        from repro.core.reorder import optimize_context_order
+
+        cfg = req.execution
+        program = self.program(req.workload, req.contexts, req.mutation,
+                               cfg.seed)
+        mapped = self.map_program(
+            program, seed=cfg.seed, effort=cfg.effort_or(MAP_EFFORT)
+        )
+        masks = list(mapped.stats().switch.used.values())
+        result = optimize_context_order(masks, req.contexts)
+        return ReorderResult(
+            workload=req.workload, contexts=req.contexts,
+            cost_before=result.cost_before, cost_after=result.cost_after,
+            saving=result.saving,
+            schedule=tuple(result.physical_schedule()),
+        )
+
+    def _stream_reorder(self, req: ReorderRequest, progress):
+        result = self._run_reorder(req)
+        progress(1, 1, result)
+        yield result
+
+    # -- specs -------------------------------------------------------------- #
+    def _spec_events(self, spec: ExperimentSpec, progress):
+        """One event stream both spec entry points drain: ``("row",
+        stage, item)`` per streamed row and ``("result", stage,
+        folded)`` per completed stage — so the blocking result is the
+        concatenation of the streamed rows by construction."""
+        collected: list = []
+        for stage, request in spec.requests():
+            if stage == "report":
+                report = _build_report(spec, collected)
+                progress(1, 1, report)
+                collected.append(report)
+                yield "row", stage, report
+                yield "result", stage, report
+                continue
+            points = []
+            for item in self.stream(request, progress=progress):
+                points.append(item)
+                yield "row", stage, item
+            folded = self._fold(stage, request, points)
+            collected.append(folded)
+            yield "result", stage, folded
+
+    def stream_spec(self, spec: ExperimentSpec, progress=None):
+        """Execute a spec stage by stage, yielding ``(stage, item)``
+        pairs: every streamed row of every stage, with each stage's
+        folded result available to later stages (the ``report`` stage
+        yields its :class:`ReportResult`).  Collecting the rows per
+        stage reproduces :meth:`run_spec` bit-identically.
+        """
+        progress = progress or _noop_progress
+        for kind, stage, item in self._spec_events(spec, progress):
+            if kind == "row":
+                yield stage, item
+
+    def run_spec(self, spec: ExperimentSpec) -> SpecResult:
+        """Execute a spec, blocking; one typed result per stage."""
+        results = [
+            item for kind, _, item in self._spec_events(spec, _noop_progress)
+            if kind == "result"
+        ]
+        return SpecResult(name=spec.name, workload=spec.workload,
+                          stages=tuple(results))
+
+    def _fold(self, stage: str, request, points):
+        """Fold one stage's streamed rows into its typed result."""
+        if stage == "batch":
+            return BatchResult(results=tuple(points))
+        if stage == "sweep":
+            return self._sweep_result(request, points)
+        if stage == "yield":
+            return self._yield_result(request, points)
+        # single-shot stages (map, reorder) stream their one result
+        return points[0]
+
+    _RUN = {
+        MapRequest: _run_map,
+        BatchRequest: _run_batch,
+        SweepRequest: _run_sweep,
+        YieldRequest: _run_yield,
+        AreaRequest: _run_area,
+        ReorderRequest: _run_reorder,
+    }
+
+    _STREAM = {
+        MapRequest: _stream_map,
+        BatchRequest: _stream_batch,
+        SweepRequest: _stream_sweep,
+        YieldRequest: _stream_yield,
+        AreaRequest: _stream_area,
+        ReorderRequest: _stream_reorder,
+    }
+
+
+def stage_payload(result) -> "tuple[str, dict] | None":
+    """(stage kind, summary payload) for one stage result.
+
+    The single per-result-type summarizer behind both the spec
+    ``report`` stage and the CLI's human stage lines, so the two can
+    never drift apart.  Returns ``None`` for result types with no
+    summary (e.g. a nested :class:`ReportResult`).
+    """
+    if isinstance(result, MapResult):
+        return "map", {
+            "grid": list(result.grid),
+            "verified": result.verified,
+            "wirelength": result.wirelength,
+            "reuse_fraction": result.reuse_fraction,
+        }
+    if isinstance(result, BatchResult):
+        return "batch", {
+            "workloads": [r.workload for r in result.results],
+            "all_verified": all(r.verified for r in result.results),
+        }
+    if isinstance(result, SweepResult):
+        payload: dict = {"axis": result.sweep, "points": len(result.points)}
+        routed = [pt.routed for pt in result.points
+                  if hasattr(pt, "routed")]
+        if routed:  # analytic axes have no routing verdicts
+            payload["routed"] = sum(1 for r in routed if r)
+        return "sweep", payload
+    if isinstance(result, YieldResult):
+        ys = [pt.yield_fraction for pt in result.points]
+        return "yield", {
+            "campaign": result.campaign,
+            "points": len(result.points),
+            "min_yield": min(ys) if ys else 0.0,
+            "max_yield": max(ys) if ys else 0.0,
+        }
+    if isinstance(result, ReorderResult):
+        return "reorder", {
+            "cost_before": result.cost_before,
+            "cost_after": result.cost_after,
+            "saving": result.saving,
+        }
+    return None
+
+
+def _build_report(spec: ExperimentSpec, results) -> ReportResult:
+    """Summarize the stages that ran before a ``report`` stage."""
+    summary: dict = {
+        "spec": spec.name,
+        "workload": spec.workload,
+        "stages_run": [],
+    }
+    for res in results:
+        named = stage_payload(res)
+        if named is None:
+            continue
+        kind, payload = named
+        # repeated stage kinds get numbered keys (sweep, sweep_2, ...)
+        # instead of silently overwriting the earlier one
+        summary["stages_run"].append(kind)
+        key, n = kind, 1
+        while key in summary:
+            n += 1
+            key = f"{kind}_{n}"
+        summary[key] = payload
+    return ReportResult(summary=summary)
+
+
+#: Process-wide default session (the shared caches behind the
+#: module-level convenience shims in ``analysis/experiments.py`` and
+#: ``analysis/dse.py``).
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The lazily-created process-wide :class:`Session`."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

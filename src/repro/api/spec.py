@@ -1,0 +1,189 @@
+"""Declarative experiment specs: a whole campaign as one JSON document.
+
+An :class:`ExperimentSpec` names a workload, an architecture, an
+execution policy and an ordered list of *stages* (``map`` → ``sweep`` →
+``yield`` → ``report``); :meth:`repro.api.session.Session.run_spec`
+executes it with shared caching across stages — one compiled substrate
+per device configuration, placements shared between sweep points and
+the yield stage's golden mapping, netlists built once.  The ``report``
+stage folds the earlier stages' results into one summary dict.
+
+Example document::
+
+    {
+      "schema_version": 1,
+      "name": "ci-smoke",
+      "workload": "adder",
+      "arch": {"grid": 5, "width": 7},
+      "execution": {"backend": "sequential", "seed": 0, "effort": 0.2},
+      "stages": [
+        {"stage": "map", "contexts": 4, "mutation": 0.05},
+        {"stage": "sweep", "what": "channel-width", "values": [6, 7, 8, 9]},
+        {"stage": "yield", "rates": [0.0, 0.03], "trials": 8},
+        {"stage": "report"}
+      ]
+    }
+
+Stage options are exactly the matching request type's fields; the spec
+header supplies ``workload``, ``execution`` and the ``arch`` keys to
+every stage that takes them, unless the stage overrides them.  Two
+deliberate asymmetries: ``arch`` only reaches the grid-shaped stages
+(``sweep``/``yield``) — ``map``/``batch``/``reorder`` auto-fit their
+device to the program exactly as the CLI flows always did, and their
+reported grid may therefore differ from ``arch`` — and a ``batch``
+stage with no explicit ``workloads`` list maps just the spec's
+workload.  A stage-level ``execution`` dict overrides only the keys it
+names; the rest inherit from the header.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+from repro.api.requests import (
+    BatchRequest,
+    ExecutionConfig,
+    MapRequest,
+    ReorderRequest,
+    SweepRequest,
+    YieldRequest,
+)
+from repro.api.serialize import check, stamp
+from repro.api.workloads import check_workload
+from repro.errors import SpecError
+
+#: Stage names a spec may use.  ``report`` takes no request — it
+#: summarizes whatever ran before it.
+STAGES = ("map", "batch", "sweep", "yield", "reorder", "report")
+
+_STAGE_REQUESTS = {
+    "map": MapRequest,
+    "batch": BatchRequest,
+    "sweep": SweepRequest,
+    "yield": YieldRequest,
+    "reorder": ReorderRequest,
+}
+
+#: Spec-header keys stages inherit unless they override them.
+_INHERITED = ("workload", "grid", "width")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, serializable experiment campaign."""
+
+    name: str
+    workload: str = "adder"
+    arch: dict = field(default_factory=dict)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    stages: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("spec needs a non-empty name")
+        check_workload(self.workload)
+        for key in self.arch:
+            if key not in ("grid", "width"):
+                raise SpecError(
+                    f"unknown arch key {key!r} (known: grid, width)"
+                )
+        object.__setattr__(self, "stages", tuple(
+            dict(stage) for stage in self.stages
+        ))
+        if not self.stages:
+            raise SpecError("spec needs at least one stage")
+        for stage in self.stages:
+            kind = stage.get("stage")
+            if kind not in STAGES:
+                raise SpecError(
+                    f"unknown stage {kind!r} (known: {', '.join(STAGES)})"
+                )
+            if kind != "report":
+                # fail at load time, not halfway through a campaign:
+                # building the request validates every stage option
+                self.request_for(stage)
+
+    # -- stage -> typed request -------------------------------------------- #
+    def request_for(self, stage: dict):
+        """The typed request one stage resolves to (``None`` for
+        ``report``)."""
+        kind = stage.get("stage")
+        if kind == "report":
+            return None
+        cls = _STAGE_REQUESTS.get(kind)
+        if cls is None:
+            raise SpecError(f"unknown stage {kind!r}")
+        options = {k: v for k, v in stage.items() if k != "stage"}
+        request_fields = {f.name for f in dataclass_fields(cls)}
+        for key in _INHERITED:
+            if key in request_fields and key not in options:
+                if key == "workload":
+                    options[key] = self.workload
+                elif key in self.arch:
+                    options[key] = self.arch[key]
+        if "workloads" in request_fields and "workloads" not in options:
+            # a batch stage with no explicit list maps the spec workload
+            options["workloads"] = (self.workload,)
+        if "execution" in request_fields and "execution" not in options:
+            options["execution"] = self.execution
+        elif isinstance(options.get("execution"), dict):
+            # a stage-level execution dict overrides only the keys it
+            # names; everything else inherits from the spec header
+            merged = self.execution.to_dict()
+            merged.update(options["execution"])
+            options["execution"] = ExecutionConfig.from_dict(merged)
+        unknown = set(options) - request_fields
+        if unknown:
+            raise SpecError(
+                f"stage {kind!r} has unknown options {sorted(unknown)} "
+                f"(known: {sorted(request_fields)})"
+            )
+        try:
+            return cls(**options)
+        except SpecError:
+            raise
+        except Exception as exc:
+            raise SpecError(f"stage {kind!r}: {exc}") from exc
+
+    def requests(self) -> list:
+        """(stage name, request-or-None) for every stage, in order."""
+        return [(s["stage"], self.request_for(s)) for s in self.stages]
+
+    # -- serialization ------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return stamp("experiment_spec", {
+            "name": self.name,
+            "workload": self.workload,
+            "arch": dict(self.arch),
+            "execution": self.execution.to_dict(),
+            "stages": [dict(s) for s in self.stages],
+        })
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentSpec":
+        check(d, "experiment_spec")
+        unknown = set(d) - {"schema_version", "type", "name", "workload",
+                            "arch", "execution", "stages"}
+        if unknown:
+            raise SpecError(
+                f"unknown spec keys {sorted(unknown)} (known: name, "
+                f"workload, arch, execution, stages)"
+            )
+        return cls(
+            name=d.get("name", ""),
+            workload=d.get("workload", "adder"),
+            arch=dict(d.get("arch", {})),
+            execution=ExecutionConfig.from_dict(d.get("execution") or {}),
+            stages=tuple(d.get("stages", ())),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "ExperimentSpec":
+        """Load a spec from a JSON file."""
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SpecError(f"cannot read spec {path!r}: {exc}") from exc
+        return cls.from_dict(doc)

@@ -1,0 +1,60 @@
+"""Named workload registry for declarative requests.
+
+Requests name workloads by string so they stay picklable and
+JSON-serializable; this module is the single place those names resolve
+to circuits.  (The CLI's workload table used to live in ``cli.py`` —
+it moved here so external harnesses and the CLI agree on the catalog.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import RequestError
+
+#: Workload names every request type accepts.
+WORKLOADS = ("adder", "random", "crc", "parity", "cmp")
+
+
+def check_workload(name: str) -> str:
+    if name not in WORKLOADS:
+        raise RequestError(
+            f"unknown workloads [{name!r}] "
+            f"(choose from {', '.join(WORKLOADS)})"
+        )
+    return name
+
+
+def build_circuit(name: str):
+    """Tech-mapped single-context netlist for a named workload."""
+    from repro.netlist.techmap import tech_map
+    from repro.workloads import generators as gen
+
+    check_workload(name)
+    circuits = {
+        "adder": lambda: gen.ripple_adder(4),
+        "random": lambda: gen.random_dag(6, 24, 4, seed=11),
+        "crc": lambda: gen.crc_step(8),
+        "parity": lambda: gen.parity_tree(8),
+        "cmp": lambda: gen.comparator(4),
+    }
+    return tech_map(circuits[name](), k=4)
+
+
+def build_program(name: str, n_contexts: int, mutation: float, seed: int,
+                  base=None):
+    """Multi-context program for a named workload.
+
+    ``crc``/``parity`` temporally partition their base circuit; the
+    rest mutate it per context (the same policy the CLI always used).
+    ``base`` supplies an already-built circuit for ``name`` (the
+    Session passes its cached netlist, so the tech map runs once per
+    workload, not once per program variant).
+    """
+    from repro.workloads.multicontext import mutated_program, temporal_partition
+
+    if base is None:
+        base = build_circuit(name)
+    else:
+        check_workload(name)
+    if name in ("crc", "parity"):
+        return temporal_partition(base, n_contexts)
+    return mutated_program(base, n_contexts, mutation, seed=seed)

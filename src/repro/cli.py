@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface: a thin shell over :mod:`repro.api`.
 
 Exposes the library's main flows without writing Python::
 
@@ -13,15 +13,16 @@ Exposes the library's main flows without writing Python::
         --backend process                     # routing design-space sweep
     python -m repro yield --defect-rate 0.01,0.03 --trials 16 \
         --backend process                     # Monte Carlo yield campaign
+    python -m repro run examples/specs/ci_smoke.json --json  # run a spec
 
-``map``, ``area``, ``batch``, ``sweep`` and ``yield`` accept ``--json``
-to emit their stats as machine-readable JSON (for benchmark harnesses
-and external tooling) instead of rendered tables.  Routing sweeps
-(``channel-width`` / ``double-fraction`` / ``fc``) run on the compiled
-sweep subsystem (:mod:`repro.analysis.sweep`) and accept ``--backend
-process`` to fan points out across cores; ``yield`` runs the
-reliability subsystem's Monte Carlo campaigns (:mod:`repro.reliability`)
-with the same backend semantics.
+Every subcommand follows the same shape: parse arguments, build a
+typed request (:mod:`repro.api.requests`), execute it on a
+:class:`~repro.api.Session`, print the typed result — as a rendered
+table, or as the result's versioned JSON with ``--json``.  ``run``
+executes a declarative :class:`~repro.api.ExperimentSpec` file; with
+``--stream`` it emits one JSON line per streamed row (per sweep point,
+per yield cell, per mapped workload) instead of one final blob, so
+long campaigns report as they go.
 """
 
 from __future__ import annotations
@@ -31,7 +32,9 @@ import json
 import sys
 from collections.abc import Sequence
 
-_WORKLOADS = ["adder", "random", "crc", "parity", "cmp"]
+from repro.api.workloads import WORKLOADS
+
+_WORKLOADS = list(WORKLOADS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="mapping jobs run concurrently (1 = sequential)")
+    p.add_argument("--backend", choices=["thread", "process"],
+                   default="thread",
+                   help="pool flavour for concurrent mapping jobs")
     p.add_argument("--naive", action="store_true",
                    help="disable redundancy-aware mapping")
     p.add_argument("--json", action="store_true",
@@ -148,31 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all cores)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "run", help="execute a declarative ExperimentSpec JSON file"
+    )
+    p.add_argument("spec", help="path to the spec file (see repro.api.spec)")
+    g = p.add_mutually_exclusive_group()
+    g.add_argument("--stream", action="store_true",
+                   help="emit one JSON line per streamed row instead of "
+                        "one final result blob")
+    g.add_argument("--json", action="store_true",
+                   help="emit the spec result as JSON instead of a summary")
     return parser
 
 
-def _build_circuit(name: str):
-    """Tech-mapped single-context netlist for a named workload."""
-    from repro.netlist.techmap import tech_map
-    from repro.workloads import generators as gen
+def _session():
+    from repro.api import Session
 
-    circuits = {
-        "adder": lambda: gen.ripple_adder(4),
-        "random": lambda: gen.random_dag(6, 24, 4, seed=11),
-        "crc": lambda: gen.crc_step(8),
-        "parity": lambda: gen.parity_tree(8),
-        "cmp": lambda: gen.comparator(4),
-    }
-    return tech_map(circuits[name](), k=4)
-
-
-def _build_workload(name: str, n_contexts: int, mutation: float, seed: int):
-    from repro.workloads.multicontext import mutated_program, temporal_partition
-
-    base = _build_circuit(name)
-    if name in ("crc", "parity"):
-        return temporal_partition(base, n_contexts)
-    return mutated_program(base, n_contexts, mutation, seed=seed)
+    return Session()
 
 
 def cmd_patterns(args: argparse.Namespace) -> int:
@@ -202,229 +201,134 @@ def cmd_decoder(args: argparse.Namespace) -> int:
 
 def cmd_area(args: argparse.Namespace) -> int:
     from repro.analysis.report import area_comparison_table, breakdown_table
-    from repro.core.area_model import AreaConstants, AreaModel, Technology
+    from repro.api import AreaRequest
 
-    constants = (
-        AreaConstants.paper_calibrated()
-        if args.constants == "paper"
-        else AreaConstants.textbook()
+    request = AreaRequest(
+        change_rate=args.change_rate, contexts=args.contexts,
+        sharing=args.sharing, constants=args.constants,
     )
-    model = AreaModel(constants)
-    out = {
-        tech.value: model.paper_operating_point(
-            change_rate=args.change_rate,
-            n_contexts=args.contexts,
-            sharing_factor=args.sharing,
-            tech=tech,
-        )
-        for tech in (Technology.CMOS, Technology.FEPG)
-    }
+    result = _session().run(request)
     if args.json:
-        print(json.dumps(_area_json(args, out), indent=2))
+        print(json.dumps(result.to_dict(), indent=2))
         return 0
-    print(area_comparison_table(out))
+    print(area_comparison_table(result.comparisons))
     print()
-    print(breakdown_table(out["cmos"], "Breakdown (CMOS)"))
+    print(breakdown_table(result.comparisons["cmos"], "Breakdown (CMOS)"))
     return 0
 
 
-def _area_json(args: argparse.Namespace, out: dict) -> dict:
-    return {
-        "change_rate": args.change_rate,
-        "contexts": args.contexts,
-        "sharing_factor": args.sharing,
-        "constants": args.constants,
-        "technologies": {
-            name: {
-                "ratio": cmp.ratio,
-                "proposed": {
-                    "switch_area": cmp.proposed.switch_area,
-                    "lut_area": cmp.proposed.lut_area,
-                    "overhead_area": cmp.proposed.overhead_area,
-                    "total": cmp.proposed.total,
-                },
-                "conventional": {
-                    "switch_area": cmp.conventional.switch_area,
-                    "lut_area": cmp.conventional.lut_area,
-                    "overhead_area": cmp.conventional.overhead_area,
-                    "total": cmp.conventional.total,
-                },
-            }
-            for name, cmp in out.items()
-        },
-    }
-
-
-def _map_result_json(name: str, result) -> dict:
-    """JSON-ready stats for one mapped workload (shared by map/batch)."""
-    mapped = result.mapped
-    return {
-        "workload": name,
-        "grid": [mapped.params.cols, mapped.params.rows],
-        "contexts": mapped.program.n_contexts,
-        "luts_per_context": [len(nl.luts()) for nl in mapped.program.contexts],
-        "verified": result.verified,
-        "share_aware": mapped.share_aware,
-        "wirelength": sum(rr.wirelength(mapped.rrg) for rr in mapped.routes),
-        "route_iterations": [rr.iterations for rr in mapped.routes],
-        "reuse_fraction": mapped.reuse_fraction(),
-        "switch_change_rate": result.stats.switch.change_fraction(),
-        "class_fractions": {
-            str(k): v for k, v in result.stats.class_fractions().items()
-        },
-    }
-
-
 def cmd_map(args: argparse.Namespace) -> int:
-    from repro.analysis.experiments import run_full_flow
     from repro.analysis.redundancy import redundancy_report
+    from repro.api import ExecutionConfig, MapRequest
 
-    program = _build_workload(args.workload, args.contexts, args.mutation, args.seed)
-    result = run_full_flow(program, share_aware=not args.naive, seed=args.seed)
+    request = MapRequest(
+        workload=args.workload, contexts=args.contexts,
+        mutation=args.mutation, share_aware=not args.naive,
+        execution=ExecutionConfig(seed=args.seed),
+    )
+    result = _session().run(request)
     if args.json:
-        print(json.dumps(_map_result_json(args.workload, result), indent=2))
+        print(json.dumps(result.to_dict(), indent=2))
         return 0
     print(f"workload {args.workload}: "
-          f"{[len(nl.luts()) for nl in program.contexts]} LUTs per context, "
-          f"grid {result.mapped.params.cols}x{result.mapped.params.rows}, "
+          f"{list(result.luts_per_context)} LUTs per context, "
+          f"grid {result.grid[0]}x{result.grid[1]}, "
           f"verified={result.verified}")
     print()
-    print(redundancy_report(result.stats).render())
+    print(redundancy_report(result.experiment.stats).render())
     return 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.analysis.engine import MappingEngine
-    from repro.analysis.experiments import ExperimentResult, verify_mapped
+    from repro.api import BatchRequest, ExecutionConfig
 
-    names = [w.strip() for w in args.workloads.split(",") if w.strip()]
-    bad = [w for w in names if w not in _WORKLOADS]
-    if bad or not names:
-        print(f"error: unknown workloads {bad or args.workloads!r} "
-              f"(choose from {', '.join(_WORKLOADS)})", file=sys.stderr)
-        return 2
-    programs = [
-        _build_workload(w, args.contexts, args.mutation, args.seed)
-        for w in names
-    ]
-    engine = MappingEngine(workers=args.workers)
-    mapped = engine.map_batch(
-        programs, share_aware=not args.naive, seed=args.seed,
+    names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+    request = BatchRequest(
+        workloads=names, contexts=args.contexts, mutation=args.mutation,
+        share_aware=not args.naive,
+        execution=ExecutionConfig(
+            backend=args.backend, workers=args.workers, seed=args.seed,
+        ),
     )
-    results = [
-        ExperimentResult(name, m, m.stats(), verify_mapped(m, seed=args.seed))
-        for name, m in zip(names, mapped)
-    ]
+    result = _session().run(request)
     if args.json:
-        print(json.dumps(
-            [_map_result_json(n, r) for n, r in zip(names, results)], indent=2
-        ))
+        print(json.dumps([r.to_dict() for r in result.results], indent=2))
         return 0
-    for name, r in zip(names, results):
-        print(f"{name}: grid {r.mapped.params.cols}x{r.mapped.params.rows} "
+    for r in result.results:
+        print(f"{r.workload}: grid {r.grid[0]}x{r.grid[1]} "
               f"verified={r.verified} "
-              f"reuse={r.mapped.reuse_fraction():.1%} "
-              f"change-rate={r.change_rate:.1%}")
+              f"reuse={r.reuse_fraction:.1%} "
+              f"change-rate={r.switch_change_rate:.1%}")
     return 0
 
 
 def cmd_reorder(args: argparse.Namespace) -> int:
-    from repro.analysis.experiments import map_program
-    from repro.core.reorder import optimize_context_order
+    from repro.api import ExecutionConfig, ReorderRequest
 
-    program = _build_workload(args.workload, args.contexts, args.mutation, args.seed)
-    mapped = map_program(program, seed=args.seed)
-    masks = list(mapped.stats().switch.used.values())
-    result = optimize_context_order(masks, args.contexts)
+    request = ReorderRequest(
+        workload=args.workload, contexts=args.contexts,
+        mutation=args.mutation, execution=ExecutionConfig(seed=args.seed),
+    )
+    result = _session().run(request)
     print(f"decoder cost before: {result.cost_before} SEs")
     print(f"decoder cost after : {result.cost_after} SEs "
           f"(saving {result.saving:.1%})")
-    print(f"physical ID schedule: {result.physical_schedule()}")
+    print(f"physical ID schedule: {list(result.schedule)}")
     return 0
 
 
-#: Default grids per sweep axis (``--values`` overrides).
-_SWEEP_DEFAULTS = {
-    "change-rate": [0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.5],
-    "contexts": [2, 4, 8, 16],
-    "channel-width": [4, 6, 8, 10, 12],
-    "double-fraction": [0.0, 0.25, 0.5, 0.75],
-    "fc": [1.0, 0.5, 0.3],
-}
-
-
-def _sweep_values(args: argparse.Namespace) -> list[float]:
+def _sweep_values(args: argparse.Namespace) -> tuple[float, ...] | None:
     if args.values is None:
-        return list(_SWEEP_DEFAULTS[args.what])
+        return None
     cast = int if args.what in ("contexts", "channel-width") else float
-    return [cast(v) for v in args.values.split(",") if v.strip()]
+    return tuple(cast(v) for v in args.values.split(",") if v.strip())
 
 
-def _analytic_sweep(args: argparse.Namespace, values: list[float]) -> int:
-    from repro.analysis.report import sweep_table
-    from repro.analysis.sweep import (
-        sweep_change_rate_points,
-        sweep_contexts_points,
-    )
-
-    if args.what == "change-rate":
-        points = sweep_change_rate_points(values)
-        label, title = "change rate", "Area ratio vs change rate"
-    else:
-        points = sweep_contexts_points([int(v) for v in values])
-        label, title = "contexts", "Area ratio vs context count"
-    if args.json:
-        print(json.dumps({
-            "sweep": args.what,
-            "points": [pt.to_dict() for pt in points],
-        }, indent=2))
-        return 0
-    rows = [(pt.value, pt.cmos_ratio, pt.fepg_ratio) for pt in points]
-    print(sweep_table(rows, [label, "CMOS", "FePG"], title))
-    return 0
-
-
-def _routing_sweep(args: argparse.Namespace, values: list[float]) -> int:
-    from repro.analysis.sweep import (
-        SweepRunner,
-        channel_width_jobs,
-        double_fraction_jobs,
-        fc_jobs,
-    )
-    from repro.arch.params import ArchParams
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import ExecutionConfig, SweepRequest
     from repro.utils.tables import TextTable
 
-    netlist = _build_circuit(args.workload)
-    base = ArchParams(
-        cols=args.grid, rows=args.grid, channel_width=10, io_capacity=4
+    request = SweepRequest(
+        what=args.what, workload=args.workload, grid=args.grid,
+        values=_sweep_values(args),
+        execution=ExecutionConfig(
+            backend=args.backend, workers=args.workers, seed=args.seed,
+            effort=args.effort,
+        ),
     )
-    build = {
-        "channel-width": channel_width_jobs,
-        "double-fraction": double_fraction_jobs,
-        "fc": fc_jobs,
-    }[args.what]
-    if args.backend == "sequential" and args.workers is not None:
+    if request.analytic and (
+        args.backend != "sequential" or args.workers is not None
+    ):
+        print(f"note: --backend/--workers have no effect on the "
+              f"analytic {args.what} sweep (no routing involved)",
+              file=sys.stderr)
+    if not request.analytic and args.backend == "sequential" \
+            and args.workers is not None:
         print("note: --workers has no effect with the sequential backend; "
               "pass --backend thread|process to parallelize",
               file=sys.stderr)
-    jobs = build(netlist, base, values, seed=args.seed, effort=args.effort)
-    runner = SweepRunner(backend=args.backend, workers=args.workers)
-    points = runner.run(jobs)
+    result = _session().run(request)
     if args.json:
-        print(json.dumps({
-            "sweep": args.what,
-            "workload": args.workload,
-            "grid": [base.cols, base.rows],
-            "backend": args.backend,
-            "points": [pt.to_dict() for pt in points],
-        }, indent=2))
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    if request.analytic:
+        from repro.analysis.report import sweep_table
+
+        label = "change rate" if args.what == "change-rate" else "contexts"
+        title = (
+            "Area ratio vs change rate" if args.what == "change-rate"
+            else "Area ratio vs context count"
+        )
+        rows = [(pt.value, pt.cmos_ratio, pt.fepg_ratio)
+                for pt in result.points]
+        print(sweep_table(rows, [label, "CMOS", "FePG"], title))
         return 0
     t = TextTable(
         [args.what, "routed", "wirelength", "critical path", "iterations"],
         title=f"{args.what} sweep: {args.workload} on "
-              f"{base.cols}x{base.rows}",
+              f"{result.grid[0]}x{result.grid[1]}",
     )
-    for pt in points:
+    for pt in result.points:
         t.add_row([
             pt.value, pt.routed, pt.wirelength,
             f"{pt.critical_path:.1f}", pt.iterations,
@@ -434,59 +338,45 @@ def _routing_sweep(args: argparse.Namespace, values: list[float]) -> int:
 
 
 def cmd_yield(args: argparse.Namespace) -> int:
-    from repro.arch.params import ArchParams
-    from repro.reliability import YieldRunner
+    from repro.api import ExecutionConfig, YieldRequest
     from repro.utils.tables import TextTable
 
     try:
-        rates = [float(v) for v in args.defect_rate.split(",") if v.strip()]
+        rates = tuple(
+            float(v) for v in args.defect_rate.split(",") if v.strip()
+        )
         spares = (
-            [int(v) for v in args.spare.split(",") if v.strip()]
+            tuple(int(v) for v in args.spare.split(",") if v.strip())
             if args.spare is not None else None
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not rates:
-        print("error: --defect-rate needs at least one rate", file=sys.stderr)
-        return 2
-    netlist = _build_circuit(args.workload)
-    base = ArchParams(
-        cols=args.grid, rows=args.grid, channel_width=args.width,
-        io_capacity=4,
+    request = YieldRequest(
+        workload=args.workload, grid=args.grid, width=args.width,
+        rates=rates, trials=args.trials, model=args.model,
+        spares=spares,
+        execution=ExecutionConfig(
+            backend=args.backend, workers=args.workers, seed=args.seed,
+            effort=args.effort,
+        ),
     )
-    runner = YieldRunner(backend=args.backend, workers=args.workers)
-    if spares is not None:
-        points = runner.spare_width_curve(
-            netlist, args.workload, base, spares, rates[0], args.trials,
-            model=args.model, seed=args.seed, effort=args.effort,
-        )
+    result = _session().run(request)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    if request.campaign == "spare-width":
         axis, axis_of = "spare tracks", (lambda pt: pt.spare_tracks)
     else:
-        points = runner.run_campaign(
-            netlist, args.workload, base, rates, args.trials,
-            model=args.model, seed=args.seed, effort=args.effort,
-        )
         axis, axis_of = "defect rate", (lambda pt: pt.defect_rate)
-    if args.json:
-        print(json.dumps({
-            "campaign": "spare-width" if spares is not None else "defect-rate",
-            "workload": args.workload,
-            "grid": [base.cols, base.rows],
-            "model": args.model,
-            "trials": args.trials,
-            "backend": args.backend,
-            "points": [pt.to_dict() for pt in points],
-        }, indent=2))
-        return 0
     t = TextTable(
         [axis, "W", "yield", "none/route/reroute/replace/fail",
          "wl ovh", "cp ovh"],
         title=f"Monte Carlo yield: {args.workload} on "
-              f"{base.cols}x{base.rows} ({args.model}, "
+              f"{result.grid[0]}x{result.grid[1]} ({args.model}, "
               f"{args.trials} trials/point)",
     )
-    for pt in points:
+    for pt in result.points:
         h = pt.repair_histogram
         t.add_row([
             axis_of(pt), pt.channel_width, f"{pt.yield_fraction:.1%}",
@@ -499,15 +389,59 @@ def cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    values = _sweep_values(args)
-    if args.what in ("change-rate", "contexts"):
-        if args.backend != "sequential" or args.workers is not None:
-            print(f"note: --backend/--workers have no effect on the "
-                  f"analytic {args.what} sweep (no routing involved)",
-                  file=sys.stderr)
-        return _analytic_sweep(args, values)
-    return _routing_sweep(args, values)
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec
+
+    spec = ExperimentSpec.from_file(args.spec)
+    session = _session()
+    if args.stream:
+        # one JSON line per streamed row: long campaigns report as they
+        # go, and concatenating the rows reproduces the blocking result
+        for stage, item in session.stream_spec(spec):
+            print(json.dumps({"stage": stage, "data": item.to_dict()}),
+                  flush=True)
+        return 0
+    result = session.run_spec(spec)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"spec {result.name!r} (workload {result.workload}): "
+          f"{len(result.stages)} stages")
+    for stage_doc, stage_result in zip(spec.stages, result.stages):
+        tag = stage_doc["stage"]
+        summary = _stage_summary(stage_result)
+        print(f"  {tag}: {summary}")
+    return 0
+
+
+def _stage_summary(result) -> str:
+    """One human line per spec stage result (rendered from the same
+    per-type payloads the report stage records)."""
+    from repro.api import ReportResult
+    from repro.api.session import stage_payload
+
+    if isinstance(result, ReportResult):
+        return json.dumps(result.summary)
+    named = stage_payload(result)
+    if named is None:
+        return repr(result)
+    kind, p = named
+    if kind == "map":
+        return (f"grid {p['grid'][0]}x{p['grid'][1]}, "
+                f"verified={p['verified']}, wirelength={p['wirelength']}")
+    if kind == "batch":
+        return (f"{len(p['workloads'])} workloads, "
+                f"all_verified={p['all_verified']}")
+    if kind == "sweep":
+        if "routed" not in p:  # analytic axes route nothing
+            return f"{p['points']} points"
+        return f"{p['points']} points ({p['routed']} routed)"
+    if kind == "yield":
+        return (f"{p['points']} points, "
+                f"yield {p['min_yield']:.1%}..{p['max_yield']:.1%}")
+    if kind == "reorder":
+        return f"decoder cost {p['cost_before']} -> {p['cost_after']} SEs"
+    return json.dumps(p)
 
 
 _COMMANDS = {
@@ -519,12 +453,21 @@ _COMMANDS = {
     "reorder": cmd_reorder,
     "sweep": cmd_sweep,
     "yield": cmd_yield,
+    "run": cmd_run,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.errors import RequestError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except RequestError as exc:
+        # one altitude for every command: invalid request/spec values
+        # (including SpecError) report as `error: ...` and exit 2
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,3 +42,14 @@ class SimulationError(ReproError):
 
 class CapacityError(ReproError):
     """A block ran out of physical resources (SEs, tracks, LUTs...)."""
+
+
+class RequestError(ReproError):
+    """Invalid :mod:`repro.api` request: bad field value, unknown
+    workload/backend, or a serialized payload with a missing/unsupported
+    ``schema_version`` or mismatched ``type`` tag."""
+
+
+class SpecError(RequestError):
+    """Invalid :class:`repro.api.ExperimentSpec` document (unknown stage,
+    malformed stage options...)."""

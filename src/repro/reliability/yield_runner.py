@@ -242,9 +242,14 @@ class YieldRunner:
         engine=None,
         backend: str = "sequential",
         workers: int | None = None,
+        runner: SweepRunner | None = None,
     ) -> None:
-        self._runner = SweepRunner(engine=engine, backend=backend,
-                                   workers=workers)
+        #: an explicit ``runner`` shares its placement cache with the
+        #: caller (the api ``Session`` passes its sweep runner, so a
+        #: yield stage reuses the anneal a sweep stage already paid for)
+        self._runner = runner if runner is not None else SweepRunner(
+            engine=engine, backend=backend, workers=workers
+        )
         self._golden: dict[tuple, GoldenMapping | None] = {}
 
     @property
@@ -278,6 +283,66 @@ class YieldRunner:
             )
         return self._golden[key]
 
+    def iter_campaign(
+        self,
+        netlist: Netlist,
+        workload: str,
+        base: ArchParams,
+        rates: Sequence[float],
+        trials: int,
+        model: str = "uniform",
+        seed: int = 0,
+        effort: float = 0.3,
+        max_iterations: int = POINT_MAX_ITERATIONS,
+        cluster_radius: int = CLUSTER_RADIUS,
+        cluster_size: int = CLUSTER_SIZE,
+        spare_tracks: int = 0,
+    ):
+        """Streaming form of :meth:`run_campaign`: yield each
+        :class:`YieldPoint` as soon as its ``trials`` results are in.
+
+        All trials (across every rate) are still submitted to the
+        backend up front, so parallel backends overlap cells; trial
+        results are consumed in submission order, so the aggregated
+        rows are bit-identical to the blocking call's.
+        """
+        rates = list(rates)
+        if model not in DEFECT_MODELS:
+            raise ValueError(
+                f"model must be one of {DEFECT_MODELS}, got {model!r}"
+            )
+        golden = self.golden_for(netlist, base, seed, effort, max_iterations)
+        if golden is None:
+            for r in rates:
+                yield _unroutable_point(workload, model, r, base, trials,
+                                        spare_tracks)
+            return
+        if trials <= 0:
+            for rate in rates:
+                yield _aggregate(workload, model, float(rate), base, [],
+                                 spare_tracks)
+            return
+        items: list[tuple[YieldTrialJob, GoldenMapping]] = []
+        for pi, rate in enumerate(rates):
+            for t in range(trials):
+                job = YieldTrialJob(
+                    workload=workload, params=base, netlist=netlist,
+                    defect_rate=float(rate), model=model, trial=t,
+                    defect_seed=trial_seed(seed, pi, t),
+                    seed=seed, effort=effort, max_iterations=max_iterations,
+                    cluster_radius=cluster_radius, cluster_size=cluster_size,
+                )
+                items.append((job, golden))
+        cell: list[TrialResult] = []
+        pi = 0
+        for tr in self._runner.iter_items(_evaluate_trial_item, items):
+            cell.append(tr)
+            if len(cell) == trials:
+                yield _aggregate(workload, model, float(rates[pi]), base,
+                                 cell, spare_tracks)
+                cell = []
+                pi += 1
+
     def run_campaign(
         self,
         netlist: Netlist,
@@ -299,37 +364,35 @@ class YieldRunner:
         pass the widened ``base`` themselves via
         :meth:`spare_width_curve`).
         """
-        if model not in DEFECT_MODELS:
-            raise ValueError(
-                f"model must be one of {DEFECT_MODELS}, got {model!r}"
+        return list(self.iter_campaign(
+            netlist, workload, base, rates, trials, model=model,
+            seed=seed, effort=effort, max_iterations=max_iterations,
+            cluster_radius=cluster_radius, cluster_size=cluster_size,
+            spare_tracks=spare_tracks,
+        ))
+
+    def iter_spare_width_curve(
+        self,
+        netlist: Netlist,
+        workload: str,
+        base: ArchParams,
+        spares: Sequence[int],
+        rate: float,
+        trials: int,
+        model: str = "uniform",
+        seed: int = 0,
+        effort: float = 0.3,
+        max_iterations: int = POINT_MAX_ITERATIONS,
+    ):
+        """Streaming form of :meth:`spare_width_curve` (one
+        :class:`YieldPoint` per spare width, as each completes)."""
+        for spare in spares:
+            params = base.with_(channel_width=base.channel_width + int(spare))
+            yield from self.iter_campaign(
+                netlist, workload, params, [rate], trials, model=model,
+                seed=seed, effort=effort, max_iterations=max_iterations,
+                spare_tracks=int(spare),
             )
-        golden = self.golden_for(netlist, base, seed, effort, max_iterations)
-        if golden is None:
-            return [
-                _unroutable_point(workload, model, r, base, trials,
-                                  spare_tracks)
-                for r in rates
-            ]
-        items: list[tuple[YieldTrialJob, GoldenMapping]] = []
-        for pi, rate in enumerate(rates):
-            for t in range(trials):
-                job = YieldTrialJob(
-                    workload=workload, params=base, netlist=netlist,
-                    defect_rate=float(rate), model=model, trial=t,
-                    defect_seed=trial_seed(seed, pi, t),
-                    seed=seed, effort=effort, max_iterations=max_iterations,
-                    cluster_radius=cluster_radius, cluster_size=cluster_size,
-                )
-                items.append((job, golden))
-        results = self._runner.map_items(_evaluate_trial_item, items)
-        points = []
-        for pi, rate in enumerate(rates):
-            cell = results[pi * trials:(pi + 1) * trials]
-            points.append(
-                _aggregate(workload, model, float(rate), base, cell,
-                           spare_tracks)
-            )
-        return points
 
     def spare_width_curve(
         self,
@@ -352,16 +415,10 @@ class YieldRunner:
         percentage points.  All points share one placement (the placer
         never sees channel width).
         """
-        out: list[YieldPoint] = []
-        for spare in spares:
-            params = base.with_(channel_width=base.channel_width + int(spare))
-            pts = self.run_campaign(
-                netlist, workload, params, [rate], trials, model=model,
-                seed=seed, effort=effort, max_iterations=max_iterations,
-                spare_tracks=int(spare),
-            )
-            out.extend(pts)
-        return out
+        return list(self.iter_spare_width_curve(
+            netlist, workload, base, spares, rate, trials, model=model,
+            seed=seed, effort=effort, max_iterations=max_iterations,
+        ))
 
 
 def combined_reliability_report(

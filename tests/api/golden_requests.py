@@ -1,0 +1,59 @@
+"""The pinned request catalog behind the golden-JSON fixtures.
+
+One small, fast request per result type.  ``tests/api/test_golden.py``
+re-executes each on a fresh session and compares the result's
+``to_dict()`` against the checked-in fixture, so any accidental change
+to a serialized shape (or to the numbers themselves) fails loudly.
+
+Regenerate deliberately (after an intentional schema/behavior change)::
+
+    PYTHONPATH=src python tests/api/regen_golden.py
+"""
+
+from repro.api import (
+    AreaRequest,
+    BatchRequest,
+    ExecutionConfig,
+    ExperimentSpec,
+    MapRequest,
+    ReorderRequest,
+    SweepRequest,
+    YieldRequest,
+)
+
+GOLDEN_REQUESTS = {
+    "map_result": MapRequest(
+        workload="adder", contexts=4, mutation=0.05,
+        execution=ExecutionConfig(seed=7),
+    ),
+    "batch_result": BatchRequest(
+        workloads=("adder", "cmp"), contexts=4, mutation=0.05,
+        execution=ExecutionConfig(seed=7),
+    ),
+    "sweep_result": SweepRequest(
+        what="channel-width", workload="adder", grid=5, values=(6, 8),
+        execution=ExecutionConfig(effort=0.2),
+    ),
+    "yield_result": YieldRequest(
+        workload="adder", grid=5, width=7, rates=(0.0, 0.05), trials=3,
+        execution=ExecutionConfig(effort=0.2),
+    ),
+    "area_result": AreaRequest(),
+    "reorder_result": ReorderRequest(
+        workload="adder", contexts=4, mutation=0.15,
+        execution=ExecutionConfig(seed=7),
+    ),
+}
+
+GOLDEN_SPEC = ExperimentSpec.from_dict({
+    "schema_version": 1,
+    "name": "golden-spec",
+    "workload": "adder",
+    "arch": {"grid": 5, "width": 7},
+    "execution": {"backend": "sequential", "seed": 0, "effort": 0.2},
+    "stages": [
+        {"stage": "map"},
+        {"stage": "sweep", "what": "channel-width", "values": [6, 7]},
+        {"stage": "report"},
+    ],
+})

@@ -1,0 +1,40 @@
+"""Regenerate the golden-JSON fixtures (deliberate changes only).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/api/regen_golden.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_requests import GOLDEN_REQUESTS, GOLDEN_SPEC  # noqa: E402
+
+from repro.api import Session  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def main() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    session = Session()
+    for name, request in GOLDEN_REQUESTS.items():
+        result = session.run(request)
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+    result = session.run_spec(GOLDEN_SPEC)
+    path = os.path.join(GOLDEN_DIR, "spec_result.json")
+    with open(path, "w") as fh:
+        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Pinned golden-JSON fixtures: one per result type.
+
+Each test re-runs the catalog request on a fresh session and compares
+the result's ``to_dict()`` with the checked-in fixture — structure
+exactly, floats to 1e-9 relative — so an accidental change to a
+serialized shape (or a behavioral regression that moves the numbers)
+fails loudly.  Regenerate deliberately with
+``PYTHONPATH=src python tests/api/regen_golden.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import Session
+
+from golden_requests import GOLDEN_REQUESTS, GOLDEN_SPEC
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _assert_same(actual, expected, path="$"):
+    """Recursive structural equality with float tolerance."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-12), path
+        return
+    assert type(actual) is type(expected), (
+        f"{path}: {type(actual).__name__} != {type(expected).__name__}"
+    )
+    if isinstance(expected, dict):
+        assert sorted(actual) == sorted(expected), path
+        for k in expected:
+            _assert_same(actual[k], expected[k], f"{path}.{k}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), path
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_same(a, e, f"{path}[{i}]")
+    else:
+        assert actual == expected, path
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def _load(name: str) -> dict:
+    with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_REQUESTS))
+def test_golden_result(session, name):
+    result = session.run(GOLDEN_REQUESTS[name])
+    _assert_same(json.loads(json.dumps(result.to_dict())), _load(name))
+
+
+def test_golden_spec_result(session):
+    result = session.run_spec(GOLDEN_SPEC)
+    _assert_same(json.loads(json.dumps(result.to_dict())),
+                 _load("spec_result"))

@@ -1,0 +1,215 @@
+"""Session facade tests: equivalence with the underlying subsystems
+(bit-identical rows), streaming == blocking, and cross-stage cache
+sharing."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import SweepRunner, channel_width_jobs
+from repro.api import (
+    BatchRequest,
+    BatchResult,
+    ExecutionConfig,
+    MapRequest,
+    MapResult,
+    ReorderRequest,
+    SweepRequest,
+    SweepResult,
+    YieldRequest,
+    YieldResult,
+    Session,
+    result_from_dict,
+)
+from repro.arch.params import ArchParams
+from repro.errors import RequestError
+from repro.reliability.yield_runner import YieldRunner
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+SWEEP_REQ = SweepRequest(
+    what="channel-width", workload="adder", grid=5, values=(6, 8),
+    execution=ExecutionConfig(effort=0.2),
+)
+YIELD_REQ = YieldRequest(
+    workload="adder", grid=5, width=7, rates=(0.0, 0.05), trials=3,
+    execution=ExecutionConfig(effort=0.2),
+)
+
+
+class TestSweepEquivalence:
+    """Session.run(SweepRequest) == direct SweepRunner, bit for bit."""
+
+    def test_rows_match_direct_runner(self, session):
+        result = session.run(SWEEP_REQ)
+        netlist = session.circuit("adder")
+        base = ArchParams(cols=5, rows=5, channel_width=10, io_capacity=4)
+        jobs = channel_width_jobs(netlist, base, [6, 8], seed=0, effort=0.2)
+        direct = SweepRunner().run(jobs)
+        assert [pt.to_dict() for pt in result.points] == \
+            [pt.to_dict() for pt in direct]
+
+    def test_stream_yields_same_rows(self, session):
+        blocking = session.run(SWEEP_REQ)
+        streamed = list(session.stream(SWEEP_REQ))
+        assert [pt.to_dict() for pt in streamed] == \
+            [pt.to_dict() for pt in blocking.points]
+
+    def test_backends_agree(self, session):
+        seq = session.run(SWEEP_REQ)
+        proc = session.run(SweepRequest(
+            what="channel-width", workload="adder", grid=5, values=(6, 8),
+            execution=ExecutionConfig(backend="process", workers=2,
+                                      effort=0.2),
+        ))
+        assert [pt.to_dict() for pt in seq.points] == \
+            [pt.to_dict() for pt in proc.points]
+
+    def test_analytic_sweep(self, session):
+        result = session.run(SweepRequest(what="change-rate",
+                                          values=(0.0, 0.05)))
+        assert [pt.value for pt in result.points] == [0.0, 0.05]
+        assert all(0 < pt.cmos_ratio < 1 for pt in result.points)
+
+    def test_progress_callback(self, session):
+        seen = []
+        list(session.stream(SWEEP_REQ,
+                            progress=lambda d, t, it: seen.append((d, t))))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestYieldEquivalence:
+    """Session.run(YieldRequest) == direct YieldRunner, bit for bit."""
+
+    def test_rows_match_direct_runner(self, session):
+        result = session.run(YIELD_REQ)
+        netlist = session.circuit("adder")
+        base = ArchParams(cols=5, rows=5, channel_width=7, io_capacity=4)
+        direct = YieldRunner().run_campaign(
+            netlist, "adder", base, [0.0, 0.05], 3, seed=0, effort=0.2,
+        )
+        assert [pt.to_dict() for pt in result.points] == \
+            [pt.to_dict() for pt in direct]
+
+    def test_stream_yields_same_rows(self, session):
+        blocking = session.run(YIELD_REQ)
+        streamed = list(session.stream(YIELD_REQ))
+        assert [pt.to_dict() for pt in streamed] == \
+            [pt.to_dict() for pt in blocking.points]
+
+    def test_backends_agree(self, session):
+        seq = session.run(YIELD_REQ)
+        proc = session.run(YieldRequest(
+            workload="adder", grid=5, width=7, rates=(0.0, 0.05), trials=3,
+            execution=ExecutionConfig(backend="process", workers=2,
+                                      effort=0.2),
+        ))
+        assert [pt.to_dict() for pt in seq.points] == \
+            [pt.to_dict() for pt in proc.points]
+
+    def test_spare_curve(self, session):
+        result = session.run(YieldRequest(
+            workload="adder", grid=5, width=7, rates=(0.05,), trials=3,
+            spares=(0, 2), execution=ExecutionConfig(effort=0.2),
+        ))
+        assert result.campaign == "spare-width"
+        assert [pt.spare_tracks for pt in result.points] == [0, 2]
+        assert [pt.channel_width for pt in result.points] == [7, 9]
+
+
+class TestBatchAndMap:
+    def test_batch_matches_sequential_maps(self, session):
+        req = BatchRequest(workloads=("adder", "cmp"), contexts=4,
+                           execution=ExecutionConfig(seed=7))
+        batch = session.run(req)
+        singles = [
+            session.run(MapRequest(workload=w, contexts=4,
+                                   execution=ExecutionConfig(seed=7)))
+            for w in ("adder", "cmp")
+        ]
+        assert [r.to_dict() for r in batch.results] == \
+            [r.to_dict() for r in singles]
+
+    def test_batch_thread_backend_agrees(self, session):
+        seq = session.run(BatchRequest(workloads=("adder", "cmp")))
+        thr = session.run(BatchRequest(
+            workloads=("adder", "cmp"),
+            execution=ExecutionConfig(backend="thread", workers=2),
+        ))
+        assert [r.to_dict() for r in seq.results] == \
+            [r.to_dict() for r in thr.results]
+
+    def test_batch_stream_matches_blocking(self, session):
+        req = BatchRequest(
+            workloads=("adder", "cmp"),
+            execution=ExecutionConfig(backend="thread", workers=2),
+        )
+        blocking = session.run(req)
+        streamed = list(session.stream(req))
+        assert [r.to_dict() for r in streamed] == \
+            [r.to_dict() for r in blocking.results]
+
+    def test_map_result_carries_experiment(self, session):
+        result = session.run(MapRequest(workload="adder"))
+        assert result.experiment is not None
+        assert result.experiment.mapped.params.cols == result.grid[0]
+
+    def test_unsupported_request_type(self, session):
+        with pytest.raises(RequestError, match="unsupported request"):
+            session.run(object())
+
+
+class TestResultRoundTrips:
+    """from_dict(to_dict(x)) == x for every result type produced live."""
+
+    def test_sweep_result(self, session):
+        r = session.run(SWEEP_REQ)
+        assert SweepResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+
+    def test_yield_result(self, session):
+        r = session.run(YIELD_REQ)
+        assert YieldResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+
+    def test_map_result(self, session):
+        r = session.run(MapRequest(workload="adder"))
+        assert MapResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+
+    def test_batch_result(self, session):
+        r = session.run(BatchRequest(workloads=("adder",)))
+        assert BatchResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r
+
+    def test_reorder_result(self, session):
+        r = session.run(ReorderRequest(workload="adder",
+                                       execution=ExecutionConfig(seed=7)))
+        rt = result_from_dict(json.loads(json.dumps(r.to_dict())))
+        assert rt == r
+
+
+class TestCacheSharing:
+    def test_circuit_cached_by_identity(self, session):
+        assert session.circuit("adder") is session.circuit("adder")
+
+    def test_sweep_runner_shared_per_config(self, session):
+        cfg = ExecutionConfig(backend="thread", workers=3)
+        assert session.sweep_runner(cfg) is session.sweep_runner(cfg)
+
+    def test_yield_rides_sweep_placement_cache(self):
+        """A yield stage's golden mapping must reuse the placement a
+        sweep stage already computed (same netlist identity, grid,
+        seed, effort)."""
+        s = Session()
+        s.run(SweepRequest(
+            what="channel-width", workload="adder", grid=5, values=(7,),
+            execution=ExecutionConfig(effort=0.2),
+        ))
+        runner = s.sweep_runner(ExecutionConfig(effort=0.2))
+        placements_before = len(runner._placements)
+        s.run(YieldRequest(workload="adder", grid=5, width=7,
+                           rates=(0.0,), trials=1,
+                           execution=ExecutionConfig(effort=0.2)))
+        # golden_for went through the same runner: no new anneal
+        assert len(runner._placements) == placements_before

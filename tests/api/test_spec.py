@@ -1,0 +1,225 @@
+"""ExperimentSpec tests: document validation, round trips, execution
+with cross-stage sharing, and streaming == blocking."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    MapRequest,
+    ReportResult,
+    Session,
+    SpecResult,
+    SweepRequest,
+    YieldRequest,
+)
+from repro.errors import SpecError
+
+SPEC_DOC = {
+    "schema_version": 1,
+    "name": "test-spec",
+    "workload": "adder",
+    "arch": {"grid": 5, "width": 7},
+    "execution": {"backend": "sequential", "seed": 0, "effort": 0.2},
+    "stages": [
+        {"stage": "map", "contexts": 4, "mutation": 0.05},
+        {"stage": "sweep", "what": "channel-width", "values": [6, 7]},
+        {"stage": "yield", "rates": [0.0, 0.03], "trials": 4},
+        {"stage": "report"},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ExperimentSpec.from_dict(SPEC_DOC)
+
+
+class TestSpecDocument:
+    def test_round_trip(self, spec):
+        assert ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_stage_requests_inherit_header(self, spec):
+        reqs = dict(spec.requests())
+        assert isinstance(reqs["map"], MapRequest)
+        assert reqs["map"].workload == "adder"
+        sweep = reqs["sweep"]
+        assert isinstance(sweep, SweepRequest)
+        assert (sweep.grid, sweep.width) == (5, 7)
+        assert sweep.execution.effort == 0.2
+        y = reqs["yield"]
+        assert isinstance(y, YieldRequest)
+        assert (y.grid, y.width, y.trials) == (5, 7, 4)
+        assert reqs["report"] is None
+
+    def test_stage_execution_override_merges_with_header(self):
+        """A stage naming only `backend` keeps the header's seed/effort."""
+        doc = dict(SPEC_DOC)
+        doc["execution"] = {"backend": "sequential", "seed": 7,
+                            "effort": 0.2}
+        doc["stages"] = [
+            {"stage": "sweep", "what": "channel-width", "values": [6],
+             "execution": {"backend": "process"}},
+        ]
+        req = ExperimentSpec.from_dict(doc).request_for(doc["stages"][0])
+        assert req.execution.backend == "process"
+        assert req.execution.seed == 7
+        assert req.execution.effort == 0.2
+
+    def test_bad_sweep_values_rejected_at_load(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [
+            {"stage": "sweep", "what": "channel-width",
+             "values": ["oops"]},
+        ]
+        with pytest.raises(SpecError, match="numbers"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_batch_stage_inherits_spec_workload(self):
+        doc = dict(SPEC_DOC)
+        doc["workload"] = "cmp"
+        doc["stages"] = [{"stage": "batch"}]
+        req = ExperimentSpec.from_dict(doc).request_for(doc["stages"][0])
+        assert req.workloads == ("cmp",)
+
+    def test_stage_overrides_header(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [
+            {"stage": "sweep", "what": "fc", "workload": "cmp", "grid": 4},
+        ]
+        req = ExperimentSpec.from_dict(doc).request_for(doc["stages"][0])
+        assert req.workload == "cmp"
+        assert req.grid == 4
+        assert req.width == 7  # still inherited from arch
+
+    def test_unknown_stage_rejected(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [{"stage": "teleport"}]
+        with pytest.raises(SpecError, match="unknown stage"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_unknown_stage_option_rejected(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [{"stage": "map", "wibble": 3}]
+        with pytest.raises(SpecError, match="unknown options"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_bad_stage_value_rejected_at_load(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [{"stage": "yield", "model": "radial"}]
+        with pytest.raises(SpecError, match="model"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_empty_stages_rejected(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = []
+        with pytest.raises(SpecError, match="at least one stage"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_unknown_spec_key_rejected(self):
+        doc = dict(SPEC_DOC)
+        doc["stagez"] = []
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_unknown_execution_key_rejected(self):
+        from repro.errors import RequestError
+
+        doc = dict(SPEC_DOC)
+        doc["execution"] = {"worker": 4}
+        with pytest.raises(RequestError, match="unknown execution keys"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_unknown_arch_key_rejected(self):
+        doc = dict(SPEC_DOC)
+        doc["arch"] = {"grid": 5, "voltage": 1.2}
+        with pytest.raises(SpecError, match="arch"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_from_file(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC_DOC))
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_from_file_missing(self):
+        with pytest.raises(SpecError, match="cannot read spec"):
+            ExperimentSpec.from_file("/nonexistent/spec.json")
+
+
+class TestSpecExecution:
+    @pytest.fixture(scope="class")
+    def executed(self, spec):
+        session = Session()
+        return session, session.run_spec(spec)
+
+    def test_one_result_per_stage(self, executed, spec):
+        _, result = executed
+        assert len(result.stages) == len(spec.stages)
+        tags = [r.TYPE_TAG for r in result.stages]
+        assert tags == ["map_result", "sweep_result", "yield_result",
+                        "report_result"]
+
+    def test_report_summarizes_prior_stages(self, executed):
+        _, result = executed
+        report = result.stages[-1]
+        assert isinstance(report, ReportResult)
+        assert report.summary["stages_run"] == ["map", "sweep", "yield"]
+        assert report.summary["map"]["verified"] is True
+        assert report.summary["sweep"]["points"] == 2
+        assert report.summary["yield"]["points"] == 2
+
+    def test_spec_result_round_trip(self, executed):
+        _, result = executed
+        assert SpecResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        ) == result
+
+    def test_stream_concatenates_to_blocking(self, executed, spec):
+        session, blocking = executed
+        events = list(session.stream_spec(spec))
+        # group streamed rows by stage, in order
+        by_stage: dict = {}
+        for stage, item in events:
+            by_stage.setdefault(stage, []).append(item)
+        assert [p.to_dict() for p in by_stage["sweep"]] == \
+            [p.to_dict() for p in blocking.stages[1].points]
+        assert [p.to_dict() for p in by_stage["yield"]] == \
+            [p.to_dict() for p in blocking.stages[2].points]
+        assert by_stage["map"][0].to_dict() == blocking.stages[0].to_dict()
+        assert by_stage["report"][0].to_dict() == \
+            blocking.stages[-1].to_dict()
+
+    def test_report_keeps_repeated_stage_kinds(self):
+        doc = dict(SPEC_DOC)
+        doc["stages"] = [
+            {"stage": "sweep", "what": "channel-width", "values": [6, 7]},
+            {"stage": "sweep", "what": "fc", "values": [1.0]},
+            {"stage": "report"},
+        ]
+        result = Session().run_spec(ExperimentSpec.from_dict(doc))
+        summary = result.stages[-1].summary
+        assert summary["stages_run"] == ["sweep", "sweep"]
+        assert summary["sweep"]["axis"] == "channel-width"
+        assert summary["sweep_2"]["axis"] == "fc"
+
+    def test_cross_stage_substrate_sharing(self, spec):
+        """The whole spec must build each device substrate at most once
+        and share placements between the sweep grid and the yield
+        stage's golden mapping."""
+        from repro.arch import compiled as C
+
+        session = Session()
+        before = C.flat_rrg_for.cache_info()
+        session.run_spec(spec)
+        after = C.flat_rrg_for.cache_info()
+        # sweep widths 6 and 7 plus the yield device (width 7, shared
+        # with the sweep point): at most 2 fresh builds
+        assert after.misses - before.misses <= 2
+        runner = session.sweep_runner(spec.execution)
+        # one netlist x one (grid, seed, effort) config -> one anneal
+        # shared by both sweep points, the yield golden mapping, and
+        # every Monte Carlo trial
+        assert len(runner._placements) == 1

@@ -6,6 +6,27 @@ import pytest
 
 from repro.cli import main
 
+SPEC_DOC = {
+    "schema_version": 1,
+    "name": "cli-spec",
+    "workload": "adder",
+    "arch": {"grid": 5, "width": 7},
+    "execution": {"backend": "sequential", "seed": 0, "effort": 0.2},
+    "stages": [
+        {"stage": "map"},
+        {"stage": "sweep", "what": "channel-width", "values": [6, 7]},
+        {"stage": "yield", "rates": [0.0, 0.03], "trials": 3},
+        {"stage": "report"},
+    ],
+}
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_DOC))
+    return str(path)
+
 
 class TestPatterns:
     def test_runs(self, capsys):
@@ -201,6 +222,82 @@ class TestYield:
                      "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["model"] == "clustered"
+
+
+class TestRun:
+    def test_summary_output(self, capsys, spec_file):
+        assert main(["run", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli-spec" in out
+        assert "map:" in out and "sweep:" in out and "yield:" in out
+
+    def test_json_output(self, capsys, spec_file):
+        assert main(["run", spec_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["type"] == "spec_result"
+        assert data["name"] == "cli-spec"
+        assert [s["type"] for s in data["stages"]] == [
+            "map_result", "sweep_result", "yield_result", "report_result",
+        ]
+
+    def test_stream_concatenates_to_blocking(self, capsys, spec_file):
+        """The CI contract: streamed per-row events, grouped by stage,
+        must be bit-identical to the blocking result's rows."""
+        assert main(["run", spec_file, "--json"]) == 0
+        blocking = json.loads(capsys.readouterr().out)
+        assert main(["run", spec_file, "--stream"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines() if line.strip()]
+        by_stage: dict = {}
+        for ev in events:
+            by_stage.setdefault(ev["stage"], []).append(ev["data"])
+        stages = {s["type"]: s for s in blocking["stages"]}
+        assert by_stage["sweep"] == stages["sweep_result"]["points"]
+        assert by_stage["yield"] == stages["yield_result"]["points"]
+        assert by_stage["map"] == [stages["map_result"]]
+        assert by_stage["report"][0] == stages["report_result"]
+
+    def test_stream_and_json_mutually_exclusive(self, spec_file):
+        with pytest.raises(SystemExit):
+            main(["run", spec_file, "--stream", "--json"])
+
+    def test_missing_spec_rejected(self, capsys):
+        assert main(["run", "/nonexistent/spec.json"]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_bad_spec_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1, "name": "x",
+                                    "stages": [{"stage": "teleport"}]}))
+        assert main(["run", str(path)]) == 2
+        assert "unknown stage" in capsys.readouterr().err
+
+
+class TestThinShell:
+    def test_cli_has_no_direct_subsystem_calls(self):
+        """The acceptance invariant: cli.py routes everything through
+        repro.api — no SweepRunner/YieldRunner/map_batch in sight."""
+        import inspect
+
+        import repro.cli as cli
+
+        src = inspect.getsource(cli)
+        for needle in ("SweepRunner", "YieldRunner", "map_batch",
+                       "run_full_flow", "MappingEngine"):
+            assert needle not in src, needle
+
+
+class TestRequestErrors:
+    """Invalid request values report uniformly: `error: ...` + exit 2."""
+
+    def test_bad_mutation(self, capsys):
+        assert main(["map", "--mutation", "1.5"]) == 2
+        assert "mutation" in capsys.readouterr().err
+
+    def test_empty_sweep_values(self, capsys):
+        assert main(["sweep", "--what", "channel-width",
+                     "--values", ""]) == 2
+        assert "values" in capsys.readouterr().err
 
 
 class TestParser:

@@ -1,0 +1,131 @@
+"""Service-layer throughput: concurrent jobs vs sequential Session.run.
+
+The payoff measurement for the job layer: N small map jobs submitted
+to a :class:`repro.service.JobManager` (bounded worker pool, one
+shared :class:`~repro.api.Session`) against the same N requests run
+back to back through ``Session.run``.
+
+Two properties are asserted, one is reported:
+
+- **cache sharing** — all jobs target the same fitted device, so the
+  whole concurrent batch performs exactly **one** compiled-substrate
+  build (``compiled_rrg_for`` cache, same invariant the yield bench
+  pins for trials);
+- **row fidelity** — every job's result equals the sequential
+  ``Session.run`` of the same request (order preserved per request);
+- **throughput** — jobs/sec for both modes.  Mapping is pure-Python
+  CPU work, so under the GIL the thread-pooled manager roughly ties
+  the sequential loop — the win it buys is *lifecycle* (submit many,
+  observe, cancel) without forfeiting the shared caches; no wall-clock
+  gate is asserted (CI runners make those flaky).
+
+Runs two ways:
+
+- under pytest with the benchmark harness
+  (``pytest benchmarks/bench_service_throughput.py --benchmark-only -s``);
+- standalone (``python benchmarks/bench_service_throughput.py
+  [--smoke]``) for CI smoke runs (``--smoke`` shrinks N).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.api import ExecutionConfig, MapRequest, Session
+from repro.arch.compiled import clear_rrg_cache, compiled_rrg_for
+from repro.service import JobManager
+from repro.utils.tables import TextTable
+
+EFFORT = 0.3
+WORKERS = 4
+
+FULL_JOBS = 12
+SMOKE_JOBS = 6
+
+
+def _requests(n: int) -> list:
+    # same workload, distinct placement seeds: every job anneals and
+    # routes fresh (no result dedup possible) but all fit the same
+    # grid -> one substrate build covers the whole batch (mutation 0
+    # keeps the per-seed program sizes, and thus the fitted device,
+    # identical)
+    return [
+        MapRequest(workload="adder", contexts=2, mutation=0.0,
+                   execution=ExecutionConfig(seed=seed, effort=EFFORT))
+        for seed in range(n)
+    ]
+
+
+def _sequential(requests) -> "tuple[list, float]":
+    session = Session()
+    t0 = time.perf_counter()
+    results = [session.run(r) for r in requests]
+    return results, time.perf_counter() - t0
+
+
+def _concurrent(requests) -> "tuple[list, float]":
+    with JobManager(session=Session(), workers=WORKERS) as manager:
+        t0 = time.perf_counter()
+        handles = [manager.submit(r) for r in requests]
+        results = [h.result(timeout=600) for h in handles]
+        elapsed = time.perf_counter() - t0
+    return results, elapsed
+
+
+def _measure(n_jobs: int) -> dict:
+    requests = _requests(n_jobs)
+
+    clear_rrg_cache()
+    seq_results, t_seq = _sequential(requests)
+    clear_rrg_cache()
+    job_results, t_jobs = _concurrent(requests)
+
+    info = compiled_rrg_for.cache_info()
+    assert info.misses == 1, (
+        f"expected 1 substrate build for {n_jobs} concurrent jobs, "
+        f"got {info.misses}"
+    )
+    assert job_results == seq_results, (
+        "JobManager results diverged from sequential Session.run"
+    )
+    return {
+        "jobs": n_jobs,
+        "t_seq": t_seq,
+        "t_jobs": t_jobs,
+        "seq_rate": n_jobs / t_seq,
+        "jobs_rate": n_jobs / t_jobs,
+        "substrate_builds": info.misses,
+    }
+
+
+def _report(row: dict) -> None:
+    t = TextTable(
+        ["mode", "jobs", "time [s]", "jobs/sec"],
+        title=f"Service throughput ({WORKERS} workers, "
+              f"{row['substrate_builds']} substrate build)",
+    )
+    t.add_row(["Session.run loop", row["jobs"], f"{row['t_seq']:.2f}",
+               f"{row['seq_rate']:.2f}"])
+    t.add_row(["JobManager", row["jobs"], f"{row['t_jobs']:.2f}",
+               f"{row['jobs_rate']:.2f}"])
+    print(t.render())
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    row = _measure(SMOKE_JOBS if smoke else FULL_JOBS)
+    _report(row)
+    print("service bench ok: results identical, one substrate build, "
+          f"{row['jobs_rate']:.2f} jobs/sec through the manager")
+    return 0
+
+
+# -- pytest-benchmark entry points ---------------------------------------- #
+def test_service_throughput_smoke(benchmark=None):
+    row = _measure(SMOKE_JOBS)
+    assert row["substrate_builds"] == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

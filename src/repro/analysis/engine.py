@@ -60,7 +60,7 @@ _BATCH_BACKENDS = ("thread", "process")
 
 def _process_map_job(
     program, params: ArchParams | None, share_aware: bool, seed: int,
-    effort: float,
+    effort: float, route_workers: int | None = None,
 ):
     """Top-level worker for the process backend (must be picklable).
 
@@ -74,7 +74,8 @@ def _process_map_job(
     if params is None:
         params = _fit_params(program)
     mapped = MappingEngine().map(
-        program, params, share_aware=share_aware, seed=seed, effort=effort
+        program, params, share_aware=share_aware, seed=seed, effort=effort,
+        route_workers=route_workers,
     )
     return params, mapped.placements, mapped.routes
 
@@ -151,6 +152,7 @@ class MappingEngine:
         effort: float = 0.5,
         workers: int | None = None,
         backend: str = "thread",
+        route_workers: int | None = None,
     ):
         """Streaming form of :meth:`map_batch`: yield each
         :class:`~repro.analysis.experiments.MappedProgram` as soon as it
@@ -176,18 +178,20 @@ class MappingEngine:
         if not n or n <= 1 or len(jobs) <= 1:
             for p in jobs:
                 yield self.map(p, params, share_aware=share_aware,
-                               seed=seed, effort=effort)
+                               seed=seed, effort=effort,
+                               route_workers=route_workers)
             return
         if backend == "process":
             yield from self._iter_map_batch_process(
-                jobs, params, share_aware, seed, effort, n
+                jobs, params, share_aware, seed, effort, n, route_workers
             )
             return
         pool = ThreadPoolExecutor(max_workers=min(n, len(jobs)))
         try:
             futures = [
                 pool.submit(self.map, p, params, share_aware=share_aware,
-                            seed=seed, effort=effort)
+                            seed=seed, effort=effort,
+                            route_workers=route_workers)
                 for p in jobs
             ]
             for f in futures:
@@ -205,6 +209,7 @@ class MappingEngine:
         effort: float = 0.5,
         workers: int | None = None,
         backend: str = "thread",
+        route_workers: int | None = None,
     ) -> list:
         """Map every program, sharing the compiled substrate.
 
@@ -223,11 +228,12 @@ class MappingEngine:
         return list(self.iter_map_batch(
             programs, params, share_aware=share_aware, seed=seed,
             effort=effort, workers=workers, backend=backend,
+            route_workers=route_workers,
         ))
 
     def _iter_map_batch_process(
         self, jobs: list, params: ArchParams | None, share_aware: bool,
-        seed: int, effort: float, n: int,
+        seed: int, effort: float, n: int, route_workers: int | None = None,
     ):
         """Process-pool batch: ship jobs out, re-bind results locally.
 
@@ -242,7 +248,7 @@ class MappingEngine:
         try:
             futures = [
                 pool.submit(_process_map_job, p, params, share_aware,
-                            seed, effort)
+                            seed, effort, route_workers)
                 for p in jobs
             ]
             for program, fut in zip(jobs, futures):

@@ -49,6 +49,7 @@ equivalence suite in ``tests/analysis/test_sweep.py`` pins this.
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -59,6 +60,7 @@ from repro.netlist.netlist import Netlist
 from repro.place.placer import Placement, place
 from repro.route.pathfinder import route_context_compiled
 from repro.route.timing import critical_path
+from repro.utils.iters import SizedIterator
 
 #: PathFinder iteration budget per sweep point.  Matches the legacy
 #: per-point flow (``route_context(..., max_iterations=25)``), so sweep
@@ -231,19 +233,24 @@ class SweepRunner:
         self.backend = backend
         self.workers = workers
         self._placements: dict[tuple, Placement] = {}
+        # concurrent jobs (the service layer's worker pool) share one
+        # runner; the lock keeps get-or-create single-flight so equal
+        # configurations always receive the *same* Placement object
+        self._placements_lock = threading.Lock()
 
     def placement_for(self, job: SweepJob) -> Placement:
         """The (cached) placement for a job's placement-relevant config."""
         key = _placement_key(job)
-        pl = self._placements.get(key)
-        if pl is None:
-            pl = place(
-                job.netlist, job.params, seed=job.seed, effort=job.effort
-            )
-            self._placements[key] = pl
+        with self._placements_lock:
+            pl = self._placements.get(key)
+            if pl is None:
+                pl = place(
+                    job.netlist, job.params, seed=job.seed, effort=job.effort
+                )
+                self._placements[key] = pl
         return pl
 
-    def iter_items(self, fn, items: Sequence):
+    def iter_items(self, fn, items: Sequence) -> SizedIterator:
         """Execute ``fn`` over ``items``, yielding results incrementally.
 
         Results keep the order of ``items`` on every backend: parallel
@@ -252,9 +259,14 @@ class SweepRunner:
         consumers see exactly the rows :meth:`map_items` would collect —
         bit-identical, just earlier.  A failing item raises its error
         when its slot is reached.  ``fn`` must be a picklable top-level
-        callable for the process backend.
+        callable for the process backend.  The returned iterator is a
+        :class:`~repro.utils.iters.SizedIterator` — ``len()`` is the
+        total row count, available before any work runs.
         """
         items = list(items)
+        return SizedIterator(self._iter_items(fn, items), len(items))
+
+    def _iter_items(self, fn, items: list):
         if not items:
             return
         n = self.workers if self.workers is not None else (os.cpu_count() or 1)
@@ -290,10 +302,14 @@ class SweepRunner:
         """
         return list(self.iter_items(fn, items))
 
-    def iter_run(self, jobs: Sequence[SweepJob]):
+    def iter_run(self, jobs: Sequence[SweepJob]) -> SizedIterator:
         """Evaluate every job, yielding each :class:`SweepPoint` as it
-        completes (in job order) — the streaming form of :meth:`run`."""
+        completes (in job order) — the streaming form of :meth:`run`.
+        Sized: ``len()`` is the grid size."""
         jobs = list(jobs)
+        return SizedIterator(self._iter_run(jobs), len(jobs))
+
+    def _iter_run(self, jobs: list):
         if not jobs:
             return
         # placements are computed (and deduplicated) up front in the

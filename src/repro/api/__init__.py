@@ -47,6 +47,7 @@ from repro.api.requests import (
     SweepRequest,
     YieldRequest,
     request_from_dict,
+    request_total_rows,
 )
 from repro.api.results import (
     AreaResult,
@@ -61,8 +62,13 @@ from repro.api.results import (
     result_from_dict,
 )
 from repro.api.serialize import SCHEMA_VERSION
-from repro.api.session import Session, default_session
-from repro.api.spec import STAGES, ExperimentSpec
+from repro.api.session import (
+    Session,
+    build_report,
+    default_session,
+    stage_rows,
+)
+from repro.api.spec import GRID_AXES, STAGES, ExperimentSpec
 from repro.api.workloads import WORKLOADS, build_circuit, build_program
 
 __all__ = [
@@ -74,6 +80,7 @@ __all__ = [
     "BatchResult",
     "ExecutionConfig",
     "ExperimentSpec",
+    "GRID_AXES",
     "MapRequest",
     "MapResult",
     "REQUEST_TYPES",
@@ -95,7 +102,10 @@ __all__ = [
     "YieldResult",
     "build_circuit",
     "build_program",
+    "build_report",
     "default_session",
     "request_from_dict",
+    "request_total_rows",
     "result_from_dict",
+    "stage_rows",
 ]

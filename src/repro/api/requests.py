@@ -50,12 +50,17 @@ class ExecutionConfig:
     ``effort=None`` means "the flow's historical default" (0.5 for
     mapping flows, 0.3 for sweep/yield points), so requests that don't
     care inherit exactly the behavior the subsystems always had.
+    ``route_workers`` parallelises per-context routing *inside* one
+    mapping job (share-unaware mode only — share-aware routing reuses
+    earlier contexts' routes, a sequential dependency by construction);
+    it is independent of ``workers``, which sizes the across-jobs pool.
     """
 
     backend: str = "sequential"
     workers: int | None = None
     seed: int = 0
     effort: float | None = None
+    route_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -74,6 +79,13 @@ class ExecutionConfig:
             raise RequestError(
                 f"effort must be in (0, 1] or None, got {self.effort!r}"
             )
+        if self.route_workers is not None and (
+            not isinstance(self.route_workers, int) or self.route_workers < 1
+        ):
+            raise RequestError(
+                f"route_workers must be None or a positive int, "
+                f"got {self.route_workers!r}"
+            )
 
     def effort_or(self, default: float) -> float:
         """The configured effort, or the calling flow's default."""
@@ -85,22 +97,25 @@ class ExecutionConfig:
             "workers": self.workers,
             "seed": self.seed,
             "effort": self.effort,
+            "route_workers": self.route_workers,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ExecutionConfig":
-        unknown = set(d) - {"backend", "workers", "seed", "effort"}
+        unknown = set(d) - {"backend", "workers", "seed", "effort",
+                            "route_workers"}
         if unknown:
             # a typo'd key must not silently run with defaults
             raise RequestError(
                 f"unknown execution keys {sorted(unknown)} "
-                f"(known: backend, workers, seed, effort)"
+                f"(known: backend, workers, seed, effort, route_workers)"
             )
         return cls(
             backend=d.get("backend", "sequential"),
             workers=d.get("workers"),
             seed=d.get("seed", 0),
             effort=d.get("effort"),
+            route_workers=d.get("route_workers"),
         )
 
 
@@ -357,6 +372,26 @@ class ReorderRequest(_Request):
         check_workload(self.workload)
         _check_contexts(self.contexts)
         _check_fraction("mutation", self.mutation)
+
+
+def request_total_rows(request) -> int:
+    """How many rows :meth:`repro.api.Session.stream` will yield for
+    ``request`` — known before any work runs, so progress reporters
+    (the job layer's rows-done/rows-total counters) can size their
+    denominators up front.
+    """
+    if isinstance(request, BatchRequest):
+        return len(request.workloads)
+    if isinstance(request, SweepRequest):
+        return len(request.resolved_values())
+    if isinstance(request, YieldRequest):
+        return len(request.spares) if request.spares is not None \
+            else len(request.rates)
+    if isinstance(request, (MapRequest, AreaRequest, ReorderRequest)):
+        return 1
+    raise RequestError(
+        f"unsupported request type {type(request).__name__}"
+    )
 
 
 #: Type tag -> request class, for generic deserialization.

@@ -26,6 +26,7 @@ target it directly (requests and results all have versioned
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.analysis.engine import DEFAULT_ENGINE, MappingEngine
 from repro.analysis.sweep import (
@@ -85,6 +86,12 @@ class Session:
         self._programs: dict[tuple, object] = {}
         self._sweep_runners: dict[tuple, SweepRunner] = {}
         self._yield_runners: dict[tuple, YieldRunner] = {}
+        # one lock for every get-or-create cache: concurrent requests
+        # (the service layer's job workers share one Session) must
+        # receive the *same* cached object for equal keys — the sweep
+        # placement cache keys on netlist identity, so a duplicated
+        # build would silently fork the downstream caches
+        self._cache_lock = threading.RLock()
 
     # -- shared caches ------------------------------------------------------ #
     def circuit(self, workload: str):
@@ -94,22 +101,24 @@ class Session:
         keys on netlist *identity*, so two stages asking for the same
         workload must receive the same object to share an anneal.
         """
-        nl = self._circuits.get(workload)
-        if nl is None:
-            nl = build_circuit(workload)
-            self._circuits[workload] = nl
-        return nl
+        with self._cache_lock:
+            nl = self._circuits.get(workload)
+            if nl is None:
+                nl = build_circuit(workload)
+                self._circuits[workload] = nl
+            return nl
 
     def program(self, workload: str, contexts: int, mutation: float,
                 seed: int):
         """The (cached) multi-context program for a named workload."""
         key = (workload, contexts, mutation, seed)
-        prog = self._programs.get(key)
-        if prog is None:
-            prog = build_program(workload, contexts, mutation, seed,
-                                 base=self.circuit(workload))
-            self._programs[key] = prog
-        return prog
+        with self._cache_lock:
+            prog = self._programs.get(key)
+            if prog is None:
+                prog = build_program(workload, contexts, mutation, seed,
+                                     base=self.circuit(workload))
+                self._programs[key] = prog
+            return prog
 
     def sweep_runner(self, config: ExecutionConfig | None = None
                      ) -> SweepRunner:
@@ -117,12 +126,14 @@ class Session:
         (placement cache shared across every request that uses it)."""
         config = config if config is not None else ExecutionConfig()
         key = (config.backend, config.workers)
-        runner = self._sweep_runners.get(key)
-        if runner is None:
-            runner = SweepRunner(engine=self.engine, backend=config.backend,
-                                 workers=config.workers)
-            self._sweep_runners[key] = runner
-        return runner
+        with self._cache_lock:
+            runner = self._sweep_runners.get(key)
+            if runner is None:
+                runner = SweepRunner(engine=self.engine,
+                                     backend=config.backend,
+                                     workers=config.workers)
+                self._sweep_runners[key] = runner
+            return runner
 
     def yield_runner(self, config: ExecutionConfig | None = None
                      ) -> YieldRunner:
@@ -131,19 +142,21 @@ class Session:
         placements that sweep stages already computed."""
         config = config if config is not None else ExecutionConfig()
         key = (config.backend, config.workers)
-        runner = self._yield_runners.get(key)
-        if runner is None:
-            runner = YieldRunner(runner=self.sweep_runner(config))
-            self._yield_runners[key] = runner
-        return runner
+        with self._cache_lock:
+            runner = self._yield_runners.get(key)
+            if runner is None:
+                runner = YieldRunner(runner=self.sweep_runner(config))
+                self._yield_runners[key] = runner
+            return runner
 
     def map_program(self, program, params=None, share_aware: bool = True,
-                    seed: int = 0, effort: float = MAP_EFFORT, rrg=None):
+                    seed: int = 0, effort: float = MAP_EFFORT, rrg=None,
+                    route_workers: int | None = None):
         """Place and route an explicit program object (the facade form
         of :func:`repro.analysis.experiments.map_program`)."""
         return self.engine.map(
             program, params, share_aware=share_aware, seed=seed,
-            effort=effort, rrg=rrg,
+            effort=effort, rrg=rrg, route_workers=route_workers,
         )
 
     # -- dispatch ----------------------------------------------------------- #
@@ -183,6 +196,7 @@ class Session:
         mapped = self.map_program(
             program, share_aware=share_aware, seed=config.seed,
             effort=config.effort_or(MAP_EFFORT),
+            route_workers=config.route_workers,
         )
         stats = mapped.stats()
         verified = verify_mapped(mapped, seed=config.seed) if verify else False
@@ -228,7 +242,7 @@ class Session:
         mapped = self.engine.iter_map_batch(
             programs, share_aware=req.share_aware, seed=cfg.seed,
             effort=cfg.effort_or(MAP_EFFORT), workers=workers,
-            backend=cfg.backend,
+            backend=cfg.backend, route_workers=cfg.route_workers,
         )
         for i, (w, m) in enumerate(zip(req.workloads, mapped)):
             verified = (
@@ -373,7 +387,8 @@ class Session:
         program = self.program(req.workload, req.contexts, req.mutation,
                                cfg.seed)
         mapped = self.map_program(
-            program, seed=cfg.seed, effort=cfg.effort_or(MAP_EFFORT)
+            program, seed=cfg.seed, effort=cfg.effort_or(MAP_EFFORT),
+            route_workers=cfg.route_workers,
         )
         masks = list(mapped.stats().switch.used.values())
         result = optimize_context_order(masks, req.contexts)
@@ -390,27 +405,60 @@ class Session:
         yield result
 
     # -- specs -------------------------------------------------------------- #
-    def _spec_events(self, spec: ExperimentSpec, progress):
-        """One event stream both spec entry points drain: ``("row",
-        stage, item)`` per streamed row and ``("result", stage,
-        folded)`` per completed stage — so the blocking result is the
-        concatenation of the streamed rows by construction."""
+    def iter_spec_events(self, spec: ExperimentSpec, progress=None,
+                         completed: "dict[int, object] | None" = None):
+        """The event stream every spec entry point drains.
+
+        Yields 4-tuples ``(kind, index, name, item)`` — ``kind`` is
+        ``"row"`` (one per streamed row) or ``"result"`` (one per
+        completed stage, carrying the folded typed result), ``index``
+        is the stage's position in the spec and ``name`` its unique
+        stage name (see :meth:`ExperimentSpec.stage_names`).  The
+        blocking result is the concatenation of the streamed rows by
+        construction.
+
+        ``completed`` maps stage indices to already-computed results
+        (the service layer passes artifacts loaded from a previous
+        run): those stages *replay* their rows from the stored result
+        instead of recomputing — streams stay bit-identical across a
+        resume, and downstream ``report`` stages summarize the loaded
+        results exactly as if they had just run.
+        """
+        progress = progress or _noop_progress
+        completed = completed or {}
+        names = spec.stage_names()
         collected: list = []
-        for stage, request in spec.requests():
+        for index, (stage, request) in enumerate(spec.requests()):
+            name = names[index]
+            if index in completed:
+                loaded = completed[index]
+                rows = stage_rows(loaded)
+                for i, item in enumerate(rows):
+                    progress(i + 1, len(rows), item)
+                    yield "row", index, name, item
+                collected.append(loaded)
+                yield "result", index, name, loaded
+                continue
             if stage == "report":
-                report = _build_report(spec, collected)
+                report = build_report(spec, collected)
                 progress(1, 1, report)
                 collected.append(report)
-                yield "row", stage, report
-                yield "result", stage, report
+                yield "row", index, name, report
+                yield "result", index, name, report
                 continue
             points = []
             for item in self.stream(request, progress=progress):
                 points.append(item)
-                yield "row", stage, item
-            folded = self._fold(stage, request, points)
+                yield "row", index, name, item
+            folded = self.fold_stage(stage, request, points)
             collected.append(folded)
-            yield "result", stage, folded
+            yield "result", index, name, folded
+
+    def _spec_events(self, spec: ExperimentSpec, progress):
+        """Back-compat shape: ``(kind, stage kind, item)`` triples."""
+        kinds = [s["stage"] for s in spec.stages]
+        for kind, index, _name, item in self.iter_spec_events(spec, progress):
+            yield kind, kinds[index], item
 
     def stream_spec(self, spec: ExperimentSpec, progress=None):
         """Execute a spec stage by stage, yielding ``(stage, item)``
@@ -433,15 +481,20 @@ class Session:
         return SpecResult(name=spec.name, workload=spec.workload,
                           stages=tuple(results))
 
-    def _fold(self, stage: str, request, points):
-        """Fold one stage's streamed rows into its typed result."""
+    def fold_stage(self, stage: str, request, points):
+        """Fold one stage's streamed rows into its typed result.
+
+        ``stage`` is the stage kind (``"map"``/``"batch"``/...); the
+        service layer also uses this to fold the rows of a bare request
+        job into the result :meth:`run` would have returned.
+        """
         if stage == "batch":
             return BatchResult(results=tuple(points))
         if stage == "sweep":
             return self._sweep_result(request, points)
         if stage == "yield":
             return self._yield_result(request, points)
-        # single-shot stages (map, reorder) stream their one result
+        # single-shot stages (map, area, reorder) stream their one result
         return points[0]
 
     _RUN = {
@@ -507,7 +560,18 @@ def stage_payload(result) -> "tuple[str, dict] | None":
     return None
 
 
-def _build_report(spec: ExperimentSpec, results) -> ReportResult:
+def stage_rows(result) -> list:
+    """The streamed rows one stage result folds from (the inverse of
+    :meth:`Session.fold_stage`) — what a resumed job replays so its
+    event stream stays bit-identical to a fresh run's."""
+    if isinstance(result, BatchResult):
+        return list(result.results)
+    if isinstance(result, (SweepResult, YieldResult)):
+        return list(result.points)
+    return [result]
+
+
+def build_report(spec: ExperimentSpec, results) -> ReportResult:
     """Summarize the stages that ran before a ``report`` stage."""
     summary: dict = {
         "spec": spec.name,

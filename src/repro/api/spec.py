@@ -24,6 +24,18 @@ Example document::
       ]
     }
 
+A stage may carry a ``"name"`` (unique, filename-safe; defaults to the
+stage kind, numbered on repetition) — artifact files and job events
+address stages by it.  A spec may also carry a top-level ``"grid"``
+fanning the whole campaign out over ``workloads`` × ``archs``::
+
+    "grid": {"workloads": ["adder", "crc"],
+             "archs": [{"grid": 5, "width": 7}, {"grid": 6, "width": 8}]}
+
+:meth:`ExperimentSpec.expand` yields one child spec per cell; the
+service layer's :class:`~repro.service.JobManager` runs the children
+as parallel jobs sharing one :class:`~repro.api.Session`'s caches.
+
 Stage options are exactly the matching request type's fields; the spec
 header supplies ``workload``, ``execution`` and the ``arch`` keys to
 every stage that takes them, unless the stage overrides them.  Two
@@ -39,6 +51,7 @@ names; the rest inherit from the header.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, fields as dataclass_fields
 
 from repro.api.requests import (
@@ -51,7 +64,7 @@ from repro.api.requests import (
 )
 from repro.api.serialize import check, stamp
 from repro.api.workloads import check_workload
-from repro.errors import SpecError
+from repro.errors import RequestError, SpecError
 
 #: Stage names a spec may use.  ``report`` takes no request — it
 #: summarizes whatever ran before it.
@@ -68,6 +81,13 @@ _STAGE_REQUESTS = {
 #: Spec-header keys stages inherit unless they override them.
 _INHERITED = ("workload", "grid", "width")
 
+#: Axes a spec-level ``grid`` may fan a campaign out over.
+GRID_AXES = ("workloads", "archs")
+
+#: Stage names must be filename- and URL-safe (they name artifact
+#: files and appear in job event streams).
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -78,6 +98,7 @@ class ExperimentSpec:
     arch: dict = field(default_factory=dict)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     stages: tuple = ()
+    grid: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -88,6 +109,7 @@ class ExperimentSpec:
                 raise SpecError(
                     f"unknown arch key {key!r} (known: grid, width)"
                 )
+        self._check_grid()
         object.__setattr__(self, "stages", tuple(
             dict(stage) for stage in self.stages
         ))
@@ -103,6 +125,124 @@ class ExperimentSpec:
                 # fail at load time, not halfway through a campaign:
                 # building the request validates every stage option
                 self.request_for(stage)
+        # resolving the names validates them (bad/duplicate -> SpecError)
+        self.stage_names()
+
+    def _check_grid(self) -> None:
+        for key in self.grid:
+            if key not in GRID_AXES:
+                raise SpecError(
+                    f"unknown grid axis {key!r} "
+                    f"(known: {', '.join(GRID_AXES)})"
+                )
+        for axis in GRID_AXES:
+            if axis in self.grid and not self.grid[axis]:
+                raise SpecError(
+                    f"grid axis {axis!r} is empty — a grid over zero "
+                    f"values expands to no jobs; remove the axis or "
+                    f"give it at least one value"
+                )
+        for w in self.grid.get("workloads", ()):
+            try:
+                check_workload(w)
+            except RequestError as exc:
+                # spec-document problems surface as SpecError uniformly
+                raise SpecError(f"grid workloads: {exc}") from exc
+        for arch in self.grid.get("archs", ()):
+            if not isinstance(arch, dict):
+                raise SpecError(
+                    f"grid archs must be dicts like "
+                    f"{{'grid': 6, 'width': 8}}, got {arch!r}"
+                )
+            for key in arch:
+                if key not in ("grid", "width"):
+                    raise SpecError(
+                        f"unknown arch key {key!r} in grid archs "
+                        f"(known: grid, width)"
+                    )
+
+    # -- stage names --------------------------------------------------------- #
+    def stage_names(self) -> list:
+        """One unique, filename-safe name per stage, in order.
+
+        A stage may pin its own ``"name"``; unnamed stages default to
+        their kind, numbered on repetition (``sweep``, ``sweep-2``,
+        ...).  Duplicate names raise :class:`SpecError` — artifact
+        files and job events address stages by name, so a collision
+        would silently overwrite one stage's artifact with another's.
+        """
+        names: list = []
+        for stage in self.stages:
+            explicit = stage.get("name")
+            if explicit is not None:
+                if not isinstance(explicit, str) or \
+                        not _NAME_RE.match(explicit):
+                    raise SpecError(
+                        f"bad stage name {explicit!r}: names must be "
+                        f"non-empty and use only letters, digits, "
+                        f"'_', '.' or '-'"
+                    )
+                if explicit in names:
+                    raise SpecError(
+                        f"duplicate stage name {explicit!r}: stage "
+                        f"names address artifacts and job events, so "
+                        f"each must be unique within the spec"
+                    )
+                names.append(explicit)
+                continue
+            kind = stage.get("stage")
+            name, n = kind, 1
+            while name in names:
+                n += 1
+                name = f"{kind}-{n}"
+            names.append(name)
+        # an auto-numbered name may still collide with a later explicit
+        # one (["sweep", "sweep", {"name": "sweep-2"}]) — catch it here
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SpecError(
+                f"duplicate stage names {dupes}: rename the explicitly "
+                f"named stage(s) so every stage is unique"
+            )
+        return names
+
+    # -- spec-level grids ---------------------------------------------------- #
+    @property
+    def is_grid(self) -> bool:
+        """Whether this spec fans out into several child specs."""
+        return bool(self.grid)
+
+    def expand(self) -> "list[ExperimentSpec]":
+        """The child specs a spec-level grid expands to, in axis order.
+
+        The cross product of ``grid["workloads"]`` (default: the
+        header workload) and ``grid["archs"]`` (default: the header
+        ``arch``), one child per cell: same stages, same execution
+        policy, the cell's workload/arch substituted into the header —
+        so stage-level inheritance works exactly as in a flat spec.
+        Children are named ``name[workload.gGxW]`` and carry no grid of
+        their own.  A grid-less spec expands to ``[self]``.
+        """
+        if not self.grid:
+            return [self]
+        workloads = list(self.grid.get("workloads", ())) or [self.workload]
+        archs = list(self.grid.get("archs", ())) or [dict(self.arch)]
+        children = []
+        for w in workloads:
+            for arch in archs:
+                label = w
+                if arch:
+                    label += ".g{}w{}".format(
+                        arch.get("grid", "_"), arch.get("width", "_")
+                    )
+                children.append(ExperimentSpec(
+                    name=f"{self.name}[{label}]",
+                    workload=w,
+                    arch=dict(arch),
+                    execution=self.execution,
+                    stages=tuple(dict(s) for s in self.stages),
+                ))
+        return children
 
     # -- stage -> typed request -------------------------------------------- #
     def request_for(self, stage: dict):
@@ -114,7 +254,8 @@ class ExperimentSpec:
         cls = _STAGE_REQUESTS.get(kind)
         if cls is None:
             raise SpecError(f"unknown stage {kind!r}")
-        options = {k: v for k, v in stage.items() if k != "stage"}
+        options = {k: v for k, v in stage.items()
+                   if k not in ("stage", "name")}
         request_fields = {f.name for f in dataclass_fields(cls)}
         for key in _INHERITED:
             if key in request_fields and key not in options:
@@ -150,25 +291,42 @@ class ExperimentSpec:
         """(stage name, request-or-None) for every stage, in order."""
         return [(s["stage"], self.request_for(s)) for s in self.stages]
 
+    def total_rows(self) -> int:
+        """How many rows streaming this spec yields end to end — the
+        sum of every stage's row count (``report`` streams one row),
+        known before any work runs.  Grid specs count the whole fan-out.
+        """
+        from repro.api.requests import request_total_rows
+
+        if self.grid:
+            return sum(child.total_rows() for child in self.expand())
+        return sum(
+            1 if request is None else request_total_rows(request)
+            for _, request in self.requests()
+        )
+
     # -- serialization ------------------------------------------------------ #
     def to_dict(self) -> dict:
-        return stamp("experiment_spec", {
+        payload = {
             "name": self.name,
             "workload": self.workload,
             "arch": dict(self.arch),
             "execution": self.execution.to_dict(),
             "stages": [dict(s) for s in self.stages],
-        })
+        }
+        if self.grid:
+            payload["grid"] = {k: list(v) for k, v in self.grid.items()}
+        return stamp("experiment_spec", payload)
 
     @classmethod
     def from_dict(cls, d: dict) -> "ExperimentSpec":
         check(d, "experiment_spec")
         unknown = set(d) - {"schema_version", "type", "name", "workload",
-                            "arch", "execution", "stages"}
+                            "arch", "execution", "stages", "grid"}
         if unknown:
             raise SpecError(
                 f"unknown spec keys {sorted(unknown)} (known: name, "
-                f"workload, arch, execution, stages)"
+                f"workload, arch, execution, stages, grid)"
             )
         return cls(
             name=d.get("name", ""),
@@ -176,6 +334,7 @@ class ExperimentSpec:
             arch=dict(d.get("arch", {})),
             execution=ExecutionConfig.from_dict(d.get("execution") or {}),
             stages=tuple(d.get("stages", ())),
+            grid=dict(d.get("grid", {})),
         )
 
     @classmethod

@@ -37,6 +37,7 @@ mapping jobs on the same device family share one substrate.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 import numpy as np
@@ -330,20 +331,55 @@ def compile_rrg(g: RoutingResourceGraph) -> CompiledRRG:
     return compiled
 
 
+#: Per-``ArchParams`` build locks.  ``lru_cache`` is thread-safe but
+#: not single-flight: concurrent misses on one key each build their
+#: own graph and all but one result is discarded — wasted seconds per
+#: worker and N transient copies of the biggest object in the system.
+#: The job layer's worker pool made this a real path.  Locks are per
+#: key so builds for *different* devices still overlap and cache hits
+#: only ever contend with a build of their own params.
+_RRG_LOCKS_GUARD = threading.Lock()
+_RRG_BUILD_LOCKS: dict = {}
+
+
+def _build_lock_for(params: ArchParams) -> threading.Lock:
+    with _RRG_LOCKS_GUARD:
+        lock = _RRG_BUILD_LOCKS.get(params)
+        if lock is None:
+            lock = _RRG_BUILD_LOCKS[params] = threading.Lock()
+        return lock
+
+
 @lru_cache(maxsize=16)
+def _compiled_rrg_cached(params: ArchParams) -> CompiledRRG:
+    return compile_rrg(build_rrg(params))
+
+
 def compiled_rrg_for(params: ArchParams) -> CompiledRRG:
     """Build-and-compile cache keyed by the frozen ``ArchParams``.
 
     Two mapping jobs on the same device parameters share one compiled
-    substrate (and its legacy source graph).  The cache holds the 16
-    most recent device configurations, which comfortably covers a
-    batch sweep; use :func:`clear_rrg_cache` between memory-sensitive
-    experiments.
+    substrate (and its legacy source graph) — including concurrent
+    jobs, which single-flight through the build lock.  The cache holds
+    the 16 most recent device configurations, which comfortably covers
+    a batch sweep; use :func:`clear_rrg_cache` between
+    memory-sensitive experiments.
     """
-    return compile_rrg(build_rrg(params))
+    with _build_lock_for(params):
+        return _compiled_rrg_cached(params)
+
+
+compiled_rrg_for.cache_info = _compiled_rrg_cached.cache_info
+compiled_rrg_for.cache_clear = _compiled_rrg_cached.cache_clear
 
 
 @lru_cache(maxsize=32)
+def _flat_rrg_cached(params: ArchParams) -> CompiledRRG:
+    c = CompiledRRG(build_rrg(params))
+    c.strip_source()  # the freshly-built object graph becomes garbage
+    return c
+
+
 def flat_rrg_for(params: ArchParams) -> CompiledRRG:
     """Route-only substrate cache: flat arrays, no object graph.
 
@@ -358,10 +394,14 @@ def flat_rrg_for(params: ArchParams) -> CompiledRRG:
     Distinct from :func:`compiled_rrg_for` on purpose: a substrate
     cached here cannot serve :meth:`MappedProgram.stats` or
     verification, so mapping flows keep their own full cache.
+    Concurrent misses single-flight through the per-params build lock.
     """
-    c = CompiledRRG(build_rrg(params))
-    c.strip_source()  # the freshly-built object graph becomes garbage
-    return c
+    with _build_lock_for(params):
+        return _flat_rrg_cached(params)
+
+
+flat_rrg_for.cache_info = _flat_rrg_cached.cache_info
+flat_rrg_for.cache_clear = _flat_rrg_cached.cache_clear
 
 
 def clear_rrg_cache() -> None:
@@ -369,6 +409,8 @@ def clear_rrg_cache() -> None:
     buffers (mainly for tests / memory)."""
     compiled_rrg_for.cache_clear()
     flat_rrg_for.cache_clear()
+    with _RRG_LOCKS_GUARD:
+        _RRG_BUILD_LOCKS.clear()
     from repro.route.pathfinder import SCRATCH_POOL
 
     SCRATCH_POOL.clear()

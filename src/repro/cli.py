@@ -14,6 +14,8 @@ Exposes the library's main flows without writing Python::
     python -m repro yield --defect-rate 0.01,0.03 --trials 16 \
         --backend process                     # Monte Carlo yield campaign
     python -m repro run examples/specs/ci_smoke.json --json  # run a spec
+    python -m repro serve --port 8321 --results-dir results  # HTTP service
+    python -m repro jobs submit examples/specs/ci_smoke.json --watch
 
 Every subcommand follows the same shape: parse arguments, build a
 typed request (:mod:`repro.api.requests`), execute it on a
@@ -165,6 +167,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "one final result blob")
     g.add_argument("--json", action="store_true",
                    help="emit the spec result as JSON instead of a summary")
+    p.add_argument("--results-dir", default=None,
+                   help="persist every completed stage as JSON artifacts "
+                        "under this directory")
+    p.add_argument("--resume", action="store_true",
+                   help="skip stages whose artifacts in --results-dir are "
+                        "up to date (requires --results-dir)")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the job API over HTTP (submit/poll/cancel/artifacts)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--results-dir", default=None,
+                   help="artifact store directory (enables resume and "
+                        "GET /v1/artifacts)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="how many jobs run concurrently")
+
+    p = sub.add_parser(
+        "jobs", help="talk to a running `repro serve` instance"
+    )
+    p.add_argument("action",
+                   choices=["submit", "status", "events", "cancel", "list"])
+    p.add_argument("target", nargs="?", default=None,
+                   help="spec file (submit) or job id (status/events/cancel)")
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="base URL of the service")
+    p.add_argument("--resume", action="store_true",
+                   help="submit with resume (skip stages already in the "
+                        "server's artifact store)")
+    p.add_argument("--watch", action="store_true",
+                   help="after submit, follow the job's event stream")
     return parser
 
 
@@ -393,6 +429,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.api import ExperimentSpec
 
     spec = ExperimentSpec.from_file(args.spec)
+    if args.resume and args.results_dir is None:
+        print("error: --resume requires --results-dir", file=sys.stderr)
+        return 2
+    if args.results_dir is not None or spec.is_grid:
+        # artifact persistence / grid fan-out ride the job layer (one
+        # in-process JobManager; same rows, plus a results dir)
+        return _run_managed(args, spec)
     session = _session()
     if args.stream:
         # one JSON line per streamed row: long campaigns report as they
@@ -405,13 +448,123 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
+    _print_spec_summary(spec, result)
+    return 0
+
+
+def _print_spec_summary(spec, result) -> None:
     print(f"spec {result.name!r} (workload {result.workload}): "
           f"{len(result.stages)} stages")
     for stage_doc, stage_result in zip(spec.stages, result.stages):
         tag = stage_doc["stage"]
         summary = _stage_summary(stage_result)
         print(f"  {tag}: {summary}")
+
+
+def _run_managed(args: argparse.Namespace, spec) -> int:
+    from repro.service import ArtifactStore, JobManager
+
+    store = (
+        ArtifactStore(args.results_dir) if args.results_dir is not None
+        else None
+    )
+    manager = JobManager(session=_session(), workers=2, store=store)
+    try:
+        handle = manager.submit(spec, resume=args.resume)
+        # job events name stages uniquely; the CLI's row lines keep
+        # printing the stage *kind*, exactly like the unmanaged path
+        kind_of = dict(zip(spec.stage_names(),
+                           (s["stage"] for s in spec.stages)))
+        if args.stream:
+            for ev in handle.events():
+                if ev["event"] == "row":
+                    print(json.dumps({
+                        "stage": kind_of.get(ev["stage"], ev["stage"]),
+                        "data": ev["data"],
+                    }), flush=True)
+            handle.result()  # surface a failure as its exception
+            return 0
+        result = handle.result()
+        results = list(result) if isinstance(result, tuple) else [result]
+        if args.json:
+            docs = [r.to_dict() for r in results]
+            print(json.dumps(docs[0] if len(docs) == 1 else docs, indent=2))
+            return 0
+        for r in results:
+            _print_spec_summary(spec, r)
+        return 0
+    finally:
+        manager.shutdown(wait=False, cancel=True)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import run_server
+
+    run_server(host=args.host, port=args.port,
+               results_dir=args.results_dir, workers=args.workers)
     return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def call(method: str, path: str, payload=None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        req = urllib.request.Request(base + path, data=data, method=method,
+                                     headers=headers)
+        return urllib.request.urlopen(req)
+
+    def follow_events(job_id: str) -> None:
+        with call("GET", f"/v1/jobs/{job_id}/events") as resp:
+            for line in resp:
+                print(line.decode("utf-8").rstrip("\n"), flush=True)
+
+    try:
+        if args.action == "list":
+            print(call("GET", "/v1/jobs").read().decode())
+        elif args.action == "submit":
+            if args.target is None:
+                print("error: submit needs a spec file", file=sys.stderr)
+                return 2
+            try:
+                with open(args.target) as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                # a local file problem, not a server one — diagnose it
+                # as such rather than falling into "cannot reach"
+                print(f"error: cannot read spec {args.target!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            resp = json.loads(call("POST", "/v1/jobs", {
+                "spec": doc, "resume": args.resume,
+            }).read())
+            print(json.dumps(resp, indent=2))
+            if args.watch:
+                follow_events(resp["job"]["job_id"])
+        else:
+            if args.target is None:
+                print(f"error: {args.action} needs a job id",
+                      file=sys.stderr)
+                return 2
+            if args.action == "status":
+                print(call("GET", f"/v1/jobs/{args.target}").read().decode())
+            elif args.action == "cancel":
+                print(call("DELETE",
+                           f"/v1/jobs/{args.target}").read().decode())
+            elif args.action == "events":
+                follow_events(args.target)
+        return 0
+    except urllib.error.HTTPError as exc:
+        print(f"error: HTTP {exc.code}: "
+              f"{exc.read().decode(errors='replace')}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _stage_summary(result) -> str:
@@ -454,18 +607,21 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "yield": cmd_yield,
     "run": cmd_run,
+    "serve": cmd_serve,
+    "jobs": cmd_jobs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.errors import RequestError
+    from repro.errors import JobError, RequestError
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except RequestError as exc:
+    except (RequestError, JobError) as exc:
         # one altitude for every command: invalid request/spec values
-        # (including SpecError) report as `error: ...` and exit 2
+        # (including SpecError) and job-layer misuse report as
+        # `error: ...` and exit 2
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -53,3 +53,17 @@ class RequestError(ReproError):
 class SpecError(RequestError):
     """Invalid :class:`repro.api.ExperimentSpec` document (unknown stage,
     malformed stage options...)."""
+
+
+class JobError(ReproError):
+    """A :mod:`repro.service` job could not be executed as asked
+    (malformed submission payload, manager shut down, timeout)."""
+
+
+class JobNotFound(JobError):
+    """No job with the requested id (the HTTP layer's 404)."""
+
+
+class JobCancelled(JobError):
+    """Raised by :meth:`repro.service.JobHandle.result` when the job
+    was cancelled before producing a result."""

@@ -21,10 +21,13 @@ bit-identical whichever backend ran them.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.utils.iters import SizedIterator
 
 from repro.arch.params import ArchParams
 from repro.netlist.netlist import Netlist
@@ -251,6 +254,9 @@ class YieldRunner:
             engine=engine, backend=backend, workers=workers
         )
         self._golden: dict[tuple, GoldenMapping | None] = {}
+        # single-flight get-or-create: concurrent campaigns (service
+        # jobs sharing one Session) must agree on the golden mapping
+        self._golden_lock = threading.Lock()
 
     @property
     def backend(self) -> str:
@@ -272,16 +278,17 @@ class YieldRunner:
         ``ArchParams``.
         """
         key = (netlist, params, seed, effort, max_iterations)
-        if key not in self._golden:
-            from repro.arch.compiled import flat_rrg_for
+        with self._golden_lock:
+            if key not in self._golden:
+                from repro.arch.compiled import flat_rrg_for
 
-            job = SweepJob("yield", 0.0, params, netlist, seed, effort,
-                           max_iterations)
-            placement = self._runner.placement_for(job)
-            self._golden[key] = build_golden(
-                flat_rrg_for(params), netlist, placement, max_iterations
-            )
-        return self._golden[key]
+                job = SweepJob("yield", 0.0, params, netlist, seed, effort,
+                               max_iterations)
+                placement = self._runner.placement_for(job)
+                self._golden[key] = build_golden(
+                    flat_rrg_for(params), netlist, placement, max_iterations
+                )
+            return self._golden[key]
 
     def iter_campaign(
         self,
@@ -297,20 +304,33 @@ class YieldRunner:
         cluster_radius: int = CLUSTER_RADIUS,
         cluster_size: int = CLUSTER_SIZE,
         spare_tracks: int = 0,
-    ):
+    ) -> SizedIterator:
         """Streaming form of :meth:`run_campaign`: yield each
         :class:`YieldPoint` as soon as its ``trials`` results are in.
 
         All trials (across every rate) are still submitted to the
         backend up front, so parallel backends overlap cells; trial
         results are consumed in submission order, so the aggregated
-        rows are bit-identical to the blocking call's.
+        rows are bit-identical to the blocking call's.  Sized:
+        ``len()`` is the number of campaign points (one per rate).
         """
         rates = list(rates)
         if model not in DEFECT_MODELS:
             raise ValueError(
                 f"model must be one of {DEFECT_MODELS}, got {model!r}"
             )
+        return SizedIterator(
+            self._iter_campaign(
+                netlist, workload, base, rates, trials, model, seed, effort,
+                max_iterations, cluster_radius, cluster_size, spare_tracks,
+            ),
+            len(rates),
+        )
+
+    def _iter_campaign(
+        self, netlist, workload, base, rates, trials, model, seed, effort,
+        max_iterations, cluster_radius, cluster_size, spare_tracks,
+    ):
         golden = self.golden_for(netlist, base, seed, effort, max_iterations)
         if golden is None:
             for r in rates:
@@ -383,9 +403,23 @@ class YieldRunner:
         seed: int = 0,
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
-    ):
+    ) -> SizedIterator:
         """Streaming form of :meth:`spare_width_curve` (one
-        :class:`YieldPoint` per spare width, as each completes)."""
+        :class:`YieldPoint` per spare width, as each completes).
+        Sized: ``len()`` is the number of spare widths."""
+        spares = list(spares)
+        return SizedIterator(
+            self._iter_spare_width_curve(
+                netlist, workload, base, spares, rate, trials, model, seed,
+                effort, max_iterations,
+            ),
+            len(spares),
+        )
+
+    def _iter_spare_width_curve(
+        self, netlist, workload, base, spares, rate, trials, model, seed,
+        effort, max_iterations,
+    ):
         for spare in spares:
             params = base.with_(channel_width=base.channel_width + int(spare))
             yield from self.iter_campaign(

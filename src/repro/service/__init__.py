@@ -1,0 +1,56 @@
+"""repro.service — job-oriented execution and HTTP serving.
+
+The serving layer the api facade was built for: submit any typed
+request or :class:`~repro.api.ExperimentSpec` as a *job*, observe it
+(status counters, replayable event stream), cancel it, and keep its
+artifacts in a results directory that doubles as a resume cache.
+
+- :class:`JobManager` / :class:`JobHandle` / :class:`JobStatus` —
+  the in-process lifecycle (:mod:`repro.service.jobs`);
+- :class:`ArtifactStore` — schema-contract JSON persistence + resume
+  (:mod:`repro.service.artifacts`);
+- :class:`ReproService` / :func:`run_server` — the stdlib-asyncio HTTP
+  front end (:mod:`repro.service.http`), ``repro serve`` on the CLI.
+
+Quick taste::
+
+    from repro.api import SweepRequest
+    from repro.service import JobManager
+
+    manager = JobManager(workers=4)
+    handle = manager.submit(SweepRequest(what="channel-width",
+                                         values=(6, 8, 10)))
+    print(handle.status().rows_total)       # 3, before any work ran
+    for event in handle.events():
+        print(event)                        # rows as they complete
+    result = handle.result()                # the typed SweepResult
+"""
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.http import ReproService, run_server
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobHandle,
+    JobManager,
+    JobStatus,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobHandle",
+    "JobManager",
+    "JobStatus",
+    "QUEUED",
+    "RUNNING",
+    "ReproService",
+    "TERMINAL_STATES",
+    "run_server",
+]

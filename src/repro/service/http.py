@@ -1,0 +1,318 @@
+"""Asyncio HTTP service over the job layer — stdlib only.
+
+A tiny, dependency-free HTTP/1.1 server exposing the
+:class:`~repro.service.jobs.JobManager` lifecycle.  The wire protocol
+speaks **nothing but the api's request/result contract**: submissions
+are typed-request / spec payloads, every response body is versioned
+JSON, and the event stream's ``row`` payloads are exactly what
+``Session.stream`` yields — bit-identical to the blocking result.
+
+Endpoints::
+
+    GET    /healthz                  liveness: {"ok": true}
+    POST   /v1/jobs                  submit {"request": {...}} or
+                                     {"spec": {...}} (+ "resume": true)
+                                     -> 202 {"job": <job_status>}
+    GET    /v1/jobs                  -> {"jobs": [<job_status>, ...]}
+    GET    /v1/jobs/{id}             -> {"job": <job_status>}
+    GET    /v1/jobs/{id}/events      NDJSON stream: replay + live, one
+                                     event per line, ends after `done`
+    DELETE /v1/jobs/{id}             cancel -> {"job": ..., "cancelled": b}
+    GET    /v1/artifacts/{path}      a stored artifact (results dir)
+
+Connections are ``Connection: close`` (one request per connection);
+the event stream is length-less NDJSON delimited by the close.  Job
+event iterators block, so each events subscriber gets a pump thread
+feeding an ``asyncio.Queue`` — the asyncio side only ever awaits.
+
+:class:`ReproService` runs the loop in a daemon thread
+(:meth:`ReproService.start` returns the bound address, so ``port=0``
+works for tests); the CLI's ``repro serve`` blocks on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from urllib.parse import unquote, urlsplit
+
+from repro.errors import JobError, JobNotFound, ReproError, RequestError
+from repro.service.jobs import JobManager
+
+#: Largest accepted request body (a spec is a few KB; 8 MiB is ample).
+MAX_BODY = 8 << 20
+
+_SENTINEL = object()
+
+
+class ReproService:
+    """One JobManager behind an asyncio HTTP front end."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 8321) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.address: "tuple[str, int] | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    # -- lifecycle ----------------------------------------------------------- #
+    def start(self) -> "tuple[str, int]":
+        """Serve on a daemon thread; returns the bound ``(host, port)``."""
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving (leaves the manager and its jobs alone)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    # -- connection handling ------------------------------------------------- #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+            if method is not None:
+                await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/mid-stream
+        except Exception as exc:  # a handler bug must not kill the loop
+            try:
+                await self._respond_json(writer, 500, {"error": str(exc)})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None, None, b""
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None, None, b""
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        body = b""
+        if length:
+            if length > MAX_BODY:
+                raise RequestError(f"request body over {MAX_BODY} bytes")
+            body = await reader.readexactly(length)
+        path = unquote(urlsplit(target).path)
+        return method.upper(), path, body
+
+    # -- routing ------------------------------------------------------------- #
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            if path == "/healthz" and method == "GET":
+                await self._respond_json(writer, 200, {"ok": True})
+            elif path == "/v1/jobs" and method == "POST":
+                await self._post_job(body, writer)
+            elif path == "/v1/jobs" and method == "GET":
+                await self._respond_json(writer, 200, {
+                    "jobs": [s.to_dict() for s in self.manager.jobs()]
+                })
+            elif path.startswith("/v1/jobs/"):
+                await self._job_route(method, path, writer)
+            elif path.startswith("/v1/artifacts/") and method == "GET":
+                await self._get_artifact(path[len("/v1/artifacts/"):],
+                                         writer)
+            else:
+                await self._respond_json(writer, 404,
+                                         {"error": f"no route {path!r}"})
+        except JobNotFound as exc:
+            await self._respond_json(writer, 404, {"error": str(exc)})
+        except ReproError as exc:  # RequestError, SpecError, JobError...
+            await self._respond_json(writer, 400, {"error": str(exc)})
+
+    async def _post_job(self, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise RequestError("request body must be a JSON object")
+        task = doc.get("spec") if "spec" in doc else doc.get("request")
+        if task is None:
+            raise RequestError(
+                "submission needs a 'request' or 'spec' payload"
+            )
+        resume = bool(doc.get("resume", False))
+        # submission validates the payload (spec validation builds every
+        # stage request) — keep it off the event loop
+        handle = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.manager.submit(task, resume=resume)
+        )
+        await self._respond_json(writer, 202,
+                                 {"job": handle.status().to_dict()})
+
+    async def _job_route(self, method: str, path: str,
+                         writer: asyncio.StreamWriter) -> None:
+        parts = path.split("/")  # ['', 'v1', 'jobs', id, (events)]
+        job_id = parts[3] if len(parts) > 3 else ""
+        tail = parts[4] if len(parts) > 4 else None
+        handle = self.manager.handle(job_id)
+        if tail is None and method == "GET":
+            await self._respond_json(writer, 200,
+                                     {"job": handle.status().to_dict()})
+        elif tail is None and method == "DELETE":
+            cancelled = handle.cancel()
+            await self._respond_json(writer, 200, {
+                "job": handle.status().to_dict(),
+                "cancelled": cancelled,
+            })
+        elif tail == "events" and method == "GET":
+            await self._stream_events(handle, writer)
+        else:
+            await self._respond_json(
+                writer, 405 if tail in (None, "events") else 404,
+                {"error": f"unsupported {method} on {path!r}"})
+
+    async def _stream_events(self, handle,
+                             writer: asyncio.StreamWriter) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        gone = threading.Event()  # set when the client stops reading
+
+        def pump() -> None:
+            # a blocking iterator feeding the async side; ends at the
+            # job's terminal event, or at the next event after the
+            # client disconnects (a long campaign must not keep one
+            # thread + queue alive per abandoned subscriber)
+            try:
+                for event in handle.events():
+                    if gone.is_set():
+                        return
+                    loop.call_soon_threadsafe(queue.put_nowait, event)
+            except Exception as exc:
+                loop.call_soon_threadsafe(
+                    queue.put_nowait, {"event": "error", "error": str(exc)}
+                )
+            finally:
+                loop.call_soon_threadsafe(queue.put_nowait, _SENTINEL)
+
+        threading.Thread(target=pump, name="repro-events",
+                         daemon=True).start()
+        try:
+            while True:
+                event = await queue.get()
+                if event is _SENTINEL:
+                    break
+                writer.write(json.dumps(event).encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            gone.set()
+
+    async def _get_artifact(self, relpath: str,
+                            writer: asyncio.StreamWriter) -> None:
+        store = self.manager.store
+        if store is None:
+            raise JobError("this server has no artifact store "
+                           "(start it with --results-dir)")
+        data = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: store.read_bytes(relpath)
+        )
+        await self._respond(writer, 200, data, "application/json")
+
+    # -- responses ----------------------------------------------------------- #
+    async def _respond_json(self, writer: asyncio.StreamWriter, status: int,
+                            payload: dict) -> None:
+        await self._respond(writer, status,
+                            json.dumps(payload, indent=2).encode("utf-8"),
+                            "application/json")
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       body: bytes, content_type: str) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  500: "Internal Server Error"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8321,
+               results_dir: "str | None" = None, workers: int = 2,
+               ready=print) -> None:
+    """Blocking entry point behind ``repro serve``.
+
+    Builds a fresh :class:`~repro.api.Session`-backed
+    :class:`JobManager` (with an artifact store when ``results_dir``
+    is given), announces the bound address via ``ready`` and serves
+    until interrupted.
+    """
+    from repro.service.artifacts import ArtifactStore
+
+    store = ArtifactStore(results_dir) if results_dir is not None else None
+    manager = JobManager(workers=workers, store=store)
+    service = ReproService(manager, host=host, port=port)
+    bound_host, bound_port = service.start()
+    ready(f"repro service listening on http://{bound_host}:{bound_port} "
+          f"(workers={workers}"
+          + (f", results={results_dir}" if results_dir else "") + ")")
+    try:
+        service._thread.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        manager.shutdown(wait=False, cancel=True)

@@ -1,0 +1,590 @@
+"""Job-oriented execution: submit, observe, cancel, keep the artifacts.
+
+The blocking facade (`Session.run`) answers "run this and wait"; this
+module answers the serving-layer question — "run this *for me*, tell
+me how it's going, let me walk away".  A :class:`JobManager` accepts
+any typed api request or an :class:`~repro.api.ExperimentSpec`
+(object or JSON payload) and returns a :class:`JobHandle`:
+
+- :meth:`JobHandle.status` — queued/running/done/failed/cancelled plus
+  progress counters (rows done / rows total, current stage), known
+  up front from the request itself (`request_total_rows`);
+- :meth:`JobHandle.events` — the job's event log as an iterator:
+  replayed from the start, then live; one ``row`` event per streamed
+  row carrying exactly the payload ``Session.stream`` yields, so a
+  drained event stream is bit-identical to the blocking result;
+- :meth:`JobHandle.result` — block for the typed result;
+- :meth:`JobHandle.cancel` — stop between rows.  The worker closes the
+  underlying stream generator, which the runners answer by abandoning
+  their pools (``shutdown(wait=False, cancel_futures=True)``), so a
+  cancelled sweep leaks no workers.
+
+Jobs run on a bounded thread pool sharing **one** :class:`Session` —
+every expensive artifact (compiled substrates, placements, golden
+mappings, netlists) is shared across concurrent jobs, which is the
+entire point of serving through a session instead of forking one per
+request.  Grid specs (:attr:`ExperimentSpec.is_grid`) fan out into one
+child job per cell under a parent handle that aggregates progress and
+results.
+
+With an :class:`~repro.service.artifacts.ArtifactStore` attached,
+every finished stage is persisted as schema-contract JSON, and
+``resume=True`` re-submissions *replay* completed stages from the
+store instead of recomputing them (rows included, so streams stay
+bit-identical across a resume).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.api import ExperimentSpec, Session, request_from_dict
+from repro.api.requests import (
+    AreaRequest,
+    BatchRequest,
+    MapRequest,
+    ReorderRequest,
+    SweepRequest,
+    YieldRequest,
+    request_total_rows,
+)
+from repro.api.results import SpecResult
+from repro.api.serialize import stamp
+from repro.api.session import stage_rows
+from repro.errors import JobCancelled, JobError, JobNotFound
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: The stage kind each bare request type folds as (mirrors the spec
+#: stage vocabulary, so one fold path serves both job flavours).
+_REQUEST_STAGE_KINDS = {
+    MapRequest: "map",
+    BatchRequest: "batch",
+    SweepRequest: "sweep",
+    YieldRequest: "yield",
+    AreaRequest: "area",
+    ReorderRequest: "reorder",
+}
+
+
+class _CancelJob(Exception):
+    """Internal: the worker noticed the job's cancel flag."""
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One observable snapshot of a job."""
+
+    job_id: str
+    kind: str                      # "request" | "spec" | "grid"
+    name: str                      # request type tag or spec name
+    state: str
+    rows_done: int
+    rows_total: int
+    stage: "str | None" = None     # current/last stage name
+    error: "str | None" = None
+    children: tuple = ()           # child job ids (grid parents only)
+
+    def to_dict(self) -> dict:
+        return stamp("job_status", {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "name": self.name,
+            "state": self.state,
+            "rows_done": self.rows_done,
+            "rows_total": self.rows_total,
+            "stage": self.stage,
+            "error": self.error,
+            "children": list(self.children),
+        })
+
+
+class _Job:
+    """Internal mutable job record (guarded by its condition)."""
+
+    def __init__(self, job_id: str, kind: str, name: str, payload,
+                 resume: bool, rows_total: int,
+                 parent: "_Job | None" = None) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.name = name
+        self.payload = payload
+        self.resume = resume
+        self.rows_total = rows_total
+        self.parent = parent
+        self.children: list[_Job] = []
+        self.cond = threading.Condition()
+        self.state = QUEUED
+        self.rows_done = 0
+        self.stage: str | None = None
+        self.result = None
+        self.error: BaseException | None = None
+        self.events: list[dict] = []
+        self.cancel_event = threading.Event()
+        self.future = None
+
+
+class JobHandle:
+    """The caller's view of one submitted job."""
+
+    def __init__(self, manager: "JobManager", job: _Job) -> None:
+        self._manager = manager
+        self._job = job
+
+    @property
+    def job_id(self) -> str:
+        return self._job.job_id
+
+    def status(self) -> JobStatus:
+        """A snapshot of the job's state and progress counters."""
+        return self._manager._status_of(self._job)
+
+    def cancel(self) -> bool:
+        """Ask the job to stop; ``True`` if it was still cancellable."""
+        # straight to the record: a handle outlives the manager's
+        # retention window, and its job may be pruned from the table
+        return self._manager._cancel_job(self._job)
+
+    def wait(self, timeout: "float | None" = None) -> JobStatus:
+        """Block until the job is terminal (or ``timeout`` elapses)."""
+        job = self._job
+        with job.cond:
+            job.cond.wait_for(lambda: job.state in TERMINAL_STATES,
+                              timeout=timeout)
+        return self.status()
+
+    def result(self, timeout: "float | None" = None):
+        """The job's typed result; raises what the job raised.
+
+        :class:`~repro.errors.JobCancelled` for a cancelled job,
+        :class:`~repro.errors.JobError` on timeout, the job's own
+        exception for a failed one.
+        """
+        job = self._job
+        with job.cond:
+            if not job.cond.wait_for(
+                lambda: job.state in TERMINAL_STATES, timeout=timeout
+            ):
+                raise JobError(
+                    f"job {job.job_id} still {job.state} after {timeout}s"
+                )
+            if job.state == CANCELLED:
+                raise JobCancelled(f"job {job.job_id} was cancelled")
+            if job.state == FAILED:
+                raise job.error
+            return job.result
+
+    def events(self, timeout: "float | None" = None):
+        """Iterate the job's event log: full replay, then live.
+
+        Yields every event from sequence 0 and keeps following until
+        the job's terminal ``done`` event — so a late subscriber sees
+        exactly what an early one did.  ``timeout`` bounds the wait
+        *between* events (:class:`~repro.errors.JobError` on expiry),
+        not the total stream duration.
+        """
+        job = self._job
+        seq = 0
+        while True:
+            with job.cond:
+                if not job.cond.wait_for(
+                    lambda: len(job.events) > seq
+                    or job.state in TERMINAL_STATES,
+                    timeout=timeout,
+                ):
+                    raise JobError(
+                        f"no event from job {job.job_id} within {timeout}s"
+                    )
+                batch = job.events[seq:]
+                seq = len(job.events)
+                # the terminal event is appended atomically with the
+                # state flip, so terminal + drained means the `done`
+                # event is in `batch` (or already yielded)
+                finished = job.state in TERMINAL_STATES and \
+                    seq == len(job.events)
+            yield from batch
+            if finished:
+                return
+
+
+class JobManager:
+    """Bounded worker pool executing api requests and specs as jobs.
+
+    ``workers`` bounds how many jobs run concurrently (further
+    submissions queue); every job executes on the one shared
+    ``session``, so concurrent jobs share its caches.  ``store``
+    (an :class:`~repro.service.artifacts.ArtifactStore`) enables
+    artifact persistence and ``resume=True``.
+    """
+
+    def __init__(self, session: "Session | None" = None, workers: int = 2,
+                 store=None, retain: int = 512) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise JobError(f"workers must be a positive int, got {workers!r}")
+        if not isinstance(retain, int) or retain < 1:
+            raise JobError(f"retain must be a positive int, got {retain!r}")
+        self.session = session if session is not None else Session()
+        self.store = store
+        self.workers = workers
+        #: terminal jobs kept in the table (a long-lived server must
+        #: not hold every finished job's event log forever); the
+        #: oldest finished jobs are pruned past this count.
+        self.retain = retain
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._jobs: dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------- #
+    def submit(self, task, *, resume: bool = False) -> JobHandle:
+        """Submit a request or spec for execution; returns its handle.
+
+        ``task`` may be a typed request, an :class:`ExperimentSpec`,
+        or either one's JSON payload (dispatched on the ``type`` tag /
+        a ``stages`` key — what the HTTP layer posts).  Grid specs fan
+        out into one child job per cell under an aggregating parent
+        handle.  ``resume=True`` requires the manager's artifact store
+        and replays already-completed stages from it.
+        """
+        task = self._coerce(task)
+        if resume and self.store is None:
+            raise JobError(
+                "resume needs an artifact store: construct the "
+                "JobManager with store=ArtifactStore(results_dir)"
+            )
+        with self._lock:
+            if self._closed:
+                raise JobError("manager is shut down")
+        if isinstance(task, ExperimentSpec) and task.is_grid:
+            return self._submit_grid(task, resume)
+        return self._submit_one(task, resume, parent=None)
+
+    @staticmethod
+    def _coerce(task):
+        if isinstance(task, dict):
+            if task.get("type") == "experiment_spec" or "stages" in task:
+                return ExperimentSpec.from_dict(task)
+            return request_from_dict(task)
+        return task
+
+    def _new_id(self) -> str:
+        return f"job-{next(self._ids)}"
+
+    def _register(self, job: _Job) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+        self._emit(job, {"event": "status", "state": QUEUED})
+
+    def _create_job(self, task, resume: bool,
+                    parent: "_Job | None") -> _Job:
+        if isinstance(task, ExperimentSpec):
+            kind, name, total = "spec", task.name, task.total_rows()
+        else:
+            stage_kind = _REQUEST_STAGE_KINDS.get(type(task))
+            if stage_kind is None:
+                raise JobError(
+                    f"unsupported task type {type(task).__name__}"
+                )
+            kind, name, total = "request", task.TYPE_TAG, \
+                request_total_rows(task)
+        job = _Job(self._new_id(), kind, name, task, resume, total,
+                   parent=parent)
+        if parent is not None:
+            parent.children.append(job)
+        self._register(job)
+        return job
+
+    def _submit_one(self, task, resume: bool,
+                    parent: "_Job | None") -> JobHandle:
+        job = self._create_job(task, resume, parent)
+        job.future = self._pool.submit(self._run_job, job)
+        return JobHandle(self, job)
+
+    def _submit_grid(self, spec: ExperimentSpec, resume: bool) -> JobHandle:
+        children = spec.expand()
+        parent = _Job(self._new_id(), "grid", spec.name, spec, resume,
+                      sum(c.total_rows() for c in children))
+        self._register(parent)
+        with parent.cond:
+            parent.state = RUNNING
+        self._emit(parent, {"event": "status", "state": RUNNING})
+        # every child record joins parent.children *before* any child
+        # starts: a fast first child finishing mid-submission must not
+        # let _maybe_finish_grid conclude the whole grid is done
+        jobs = [self._create_job(child_spec, resume, parent)
+                for child_spec in children]
+        for job in jobs:
+            job.future = self._pool.submit(self._run_job, job)
+        return JobHandle(self, parent)
+
+    # -- observation --------------------------------------------------------- #
+    def handle(self, job_id: str) -> JobHandle:
+        """The handle for a known job id (:class:`JobNotFound`
+        otherwise — including jobs already pruned by ``retain``)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(f"unknown job id {job_id!r}")
+        return JobHandle(self, job)
+
+    def jobs(self) -> "list[JobStatus]":
+        """Status snapshots of every job, in submission order."""
+        with self._lock:
+            records = list(self._jobs.values())
+        return [self._status_of(job) for job in records]
+
+    def _status_of(self, job: _Job) -> JobStatus:
+        with job.cond:
+            return JobStatus(
+                job_id=job.job_id,
+                kind=job.kind,
+                name=job.name,
+                state=job.state,
+                rows_done=job.rows_done,
+                rows_total=job.rows_total,
+                stage=job.stage,
+                error=str(job.error) if job.error is not None else None,
+                children=tuple(c.job_id for c in job.children),
+            )
+
+    # -- cancellation -------------------------------------------------------- #
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job (and, for a grid parent, all its children).
+
+        ``True`` when the job was still live: a queued job is
+        cancelled before it starts, a running one stops at its next
+        row boundary (closing the stream abandons the runners' pools).
+        """
+        return self._cancel_job(self.handle(job_id)._job)
+
+    def _cancel_job(self, job: _Job) -> bool:
+        with job.cond:
+            if job.state in TERMINAL_STATES:
+                return False
+        job.cancel_event.set()
+        # cancel children through the records the parent already holds
+        # — a finished child may have been pruned from the job table
+        for child in list(job.children):
+            self._cancel_job(child)
+        # a still-queued future never runs; finish the record ourselves
+        if job.future is not None and job.future.cancel():
+            self._finish(job, CANCELLED)
+        elif job.kind == "grid":
+            self._maybe_finish_grid(job)
+        return True
+
+    # -- lifecycle plumbing -------------------------------------------------- #
+    def _emit(self, job: _Job, event: dict) -> None:
+        with job.cond:
+            event = dict(event)
+            event["job_id"] = job.job_id
+            event["seq"] = len(job.events)
+            job.events.append(event)
+            job.cond.notify_all()
+        parent = job.parent
+        if parent is not None and event.get("event") != "status":
+            forwarded = {k: v for k, v in event.items() if k != "seq"}
+            if event.get("event") == "row":
+                with parent.cond:
+                    parent.rows_done += 1
+                    parent.stage = f"{job.job_id}:{event.get('stage')}"
+            self._emit_flat(parent, forwarded)
+
+    def _emit_flat(self, job: _Job, event: dict) -> None:
+        with job.cond:
+            if job.state in TERMINAL_STATES:
+                # the `done` event is contractually last — a sibling
+                # racing in a forwarded event after the grid parent
+                # finished must not extend the log
+                return
+            event = dict(event)
+            event.setdefault("job_id", job.job_id)
+            event["seq"] = len(job.events)
+            job.events.append(event)
+            job.cond.notify_all()
+
+    def _finish(self, job: _Job, state: str, result=None,
+                error: "BaseException | None" = None) -> None:
+        with job.cond:
+            if job.state in TERMINAL_STATES:
+                return
+            job.state = state
+            job.result = result
+            job.error = error
+            # the terminal event rides the same lock hold as the state
+            # flip: observers never see a terminal state whose `done`
+            # event is still in flight
+            job.events.append({
+                "event": "done", "state": state,
+                "error": str(error) if error is not None else None,
+                "job_id": job.job_id, "seq": len(job.events),
+            })
+            job.cond.notify_all()
+        parent = job.parent
+        if parent is not None:
+            self._emit_flat(parent, {"event": "child", "state": state,
+                                     "job_id": job.job_id})
+            self._maybe_finish_grid(parent)
+        self._prune()
+
+    def _prune(self) -> None:
+        """Drop the oldest finished jobs past ``retain`` from the
+        table (their event logs go with them; live handles keep
+        working, but :meth:`handle` lookups turn into
+        :class:`JobNotFound`)."""
+        with self._lock:
+            terminal = [job_id for job_id, job in self._jobs.items()
+                        if job.state in TERMINAL_STATES]
+            excess = len(terminal) - self.retain
+            for job_id in terminal[:excess] if excess > 0 else ():
+                del self._jobs[job_id]
+
+    def _maybe_finish_grid(self, parent: _Job) -> None:
+        children = list(parent.children)
+        states = []
+        for child in children:
+            with child.cond:
+                states.append(child.state)
+        if any(s not in TERMINAL_STATES for s in states):
+            return
+        if any(s == FAILED for s in states):
+            errors = [c.error for c in children if c.error is not None]
+            self._finish(parent, FAILED,
+                         error=errors[0] if errors else
+                         JobError("a grid child failed"))
+        elif any(s == CANCELLED for s in states):
+            self._finish(parent, CANCELLED)
+        else:
+            self._finish(parent, DONE,
+                         result=tuple(c.result for c in children))
+
+    def _row(self, job: _Job, stage: "str | None", item) -> None:
+        with job.cond:
+            job.rows_done += 1
+            job.stage = stage
+        self._emit(job, {"event": "row", "stage": stage,
+                         "data": item.to_dict()})
+
+    def _check_cancel(self, job: _Job) -> None:
+        if job.cancel_event.is_set():
+            raise _CancelJob()
+
+    # -- execution ----------------------------------------------------------- #
+    def _run_job(self, job: _Job) -> None:
+        if job.cancel_event.is_set():
+            self._finish(job, CANCELLED)
+            return
+        with job.cond:
+            job.state = RUNNING
+        self._emit(job, {"event": "status", "state": RUNNING})
+        try:
+            if job.kind == "spec":
+                result = self._run_spec_job(job)
+            else:
+                result = self._run_request_job(job)
+        except _CancelJob:
+            self._finish(job, CANCELLED)
+        except Exception as exc:  # reported via status/result, not lost
+            self._emit(job, {"event": "error", "error": str(exc)})
+            self._finish(job, FAILED, error=exc)
+        else:
+            self._finish(job, DONE, result=result)
+
+    def _run_request_job(self, job: _Job):
+        request = job.payload
+        stage_kind = _REQUEST_STAGE_KINDS[type(request)]
+        if job.resume and self.store is not None:
+            loaded = self.store.load_request_result(request)
+            if loaded is not None:
+                for item in stage_rows(loaded):
+                    self._check_cancel(job)
+                    self._row(job, stage_kind, item)
+                self._emit(job, {"event": "stage", "stage": stage_kind,
+                                 "skipped": True,
+                                 "artifact":
+                                     self.store.request_relpath(request)})
+                return loaded
+        rows = []
+        stream = self.session.stream(request)
+        try:
+            for item in stream:
+                self._check_cancel(job)
+                rows.append(item)
+                self._row(job, stage_kind, item)
+            self._check_cancel(job)
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+        result = self.session.fold_stage(stage_kind, request, rows)
+        if self.store is not None:
+            relpath = self.store.save_request_result(request, result)
+            self._emit(job, {"event": "stage", "stage": stage_kind,
+                             "skipped": False, "artifact": relpath})
+        return result
+
+    def _run_spec_job(self, job: _Job):
+        spec = job.payload
+        completed: dict = {}
+        if job.resume and self.store is not None:
+            completed = self.store.completed_stages(spec)
+        names = spec.stage_names()
+        kinds = [s["stage"] for s in spec.stages]
+        stage_results: list = []
+        events = self.session.iter_spec_events(spec, completed=completed)
+        try:
+            for kind_tag, index, name, item in events:
+                self._check_cancel(job)
+                if kind_tag == "row":
+                    self._row(job, name, item)
+                    continue
+                stage_results.append(item)
+                skipped = index in completed
+                if self.store is not None:
+                    relpath = self.store.save_stage(
+                        spec, index, name, kinds[index], item
+                    )
+                    self._emit(job, {"event": "stage", "stage": name,
+                                     "index": index, "skipped": skipped,
+                                     "artifact": relpath})
+                else:
+                    self._emit(job, {"event": "stage", "stage": name,
+                                     "index": index, "skipped": skipped})
+            self._check_cancel(job)
+        finally:
+            close = getattr(events, "close", None)
+            if close is not None:
+                close()
+        return SpecResult(name=spec.name, workload=spec.workload,
+                          stages=tuple(stage_results))
+
+    # -- teardown ------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
+        """Stop accepting jobs; optionally cancel everything live."""
+        with self._lock:
+            self._closed = True
+            jobs = list(self._jobs.values())
+        if cancel:
+            for job in jobs:
+                self.cancel(job.job_id)
+        self._pool.shutdown(wait=wait, cancel_futures=cancel)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)

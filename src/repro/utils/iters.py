@@ -1,0 +1,40 @@
+"""Iterator utilities shared by the streaming runner APIs.
+
+The streaming entry points (`SweepRunner.iter_run`,
+`YieldRunner.iter_campaign`, ...) yield rows incrementally but know
+their row count up front — :class:`SizedIterator` carries that total
+alongside the stream, so progress reporters (the job layer's
+rows-done/rows-total counters, CLI progress lines) never have to
+re-derive it from request internals.
+"""
+
+from __future__ import annotations
+
+
+class SizedIterator:
+    """An iterator with a known element count.
+
+    Wraps a lazily-evaluated iterator and exposes ``len()`` — the
+    number of rows the stream will produce if drained to the end.
+    ``close()`` forwards to the underlying generator, so abandoning a
+    sized stream early still triggers the generator's cleanup (pool
+    shutdown in the parallel runners).
+    """
+
+    def __init__(self, it, total: int) -> None:
+        self._it = iter(it)
+        self.total = int(total)
+
+    def __iter__(self) -> "SizedIterator":
+        return self
+
+    def __next__(self):
+        return next(self._it)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def close(self) -> None:
+        close = getattr(self._it, "close", None)
+        if close is not None:
+            close()

@@ -195,3 +195,49 @@ class TestSweepDefaults:
     def test_analytic_property(self):
         assert SweepRequest(what="change-rate").analytic
         assert not SweepRequest(what="fc").analytic
+
+
+class TestRouteWorkersConfig:
+    @pytest.mark.parametrize("route_workers", [0, -3, 1.5, "two"])
+    def test_bad_route_workers(self, route_workers):
+        with pytest.raises(RequestError, match="route_workers"):
+            ExecutionConfig(route_workers=route_workers)
+
+    def test_round_trip(self):
+        cfg = ExecutionConfig(backend="thread", workers=2, route_workers=3)
+        assert ExecutionConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_old_payloads_without_route_workers_still_load(self):
+        cfg = ExecutionConfig.from_dict(
+            {"backend": "sequential", "workers": None, "seed": 0,
+             "effort": None}
+        )
+        assert cfg.route_workers is None
+
+
+class TestRequestTotalRows:
+    def test_single_shot_requests(self):
+        from repro.api import request_total_rows
+
+        assert request_total_rows(MapRequest()) == 1
+        assert request_total_rows(AreaRequest()) == 1
+        assert request_total_rows(ReorderRequest()) == 1
+
+    def test_batch_and_grids(self):
+        from repro.api import SWEEP_DEFAULTS, request_total_rows
+
+        assert request_total_rows(
+            BatchRequest(workloads=("adder", "crc", "cmp"))) == 3
+        assert request_total_rows(
+            SweepRequest(what="channel-width", values=(6, 8, 10, 12))) == 4
+        assert request_total_rows(SweepRequest(what="fc")) == \
+            len(SWEEP_DEFAULTS["fc"])
+        assert request_total_rows(YieldRequest(rates=(0.0, 0.01))) == 2
+        assert request_total_rows(
+            YieldRequest(rates=(0.01,), spares=(0, 1, 2))) == 3
+
+    def test_unsupported_type(self):
+        from repro.api import request_total_rows
+
+        with pytest.raises(RequestError):
+            request_total_rows(object())

@@ -213,3 +213,138 @@ class TestCacheSharing:
                            execution=ExecutionConfig(effort=0.2)))
         # golden_for went through the same runner: no new anneal
         assert len(runner._placements) == placements_before
+
+
+class TestConcurrentCaches:
+    """Session caches must be race-free: JobManager workers share one
+    Session, so get-or-create has to be single-flight per key."""
+
+    def test_two_threads_hammer_get_identical_objects(self):
+        import threading
+
+        session = Session()
+        results: dict = {}
+        errors: list = []
+        barrier = threading.Barrier(2)
+
+        def hammer(tag: str) -> None:
+            try:
+                barrier.wait(timeout=30)
+                got = []
+                for _ in range(50):
+                    got.append((
+                        session.circuit("adder"),
+                        session.program("adder", 2, 0.05, 0),
+                        session.sweep_runner(),
+                        session.yield_runner(),
+                    ))
+                results[tag] = got
+            except Exception as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        flat = results["a"] + results["b"]
+        # every thread, every iteration: the *same* objects — identity
+        # matters because the placement cache keys on netlist identity
+        for grabbed in flat:
+            assert grabbed[0] is flat[0][0]
+            assert grabbed[1] is flat[0][1]
+            assert grabbed[2] is flat[0][2]
+            assert grabbed[3] is flat[0][3]
+
+    def test_concurrent_map_requests_agree_with_sequential(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        request = MapRequest(workload="adder", contexts=2,
+                             execution=ExecutionConfig(effort=0.2))
+        expected = Session().run(request)
+        session = Session()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(session.run, request) for _ in range(4)]
+            outcomes = [f.result(timeout=300) for f in futures]
+        for out in outcomes:
+            assert out == expected
+
+    def test_substrate_build_is_single_flight(self):
+        """Concurrent misses on one ArchParams must not each build the
+        substrate (lru_cache alone is thread-safe but not
+        single-flight — the job layer's workers hit this for real)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.arch.compiled import (
+            clear_rrg_cache,
+            compiled_rrg_for,
+            flat_rrg_for,
+        )
+
+        params = ArchParams(cols=4, rows=4, channel_width=6, io_capacity=4)
+        clear_rrg_cache()
+        try:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                compiled = [f.result() for f in
+                            [pool.submit(compiled_rrg_for, params)
+                             for _ in range(4)]]
+                flats = [f.result() for f in
+                         [pool.submit(flat_rrg_for, params)
+                          for _ in range(4)]]
+            assert compiled_rrg_for.cache_info().misses == 1
+            assert flat_rrg_for.cache_info().misses == 1
+            assert all(c is compiled[0] for c in compiled)
+            assert all(f is flats[0] for f in flats)
+        finally:
+            clear_rrg_cache()  # leave no half-warm state for other tests
+
+
+class TestRouteWorkersWiring:
+    """ExecutionConfig.route_workers reaches the engine's map calls."""
+
+    def _capture(self, monkeypatch, session):
+        calls = []
+        real = session.engine.map
+
+        def spy(program, params=None, **kwargs):
+            calls.append(kwargs.get("route_workers"))
+            return real(program, params, **kwargs)
+
+        monkeypatch.setattr(session.engine, "map", spy)
+        return calls
+
+    def test_map_request_passes_route_workers(self, monkeypatch):
+        session = Session()
+        calls = self._capture(monkeypatch, session)
+        session.run(MapRequest(
+            workload="adder", contexts=2, share_aware=False,
+            execution=ExecutionConfig(effort=0.2, route_workers=2),
+        ))
+        assert calls == [2]
+
+    def test_default_is_none(self, monkeypatch):
+        session = Session()
+        calls = self._capture(monkeypatch, session)
+        session.run(MapRequest(workload="adder", contexts=2,
+                               execution=ExecutionConfig(effort=0.2)))
+        assert calls == [None]
+
+    def test_route_workers_do_not_change_share_unaware_results(self):
+        base = dict(workload="adder", contexts=2, share_aware=False)
+        plain = Session().run(MapRequest(
+            **base, execution=ExecutionConfig(effort=0.2)))
+        routed = Session().run(MapRequest(
+            **base, execution=ExecutionConfig(effort=0.2, route_workers=2)))
+        assert routed == plain  # parallel context routing: same answer
+
+    def test_batch_thread_backend_passes_route_workers(self, monkeypatch):
+        session = Session()
+        calls = self._capture(monkeypatch, session)
+        session.run(BatchRequest(
+            workloads=("adder", "cmp"), contexts=2, share_aware=False,
+            execution=ExecutionConfig(backend="thread", workers=2,
+                                      effort=0.2, route_workers=2),
+        ))
+        assert calls == [2, 2]

@@ -223,3 +223,153 @@ class TestSpecExecution:
         # shared by both sweep points, the yield golden mapping, and
         # every Monte Carlo trial
         assert len(runner._placements) == 1
+
+
+class TestSpecErrorPaths:
+    """Every bad document fails at load with an actionable SpecError."""
+
+    def _doc(self, **overrides):
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc.update(overrides)
+        return doc
+
+    def test_unknown_stage_type_names_the_known_ones(self):
+        with pytest.raises(SpecError) as err:
+            ExperimentSpec.from_dict(self._doc(
+                stages=[{"stage": "teleport"}]
+            ))
+        assert "teleport" in str(err.value)
+        assert "map" in str(err.value)  # lists the known stages
+
+    def test_duplicate_explicit_stage_names(self):
+        with pytest.raises(SpecError, match="duplicate stage name"):
+            ExperimentSpec.from_dict(self._doc(stages=[
+                {"stage": "map", "name": "fit"},
+                {"stage": "reorder", "name": "fit"},
+            ]))
+
+    def test_auto_name_colliding_with_explicit_name(self):
+        with pytest.raises(SpecError, match="duplicate stage name"):
+            ExperimentSpec.from_dict(self._doc(stages=[
+                {"stage": "sweep", "what": "channel-width"},
+                {"stage": "sweep", "what": "fc"},
+                {"stage": "map", "name": "sweep-2"},
+            ]))
+
+    def test_bad_stage_name_rejected(self):
+        with pytest.raises(SpecError, match="bad stage name"):
+            ExperimentSpec.from_dict(self._doc(stages=[
+                {"stage": "map", "name": "has spaces/slashes"},
+            ]))
+
+    def test_repeated_kinds_auto_number(self, spec):
+        doubled = ExperimentSpec.from_dict(self._doc(stages=[
+            {"stage": "sweep", "what": "channel-width"},
+            {"stage": "sweep", "what": "fc"},
+            {"stage": "map", "name": "fit"},
+        ]))
+        assert doubled.stage_names() == ["sweep", "sweep-2", "fit"]
+
+    def test_empty_grid_axis(self):
+        with pytest.raises(SpecError) as err:
+            ExperimentSpec.from_dict(self._doc(
+                grid={"workloads": []}
+            ))
+        msg = str(err.value)
+        assert "workloads" in msg and "empty" in msg
+        assert "remove the axis" in msg  # says how to fix it
+
+    def test_empty_archs_axis(self):
+        with pytest.raises(SpecError, match="'archs' is empty"):
+            ExperimentSpec.from_dict(self._doc(grid={"archs": []}))
+
+    def test_unknown_grid_axis(self):
+        with pytest.raises(SpecError, match="unknown grid axis"):
+            ExperimentSpec.from_dict(self._doc(
+                grid={"workload": ["adder"]}
+            ))
+
+    def test_unknown_grid_workload(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            ExperimentSpec.from_dict(self._doc(
+                grid={"workloads": ["adder", "nonesuch"]}
+            ))
+
+    def test_bad_grid_arch_entry(self):
+        with pytest.raises(SpecError, match="archs must be dicts"):
+            ExperimentSpec.from_dict(self._doc(grid={"archs": [5]}))
+        with pytest.raises(SpecError, match="unknown arch key"):
+            ExperimentSpec.from_dict(self._doc(
+                grid={"archs": [{"grid": 5, "rows": 5}]}
+            ))
+
+    def test_resume_with_corrupted_artifact(self, tmp_path, spec):
+        """--resume over a damaged results dir raises SpecError naming
+        the file (the full lifecycle test lives in tests/service)."""
+        from repro.service import ArtifactStore, JobManager
+
+        small = ExperimentSpec.from_dict(self._doc(
+            name="corrupt-resume",
+            stages=[{"stage": "map", "contexts": 2}],
+        ))
+        store = ArtifactStore(tmp_path)
+        with JobManager(session=Session(), workers=1, store=store) as m:
+            m.submit(small).result(timeout=300)
+        manifest = store.load_manifest(small)
+        store.path_for(manifest["stages"]["0"]["path"]).write_text("]]")
+        with pytest.raises(SpecError) as err:
+            store.completed_stages(small)
+        msg = str(err.value)
+        assert "corrupted artifact" in msg
+        assert "map" in msg            # names the stage
+        assert "delete the file" in msg  # and the way out
+
+
+class TestSpecGrids:
+    def test_gridless_expands_to_itself(self, spec):
+        assert spec.expand() == [spec]
+        assert not spec.is_grid
+
+    def test_cross_product_expansion(self):
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc["grid"] = {
+            "workloads": ["adder", "crc"],
+            "archs": [{"grid": 5, "width": 7}, {"grid": 6, "width": 8}],
+        }
+        grid_spec = ExperimentSpec.from_dict(doc)
+        assert grid_spec.is_grid
+        children = grid_spec.expand()
+        assert len(children) == 4
+        assert [c.workload for c in children] == [
+            "adder", "adder", "crc", "crc",
+        ]
+        assert [c.arch for c in children] == [
+            {"grid": 5, "width": 7}, {"grid": 6, "width": 8},
+        ] * 2
+        assert len({c.name for c in children}) == 4
+        assert all(not c.is_grid for c in children)
+        assert all(c.stages == grid_spec.stages for c in children)
+
+    def test_single_axis_defaults_other_from_header(self):
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc["grid"] = {"workloads": ["crc"]}
+        children = ExperimentSpec.from_dict(doc).expand()
+        assert len(children) == 1
+        assert children[0].workload == "crc"
+        assert children[0].arch == {"grid": 5, "width": 7}
+
+    def test_grid_round_trips(self):
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc["grid"] = {"workloads": ["adder", "crc"]}
+        grid_spec = ExperimentSpec.from_dict(doc)
+        again = ExperimentSpec.from_dict(
+            json.loads(json.dumps(grid_spec.to_dict()))
+        )
+        assert again == grid_spec
+
+    def test_total_rows(self, spec):
+        # map 1 + sweep 2 + yield 2 + report 1
+        assert spec.total_rows() == 6
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc["grid"] = {"workloads": ["adder", "crc"]}
+        assert ExperimentSpec.from_dict(doc).total_rows() == 12

@@ -304,3 +304,104 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunManaged:
+    """`run --results-dir/--resume` rides the job layer, same rows."""
+
+    def test_resume_requires_results_dir(self, capsys, spec_file):
+        assert main(["run", spec_file, "--resume"]) == 2
+        assert "--results-dir" in capsys.readouterr().err
+
+    def test_managed_stream_matches_plain_stream(self, capsys, tmp_path,
+                                                 spec_file):
+        assert main(["run", spec_file, "--stream"]) == 0
+        plain = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert main(["run", spec_file, "--stream",
+                     "--results-dir", str(tmp_path / "r")]) == 0
+        managed = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        assert managed == plain
+        # and a resumed rerun replays the identical stream
+        assert main(["run", spec_file, "--stream", "--resume",
+                     "--results-dir", str(tmp_path / "r")]) == 0
+        resumed = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        assert resumed == plain
+
+    def test_artifacts_written(self, capsys, tmp_path, spec_file):
+        results = tmp_path / "results"
+        assert main(["run", spec_file, "--json",
+                     "--results-dir", str(results)]) == 0
+        json.loads(capsys.readouterr().out)  # valid result payload
+        manifest = json.loads(
+            (results / "specs" / "cli-spec" / "manifest.json").read_text()
+        )
+        assert sorted(manifest["stages"]) == ["0", "1", "2", "3"]
+
+    def test_grid_spec_runs_all_children(self, capsys, tmp_path):
+        doc = json.loads(json.dumps(SPEC_DOC))
+        doc["name"] = "cli-grid"
+        doc["stages"] = [{"stage": "map", "contexts": 2}]
+        doc["grid"] = {"workloads": ["adder", "cmp"]}
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(doc))
+        assert main(["run", str(path), "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["workload"] for d in docs] == ["adder", "cmp"]
+        assert [d["name"] for d in docs] == [
+            "cli-grid[adder.g5w7]", "cli-grid[cmp.g5w7]",
+        ]
+
+
+class TestServeAndJobs:
+    """`repro serve` + `repro jobs`: the full loop over localhost."""
+
+    def test_round_trip(self, capsys, tmp_path, spec_file):
+        import threading
+
+        from repro.service import ArtifactStore, JobManager, ReproService
+
+        manager = JobManager(workers=1,
+                             store=ArtifactStore(tmp_path / "r"))
+        service = ReproService(manager, port=0)
+        host, port = service.start()
+        url = f"http://{host}:{port}"
+        try:
+            assert main(["jobs", "submit", spec_file, "--url", url]) == 0
+            submitted = json.loads(capsys.readouterr().out)
+            job_id = submitted["job"]["job_id"]
+            assert main(["jobs", "events", job_id, "--url", url]) == 0
+            lines = [json.loads(line) for line in
+                     capsys.readouterr().out.strip().splitlines()]
+            assert lines[-1]["event"] == "done"
+            assert lines[-1]["state"] == "done"
+            assert main(["jobs", "status", job_id, "--url", url]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["job"]["state"] == "done"
+            assert main(["jobs", "list", "--url", url]) == 0
+            listing = json.loads(capsys.readouterr().out)
+            assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+        finally:
+            service.stop()
+            manager.shutdown(wait=False, cancel=True)
+
+    def test_unreachable_server(self, capsys):
+        assert main(["jobs", "list", "--url", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_needs_a_spec(self, capsys):
+        assert main(["jobs", "submit"]) == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def test_status_needs_a_job_id(self, capsys):
+        assert main(["jobs", "status"]) == 2
+        assert "job id" in capsys.readouterr().err
+
+    def test_submit_missing_spec_file_blames_the_file(self, capsys):
+        assert main(["jobs", "submit", "/nonexistent/spec.json",
+                     "--url", "http://127.0.0.1:1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read spec" in err
+        assert "cannot reach" not in err

@@ -1,0 +1,232 @@
+"""Zero-copy shared-memory backend: payload, attach, and wall-clock.
+
+The tentpole payoff measurement for the process backend: at bench
+scale (7x7 fabric, 32-gate workload, real golden routes) a yield
+trial's pickled payload collapses from "the golden mapping plus the
+netlist, re-shipped per trial" to "a frozen job plus two O(1)
+handles".  Three properties are asserted:
+
+- **payload** — the shared-memory trial item pickles at least 10x
+  smaller than the pickling backend's ``(job, golden)`` item;
+- **one attach per worker** — however many jobs a pool worker runs,
+  it maps each published segment exactly once (the pool initializer
+  attaches, every job's ``attach_cached`` is a dictionary hit);
+- **agreement** — campaign rows are bit-identical between the shared
+  and pickling process backends (and the sequential baseline), so the
+  payload win is free.
+
+Wall-clock for shared vs pickled fan-out is reported (not gated —
+the delta tracks pickle volume, which CI runner disks and core counts
+scale unpredictably).
+
+Runs two ways:
+
+- under pytest with the benchmark harness
+  (``pytest benchmarks/bench_shared_memory.py --benchmark-only -s``);
+- standalone (``python benchmarks/bench_shared_memory.py [--smoke]``)
+  for CI smoke runs — ``--smoke`` shrinks the campaign; the payload
+  and attach gates hold at both scales.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import time
+
+from repro.analysis.sweep import SweepRunner
+from repro.arch.compiled import flat_rrg_for
+from repro.arch.params import ArchParams
+from repro.arch.shared import attach_count, detach_all, warm_worker
+from repro.netlist.techmap import tech_map
+from repro.reliability import YieldRunner
+from repro.reliability.repair import build_golden
+from repro.reliability.yield_runner import YieldTrialJob, trial_seed
+from repro.utils.tables import TextTable
+from repro.workloads.generators import random_dag
+
+SEED = 0
+EFFORT = 0.3
+WORKERS = max(2, os.cpu_count() or 2)
+
+#: Bench scale: the yield bench's acceptance fabric/workload — the
+#: golden payload here is what campaigns actually re-ship per trial.
+FULL_BASE = ArchParams(cols=7, rows=7, channel_width=8, io_capacity=6)
+FULL_RATES = [0.02, 0.06]
+FULL_TRIALS = 8
+FULL_GATES = 32
+
+#: CI smoke: a 6x6 fabric, smaller workload, fewer trials.
+SMOKE_BASE = ArchParams(cols=6, rows=6, channel_width=8, io_capacity=6)
+SMOKE_RATES = [0.03]
+SMOKE_TRIALS = 6
+SMOKE_GATES = 20
+
+#: Acceptance bar: shared trial items pickle >= 10x smaller than the
+#: pickling backend's items at bench scale.
+PAYLOAD_FACTOR = 10.0
+
+
+def _netlist(n_gates: int):
+    return tech_map(
+        random_dag(n_inputs=8, n_gates=n_gates, n_outputs=8, seed=5), k=4
+    )
+
+
+def _trial_job(base: ArchParams, netlist) -> YieldTrialJob:
+    return YieldTrialJob(
+        workload="random", params=base, netlist=netlist,
+        defect_rate=0.03, model="uniform", trial=0,
+        defect_seed=trial_seed(SEED, 0, 0), seed=SEED, effort=EFFORT,
+    )
+
+
+def _probe_attach(handle):
+    """Worker-side job: touch the substrate, report this process's
+    attach bookkeeping.  ``attach_count`` must stay 1 however many of
+    these jobs the worker drains — the initializer did the only map."""
+    c = handle.attach_cached()
+    return (os.getpid(), attach_count(handle.name), c.n_nodes)
+
+
+def _measure_payload(base: ArchParams, n_gates: int) -> dict:
+    """Pickled bytes per trial item: pickling vs shared fan-out."""
+    from repro.place.placer import place
+
+    netlist = _netlist(n_gates)
+    c = flat_rrg_for(base)
+    placement = place(netlist, base, seed=SEED, effort=EFFORT)
+    golden = build_golden(c, netlist, placement, 25)
+    assert golden is not None, "bench device must route defect-free"
+
+    runner = SweepRunner(backend="process", workers=WORKERS,
+                         shared_memory=True)
+    try:
+        store = runner.store()
+        gh = store.golden_for(("bench", base), golden, netlist)
+        sh = store.substrate_for(c)
+        fat = len(pickle.dumps((_trial_job(base, netlist), golden)))
+        job = _trial_job(base, None)
+        lean = len(pickle.dumps((job, gh, sh)))
+    finally:
+        runner.close()
+    return {"fat_bytes": fat, "lean_bytes": lean, "factor": fat / lean}
+
+
+def _measure_attach(base: ArchParams) -> dict:
+    """Fan 8x more jobs than workers through a warmed pool; every
+    worker must report exactly one attach for the segment."""
+    c = flat_rrg_for(base)
+    runner = SweepRunner(backend="process", workers=WORKERS,
+                         shared_memory=True)
+    try:
+        handle = runner.store().substrate_for(c)
+        n_jobs = WORKERS * 8
+        reports = list(runner.iter_items(
+            _probe_attach, [handle] * n_jobs,
+            initializer=warm_worker, initargs=((handle,),),
+        ))
+    finally:
+        runner.close()
+    counts = {pid: n for pid, n, _ in reports}
+    assert all(n == 1 for n in counts.values()), (
+        f"expected one attach per worker, got {counts}"
+    )
+    assert all(nodes == c.n_nodes for _, _, nodes in reports)
+    return {"jobs": n_jobs, "workers": len(counts)}
+
+
+def _campaign_rows(netlist, base, rates, trials, shared: bool) -> tuple:
+    runner = YieldRunner(runner=SweepRunner(
+        backend="process", workers=WORKERS, shared_memory=shared,
+    ))
+    t0 = time.perf_counter()
+    try:
+        points = runner.run_campaign(
+            netlist, "random", base, rates, trials, seed=SEED, effort=EFFORT
+        )
+    finally:
+        runner.close()
+    return [pt.to_dict() for pt in points], time.perf_counter() - t0
+
+
+def _measure(base: ArchParams, rates, trials, n_gates: int) -> dict:
+    detach_all()
+    payload = _measure_payload(base, n_gates)
+    attach = _measure_attach(base)
+
+    netlist = _netlist(n_gates)
+    seq_runner = YieldRunner(backend="sequential")
+    seq = [pt.to_dict() for pt in seq_runner.run_campaign(
+        netlist, "random", base, rates, trials, seed=SEED, effort=EFFORT
+    )]
+    shared_rows, t_shared = _campaign_rows(netlist, base, rates, trials,
+                                           shared=True)
+    pickled_rows, t_pickled = _campaign_rows(netlist, base, rates, trials,
+                                             shared=False)
+    assert shared_rows == seq, "shared campaign diverged from sequential"
+    assert pickled_rows == seq, "pickled campaign diverged from sequential"
+    return {
+        "grid": f"{base.cols}x{base.rows}",
+        "trials": len(rates) * trials,
+        **payload,
+        **attach,
+        "t_shared": t_shared,
+        "t_pickled": t_pickled,
+    }
+
+
+def _render(r: dict) -> str:
+    t = TextTable(
+        ["grid", "trials", "fat (B)", "lean (B)", "payload factor",
+         "workers", "shared (s)", "pickled (s)"],
+        title=f"Shared-memory fan-out ({os.cpu_count()} cores, "
+              f"{WORKERS} workers)",
+    )
+    t.add_row([
+        r["grid"], r["trials"], r["fat_bytes"], r["lean_bytes"],
+        f"{r['factor']:.1f}x", r["workers"],
+        f"{r['t_shared']:.2f}", f"{r['t_pickled']:.2f}",
+    ])
+    return t.render()
+
+
+class TestSharedMemory:
+    def test_full_payload_and_agreement(self, benchmark):
+        row = benchmark.pedantic(
+            lambda: _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES),
+            rounds=1, iterations=1,
+        )
+        print("\n" + _render(row))
+        assert row["factor"] >= PAYLOAD_FACTOR, _render(row)
+
+    def test_smoke_consistent(self, benchmark):
+        row = benchmark.pedantic(
+            lambda: _measure(SMOKE_BASE, SMOKE_RATES, SMOKE_TRIALS,
+                             SMOKE_GATES),
+            rounds=1, iterations=1,
+        )
+        print("\n" + _render(row))
+        # the handle is constant-size, the golden scales with the
+        # fabric — even the smoke fabric must clear a healthy margin
+        assert row["factor"] >= 3.0, _render(row)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        row = _measure(SMOKE_BASE, SMOKE_RATES, SMOKE_TRIALS, SMOKE_GATES)
+    else:
+        row = _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES)
+    print(_render(row))
+    floor = 3.0 if smoke else PAYLOAD_FACTOR
+    if row["factor"] < floor:
+        print(f"FAIL: per-trial payload only {row['factor']:.1f}x smaller "
+              f"(need >= {floor:.0f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

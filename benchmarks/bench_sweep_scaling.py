@@ -15,8 +15,11 @@ minimum-channel-width-style grid (channel widths 4..19) three ways —
   core count and grid size, not on the engine).
 
 The acceptance bar is >= 3x end-to-end for compiled-sequential on the
-16-point sweep; verdicts and wirelengths must be identical between the
-legacy loop and both compiled runs.
+16-point sweep — and, on machines with >= 4 cores, >= 5x for the best
+compiled run (the zero-copy shared-memory process backend supplies the
+margin: workers map published substrates instead of rebuilding them).
+Verdicts and wirelengths must be identical between the legacy loop and
+both compiled runs.
 
 Runs two ways:
 
@@ -48,6 +51,13 @@ from repro.workloads.generators import random_dag
 
 SEED = 0
 EFFORT = 0.3
+
+#: Full-mode speedup floor vs the seed legacy loop: the compiled
+#: engine must win >= 3x sequentially everywhere; with >= 4 cores the
+#: best backend (shared-memory process fan-out) must win >= 5x.
+FLOOR_SEQ = 3.0
+FLOOR_MULTICORE = 5.0
+MULTICORE_AT = 4
 
 #: The acceptance sweep: 16 channel widths on an 8x8 fabric.
 FULL_WIDTHS = list(range(4, 20))
@@ -162,7 +172,10 @@ class TestSweepScaling:
         )
         print("\n" + _render(row))
         assert row["points"] == 16
-        assert row["speedup_seq"] >= 3.0, _render(row)
+        assert row["speedup_seq"] >= FLOOR_SEQ, _render(row)
+        if (os.cpu_count() or 1) >= MULTICORE_AT:
+            best = max(row["speedup_seq"], row["speedup_proc"])
+            assert best >= FLOOR_MULTICORE, _render(row)
 
     def test_smoke_sweep_consistent(self, benchmark):
         row = benchmark.pedantic(
@@ -180,7 +193,10 @@ def main(argv: list[str]) -> int:
     else:
         row = _measure(FULL_BASE, FULL_WIDTHS, FULL_GATES)
     print(_render(row))
-    ok = row["speedup_seq"] > (1.0 if smoke else 3.0)
+    ok = row["speedup_seq"] > (1.0 if smoke else FLOOR_SEQ)
+    if not smoke and (os.cpu_count() or 1) >= MULTICORE_AT:
+        ok = ok and max(row["speedup_seq"],
+                        row["speedup_proc"]) >= FLOOR_MULTICORE
     if not ok:
         print("FAIL: compiled sweep below required speedup", file=sys.stderr)
         return 1

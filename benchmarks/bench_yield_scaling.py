@@ -13,8 +13,11 @@ Three properties are asserted:
   RRG exactly once per device configuration (``flat_rrg_for`` cache);
   per-trial cost is defect sampling + repair, never a graph rebuild;
 - **scaling** (full mode, >= 2 cores) — the process backend beats the
-  sequential one end-to-end: trials are embarrassingly parallel and
-  repair work (reroutes under the defect mask) dominates pickling.
+  sequential one end-to-end: trials are embarrassingly parallel, and
+  with the shared-memory fan-out (default on) the golden mapping and
+  substrate are published once instead of pickled per trial, so
+  per-trial overhead is a few hundred bytes of job.  On >= 4 cores
+  the floor rises to >= 2x.
 
 Runs two ways:
 
@@ -42,6 +45,21 @@ from repro.workloads.generators import random_dag
 SEED = 0
 EFFORT = 0.3
 WORKERS = max(2, os.cpu_count() or 2)
+
+#: Full-mode process-backend speedup floors vs sequential: any win on
+#: 2-3 cores, >= 2x on >= 4 cores (the shared-memory fan-out removes
+#: the per-trial golden/netlist pickling that used to cap scaling).
+FLOOR_MULTICORE = 2.0
+MULTICORE_AT = 4
+
+
+def _proc_floor() -> float | None:
+    cores = os.cpu_count() or 1
+    if cores >= MULTICORE_AT:
+        return FLOOR_MULTICORE
+    if cores >= 2:
+        return 1.0
+    return None
 
 #: The acceptance campaign: 64 trials (16 per rate) on a 7x7 fabric at
 #: a rate grid that exercises every repair rung.
@@ -131,8 +149,9 @@ class TestYieldScaling:
         )
         print("\n" + _render(row))
         assert row["trials"] == 64
-        if (os.cpu_count() or 1) >= 2:
-            assert row["speedup_proc"] > 1.0, _render(row)
+        floor = _proc_floor()
+        if floor is not None:
+            assert row["speedup_proc"] >= floor, _render(row)
 
     def test_smoke_campaign_consistent(self, benchmark):
         row = benchmark.pedantic(
@@ -151,10 +170,10 @@ def main(argv: list[str]) -> int:
     else:
         row = _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES)
     print(_render(row))
-    if not smoke and (os.cpu_count() or 1) >= 2 \
-            and row["speedup_proc"] <= 1.0:
-        print("FAIL: process backend did not beat sequential",
-              file=sys.stderr)
+    floor = _proc_floor()
+    if not smoke and floor is not None and row["speedup_proc"] < floor:
+        print(f"FAIL: process backend speedup {row['speedup_proc']:.2f}x "
+              f"below the {floor:.1f}x floor", file=sys.stderr)
         return 1
     return 0
 

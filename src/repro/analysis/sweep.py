@@ -35,6 +35,20 @@ that beats the GIL for big grids; each worker process warms its own
 compiled-RRG cache and scratch pool.  ``workers=None`` sizes parallel
 backends to ``os.cpu_count()``.
 
+With ``shared_memory`` enabled (the default; see
+:func:`repro.arch.shared.shared_memory_default`), the process backend
+publishes compiled substrates through POSIX shared memory whenever a
+grid shares one ``ArchParams`` across several points: workers map the
+arrays zero-copy (one attach per worker process, done in the pool
+initializer) instead of rebuilding the substrate per process.  Points
+whose params are unique in the grid still build worker-side — the
+parent publishing them first would serialize work the pool could do in
+parallel.  Segments are refcounted by the runner's
+:class:`~repro.arch.shared.SharedStore` and unlinked on
+:meth:`SweepRunner.close` (also wired to a finalizer, so dropping the
+runner cleans up).  Rows are bit-identical either way: attached
+substrates hold the same arrays the parent built.
+
 Two sweep-level optimisations keep grids cheap without changing any
 verdict: the runner caches *placements* across points that share a
 placement-relevant configuration (grid size, I/O capacity, seed,
@@ -87,6 +101,10 @@ class SweepJob:
     seed: int = 0
     effort: float = 0.3
     max_iterations: int = POINT_MAX_ITERATIONS
+    #: wavefront width for the router's *initial* routing pass
+    #: (``None`` = sequential).  Verdicts are bit-identical either way
+    #: — the wavefront only parallelises provably independent nets.
+    route_workers: int | None = None
 
 
 @dataclass
@@ -165,7 +183,7 @@ def _placement_key(job: SweepJob) -> tuple:
 
 
 def evaluate_point(
-    job: SweepJob, placement: Placement | None = None, engine=None
+    job: SweepJob, placement: Placement | None = None, engine=None, c=None
 ) -> SweepPoint:
     """Evaluate one sweep point on the compiled engine.
 
@@ -176,18 +194,22 @@ def evaluate_point(
     configurations on full substrates spends more time in the garbage
     collector than in the router), and extracts the structured outcome.
     An unroutable point is a *result* (``routed=False``), not an error.
+    An explicit ``c`` (e.g. a shared-memory attached substrate) skips
+    the engine's build cache entirely.
     """
-    if engine is None:
-        from repro.analysis.engine import DEFAULT_ENGINE
-        engine = DEFAULT_ENGINE
-    c = engine.flat(job.params)
+    if c is None:
+        if engine is None:
+            from repro.analysis.engine import DEFAULT_ENGINE
+            engine = DEFAULT_ENGINE
+        c = engine.flat(job.params)
     if placement is None:
         placement = place(
             job.netlist, job.params, seed=job.seed, effort=job.effort
         )
     try:
         rr = route_context_compiled(
-            c, job.netlist, placement, max_iterations=job.max_iterations
+            c, job.netlist, placement, max_iterations=job.max_iterations,
+            workers=job.route_workers,
         )
     except RoutingError:
         return SweepPoint(job.axis, job.value, False)
@@ -207,6 +229,19 @@ def _evaluate_shipped(pair: tuple[SweepJob, Placement]) -> SweepPoint:
     return evaluate_point(job, placement)
 
 
+def _evaluate_shipped_shared(item) -> SweepPoint:
+    """Process-pool entry point for the shared-memory backend.
+
+    ``item`` is ``(job, placement, handle)`` — ``handle`` a
+    :class:`~repro.arch.shared.SharedSubstrate` (attached zero-copy,
+    cached per process) or ``None`` for params unique in the grid,
+    which fall back to the worker-side ``flat_rrg_for`` build.
+    """
+    job, placement, handle = item
+    c = handle.attach_cached() if handle is not None else None
+    return evaluate_point(job, placement, c=c)
+
+
 class SweepRunner:
     """Executes sweep grids on the shared mapping engine.
 
@@ -221,6 +256,7 @@ class SweepRunner:
         engine=None,
         backend: str = "sequential",
         workers: int | None = None,
+        shared_memory: bool | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -229,14 +265,43 @@ class SweepRunner:
         if engine is None:
             from repro.analysis.engine import DEFAULT_ENGINE
             engine = DEFAULT_ENGINE
+        if shared_memory is None:
+            from repro.arch.shared import shared_memory_default
+            shared_memory = shared_memory_default()
         self.engine = engine
         self.backend = backend
         self.workers = workers
+        #: publish substrates (and the yield runner's golden mappings)
+        #: over POSIX shared memory on the process backend
+        self.shared_memory = shared_memory
+        self._store = None
         self._placements: dict[tuple, Placement] = {}
         # concurrent jobs (the service layer's worker pool) share one
         # runner; the lock keeps get-or-create single-flight so equal
         # configurations always receive the *same* Placement object
         self._placements_lock = threading.Lock()
+
+    def store(self):
+        """The runner's (lazily created) shared-memory publication
+        store; segments it owns are unlinked on :meth:`close`."""
+        if self._store is None:
+            from repro.arch.shared import SharedStore
+            with self._placements_lock:
+                if self._store is None:
+                    self._store = SharedStore()
+        return self._store
+
+    def close(self) -> None:
+        """Release the runner's shared-memory publications (idempotent;
+        also runs from a finalizer when the runner is dropped)."""
+        if self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def placement_for(self, job: SweepJob) -> Placement:
         """The (cached) placement for a job's placement-relevant config."""
@@ -250,7 +315,15 @@ class SweepRunner:
                 self._placements[key] = pl
         return pl
 
-    def iter_items(self, fn, items: Sequence) -> SizedIterator:
+    def pool_width(self, n_items: int) -> int:
+        """Effective pool size for ``n_items`` (1 = run sequentially)."""
+        if not n_items:
+            return 0
+        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return 1 if self.backend == "sequential" else min(n, n_items)
+
+    def iter_items(self, fn, items: Sequence, initializer=None,
+                   initargs=()) -> SizedIterator:
         """Execute ``fn`` over ``items``, yielding results incrementally.
 
         Results keep the order of ``items`` on every backend: parallel
@@ -259,19 +332,23 @@ class SweepRunner:
         consumers see exactly the rows :meth:`map_items` would collect —
         bit-identical, just earlier.  A failing item raises its error
         when its slot is reached.  ``fn`` must be a picklable top-level
-        callable for the process backend.  The returned iterator is a
+        callable for the process backend.  ``initializer``/``initargs``
+        warm each pool worker once at start (the shared-memory paths
+        attach their segments there); ignored when the grid runs
+        sequentially.  The returned iterator is a
         :class:`~repro.utils.iters.SizedIterator` — ``len()`` is the
         total row count, available before any work runs.
         """
         items = list(items)
-        return SizedIterator(self._iter_items(fn, items), len(items))
+        return SizedIterator(
+            self._iter_items(fn, items, initializer, initargs), len(items)
+        )
 
-    def _iter_items(self, fn, items: list):
+    def _iter_items(self, fn, items: list, initializer=None, initargs=()):
         if not items:
             return
-        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        n = min(n, len(items))
-        if self.backend == "sequential" or n <= 1:
+        n = self.pool_width(len(items))
+        if n <= 1:
             for it in items:
                 yield fn(it)
             return
@@ -279,7 +356,8 @@ class SweepRunner:
             ThreadPoolExecutor if self.backend == "thread"
             else ProcessPoolExecutor
         )
-        pool = pool_cls(max_workers=n)
+        pool = pool_cls(max_workers=n, initializer=initializer,
+                        initargs=initargs)
         try:
             futures = [pool.submit(fn, it) for it in items]
             for f in futures:
@@ -316,8 +394,10 @@ class SweepRunner:
         # parent: points differing only in routing resources share one
         # anneal, and worker processes receive ready placements
         pairs = [(job, self.placement_for(job)) for job in jobs]
-        n = self.workers if self.workers is not None else (os.cpu_count() or 1)
-        if self.backend == "process" and min(n, len(pairs)) > 1:
+        if self.backend == "process" and self.pool_width(len(pairs)) > 1:
+            if self.shared_memory:
+                yield from self._iter_run_shared(pairs)
+                return
             yield from self.iter_items(_evaluate_shipped, pairs)
             return
         # sequential/thread (and the process single-worker fallback)
@@ -325,6 +405,34 @@ class SweepRunner:
         engine = self.engine
         yield from self.iter_items(
             lambda pair: evaluate_point(pair[0], pair[1], engine), pairs
+        )
+
+    def _iter_run_shared(self, pairs: list):
+        """Process fan-out with substrates published over shared memory.
+
+        Only params that serve more than one point are published — the
+        parent would otherwise serialize substrate builds the workers
+        could do in parallel.  Published substrates are attached in the
+        pool initializer, so each worker maps each segment exactly once
+        (``repro.arch.shared.attach_count`` pins this in the bench).
+        """
+        counts: dict = {}
+        for job, _ in pairs:
+            counts[job.params] = counts.get(job.params, 0) + 1
+        store = self.store()
+        handles = {
+            params: store.substrate_for(self.engine.flat(params))
+            for params, n in counts.items() if n > 1
+        }
+        items = [
+            (job, pl, handles.get(job.params)) for job, pl in pairs
+        ]
+        from repro.arch.shared import warm_worker
+
+        warm = tuple(handles.values())
+        yield from self.iter_items(
+            _evaluate_shipped_shared, items,
+            initializer=warm_worker, initargs=(warm,),
         )
 
     def run(self, jobs: Sequence[SweepJob]) -> list[SweepPoint]:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import threading
+from dataclasses import replace
 
 from repro.analysis.engine import DEFAULT_ENGINE, MappingEngine
 from repro.analysis.sweep import (
@@ -148,6 +149,27 @@ class Session:
                 runner = YieldRunner(runner=self.sweep_runner(config))
                 self._yield_runners[key] = runner
             return runner
+
+    def close(self) -> None:
+        """Release the session's shared-memory publications.
+
+        Every cached sweep runner (yield runners ride them) may hold a
+        :class:`~repro.arch.shared.SharedStore` of published substrate
+        and golden-mapping segments; closing unlinks whatever the
+        session still owns.  Idempotent, and safe mid-life: stores are
+        lazily recreated, so a closed session keeps working — it just
+        re-publishes on the next process-backend request.
+        """
+        with self._cache_lock:
+            runners = list(self._sweep_runners.values())
+        for runner in runners:
+            runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def map_program(self, program, params=None, share_aware: bool = True,
                     seed: int = 0, effort: float = MAP_EFFORT, rrg=None,
@@ -290,6 +312,12 @@ class Session:
             netlist, base, values, seed=cfg.seed,
             effort=cfg.effort_or(POINT_EFFORT),
         )
+        if cfg.route_workers is not None:
+            # per-point wavefront routing (bit-identical to sequential
+            # by construction; route_workers is placement-invisible,
+            # so the placement cache key is untouched)
+            jobs = [replace(job, route_workers=cfg.route_workers)
+                    for job in jobs]
         runner = self.sweep_runner(cfg)
         for i, pt in enumerate(runner.iter_run(jobs)):
             progress(i + 1, len(jobs), pt)
@@ -322,12 +350,14 @@ class Session:
             points = runner.iter_spare_width_curve(
                 netlist, req.workload, base, list(req.spares), req.rates[0],
                 req.trials, model=req.model, seed=cfg.seed, effort=effort,
+                route_workers=cfg.route_workers,
             )
         else:
             total = len(req.rates)
             points = runner.iter_campaign(
                 netlist, req.workload, base, list(req.rates), req.trials,
                 model=req.model, seed=cfg.seed, effort=effort,
+                route_workers=cfg.route_workers,
             )
         for i, pt in enumerate(points):
             progress(i + 1, total, pt)

@@ -1,0 +1,533 @@
+"""Zero-copy substrate sharing over ``multiprocessing.shared_memory``.
+
+The process backends' two residual taxes are both *serialization*
+taxes: every worker process used to rebuild (or unpickle) the compiled
+routing substrate for each distinct ``ArchParams``, and Monte Carlo
+yield campaigns pickled the golden mapping — placement plus the full
+golden :class:`~repro.route.pathfinder.RouteResult` — into every one
+of their thousands of trial jobs.  Both artifacts are immutable flat
+data, which is exactly what POSIX shared memory is for:
+
+- :func:`publish_substrate` copies a :class:`CompiledRRG`'s arrays
+  into one shared segment and returns a :class:`SharedSubstrate`
+  *handle* that pickles to ~100 bytes regardless of fabric size: the
+  layout table of ``(key, dtype, shape, offset)`` rows and the scalar
+  metadata live in a pickled header *inside* the segment, so the
+  handle carries nothing but the segment name.
+  :meth:`SharedSubstrate.attach` maps the segment back into a
+  read-only :class:`CompiledRRG` view: the numpy mirrors alias the
+  shared buffer directly (zero copy), the router's hot Python lists
+  are materialised once per process, and
+  :meth:`SharedSubstrate.attach_cached` makes that a one-time cost
+  per worker (asserted by ``benchmarks/bench_shared_memory.py``).
+- :func:`publish_golden` does the same for a yield campaign's golden
+  mapping: routes are lowered to flat path arrays (nodes and edges are
+  reconstructed from the per-sink paths), the placement and netlist
+  ride along as small pickle blobs, and every trial job ships a
+  :class:`SharedGolden` handle instead of the mapping itself.
+
+Lifecycle is owned by the publishing side: a :class:`SharedStore`
+(one per runner) acquires publications from a process-wide refcounted
+registry — two stores publishing the same key share one segment, and
+the segment is unlinked when the last store releases it
+(:meth:`SharedStore.close`, ``weakref`` finalizer, or interpreter
+exit).  Forked children (including pool workers) inherit the store
+object but never own the segments: releases are pid-guarded, so a
+worker exiting can never unlink a segment the parent still serves.
+Attach-side registrations go to the parent's ``resource_tracker``
+under the ``fork`` start method, so trackers stay clean: the owner's
+unlink unregisters the name exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.arch.compiled import CompiledRRG
+
+#: Environment variable gating the shared-memory process backend.
+SHARED_MEMORY_ENV = "REPRO_SHARED_MEMORY"
+
+
+def shared_memory_default() -> bool:
+    """Whether process backends publish substrates via shared memory
+    by default (on unless ``REPRO_SHARED_MEMORY`` is ``0``/``off``)."""
+    return os.environ.get(SHARED_MEMORY_ENV, "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+#: Segment layout row: (key, dtype string, shape tuple, byte offset
+#: relative to the data origin).
+Spec = tuple[str, str, tuple[int, ...], int]
+
+_ALIGN = 16
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pack_segment(
+    arrays: list[tuple[str, np.ndarray]], meta: dict
+) -> shared_memory.SharedMemory:
+    """Copy ``arrays`` into one fresh shared segment, self-describing.
+
+    Layout: an 8-byte little-endian header length, the pickled
+    ``(meta, specs)`` header, then the arrays (16-byte aligned).  The
+    header travels *in the segment* so handles need only the name.
+    """
+    specs: list[Spec] = []
+    offset = 0
+    for key, arr in arrays:
+        offset = _align(offset)
+        specs.append((key, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+    header = pickle.dumps((meta, tuple(specs)),
+                          protocol=pickle.HIGHEST_PROTOCOL)
+    origin = _align(8 + len(header))
+    shm = shared_memory.SharedMemory(create=True, size=max(origin + offset, 1))
+    shm.buf[0:8] = len(header).to_bytes(8, "little")
+    shm.buf[8:8 + len(header)] = header
+    for (key, dt, shape, off), (_, arr) in zip(specs, arrays):
+        view = np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf,
+                          offset=origin + off)
+        view[...] = arr
+    return shm
+
+
+def _read_segment(shm: shared_memory.SharedMemory) -> tuple[
+    dict, dict[str, np.ndarray]
+]:
+    """Decode a packed segment: metadata + read-only zero-copy views."""
+    hlen = int.from_bytes(bytes(shm.buf[0:8]), "little")
+    meta, specs = pickle.loads(bytes(shm.buf[8:8 + hlen]))
+    origin = _align(8 + hlen)
+    views: dict[str, np.ndarray] = {}
+    for key, dt, shape, off in specs:
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dt), buffer=shm.buf,
+                          offset=origin + off)
+        view.flags.writeable = False
+        views[key] = view
+    return meta, views
+
+
+def _encode_pins(pins: dict[tuple[int, int, int], int]) -> np.ndarray:
+    """Lower a ``(x, y, pin) -> node`` dict to an ``(n, 4)`` array."""
+    out = np.empty((len(pins), 4), dtype=np.int64)
+    for i, ((x, y, p), nid) in enumerate(pins.items()):
+        out[i, 0] = x
+        out[i, 1] = y
+        out[i, 2] = p
+        out[i, 3] = nid
+    return out
+
+
+def _decode_pins(arr: np.ndarray) -> dict[tuple[int, int, int], int]:
+    return {
+        (int(x), int(y), int(p)): int(nid)
+        for x, y, p, nid in arr.tolist()
+    }
+
+
+# ------------------------------------------------------------------------- #
+# attach-side cache (one per process)
+# ------------------------------------------------------------------------- #
+_ATTACH_LOCK = threading.Lock()
+_ATTACHED: dict[str, object] = {}          # segment name -> decoded object
+_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}  # keeps buffers alive
+_ATTACH_COUNT: dict[str, int] = {}         # segment name -> real attaches
+
+
+def attach_count(name: str | None = None) -> int:
+    """How many *real* segment attaches this process performed.
+
+    ``attach_cached`` hits do not count — the warmup satellite's bench
+    asserts exactly one attach per worker process per segment.
+    """
+    with _ATTACH_LOCK:
+        if name is not None:
+            return _ATTACH_COUNT.get(name, 0)
+        return sum(_ATTACH_COUNT.values())
+
+
+def detach_all() -> None:
+    """Drop this process's attach cache (tests / memory hook).
+
+    Closes the attached segment mappings; the owner's unlink is
+    untouched.
+    """
+    with _ATTACH_LOCK:
+        _ATTACHED.clear()
+        for shm in _SEGMENTS.values():
+            shm.close()
+        _SEGMENTS.clear()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name)
+    with _ATTACH_LOCK:
+        _SEGMENTS[name] = shm
+        _ATTACH_COUNT[name] = _ATTACH_COUNT.get(name, 0) + 1
+    return shm
+
+
+# ------------------------------------------------------------------------- #
+# substrate
+# ------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedSubstrate:
+    """Constant-size handle to a published :class:`CompiledRRG`.
+
+    Carries nothing but the segment name — the array layout table and
+    the scalar metadata (``params``, node/edge counts) ride in the
+    segment's own header, so the handle pickles to ~100 bytes whatever
+    the fabric size.  ``attach()`` reconstructs a read-only
+    :class:`CompiledRRG` view; ``attach_cached()`` memoises it per
+    process (one real attach per worker, however many jobs it runs).
+    """
+
+    name: str
+
+    def attach(self) -> CompiledRRG:
+        """Map the segment and rebuild the substrate view (zero-copy
+        numpy mirrors; Python list mirrors materialised once)."""
+        shm = _attach_segment(self.name)
+        meta, views = _read_segment(shm)
+        c = CompiledRRG.__new__(CompiledRRG)
+        c.source = None
+        c.params = meta["params"]
+        c.n_nodes = meta["n_nodes"]
+        c.n_edges = meta["n_edges"]
+        # hot Python list mirrors (the router's inner loop indexes
+        # plain lists; see CompiledRRG's docstring)
+        c.node_kind = views["node_kind"].tolist()
+        c.node_capacity = views["node_capacity"].tolist()
+        c.node_length = views["node_length"].tolist()
+        c.base_cost = views["base_cost"].tolist()
+        c.xlo = views["xlo"].tolist()
+        c.xhi = views["xhi"].tolist()
+        c.ylo = views["ylo"].tolist()
+        c.yhi = views["yhi"].tolist()
+        c.edge_start = views["edge_start"].tolist()
+        c.edge_mid = views["edge_mid"].tolist()
+        c.edge_dst = views["edge_dst"].tolist()
+        c.edge_kind = views["edge_kind"].tolist()
+        # vectorised mirrors alias the shared buffer directly
+        c.node_capacity_np = views["node_capacity"]
+        c.base_cost_np = views["base_cost"]
+        c.xlo_np = views["xlo"]
+        c.xhi_np = views["xhi"]
+        c.ylo_np = views["ylo"]
+        c.yhi_np = views["yhi"]
+        c.lb_source = _decode_pins(views["lb_source"])
+        c.lb_sink = _decode_pins(views["lb_sink"])
+        c.io_source = _decode_pins(views["io_source"])
+        c.io_sink = _decode_pins(views["io_sink"])
+        # defect-candidate indexes arrive pre-computed (shared views)
+        c._wire_ids = views["wire_ids"]
+        c._switch_edge_ids = views["switch_edge_ids"]
+        c._edge_src = views["edge_src"]
+        c._logic_tiles = tuple(
+            (int(x), int(y)) for x, y in views["logic_tiles"].tolist()
+        )
+        return c
+
+    def attach_cached(self) -> CompiledRRG:
+        """Per-process memoised :meth:`attach`."""
+        with _ATTACH_LOCK:
+            cached = _ATTACHED.get(self.name)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        c = self.attach()
+        with _ATTACH_LOCK:
+            return _ATTACHED.setdefault(self.name, c)  # type: ignore
+
+
+def publish_substrate(c: CompiledRRG) -> tuple[
+    shared_memory.SharedMemory, SharedSubstrate
+]:
+    """Copy ``c``'s flat arrays into a fresh shared segment.
+
+    Returns the owning segment (the caller manages its lifecycle —
+    normally through a :class:`SharedStore`) and the picklable handle.
+    The cached defect-candidate indexes are forced and published too,
+    so yield workers never recompute them.
+    """
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("node_kind", np.asarray(c.node_kind, dtype=np.int64)),
+        ("node_capacity", np.asarray(c.node_capacity_np, dtype=np.int64)),
+        ("node_length", np.asarray(c.node_length, dtype=np.int64)),
+        ("base_cost", np.asarray(c.base_cost_np, dtype=np.float64)),
+        ("xlo", np.asarray(c.xlo_np, dtype=np.int32)),
+        ("xhi", np.asarray(c.xhi_np, dtype=np.int32)),
+        ("ylo", np.asarray(c.ylo_np, dtype=np.int32)),
+        ("yhi", np.asarray(c.yhi_np, dtype=np.int32)),
+        ("edge_start", np.asarray(c.edge_start, dtype=np.int64)),
+        ("edge_mid", np.asarray(c.edge_mid, dtype=np.int64)),
+        ("edge_dst", np.asarray(c.edge_dst, dtype=np.int64)),
+        ("edge_kind", np.asarray(c.edge_kind, dtype=np.int64)),
+        ("wire_ids", np.asarray(c.wire_node_ids(), dtype=np.int64)),
+        ("switch_edge_ids", np.asarray(c.switch_edge_ids(), dtype=np.int64)),
+        ("edge_src", np.asarray(c.edge_src_ids(), dtype=np.int64)),
+        ("logic_tiles",
+         np.asarray(c.logic_tiles(), dtype=np.int64).reshape(-1, 2)),
+        ("lb_source", _encode_pins(c.lb_source)),
+        ("lb_sink", _encode_pins(c.lb_sink)),
+        ("io_source", _encode_pins(c.io_source)),
+        ("io_sink", _encode_pins(c.io_sink)),
+    ]
+    shm = _pack_segment(arrays, {
+        "params": c.params, "n_nodes": c.n_nodes, "n_edges": c.n_edges,
+    })
+    return shm, SharedSubstrate(name=shm.name)
+
+
+# ------------------------------------------------------------------------- #
+# golden mapping (yield campaigns)
+# ------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedGolden:
+    """O(1)-pickling handle to a published golden mapping (+ netlist).
+
+    The golden :class:`~repro.reliability.repair.GoldenMapping` —
+    placement, routes, quality metrics — and the campaign's netlist are
+    shipped once through shared memory instead of being pickled into
+    every trial job.  Routes travel as flat per-sink path arrays; node
+    and edge sets are reconstructed from the paths (that is how the
+    router built them in the first place).
+    """
+
+    name: str
+
+    def attach(self):
+        """Decode ``(netlist, GoldenMapping)`` from the segment."""
+        from repro.reliability.repair import GoldenMapping
+        from repro.route.pathfinder import RoutedNet, RouteResult
+
+        shm = _attach_segment(self.name)
+        meta, views = _read_segment(shm)
+        names = bytes(views["names"]).decode("utf-8")
+        net_names = names.split("\x1f") if names else []
+        net_source = views["net_source"].tolist()
+        net_reused = views["net_reused"].tolist()
+        sink_start = views["sink_start"].tolist()
+        sinks_flat = views["sinks_flat"].tolist()
+        path_start = views["path_start"].tolist()
+        paths_flat = views["paths_flat"].tolist()
+        nets: dict[str, RoutedNet] = {}
+        gsi = 0
+        for i, name in enumerate(net_names):
+            sinks = sinks_flat[sink_start[i]:sink_start[i + 1]]
+            net = RoutedNet(name, net_source[i], list(sinks))
+            net.reused = bool(net_reused[i])
+            net.nodes = {net_source[i]}
+            for sink in sinks:
+                path = paths_flat[path_start[gsi]:path_start[gsi + 1]]
+                gsi += 1
+                net.sink_paths[sink] = path
+                for a, b in zip(path, path[1:]):
+                    net.edges.add((a, b))
+                net.nodes.update(path)
+            nets[name] = net
+        routes = RouteResult(nets, meta["iterations"], meta["context"])
+        placement = pickle.loads(bytes(views["placement"]))
+        netlist = pickle.loads(bytes(views["netlist"]))
+        golden = GoldenMapping(
+            placement, routes, meta["wirelength"], meta["critical_path"]
+        )
+        return netlist, golden
+
+    def attach_cached(self):
+        """Per-process memoised :meth:`attach`."""
+        with _ATTACH_LOCK:
+            cached = _ATTACHED.get(self.name)
+        if cached is not None:
+            return cached
+        decoded = self.attach()
+        with _ATTACH_LOCK:
+            return _ATTACHED.setdefault(self.name, decoded)
+
+
+def publish_golden(golden, netlist) -> tuple[
+    shared_memory.SharedMemory, SharedGolden
+]:
+    """Publish one golden mapping (and its netlist) to shared memory."""
+    routes = golden.routes
+    net_names: list[str] = []
+    net_source: list[int] = []
+    net_reused: list[int] = []
+    sink_start: list[int] = [0]
+    sinks_flat: list[int] = []
+    path_start: list[int] = [0]
+    paths_flat: list[int] = []
+    for name, net in routes.nets.items():
+        net_names.append(name)
+        net_source.append(net.source)
+        net_reused.append(1 if net.reused else 0)
+        sinks_flat.extend(net.sinks)
+        sink_start.append(len(sinks_flat))
+        for sink in net.sinks:
+            paths_flat.extend(net.sink_paths[sink])
+            path_start.append(len(paths_flat))
+    names_blob = "\x1f".join(net_names).encode("utf-8")
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("names", np.frombuffer(names_blob, dtype=np.uint8)),
+        ("net_source", np.asarray(net_source, dtype=np.int64)),
+        ("net_reused", np.asarray(net_reused, dtype=np.uint8)),
+        ("sink_start", np.asarray(sink_start, dtype=np.int64)),
+        ("sinks_flat", np.asarray(sinks_flat, dtype=np.int64)),
+        ("path_start", np.asarray(path_start, dtype=np.int64)),
+        ("paths_flat", np.asarray(paths_flat, dtype=np.int64)),
+        ("placement",
+         np.frombuffer(pickle.dumps(golden.placement), dtype=np.uint8)),
+        ("netlist", np.frombuffer(pickle.dumps(netlist), dtype=np.uint8)),
+    ]
+    shm = _pack_segment(arrays, {
+        "n_nets": len(net_names),
+        "iterations": routes.iterations, "context": routes.context,
+        "wirelength": golden.wirelength,
+        "critical_path": golden.critical_path,
+    })
+    return shm, SharedGolden(name=shm.name)
+
+
+# ------------------------------------------------------------------------- #
+# owner-side refcounted registry
+# ------------------------------------------------------------------------- #
+class _Publication:
+    __slots__ = ("shm", "handle", "refs")
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle) -> None:
+        self.shm = shm
+        self.handle = handle
+        self.refs = 0
+
+
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: dict[object, _Publication] = {}
+
+
+def _registry_acquire(key, publish):
+    """Get-or-create the publication for ``key``; bumps its refcount."""
+    with _REGISTRY_LOCK:
+        pub = _REGISTRY.get(key)
+        if pub is None:
+            shm, handle = publish()
+            pub = _REGISTRY[key] = _Publication(shm, handle)
+        pub.refs += 1
+        return pub.handle
+
+
+def _registry_release(key) -> None:
+    """Drop one reference; unlinks the segment at refcount zero."""
+    with _REGISTRY_LOCK:
+        pub = _REGISTRY.get(key)
+        if pub is None:
+            return
+        pub.refs -= 1
+        if pub.refs > 0:
+            return
+        del _REGISTRY[key]
+    pub.shm.close()
+    try:
+        pub.shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def registry_size() -> int:
+    """Live publications in this process (tests/diagnostics)."""
+    with _REGISTRY_LOCK:
+        return len(_REGISTRY)
+
+
+def _finalize_store(keys: dict, owner_pid: int) -> None:
+    """Release a store's acquisitions — in the owning process only.
+
+    Forked children (pool workers inherit runners, and thus stores)
+    run the same finalizer at exit; the pid guard keeps them from
+    unlinking segments the parent still serves.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for key in list(keys):
+        _registry_release(key)
+    keys.clear()
+
+
+class SharedStore:
+    """One runner's shared-memory publications, released on close.
+
+    ``substrate_for`` / ``golden_for`` are get-or-create against the
+    process-wide registry: equal keys across stores share one segment,
+    and each store holds at most one reference per key.  ``close()``
+    (idempotent; also wired to a ``weakref`` finalizer, so dropping
+    the runner or exiting the interpreter cleans up) releases every
+    reference; the registry unlinks a segment when its last reference
+    goes.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict = {}  # key -> handle (this store's references)
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._finalizer = weakref.finalize(
+            self, _finalize_store, self._keys, self._owner_pid
+        )
+
+    def substrate_for(self, c: CompiledRRG) -> SharedSubstrate:
+        """The (shared) published substrate handle for ``c``."""
+        key = ("substrate", c.params)
+        return self._get(key, lambda: publish_substrate(c))
+
+    def golden_for(self, cache_key, golden, netlist) -> SharedGolden:
+        """The (shared) published golden-mapping handle.
+
+        ``cache_key`` identifies the golden mapping the way the yield
+        runner's own cache does (netlist identity, params, seed,
+        effort, iteration budget).
+        """
+        key = ("golden", cache_key)
+        return self._get(key, lambda: publish_golden(golden, netlist))
+
+    def _get(self, key, publish):
+        with self._lock:
+            handle = self._keys.get(key)
+            if handle is None:
+                handle = _registry_acquire(key, publish)
+                self._keys[key] = handle
+            return handle
+
+    def size(self) -> int:
+        """References this store currently holds."""
+        with self._lock:
+            return len(self._keys)
+
+    def close(self) -> None:
+        """Release every reference (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SharedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def warm_worker(handles: tuple) -> None:
+    """Process-pool initializer: attach every handle once, up front.
+
+    With the attach done at worker start, every job's
+    ``attach_cached()`` is a dictionary hit — the substrate is mapped
+    exactly once per worker process however many jobs it runs.
+    """
+    for handle in handles:
+        handle.attach_cached()

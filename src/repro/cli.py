@@ -120,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="pool size for thread/process backends "
                         "(default: all cores)")
+    p.add_argument("--route-workers", type=int, default=None,
+                   help="wavefront width for each point's initial "
+                        "routing pass (bit-identical to sequential)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -154,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="pool size for thread/process backends "
                         "(default: all cores)")
+    p.add_argument("--route-workers", type=int, default=None,
+                   help="wavefront width for golden/repair routing "
+                        "passes (bit-identical to sequential)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -329,7 +335,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         values=_sweep_values(args),
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
-            effort=args.effort,
+            effort=args.effort, route_workers=args.route_workers,
         ),
     )
     if request.analytic and (
@@ -394,7 +400,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
         spares=spares,
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
-            effort=args.effort,
+            effort=args.effort, route_workers=args.route_workers,
         ),
     )
     result = _session().run(request)

@@ -102,17 +102,20 @@ def build_golden(
     netlist: Netlist,
     placement: Placement,
     max_iterations: int,
+    route_workers: int | None = None,
 ) -> GoldenMapping | None:
     """Route the defect-free reference mapping (``None`` if unroutable).
 
     The placement is supplied by the caller so campaigns can share one
     anneal across defect rates and spare-width points (placement does
     not see routing resources — the same invariant the sweep runner's
-    placement cache exploits).
+    placement cache exploits).  ``route_workers > 1`` routes the
+    initial pass in bit-identical parallel wavefronts.
     """
     try:
         rr = route_context_compiled(
-            c, netlist, placement, max_iterations=max_iterations
+            c, netlist, placement, max_iterations=max_iterations,
+            workers=route_workers,
         )
     except RoutingError:
         return None
@@ -150,12 +153,16 @@ def repair_mapping(
     seed: int = 0,
     effort: float = 0.3,
     max_iterations: int = 25,
+    route_workers: int | None = None,
 ) -> RepairOutcome:
     """Climb the repair ladder until the die maps the workload (or not).
 
     ``seed``/``effort`` parameterise the re-place rung; routing rungs
     inherit ``max_iterations`` so repair verdicts stay comparable with
-    sweep verdicts.
+    sweep verdicts.  ``route_workers > 1`` runs each rung's initial
+    routing pass in bit-identical parallel wavefronts (outcomes are
+    identical either way — the wavefront only overlaps provably
+    independent nets).
     """
     blocked = placement_blocked(golden.placement, dm)
     dirty = dirty_net_names(golden.routes, dm) if not blocked else set()
@@ -176,7 +183,7 @@ def repair_mapping(
         try:
             rr = route_context_compiled(
                 c, netlist, golden.placement, reuse=bank, defects=dm,
-                max_iterations=max_iterations,
+                max_iterations=max_iterations, workers=route_workers,
             )
             return RepairOutcome(
                 RepairLevel.ROUTE_AROUND, True, rr.wirelength(c),
@@ -189,7 +196,7 @@ def repair_mapping(
         try:
             rr = route_context_compiled(
                 c, netlist, golden.placement, defects=dm,
-                max_iterations=max_iterations,
+                max_iterations=max_iterations, workers=route_workers,
             )
             return RepairOutcome(
                 RepairLevel.REROUTE, True, rr.wirelength(c),
@@ -206,7 +213,8 @@ def repair_mapping(
             forbidden=dm.bad_tiles,
         )
         rr = route_context_compiled(
-            c, netlist, pl, defects=dm, max_iterations=max_iterations
+            c, netlist, pl, defects=dm, max_iterations=max_iterations,
+            workers=route_workers,
         )
         return RepairOutcome(
             RepairLevel.REPLACE, True, rr.wirelength(c),

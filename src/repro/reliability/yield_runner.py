@@ -17,13 +17,26 @@ computed once in the parent and shipped with each job, and worker-side
 substrates are pure functions of ``ArchParams`` through the
 ``flat_rrg_for`` cache — so a campaign's :class:`YieldPoint` rows are
 bit-identical whichever backend ran them.
+
+On the process backend with shared memory enabled (the default; see
+:func:`repro.arch.shared.shared_memory_default`), the golden mapping
+and the compiled substrate are *published once* through POSIX shared
+memory instead of being pickled into every trial job: each trial ships
+an O(1)-pickling :class:`~repro.arch.shared.SharedGolden` /
+:class:`~repro.arch.shared.SharedSubstrate` handle pair, workers
+attach both zero-copy in the pool initializer (one attach per worker
+process however many trials it runs), and the segments are refcounted
+by the sweep runner's :class:`~repro.arch.shared.SharedStore` and
+unlinked on :meth:`YieldRunner.close`.  Rows stay bit-identical: the
+attached golden reconstructs the exact routes the parent computed, and
+the attached substrate holds the same arrays ``flat_rrg_for`` builds.
 """
 
 from __future__ import annotations
 
 import threading
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -77,6 +90,10 @@ class YieldTrialJob:
     max_iterations: int = POINT_MAX_ITERATIONS
     cluster_radius: int = CLUSTER_RADIUS
     cluster_size: int = CLUSTER_SIZE
+    #: wavefront width for each repair rung's *initial* routing pass
+    #: (``None`` = sequential).  Outcomes are bit-identical either way
+    #: — the wavefront only parallelises provably independent nets.
+    route_workers: int | None = None
 
 
 @dataclass
@@ -96,16 +113,21 @@ class TrialResult:
         return d
 
 
-def evaluate_trial(job: YieldTrialJob, golden: GoldenMapping) -> TrialResult:
+def evaluate_trial(
+    job: YieldTrialJob, golden: GoldenMapping, c=None
+) -> TrialResult:
     """Sample the die, run the repair ladder, measure the cost.
 
     Runs in whichever worker the backend chose: the substrate comes
     from the per-process ``flat_rrg_for`` cache (no per-trial RRG
-    build), and the defect sample depends only on the job's seed.
+    build), and the defect sample depends only on the job's seed.  An
+    explicit ``c`` (e.g. a shared-memory attached substrate) skips the
+    cache entirely.
     """
-    from repro.arch.compiled import flat_rrg_for
+    if c is None:
+        from repro.arch.compiled import flat_rrg_for
 
-    c = flat_rrg_for(job.params)
+        c = flat_rrg_for(job.params)
     dm = DefectMap.sample(
         c, job.defect_rate, seed=job.defect_seed, model=job.model,
         cluster_radius=job.cluster_radius, cluster_size=job.cluster_size,
@@ -113,6 +135,7 @@ def evaluate_trial(job: YieldTrialJob, golden: GoldenMapping) -> TrialResult:
     outcome = repair_mapping(
         c, job.netlist, golden, dm,
         seed=job.seed, effort=job.effort, max_iterations=job.max_iterations,
+        route_workers=job.route_workers,
     )
     wl, cp = outcome.overheads(golden)
     return TrialResult(job.trial, outcome, wl, cp)
@@ -123,6 +146,27 @@ def _evaluate_trial_item(item: tuple[YieldTrialJob, GoldenMapping]) -> TrialResu
     callables; ``map_items`` feeds one item per call)."""
     job, golden = item
     return evaluate_trial(job, golden)
+
+
+def _evaluate_trial_shared(item) -> TrialResult:
+    """Process-pool entry point for the shared-memory backend.
+
+    ``item`` is ``(job, golden_handle, substrate_handle)`` — the
+    handles are :class:`~repro.arch.shared.SharedGolden` /
+    :class:`~repro.arch.shared.SharedSubstrate`, attached zero-copy
+    and cached per worker process (the pool initializer already warmed
+    them, so these are dictionary hits).  Shared jobs ship
+    ``netlist=None`` (the netlist rides the golden segment, not every
+    trial pickle); the worker re-binds the published one, so golden
+    routes are interpreted against the exact netlist they were
+    computed with.
+    """
+    job, golden_handle, substrate_handle = item
+    netlist, golden = golden_handle.attach_cached()
+    c = substrate_handle.attach_cached()
+    if job.netlist is None:
+        job = replace(job, netlist=netlist)
+    return evaluate_trial(job, golden, c=c)
 
 
 @dataclass
@@ -262,6 +306,18 @@ class YieldRunner:
     def backend(self) -> str:
         return self._runner.backend
 
+    def close(self) -> None:
+        """Release the shared-memory publications (substrates *and*
+        golden mappings) held by the underlying sweep runner's store.
+        Idempotent; the store is lazily recreated on next use."""
+        self._runner.close()
+
+    def __enter__(self) -> "YieldRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def golden_for(
         self,
         netlist: Netlist,
@@ -269,13 +325,16 @@ class YieldRunner:
         seed: int = 0,
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
+        route_workers: int | None = None,
     ) -> GoldenMapping | None:
         """The cached defect-free mapping for one device configuration.
 
         Placement comes through the sweep runner's placement cache
         (channel width is invisible to the placer, so spare-width
         curves share one anneal); routing is cached here per
-        ``ArchParams``.
+        ``ArchParams``.  ``route_workers`` does not enter the cache key
+        — the wavefront router is bit-identical to the sequential one,
+        so equal configurations yield equal goldens regardless.
         """
         key = (netlist, params, seed, effort, max_iterations)
         with self._golden_lock:
@@ -286,9 +345,18 @@ class YieldRunner:
                                max_iterations)
                 placement = self._runner.placement_for(job)
                 self._golden[key] = build_golden(
-                    flat_rrg_for(params), netlist, placement, max_iterations
+                    flat_rrg_for(params), netlist, placement, max_iterations,
+                    route_workers=route_workers,
                 )
             return self._golden[key]
+
+    def _golden_cache_key(
+        self, netlist, params, seed, effort, max_iterations
+    ) -> tuple:
+        """The shared-memory publication key for one golden mapping —
+        the same identity :meth:`golden_for` caches under, so campaigns
+        re-running one configuration reuse the published segment."""
+        return (netlist, params, seed, effort, max_iterations)
 
     def iter_campaign(
         self,
@@ -304,6 +372,7 @@ class YieldRunner:
         cluster_radius: int = CLUSTER_RADIUS,
         cluster_size: int = CLUSTER_SIZE,
         spare_tracks: int = 0,
+        route_workers: int | None = None,
     ) -> SizedIterator:
         """Streaming form of :meth:`run_campaign`: yield each
         :class:`YieldPoint` as soon as its ``trials`` results are in.
@@ -323,6 +392,7 @@ class YieldRunner:
             self._iter_campaign(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, spare_tracks,
+                route_workers,
             ),
             len(rates),
         )
@@ -330,8 +400,10 @@ class YieldRunner:
     def _iter_campaign(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, spare_tracks,
+        route_workers=None,
     ):
-        golden = self.golden_for(netlist, base, seed, effort, max_iterations)
+        golden = self.golden_for(netlist, base, seed, effort, max_iterations,
+                                 route_workers=route_workers)
         if golden is None:
             for r in rates:
                 yield _unroutable_point(workload, model, r, base, trials,
@@ -342,26 +414,100 @@ class YieldRunner:
                 yield _aggregate(workload, model, float(rate), base, [],
                                  spare_tracks)
             return
-        items: list[tuple[YieldTrialJob, GoldenMapping]] = []
-        for pi, rate in enumerate(rates):
-            for t in range(trials):
-                job = YieldTrialJob(
-                    workload=workload, params=base, netlist=netlist,
-                    defect_rate=float(rate), model=model, trial=t,
-                    defect_seed=trial_seed(seed, pi, t),
-                    seed=seed, effort=effort, max_iterations=max_iterations,
-                    cluster_radius=cluster_radius, cluster_size=cluster_size,
-                )
-                items.append((job, golden))
+        n_items = len(rates) * trials
+        shared = (
+            self._runner.backend == "process"
+            and self._runner.shared_memory
+            and self._runner.pool_width(n_items) > 1
+        )
+        results = (
+            self._iter_trials_shared(
+                netlist, workload, base, rates, trials, model, seed, effort,
+                max_iterations, cluster_radius, cluster_size, route_workers,
+                golden,
+            )
+            if shared else
+            self._iter_trials_pickled(
+                netlist, workload, base, rates, trials, model, seed, effort,
+                max_iterations, cluster_radius, cluster_size, route_workers,
+                golden,
+            )
+        )
         cell: list[TrialResult] = []
         pi = 0
-        for tr in self._runner.iter_items(_evaluate_trial_item, items):
+        for tr in results:
             cell.append(tr)
             if len(cell) == trials:
                 yield _aggregate(workload, model, float(rates[pi]), base,
                                  cell, spare_tracks)
                 cell = []
                 pi += 1
+
+    def _trial_jobs(
+        self, netlist, workload, base, rates, trials, model, seed, effort,
+        max_iterations, cluster_radius, cluster_size, route_workers,
+    ) -> list[YieldTrialJob]:
+        """The campaign's trial grid, in submission (= aggregation)
+        order.  ``netlist=None`` builds the lean shared-memory form."""
+        jobs: list[YieldTrialJob] = []
+        for pi, rate in enumerate(rates):
+            for t in range(trials):
+                jobs.append(YieldTrialJob(
+                    workload=workload, params=base, netlist=netlist,
+                    defect_rate=float(rate), model=model, trial=t,
+                    defect_seed=trial_seed(seed, pi, t),
+                    seed=seed, effort=effort, max_iterations=max_iterations,
+                    cluster_radius=cluster_radius, cluster_size=cluster_size,
+                    route_workers=route_workers,
+                ))
+        return jobs
+
+    def _iter_trials_pickled(
+        self, netlist, workload, base, rates, trials, model, seed, effort,
+        max_iterations, cluster_radius, cluster_size, route_workers, golden,
+    ):
+        """Classic fan-out: every item pickles the golden + netlist."""
+        jobs = self._trial_jobs(
+            netlist, workload, base, rates, trials, model, seed, effort,
+            max_iterations, cluster_radius, cluster_size, route_workers,
+        )
+        items = [(job, golden) for job in jobs]
+        return self._runner.iter_items(_evaluate_trial_item, items)
+
+    def _iter_trials_shared(
+        self, netlist, workload, base, rates, trials, model, seed, effort,
+        max_iterations, cluster_radius, cluster_size, route_workers, golden,
+    ):
+        """Process fan-out with the golden mapping and the substrate
+        published over shared memory.
+
+        Each trial item is ``(lean job, golden handle, substrate
+        handle)`` — the handles pickle in O(1), so per-job payload is
+        a few hundred bytes however large the fabric or the golden
+        routes are.  Both segments are attached in the pool
+        initializer: one real attach per worker process
+        (``repro.arch.shared.attach_count`` pins this in the bench).
+        """
+        from repro.arch.compiled import flat_rrg_for
+        from repro.arch.shared import warm_worker
+
+        store = self._runner.store()
+        golden_handle = store.golden_for(
+            self._golden_cache_key(netlist, base, seed, effort,
+                                   max_iterations),
+            golden, netlist,
+        )
+        substrate_handle = store.substrate_for(flat_rrg_for(base))
+        jobs = self._trial_jobs(
+            None, workload, base, rates, trials, model, seed, effort,
+            max_iterations, cluster_radius, cluster_size, route_workers,
+        )
+        items = [(job, golden_handle, substrate_handle) for job in jobs]
+        return self._runner.iter_items(
+            _evaluate_trial_shared, items,
+            initializer=warm_worker,
+            initargs=((golden_handle, substrate_handle),),
+        )
 
     def run_campaign(
         self,
@@ -377,6 +523,7 @@ class YieldRunner:
         cluster_radius: int = CLUSTER_RADIUS,
         cluster_size: int = CLUSTER_SIZE,
         spare_tracks: int = 0,
+        route_workers: int | None = None,
     ) -> list[YieldPoint]:
         """N trials per defect rate; one :class:`YieldPoint` per rate.
 
@@ -388,7 +535,7 @@ class YieldRunner:
             netlist, workload, base, rates, trials, model=model,
             seed=seed, effort=effort, max_iterations=max_iterations,
             cluster_radius=cluster_radius, cluster_size=cluster_size,
-            spare_tracks=spare_tracks,
+            spare_tracks=spare_tracks, route_workers=route_workers,
         ))
 
     def iter_spare_width_curve(
@@ -403,6 +550,7 @@ class YieldRunner:
         seed: int = 0,
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
+        route_workers: int | None = None,
     ) -> SizedIterator:
         """Streaming form of :meth:`spare_width_curve` (one
         :class:`YieldPoint` per spare width, as each completes).
@@ -411,21 +559,21 @@ class YieldRunner:
         return SizedIterator(
             self._iter_spare_width_curve(
                 netlist, workload, base, spares, rate, trials, model, seed,
-                effort, max_iterations,
+                effort, max_iterations, route_workers,
             ),
             len(spares),
         )
 
     def _iter_spare_width_curve(
         self, netlist, workload, base, spares, rate, trials, model, seed,
-        effort, max_iterations,
+        effort, max_iterations, route_workers=None,
     ):
         for spare in spares:
             params = base.with_(channel_width=base.channel_width + int(spare))
             yield from self.iter_campaign(
                 netlist, workload, params, [rate], trials, model=model,
                 seed=seed, effort=effort, max_iterations=max_iterations,
-                spare_tracks=int(spare),
+                spare_tracks=int(spare), route_workers=route_workers,
             )
 
     def spare_width_curve(
@@ -440,6 +588,7 @@ class YieldRunner:
         seed: int = 0,
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
+        route_workers: int | None = None,
     ) -> list[YieldPoint]:
         """Yield vs spare channel width at one defect rate.
 
@@ -452,6 +601,7 @@ class YieldRunner:
         return list(self.iter_spare_width_curve(
             netlist, workload, base, spares, rate, trials, model=model,
             seed=seed, effort=effort, max_iterations=max_iterations,
+            route_workers=route_workers,
         ))
 
 

@@ -16,9 +16,13 @@ Two implementations share this module:
 
 - the **compiled engine** (default) — Dijkstra over the flat CSR arrays
   of a :class:`~repro.arch.compiled.CompiledRRG`, with reusable scratch
-  buffers reset by epoch stamping (no per-search allocation) and
-  per-net bounding-box pruning (with a full-graph fallback, so
-  routability never regresses);
+  buffers reset by epoch stamping (no per-search allocation), per-net
+  bounding-box pruning (with a full-graph fallback, so routability
+  never regresses), and a bucket-queue priority queue (Dial's
+  algorithm) that visits nodes in exactly the binary heap's order —
+  every effective cost is >= 1.0, so bucketing distances by integer
+  part preserves the pop order bit-for-bit (``REPRO_ROUTER_QUEUE=heap``
+  or :func:`set_router_queue` selects the reference heap);
 - the **legacy object-graph router** (``route_context_legacy`` /
   ``route_program_legacy``) — the original dict/set implementation,
   kept verbatim as the reference for the equivalence tests and the
@@ -48,6 +52,7 @@ routing takes the exact original code path.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -83,6 +88,48 @@ HIST_FAC = 0.35
 #: congestion stay inside the box on realistic fabrics; when a search
 #: still fails inside the box it is retried unpruned.
 BBOX_MARGIN = 3
+
+#: Environment variable selecting the router's priority queue.
+ROUTER_QUEUE_ENV = "REPRO_ROUTER_QUEUE"
+
+#: Valid queue implementations: ``"dial"`` (bucket queue, the default)
+#: and ``"heap"`` (binary heap, the reference).
+ROUTER_QUEUES = ("dial", "heap")
+
+
+def _queue_from_env() -> str:
+    q = os.environ.get(ROUTER_QUEUE_ENV, "dial").strip().lower()
+    return q if q in ROUTER_QUEUES else "dial"
+
+
+#: Active priority-queue implementation.  Every effective node cost is
+#: >= 1.0 (base cost >= 1.0, congestion multiplier >= 1, history >= 0),
+#: so Dijkstra distances can be bucketed by their integer part (Dial's
+#: algorithm): a relaxation from distance ``d`` lands at ``d + cost >=
+#: d + 1.0`` — strictly past bucket ``int(d)`` — so draining each
+#: bucket in sorted ``(dist, node)`` order reproduces the binary heap's
+#: pop order *exactly*, and routes are bit-identical by construction
+#: (the equivalence suite pins this).  Occupied bucket indices are kept
+#: in a small index heap, so sparse distance ranges (late PathFinder
+#: iterations price congested nodes very high) cost nothing to skip.
+#: Defaults on; ``REPRO_ROUTER_QUEUE=heap`` (or
+#: :func:`set_router_queue`) restores the binary heap.
+ROUTER_QUEUE = _queue_from_env()
+
+
+def set_router_queue(queue: str) -> str:
+    """Select the router priority queue (``"dial"`` / ``"heap"``).
+
+    Returns the previous setting so tests can restore it.
+    """
+    global ROUTER_QUEUE
+    if queue not in ROUTER_QUEUES:
+        raise ValueError(
+            f"queue must be one of {ROUTER_QUEUES}, got {queue!r}"
+        )
+    previous = ROUTER_QUEUE
+    ROUTER_QUEUE = queue
+    return previous
 
 
 @dataclass
@@ -281,15 +328,21 @@ class _FlatCongestion:
     ``overused_ids`` is maintained incrementally by the scatter
     updates, which makes the per-iteration overuse census O(1) and the
     per-net congestion test a set intersection instead of an O(nodes)
-    scan.  All arithmetic matches the legacy router bit-for-bit (the
-    acceptance gate is equal wirelength, but the refresh uses the exact
-    same IEEE operations, so routes stay identical in practice — the
-    equivalence suite pins this).
+    scan.  ``pressured_ids`` (nodes with ``usage + 1 > capacity``, i.e.
+    a non-zero overuse term) is maintained the same way: those are the
+    only nodes whose folded cost involves ``pres_fac`` at all, so the
+    per-iteration escalation re-prices just that set instead of the
+    whole graph — every other node's stored value is ``base * 1.0 +
+    history`` with both terms unchanged, which is what a full refresh
+    would recompute bit-for-bit.  All arithmetic matches the legacy
+    router bit-for-bit (the acceptance gate is equal wirelength, but
+    the refresh uses the exact same IEEE operations, so routes stay
+    identical in practice — the equivalence suite pins this).
     """
 
     __slots__ = (
         "c", "usage", "history", "eff", "pres_fac", "overused_ids",
-        "capacity_np",
+        "pressured_ids", "capacity_np",
     )
 
     def __init__(self, c: CompiledRRG, defects: "DefectMap | None" = None) -> None:
@@ -310,6 +363,11 @@ class _FlatCongestion:
             bad = ~defects.node_ok
             self.capacity_np = np.where(bad, 0, c.node_capacity_np)
             self.history[bad] = np.inf
+        # zero-capacity nodes (defects) are born pressured: their
+        # overuse term is non-zero even at usage 0
+        self.pressured_ids: set[int] = set(
+            np.flatnonzero(self.capacity_np <= 0).tolist()
+        )
         self._refresh_all()
 
     def _refresh_all(self) -> None:
@@ -330,14 +388,20 @@ class _FlatCongestion:
             + self.history[idx]
         eff = self.eff
         overused_ids = self.overused_ids
-        for nid, v, congested in zip(
-            idx.tolist(), vals.tolist(), (used > cap).tolist()
+        pressured_ids = self.pressured_ids
+        for nid, v, congested, pressured in zip(
+            idx.tolist(), vals.tolist(), (used > cap).tolist(),
+            (over > 0).tolist(),
         ):
             eff[nid] = v
             if congested:
                 overused_ids.add(nid)
             else:
                 overused_ids.discard(nid)
+            if pressured:
+                pressured_ids.add(nid)
+            else:
+                pressured_ids.discard(nid)
 
     def add(self, nodes: set[int]) -> None:
         self._scatter(nodes, 1)
@@ -358,12 +422,34 @@ class _FlatCongestion:
             self.usage[idx] - self.capacity_np[idx]
         )
 
+    def _reprice_pressured(self) -> None:
+        """Re-fold the effective cost of the pressured nodes only.
+
+        After a history bump (touches overused nodes, a subset of the
+        pressured set) and a pressure-factor change (only felt by nodes
+        with a non-zero overuse term), every non-pressured node's
+        stored value is still exactly what :meth:`_refresh_all` would
+        write — ``base * 1.0 + history`` with both terms unchanged —
+        so re-folding the pressured set reproduces the whole-graph
+        refresh bit-for-bit at a fraction of the cost.
+        """
+        ids = self.pressured_ids
+        if not ids:
+            return
+        idx = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        over = np.maximum(self.usage[idx] + 1 - self.capacity_np[idx], 0)
+        vals = self.c.base_cost_np[idx] * (1.0 + self.pres_fac * over) \
+            + self.history[idx]
+        eff = self.eff
+        for nid, v in zip(idx.tolist(), vals.tolist()):
+            eff[nid] = v
+
     def next_iteration(self) -> None:
         """One PathFinder escalation step: history bump, pressure-factor
-        growth, and the vectorised re-price they both invalidate."""
+        growth, and the targeted re-price they both invalidate."""
         self.bump_history()
         self.pres_fac *= PRES_FAC_MULT
-        self._refresh_all()
+        self._reprice_pressured()
 
 
 def _dijkstra_flat(
@@ -500,10 +586,180 @@ def _dijkstra_flat_edges(
     return None
 
 
-def _net_mask(
+#: Bucket index for infinitely-priced nodes (defect pricing).  Every
+#: real caller mask-excludes such nodes, so this bucket only exists to
+#: keep reachability semantics identical for direct searches; expansion
+#: order *within* the infinite bucket is by node id per drain round.
+_INF_BUCKET = float("inf")
+
+
+def _dijkstra_flat_dial(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    tree_nodes: set[int],
+    target: int,
+    scratch: RouterScratch,
+    mask: bytes | None,
+) -> list[int] | None:
+    """:func:`_dijkstra_flat` with a bucket queue (Dial's algorithm).
+
+    Every effective node cost is >= 1.0, so a relaxation from distance
+    ``d`` lands strictly past bucket ``int(d)``; draining buckets in
+    index order, each sorted by ``(dist, node)``, visits nodes in
+    exactly the binary heap's pop order — same routes, bit for bit.
+    Occupied bucket indices live in a small index heap (``order``), so
+    the sparse distance ranges of late PathFinder iterations cost
+    nothing to scan; pushes are an append instead of an O(log n)
+    sift.
+    """
+    scratch.epoch += 1
+    ep = scratch.epoch
+    dist, prev, stamp = scratch.dist, scratch.prev, scratch.stamp
+    eff = state.eff
+    estart, emid, edst = c.edge_start, c.edge_mid, c.edge_dst
+
+    first: list[tuple[float, int]] = []
+    buckets: dict[float, list[tuple[float, int]]] = {0: first}
+    order: list[float] = [0]  # heap of occupied bucket indices
+    push_order = heapq.heappush
+    pop_order = heapq.heappop
+    for n in tree_nodes:
+        stamp[n] = ep
+        dist[n] = 0.0
+        first.append((0.0, n))
+    while order:
+        bucket = buckets.pop(pop_order(order))
+        bucket.sort()
+        for d, nid in bucket:
+            if d > dist[nid] and stamp[nid] == ep:
+                continue
+            if nid == target:
+                path = [nid]
+                tail = nid
+                while tail not in tree_nodes:
+                    tail = prev[tail]
+                    path.append(tail)
+                path.reverse()
+                return path
+            lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
+            # non-SINK destinations (bulk of the fan-out)
+            for nxt in edst[lo:mid]:
+                if mask is not None and not mask[nxt]:
+                    continue
+                nd = d + eff[nxt]
+                if stamp[nxt] != ep or nd < dist[nxt]:
+                    stamp[nxt] = ep
+                    dist[nxt] = nd
+                    prev[nxt] = nid
+                    bi = int(nd) if nd != _INF_BUCKET else _INF_BUCKET
+                    b = buckets.get(bi)
+                    if b is None:
+                        buckets[bi] = [(nd, nxt)]
+                        push_order(order, bi)
+                    else:
+                        b.append((nd, nxt))
+            # SINK destinations: only the net's own target is enterable
+            for nxt in edst[mid:hi]:
+                if nxt != target:
+                    continue
+                nd = d + eff[nxt]
+                if stamp[nxt] != ep or nd < dist[nxt]:
+                    stamp[nxt] = ep
+                    dist[nxt] = nd
+                    prev[nxt] = nid
+                    bi = int(nd) if nd != _INF_BUCKET else _INF_BUCKET
+                    b = buckets.get(bi)
+                    if b is None:
+                        buckets[bi] = [(nd, nxt)]
+                        push_order(order, bi)
+                    else:
+                        b.append((nd, nxt))
+    return None
+
+
+def _dijkstra_flat_edges_dial(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    tree_nodes: set[int],
+    target: int,
+    scratch: RouterScratch,
+    mask: bytes | None,
+    edge_ok: bytes,
+) -> list[int] | None:
+    """:func:`_dijkstra_flat_edges` with the bucket queue of
+    :func:`_dijkstra_flat_dial` (same cost arithmetic and visiting
+    order as the heap variant; adds the per-edge usability test)."""
+    scratch.epoch += 1
+    ep = scratch.epoch
+    dist, prev, stamp = scratch.dist, scratch.prev, scratch.stamp
+    eff = state.eff
+    estart, emid, edst = c.edge_start, c.edge_mid, c.edge_dst
+
+    first: list[tuple[float, int]] = []
+    buckets: dict[float, list[tuple[float, int]]] = {0: first}
+    order: list[float] = [0]
+    push_order = heapq.heappush
+    pop_order = heapq.heappop
+    for n in tree_nodes:
+        stamp[n] = ep
+        dist[n] = 0.0
+        first.append((0.0, n))
+    while order:
+        bucket = buckets.pop(pop_order(order))
+        bucket.sort()
+        for d, nid in bucket:
+            if d > dist[nid] and stamp[nid] == ep:
+                continue
+            if nid == target:
+                path = [nid]
+                tail = nid
+                while tail not in tree_nodes:
+                    tail = prev[tail]
+                    path.append(tail)
+                path.reverse()
+                return path
+            lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
+            for ei in range(lo, mid):
+                if not edge_ok[ei]:
+                    continue
+                nxt = edst[ei]
+                if mask is not None and not mask[nxt]:
+                    continue
+                nd = d + eff[nxt]
+                if stamp[nxt] != ep or nd < dist[nxt]:
+                    stamp[nxt] = ep
+                    dist[nxt] = nd
+                    prev[nxt] = nid
+                    bi = int(nd) if nd != _INF_BUCKET else _INF_BUCKET
+                    b = buckets.get(bi)
+                    if b is None:
+                        buckets[bi] = [(nd, nxt)]
+                        push_order(order, bi)
+                    else:
+                        b.append((nd, nxt))
+            for ei in range(mid, hi):
+                nxt = edst[ei]
+                if nxt != target or not edge_ok[ei]:
+                    continue
+                nd = d + eff[nxt]
+                if stamp[nxt] != ep or nd < dist[nxt]:
+                    stamp[nxt] = ep
+                    dist[nxt] = nd
+                    prev[nxt] = nid
+                    bi = int(nd) if nd != _INF_BUCKET else _INF_BUCKET
+                    b = buckets.get(bi)
+                    if b is None:
+                        buckets[bi] = [(nd, nxt)]
+                        push_order(order, bi)
+                    else:
+                        b.append((nd, nxt))
+    return None
+
+
+def _net_bbox(
     c: CompiledRRG, source: int, sinks: list[int], margin: int = BBOX_MARGIN
-) -> bytes | None:
-    """Bounding-box prune mask for a net, ``None`` when it cannot prune."""
+) -> tuple[int, int, int, int]:
+    """Margin-expanded terminal bounding box ``(xlo, xhi, ylo, yhi)``."""
     xlo, xhi, ylo, yhi = c.xlo, c.xhi, c.ylo, c.yhi
     bxlo, bxhi = xlo[source], xhi[source]
     bylo, byhi = ylo[source], yhi[source]
@@ -516,14 +772,23 @@ def _net_mask(
             bylo = ylo[s]
         if yhi[s] > byhi:
             byhi = yhi[s]
-    bxlo -= margin
-    bxhi += margin
-    bylo -= margin
-    byhi += margin
+    return bxlo - margin, bxhi + margin, bylo - margin, byhi + margin
+
+
+def _bbox_covers_fabric(c: CompiledRRG, box: tuple[int, int, int, int]) -> bool:
+    bxlo, bxhi, bylo, byhi = box
     p = c.params
-    if bxlo <= -1 and bylo <= -1 and bxhi >= p.cols and byhi >= p.rows:
+    return bxlo <= -1 and bylo <= -1 and bxhi >= p.cols and byhi >= p.rows
+
+
+def _net_mask(
+    c: CompiledRRG, source: int, sinks: list[int], margin: int = BBOX_MARGIN
+) -> bytes | None:
+    """Bounding-box prune mask for a net, ``None`` when it cannot prune."""
+    box = _net_bbox(c, source, sinks, margin)
+    if _bbox_covers_fabric(c, box):
         return None  # box covers the whole fabric; masking is pure overhead
-    return c.bbox_mask(bxlo, bxhi, bylo, byhi)
+    return c.bbox_mask(*box)
 
 
 def _route_net_flat(
@@ -536,24 +801,34 @@ def _route_net_flat(
     mask: bytes | None,
     base_mask: bytes | None = None,
     edge_ok: bytes | None = None,
-) -> RoutedNet:
+    retry: bool = True,
+) -> RoutedNet | None:
     """Route one net.  ``mask`` is the net's (defect-combined) prune
     mask; ``base_mask`` is the defect-only floor the full-graph retry
     must keep honouring (``None`` without defects), and ``edge_ok``
     switches to the per-edge Dijkstra variant when switch defects
-    exist."""
-    search = _dijkstra_flat if edge_ok is None else (
-        lambda *a: _dijkstra_flat_edges(*a, edge_ok)
-    )
+    exist.  ``retry=False`` (the wavefront path) returns ``None``
+    instead of retrying unmasked/raising — a failed wave net must be
+    re-run sequentially, where the full-graph retry sees every earlier
+    net's congestion."""
+    dial = ROUTER_QUEUE == "dial"
+    if edge_ok is None:
+        search = _dijkstra_flat_dial if dial else _dijkstra_flat
+    else:
+        edges_search = _dijkstra_flat_edges_dial if dial \
+            else _dijkstra_flat_edges
+        search = lambda *a: edges_search(*a, edge_ok)  # noqa: E731
     net = RoutedNet(name, source, list(sinks))
     net.nodes = {source}
     for sink in sinks:
         path = search(c, state, net.nodes, sink, scratch, mask)
-        if path is None and mask is not base_mask:
+        if path is None and retry and mask is not base_mask:
             # the pruned region disconnected this sink — retry without
             # the bounding box (defective resources stay excluded)
             path = search(c, state, net.nodes, sink, scratch, base_mask)
         if path is None:
+            if not retry:
+                return None
             raise RoutingError(
                 f"no path to sink node {sink} ({c.node_name(sink)})"
             )
@@ -562,6 +837,130 @@ def _route_net_flat(
             net.edges.add((a, b))
         net.nodes.update(path)
     return net
+
+
+def _boxes_interact(
+    a: tuple[int, int, int, int], b: tuple[int, int, int, int], span: int
+) -> bool:
+    """Whether two nets' prune masks can share a node.
+
+    A node's spatial extent covers at most ``span`` tiles per axis, so
+    two terminal boxes can only admit a common node when they are
+    within ``span - 1`` tiles of each other in *both* axes — a gap of
+    ``span`` or more in either axis proves the masks disjoint.
+    """
+    if b[0] - a[1] >= span or a[0] - b[1] >= span:
+        return False
+    if b[2] - a[3] >= span or a[2] - b[3] >= span:
+        return False
+    return True
+
+
+def _route_initial_waves(
+    c: CompiledRRG,
+    state: _FlatCongestion,
+    endpoints: list[tuple[str, int, list[int]]],
+    reuse: dict[str, RoutedNet] | None,
+    routes: dict[str, RoutedNet],
+    mask_for,
+    base_mask: bytes | None,
+    edge_ok: bytes | None,
+    scratch: RouterScratch,
+    workers: int,
+) -> None:
+    """Initial routing pass in bit-identical parallel wavefronts.
+
+    Consecutive nets whose prune masks are provably disjoint (box
+    separation over the widest node extent) form a *wave*: their
+    searches run in parallel threads against the frozen congestion
+    state, then their usage is applied in net order.  A wave net reads
+    effective costs only inside its own mask and adds usage only on
+    its own route, so disjoint masks make every wave search equal,
+    node for node, to the sequential one.  Wave searches never take
+    the full-graph retry (it reads beyond the mask): a net that needs
+    it aborts the wave from that net on, re-running sequentially with
+    standard semantics.
+    """
+    span = max(2, max(c.node_length))  # widest node extent, in tiles
+    pool: ThreadPoolExecutor | None = None
+    wave: list[tuple[str, int, list[int], bytes | None]] = []
+    boxes: list[tuple[int, int, int, int]] = []
+
+    def route_one(entry) -> RoutedNet | None:
+        name, source, sinks, mask = entry
+        with SCRATCH_POOL.lease(c.n_nodes) as sc:
+            return _route_net_flat(
+                c, state, name, source, sinks, sc, mask, base_mask,
+                edge_ok, retry=False,
+            )
+
+    def commit(name: str, net: RoutedNet) -> None:
+        routes[name] = net
+        state.add(net.nodes)
+
+    def flush() -> None:
+        nonlocal pool
+        if not wave:
+            return
+        if len(wave) == 1:
+            name, source, sinks, mask = wave[0]
+            commit(name, _route_net_flat(
+                c, state, name, source, sinks, scratch, mask, base_mask,
+                edge_ok,
+            ))
+        else:
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=workers)
+            results = list(pool.map(route_one, wave))
+            redo_from = len(wave)
+            for i, (entry, net) in enumerate(zip(wave, results)):
+                if net is None:
+                    # this net needs the full-graph retry, which reads
+                    # beyond its mask: it and everything after it re-run
+                    # sequentially against the committed state
+                    redo_from = i
+                    break
+                commit(entry[0], net)
+            for name, source, sinks, mask in wave[redo_from:]:
+                commit(name, _route_net_flat(
+                    c, state, name, source, sinks, scratch, mask,
+                    base_mask, edge_ok,
+                ))
+        wave.clear()
+        boxes.clear()
+
+    try:
+        for name, source, sinks in endpoints:
+            sig = endpoint_signature(source, sinks)
+            prior = reuse.get(sig) if reuse else None
+            if prior is not None:
+                # a reused route can sit anywhere on the fabric: drain
+                # the wave, then adopt the route in order
+                flush()
+                net = RoutedNet(name, source, list(sinks))
+                net.nodes = set(prior.nodes)
+                net.edges = set(prior.edges)
+                net.sink_paths = {
+                    k: list(v) for k, v in prior.sink_paths.items()
+                }
+                net.reused = True
+                commit(name, net)
+                continue
+            box = _net_bbox(c, source, sinks)
+            mask = mask_for(name, source, sinks)
+            independent = (
+                mask is not None
+                and not _bbox_covers_fabric(c, box)
+                and all(not _boxes_interact(box, b, span) for b in boxes)
+            )
+            if not independent:
+                flush()
+            wave.append((name, source, sinks, mask))
+            boxes.append(box)
+        flush()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def route_context_compiled(
@@ -573,6 +972,7 @@ def route_context_compiled(
     max_iterations: int = MAX_ITERATIONS,
     scratch: RouterScratch | None = None,
     defects: "DefectMap | None" = None,
+    workers: int | None = None,
 ) -> RouteResult:
     """Route one context's placed netlist over the compiled RRG.
 
@@ -590,6 +990,17 @@ def route_context_compiled(
     excludes dead wires/switches from every search and prices them
     unroutable in the congestion state.  A clean map is normalised to
     ``None``, so the defect-free path — and its routes — is untouched.
+
+    ``workers > 1`` routes the *initial* pass in wavefronts: runs of
+    consecutive nets whose prune masks are provably disjoint search in
+    parallel threads against the frozen congestion state, and their
+    usage is applied in net order afterwards — a net only ever reads
+    costs inside its own mask and only ever writes usage on its own
+    route, so disjoint masks make the parallel searches equal to the
+    sequential ones node-for-node.  Any wave net that needs the
+    full-graph retry aborts the wave from that net on and re-runs
+    sequentially.  Routes are bit-identical to ``workers=None`` by
+    construction (pinned by the route-workers equivalence tests).
     """
     pooled = scratch is None or scratch.n != c.n_nodes
     if pooled:
@@ -597,7 +1008,7 @@ def route_context_compiled(
     try:
         return _route_context_compiled(
             c, netlist, placement, context, reuse, max_iterations, scratch,
-            defects,
+            defects, workers,
         )
     finally:
         if pooled:
@@ -613,6 +1024,7 @@ def _route_context_compiled(
     max_iterations: int,
     scratch: RouterScratch,
     defects: "DefectMap | None" = None,
+    workers: int | None = None,
 ) -> RouteResult:
     if defects is not None and defects.is_clean:
         defects = None  # all-healthy map: take the defect-free path verbatim
@@ -639,22 +1051,30 @@ def _route_context_compiled(
             masks[name] = m
         return masks[name]
 
-    for name, source, sinks in endpoints:
-        sig = endpoint_signature(source, sinks)
-        prior = reuse.get(sig) if reuse else None
-        if prior is not None:
-            net = RoutedNet(name, source, list(sinks))
-            net.nodes = set(prior.nodes)
-            net.edges = set(prior.edges)
-            net.sink_paths = {k: list(v) for k, v in prior.sink_paths.items()}
-            net.reused = True
-        else:
-            net = _route_net_flat(
-                c, state, name, source, sinks, scratch,
-                mask_for(name, source, sinks), base_mask, edge_ok,
-            )
-        routes[name] = net
-        state.add(net.nodes)
+    if workers is not None and workers > 1 and len(endpoints) > 1:
+        _route_initial_waves(
+            c, state, endpoints, reuse, routes, mask_for, base_mask,
+            edge_ok, scratch, workers,
+        )
+    else:
+        for name, source, sinks in endpoints:
+            sig = endpoint_signature(source, sinks)
+            prior = reuse.get(sig) if reuse else None
+            if prior is not None:
+                net = RoutedNet(name, source, list(sinks))
+                net.nodes = set(prior.nodes)
+                net.edges = set(prior.edges)
+                net.sink_paths = {
+                    k: list(v) for k, v in prior.sink_paths.items()
+                }
+                net.reused = True
+            else:
+                net = _route_net_flat(
+                    c, state, name, source, sinks, scratch,
+                    mask_for(name, source, sinks), base_mask, edge_ok,
+                )
+            routes[name] = net
+            state.add(net.nodes)
 
     overused_ids = state.overused_ids
     iteration = 1
@@ -918,6 +1338,7 @@ def route_context(
     reuse: dict[str, RoutedNet] | None = None,
     max_iterations: int = MAX_ITERATIONS,
     defects: "DefectMap | None" = None,
+    workers: int | None = None,
 ) -> RouteResult:
     """Route one context's placed netlist to congestion-freedom.
 
@@ -926,7 +1347,8 @@ def route_context(
     route up front (they still participate in congestion resolution —
     a reused route that conflicts within this context gets ripped up,
     losing its reuse mark).  ``defects`` excludes a defect map's dead
-    resources from every search.
+    resources from every search.  ``workers > 1`` routes the initial
+    pass in bit-identical wavefronts of mask-disjoint nets.
 
     Accepts either graph representation; object graphs are lowered to a
     :class:`CompiledRRG` on first use (cached on the graph instance).
@@ -934,6 +1356,7 @@ def route_context(
     return route_context_compiled(
         _as_compiled(g), netlist, placement, context=context,
         reuse=reuse, max_iterations=max_iterations, defects=defects,
+        workers=workers,
     )
 
 

@@ -574,7 +574,13 @@ class JobManager:
 
     # -- teardown ------------------------------------------------------------ #
     def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
-        """Stop accepting jobs; optionally cancel everything live."""
+        """Stop accepting jobs; optionally cancel everything live.
+
+        Also releases the session's shared-memory publications — the
+        coordinator is the segments' owner, so a clean server exit must
+        unlink them (workers that are still draining keep their own
+        mappings alive until they exit).
+        """
         with self._lock:
             self._closed = True
             jobs = list(self._jobs.values())
@@ -582,6 +588,7 @@ class JobManager:
             for job in jobs:
                 self.cancel(job.job_id)
         self._pool.shutdown(wait=wait, cancel_futures=cancel)
+        self.session.close()
 
     def __enter__(self) -> "JobManager":
         return self

@@ -1,0 +1,155 @@
+"""Shared-memory yield campaigns: bit-identical rows, lean trial jobs.
+
+Yield campaigns are the shared-memory backend's reason to exist: every
+trial of a campaign needs the same golden mapping and the same
+compiled substrate, so the pickled fan-out re-ships both per trial.
+These tests pin that the shared fan-out (handles + pool-initializer
+attach) reproduces the pickled rows bit-for-bit, that the lean trial
+items really do drop the heavyweight payload, and that the runner
+releases its publications on close.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.sweep import SweepRunner
+from repro.arch import shared
+from repro.arch.compiled import flat_rrg_for
+from repro.arch.params import ArchParams
+from repro.netlist.techmap import tech_map
+from repro.place.placer import place
+from repro.reliability.repair import build_golden
+from repro.reliability.yield_runner import (
+    YieldRunner,
+    YieldTrialJob,
+    _evaluate_trial_shared,
+    evaluate_trial,
+    trial_seed,
+)
+from repro.workloads.generators import random_dag
+
+BASE = ArchParams(cols=5, rows=5, channel_width=8, io_capacity=4)
+RATES = [0.01, 0.03]
+TRIALS = 3
+
+
+@pytest.fixture(autouse=True)
+def _clean_attach_cache():
+    shared.detach_all()
+    yield
+    shared.detach_all()
+
+
+def _netlist():
+    return tech_map(random_dag(n_inputs=5, n_gates=10, n_outputs=4, seed=5),
+                    k=4)
+
+
+def _campaign_rows(runner, netlist):
+    points = runner.run_campaign(netlist, "dag", BASE, RATES, TRIALS,
+                                 seed=1, effort=0.2)
+    return [pt.to_dict() for pt in points]
+
+
+class TestCampaignRows:
+    def test_rows_identical_across_backends(self):
+        netlist = _netlist()
+        seq = _campaign_rows(YieldRunner(backend="sequential"), netlist)
+        thread = _campaign_rows(YieldRunner(backend="thread", workers=2),
+                                netlist)
+        with YieldRunner(backend="process", workers=2) as shm_runner:
+            assert shm_runner._runner.shared_memory  # default on
+            shm = _campaign_rows(shm_runner, netlist)
+        pickled = _campaign_rows(
+            YieldRunner(runner=SweepRunner(backend="process", workers=2,
+                                           shared_memory=False)),
+            netlist,
+        )
+        assert seq == thread == shm == pickled
+
+    def test_shared_campaign_publishes_golden_and_substrate(self):
+        netlist = _netlist()
+        runner = YieldRunner(backend="process", workers=2)
+        try:
+            _campaign_rows(runner, netlist)
+            # one golden + one substrate segment
+            assert runner._runner.store().size() == 2
+            assert shared.registry_size() == 2
+        finally:
+            runner.close()
+        assert shared.registry_size() == 0
+
+    def test_route_workers_rows_identical(self):
+        netlist = _netlist()
+        runner = YieldRunner(backend="sequential")
+        plain = _campaign_rows(runner, netlist)
+        waved = [pt.to_dict() for pt in runner.run_campaign(
+            netlist, "dag", BASE, RATES, TRIALS, seed=1, effort=0.2,
+            route_workers=4,
+        )]
+        assert plain == waved
+
+
+class TestLeanTrialItems:
+    def _golden(self, netlist):
+        c = flat_rrg_for(BASE)
+        pl = place(netlist, BASE, seed=1, effort=0.2)
+        golden = build_golden(c, netlist, pl, 25)
+        assert golden is not None
+        return c, golden
+
+    def test_shared_item_evaluates_like_fat_job(self):
+        netlist = _netlist()
+        c, golden = self._golden(netlist)
+        with shared.SharedStore() as store:
+            gh = store.golden_for(("g", BASE), golden, netlist)
+            sh = store.substrate_for(c)
+            lean = YieldTrialJob(
+                workload="dag", params=BASE, netlist=None,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            fat = YieldTrialJob(
+                workload="dag", params=BASE, netlist=netlist,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            got = _evaluate_trial_shared((lean, gh, sh))
+            want = evaluate_trial(fat, golden)
+            assert got.to_dict() == want.to_dict()
+
+    def test_lean_item_payload_is_much_smaller(self):
+        netlist = _netlist()
+        c, golden = self._golden(netlist)
+        with shared.SharedStore() as store:
+            gh = store.golden_for(("g", BASE), golden, netlist)
+            sh = store.substrate_for(c)
+            lean = YieldTrialJob(
+                workload="dag", params=BASE, netlist=None,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            fat = YieldTrialJob(
+                workload="dag", params=BASE, netlist=netlist,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            lean_bytes = len(pickle.dumps((lean, gh, sh)))
+            fat_bytes = len(pickle.dumps((fat, golden)))
+            assert lean_bytes < fat_bytes / 2
+
+
+class TestSpareWidthCurve:
+    def test_curve_identical_shared_vs_sequential(self):
+        netlist = _netlist()
+        seq = YieldRunner(backend="sequential").spare_width_curve(
+            netlist, "dag", BASE, [0, 2], rate=0.03, trials=TRIALS,
+            seed=1, effort=0.2,
+        )
+        with YieldRunner(backend="process", workers=2) as runner:
+            shm = runner.spare_width_curve(
+                netlist, "dag", BASE, [0, 2], rate=0.03, trials=TRIALS,
+                seed=1, effort=0.2,
+            )
+        assert [p.to_dict() for p in seq] == [p.to_dict() for p in shm]

@@ -1,0 +1,191 @@
+"""Bucket-queue (Dial) router core: bit-identity with the binary heap.
+
+The Dial queue is a pure speedup: every effective node cost is >= 1.0,
+so bucketing Dijkstra distances by integer part and draining each
+bucket in ``(dist, node)`` order visits nodes in exactly the binary
+heap's pop order.  These tests pin that the routes (not just the
+wirelengths) are identical under both queues — including congested
+runs whose escalated costs spread distances across sparse buckets —
+and that the targeted congestion re-price reproduces the whole-graph
+refresh bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.compiled import flat_rrg_for
+from repro.arch.params import ArchParams
+from repro.netlist.techmap import tech_map
+from repro.place.placer import place
+from repro.route import pathfinder
+from repro.route.pathfinder import (
+    ROUTER_QUEUES,
+    _FlatCongestion,
+    route_context_compiled,
+    set_router_queue,
+)
+from repro.reliability.defect_map import DefectMap
+from repro.workloads.generators import crc_step, random_dag, ripple_adder
+
+#: Narrow channels force congestion iterations; wide ones resolve in
+#: one pass — both matter (late iterations price nodes very high,
+#: which is the bucket queue's sparse-distance regime).
+CASES = [
+    ("adder-tight", ArchParams(cols=5, rows=5, channel_width=5,
+                               io_capacity=4), lambda: ripple_adder(3)),
+    ("random-tight", ArchParams(cols=6, rows=6, channel_width=6,
+                                io_capacity=4),
+     lambda: random_dag(5, 14, 4, seed=11)),
+    ("crc-wide", ArchParams(cols=6, rows=6, channel_width=10,
+                            io_capacity=4), lambda: crc_step(6)),
+]
+
+
+@pytest.fixture
+def heap_queue():
+    prev = set_router_queue("heap")
+    yield
+    set_router_queue(prev)
+
+
+def _route(params, circuit, **kw):
+    netlist = tech_map(circuit(), k=4)
+    c = flat_rrg_for(params)
+    pl = place(netlist, params, seed=2, effort=0.3)
+    return route_context_compiled(c, netlist, pl, **kw)
+
+
+def _assert_identical(a, b):
+    assert a.iterations == b.iterations
+    assert set(a.nets) == set(b.nets)
+    for name, net in a.nets.items():
+        other = b.nets[name]
+        assert other.nodes == net.nodes, name
+        assert other.edges == net.edges, name
+        assert other.sink_paths == net.sink_paths, name
+
+
+class TestQueueEquivalence:
+    @pytest.mark.parametrize("name,params,circuit", CASES)
+    def test_dial_routes_bit_identical_to_heap(self, name, params, circuit):
+        prev = set_router_queue("dial")
+        try:
+            dial = _route(params, circuit)
+            set_router_queue("heap")
+            heap = _route(params, circuit)
+        finally:
+            set_router_queue(prev)
+        _assert_identical(dial, heap)
+
+    def test_dial_with_defects_matches_heap(self):
+        params = ArchParams(cols=6, rows=6, channel_width=8, io_capacity=4)
+        netlist = tech_map(random_dag(5, 12, 4, seed=3), k=4)
+        c = flat_rrg_for(params)
+        pl = place(netlist, params, seed=2, effort=0.3)
+        dm = DefectMap.sample(c, 0.03, seed=9)
+        prev = set_router_queue("dial")
+        try:
+            dial = route_context_compiled(c, netlist, pl, defects=dm)
+            set_router_queue("heap")
+            heap = route_context_compiled(c, netlist, pl, defects=dm)
+        finally:
+            set_router_queue(prev)
+        _assert_identical(dial, heap)
+
+    def test_set_router_queue_returns_previous(self):
+        prev = set_router_queue("heap")
+        try:
+            assert pathfinder.ROUTER_QUEUE == "heap"
+            assert set_router_queue("dial") == "heap"
+        finally:
+            set_router_queue(prev)
+
+    def test_set_router_queue_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_router_queue("fibonacci")
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(pathfinder.ROUTER_QUEUE_ENV, raising=False)
+        assert pathfinder._queue_from_env() == "dial"
+        monkeypatch.setenv(pathfinder.ROUTER_QUEUE_ENV, "heap")
+        assert pathfinder._queue_from_env() == "heap"
+        monkeypatch.setenv(pathfinder.ROUTER_QUEUE_ENV, "bogus")
+        assert pathfinder._queue_from_env() == "dial"
+        assert set(ROUTER_QUEUES) == {"dial", "heap"}
+
+
+class TestTargetedReprice:
+    """``next_iteration``'s pressured-only re-price must equal the
+    whole-graph refresh after any usage/history trajectory."""
+
+    def _mirror_states(self, c):
+        return _FlatCongestion(c), _FlatCongestion(c)
+
+    def test_escalation_matches_full_refresh(self):
+        params = ArchParams(cols=5, rows=5, channel_width=6, io_capacity=4)
+        c = flat_rrg_for(params)
+        rng = np.random.default_rng(4)
+        a, b = self._mirror_states(c)
+        wires = c.wire_node_ids()
+        for _ in range(4):
+            nodes = set(rng.choice(wires, size=30, replace=False).tolist())
+            a.add(nodes)
+            b.add(nodes)
+            drop = set(list(nodes)[:10])
+            a.remove(drop)
+            b.remove(drop)
+            # a: the production escalation (targeted re-price)
+            a.next_iteration()
+            # b: same arithmetic, whole-graph refresh
+            b.bump_history()
+            b.pres_fac *= pathfinder.PRES_FAC_MULT
+            b._refresh_all()
+            assert a.eff == b.eff
+            assert a.overused_ids == b.overused_ids
+            assert a.pressured_ids >= a.overused_ids
+
+    def test_defect_nodes_stay_infinite(self):
+        params = ArchParams(cols=5, rows=5, channel_width=6, io_capacity=4)
+        c = flat_rrg_for(params)
+        dm = DefectMap.sample(c, 0.05, seed=1)
+        state = _FlatCongestion(c, defects=dm)
+        dead = np.flatnonzero(~dm.node_ok).tolist()
+        assert dead, "defect sample produced no dead nodes"
+        for _ in range(3):
+            state.next_iteration()
+            assert all(state.eff[n] == float("inf") for n in dead)
+
+
+class TestWavefrontEquivalence:
+    """``workers > 1`` routes the initial pass in parallel wavefronts
+    of provably mask-disjoint nets — and must be bit-identical."""
+
+    @pytest.mark.parametrize("name,params,circuit", CASES)
+    def test_wavefront_matches_sequential(self, name, params, circuit):
+        seq = _route(params, circuit)
+        par = _route(params, circuit, workers=4)
+        _assert_identical(seq, par)
+
+    def test_wavefront_with_reuse_matches_sequential(self):
+        params = ArchParams(cols=6, rows=6, channel_width=8, io_capacity=4)
+        netlist = tech_map(random_dag(5, 12, 4, seed=3), k=4)
+        c = flat_rrg_for(params)
+        pl = place(netlist, params, seed=2, effort=0.3)
+        first = route_context_compiled(c, netlist, pl)
+        bank = {
+            pathfinder.endpoint_signature(net.source, net.sinks): net
+            for net in first.nets.values()
+        }
+        seq = route_context_compiled(c, netlist, pl, reuse=bank)
+        par = route_context_compiled(c, netlist, pl, reuse=bank, workers=4)
+        _assert_identical(seq, par)
+
+    def test_wavefront_with_defects_matches_sequential(self):
+        params = ArchParams(cols=6, rows=6, channel_width=8, io_capacity=4)
+        netlist = tech_map(random_dag(5, 12, 4, seed=3), k=4)
+        c = flat_rrg_for(params)
+        pl = place(netlist, params, seed=2, effort=0.3)
+        dm = DefectMap.sample(c, 0.03, seed=9)
+        seq = route_context_compiled(c, netlist, pl, defects=dm)
+        par = route_context_compiled(c, netlist, pl, defects=dm, workers=4)
+        _assert_identical(seq, par)

@@ -31,6 +31,7 @@ Runs two ways:
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -170,6 +171,10 @@ def main(argv: list[str]) -> int:
     else:
         row = _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES)
     print(_render(row))
+    with open("BENCH_yield.json", "w") as fh:
+        json.dump(row, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote BENCH_yield.json")
     floor = _proc_floor()
     if not smoke and floor is not None and row["speedup_proc"] < floor:
         print(f"FAIL: process backend speedup {row['speedup_proc']:.2f}x "

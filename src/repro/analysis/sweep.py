@@ -66,6 +66,7 @@ import os
 import threading
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.arch.params import ArchParams
@@ -75,6 +76,7 @@ from repro.place.placer import Placement, place
 from repro.route.pathfinder import route_context_compiled
 from repro.route.timing import critical_path
 from repro.utils.iters import SizedIterator
+from repro.utils.profile import PhaseProfiler, profiling, span
 
 #: PathFinder iteration budget per sweep point.  Matches the legacy
 #: per-point flow (``route_context(..., max_iterations=25)``), so sweep
@@ -82,6 +84,9 @@ from repro.utils.iters import SizedIterator
 POINT_MAX_ITERATIONS = 25
 
 _BACKENDS = ("sequential", "thread", "process")
+
+#: stateless, reusable — spares an allocation on every unprofiled point
+_NULL_CTX = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -105,6 +110,9 @@ class SweepJob:
     #: (``None`` = sequential).  Verdicts are bit-identical either way
     #: — the wavefront only parallelises provably independent nets.
     route_workers: int | None = None
+    #: collect a per-point phase profile (wall-clock — never part of
+    #: the row bit-identity contract; see :mod:`repro.utils.profile`)
+    profile: bool = False
 
 
 @dataclass
@@ -117,9 +125,13 @@ class SweepPoint:
     wirelength: int = 0
     critical_path: float = 0.0
     iterations: int = 0
+    #: per-phase timings; ``None`` unless profiling was requested
+    #: (wall-clock — omitted from serialization so profiled and
+    #: unprofiled rows stay comparable)
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "axis": self.axis,
             "value": self.value,
             "routed": self.routed,
@@ -127,6 +139,9 @@ class SweepPoint:
             "critical_path": self.critical_path,
             "iterations": self.iterations,
         }
+        if self.profile is not None:
+            d["profile"] = self.profile
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepPoint":
@@ -137,6 +152,7 @@ class SweepPoint:
             wirelength=d.get("wirelength", 0),
             critical_path=d.get("critical_path", 0.0),
             iterations=d.get("iterations", 0),
+            profile=d.get("profile"),
         )
 
 
@@ -202,24 +218,35 @@ def evaluate_point(
             from repro.analysis.engine import DEFAULT_ENGINE
             engine = DEFAULT_ENGINE
         c = engine.flat(job.params)
-    if placement is None:
-        placement = place(
-            job.netlist, job.params, seed=job.seed, effort=job.effort
-        )
-    try:
-        rr = route_context_compiled(
-            c, job.netlist, placement, max_iterations=job.max_iterations,
-            workers=job.route_workers,
-        )
-    except RoutingError:
-        return SweepPoint(job.axis, job.value, False)
+    prof = PhaseProfiler() if job.profile else None
+    with profiling(prof) if prof is not None else _NULL_CTX:
+        if placement is None:
+            with span("point.place"):
+                placement = place(
+                    job.netlist, job.params, seed=job.seed, effort=job.effort
+                )
+        try:
+            with span("point.route"):
+                rr = route_context_compiled(
+                    c, job.netlist, placement,
+                    max_iterations=job.max_iterations,
+                    workers=job.route_workers,
+                )
+        except RoutingError:
+            return SweepPoint(
+                job.axis, job.value, False,
+                profile=prof.to_dict() if prof is not None else None,
+            )
+        with span("point.timing"):
+            cp = critical_path(c, job.netlist, rr, placement)
     return SweepPoint(
         job.axis,
         job.value,
         True,
         wirelength=rr.wirelength(c),
-        critical_path=critical_path(c, job.netlist, rr, placement),
+        critical_path=cp,
         iterations=rr.iterations,
+        profile=prof.to_dict() if prof is not None else None,
     )
 
 

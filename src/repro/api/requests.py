@@ -240,9 +240,16 @@ class SweepRequest(_Request):
     grid: int = 6
     width: int = 10
     values: tuple[float, ...] | None = None
+    #: collect a per-point phase-timing ``profile`` block on each row
+    #: (wall-clock; ignored by analytic axes, which run no phases)
+    profile: bool = False
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.profile, bool):
+            raise RequestError(
+                f"profile must be a bool, got {self.profile!r}"
+            )
         if self.what not in SWEEP_AXES:
             raise RequestError(
                 f"what must be one of {SWEEP_AXES}, got {self.what!r}"
@@ -297,9 +304,16 @@ class YieldRequest(_Request):
     trials: int = 8
     model: str = "uniform"
     spares: tuple[int, ...] | None = None
+    #: collect a per-cell phase-timing ``profile`` block on each row
+    #: (wall-clock, merged across the cell's trials)
+    profile: bool = False
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.profile, bool):
+            raise RequestError(
+                f"profile must be a bool, got {self.profile!r}"
+            )
         check_workload(self.workload)
         if self.grid < 1:
             raise RequestError(f"grid must be >= 1, got {self.grid!r}")

@@ -318,6 +318,8 @@ class Session:
             # so the placement cache key is untouched)
             jobs = [replace(job, route_workers=cfg.route_workers)
                     for job in jobs]
+        if req.profile:
+            jobs = [replace(job, profile=True) for job in jobs]
         runner = self.sweep_runner(cfg)
         for i, pt in enumerate(runner.iter_run(jobs)):
             progress(i + 1, len(jobs), pt)
@@ -350,14 +352,14 @@ class Session:
             points = runner.iter_spare_width_curve(
                 netlist, req.workload, base, list(req.spares), req.rates[0],
                 req.trials, model=req.model, seed=cfg.seed, effort=effort,
-                route_workers=cfg.route_workers,
+                route_workers=cfg.route_workers, profile=req.profile,
             )
         else:
             total = len(req.rates)
             points = runner.iter_campaign(
                 netlist, req.workload, base, list(req.rates), req.trials,
                 model=req.model, seed=cfg.seed, effort=effort,
-                route_workers=cfg.route_workers,
+                route_workers=cfg.route_workers, profile=req.profile,
             )
         for i, pt in enumerate(points):
             progress(i + 1, total, pt)

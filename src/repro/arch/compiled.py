@@ -114,6 +114,7 @@ class CompiledRRG:
         "_switch_edge_ids",
         "_edge_src",
         "_logic_tiles",
+        "_wire_len",
     )
 
     def __init__(self, source: RoutingResourceGraph) -> None:
@@ -208,6 +209,7 @@ class CompiledRRG:
         self._switch_edge_ids: np.ndarray | None = None
         self._edge_src: np.ndarray | None = None
         self._logic_tiles: tuple[tuple[int, int], ...] | None = None
+        self._wire_len: np.ndarray | None = None
 
     # -- defect-candidate indexes (reliability subsystem) ------------------- #
     def wire_node_ids(self) -> np.ndarray:
@@ -265,6 +267,22 @@ class CompiledRRG:
                 sorted({(x, y) for (x, y, _pin) in self.lb_source})
             )
         return self._logic_tiles
+
+    def wire_length_weights(self) -> np.ndarray:
+        """Per-node wirelength contribution (segment length for wires,
+        0 elsewhere), cached.
+
+        Lets :meth:`RouteResult.wirelength
+        <repro.route.pathfinder.RouteResult.wirelength>` sum a route's
+        wirelength as one fancy-index gather instead of a Python loop
+        over every node of every net — an exact integer sum either way.
+        """
+        if self._wire_len is None:
+            kind = np.asarray(self.node_kind, dtype=np.int64)
+            lengths = np.asarray(self.node_length, dtype=np.int64)
+            wire = (kind == KIND_CHANX) | (kind == KIND_CHANY)
+            self._wire_len = np.where(wire, lengths, 0)
+        return self._wire_len
 
     def bbox_mask(
         self, bxlo: int, bxhi: int, bylo: int, byhi: int

@@ -238,6 +238,7 @@ class SharedSubstrate:
         c._logic_tiles = tuple(
             (int(x), int(y)) for x, y in views["logic_tiles"].tolist()
         )
+        c._wire_len = None  # derived lazily per process (small)
         return c
 
     def attach_cached(self) -> CompiledRRG:
@@ -400,6 +401,127 @@ def publish_golden(golden, netlist) -> tuple[
 
 
 # ------------------------------------------------------------------------- #
+# defect-mask batches (yield campaigns)
+# ------------------------------------------------------------------------- #
+class DefectBatchView:
+    """Decoded read-only views over one published trial batch of defect
+    masks (see :func:`publish_defect_batch`)."""
+
+    __slots__ = (
+        "n_trials", "model", "node_ok", "wire_start", "wires_flat",
+        "switch_start", "switch_flat", "tile_start", "tiles_flat",
+    )
+
+    def __init__(self, meta: dict, views: dict) -> None:
+        self.n_trials = meta["n_trials"]
+        self.model = meta["model"]
+        self.node_ok = views["node_ok"]
+        self.wire_start = views["wire_start"]
+        self.wires_flat = views["wires_flat"]
+        self.switch_start = views["switch_start"]
+        self.switch_flat = views["switch_flat"]
+        self.tile_start = views["tile_start"]
+        self.tiles_flat = views["tiles_flat"]
+
+    def map_for(self, c: CompiledRRG, index: int, rate: float, seed: int):
+        """Rebuild trial ``index``'s :class:`DefectMap` around the
+        published masks (no re-sampling, no node-mask re-lowering).
+
+        ``rate``/``seed`` restore the sampling parameters the map would
+        carry if the worker had sampled it locally (they ride in the
+        trial job already), so the rebuilt map is equal to the local
+        one field for field.
+        """
+        from repro.reliability.defect_map import DefectMap
+
+        i = index
+        ws, we = int(self.wire_start[i]), int(self.wire_start[i + 1])
+        ss, se = int(self.switch_start[i]), int(self.switch_start[i + 1])
+        ts, te = int(self.tile_start[i]), int(self.tile_start[i + 1])
+        return DefectMap.from_lowered(
+            c,
+            self.node_ok[i],
+            self.wires_flat[ws:we].tolist(),
+            self.switch_flat[ss:se].tolist(),
+            [(int(x), int(y)) for x, y in self.tiles_flat[ts:te].tolist()],
+            model=self.model, rate=rate, seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class SharedDefectBatch:
+    """O(1)-pickling handle to one campaign's published defect masks.
+
+    The parent samples every trial's :class:`DefectMap` once (sampling
+    is a pure function of seed and substrate, so parent-side draws are
+    bit-identical to worker-side ones) and publishes the lowered
+    ``node_ok`` rows plus the raw defect id lists in one segment;
+    workers attach instead of re-sampling and re-lowering per trial.
+    """
+
+    name: str
+
+    def attach(self) -> DefectBatchView:
+        shm = _attach_segment(self.name)
+        meta, views = _read_segment(shm)
+        return DefectBatchView(meta, views)
+
+    def attach_cached(self) -> DefectBatchView:
+        """Per-process memoised :meth:`attach`."""
+        with _ATTACH_LOCK:
+            cached = _ATTACHED.get(self.name)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        view = self.attach()
+        with _ATTACH_LOCK:
+            return _ATTACHED.setdefault(self.name, view)  # type: ignore
+
+
+def publish_defect_batch(maps) -> tuple[
+    shared_memory.SharedMemory, SharedDefectBatch
+]:
+    """Publish a trial batch of :class:`DefectMap` masks to one segment.
+
+    Layout: one ``(n_trials, n_nodes)`` boolean ``node_ok`` matrix plus
+    ragged per-trial defect id lists (wire nodes, switch edges, bad
+    tiles) with offset arrays.  Per-trial metadata that varies inside a
+    campaign (rate, seed) stays in the trial jobs; the model name is
+    campaign-wide and rides the segment header.
+    """
+    maps = list(maps)
+    if not maps:
+        raise ValueError("cannot publish an empty defect batch")
+    node_ok = np.stack([dm.node_ok for dm in maps])
+    wire_start = [0]
+    wires_flat: list[int] = []
+    switch_start = [0]
+    switch_flat: list[int] = []
+    tile_start = [0]
+    tiles_flat: list[tuple[int, int]] = []
+    for dm in maps:
+        wires_flat.extend(dm.wire_defects)
+        wire_start.append(len(wires_flat))
+        switch_flat.extend(dm.switch_defects)
+        switch_start.append(len(switch_flat))
+        tiles_flat.extend(sorted((t.x, t.y) for t in dm.bad_tiles))
+        tile_start.append(len(tiles_flat))
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("node_ok", node_ok),
+        ("wire_start", np.asarray(wire_start, dtype=np.int64)),
+        ("wires_flat", np.asarray(wires_flat, dtype=np.int64)),
+        ("switch_start", np.asarray(switch_start, dtype=np.int64)),
+        ("switch_flat", np.asarray(switch_flat, dtype=np.int64)),
+        ("tile_start", np.asarray(tile_start, dtype=np.int64)),
+        ("tiles_flat",
+         np.asarray(tiles_flat, dtype=np.int64).reshape(-1, 2)),
+    ]
+    shm = _pack_segment(arrays, {
+        "n_trials": len(maps), "model": maps[0].model,
+    })
+    return shm, SharedDefectBatch(name=shm.name)
+
+
+# ------------------------------------------------------------------------- #
 # owner-side refcounted registry
 # ------------------------------------------------------------------------- #
 class _Publication:
@@ -497,6 +619,18 @@ class SharedStore:
         """
         key = ("golden", cache_key)
         return self._get(key, lambda: publish_golden(golden, netlist))
+
+    def defects_for(self, cache_key, build) -> SharedDefectBatch:
+        """The (shared) published defect-mask batch for one campaign.
+
+        ``build`` is called (once per key, under the registry) to
+        sample the batch's :class:`DefectMap` list only when no equal
+        publication exists yet; ``cache_key`` must pin everything the
+        sampled masks depend on (params, model, rates, trial count,
+        campaign seed, cluster geometry).
+        """
+        key = ("defects", cache_key)
+        return self._get(key, lambda: publish_defect_batch(build()))
 
     def _get(self, key, publish):
         with self._lock:

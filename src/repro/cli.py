@@ -123,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--route-workers", type=int, default=None,
                    help="wavefront width for each point's initial "
                         "routing pass (bit-identical to sequential)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach per-phase wall-clock timings to each "
+                        "point (visible in --json output)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -160,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--route-workers", type=int, default=None,
                    help="wavefront width for golden/repair routing "
                         "passes (bit-identical to sequential)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach per-phase wall-clock timings to each "
+                        "campaign point (visible in --json output)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -332,7 +338,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     request = SweepRequest(
         what=args.what, workload=args.workload, grid=args.grid,
-        values=_sweep_values(args),
+        values=_sweep_values(args), profile=args.profile,
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
             effort=args.effort, route_workers=args.route_workers,
@@ -397,7 +403,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
     request = YieldRequest(
         workload=args.workload, grid=args.grid, width=args.width,
         rates=rates, trials=args.trials, model=args.model,
-        spares=spares,
+        spares=spares, profile=args.profile,
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
             effort=args.effort, route_workers=args.route_workers,

@@ -69,8 +69,8 @@ class DefectMap:
         "rate",
         "seed",
         "node_ok",
-        "node_ok_bytes",
-        "edge_ok_bytes",
+        "_node_ok_bytes",
+        "_edge_ok_bytes",
         "wire_defects",
         "switch_defects",
         "bad_tiles",
@@ -112,21 +112,87 @@ class DefectMap:
                     if (x, y) in dead:
                         node_ok[nid] = False
         self.node_ok = node_ok
-        self.node_ok_bytes = node_ok.tobytes()
+        self._node_ok_bytes: bytes | None = None
+        self._edge_ok_bytes: bytes | None = None
 
         if self.switch_defects:
-            edge_ok = np.ones(c.n_edges, dtype=bool)
             eidx = np.asarray(self.switch_defects, dtype=np.int64)
-            edge_ok[eidx] = False
-            self.edge_ok_bytes: bytes | None = edge_ok.tobytes()
             src = c.edge_src_ids()
             dst = c.edge_dst
             self.bad_edge_pairs = frozenset(
                 (int(src[e]), int(dst[e])) for e in eidx.tolist()
             )
         else:
-            self.edge_ok_bytes = None
             self.bad_edge_pairs = frozenset()
+
+    @property
+    def node_ok_bytes(self) -> bytes:
+        """``node_ok`` as an immutable byte mask (the router's defect
+        floor), built lazily — trials the ladder clears at NONE level
+        never route, so they never pay the copy."""
+        if self._node_ok_bytes is None:
+            self._node_ok_bytes = self.node_ok.tobytes()
+        return self._node_ok_bytes
+
+    @property
+    def edge_ok_bytes(self) -> bytes | None:
+        """Per-CSR-edge usability mask, ``None`` without switch defects
+        (the router then keeps its leaner no-edge-test loop)."""
+        if not self.switch_defects:
+            return None
+        if self._edge_ok_bytes is None:
+            edge_ok = np.ones(self.n_edges, dtype=bool)
+            edge_ok[np.asarray(self.switch_defects, dtype=np.int64)] = False
+            self._edge_ok_bytes = edge_ok.tobytes()
+        return self._edge_ok_bytes
+
+    @classmethod
+    def from_lowered(
+        cls,
+        c: CompiledRRG,
+        node_ok: np.ndarray,
+        wire_defects: Sequence[int],
+        switch_defects: Sequence[int],
+        bad_tiles: Iterable[tuple[int, int]],
+        model: str = "uniform",
+        rate: float = 0.0,
+        seed: int = 0,
+    ) -> "DefectMap":
+        """Rebuild a map from an already-lowered ``node_ok`` mask.
+
+        The shared-memory trial path publishes each trial's node mask
+        once (parent-side) and workers attach a read-only view; this
+        constructor wraps such a view without re-sampling or re-lowering
+        — the published mask already folds wire and logic-site defects.
+        The small derived pieces (``bad_edge_pairs``, lazily the edge
+        byte mask) are rebuilt from the defect id lists, exactly as the
+        eager constructor would.
+        """
+        dm = cls.__new__(cls)
+        dm.params = c.params
+        dm.n_nodes = c.n_nodes
+        dm.n_edges = c.n_edges
+        dm.model = model
+        dm.rate = rate
+        dm.seed = seed
+        dm.wire_defects = tuple(sorted(int(n) for n in wire_defects))
+        dm.switch_defects = tuple(sorted(int(e) for e in switch_defects))
+        dm.bad_tiles = frozenset(
+            Coord(int(x), int(y)) for x, y in bad_tiles
+        )
+        dm.node_ok = node_ok
+        dm._node_ok_bytes = None
+        dm._edge_ok_bytes = None
+        if dm.switch_defects:
+            eidx = np.asarray(dm.switch_defects, dtype=np.int64)
+            src = c.edge_src_ids()
+            dst = c.edge_dst
+            dm.bad_edge_pairs = frozenset(
+                (int(src[e]), int(dst[e])) for e in eidx.tolist()
+            )
+        else:
+            dm.bad_edge_pairs = frozenset()
+        return dm
 
     # -- construction ------------------------------------------------------- #
     @classmethod

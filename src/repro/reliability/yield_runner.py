@@ -36,11 +36,13 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.utils.iters import SizedIterator
+from repro.utils.profile import PhaseProfiler, merge_profiles, profiling, span
 
 from repro.arch.params import ArchParams
 from repro.netlist.netlist import Netlist
@@ -61,6 +63,10 @@ from repro.reliability.repair import (
 #: PathFinder budget per trial — matches the sweep subsystem's
 #: per-point budget so yield and routability verdicts are comparable.
 from repro.analysis.sweep import POINT_MAX_ITERATIONS, SweepJob, SweepRunner
+
+
+#: stateless, reusable — spares an allocation on every unprofiled trial
+_NULL_CTX = nullcontext()
 
 
 def trial_seed(campaign_seed: int, point_index: int, trial_index: int) -> int:
@@ -94,6 +100,9 @@ class YieldTrialJob:
     #: (``None`` = sequential).  Outcomes are bit-identical either way
     #: — the wavefront only parallelises provably independent nets.
     route_workers: int | None = None
+    #: collect a per-trial phase profile (wall-clock — never part of
+    #: the row bit-identity contract; see :mod:`repro.utils.profile`)
+    profile: bool = False
 
 
 @dataclass
@@ -104,17 +113,20 @@ class TrialResult:
     outcome: RepairOutcome
     wirelength_overhead: float = 0.0
     critical_path_overhead: float = 0.0
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
         d = self.outcome.to_dict()
         d["trial"] = self.trial
         d["wirelength_overhead"] = self.wirelength_overhead
         d["critical_path_overhead"] = self.critical_path_overhead
+        if self.profile is not None:
+            d["profile"] = self.profile
         return d
 
 
 def evaluate_trial(
-    job: YieldTrialJob, golden: GoldenMapping, c=None
+    job: YieldTrialJob, golden: GoldenMapping, c=None, dm=None
 ) -> TrialResult:
     """Sample the die, run the repair ladder, measure the cost.
 
@@ -122,23 +134,34 @@ def evaluate_trial(
     from the per-process ``flat_rrg_for`` cache (no per-trial RRG
     build), and the defect sample depends only on the job's seed.  An
     explicit ``c`` (e.g. a shared-memory attached substrate) skips the
-    cache entirely.
+    cache entirely; an explicit ``dm`` (e.g. rebuilt from a published
+    defect batch) skips sampling — sampling is a pure function of
+    ``(seed, substrate)``, so the outcome is identical either way.
     """
     if c is None:
         from repro.arch.compiled import flat_rrg_for
 
         c = flat_rrg_for(job.params)
-    dm = DefectMap.sample(
-        c, job.defect_rate, seed=job.defect_seed, model=job.model,
-        cluster_radius=job.cluster_radius, cluster_size=job.cluster_size,
+    prof = PhaseProfiler() if job.profile else None
+    with profiling(prof) if prof is not None else _NULL_CTX:
+        if dm is None:
+            with span("trial.sample"):
+                dm = DefectMap.sample(
+                    c, job.defect_rate, seed=job.defect_seed, model=job.model,
+                    cluster_radius=job.cluster_radius,
+                    cluster_size=job.cluster_size,
+                )
+        outcome = repair_mapping(
+            c, job.netlist, golden, dm,
+            seed=job.seed, effort=job.effort,
+            max_iterations=job.max_iterations,
+            route_workers=job.route_workers,
+        )
+        wl, cp = outcome.overheads(golden)
+    return TrialResult(
+        job.trial, outcome, wl, cp,
+        profile=prof.to_dict() if prof is not None else None,
     )
-    outcome = repair_mapping(
-        c, job.netlist, golden, dm,
-        seed=job.seed, effort=job.effort, max_iterations=job.max_iterations,
-        route_workers=job.route_workers,
-    )
-    wl, cp = outcome.overheads(golden)
-    return TrialResult(job.trial, outcome, wl, cp)
 
 
 def _evaluate_trial_item(item: tuple[YieldTrialJob, GoldenMapping]) -> TrialResult:
@@ -151,22 +174,32 @@ def _evaluate_trial_item(item: tuple[YieldTrialJob, GoldenMapping]) -> TrialResu
 def _evaluate_trial_shared(item) -> TrialResult:
     """Process-pool entry point for the shared-memory backend.
 
-    ``item`` is ``(job, golden_handle, substrate_handle)`` — the
-    handles are :class:`~repro.arch.shared.SharedGolden` /
-    :class:`~repro.arch.shared.SharedSubstrate`, attached zero-copy
+    ``item`` is ``(job, golden_handle, substrate_handle,
+    defect_handle, batch_index)`` — the handles are
+    :class:`~repro.arch.shared.SharedGolden` /
+    :class:`~repro.arch.shared.SharedSubstrate` /
+    :class:`~repro.arch.shared.SharedDefectBatch`, attached zero-copy
     and cached per worker process (the pool initializer already warmed
     them, so these are dictionary hits).  Shared jobs ship
     ``netlist=None`` (the netlist rides the golden segment, not every
     trial pickle); the worker re-binds the published one, so golden
     routes are interpreted against the exact netlist they were
-    computed with.
+    computed with.  The defect map is rebuilt around row
+    ``batch_index`` of the published mask batch instead of re-sampled
+    — the parent drew it with this trial's seed, so the map is equal
+    field for field.  ``defect_handle`` may be ``None`` (campaigns
+    that opt out of batch publication fall back to local sampling).
     """
-    job, golden_handle, substrate_handle = item
+    job, golden_handle, substrate_handle, defect_handle, batch_index = item
     netlist, golden = golden_handle.attach_cached()
     c = substrate_handle.attach_cached()
     if job.netlist is None:
         job = replace(job, netlist=netlist)
-    return evaluate_trial(job, golden, c=c)
+    dm = None
+    if defect_handle is not None:
+        batch = defect_handle.attach_cached()
+        dm = batch.map_for(c, batch_index, job.defect_rate, job.defect_seed)
+    return evaluate_trial(job, golden, c=c, dm=dm)
 
 
 @dataclass
@@ -185,9 +218,13 @@ class YieldPoint:
     mean_critical_path_overhead: float = 0.0
     spare_tracks: int = 0
     golden_routed: bool = True
+    #: merged per-phase timings across the cell's trials; ``None``
+    #: unless profiling was requested (wall-clock — omitted from
+    #: serialization so profiled and unprofiled rows stay comparable)
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "workload": self.workload,
             "model": self.model,
             "defect_rate": self.defect_rate,
@@ -201,6 +238,9 @@ class YieldPoint:
             "spare_tracks": self.spare_tracks,
             "golden_routed": self.golden_routed,
         }
+        if self.profile is not None:
+            d["profile"] = self.profile
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "YieldPoint":
@@ -219,6 +259,7 @@ class YieldPoint:
             ),
             spare_tracks=d.get("spare_tracks", 0),
             golden_routed=d.get("golden_routed", True),
+            profile=d.get("profile"),
         )
 
 
@@ -255,6 +296,7 @@ def _aggregate(
         mean_critical_path_overhead=cp / routed if routed else 0.0,
         spare_tracks=spare_tracks,
         golden_routed=True,
+        profile=merge_profiles(tr.profile for tr in results),
     )
 
 
@@ -373,6 +415,7 @@ class YieldRunner:
         cluster_size: int = CLUSTER_SIZE,
         spare_tracks: int = 0,
         route_workers: int | None = None,
+        profile: bool = False,
     ) -> SizedIterator:
         """Streaming form of :meth:`run_campaign`: yield each
         :class:`YieldPoint` as soon as its ``trials`` results are in.
@@ -392,7 +435,7 @@ class YieldRunner:
             self._iter_campaign(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, spare_tracks,
-                route_workers,
+                route_workers, profile,
             ),
             len(rates),
         )
@@ -400,7 +443,7 @@ class YieldRunner:
     def _iter_campaign(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, spare_tracks,
-        route_workers=None,
+        route_workers=None, profile=False,
     ):
         golden = self.golden_for(netlist, base, seed, effort, max_iterations,
                                  route_workers=route_workers)
@@ -424,13 +467,13 @@ class YieldRunner:
             self._iter_trials_shared(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, route_workers,
-                golden,
+                golden, profile,
             )
             if shared else
             self._iter_trials_pickled(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, route_workers,
-                golden,
+                golden, profile,
             )
         )
         cell: list[TrialResult] = []
@@ -446,6 +489,7 @@ class YieldRunner:
     def _trial_jobs(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers,
+        profile=False,
     ) -> list[YieldTrialJob]:
         """The campaign's trial grid, in submission (= aggregation)
         order.  ``netlist=None`` builds the lean shared-memory form."""
@@ -458,18 +502,20 @@ class YieldRunner:
                     defect_seed=trial_seed(seed, pi, t),
                     seed=seed, effort=effort, max_iterations=max_iterations,
                     cluster_radius=cluster_radius, cluster_size=cluster_size,
-                    route_workers=route_workers,
+                    route_workers=route_workers, profile=profile,
                 ))
         return jobs
 
     def _iter_trials_pickled(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers, golden,
+        profile=False,
     ):
         """Classic fan-out: every item pickles the golden + netlist."""
         jobs = self._trial_jobs(
             netlist, workload, base, rates, trials, model, seed, effort,
             max_iterations, cluster_radius, cluster_size, route_workers,
+            profile,
         )
         items = [(job, golden) for job in jobs]
         return self._runner.iter_items(_evaluate_trial_item, items)
@@ -477,16 +523,24 @@ class YieldRunner:
     def _iter_trials_shared(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers, golden,
+        profile=False,
     ):
-        """Process fan-out with the golden mapping and the substrate
-        published over shared memory.
+        """Process fan-out with the golden mapping, the substrate and
+        the campaign's defect masks published over shared memory.
 
         Each trial item is ``(lean job, golden handle, substrate
-        handle)`` — the handles pickle in O(1), so per-job payload is
-        a few hundred bytes however large the fabric or the golden
-        routes are.  Both segments are attached in the pool
-        initializer: one real attach per worker process
-        (``repro.arch.shared.attach_count`` pins this in the bench).
+        handle, defect handle, batch index)`` — the handles pickle in
+        O(1), so per-job payload is a few hundred bytes however large
+        the fabric or the golden routes are.  All three segments are
+        attached in the pool initializer: one real attach per worker
+        process (``repro.arch.shared.attach_count`` pins this in the
+        bench).  The defect masks are sampled once, parent-side, in
+        submission order — bit-identical to worker-side sampling
+        because :meth:`DefectMap.sample` is a pure function of the
+        (seed, substrate) pair — and published as one node-mask matrix
+        plus ragged defect id lists; workers rebuild each trial's map
+        around a zero-copy row view instead of re-sampling and
+        re-lowering it.
         """
         from repro.arch.compiled import flat_rrg_for
         from repro.arch.shared import warm_worker
@@ -497,16 +551,37 @@ class YieldRunner:
                                    max_iterations),
             golden, netlist,
         )
-        substrate_handle = store.substrate_for(flat_rrg_for(base))
+        c = flat_rrg_for(base)
+        substrate_handle = store.substrate_for(c)
+
+        def _sample_batch():
+            return [
+                DefectMap.sample(
+                    c, float(rate), seed=trial_seed(seed, pi, t), model=model,
+                    cluster_radius=cluster_radius, cluster_size=cluster_size,
+                )
+                for pi, rate in enumerate(rates)
+                for t in range(trials)
+            ]
+
+        defect_handle = store.defects_for(
+            (base, model, tuple(float(r) for r in rates), trials, seed,
+             cluster_radius, cluster_size),
+            _sample_batch,
+        )
         jobs = self._trial_jobs(
             None, workload, base, rates, trials, model, seed, effort,
             max_iterations, cluster_radius, cluster_size, route_workers,
+            profile,
         )
-        items = [(job, golden_handle, substrate_handle) for job in jobs]
+        items = [
+            (job, golden_handle, substrate_handle, defect_handle, i)
+            for i, job in enumerate(jobs)
+        ]
         return self._runner.iter_items(
             _evaluate_trial_shared, items,
             initializer=warm_worker,
-            initargs=((golden_handle, substrate_handle),),
+            initargs=((golden_handle, substrate_handle, defect_handle),),
         )
 
     def run_campaign(
@@ -524,6 +599,7 @@ class YieldRunner:
         cluster_size: int = CLUSTER_SIZE,
         spare_tracks: int = 0,
         route_workers: int | None = None,
+        profile: bool = False,
     ) -> list[YieldPoint]:
         """N trials per defect rate; one :class:`YieldPoint` per rate.
 
@@ -536,6 +612,7 @@ class YieldRunner:
             seed=seed, effort=effort, max_iterations=max_iterations,
             cluster_radius=cluster_radius, cluster_size=cluster_size,
             spare_tracks=spare_tracks, route_workers=route_workers,
+            profile=profile,
         ))
 
     def iter_spare_width_curve(
@@ -551,6 +628,7 @@ class YieldRunner:
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
         route_workers: int | None = None,
+        profile: bool = False,
     ) -> SizedIterator:
         """Streaming form of :meth:`spare_width_curve` (one
         :class:`YieldPoint` per spare width, as each completes).
@@ -559,14 +637,14 @@ class YieldRunner:
         return SizedIterator(
             self._iter_spare_width_curve(
                 netlist, workload, base, spares, rate, trials, model, seed,
-                effort, max_iterations, route_workers,
+                effort, max_iterations, route_workers, profile,
             ),
             len(spares),
         )
 
     def _iter_spare_width_curve(
         self, netlist, workload, base, spares, rate, trials, model, seed,
-        effort, max_iterations, route_workers=None,
+        effort, max_iterations, route_workers=None, profile=False,
     ):
         for spare in spares:
             params = base.with_(channel_width=base.channel_width + int(spare))
@@ -574,6 +652,7 @@ class YieldRunner:
                 netlist, workload, params, [rate], trials, model=model,
                 seed=seed, effort=effort, max_iterations=max_iterations,
                 spare_tracks=int(spare), route_workers=route_workers,
+                profile=profile,
             )
 
     def spare_width_curve(
@@ -589,6 +668,7 @@ class YieldRunner:
         effort: float = 0.3,
         max_iterations: int = POINT_MAX_ITERATIONS,
         route_workers: int | None = None,
+        profile: bool = False,
     ) -> list[YieldPoint]:
         """Yield vs spare channel width at one defect rate.
 
@@ -601,7 +681,7 @@ class YieldRunner:
         return list(self.iter_spare_width_curve(
             netlist, workload, base, spares, rate, trials, model=model,
             seed=seed, effort=effort, max_iterations=max_iterations,
-            route_workers=route_workers,
+            route_workers=route_workers, profile=profile,
         ))
 
 

@@ -83,6 +83,17 @@ PRES_FAC_FIRST = 0.6
 PRES_FAC_MULT = 1.6
 HIST_FAC = 0.35
 
+#: Starting pressure factor for warm-started (delta-reroute) calls.  A
+#: cold route begins gentle (``PRES_FAC_FIRST``) because early sharing
+#: is cheap information about where congestion will form.  A warm
+#: repair route already *has* that information — the adopted golden
+#: routes — so its fresh nets should treat occupied nodes as expensive
+#: from the very first search instead of sharing now and unwinding the
+#: collision over several rip-up iterations.  Empirically the reroute
+#: count stops improving past ~8 while detour quality is unchanged;
+#: escalation still multiplies from here if congestion does persist.
+WARM_PRES_FAC = 8.0
+
 #: Tiles of slack added around a net's terminal bounding box before the
 #: compiled router prunes the search.  Generous enough that detours under
 #: congestion stay inside the box on realistic fabrics; when a search
@@ -161,14 +172,17 @@ class RouteResult:
 
     def wirelength(self, g: RoutingResourceGraph | CompiledRRG) -> int:
         if isinstance(g, CompiledRRG):
-            kinds, lengths = g.node_kind, g.node_length
-            total = 0
-            for net in self.nets.values():
-                for nid in net.nodes:
-                    k = kinds[nid]
-                    if k == KIND_CHANX or k == KIND_CHANY:
-                        total += lengths[nid]
-            return total
+            # one gather over the concatenated node sets; weights are 0
+            # for non-wire nodes, so this is the same exact integer sum
+            # as the per-node loop (nodes shared by several nets count
+            # once per net, as before)
+            ids = np.fromiter(
+                (nid for net in self.nets.values() for nid in net.nodes),
+                dtype=np.int64,
+            )
+            if ids.size == 0:
+                return 0
+            return int(g.wire_length_weights()[ids].sum())
         total = 0
         for net in self.nets.values():
             for nid in net.nodes:
@@ -405,6 +419,49 @@ class _FlatCongestion:
 
     def add(self, nodes: set[int]) -> None:
         self._scatter(nodes, 1)
+
+    def add_batch(self, node_sets: list[set[int]]) -> None:
+        """Commit many nets' usage with one vectorised scatter-add.
+
+        Equivalent to ``for nodes in node_sets: self.add(nodes)`` —
+        the effective cost of a touched node is re-folded from its
+        *final* usage (never accumulated), and no search reads the
+        state between the per-net adds it replaces, so one batched
+        update reproduces N sequential ones bit-for-bit.  Duplicates
+        across nets (a node carried by several committed routes) are
+        handled by the unbuffered ``np.add.at``.
+        """
+        if not node_sets:
+            return
+        if len(node_sets) == 1:
+            self._scatter(node_sets[0], 1)
+            return
+        idx = np.fromiter(
+            (n for nodes in node_sets for n in nodes), dtype=np.int64
+        )
+        np.add.at(self.usage, idx, 1)
+        touched = np.unique(idx)
+        cap = self.capacity_np[touched]
+        used = self.usage[touched]
+        over = np.maximum(used + 1 - cap, 0)
+        vals = self.c.base_cost_np[touched] * (1.0 + self.pres_fac * over) \
+            + self.history[touched]
+        eff = self.eff
+        overused_ids = self.overused_ids
+        pressured_ids = self.pressured_ids
+        for nid, v, congested, pressured in zip(
+            touched.tolist(), vals.tolist(), (used > cap).tolist(),
+            (over > 0).tolist(),
+        ):
+            eff[nid] = v
+            if congested:
+                overused_ids.add(nid)
+            else:
+                overused_ids.discard(nid)
+            if pressured:
+                pressured_ids.add(nid)
+            else:
+                pressured_ids.discard(nid)
 
     def remove(self, nodes: set[int]) -> None:
         self._scatter(nodes, -1)
@@ -802,6 +859,7 @@ def _route_net_flat(
     base_mask: bytes | None = None,
     edge_ok: bytes | None = None,
     retry: bool = True,
+    seed_paths: dict[int, list[int]] | None = None,
 ) -> RoutedNet | None:
     """Route one net.  ``mask`` is the net's (defect-combined) prune
     mask; ``base_mask`` is the defect-only floor the full-graph retry
@@ -810,7 +868,12 @@ def _route_net_flat(
     exist.  ``retry=False`` (the wavefront path) returns ``None``
     instead of retrying unmasked/raising — a failed wave net must be
     re-run sequentially, where the full-graph retry sees every earlier
-    net's congestion."""
+    net's congestion.
+
+    ``seed_paths`` (delta-reroute) pre-adopts known-good source→sink
+    branches — the healthy portion of a dirty net's golden route —
+    so only the broken sinks are searched, and those searches start
+    from the salvaged tree instead of the bare source."""
     dial = ROUTER_QUEUE == "dial"
     if edge_ok is None:
         search = _dijkstra_flat_dial if dial else _dijkstra_flat
@@ -820,7 +883,15 @@ def _route_net_flat(
         search = lambda *a: edges_search(*a, edge_ok)  # noqa: E731
     net = RoutedNet(name, source, list(sinks))
     net.nodes = {source}
+    if seed_paths:
+        for sink, path in seed_paths.items():
+            net.sink_paths[sink] = list(path)
+            for a, b in zip(path, path[1:]):
+                net.edges.add((a, b))
+            net.nodes.update(path)
     for sink in sinks:
+        if sink in net.sink_paths:
+            continue
         path = search(c, state, net.nodes, sink, scratch, mask)
         if path is None and retry and mask is not base_mask:
             # the pruned region disconnected this sink — retry without
@@ -837,6 +908,49 @@ def _route_net_flat(
             net.edges.add((a, b))
         net.nodes.update(path)
     return net
+
+
+def _healthy_sink_paths(
+    prior: RoutedNet, defects: "DefectMap"
+) -> dict[int, list[int]]:
+    """Full source→sink chains of a golden route untouched by defects.
+
+    A dirty net is dirty because *some* branch crosses a dead resource;
+    sinks whose entire chain back to the source is healthy can adopt it
+    verbatim (delta-reroute salvage).  ``sink_paths`` stores incremental
+    branches (each starts at a node of an earlier branch), so the chain
+    is reconstructed through parent pointers — a branch that merely
+    *hangs off* a broken branch is correctly rejected.  A chain is
+    healthy when every node on it is alive and, with switch defects
+    present, no consecutive pair is a dead edge.
+    """
+    parent: dict[int, int] = {}
+    for branch in prior.sink_paths.values():
+        for a, b in zip(branch, branch[1:]):
+            parent.setdefault(b, a)
+    node_ok = defects.node_ok
+    bad_edges = defects.bad_edge_pairs
+    limit = len(parent) + 1
+    keep: dict[int, list[int]] = {}
+    for sink in prior.sink_paths:
+        chain = [sink]
+        node = sink
+        while node != prior.source:
+            node = parent.get(node, -1)
+            if node < 0 or len(chain) > limit:
+                break
+            chain.append(node)
+        if chain[-1] != prior.source:
+            continue  # malformed tree record: don't salvage this sink
+        chain.reverse()
+        if not bool(node_ok[chain].all()):
+            continue
+        if bad_edges and any(
+            (a, b) in bad_edges for a, b in zip(chain, chain[1:])
+        ):
+            continue
+        keep[sink] = chain
+    return keep
 
 
 def _boxes_interact(
@@ -867,6 +981,7 @@ def _route_initial_waves(
     edge_ok: bytes | None,
     scratch: RouterScratch,
     workers: int,
+    seeds: dict[str, dict[int, list[int]]] | None = None,
 ) -> None:
     """Initial routing pass in bit-identical parallel wavefronts.
 
@@ -880,11 +995,22 @@ def _route_initial_waves(
     the full-graph retry (it reads beyond the mask): a net that needs
     it aborts the wave from that net on, re-running sequentially with
     standard semantics.
+
+    Usage is committed in *batches*: routed waves and runs of adopted
+    (reused) routes accumulate their node sets and flush through one
+    vectorised :meth:`_FlatCongestion.add_batch` scatter-add right
+    before the next search needs to see them.  Effective costs are
+    re-folded from final usage, never accumulated, and nothing reads
+    the state between the per-net adds a batch replaces, so the
+    batched commit is bit-identical to per-net commits — only the
+    ``routes`` insertion order (which the rip-up loop iterates) must
+    be, and is, maintained per net.
     """
     span = max(2, max(c.node_length))  # widest node extent, in tiles
     pool: ThreadPoolExecutor | None = None
     wave: list[tuple[str, int, list[int], bytes | None]] = []
     boxes: list[tuple[int, int, int, int]] = []
+    pending: list[set[int]] = []  # usage awaiting one batched commit
 
     def route_one(entry) -> RoutedNet | None:
         name, source, sinks, mask = entry
@@ -894,14 +1020,21 @@ def _route_initial_waves(
                 edge_ok, retry=False,
             )
 
+    def commit_usage() -> None:
+        """Make every pending net's usage visible (before any search)."""
+        if pending:
+            state.add_batch(pending)
+            pending.clear()
+
     def commit(name: str, net: RoutedNet) -> None:
         routes[name] = net
-        state.add(net.nodes)
+        pending.append(net.nodes)
 
     def flush() -> None:
         nonlocal pool
         if not wave:
             return
+        commit_usage()  # wave searches must see all earlier nets
         if len(wave) == 1:
             name, source, sinks, mask = wave[0]
             commit(name, _route_net_flat(
@@ -921,11 +1054,15 @@ def _route_initial_waves(
                     redo_from = i
                     break
                 commit(entry[0], net)
-            for name, source, sinks, mask in wave[redo_from:]:
-                commit(name, _route_net_flat(
-                    c, state, name, source, sinks, scratch, mask,
-                    base_mask, edge_ok,
-                ))
+            if redo_from < len(wave):
+                commit_usage()  # sequential redo searches read state
+                for name, source, sinks, mask in wave[redo_from:]:
+                    net = _route_net_flat(
+                        c, state, name, source, sinks, scratch, mask,
+                        base_mask, edge_ok,
+                    )
+                    routes[name] = net
+                    state.add(net.nodes)
         wave.clear()
         boxes.clear()
 
@@ -935,16 +1072,32 @@ def _route_initial_waves(
             prior = reuse.get(sig) if reuse else None
             if prior is not None:
                 # a reused route can sit anywhere on the fabric: drain
-                # the wave, then adopt the route in order
+                # the wave *before* adopting, so the wave's searches
+                # never see this later net's usage; the adopted route
+                # aliases the prior net's sets (routes are only ever
+                # replaced wholesale, never mutated in place)
                 flush()
                 net = RoutedNet(name, source, list(sinks))
-                net.nodes = set(prior.nodes)
-                net.edges = set(prior.edges)
-                net.sink_paths = {
-                    k: list(v) for k, v in prior.sink_paths.items()
-                }
+                net.nodes = prior.nodes
+                net.edges = prior.edges
+                net.sink_paths = prior.sink_paths
                 net.reused = True
                 commit(name, net)
+                continue
+            seed_paths = seeds.get(sig) if seeds else None
+            if seed_paths:
+                # salvaged branches can reach beyond the net's terminal
+                # box (full-graph-retry golden paths), which would void
+                # the wave-disjointness proof: route it sequentially,
+                # in order, against fully committed state — exactly
+                # what the sequential initial pass does
+                flush()
+                commit_usage()
+                commit(name, _route_net_flat(
+                    c, state, name, source, sinks, scratch,
+                    mask_for(name, source, sinks), base_mask, edge_ok,
+                    seed_paths=seed_paths,
+                ))
                 continue
             box = _net_bbox(c, source, sinks)
             mask = mask_for(name, source, sinks)
@@ -958,6 +1111,7 @@ def _route_initial_waves(
             wave.append((name, source, sinks, mask))
             boxes.append(box)
         flush()
+        commit_usage()  # the rip-up loop reads the final state
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -973,6 +1127,8 @@ def route_context_compiled(
     scratch: RouterScratch | None = None,
     defects: "DefectMap | None" = None,
     workers: int | None = None,
+    warm: bool = False,
+    salvage: dict[str, RoutedNet] | None = None,
 ) -> RouteResult:
     """Route one context's placed netlist over the compiled RRG.
 
@@ -1001,6 +1157,18 @@ def route_context_compiled(
     full-graph retry aborts the wave from that net on and re-runs
     sequentially.  Routes are bit-identical to ``workers=None`` by
     construction (pinned by the route-workers equivalence tests).
+
+    ``warm`` changes the initial-pass *order* (only meaningful with
+    ``reuse``): every bank hit is adopted before the first fresh net
+    routes, so fresh nets search against the complete congestion
+    picture of the adopted routes instead of colliding with
+    not-yet-seen ones and negotiating the conflicts away over rip-up
+    iterations.  It also escalates the starting pressure factor (see
+    :data:`WARM_PRES_FAC`) so fresh nets steer around adopted usage in
+    their first search.  ``salvage`` maps endpoint signatures of nets
+    *not* in the bank to their prior (golden) routes: the healthy sink
+    branches of a salvaged net are adopted verbatim and only the broken
+    sinks are re-searched.  See :func:`route_context_warm`.
     """
     pooled = scratch is None or scratch.n != c.n_nodes
     if pooled:
@@ -1008,11 +1176,65 @@ def route_context_compiled(
     try:
         return _route_context_compiled(
             c, netlist, placement, context, reuse, max_iterations, scratch,
-            defects, workers,
+            defects, workers, warm, salvage,
         )
     finally:
         if pooled:
             SCRATCH_POOL.release(scratch)
+
+
+def route_context_warm(
+    c: CompiledRRG,
+    netlist: Netlist,
+    placement: Placement,
+    golden: RouteResult,
+    dirty: set[str],
+    context: int = 0,
+    max_iterations: int = MAX_ITERATIONS,
+    scratch: RouterScratch | None = None,
+    defects: "DefectMap | None" = None,
+    workers: int | None = None,
+    signatures: dict[str, str] | None = None,
+) -> RouteResult:
+    """Delta-reroute: warm-start from a golden routing, re-routing only
+    the ``dirty`` nets.
+
+    Seeds PathFinder with the golden congestion state: every non-dirty
+    golden route is adopted *before the first fresh search* — adopted
+    routes alias the golden net's sets and commit their usage in
+    vectorised batches — so each dirty net's Dijkstra already sees the
+    full picture of healthy routes and steers around them immediately,
+    instead of colliding with not-yet-routed ones and negotiating the
+    conflicts away over rip-up iterations.  Adopted routes still
+    participate in congestion resolution: one that conflicts with a
+    rerouted dirty net is ripped up like any other (losing its reuse
+    mark).  Dirty nets themselves are *salvaged* per sink: branches of
+    the golden route untouched by the defect map are adopted verbatim,
+    and only the broken sinks are re-searched (from the salvaged tree).
+    The result is a valid conflict-free routing, deterministic
+    per input, and bit-identical across the sequential and wavefront
+    (``workers``) paths — but the routes may legitimately differ from
+    a cold :func:`route_context_compiled` call with the same bank,
+    which discovers the bank hits in netlist order.  ``signatures``
+    optionally supplies precomputed ``endpoint_signature`` strings per
+    golden net name (the repair ladder caches them on the golden
+    mapping).
+    """
+    bank: dict[str, RoutedNet] = {}
+    salvage: dict[str, RoutedNet] = {}
+    nets = golden.nets
+    if signatures is None:
+        for name, net in nets.items():
+            sig = endpoint_signature(net.source, net.sinks)
+            (salvage if name in dirty else bank)[sig] = net
+    else:
+        for name, net in nets.items():
+            (salvage if name in dirty else bank)[signatures[name]] = net
+    return route_context_compiled(
+        c, netlist, placement, context=context, reuse=bank,
+        max_iterations=max_iterations, scratch=scratch, defects=defects,
+        workers=workers, warm=True, salvage=salvage or None,
+    )
 
 
 def _route_context_compiled(
@@ -1025,11 +1247,41 @@ def _route_context_compiled(
     scratch: RouterScratch,
     defects: "DefectMap | None" = None,
     workers: int | None = None,
+    warm: bool = False,
+    salvage: dict[str, RoutedNet] | None = None,
 ) -> RouteResult:
     if defects is not None and defects.is_clean:
         defects = None  # all-healthy map: take the defect-free path verbatim
     endpoints = _net_endpoints(netlist, placement, c)
+    # delta-reroute salvage: the healthy branches of each dirty net's
+    # golden route are adopted verbatim, so only broken sinks are
+    # searched (and from the salvaged tree, not the bare source)
+    seeds: dict[str, dict[int, list[int]]] = {}
+    if salvage and defects is not None:
+        for sig, prior in salvage.items():
+            kept = _healthy_sink_paths(prior, defects)
+            if kept:
+                seeds[sig] = kept
+    if warm and reuse:
+        # delta-reroute order: adopt every bank hit before the first
+        # fresh search, so fresh (dirty) nets route against the full
+        # golden congestion state and steer around healthy routes
+        # immediately instead of discovering the collisions one rip-up
+        # iteration at a time
+        hits: list = []
+        misses: list = []
+        for e in endpoints:
+            (hits if endpoint_signature(e[1], e[2]) in reuse
+             else misses).append(e)
+        endpoints = hits + misses
     state = _FlatCongestion(c, defects)
+    if warm and reuse:
+        # delta-reroute pricing: fresh nets see adopted usage at full
+        # price immediately (see WARM_PRES_FAC).  Safe to set before any
+        # usage commits — pres_fac only enters the folded cost of
+        # pressured nodes, and the only born-pressured nodes (defects)
+        # carry an infinite history term that dominates regardless.
+        state.pres_fac = WARM_PRES_FAC
     base_mask = defects.node_ok_bytes if defects is not None else None
     edge_ok = defects.edge_ok_bytes if defects is not None else None
     routes: dict[str, RoutedNet] = {}
@@ -1054,27 +1306,42 @@ def _route_context_compiled(
     if workers is not None and workers > 1 and len(endpoints) > 1:
         _route_initial_waves(
             c, state, endpoints, reuse, routes, mask_for, base_mask,
-            edge_ok, scratch, workers,
+            edge_ok, scratch, workers, seeds or None,
         )
     else:
+        # runs of consecutive adopted (reused) routes commit their
+        # usage in one vectorised batch, flushed right before the next
+        # fresh net's search needs to see it; adopted nets alias the
+        # prior route's sets (routes are only ever replaced wholesale,
+        # never mutated in place).  Both are bit-identical to the
+        # per-net copy/commit they replace — and are what makes a
+        # warm-started repair route (mostly adopted nets) cheap.
+        pending: list[set[int]] = []
         for name, source, sinks in endpoints:
             sig = endpoint_signature(source, sinks)
             prior = reuse.get(sig) if reuse else None
             if prior is not None:
                 net = RoutedNet(name, source, list(sinks))
-                net.nodes = set(prior.nodes)
-                net.edges = set(prior.edges)
-                net.sink_paths = {
-                    k: list(v) for k, v in prior.sink_paths.items()
-                }
+                net.nodes = prior.nodes
+                net.edges = prior.edges
+                net.sink_paths = prior.sink_paths
                 net.reused = True
-            else:
-                net = _route_net_flat(
-                    c, state, name, source, sinks, scratch,
-                    mask_for(name, source, sinks), base_mask, edge_ok,
-                )
+                routes[name] = net
+                pending.append(net.nodes)
+                continue
+            if pending:
+                state.add_batch(pending)
+                pending.clear()
+            net = _route_net_flat(
+                c, state, name, source, sinks, scratch,
+                mask_for(name, source, sinks), base_mask, edge_ok,
+                seed_paths=seeds.get(sig) if seeds else None,
+            )
             routes[name] = net
             state.add(net.nodes)
+        if pending:
+            state.add_batch(pending)
+            pending.clear()
 
     overused_ids = state.overused_ids
     iteration = 1

@@ -146,12 +146,31 @@ def route_tree_delays(
     return out
 
 
+def route_net_delays(
+    g: RoutingResourceGraph | CompiledRRG,
+    route: RouteResult,
+    model: DelayModel | None = None,
+) -> dict[str, dict[int, float]]:
+    """Per-net sink-delay tables for a whole routed context.
+
+    The cacheable half of :func:`critical_path`: the repair ladder
+    computes these once for the golden routing and hands them back via
+    ``reuse_delays`` so trials only re-walk the nets they rerouted.
+    """
+    m = model or DelayModel()
+    return {
+        net.name: route_tree_delays(g, net, m)
+        for net in route.nets.values()
+    }
+
+
 def critical_path(
     g: RoutingResourceGraph | CompiledRRG,
     netlist: Netlist,
     route: RouteResult,
     placement,
     model: DelayModel | None = None,
+    reuse_delays: dict[str, dict[int, float]] | None = None,
 ) -> float:
     """Static timing analysis of one routed context.
 
@@ -163,10 +182,23 @@ def critical_path(
     :class:`CompiledRRG` resolves edge kinds from its CSR arrays and
     produces bit-identical delays, which is what lets sweep grids run
     without any object graph resident.
+
+    ``reuse_delays`` (from :func:`route_net_delays` on a previous
+    routing) supplies ready-made sink-delay tables for nets whose
+    ``reused`` flag shows they still carry that exact route — the
+    delay walk is a pure function of the route tree, so reusing the
+    table is bit-identical to recomputing it.  Nets routed fresh (or
+    ripped up, which clears the flag) are always re-walked.
     """
     m = model or DelayModel()
     net_sink_delay: dict[tuple[str, int], float] = {}
     for net in route.nets.values():
+        if reuse_delays is not None and net.reused:
+            prior = reuse_delays.get(net.name)
+            if prior is not None:
+                for sink, d in prior.items():
+                    net_sink_delay[(net.name, sink)] = d
+                continue
         for sink, d in route_tree_delays(g, net, m).items():
             net_sink_delay[(net.name, sink)] = d
 

@@ -1,0 +1,148 @@
+"""Lightweight phase profiler for the mapping/repair pipeline.
+
+The yield campaigns spend their time in a handful of well-known phases
+(placement, initial route, rip-up iterations, the repair-ladder rungs,
+defect sampling).  This module provides cheap named spans around those
+phases so the per-trial cost breakdown can ride back to the caller as
+a plain ``{phase: {"seconds": s, "calls": n}}`` dict — the ``profile``
+block on :class:`~repro.reliability.yield_runner.YieldPoint` and
+:class:`~repro.analysis.sweep.SweepPoint` rows.
+
+Design constraints:
+
+- **near-zero cost when off** — instrumented code calls the module
+  level :func:`span` unconditionally; when no profiler is active the
+  context manager short-circuits without touching the clock.  The
+  repair ladder runs thousands of trials per campaign, so the
+  disabled path is a single thread-local attribute read.
+- **thread-local ambience** — the wavefront router and the thread
+  backend run phases on worker threads; an ambient profiler is bound
+  per thread (:func:`profiling`), never global, so concurrent trials
+  on the thread backend cannot cross-contaminate their numbers.
+- **mergeable** — per-trial dicts from process workers are plain
+  JSON-able data; :func:`merge_profiles` folds them into the per-point
+  aggregate.
+
+Timings are wall-clock and therefore never part of any bit-identity
+contract: ``profile`` blocks are omitted from serialized rows unless
+profiling was requested, and row-agreement checks compare rows with
+profiling off (or strip the block first).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "PhaseProfiler",
+    "current_profiler",
+    "merge_profiles",
+    "profiling",
+    "span",
+    "count",
+]
+
+_TLS = threading.local()
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per named phase."""
+
+    __slots__ = ("seconds", "calls", "counters")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + calls
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a plain counter (no timing attached)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextmanager
+    def span(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot: phases sorted by name for stable output."""
+        out: dict = {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in sorted(self.seconds)
+        }
+        for name in sorted(self.counters):
+            entry = out.setdefault(name, {"seconds": 0.0, "calls": 0})
+            entry["count"] = self.counters[name]
+        return out
+
+
+def current_profiler() -> PhaseProfiler | None:
+    """The profiler bound to this thread, or ``None`` when profiling
+    is off (the common case)."""
+    return getattr(_TLS, "profiler", None)
+
+
+@contextmanager
+def profiling(profiler: PhaseProfiler | None = None):
+    """Bind ``profiler`` as this thread's ambient profiler for the
+    duration of the block; yields the bound profiler."""
+    if profiler is None:
+        profiler = PhaseProfiler()
+    prev = getattr(_TLS, "profiler", None)
+    _TLS.profiler = profiler
+    try:
+        yield profiler
+    finally:
+        _TLS.profiler = prev
+
+
+@contextmanager
+def span(name: str):
+    """Time a phase against the ambient profiler; free when none is
+    bound (one thread-local read, no clock calls)."""
+    prof = getattr(_TLS, "profiler", None)
+    if prof is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        prof.add(name, time.perf_counter() - t0)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the ambient profiler, if any."""
+    prof = getattr(_TLS, "profiler", None)
+    if prof is not None:
+        prof.count(name, n)
+
+
+def merge_profiles(profiles) -> dict | None:
+    """Fold per-trial ``profile`` dicts into one aggregate dict.
+
+    ``None`` entries are skipped; returns ``None`` when nothing
+    contributed (profiling was off for the whole batch).
+    """
+    merged: dict = {}
+    for prof in profiles:
+        if not prof:
+            continue
+        for name, entry in prof.items():
+            slot = merged.setdefault(
+                name, {"seconds": 0.0, "calls": 0}
+            )
+            slot["seconds"] += entry.get("seconds", 0.0)
+            slot["calls"] += entry.get("calls", 0)
+            if "count" in entry:
+                slot["count"] = slot.get("count", 0) + entry["count"]
+    return merged or None

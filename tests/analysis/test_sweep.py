@@ -242,3 +242,51 @@ class TestAnalyticSweeps:
             (int(pt.value), pt.cmos_ratio, pt.fepg_ratio)
             for pt in sweep_contexts_points([4])
         ]
+
+
+class TestProfilePlumbing:
+    def test_profiled_point_carries_phase_blocks(self):
+        from dataclasses import replace
+
+        nl = tech_map(ripple_adder(3), k=4)
+        jobs = [replace(j, profile=True)
+                for j in channel_width_jobs(nl, BASE, [8], seed=0,
+                                            effort=EFFORT)]
+        # through the runner the placement rides the cross-point cache,
+        # so the profile covers the phases the point actually ran
+        (pt,) = SweepRunner().run(jobs)
+        d = pt.to_dict()
+        assert "profile" in d
+        assert "point.place" not in d["profile"]
+        assert "point.route" in d["profile"]
+        assert "point.timing" in d["profile"]
+        for block in d["profile"].values():
+            assert block["seconds"] >= 0.0
+            assert block["calls"] >= 1
+
+    def test_standalone_point_profiles_placement_too(self):
+        from dataclasses import replace
+
+        from repro.analysis.sweep import evaluate_point
+
+        nl = tech_map(ripple_adder(3), k=4)
+        (job,) = channel_width_jobs(nl, BASE, [8], seed=0, effort=EFFORT)
+        pt = evaluate_point(replace(job, profile=True))
+        assert pt.profile is not None
+        assert "point.place" in pt.profile
+        assert "point.route" in pt.profile
+
+    def test_profile_never_perturbs_the_point(self):
+        from dataclasses import replace
+
+        nl = tech_map(ripple_adder(3), k=4)
+        jobs = channel_width_jobs(nl, BASE, [8], seed=0, effort=EFFORT)
+        (plain,) = SweepRunner().run(jobs)
+        (profiled,) = SweepRunner().run(
+            [replace(j, profile=True) for j in jobs]
+        )
+        assert plain.profile is None
+        assert "profile" not in plain.to_dict()
+        d = profiled.to_dict()
+        d.pop("profile")
+        assert d == plain.to_dict()

@@ -228,6 +228,51 @@ class TestStoreLifecycle:
         store.close()
         assert not _segment_exists(handle.name)
 
+    def test_defect_batch_refcounted_and_shared(self):
+        from repro.reliability.defect_map import DefectMap
+
+        c = flat_rrg_for(PARAMS)
+        maps = [DefectMap.sample(c, 0.05, seed=s) for s in range(3)]
+        key = ("test-batch", 0.05, 3)
+        with SharedStore() as a, SharedStore() as b:
+            ha = a.defects_for(key, lambda: maps)
+            hb = b.defects_for(key, lambda: list(maps))
+            assert ha.name == hb.name  # second build never ran
+            assert registry_size() == 1
+        assert not _segment_exists(ha.name)
+
+    def test_worker_crash_mid_trial_leaves_defect_batch_usable(self):
+        """A worker dying while attached to a defect-batch segment must
+        not take the segment down: the owner still unlinks exactly once
+        and surviving workers keep reading valid masks."""
+        from repro.reliability.defect_map import DefectMap
+
+        c = flat_rrg_for(PARAMS)
+        maps = [DefectMap.sample(c, 0.08, seed=s) for s in range(4)]
+        store = SharedStore()
+        handle = store.defects_for(("crash-batch", 0.08, 4), lambda: maps)
+
+        def crash(h):
+            batch = h.attach_cached()
+            assert batch.n_trials == 4
+            os._exit(1)  # die mid-trial, no close/cleanup
+
+        ctx = multiprocessing.get_context()
+        p = ctx.Process(target=crash, args=(handle,))
+        p.start()
+        p.join()
+        assert p.exitcode == 1
+        assert _segment_exists(handle.name)  # crash did not unlink
+        # a surviving reader still round-trips every trial's masks
+        batch = handle.attach()
+        for i, dm in enumerate(maps):
+            view = batch.map_for(c, i, dm.rate, dm.seed)
+            assert np.array_equal(view.node_ok, dm.node_ok)
+            assert view.bad_tiles == dm.bad_tiles
+        store.close()
+        assert not _segment_exists(handle.name)
+        assert registry_size() == 0
+
     def test_golden_publication_refcounted(self):
         netlist = _netlist()
         c = flat_rrg_for(PARAMS)

@@ -15,6 +15,7 @@ from repro.reliability import (
     placement_blocked,
     repair_mapping,
 )
+from repro.reliability.repair import GoldenMapping, RepairOutcome
 from repro.route.pathfinder import route_context_compiled
 from repro.workloads.generators import ripple_adder
 
@@ -159,3 +160,86 @@ class TestRepairLadder:
         d = out.to_dict()
         assert d["level"] == out.level.name.lower()
         assert d["routed"] is True
+
+    def test_overheads_degenerate_golden(self, mapping):
+        """A zero-wirelength / zero-delay golden reports the repaired
+        absolute values, not a flat 1.0 (or a ZeroDivisionError)."""
+        _, _, placement, golden = mapping
+        degenerate = GoldenMapping(placement, golden.routes, 0, 0.0)
+        out = RepairOutcome(
+            RepairLevel.ROUTE_AROUND, routed=True,
+            wirelength=17, critical_path=2.5,
+        )
+        assert out.overheads(degenerate) == (17.0, 2.5)
+        unrouted = RepairOutcome(RepairLevel.FAIL, routed=False)
+        assert unrouted.overheads(degenerate) == (0.0, 0.0)
+        assert unrouted.overheads(golden) == (0.0, 0.0)
+
+
+class TestIncrementalRepair:
+    """The delta-reroute ladder vs the from-scratch reference."""
+
+    RATES = (0.02, 0.06)
+
+    def test_verdicts_agree_with_from_scratch(self, mapping):
+        """Incremental repair may pick different (equally valid)
+        routes, but the ladder's verdicts are the physics: both modes
+        must reach the same level on every die."""
+        c, netlist, placement, golden = mapping
+        for rate in self.RATES:
+            for seed in range(8):
+                dm = DefectMap.sample(c, rate, seed=seed)
+                inc = repair_mapping(
+                    c, netlist, golden, dm, max_iterations=MAX_ITERS,
+                    incremental=True,
+                )
+                ref = repair_mapping(
+                    c, netlist, golden, dm, max_iterations=MAX_ITERS,
+                    incremental=False,
+                )
+                assert inc.level is ref.level, (rate, seed)
+                assert inc.routed == ref.routed, (rate, seed)
+                assert inc.dirty_nets == ref.dirty_nets, (rate, seed)
+                assert inc.n_defects == ref.n_defects, (rate, seed)
+
+    def test_incremental_repair_deterministic(self, mapping):
+        c, netlist, placement, golden = mapping
+        dm = DefectMap.sample(c, 0.05, seed=11, switch_rate=0.0,
+                              logic_rate=0.0)
+        a = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        b = repair_mapping(c, netlist, golden, dm, max_iterations=MAX_ITERS)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestVectorisedDetection:
+    """Flat-array dirty/blocked detection == the brute-force walk."""
+
+    def test_dirty_nets_match_brute_force(self, mapping):
+        c, netlist, placement, golden = mapping
+        for seed in range(12):
+            dm = DefectMap.sample(c, 0.04, seed=seed)
+            brute = set()
+            for name, net in golden.routes.nets.items():
+                bad_nodes = any(not dm.node_ok[n] for n in net.nodes)
+                bad_edges = any(
+                    e in dm.bad_edge_pairs for e in net.edges
+                )
+                if bad_nodes or bad_edges:
+                    brute.add(name)
+            assert dirty_net_names(golden.routes, dm) == brute, seed
+            assert dirty_net_names(
+                golden.routes, dm, flat=golden.flat(c)
+            ) == brute, seed
+
+    def test_placement_blocked_matches_brute_force(self, mapping):
+        c, netlist, placement, golden = mapping
+        for seed in range(12):
+            dm = DefectMap.sample(c, 0.04, seed=seed)
+            brute = any(
+                coord in dm.bad_tiles
+                for coord in placement.cells.values()
+            )
+            assert placement_blocked(placement, dm) == brute, seed
+            assert placement_blocked(
+                placement, dm, flat=golden.flat(c)
+            ) == brute, seed

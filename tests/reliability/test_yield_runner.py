@@ -149,3 +149,51 @@ class TestSerialization:
         assert len(report["physical_yield"]) == 1
         assert report["soft_errors"]["silent_corruption"] == 3
         json.dumps(report)  # fully JSON-serializable
+
+
+class TestProfilePlumbing:
+    """``profile=True`` attaches phase breakdowns; off leaves rows
+    byte-identical to the unprofiled contract."""
+
+    def test_profiled_campaign_carries_phase_blocks(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.08], TRIALS, seed=3, profile=True
+        )
+        assert pt.profile is not None
+        d = pt.to_dict()
+        assert "profile" in d
+        # defect sampling happens on every trial; repair phases appear
+        # whenever some die needed the ladder
+        assert "trial.sample" in d["profile"]
+        for entry in d["profile"].values():
+            assert entry["seconds"] >= 0.0
+            assert entry["calls"] >= 0
+
+    def test_unprofiled_rows_omit_the_block(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.08], TRIALS, seed=3
+        )
+        assert pt.profile is None
+        assert "profile" not in pt.to_dict()
+
+    def test_profile_never_perturbs_the_row(self, netlist):
+        runner = YieldRunner()
+        (plain,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.08], TRIALS, seed=3
+        )
+        (profiled,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.08], TRIALS, seed=3, profile=True
+        )
+        d = profiled.to_dict()
+        d.pop("profile")
+        assert d == plain.to_dict()
+
+    def test_profiled_rows_round_trip(self, netlist):
+        runner = YieldRunner()
+        (pt,) = runner.run_campaign(
+            netlist, "adder", PARAMS, [0.05], 3, seed=3, profile=True
+        )
+        again = YieldPoint.from_dict(pt.to_dict())
+        assert again.to_dict() == pt.to_dict()

@@ -19,6 +19,7 @@ from repro.arch.compiled import flat_rrg_for
 from repro.arch.params import ArchParams
 from repro.netlist.techmap import tech_map
 from repro.place.placer import place
+from repro.reliability.defect_map import DefectMap
 from repro.reliability.repair import build_golden
 from repro.reliability.yield_runner import (
     YieldRunner,
@@ -68,14 +69,14 @@ class TestCampaignRows:
         )
         assert seq == thread == shm == pickled
 
-    def test_shared_campaign_publishes_golden_and_substrate(self):
+    def test_shared_campaign_publishes_golden_substrate_and_defects(self):
         netlist = _netlist()
         runner = YieldRunner(backend="process", workers=2)
         try:
             _campaign_rows(runner, netlist)
-            # one golden + one substrate segment
-            assert runner._runner.store().size() == 2
-            assert shared.registry_size() == 2
+            # one golden + one substrate + one defect-batch segment
+            assert runner._runner.store().size() == 3
+            assert shared.registry_size() == 3
         finally:
             runner.close()
         assert shared.registry_size() == 0
@@ -115,9 +116,56 @@ class TestLeanTrialItems:
                 defect_rate=0.03, model="uniform", trial=0,
                 defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
             )
-            got = _evaluate_trial_shared((lean, gh, sh))
+            got = _evaluate_trial_shared((lean, gh, sh, None, 0))
             want = evaluate_trial(fat, golden)
             assert got.to_dict() == want.to_dict()
+
+    def test_published_defect_batch_evaluates_like_local_sample(self):
+        netlist = _netlist()
+        c, golden = self._golden(netlist)
+        dm = DefectMap.sample(c, 0.03, seed=trial_seed(1, 0, 0))
+        with shared.SharedStore() as store:
+            gh = store.golden_for(("g", BASE), golden, netlist)
+            sh = store.substrate_for(c)
+            dh = store.defects_for(("d", BASE), lambda: [dm])
+            lean = YieldTrialJob(
+                workload="dag", params=BASE, netlist=None,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            fat = YieldTrialJob(
+                workload="dag", params=BASE, netlist=netlist,
+                defect_rate=0.03, model="uniform", trial=0,
+                defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
+            )
+            got = _evaluate_trial_shared((lean, gh, sh, dh, 0))
+            want = evaluate_trial(fat, golden)
+            assert got.to_dict() == want.to_dict()
+
+    def test_defect_batch_round_trips_every_field(self):
+        c = flat_rrg_for(BASE)
+        maps = [
+            DefectMap.sample(c, rate, seed=s, model=model)
+            for rate, s, model in [
+                (0.05, 3, "uniform"),
+                (0.0, 4, "uniform"),       # clean die: empty id lists
+                (0.08, 5, "uniform"),
+            ]
+        ]
+        with shared.SharedStore() as store:
+            dh = store.defects_for(("rt", BASE), lambda: maps)
+            batch = dh.attach()
+            assert batch.n_trials == len(maps)
+            for i, want in enumerate(maps):
+                got = batch.map_for(c, i, want.rate, want.seed)
+                assert got.wire_defects == want.wire_defects
+                assert got.switch_defects == want.switch_defects
+                assert got.bad_tiles == want.bad_tiles
+                assert got.bad_edge_pairs == want.bad_edge_pairs
+                assert (got.node_ok == want.node_ok).all()
+                assert got.node_ok_bytes == want.node_ok_bytes
+                assert got.edge_ok_bytes == want.edge_ok_bytes
+                assert got.to_dict() == want.to_dict()
 
     def test_lean_item_payload_is_much_smaller(self):
         netlist = _netlist()
@@ -135,7 +183,11 @@ class TestLeanTrialItems:
                 defect_rate=0.03, model="uniform", trial=0,
                 defect_seed=trial_seed(1, 0, 0), seed=1, effort=0.2,
             )
-            lean_bytes = len(pickle.dumps((lean, gh, sh)))
+            dh = store.defects_for(
+                ("d", BASE),
+                lambda: [DefectMap.sample(c, 0.03, seed=trial_seed(1, 0, 0))],
+            )
+            lean_bytes = len(pickle.dumps((lean, gh, sh, dh, 0)))
             fat_bytes = len(pickle.dumps((fat, golden)))
             assert lean_bytes < fat_bytes / 2
 

@@ -121,6 +121,8 @@ class TestEngineScaling:
 
 
 def main(argv: list[str]) -> int:
+    from benchlib import write_bench
+
     scales = SCALES[:1] if "--smoke" in argv else SCALES
     rows = [_measure(*scale) for scale in scales]
     print(_render(rows))
@@ -128,6 +130,11 @@ def main(argv: list[str]) -> int:
         ok = rows[0]["speedup"] > 1.0
     else:
         ok = rows[-1]["speedup"] >= 3.0
+    write_bench(
+        "engine", speedup=rows[-1]["speedup"],
+        wall_s=sum(r["t_legacy"] + r["t_compiled"] for r in rows),
+        gate=ok, detail=rows,
+    )
     if not ok:
         print("FAIL: compiled engine below required speedup", file=sys.stderr)
         return 1

@@ -42,7 +42,6 @@ Runs two ways:
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -292,17 +291,20 @@ class TestRepairLadder:
 
 
 def main(argv: list[str]) -> int:
+    from benchlib import write_bench
+
     smoke = "--smoke" in argv
     if smoke:
         row = _measure(SMOKE_RATES, SMOKE_TRIALS)
     else:
         row = _measure(FULL_RATES, FULL_TRIALS)
     print(_render(row))
-    with open("BENCH_repair.json", "w") as fh:
-        json.dump(row, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote BENCH_repair.json")
     failures = _gate(row)
+    write_bench(
+        "repair", speedup=row["speedup"],
+        wall_s=row["t_incremental"] + row["t_scratch"],
+        gate=not failures, detail=row,
+    )
     for msg in failures:
         print(f"FAIL: {msg}", file=sys.stderr)
     return 1 if failures else 0

@@ -113,9 +113,16 @@ def _report(row: dict) -> None:
 
 
 def main(argv) -> int:
+    from benchlib import write_bench
+
     smoke = "--smoke" in argv
     row = _measure(SMOKE_JOBS if smoke else FULL_JOBS)
     _report(row)
+    # _measure asserts the gates (identical rows, one substrate build)
+    write_bench(
+        "service", speedup=row["jobs_rate"] / row["seq_rate"],
+        wall_s=row["t_seq"] + row["t_jobs"], gate=True, detail=row,
+    )
     print("service bench ok: results identical, one substrate build, "
           f"{row['jobs_rate']:.2f} jobs/sec through the manager")
     return 0

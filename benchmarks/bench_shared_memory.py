@@ -214,6 +214,8 @@ class TestSharedMemory:
 
 
 def main(argv: list[str]) -> int:
+    from benchlib import write_bench
+
     smoke = "--smoke" in argv
     if smoke:
         row = _measure(SMOKE_BASE, SMOKE_RATES, SMOKE_TRIALS, SMOKE_GATES)
@@ -221,6 +223,11 @@ def main(argv: list[str]) -> int:
         row = _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES)
     print(_render(row))
     floor = 3.0 if smoke else PAYLOAD_FACTOR
+    write_bench(
+        "shared_memory", speedup=row["factor"],
+        wall_s=row["t_shared"] + row["t_pickled"],
+        gate=row["factor"] >= floor, detail=row,
+    )
     if row["factor"] < floor:
         print(f"FAIL: per-trial payload only {row['factor']:.1f}x smaller "
               f"(need >= {floor:.0f}x)", file=sys.stderr)

@@ -187,6 +187,8 @@ class TestSweepScaling:
 
 
 def main(argv: list[str]) -> int:
+    from benchlib import write_bench
+
     smoke = "--smoke" in argv
     if smoke:
         row = _measure(SMOKE_BASE, SMOKE_WIDTHS, SMOKE_GATES)
@@ -197,6 +199,11 @@ def main(argv: list[str]) -> int:
     if not smoke and (os.cpu_count() or 1) >= MULTICORE_AT:
         ok = ok and max(row["speedup_seq"],
                         row["speedup_proc"]) >= FLOOR_MULTICORE
+    write_bench(
+        "sweep", speedup=row["speedup_seq"],
+        wall_s=row["t_legacy"] + row["t_seq"] + row["t_proc"],
+        gate=ok, detail=row,
+    )
     if not ok:
         print("FAIL: compiled sweep below required speedup", file=sys.stderr)
         return 1

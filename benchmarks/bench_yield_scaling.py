@@ -31,7 +31,6 @@ Runs two ways:
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -165,18 +164,21 @@ class TestYieldScaling:
 
 
 def main(argv: list[str]) -> int:
+    from benchlib import write_bench
+
     smoke = "--smoke" in argv
     if smoke:
         row = _measure(SMOKE_BASE, SMOKE_RATES, SMOKE_TRIALS, SMOKE_GATES)
     else:
         row = _measure(FULL_BASE, FULL_RATES, FULL_TRIALS, FULL_GATES)
     print(_render(row))
-    with open("BENCH_yield.json", "w") as fh:
-        json.dump(row, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote BENCH_yield.json")
     floor = _proc_floor()
-    if not smoke and floor is not None and row["speedup_proc"] < floor:
+    ok = smoke or floor is None or row["speedup_proc"] >= floor
+    write_bench(
+        "yield", speedup=row["speedup_proc"],
+        wall_s=row["t_seq"] + row["t_proc"], gate=ok, detail=row,
+    )
+    if not ok:
         print(f"FAIL: process backend speedup {row['speedup_proc']:.2f}x "
               f"below the {floor:.1f}x floor", file=sys.stderr)
         return 1

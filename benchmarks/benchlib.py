@@ -1,0 +1,27 @@
+"""Shared ``BENCH_<name>.json`` emission for standalone benchmark runs.
+
+Every benchmark's ``main()`` reports through :func:`write_bench`, so CI
+can harvest one JSON artifact per bench with a common top-level schema:
+
+- ``name`` — the bench's short name (also names the output file);
+- ``speedup`` — the headline ratio the bench measures;
+- ``wall_s`` — wall-clock seconds spent in the timed sections;
+- ``gate`` — whether the bench's acceptance gate passed;
+- ``detail`` — the bench-specific measurement rows, verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def write_bench(name: str, *, speedup: float, wall_s: float, gate: bool,
+                detail=None) -> str:
+    doc = {"name": name, "speedup": speedup, "wall_s": wall_s,
+           "gate": bool(gate), "detail": detail}
+    path = f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return path

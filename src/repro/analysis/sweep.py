@@ -77,6 +77,8 @@ from repro.route.pathfinder import route_context_compiled
 from repro.route.timing import critical_path
 from repro.utils.iters import SizedIterator
 from repro.utils.profile import PhaseProfiler, profiling, span
+from repro.utils.telemetry import Telemetry, collecting
+from repro.utils.telemetry import span as tspan
 
 #: PathFinder iteration budget per sweep point.  Matches the legacy
 #: per-point flow (``route_context(..., max_iterations=25)``), so sweep
@@ -113,6 +115,11 @@ class SweepJob:
     #: collect a per-point phase profile (wall-clock — never part of
     #: the row bit-identity contract; see :mod:`repro.utils.profile`)
     profile: bool = False
+    #: run/trace id when telemetry is on (``None`` = off).  Workers
+    #: bind a :class:`~repro.utils.telemetry.Telemetry` collector per
+    #: point and ship its snapshot back inside the row — the channel
+    #: that makes spans/counters survive the process backend.
+    telemetry: str | None = None
 
 
 @dataclass
@@ -129,6 +136,10 @@ class SweepPoint:
     #: (wall-clock — omitted from serialization so profiled and
     #: unprofiled rows stay comparable)
     profile: dict | None = None
+    #: telemetry snapshot (spans + counter deltas); ``None`` unless
+    #: the job carried a run id — omitted from serialization so
+    #: telemetry never perturbs row bit-identity
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
         d = {
@@ -141,6 +152,8 @@ class SweepPoint:
         }
         if self.profile is not None:
             d["profile"] = self.profile
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
         return d
 
     @classmethod
@@ -153,6 +166,7 @@ class SweepPoint:
             critical_path=d.get("critical_path", 0.0),
             iterations=d.get("iterations", 0),
             profile=d.get("profile"),
+            metrics=d.get("metrics"),
         )
 
 
@@ -219,14 +233,16 @@ def evaluate_point(
             engine = DEFAULT_ENGINE
         c = engine.flat(job.params)
     prof = PhaseProfiler() if job.profile else None
-    with profiling(prof) if prof is not None else _NULL_CTX:
+    tel = Telemetry(job.telemetry) if job.telemetry else None
+    with profiling(prof) if prof is not None else _NULL_CTX, \
+            collecting(tel) if tel is not None else nullcontext():
         if placement is None:
-            with span("point.place"):
+            with span("point.place"), tspan("point.place"):
                 placement = place(
                     job.netlist, job.params, seed=job.seed, effort=job.effort
                 )
         try:
-            with span("point.route"):
+            with span("point.route"), tspan("point.route"):
                 rr = route_context_compiled(
                     c, job.netlist, placement,
                     max_iterations=job.max_iterations,
@@ -236,8 +252,9 @@ def evaluate_point(
             return SweepPoint(
                 job.axis, job.value, False,
                 profile=prof.to_dict() if prof is not None else None,
+                metrics=tel.snapshot() if tel is not None else None,
             )
-        with span("point.timing"):
+        with span("point.timing"), tspan("point.timing"):
             cp = critical_path(c, job.netlist, rr, placement)
     return SweepPoint(
         job.axis,
@@ -247,6 +264,7 @@ def evaluate_point(
         critical_path=cp,
         iterations=rr.iterations,
         profile=prof.to_dict() if prof is not None else None,
+        metrics=tel.snapshot() if tel is not None else None,
     )
 
 

@@ -61,6 +61,7 @@ class ExecutionConfig:
     seed: int = 0
     effort: float | None = None
     route_workers: int | None = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -86,29 +87,39 @@ class ExecutionConfig:
                 f"route_workers must be None or a positive int, "
                 f"got {self.route_workers!r}"
             )
+        if not isinstance(self.telemetry, bool):
+            raise RequestError(
+                f"telemetry must be a bool, got {self.telemetry!r}"
+            )
 
     def effort_or(self, default: float) -> float:
         """The configured effort, or the calling flow's default."""
         return self.effort if self.effort is not None else default
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "backend": self.backend,
             "workers": self.workers,
             "seed": self.seed,
             "effort": self.effort,
             "route_workers": self.route_workers,
         }
+        # omitted when off: payloads (and the artifact store's resume
+        # keys hashed from them) stay byte-identical to pre-telemetry
+        if self.telemetry:
+            d["telemetry"] = True
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ExecutionConfig":
         unknown = set(d) - {"backend", "workers", "seed", "effort",
-                            "route_workers"}
+                            "route_workers", "telemetry"}
         if unknown:
             # a typo'd key must not silently run with defaults
             raise RequestError(
                 f"unknown execution keys {sorted(unknown)} "
-                f"(known: backend, workers, seed, effort, route_workers)"
+                f"(known: backend, workers, seed, effort, route_workers, "
+                f"telemetry)"
             )
         return cls(
             backend=d.get("backend", "sequential"),
@@ -116,6 +127,7 @@ class ExecutionConfig:
             seed=d.get("seed", 0),
             effort=d.get("effort"),
             route_workers=d.get("route_workers"),
+            telemetry=d.get("telemetry", False),
         )
 
 

@@ -163,18 +163,24 @@ class SweepResult(_Result):
     grid: tuple[int, int] | None
     backend: str
     points: tuple
+    metrics: dict | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "points", tuple(self.points))
 
     def to_dict(self) -> dict:
-        return stamp(self.TYPE_TAG, {
+        d = {
             "sweep": self.sweep,
             "workload": self.workload,
             "grid": list(self.grid) if self.grid is not None else None,
             "backend": self.backend,
             "points": [pt.to_dict() for pt in self.points],
-        })
+        }
+        if self.metrics is not None:
+            # only under ExecutionConfig.telemetry: payloads stay
+            # byte-identical (and goldens hold) with telemetry off
+            d["metrics"] = self.metrics
+        return stamp(self.TYPE_TAG, d)
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepResult":
@@ -189,6 +195,7 @@ class SweepResult(_Result):
                 points=tuple(
                     _point_from_dict(d["sweep"], pt) for pt in d["points"]
                 ),
+                metrics=d.get("metrics"),
             )
 
 
@@ -207,12 +214,13 @@ class YieldResult(_Result):
     trials: int
     backend: str
     points: tuple
+    metrics: dict | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "points", tuple(self.points))
 
     def to_dict(self) -> dict:
-        return stamp(self.TYPE_TAG, {
+        d = {
             "campaign": self.campaign,
             "workload": self.workload,
             "grid": list(self.grid),
@@ -220,7 +228,10 @@ class YieldResult(_Result):
             "trials": self.trials,
             "backend": self.backend,
             "points": [pt.to_dict() for pt in self.points],
-        })
+        }
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
+        return stamp(self.TYPE_TAG, d)
 
     @classmethod
     def from_dict(cls, d: dict) -> "YieldResult":
@@ -234,6 +245,7 @@ class YieldResult(_Result):
                 trials=d["trials"],
                 backend=d.get("backend", "sequential"),
                 points=tuple(YieldPoint.from_dict(pt) for pt in d["points"]),
+                metrics=d.get("metrics"),
             )
 
 

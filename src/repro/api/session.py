@@ -62,6 +62,7 @@ from repro.api.workloads import build_circuit, build_program
 from repro.arch.params import ArchParams
 from repro.errors import RequestError
 from repro.reliability.yield_runner import YieldRunner
+from repro.utils.telemetry import GLOBAL, merge_metrics, new_run_id
 
 #: Historical per-flow effort defaults (``ExecutionConfig.effort=None``).
 MAP_EFFORT = 0.5
@@ -105,8 +106,11 @@ class Session:
         with self._cache_lock:
             nl = self._circuits.get(workload)
             if nl is None:
+                GLOBAL.inc("session.cache.misses", cache="circuit")
                 nl = build_circuit(workload)
                 self._circuits[workload] = nl
+            else:
+                GLOBAL.inc("session.cache.hits", cache="circuit")
             return nl
 
     def program(self, workload: str, contexts: int, mutation: float,
@@ -116,9 +120,12 @@ class Session:
         with self._cache_lock:
             prog = self._programs.get(key)
             if prog is None:
+                GLOBAL.inc("session.cache.misses", cache="program")
                 prog = build_program(workload, contexts, mutation, seed,
                                      base=self.circuit(workload))
                 self._programs[key] = prog
+            else:
+                GLOBAL.inc("session.cache.hits", cache="program")
             return prog
 
     def sweep_runner(self, config: ExecutionConfig | None = None
@@ -130,10 +137,13 @@ class Session:
         with self._cache_lock:
             runner = self._sweep_runners.get(key)
             if runner is None:
+                GLOBAL.inc("session.cache.misses", cache="sweep_runner")
                 runner = SweepRunner(engine=self.engine,
                                      backend=config.backend,
                                      workers=config.workers)
                 self._sweep_runners[key] = runner
+            else:
+                GLOBAL.inc("session.cache.hits", cache="sweep_runner")
             return runner
 
     def yield_runner(self, config: ExecutionConfig | None = None
@@ -146,8 +156,11 @@ class Session:
         with self._cache_lock:
             runner = self._yield_runners.get(key)
             if runner is None:
+                GLOBAL.inc("session.cache.misses", cache="yield_runner")
                 runner = YieldRunner(runner=self.sweep_runner(config))
                 self._yield_runners[key] = runner
+            else:
+                GLOBAL.inc("session.cache.hits", cache="yield_runner")
             return runner
 
     def close(self) -> None:
@@ -280,10 +293,17 @@ class Session:
         if req.analytic:
             return SweepResult(sweep=req.what, workload=None, grid=None,
                                backend="sequential", points=tuple(points))
+        metrics = None
+        if req.execution.telemetry:
+            # result-level roll-up: counter sums + one span track per
+            # worker pid, merged from the per-point snapshots
+            metrics = merge_metrics(
+                getattr(pt, "metrics", None) for pt in points
+            )
         return SweepResult(
             sweep=req.what, workload=req.workload,
             grid=(req.grid, req.grid), backend=req.execution.backend,
-            points=tuple(points),
+            points=tuple(points), metrics=metrics,
         )
 
     def _run_sweep(self, req: SweepRequest) -> SweepResult:
@@ -320,17 +340,30 @@ class Session:
                     for job in jobs]
         if req.profile:
             jobs = [replace(job, profile=True) for job in jobs]
+        if cfg.telemetry:
+            run_id = new_run_id()
+            jobs = [replace(job, telemetry=run_id) for job in jobs]
         runner = self.sweep_runner(cfg)
         for i, pt in enumerate(runner.iter_run(jobs)):
+            if cfg.telemetry and pt.metrics is not None:
+                # worker counter deltas feed the process-global
+                # registry, so /v1/metrics sums across workers
+                GLOBAL.merge_counters(pt.metrics.get("counters"))
             progress(i + 1, len(jobs), pt)
             yield pt
 
     # -- yield -------------------------------------------------------------- #
     def _yield_result(self, req: YieldRequest, points) -> YieldResult:
+        metrics = None
+        if req.execution.telemetry:
+            metrics = merge_metrics(
+                getattr(pt, "metrics", None) for pt in points
+            )
         return YieldResult(
             campaign=req.campaign, workload=req.workload,
             grid=(req.grid, req.grid), model=req.model, trials=req.trials,
             backend=req.execution.backend, points=tuple(points),
+            metrics=metrics,
         )
 
     def _run_yield(self, req: YieldRequest) -> YieldResult:
@@ -347,12 +380,14 @@ class Session:
         )
         runner = self.yield_runner(cfg)
         effort = cfg.effort_or(POINT_EFFORT)
+        run_id = new_run_id() if cfg.telemetry else None
         if req.spares is not None:
             total = len(req.spares)
             points = runner.iter_spare_width_curve(
                 netlist, req.workload, base, list(req.spares), req.rates[0],
                 req.trials, model=req.model, seed=cfg.seed, effort=effort,
                 route_workers=cfg.route_workers, profile=req.profile,
+                telemetry=run_id,
             )
         else:
             total = len(req.rates)
@@ -360,8 +395,11 @@ class Session:
                 netlist, req.workload, base, list(req.rates), req.trials,
                 model=req.model, seed=cfg.seed, effort=effort,
                 route_workers=cfg.route_workers, profile=req.profile,
+                telemetry=run_id,
             )
         for i, pt in enumerate(points):
+            if run_id is not None and pt.metrics is not None:
+                GLOBAL.merge_counters(pt.metrics.get("counters"))
             progress(i + 1, total, pt)
             yield pt
 

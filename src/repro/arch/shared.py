@@ -51,6 +51,8 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.arch.compiled import CompiledRRG
+from repro.utils.telemetry import GLOBAL
+from repro.utils.telemetry import count as _tcount
 
 #: Environment variable gating the shared-memory process backend.
 SHARED_MEMORY_ENV = "REPRO_SHARED_MEMORY"
@@ -176,6 +178,11 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     with _ATTACH_LOCK:
         _SEGMENTS[name] = shm
         _ATTACH_COUNT[name] = _ATTACH_COUNT.get(name, 0) + 1
+    # this process's registry (workers attach; the parent publishes)
+    # plus the ambient collector, so attaches done inside an
+    # instrumented trial ride back to the parent with the row
+    GLOBAL.inc("shared.attaches")
+    _tcount("shared.attaches")
     return shm
 
 
@@ -539,25 +546,33 @@ _REGISTRY: dict[object, _Publication] = {}
 
 def _registry_acquire(key, publish):
     """Get-or-create the publication for ``key``; bumps its refcount."""
+    kind = key[0] if isinstance(key, tuple) and key else "segment"
     with _REGISTRY_LOCK:
         pub = _REGISTRY.get(key)
         if pub is None:
             shm, handle = publish()
             pub = _REGISTRY[key] = _Publication(shm, handle)
+            GLOBAL.inc("shared.publishes", kind=kind)
         pub.refs += 1
+        GLOBAL.inc("shared.acquires", kind=kind)
+        GLOBAL.gauge_set("shared.registry_size", len(_REGISTRY))
         return pub.handle
 
 
 def _registry_release(key) -> None:
     """Drop one reference; unlinks the segment at refcount zero."""
+    kind = key[0] if isinstance(key, tuple) and key else "segment"
     with _REGISTRY_LOCK:
         pub = _REGISTRY.get(key)
         if pub is None:
             return
         pub.refs -= 1
+        GLOBAL.inc("shared.releases", kind=kind)
         if pub.refs > 0:
             return
         del _REGISTRY[key]
+        GLOBAL.inc("shared.unlinks", kind=kind)
+        GLOBAL.gauge_set("shared.registry_size", len(_REGISTRY))
     pub.shm.close()
     try:
         pub.shm.unlink()

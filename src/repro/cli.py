@@ -14,6 +14,7 @@ Exposes the library's main flows without writing Python::
     python -m repro yield --defect-rate 0.01,0.03 --trials 16 \
         --backend process                     # Monte Carlo yield campaign
     python -m repro run examples/specs/ci_smoke.json --json  # run a spec
+    python -m repro trace examples/specs/ci_smoke.json -o trace.json
     python -m repro serve --port 8321 --results-dir results  # HTTP service
     python -m repro jobs submit examples/specs/ci_smoke.json --watch
 
@@ -126,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="attach per-phase wall-clock timings to each "
                         "point (visible in --json output)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="collect counters and trace spans from every "
+                        "worker; attaches a `metrics` block to the "
+                        "result (visible in --json output)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -166,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="attach per-phase wall-clock timings to each "
                         "campaign point (visible in --json output)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="collect counters and trace spans from every "
+                        "worker; attaches a `metrics` block to the "
+                        "result (visible in --json output)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
 
@@ -185,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip stages whose artifacts in --results-dir are "
                         "up to date (requires --results-dir)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a spec with telemetry forced on and write the merged "
+             "worker spans as Chrome trace-event JSON (Perfetto-viewable)",
+    )
+    p.add_argument("spec", help="path to the spec file (see repro.api.spec)")
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="trace-event JSON output path (default: trace.json)")
 
     p = sub.add_parser(
         "serve",
@@ -342,6 +360,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
             effort=args.effort, route_workers=args.route_workers,
+            telemetry=args.telemetry,
         ),
     )
     if request.analytic and (
@@ -407,6 +426,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
         execution=ExecutionConfig(
             backend=args.backend, workers=args.workers, seed=args.seed,
             effort=args.effort, route_workers=args.route_workers,
+            telemetry=args.telemetry,
         ),
     )
     result = _session().run(request)
@@ -507,6 +527,35 @@ def _run_managed(args: argparse.Namespace, spec) -> int:
         return 0
     finally:
         manager.shutdown(wait=False, cancel=True)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec
+    from repro.utils.telemetry import chrome_trace
+
+    spec = ExperimentSpec.from_file(args.spec)
+    if spec.is_grid:
+        print("error: trace runs one spec cell; expand the grid and "
+              "trace a single cell", file=sys.stderr)
+        return 2
+    # force telemetry on at the spec level: stages that don't name
+    # `telemetry` in their own execution dict inherit it
+    doc = spec.to_dict()
+    exec_doc = dict(doc.get("execution") or {})
+    exec_doc["telemetry"] = True
+    doc["execution"] = exec_doc
+    spec = ExperimentSpec.from_dict(doc)
+    result = _session().run_spec(spec)
+    blocks = [m for m in (getattr(sr, "metrics", None)
+                          for sr in result.stages) if m]
+    trace = chrome_trace(blocks)
+    with open(args.output, "w") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")
+    workers = {ev.get("pid") for ev in trace["traceEvents"]}
+    print(f"wrote {len(trace['traceEvents'])} events "
+          f"({len(workers)} worker track(s)) to {args.output}")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -619,6 +668,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "yield": cmd_yield,
     "run": cmd_run,
+    "trace": cmd_trace,
     "serve": cmd_serve,
     "jobs": cmd_jobs,
 }

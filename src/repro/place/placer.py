@@ -34,6 +34,7 @@ from repro.errors import PlacementError
 from repro.netlist.dfg import MultiContextProgram
 from repro.netlist.netlist import CellKind, Netlist
 from repro.utils.rng import ensure_rng
+from repro.utils.telemetry import count as _tcount
 
 
 @dataclass
@@ -217,7 +218,10 @@ def place(
     min_t = 0.005
     span = max(params.cols, params.rows)
 
+    rounds = 0
+    total_accepted = 0
     while temperature > min_t:
+        rounds += 1
         accepted = 0
         for _ in range(moves_per_t):
             name = movable[int(rng.integers(len(movable)))]
@@ -276,6 +280,7 @@ def place(
                     py[other] = dst.y
                 else:
                     del occupied[dst]
+        total_accepted += accepted
         ratio = accepted / max(1, moves_per_t)
         if ratio > 0.96:
             temperature *= 0.5
@@ -285,6 +290,10 @@ def place(
             temperature *= 0.95
         else:
             temperature *= 0.8
+
+    _tcount("placer.rounds", rounds)
+    _tcount("placer.moves_proposed", rounds * moves_per_t)
+    _tcount("placer.moves_accepted", total_accepted)
 
     # refresh IO pads for final cell positions
     ios = _assign_ios(netlist, params, grid, location, rng)

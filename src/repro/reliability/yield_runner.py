@@ -43,6 +43,8 @@ import numpy as np
 
 from repro.utils.iters import SizedIterator
 from repro.utils.profile import PhaseProfiler, merge_profiles, profiling, span
+from repro.utils.telemetry import Telemetry, collecting, merge_metrics
+from repro.utils.telemetry import span as tspan
 
 from repro.arch.params import ArchParams
 from repro.netlist.netlist import Netlist
@@ -103,6 +105,9 @@ class YieldTrialJob:
     #: collect a per-trial phase profile (wall-clock — never part of
     #: the row bit-identity contract; see :mod:`repro.utils.profile`)
     profile: bool = False
+    #: run/trace id when telemetry is on (``None`` = off); the trial's
+    #: span buffer and counter deltas ride back in the result
+    telemetry: str | None = None
 
 
 @dataclass
@@ -114,6 +119,7 @@ class TrialResult:
     wirelength_overhead: float = 0.0
     critical_path_overhead: float = 0.0
     profile: dict | None = None
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
         d = self.outcome.to_dict()
@@ -122,6 +128,8 @@ class TrialResult:
         d["critical_path_overhead"] = self.critical_path_overhead
         if self.profile is not None:
             d["profile"] = self.profile
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
         return d
 
 
@@ -143,24 +151,28 @@ def evaluate_trial(
 
         c = flat_rrg_for(job.params)
     prof = PhaseProfiler() if job.profile else None
-    with profiling(prof) if prof is not None else _NULL_CTX:
+    tel = Telemetry(job.telemetry) if job.telemetry else None
+    with profiling(prof) if prof is not None else _NULL_CTX, \
+            collecting(tel) if tel is not None else nullcontext():
         if dm is None:
-            with span("trial.sample"):
+            with span("trial.sample"), tspan("trial.sample"):
                 dm = DefectMap.sample(
                     c, job.defect_rate, seed=job.defect_seed, model=job.model,
                     cluster_radius=job.cluster_radius,
                     cluster_size=job.cluster_size,
                 )
-        outcome = repair_mapping(
-            c, job.netlist, golden, dm,
-            seed=job.seed, effort=job.effort,
-            max_iterations=job.max_iterations,
-            route_workers=job.route_workers,
-        )
+        with tspan("trial.repair"):
+            outcome = repair_mapping(
+                c, job.netlist, golden, dm,
+                seed=job.seed, effort=job.effort,
+                max_iterations=job.max_iterations,
+                route_workers=job.route_workers,
+            )
         wl, cp = outcome.overheads(golden)
     return TrialResult(
         job.trial, outcome, wl, cp,
         profile=prof.to_dict() if prof is not None else None,
+        metrics=tel.snapshot() if tel is not None else None,
     )
 
 
@@ -222,6 +234,10 @@ class YieldPoint:
     #: unless profiling was requested (wall-clock — omitted from
     #: serialization so profiled and unprofiled rows stay comparable)
     profile: dict | None = None
+    #: merged telemetry (spans per worker pid + counter sums) across
+    #: the cell's trials; ``None`` unless telemetry was on — omitted
+    #: from serialization so rows stay bit-identical with it off
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
         d = {
@@ -240,6 +256,8 @@ class YieldPoint:
         }
         if self.profile is not None:
             d["profile"] = self.profile
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
         return d
 
     @classmethod
@@ -260,6 +278,7 @@ class YieldPoint:
             spare_tracks=d.get("spare_tracks", 0),
             golden_routed=d.get("golden_routed", True),
             profile=d.get("profile"),
+            metrics=d.get("metrics"),
         )
 
 
@@ -297,6 +316,7 @@ def _aggregate(
         spare_tracks=spare_tracks,
         golden_routed=True,
         profile=merge_profiles(tr.profile for tr in results),
+        metrics=merge_metrics(tr.metrics for tr in results),
     )
 
 
@@ -416,6 +436,7 @@ class YieldRunner:
         spare_tracks: int = 0,
         route_workers: int | None = None,
         profile: bool = False,
+        telemetry: str | None = None,
     ) -> SizedIterator:
         """Streaming form of :meth:`run_campaign`: yield each
         :class:`YieldPoint` as soon as its ``trials`` results are in.
@@ -435,7 +456,7 @@ class YieldRunner:
             self._iter_campaign(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, spare_tracks,
-                route_workers, profile,
+                route_workers, profile, telemetry,
             ),
             len(rates),
         )
@@ -443,7 +464,7 @@ class YieldRunner:
     def _iter_campaign(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, spare_tracks,
-        route_workers=None, profile=False,
+        route_workers=None, profile=False, telemetry=None,
     ):
         golden = self.golden_for(netlist, base, seed, effort, max_iterations,
                                  route_workers=route_workers)
@@ -467,13 +488,13 @@ class YieldRunner:
             self._iter_trials_shared(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, route_workers,
-                golden, profile,
+                golden, profile, telemetry,
             )
             if shared else
             self._iter_trials_pickled(
                 netlist, workload, base, rates, trials, model, seed, effort,
                 max_iterations, cluster_radius, cluster_size, route_workers,
-                golden, profile,
+                golden, profile, telemetry,
             )
         )
         cell: list[TrialResult] = []
@@ -489,7 +510,7 @@ class YieldRunner:
     def _trial_jobs(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers,
-        profile=False,
+        profile=False, telemetry=None,
     ) -> list[YieldTrialJob]:
         """The campaign's trial grid, in submission (= aggregation)
         order.  ``netlist=None`` builds the lean shared-memory form."""
@@ -503,19 +524,20 @@ class YieldRunner:
                     seed=seed, effort=effort, max_iterations=max_iterations,
                     cluster_radius=cluster_radius, cluster_size=cluster_size,
                     route_workers=route_workers, profile=profile,
+                    telemetry=telemetry,
                 ))
         return jobs
 
     def _iter_trials_pickled(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers, golden,
-        profile=False,
+        profile=False, telemetry=None,
     ):
         """Classic fan-out: every item pickles the golden + netlist."""
         jobs = self._trial_jobs(
             netlist, workload, base, rates, trials, model, seed, effort,
             max_iterations, cluster_radius, cluster_size, route_workers,
-            profile,
+            profile, telemetry,
         )
         items = [(job, golden) for job in jobs]
         return self._runner.iter_items(_evaluate_trial_item, items)
@@ -523,7 +545,7 @@ class YieldRunner:
     def _iter_trials_shared(
         self, netlist, workload, base, rates, trials, model, seed, effort,
         max_iterations, cluster_radius, cluster_size, route_workers, golden,
-        profile=False,
+        profile=False, telemetry=None,
     ):
         """Process fan-out with the golden mapping, the substrate and
         the campaign's defect masks published over shared memory.
@@ -572,7 +594,7 @@ class YieldRunner:
         jobs = self._trial_jobs(
             None, workload, base, rates, trials, model, seed, effort,
             max_iterations, cluster_radius, cluster_size, route_workers,
-            profile,
+            profile, telemetry,
         )
         items = [
             (job, golden_handle, substrate_handle, defect_handle, i)
@@ -600,6 +622,7 @@ class YieldRunner:
         spare_tracks: int = 0,
         route_workers: int | None = None,
         profile: bool = False,
+        telemetry: str | None = None,
     ) -> list[YieldPoint]:
         """N trials per defect rate; one :class:`YieldPoint` per rate.
 
@@ -612,7 +635,7 @@ class YieldRunner:
             seed=seed, effort=effort, max_iterations=max_iterations,
             cluster_radius=cluster_radius, cluster_size=cluster_size,
             spare_tracks=spare_tracks, route_workers=route_workers,
-            profile=profile,
+            profile=profile, telemetry=telemetry,
         ))
 
     def iter_spare_width_curve(
@@ -629,6 +652,7 @@ class YieldRunner:
         max_iterations: int = POINT_MAX_ITERATIONS,
         route_workers: int | None = None,
         profile: bool = False,
+        telemetry: str | None = None,
     ) -> SizedIterator:
         """Streaming form of :meth:`spare_width_curve` (one
         :class:`YieldPoint` per spare width, as each completes).
@@ -637,7 +661,7 @@ class YieldRunner:
         return SizedIterator(
             self._iter_spare_width_curve(
                 netlist, workload, base, spares, rate, trials, model, seed,
-                effort, max_iterations, route_workers, profile,
+                effort, max_iterations, route_workers, profile, telemetry,
             ),
             len(spares),
         )
@@ -645,6 +669,7 @@ class YieldRunner:
     def _iter_spare_width_curve(
         self, netlist, workload, base, spares, rate, trials, model, seed,
         effort, max_iterations, route_workers=None, profile=False,
+        telemetry=None,
     ):
         for spare in spares:
             params = base.with_(channel_width=base.channel_width + int(spare))
@@ -652,7 +677,7 @@ class YieldRunner:
                 netlist, workload, params, [rate], trials, model=model,
                 seed=seed, effort=effort, max_iterations=max_iterations,
                 spare_tracks=int(spare), route_workers=route_workers,
-                profile=profile,
+                profile=profile, telemetry=telemetry,
             )
 
     def spare_width_curve(
@@ -669,6 +694,7 @@ class YieldRunner:
         max_iterations: int = POINT_MAX_ITERATIONS,
         route_workers: int | None = None,
         profile: bool = False,
+        telemetry: str | None = None,
     ) -> list[YieldPoint]:
         """Yield vs spare channel width at one defect rate.
 
@@ -682,6 +708,7 @@ class YieldRunner:
             netlist, workload, base, spares, rate, trials, model=model,
             seed=seed, effort=effort, max_iterations=max_iterations,
             route_workers=route_workers, profile=profile,
+            telemetry=telemetry,
         ))
 
 

@@ -76,6 +76,7 @@ from repro.errors import RoutingError
 from repro.netlist.dfg import MultiContextProgram
 from repro.netlist.netlist import CellKind, Netlist
 from repro.place.placer import Placement
+from repro.utils.telemetry import count as _tcount
 
 #: PathFinder schedule parameters.
 MAX_ITERATIONS = 40
@@ -493,6 +494,7 @@ class _FlatCongestion:
         ids = self.pressured_ids
         if not ids:
             return
+        _tcount("router.repriced_nodes", len(ids))
         idx = np.fromiter(ids, dtype=np.int64, count=len(ids))
         over = np.maximum(self.usage[idx] + 1 - self.capacity_np[idx], 0)
         vals = self.c.base_cost_np[idx] * (1.0 + self.pres_fac * over) \
@@ -504,6 +506,7 @@ class _FlatCongestion:
     def next_iteration(self) -> None:
         """One PathFinder escalation step: history bump, pressure-factor
         growth, and the targeted re-price they both invalidate."""
+        _tcount("router.pressure_rounds")
         self.bump_history()
         self.pres_fac *= PRES_FAC_MULT
         self._reprice_pressured()
@@ -535,12 +538,14 @@ def _dijkstra_flat(
     heap: list[tuple[float, int]] = []
     push = heapq.heappush
     pop = heapq.heappop
+    pops = 0
     for n in tree_nodes:
         stamp[n] = ep
         dist[n] = 0.0
         push(heap, (0.0, n))
     while heap:
         d, nid = pop(heap)
+        pops += 1
         if d > dist[nid] and stamp[nid] == ep:
             continue
         if nid == target:
@@ -550,6 +555,7 @@ def _dijkstra_flat(
                 tail = prev[tail]
                 path.append(tail)
             path.reverse()
+            _tcount("router.pops", pops, queue="heap")
             return path
         lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
         # non-SINK destinations (bulk of the fan-out, no kind test needed)
@@ -572,6 +578,7 @@ def _dijkstra_flat(
                 dist[nxt] = nd
                 prev[nxt] = nid
                 push(heap, (nd, nxt))
+    _tcount("router.pops", pops, queue="heap")
     return None
 
 
@@ -601,12 +608,14 @@ def _dijkstra_flat_edges(
     heap: list[tuple[float, int]] = []
     push = heapq.heappush
     pop = heapq.heappop
+    pops = 0
     for n in tree_nodes:
         stamp[n] = ep
         dist[n] = 0.0
         push(heap, (0.0, n))
     while heap:
         d, nid = pop(heap)
+        pops += 1
         if d > dist[nid] and stamp[nid] == ep:
             continue
         if nid == target:
@@ -616,6 +625,7 @@ def _dijkstra_flat_edges(
                 tail = prev[tail]
                 path.append(tail)
             path.reverse()
+            _tcount("router.pops", pops, queue="heap")
             return path
         lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
         for ei in range(lo, mid):
@@ -640,6 +650,7 @@ def _dijkstra_flat_edges(
                 dist[nxt] = nd
                 prev[nxt] = nid
                 push(heap, (nd, nxt))
+    _tcount("router.pops", pops, queue="heap")
     return None
 
 
@@ -680,6 +691,7 @@ def _dijkstra_flat_dial(
     order: list[float] = [0]  # heap of occupied bucket indices
     push_order = heapq.heappush
     pop_order = heapq.heappop
+    pops = 0
     for n in tree_nodes:
         stamp[n] = ep
         dist[n] = 0.0
@@ -688,6 +700,7 @@ def _dijkstra_flat_dial(
         bucket = buckets.pop(pop_order(order))
         bucket.sort()
         for d, nid in bucket:
+            pops += 1
             if d > dist[nid] and stamp[nid] == ep:
                 continue
             if nid == target:
@@ -697,6 +710,7 @@ def _dijkstra_flat_dial(
                     tail = prev[tail]
                     path.append(tail)
                 path.reverse()
+                _tcount("router.pops", pops, queue="dial")
                 return path
             lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
             # non-SINK destinations (bulk of the fan-out)
@@ -731,6 +745,7 @@ def _dijkstra_flat_dial(
                         push_order(order, bi)
                     else:
                         b.append((nd, nxt))
+    _tcount("router.pops", pops, queue="dial")
     return None
 
 
@@ -757,6 +772,7 @@ def _dijkstra_flat_edges_dial(
     order: list[float] = [0]
     push_order = heapq.heappush
     pop_order = heapq.heappop
+    pops = 0
     for n in tree_nodes:
         stamp[n] = ep
         dist[n] = 0.0
@@ -765,6 +781,7 @@ def _dijkstra_flat_edges_dial(
         bucket = buckets.pop(pop_order(order))
         bucket.sort()
         for d, nid in bucket:
+            pops += 1
             if d > dist[nid] and stamp[nid] == ep:
                 continue
             if nid == target:
@@ -774,6 +791,7 @@ def _dijkstra_flat_edges_dial(
                     tail = prev[tail]
                     path.append(tail)
                 path.reverse()
+                _tcount("router.pops", pops, queue="dial")
                 return path
             lo, mid, hi = estart[nid], emid[nid], estart[nid + 1]
             for ei in range(lo, mid):
@@ -810,6 +828,7 @@ def _dijkstra_flat_edges_dial(
                         push_order(order, bi)
                     else:
                         b.append((nd, nxt))
+    _tcount("router.pops", pops, queue="dial")
     return None
 
 
@@ -1262,6 +1281,9 @@ def _route_context_compiled(
             kept = _healthy_sink_paths(prior, defects)
             if kept:
                 seeds[sig] = kept
+            _tcount("router.warm.salvaged_sinks", len(kept))
+            _tcount("router.warm.researched_sinks",
+                    len(prior.sink_paths) - len(kept))
     if warm and reuse:
         # delta-reroute order: adopt every bank hit before the first
         # fresh search, so fresh (dirty) nets route against the full
@@ -1274,6 +1296,8 @@ def _route_context_compiled(
             (hits if endpoint_signature(e[1], e[2]) in reuse
              else misses).append(e)
         endpoints = hits + misses
+        _tcount("router.warm.adopted_nets", len(hits))
+        _tcount("router.warm.fresh_nets", len(misses))
     state = _FlatCongestion(c, defects)
     if warm and reuse:
         # delta-reroute pricing: fresh nets see adopted usage at full
@@ -1345,9 +1369,12 @@ def _route_context_compiled(
 
     overused_ids = state.overused_ids
     iteration = 1
+    ripped = 0
     while iteration < max_iterations:
         if not overused_ids:
             break
+        _tcount("router.overused_census", len(overused_ids))
+        _tcount("router.ripup_iterations")
         state.next_iteration()
         # rip up and reroute congested nets only; ``overused_ids`` is
         # live-updated by add/remove, so the test sees reroutes made
@@ -1362,12 +1389,15 @@ def _route_context_compiled(
             )
             routes[name] = fresh
             state.add(fresh.nodes)
+            ripped += 1
         iteration += 1
     else:
         raise RoutingError(
             f"context {context}: congestion unresolved after {max_iterations} "
             f"iterations ({state.overused()} overused nodes)"
         )
+    _tcount("router.contexts_routed")
+    _tcount("router.ripped_nets", ripped)
     return RouteResult(routes, iteration, context)
 
 

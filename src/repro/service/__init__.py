@@ -28,6 +28,7 @@ Quick taste::
 
 from repro.service.artifacts import ArtifactStore
 from repro.service.http import ReproService, run_server
+from repro.service.metrics import render_prometheus
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -52,5 +53,6 @@ __all__ = [
     "RUNNING",
     "ReproService",
     "TERMINAL_STATES",
+    "render_prometheus",
     "run_server",
 ]

@@ -19,6 +19,8 @@ Endpoints::
                                      event per line, ends after `done`
     DELETE /v1/jobs/{id}             cancel -> {"job": ..., "cancelled": b}
     GET    /v1/artifacts/{path}      a stored artifact (results dir)
+    GET    /v1/metrics               Prometheus text exposition of the
+                                     process-wide metrics registry
 
 Connections are ``Connection: close`` (one request per connection);
 the event stream is length-less NDJSON delimited by the close.  Job
@@ -39,6 +41,8 @@ from urllib.parse import unquote, urlsplit
 
 from repro.errors import JobError, JobNotFound, ReproError, RequestError
 from repro.service.jobs import JobManager
+from repro.service.metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.service.metrics import render_prometheus
 
 #: Largest accepted request body (a spec is a few KB; 8 MiB is ample).
 MAX_BODY = 8 << 20
@@ -158,6 +162,10 @@ class ReproService:
                 await self._respond_json(writer, 200, {
                     "jobs": [s.to_dict() for s in self.manager.jobs()]
                 })
+            elif path == "/v1/metrics" and method == "GET":
+                await self._respond(writer, 200,
+                                    render_prometheus().encode("utf-8"),
+                                    _METRICS_CONTENT_TYPE)
             elif path.startswith("/v1/jobs/"):
                 await self._job_route(method, path, writer)
             elif path.startswith("/v1/artifacts/") and method == "GET":

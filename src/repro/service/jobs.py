@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+import traceback as _tb
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -55,6 +57,7 @@ from repro.api.results import SpecResult
 from repro.api.serialize import stamp
 from repro.api.session import stage_rows
 from repro.errors import JobCancelled, JobError, JobNotFound
+from repro.utils.telemetry import GLOBAL
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -82,6 +85,10 @@ class _CancelJob(Exception):
     """Internal: the worker noticed the job's cancel flag."""
 
 
+def _format_traceback(exc: BaseException) -> str:
+    return "".join(_tb.format_exception(type(exc), exc, exc.__traceback__))
+
+
 @dataclass(frozen=True)
 class JobStatus:
     """One observable snapshot of a job."""
@@ -94,6 +101,8 @@ class JobStatus:
     rows_total: int
     stage: "str | None" = None     # current/last stage name
     error: "str | None" = None
+    error_type: "str | None" = None    # exception class name
+    traceback: "str | None" = None     # formatted traceback text
     children: tuple = ()           # child job ids (grid parents only)
 
     def to_dict(self) -> dict:
@@ -106,6 +115,8 @@ class JobStatus:
             "rows_total": self.rows_total,
             "stage": self.stage,
             "error": self.error,
+            "error_type": self.error_type,
+            "traceback": self.traceback,
             "children": list(self.children),
         })
 
@@ -133,6 +144,7 @@ class _Job:
         self.events: list[dict] = []
         self.cancel_event = threading.Event()
         self.future = None
+        self.submitted_at = time.perf_counter()
 
 
 class JobHandle:
@@ -287,6 +299,8 @@ class JobManager:
     def _register(self, job: _Job) -> None:
         with self._lock:
             self._jobs[job.job_id] = job
+        GLOBAL.inc("jobs.submitted", kind=job.kind)
+        GLOBAL.gauge_add("jobs.queue_depth", 1)
         self._emit(job, {"event": "status", "state": QUEUED})
 
     def _create_job(self, task, resume: bool,
@@ -321,6 +335,8 @@ class JobManager:
         self._register(parent)
         with parent.cond:
             parent.state = RUNNING
+        GLOBAL.gauge_add("jobs.queue_depth", -1)
+        GLOBAL.gauge_add("jobs.running", 1)
         self._emit(parent, {"event": "status", "state": RUNNING})
         # every child record joins parent.children *before* any child
         # starts: a fast first child finishing mid-submission must not
@@ -358,6 +374,10 @@ class JobManager:
                 rows_total=job.rows_total,
                 stage=job.stage,
                 error=str(job.error) if job.error is not None else None,
+                error_type=type(job.error).__name__
+                if job.error is not None else None,
+                traceback=_format_traceback(job.error)
+                if job.error is not None else None,
                 children=tuple(c.job_id for c in job.children),
             )
 
@@ -422,18 +442,28 @@ class JobManager:
         with job.cond:
             if job.state in TERMINAL_STATES:
                 return
+            prev_state = job.state
             job.state = state
             job.result = result
             job.error = error
             # the terminal event rides the same lock hold as the state
             # flip: observers never see a terminal state whose `done`
             # event is still in flight
-            job.events.append({
+            done = {
                 "event": "done", "state": state,
                 "error": str(error) if error is not None else None,
                 "job_id": job.job_id, "seq": len(job.events),
-            })
+            }
+            if error is not None:
+                done["error_type"] = type(error).__name__
+                done["traceback"] = _format_traceback(error)
+            job.events.append(done)
             job.cond.notify_all()
+        GLOBAL.gauge_add("jobs.running" if prev_state == RUNNING
+                         else "jobs.queue_depth", -1)
+        GLOBAL.inc("jobs.finished", state=state)
+        GLOBAL.observe("jobs.latency_seconds",
+                       time.perf_counter() - job.submitted_at)
         parent = job.parent
         if parent is not None:
             self._emit_flat(parent, {"event": "child", "state": state,
@@ -490,6 +520,8 @@ class JobManager:
             return
         with job.cond:
             job.state = RUNNING
+        GLOBAL.gauge_add("jobs.queue_depth", -1)
+        GLOBAL.gauge_add("jobs.running", 1)
         self._emit(job, {"event": "status", "state": RUNNING})
         try:
             if job.kind == "spec":
@@ -499,7 +531,9 @@ class JobManager:
         except _CancelJob:
             self._finish(job, CANCELLED)
         except Exception as exc:  # reported via status/result, not lost
-            self._emit(job, {"event": "error", "error": str(exc)})
+            self._emit(job, {"event": "error", "error": str(exc),
+                             "error_type": type(exc).__name__,
+                             "traceback": _format_traceback(exc)})
             self._finish(job, FAILED, error=exc)
         else:
             self._finish(job, DONE, result=result)

@@ -1,0 +1,87 @@
+"""Prometheus text exposition for the telemetry registry.
+
+Renders a :class:`repro.utils.telemetry.MetricsRegistry` snapshot in
+the Prometheus text format (version 0.0.4) served by ``GET
+/v1/metrics``.  Metric names are sanitized to the Prometheus alphabet
+(``router.pops`` -> ``repro_router_pops``); label text is preserved
+verbatim from the registry's rendered series keys.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.telemetry import GLOBAL, split_series
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """``router.pops`` -> ``repro_router_pops``."""
+    clean = _SANITIZE.sub("_", name)
+    if not clean.startswith("repro_"):
+        clean = "repro_" + clean
+    return clean
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _sample(name: str, labels: str, value, extra: str = "") -> str:
+    inner = ",".join(part for part in (labels, extra) if part)
+    tail = f"{{{inner}}}" if inner else ""
+    return f"{name}{tail} {_fmt(value)}"
+
+
+def render_prometheus(registry=None) -> str:
+    """The full exposition text for one registry (default: global)."""
+    snap = (registry if registry is not None else GLOBAL).snapshot()
+    lines: list = []
+
+    by_name: dict = {}
+    for key, value in sorted(snap["counters"].items()):
+        name, labels = split_series(key)
+        by_name.setdefault(metric_name(name), []).append((labels, value))
+    for name, samples in by_name.items():
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in samples:
+            lines.append(_sample(name, labels, value))
+
+    by_name = {}
+    for key, value in sorted(snap["gauges"].items()):
+        name, labels = split_series(key)
+        by_name.setdefault(metric_name(name), []).append((labels, value))
+    for name, samples in by_name.items():
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples:
+            lines.append(_sample(name, labels, value))
+
+    by_name = {}
+    for key, hist in sorted(snap["histograms"].items()):
+        name, labels = split_series(key)
+        by_name.setdefault(metric_name(name), []).append((labels, hist))
+    for name, samples in by_name.items():
+        lines.append(f"# TYPE {name} histogram")
+        for labels, hist in samples:
+            for bound, cumulative in zip(hist["bounds"], hist["buckets"]):
+                lines.append(_sample(
+                    f"{name}_bucket", labels, cumulative,
+                    extra=f'le="{_fmt(bound)}"',
+                ))
+            lines.append(_sample(
+                f"{name}_bucket", labels, hist["count"], extra='le="+Inf"'
+            ))
+            lines.append(_sample(f"{name}_sum", labels, hist["sum"]))
+            lines.append(_sample(f"{name}_count", labels, hist["count"]))
+
+    return "\n".join(lines) + "\n" if lines else "\n"

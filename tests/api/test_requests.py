@@ -215,6 +215,26 @@ class TestRouteWorkersConfig:
         assert cfg.route_workers is None
 
 
+class TestTelemetryConfig:
+    def test_off_by_default_and_omitted_from_payload(self):
+        cfg = ExecutionConfig()
+        assert cfg.telemetry is False
+        # omit-when-off: payloads (and resume keys hashed from them)
+        # stay byte-identical to pre-telemetry schemas
+        assert "telemetry" not in cfg.to_dict()
+        assert ExecutionConfig(telemetry=False).to_dict() == cfg.to_dict()
+
+    def test_round_trip_when_on(self):
+        cfg = ExecutionConfig(telemetry=True)
+        d = cfg.to_dict()
+        assert d["telemetry"] is True
+        assert ExecutionConfig.from_dict(d) == cfg
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(RequestError, match="telemetry"):
+            ExecutionConfig(telemetry=1)
+
+
 class TestRequestTotalRows:
     def test_single_shot_requests(self):
         from repro.api import request_total_rows

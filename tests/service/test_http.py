@@ -198,6 +198,91 @@ class TestErrors:
         assert code in (404, 405)
 
 
+class TestErrorPaths:
+    """Every error path answers structured JSON with the right code."""
+
+    def test_malformed_json_body_is_400(self, service):
+        host, port = service.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/jobs", data=b"{not json",
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        assert "not JSON" in json.loads(err.value.read())["error"]
+
+    def test_unknown_job_events_is_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _events(service, "job-424242")
+        assert err.value.code == 404
+        assert "unknown job id" in json.loads(err.value.read())["error"]
+
+    def test_unsupported_method_on_known_job_is_405(self, service):
+        # a real job id: method dispatch happens after the id lookup
+        _, doc = _call(service, "POST", "/v1/jobs",
+                       {"request": SWEEP.to_dict()})
+        job_id = doc["job"]["job_id"]
+        _events(service, job_id)  # wait for completion
+        for method, path in [("PUT", f"/v1/jobs/{job_id}"),
+                             ("DELETE", f"/v1/jobs/{job_id}/events")]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _call(service, method, path)
+            assert err.value.code == 405
+            assert "unsupported" in json.loads(err.value.read())["error"]
+
+
+class ExplodingSession(Session):
+    """Streams nothing: every request detonates at run time."""
+
+    def stream(self, request, progress=None):
+        raise RuntimeError("boom at runtime")
+
+
+class TestFailedJobEvents:
+    def test_failed_job_stream_carries_typed_error(self):
+        manager = JobManager(session=ExplodingSession(), workers=1)
+        svc = ReproService(manager, port=0)
+        svc.start()
+        try:
+            _, doc = _call(svc, "POST", "/v1/jobs",
+                           {"request": SWEEP.to_dict()})
+            job_id = doc["job"]["job_id"]
+            events = _events(svc, job_id)
+            errors = [ev for ev in events if ev["event"] == "error"]
+            assert errors and errors[0]["error"] == "boom at runtime"
+            assert errors[0]["error_type"] == "RuntimeError"
+            assert "RuntimeError: boom at runtime" in errors[0]["traceback"]
+            done = events[-1]
+            assert done["event"] == "done" and done["state"] == "failed"
+            assert done["error_type"] == "RuntimeError"
+            assert "Traceback" in done["traceback"]
+            _, doc = _call(svc, "GET", f"/v1/jobs/{job_id}")
+            assert doc["job"]["state"] == "failed"
+            assert doc["job"]["error_type"] == "RuntimeError"
+            assert "boom at runtime" in doc["job"]["traceback"]
+        finally:
+            svc.stop()
+            manager.shutdown(wait=False, cancel=True)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, service):
+        # run a job through the service so the job counters exist
+        _, doc = _call(service, "POST", "/v1/jobs",
+                       {"request": SWEEP.to_dict()})
+        _events(service, doc["job"]["job_id"])
+        host, port = service.address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/metrics"
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode("utf-8")
+        assert "# TYPE repro_jobs_submitted counter" in body
+        assert "repro_jobs_submitted" in body
+
+
 class TestCancelOverHttp:
     def test_delete_cancels_mid_stream_without_leaking_workers(self):
         gated = GatedSession()

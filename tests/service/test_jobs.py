@@ -119,6 +119,40 @@ class TestRequestJobs:
             with pytest.raises(Exception, match="no-such-workload"):
                 handle.result(timeout=1)
 
+    def test_failed_job_carries_type_and_traceback(self, session):
+        with JobManager(session=session, workers=1) as m:
+            bad = SweepRequest(what="channel-width", grid=5, values=(6,),
+                               execution=EXEC)
+            object.__setattr__(bad, "workload", "no-such-workload")
+            handle = m.submit(bad)
+            status = handle.wait(timeout=120)
+            assert status.state == FAILED
+            assert status.error_type  # the exception's class name
+            assert "no-such-workload" in status.traceback
+            assert "Traceback (most recent call last):" in status.traceback
+            doc = status.to_dict()
+            assert doc["error_type"] == status.error_type
+            assert doc["traceback"] == status.traceback
+            events = list(handle.events())
+            errs = [ev for ev in events if ev["event"] == "error"]
+            assert errs and errs[0]["error_type"] == status.error_type
+            assert "no-such-workload" in errs[0]["traceback"]
+            done = events[-1]
+            assert done["event"] == "done" and done["state"] == FAILED
+            assert done["error_type"] == status.error_type
+            assert "no-such-workload" in done["traceback"]
+
+    def test_successful_job_status_has_no_error_fields(self, manager):
+        handle = manager.submit(MapRequest(workload="adder", contexts=2,
+                                           execution=EXEC))
+        status = handle.wait(timeout=120)
+        assert status.state == DONE
+        assert status.error is None
+        assert status.error_type is None and status.traceback is None
+        done = list(handle.events())[-1]
+        assert done["error"] is None
+        assert "error_type" not in done and "traceback" not in done
+
     def test_unknown_job_id(self, manager):
         with pytest.raises(JobError, match="unknown job id"):
             manager.handle("job-999999")

@@ -1,0 +1,63 @@
+"""Prometheus text exposition of the metrics registry."""
+
+from repro.service.metrics import CONTENT_TYPE, metric_name, render_prometheus
+from repro.utils.telemetry import MetricsRegistry
+
+
+class TestMetricNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert metric_name("router.pops") == "repro_router_pops"
+        assert metric_name("jobs.latency_seconds") == \
+            "repro_jobs_latency_seconds"
+
+    def test_existing_prefix_not_doubled(self):
+        assert metric_name("repro_already") == "repro_already"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_blank_line(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_counter_exposition(self):
+        reg = MetricsRegistry()
+        reg.inc("router.pops", 41, queue="dial")
+        reg.inc("router.pops", 1, queue="heap")
+        reg.inc("nets", 3)
+        text = render_prometheus(reg)
+        lines = text.splitlines()
+        assert "# TYPE repro_router_pops counter" in lines
+        assert 'repro_router_pops{queue="dial"} 41' in lines
+        assert 'repro_router_pops{queue="heap"} 1' in lines
+        assert "repro_nets 3" in lines
+        # one TYPE line per metric name, before its samples
+        assert lines.count("# TYPE repro_router_pops counter") == 1
+
+    def test_gauge_exposition(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("jobs.queue_depth", 4)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_jobs_queue_depth gauge" in text
+        assert "repro_jobs_queue_depth 4" in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 3.0, 100.0):
+            reg.observe("jobs.latency_seconds", v, buckets=(1.0, 5.0))
+        lines = render_prometheus(reg).splitlines()
+        assert "# TYPE repro_jobs_latency_seconds histogram" in lines
+        assert 'repro_jobs_latency_seconds_bucket{le="1.0"} 1' in lines
+        assert 'repro_jobs_latency_seconds_bucket{le="5.0"} 2' in lines
+        assert 'repro_jobs_latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_jobs_latency_seconds_sum 103.5" in lines
+        assert "repro_jobs_latency_seconds_count 3" in lines
+
+    def test_labelled_histogram_keeps_labels_with_le(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.2, buckets=(1.0,), kind="spec")
+        lines = render_prometheus(reg).splitlines()
+        assert 'repro_lat_bucket{kind="spec",le="1.0"} 1' in lines
+        assert 'repro_lat_count{kind="spec"} 1' in lines
+
+    def test_content_type_is_prometheus_0_0_4(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+        assert CONTENT_TYPE.startswith("text/plain")

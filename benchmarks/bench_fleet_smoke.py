@@ -1,0 +1,239 @@
+"""Fleet smoke: one coordinator, two pull workers, one murdered worker.
+
+End-to-end exercise of the distributed job fleet as real processes:
+
+1. **bit-identity** — a coordinator (``repro serve --executor
+   external``) plus two ``repro worker`` processes run the ci_smoke
+   spec; the streamed rows must concatenate to exactly the blocking
+   single-process result of the same spec;
+2. **crash recovery** — a slower spec is submitted, the worker holding
+   its lease is SIGKILLed mid-run, the lease expires, the job requeues
+   (the ``requeued`` event is asserted) and a replacement worker
+   completes it — rows again bit-identical;
+3. **observability** — a ``/v1/metrics`` scrape must expose the fleet
+   gauges/counters (``repro_fleet_leases_active``,
+   ``repro_fleet_leases_expired``, ``repro_fleet_jobs_requeued``).
+
+Runs standalone (``python benchmarks/bench_fleet_smoke.py [--smoke]``)
+for the CI ``fleet-smoke`` job; ``--smoke`` and the full run are the
+same size (it is already minimal).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CI_SMOKE = REPO_ROOT / "examples" / "specs" / "ci_smoke.json"
+
+#: Slow enough (~4 s) that a worker can be killed mid-run.
+CRASH_SPEC = {
+    "schema_version": 1,
+    "name": "fleet-crash",
+    "workload": "adder",
+    "arch": {"grid": 6, "width": 8},
+    "execution": {"backend": "sequential", "seed": 0, "effort": 0.3},
+    "stages": [
+        {"stage": "map", "contexts": 2},
+        {"stage": "sweep", "what": "channel-width",
+         "values": [6, 7, 8, 9, 10, 11]},
+        {"stage": "yield", "rates": [0.0, 0.02, 0.04, 0.06],
+         "trials": 24},
+        {"stage": "report"},
+    ],
+}
+
+LEASE_TTL = 2.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+class Proc:
+    """A subprocess with line-buffered stdout watching."""
+
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv, env=_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        self.lines: list = []
+        self._queue: queue.Queue = queue.Queue()
+        threading.Thread(target=self._pump, daemon=True).start()
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            self._queue.put(line)
+        self._queue.put(None)
+
+    def wait_line(self, pattern: str, timeout: float = 60.0):
+        compiled = re.compile(pattern)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                line = self._queue.get(timeout=0.25)
+            except queue.Empty:
+                continue
+            if line is None:
+                break
+            self.lines.append(line)
+            match = compiled.search(line)
+            if match:
+                return match
+        raise AssertionError(f"never saw {pattern!r} in:\n"
+                             + "".join(self.lines))
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait(timeout=30)
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _events(base: str, job_id: str, timeout: float = 300.0) -> list:
+    with urllib.request.urlopen(f"{base}/v1/jobs/{job_id}/events",
+                                timeout=timeout) as resp:
+        return [json.loads(line) for line in resp]
+
+
+def _blocking_rows(spec_payload: dict) -> list:
+    """The clean single-process row stream (what ``repro run`` folds)."""
+    from repro.api import ExperimentSpec, Session
+
+    spec = ExperimentSpec.from_dict(spec_payload)
+    return [item.to_dict()
+            for kind, _i, _n, item in Session().iter_spec_events(spec)
+            if kind == "row"]
+
+
+def _spawn_worker(base: str, name: str) -> Proc:
+    worker = Proc([sys.executable, "-m", "repro", "worker",
+                   "--url", base, "--name", name, "--poll", "0.2"])
+    worker.wait_line(rf"repro worker {name} pulling")
+    return worker
+
+
+def main(argv) -> int:
+    from benchlib import write_bench
+
+    t0 = time.perf_counter()
+    spec = json.loads(CI_SMOKE.read_text())
+    workers: list = []
+    coordinator = None
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as results:
+        try:
+            coordinator = Proc([
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--results-dir", results, "--workers", "1",
+                "--executor", "external", "--lease-ttl", str(LEASE_TTL),
+            ])
+            match = coordinator.wait_line(
+                r"listening on http://([\d.]+):(\d+)")
+            base = f"http://{match.group(1)}:{match.group(2)}"
+
+            # -- phase 1: 2 workers, bit-identity vs blocking --------- #
+            workers = [_spawn_worker(base, f"w{i}") for i in (1, 2)]
+            job = _post(base, "/v1/jobs", {"spec": spec})["job"]
+            events = _events(base, job["job_id"])
+            assert events[-1]["state"] == "done", events[-1]
+            rows = [ev["data"] for ev in events if ev["event"] == "row"]
+            expected = _blocking_rows(spec)
+            assert rows == expected, \
+                "fleet rows diverged from the blocking run"
+            print(f"phase 1 ok: {len(rows)} rows bit-identical "
+                  f"across 2 remote workers")
+
+            # -- phase 2: SIGKILL the leaseholder mid-job ------------- #
+            crash_job = _post(base, "/v1/jobs",
+                              {"spec": CRASH_SPEC})["job"]
+            job_id = crash_job["job_id"]
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if _get(base, f"/v1/jobs/{job_id}")["job"]["state"] \
+                        == "running":
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("crash job never started running")
+            # one of the two holds the lease; kill both to be sure,
+            # then bring in a fresh replacement
+            for worker in workers:
+                worker.kill()
+            print("phase 2: workers SIGKILLed mid-job; waiting for "
+                  "the lease to expire")
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                status = _get(base, f"/v1/jobs/{job_id}")["job"]
+                if status["retries"] >= 1:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("lease never expired/requeued")
+            workers = [_spawn_worker(base, "w3")]
+            events = _events(base, job_id)
+            assert events[-1]["state"] == "done", events[-1]
+            requeues = [ev for ev in events if ev["event"] == "requeued"]
+            assert requeues, "no requeued event after the worker died"
+            rows = [ev["data"] for ev in events if ev["event"] == "row"]
+            assert rows == _blocking_rows(CRASH_SPEC), \
+                "post-requeue rows diverged from the blocking run"
+            print(f"phase 2 ok: requeue attempt "
+                  f"{requeues[0]['attempt']}, {len(rows)} rows "
+                  f"bit-identical after recovery")
+
+            # -- phase 3: the fleet is observable --------------------- #
+            with urllib.request.urlopen(base + "/v1/metrics",
+                                        timeout=30) as resp:
+                text = resp.read().decode("utf-8")
+            for needle in ("repro_fleet_leases_active",
+                           "repro_fleet_leases_expired",
+                           "repro_fleet_jobs_requeued"):
+                assert needle in text, f"{needle} missing from scrape"
+            print("phase 3 ok: fleet gauges visible in /v1/metrics")
+        finally:
+            for worker in workers:
+                worker.kill()
+            if coordinator is not None:
+                if coordinator.proc.poll() is None:
+                    coordinator.proc.send_signal(signal.SIGTERM)
+                    coordinator.proc.wait(timeout=60)
+
+    wall = time.perf_counter() - t0
+    write_bench("fleet", speedup=1.0, wall_s=wall, gate=True,
+                detail={"requeue_attempts": requeues[0]["attempt"],
+                        "rows": len(rows)})
+    print(f"fleet smoke ok in {wall:.1f}s: bit-identity, lease-expiry "
+          f"requeue, metrics scrape")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,7 +16,10 @@ Exposes the library's main flows without writing Python::
     python -m repro run examples/specs/ci_smoke.json --json  # run a spec
     python -m repro trace examples/specs/ci_smoke.json -o trace.json
     python -m repro serve --port 8321 --results-dir results  # HTTP service
+    python -m repro worker --url http://127.0.0.1:8321       # fleet worker
+    python -m repro artifacts gc --results-dir results --keep 20
     python -m repro jobs submit examples/specs/ci_smoke.json --watch
+    python -m repro jobs list --state running --limit 10
 
 Every subcommand follows the same shape: parse arguments, build a
 typed request (:mod:`repro.api.requests`), execute it on a
@@ -216,21 +219,79 @@ def build_parser() -> argparse.ArgumentParser:
                         "GET /v1/artifacts)")
     p.add_argument("--workers", type=int, default=2,
                    help="how many jobs run concurrently")
+    p.add_argument("--executor", choices=["thread", "process", "external"],
+                   default="thread",
+                   help="how locally-dispatched jobs run (external = "
+                        "remote `repro worker` pulls only)")
+    p.add_argument("--auth", default=None, metavar="TOKENS_JSON",
+                   help="bearer-token config file; gates submit/cancel "
+                        "and worker endpoints")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="pending-job cap before submissions get 429")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a worker lease survives without events")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="lease-expiry requeues before a job fails")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds SIGTERM waits for running jobs")
+
+    p = sub.add_parser(
+        "worker",
+        help="pull and run jobs from a coordinator (`repro serve`)",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="coordinator base URL")
+    p.add_argument("--token", default=None,
+                   help="bearer token (when the coordinator runs --auth)")
+    p.add_argument("--name", default=None,
+                   help="worker name reported with each lease")
+    p.add_argument("--poll", type=float, default=1.0,
+                   help="seconds each idle lease long-poll waits")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after this many completed jobs")
+
+    p = sub.add_parser(
+        "artifacts",
+        help="inspect or garbage-collect a results directory",
+    )
+    p.add_argument("action", choices=["list", "gc"])
+    p.add_argument("--results-dir", required=True,
+                   help="the artifact store to operate on")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="gc: drop runs whose newest file is older")
+    p.add_argument("--keep", type=int, default=None,
+                   help="gc: keep at most this many newest runs")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc: report what would be removed, remove nothing")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of a table")
 
     p = sub.add_parser(
         "jobs", help="talk to a running `repro serve` instance"
     )
     p.add_argument("action",
-                   choices=["submit", "status", "events", "cancel", "list"])
+                   choices=["submit", "status", "events", "cancel",
+                            "list", "result"])
     p.add_argument("target", nargs="?", default=None,
-                   help="spec file (submit) or job id (status/events/cancel)")
+                   help="spec file (submit) or job id "
+                        "(status/events/cancel/result)")
     p.add_argument("--url", default="http://127.0.0.1:8321",
                    help="base URL of the service")
+    p.add_argument("--token", default=None,
+                   help="bearer token (when the server runs --auth)")
     p.add_argument("--resume", action="store_true",
                    help="submit with resume (skip stages already in the "
                         "server's artifact store)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="submit: scheduling priority (higher runs first)")
     p.add_argument("--watch", action="store_true",
                    help="after submit, follow the job's event stream")
+    p.add_argument("--state", default=None,
+                   choices=["queued", "running", "done", "failed",
+                            "cancelled"],
+                   help="list: only jobs in this state")
+    p.add_argument("--limit", type=int, default=None,
+                   help="list: only the newest N jobs")
     return parser
 
 
@@ -561,13 +622,58 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import run_server
 
-    run_server(host=args.host, port=args.port,
-               results_dir=args.results_dir, workers=args.workers)
+    return run_server(host=args.host, port=args.port,
+                      results_dir=args.results_dir, workers=args.workers,
+                      executor=args.executor, auth=args.auth,
+                      max_queue=args.max_queue, lease_ttl=args.lease_ttl,
+                      max_retries=args.max_retries,
+                      drain_timeout=args.drain_timeout)
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fleet import worker_main
+
+    return worker_main(args.url, token=args.token, name=args.name,
+                       poll=args.poll, max_jobs=args.max_jobs)
+
+
+def cmd_artifacts(args: argparse.Namespace) -> int:
+    from repro.fleet import artifact_index, gc_artifacts
+    from repro.service import ArtifactStore
+
+    store = ArtifactStore(args.results_dir)
+    if args.action == "list":
+        entries = artifact_index(store)
+        if args.json:
+            print(json.dumps({
+                "artifacts": [e.to_dict() for e in entries],
+                "count": len(entries),
+                "bytes": sum(e.bytes for e in entries),
+            }, indent=2))
+            return 0
+        print(f"{'kind':<8} {'files':>5} {'bytes':>10}  relpath")
+        for entry in entries:
+            print(f"{entry.kind:<8} {entry.files:>5} {entry.bytes:>10}  "
+                  f"{entry.relpath}")
+        print(f"total: {len(entries)} unit(s), "
+              f"{sum(e.bytes for e in entries)} bytes")
+        return 0
+    report = gc_artifacts(store, max_age_days=args.max_age_days,
+                          max_count=args.keep, dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"scanned {report.scanned} unit(s); {verb} {report.deleted} "
+          f"({report.bytes_freed} bytes), kept {report.kept}")
+    for relpath in report.removed:
+        print(f"  - {relpath}")
     return 0
 
 
 def cmd_jobs(args: argparse.Namespace) -> int:
     import urllib.error
+    import urllib.parse
     import urllib.request
 
     base = args.url.rstrip("/")
@@ -575,6 +681,8 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     def call(method: str, path: str, payload=None):
         data = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if data else {}
+        if args.token:
+            headers["Authorization"] = f"Bearer {args.token}"
         req = urllib.request.Request(base + path, data=data, method=method,
                                      headers=headers)
         return urllib.request.urlopen(req)
@@ -586,7 +694,15 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     try:
         if args.action == "list":
-            print(call("GET", "/v1/jobs").read().decode())
+            params = {}
+            if args.state is not None:
+                params["state"] = args.state
+            if args.limit is not None:
+                params["limit"] = str(args.limit)
+            path = "/v1/jobs"
+            if params:
+                path += "?" + urllib.parse.urlencode(params)
+            print(call("GET", path).read().decode())
         elif args.action == "submit":
             if args.target is None:
                 print("error: submit needs a spec file", file=sys.stderr)
@@ -602,6 +718,7 @@ def cmd_jobs(args: argparse.Namespace) -> int:
                 return 2
             resp = json.loads(call("POST", "/v1/jobs", {
                 "spec": doc, "resume": args.resume,
+                "priority": args.priority,
             }).read())
             print(json.dumps(resp, indent=2))
             if args.watch:
@@ -613,6 +730,9 @@ def cmd_jobs(args: argparse.Namespace) -> int:
                 return 2
             if args.action == "status":
                 print(call("GET", f"/v1/jobs/{args.target}").read().decode())
+            elif args.action == "result":
+                print(call("GET", f"/v1/jobs/{args.target}/result")
+                      .read().decode())
             elif args.action == "cancel":
                 print(call("DELETE",
                            f"/v1/jobs/{args.target}").read().decode())
@@ -670,17 +790,19 @@ _COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "serve": cmd_serve,
+    "worker": cmd_worker,
+    "artifacts": cmd_artifacts,
     "jobs": cmd_jobs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.errors import JobError, RequestError
+    from repro.errors import AuthError, JobError, RequestError
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (RequestError, JobError) as exc:
+    except (RequestError, JobError, AuthError) as exc:
         # one altitude for every command: invalid request/spec values
         # (including SpecError) and job-layer misuse report as
         # `error: ...` and exit 2

@@ -67,3 +67,24 @@ class JobNotFound(JobError):
 class JobCancelled(JobError):
     """Raised by :meth:`repro.service.JobHandle.result` when the job
     was cancelled before producing a result."""
+
+
+class QueueFull(JobError):
+    """The scheduler's pending queue is at capacity — back off and
+    retry (the HTTP layer's 429 + ``Retry-After``)."""
+
+
+class QuotaExceeded(JobError):
+    """The submitting client is at its in-flight job quota (another
+    flavour of the HTTP layer's 429)."""
+
+
+class AuthError(ReproError):
+    """Missing or invalid bearer token on an authenticated endpoint
+    (the HTTP layer's 401)."""
+
+
+class LeaseExpired(JobError):
+    """The referenced worker lease is unknown or already expired —
+    its job has been requeued or finished elsewhere (the HTTP
+    layer's 410)."""

@@ -1,0 +1,125 @@
+"""Static bearer-token auth for the fleet's HTTP endpoints.
+
+The coordinator loads a JSON token file at startup
+(``repro serve --auth tokens.json``)::
+
+    {
+      "tokens": [
+        {"token": "s3cret-alice", "client": "alice", "quota": 4},
+        {"token": "s3cret-fleet", "client": "fleet-workers"}
+      ]
+    }
+
+Each token names a *client*; ``quota`` (optional) caps that client's
+in-flight top-level jobs — the scheduler enforces it, this module just
+carries it.  Submit and lease endpoints require a valid
+``Authorization: Bearer <token>`` header once auth is configured;
+read-only endpoints (status, events, metrics, artifacts) stay open,
+matching the usual "writes are authenticated, reads are cluster-
+internal" serving posture.
+
+Static tokens are deliberate: the fleet targets lab-internal
+deployments where rotating a JSON file is operationally trivial and a
+token service is not.  Comparison is constant-time
+(:func:`hmac.compare_digest`); error messages never echo the
+presented token.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import AuthError, RequestError
+
+
+@dataclass(frozen=True)
+class Client:
+    """One authenticated principal."""
+
+    name: str
+    quota: "int | None" = None
+
+
+class TokenAuth:
+    """Token -> :class:`Client` lookup with constant-time matching."""
+
+    def __init__(self, tokens: "dict[str, Client]") -> None:
+        if not tokens:
+            raise RequestError("auth config has no tokens")
+        self._tokens = dict(tokens)
+
+    @classmethod
+    def load(cls, path) -> "TokenAuth":
+        """Parse a token file (see module docstring for the format)."""
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RequestError(f"cannot read auth config {path}: {exc}") \
+                from exc
+        entries = doc.get("tokens") if isinstance(doc, dict) else None
+        if not isinstance(entries, list):
+            raise RequestError(
+                f"auth config {path} needs a top-level 'tokens' list"
+            )
+        tokens: dict[str, Client] = {}
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise RequestError(
+                    f"auth config {path}: tokens[{i}] is not an object"
+                )
+            token = entry.get("token")
+            client = entry.get("client")
+            if not isinstance(token, str) or not token:
+                raise RequestError(
+                    f"auth config {path}: tokens[{i}] needs a non-empty "
+                    f"'token' string"
+                )
+            if not isinstance(client, str) or not client:
+                raise RequestError(
+                    f"auth config {path}: tokens[{i}] needs a non-empty "
+                    f"'client' string"
+                )
+            quota = entry.get("quota")
+            if quota is not None and (not isinstance(quota, int)
+                                      or quota < 1):
+                raise RequestError(
+                    f"auth config {path}: tokens[{i}] quota must be a "
+                    f"positive int, got {quota!r}"
+                )
+            if token in tokens:
+                raise RequestError(
+                    f"auth config {path}: duplicate token at tokens[{i}]"
+                )
+            tokens[token] = Client(name=client, quota=quota)
+        return cls(tokens)
+
+    def authenticate(self, authorization: "str | None") -> Client:
+        """The client behind an ``Authorization`` header value.
+
+        Raises :class:`~repro.errors.AuthError` on a missing header,
+        a non-bearer scheme, or an unknown token.
+        """
+        if not authorization:
+            raise AuthError("missing Authorization header "
+                            "(expected 'Bearer <token>')")
+        scheme, _, presented = authorization.partition(" ")
+        presented = presented.strip()
+        if scheme.lower() != "bearer" or not presented:
+            raise AuthError("Authorization header must be "
+                            "'Bearer <token>'")
+        for token, client in self._tokens.items():
+            if hmac.compare_digest(token, presented):
+                return client
+        raise AuthError("unknown bearer token")
+
+    def quotas(self) -> "dict[str, int]":
+        """Per-client quota map for the scheduler."""
+        return {c.name: c.quota for c in self._tokens.values()
+                if c.quota is not None}
+
+    def __len__(self) -> int:
+        return len(self._tokens)

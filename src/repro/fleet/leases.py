@@ -1,0 +1,105 @@
+"""Worker leases: time-bounded ownership of one job by one worker.
+
+A lease is the fleet's liveness contract.  When a worker pulls a job
+(``POST /v1/workers/lease``) the coordinator grants a :class:`Lease`
+with a TTL; every event batch the worker posts (heartbeats included)
+renews it.  A worker that dies — SIGKILL, network partition, wedged
+host — simply stops renewing, the coordinator's expiry sweep collects
+the lease, and the job goes back to the scheduler with its retry
+counter bumped.  No worker-side cleanup is ever required, which is
+the entire point of lease-based (rather than connection-based)
+ownership.
+
+Event posts against an expired or unknown lease raise
+:class:`~repro.errors.LeaseExpired` (HTTP 410): the slow worker's
+stale rows must never corrupt the job its successor is re-running.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+
+from repro.errors import JobError, LeaseExpired
+
+
+class Lease:
+    """One worker's time-bounded claim on one job."""
+
+    __slots__ = ("lease_id", "job", "worker", "ttl", "deadline",
+                 "granted_at", "renewals")
+
+    def __init__(self, lease_id: str, job, worker: str, ttl: float,
+                 now: float) -> None:
+        self.lease_id = lease_id
+        self.job = job
+        self.worker = worker
+        self.ttl = ttl
+        self.deadline = now + ttl
+        self.granted_at = now
+        self.renewals = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "lease_id": self.lease_id,
+            "job_id": self.job.job_id,
+            "worker": self.worker,
+            "ttl": self.ttl,
+            "renewals": self.renewals,
+        }
+
+
+class LeaseTable:
+    """All live leases, with TTL-driven expiry collection."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: dict[str, Lease] = {}
+
+    def grant(self, job, worker: str = "", ttl: float = 30.0) -> Lease:
+        if ttl <= 0:
+            raise JobError(f"lease ttl must be positive, got {ttl!r}")
+        lease = Lease(f"lease-{secrets.token_hex(8)}", job, worker, ttl,
+                      self._clock())
+        with self._lock:
+            self._leases[lease.lease_id] = lease
+        return lease
+
+    def renew(self, lease_id: str) -> Lease:
+        """Extend the lease's deadline by its TTL; the fleet's
+        heartbeat.  :class:`~repro.errors.LeaseExpired` for an unknown
+        or already-collected lease."""
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                raise LeaseExpired(
+                    f"lease {lease_id!r} is unknown or expired — its job "
+                    f"was requeued or finished; abandon this attempt"
+                )
+            lease.deadline = self._clock() + lease.ttl
+            lease.renewals += 1
+            return lease
+
+    def release(self, lease_id: str) -> "Lease | None":
+        """Drop a lease (job finished or was cancelled)."""
+        with self._lock:
+            return self._leases.pop(lease_id, None)
+
+    def expired(self) -> "list[Lease]":
+        """Collect (and drop) every lease past its deadline."""
+        now = self._clock()
+        with self._lock:
+            dead = [l for l in self._leases.values() if l.deadline < now]
+            for lease in dead:
+                del self._leases[lease.lease_id]
+            return dead
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def snapshot(self) -> "list[dict]":
+        with self._lock:
+            return [lease.to_dict() for lease in self._leases.values()]

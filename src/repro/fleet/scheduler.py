@@ -1,0 +1,182 @@
+"""Priority scheduler for the job fleet: one queue, many pullers.
+
+Replaces the bare ``ThreadPoolExecutor`` hand-off inside the
+:class:`~repro.service.jobs.JobManager`: every runnable job lands in
+one :class:`Scheduler`, and every executor — local dispatcher threads,
+process-per-job dispatchers, remote workers leasing over HTTP — pulls
+from it through the same :meth:`Scheduler.pop`.
+
+Policy, in order:
+
+- **priority classes**: higher ``priority`` pops first; within one
+  class strictly FIFO (a monotone sequence number breaks ties, so two
+  equal-priority submissions never reorder);
+- **backpressure**: :meth:`push` raises
+  :class:`~repro.errors.QueueFull` once ``max_queue`` jobs are
+  pending — the HTTP layer turns that into ``429 + Retry-After``.
+  Requeues of already-admitted work (lease expiry, crash recovery)
+  bypass the cap with ``force=True``: re-admission is not a new
+  submission;
+- **per-client quotas**: :meth:`charge` counts *in-flight* (queued or
+  running) top-level jobs per client and raises
+  :class:`~repro.errors.QuotaExceeded` past the client's cap;
+  :meth:`release` returns the slot when the job goes terminal;
+- **pause**: a draining coordinator calls :meth:`pause` — pending jobs
+  stay queued (and journaled) but :meth:`pop` hands out nothing, so
+  SIGTERM stops leasing without losing work.
+
+Everything is condition-guarded; :meth:`pop` blocks up to ``timeout``
+and returns ``None`` on expiry, which keeps dispatcher loops polling
+cheaply without busy-waiting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.errors import JobError, QueueFull, QuotaExceeded
+from repro.utils.telemetry import GLOBAL
+
+
+class Scheduler:
+    """Bounded priority queue with per-client admission quotas."""
+
+    def __init__(self, max_queue: int = 1024,
+                 quotas: "dict[str, int] | None" = None) -> None:
+        if not isinstance(max_queue, int) or max_queue < 1:
+            raise JobError(
+                f"max_queue must be a positive int, got {max_queue!r}"
+            )
+        self.max_queue = max_queue
+        #: client name -> max in-flight top-level jobs (absent = unlimited)
+        self.quotas = dict(quotas or {})
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._heap: list = []          # (-priority, seq, entry)
+        self._entries: dict = {}       # id(job) -> entry
+        self._seq = itertools.count()
+        self._inflight: dict[str, int] = {}
+        self._paused = False
+
+    # -- admission ----------------------------------------------------------- #
+    def charge(self, client: "str | None") -> None:
+        """Count one in-flight job against ``client``'s quota.
+
+        Raises :class:`~repro.errors.QuotaExceeded` when the client is
+        already at its cap; clients without a configured quota are
+        unlimited (but still counted, for observability).
+        """
+        if client is None:
+            return
+        with self._lock:
+            held = self._inflight.get(client, 0)
+            quota = self.quotas.get(client)
+            if quota is not None and held >= quota:
+                GLOBAL.inc("scheduler.rejected", reason="quota")
+                raise QuotaExceeded(
+                    f"client {client!r} is at its quota of {quota} "
+                    f"in-flight job(s) — wait for one to finish"
+                )
+            self._inflight[client] = held + 1
+
+    def release(self, client: "str | None") -> None:
+        """Return ``client``'s quota slot (its job went terminal)."""
+        if client is None:
+            return
+        with self._lock:
+            held = self._inflight.get(client, 0)
+            if held <= 1:
+                self._inflight.pop(client, None)
+            else:
+                self._inflight[client] = held - 1
+
+    def inflight(self, client: str) -> int:
+        with self._lock:
+            return self._inflight.get(client, 0)
+
+    # -- queue --------------------------------------------------------------- #
+    def push(self, job, priority: int = 0, *, force: bool = False) -> None:
+        """Queue ``job``; :class:`~repro.errors.QueueFull` at capacity.
+
+        ``force=True`` (requeues, recovery) always admits.
+        """
+        with self._cond:
+            if not force and len(self._entries) >= self.max_queue:
+                GLOBAL.inc("scheduler.rejected", reason="full")
+                raise QueueFull(
+                    f"job queue is full ({self.max_queue} pending) — "
+                    f"retry after a job drains"
+                )
+            entry = [job, True]
+            self._entries[id(job)] = entry
+            heapq.heappush(self._heap, (-int(priority), next(self._seq),
+                                        entry))
+            self._cond.notify()
+
+    def pop(self, timeout: "float | None" = 0.0, *,
+            drain: bool = False):
+        """The highest-priority pending job, or ``None``.
+
+        Blocks up to ``timeout`` (``0`` = non-blocking, ``None`` =
+        forever) for a job to become available.  While paused, nothing
+        is handed out unless ``drain=True`` (shutdown uses it to run
+        the queue dry without reopening leasing).
+        """
+        end = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if not self._paused or drain:
+                    while self._heap and not self._heap[0][2][1]:
+                        heapq.heappop(self._heap)  # cancelled entry
+                    if self._heap:
+                        _, _, entry = heapq.heappop(self._heap)
+                        job = entry[0]
+                        entry[1] = False
+                        del self._entries[id(job)]
+                        return job
+                if end is None:
+                    self._cond.wait()
+                    continue
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def remove(self, job) -> bool:
+        """Drop a still-queued job (cancellation); ``True`` if it was
+        pending (and will therefore never be popped)."""
+        with self._cond:
+            entry = self._entries.pop(id(job), None)
+            if entry is None:
+                return False
+            entry[1] = False
+            return True
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- drain --------------------------------------------------------------- #
+    def pause(self) -> None:
+        """Stop handing out jobs (pending work stays queued)."""
+        with self._cond:
+            self._paused = True
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    @property
+    def paused(self) -> bool:
+        with self._lock:
+            return self._paused
+
+    def wake(self) -> None:
+        """Wake every blocked :meth:`pop` (shutdown)."""
+        with self._cond:
+            self._cond.notify_all()

@@ -1,0 +1,331 @@
+"""Fleet workers: run a leased job and stream its events home.
+
+Two executors share one engine.  :func:`iter_task_events` turns a
+leased task document into the wire event stream — ``row`` events
+carrying exactly what ``Session.stream`` yields (so fleet rows are
+bit-identical to the blocking result), ``stage`` events carrying each
+folded stage result, and a final ``done`` event with the full typed
+result payload.  The coordinator's process-per-job executor drains it
+over a pipe; :class:`FleetWorker` drains it over HTTP — which is how
+sequential/thread/process/remote all produce the same rows.
+
+A :class:`FleetWorker` (the ``repro worker`` CLI) is a pull-based
+client: it long-polls ``POST /v1/workers/lease``, runs the granted
+job through its **own** :class:`~repro.api.Session`, posts each event
+to ``POST /v1/workers/{lease}/events`` (every post renews the lease;
+an idle stretch is covered by a heartbeat thread at ttl/3), and lets
+the ``done`` event commit the result coordinator-side.  On a 410 the
+worker abandons the attempt — the lease expired and the job already
+belongs to someone else; on ``{"cancelled": true}`` it stops at the
+next event boundary.  Workers never need cleanup on death: the lease
+TTL is the crash protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import traceback as _tb
+import urllib.error
+import urllib.request
+
+from repro.api import ExperimentSpec, Session, request_from_dict
+from repro.api.results import SpecResult, result_from_dict
+from repro.api.session import stage_rows
+from repro.errors import AuthError, JobError, LeaseExpired
+
+#: Suffix every bare-request TYPE_TAG carries; stripping it yields the
+#: stage kind (``map_request`` -> ``map``) the session folds under.
+_REQUEST_TAG_SUFFIX = "_request"
+
+
+def task_stage_kind(task: dict) -> str:
+    """The fold-stage kind for a bare-request task document."""
+    tag = str(task.get("type", ""))
+    if not tag.endswith(_REQUEST_TAG_SUFFIX):
+        raise JobError(f"task type {tag!r} is not a request payload")
+    return tag[: -len(_REQUEST_TAG_SUFFIX)]
+
+
+def iter_task_events(session: Session, lease_doc: dict):
+    """Execute a leased task, yielding wire events.
+
+    ``lease_doc`` is what ``POST /v1/workers/lease`` granted: a
+    ``task`` payload (spec or request document) plus optional resume
+    material (``resume_completed`` stage payloads for specs,
+    ``resume_result`` for requests).  Yields::
+
+        {"event": "row",   "stage": name, "data": <row payload>}
+        {"event": "stage", "stage": name, "index": i, "kind": k,
+         "skipped": bool, "data": <stage result payload>}   (specs)
+        {"event": "done",  "result": <result payload>, "skipped": b}
+
+    Rows are ``item.to_dict()`` of exactly what ``Session.stream``
+    yields, in stream order — the fleet's bit-identity contract.
+    """
+    task = lease_doc.get("task")
+    if not isinstance(task, dict):
+        raise JobError("lease has no task payload")
+    if task.get("type") == "experiment_spec" or "stages" in task:
+        yield from _iter_spec_events(session, task, lease_doc)
+    else:
+        yield from _iter_request_events(session, task, lease_doc)
+
+
+def _iter_spec_events(session: Session, task: dict, lease_doc: dict):
+    spec = ExperimentSpec.from_dict(task)
+    completed = {
+        int(index): result_from_dict(payload)
+        for index, payload in
+        (lease_doc.get("resume_completed") or {}).items()
+    }
+    kinds = [stage["stage"] for stage in spec.stages]
+    stage_results: list = []
+    events = session.iter_spec_events(spec, completed=completed)
+    try:
+        for kind_tag, index, name, item in events:
+            if kind_tag == "row":
+                yield {"event": "row", "stage": name,
+                       "data": item.to_dict()}
+                continue
+            stage_results.append(item)
+            yield {"event": "stage", "stage": name, "index": index,
+                   "kind": kinds[index], "skipped": index in completed,
+                   "data": item.to_dict()}
+    finally:
+        close = getattr(events, "close", None)
+        if close is not None:
+            close()
+    result = SpecResult(name=spec.name, workload=spec.workload,
+                        stages=tuple(stage_results))
+    yield {"event": "done", "result": result.to_dict()}
+
+
+def _iter_request_events(session: Session, task: dict, lease_doc: dict):
+    request = request_from_dict(task)
+    stage_kind = task_stage_kind(task)
+    resume_payload = lease_doc.get("resume_result")
+    if resume_payload is not None:
+        result = result_from_dict(resume_payload)
+        for item in stage_rows(result):
+            yield {"event": "row", "stage": stage_kind,
+                   "data": item.to_dict()}
+        yield {"event": "done", "result": result.to_dict(),
+               "skipped": True}
+        return
+    rows = []
+    stream = session.stream(request)
+    try:
+        for item in stream:
+            rows.append(item)
+            yield {"event": "row", "stage": stage_kind,
+                   "data": item.to_dict()}
+    finally:
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+    result = session.fold_stage(stage_kind, request, rows)
+    yield {"event": "done", "result": result.to_dict(),
+           "skipped": False}
+
+
+def process_job_main(conn, lease_doc: dict) -> None:
+    """Child entry point for ``JobManager(executor="process")``.
+
+    Runs the leased task in a fresh :class:`Session` and ships every
+    wire event over ``conn`` (a multiprocessing pipe) — the same
+    stream a remote worker would POST, applied by the same
+    coordinator-side commit path.
+    """
+    session = Session()
+    try:
+        for event in iter_task_events(session, lease_doc):
+            conn.send(event)
+    except BaseException as exc:  # the parent turns this into FAILED
+        try:
+            conn.send({
+                "event": "error", "error": str(exc),
+                "error_type": type(exc).__name__,
+                "traceback": "".join(_tb.format_exception(
+                    type(exc), exc, exc.__traceback__)),
+            })
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            session.close()
+        finally:
+            conn.close()
+
+
+class FleetWorker:
+    """Pull-based HTTP worker against one coordinator."""
+
+    def __init__(self, url: str, token: "str | None" = None,
+                 name: "str | None" = None,
+                 session: "Session | None" = None,
+                 poll: float = 1.0) -> None:
+        self.url = url.rstrip("/")
+        self.token = token
+        self.name = name or f"worker-{id(self) & 0xffff:04x}"
+        self.session = session if session is not None else Session()
+        self._owns_session = session is None
+        self.poll = max(0.05, float(poll))
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+    # -- HTTP plumbing -------------------------------------------------------- #
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None,
+                 timeout: float = 60.0) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        req = urllib.request.Request(self.url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return json.loads(resp.read().decode("utf-8") or "{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            if exc.code == 401:
+                raise AuthError(message) from exc
+            if exc.code == 410:
+                raise LeaseExpired(message) from exc
+            raise JobError(
+                f"coordinator rejected {method} {path}: "
+                f"{exc.code} {message}"
+            ) from exc
+
+    # -- lease loop ----------------------------------------------------------- #
+    def lease(self, wait: float = 0.0) -> "dict | None":
+        """One lease attempt; the granted lease doc or ``None``."""
+        doc = self._request(
+            "POST", "/v1/workers/lease",
+            {"worker": self.name, "wait": wait},
+            timeout=max(60.0, wait + 30.0),
+        )
+        return doc.get("lease")
+
+    def run_once(self, wait: "float | None" = None) -> bool:
+        """Lease and run one job; ``True`` if one was granted."""
+        lease = self.lease(self.poll if wait is None else wait)
+        if lease is None:
+            return False
+        self._run_lease(lease)
+        return True
+
+    def run_forever(self, stop: "threading.Event | None" = None,
+                    max_jobs: "int | None" = None,
+                    max_errors: int = 10) -> int:
+        """Pull-run until ``stop``/``max_jobs``; jobs completed.
+
+        ``max_errors`` consecutive transport failures (coordinator
+        gone) end the loop with :class:`~repro.errors.JobError` —
+        a dead coordinator must not leave silent zombie workers.
+        """
+        errors = 0
+        while not (stop is not None and stop.is_set()):
+            if max_jobs is not None and self.jobs_done >= max_jobs:
+                break
+            try:
+                self.run_once()
+            except AuthError:
+                raise  # a bad token never fixes itself
+            except (urllib.error.URLError, OSError, JobError) as exc:
+                errors += 1
+                if errors >= max_errors:
+                    raise JobError(
+                        f"coordinator unreachable after {errors} "
+                        f"attempts: {exc}"
+                    ) from exc
+                time.sleep(self.poll)
+            else:
+                errors = 0
+        return self.jobs_done
+
+    def _run_lease(self, lease: dict) -> None:
+        lease_id = lease["lease_id"]
+        ttl = float(lease.get("ttl", 30.0))
+        cancelled = threading.Event()
+        stop_heartbeat = threading.Event()
+
+        def post(events: "list[dict]") -> None:
+            doc = self._request(
+                "POST", f"/v1/workers/{lease_id}/events",
+                {"worker": self.name, "events": events},
+            )
+            if doc.get("cancelled"):
+                cancelled.set()
+
+        def heartbeat() -> None:
+            interval = max(0.1, ttl / 3.0)
+            while not stop_heartbeat.wait(interval):
+                try:
+                    post([{"event": "heartbeat"}])
+                except LeaseExpired:
+                    cancelled.set()
+                    return
+                except Exception:
+                    pass  # transient; the next event post renews too
+
+        pump = threading.Thread(target=heartbeat, daemon=True,
+                                name=f"{self.name}-heartbeat")
+        pump.start()
+        events = iter_task_events(self.session, lease)
+        try:
+            for event in events:
+                if cancelled.is_set():
+                    return  # coordinator told us to stop; abandon
+                post([event])
+            self.jobs_done += 1
+        except LeaseExpired:
+            return  # the job was requeued out from under us
+        except Exception as exc:
+            self.jobs_failed += 1
+            try:
+                post([{
+                    "event": "error", "error": str(exc),
+                    "error_type": type(exc).__name__,
+                    "traceback": "".join(_tb.format_exception(
+                        type(exc), exc, exc.__traceback__)),
+                }])
+            except (LeaseExpired, urllib.error.URLError, OSError,
+                    JobError):
+                pass
+        finally:
+            stop_heartbeat.set()
+            close = getattr(events, "close", None)
+            if close is not None:
+                close()
+            pump.join(timeout=ttl)
+
+    def close(self) -> None:
+        if self._owns_session:
+            self.session.close()
+
+
+def worker_main(url: str, token: "str | None" = None,
+                name: "str | None" = None, poll: float = 1.0,
+                max_jobs: "int | None" = None, out=print) -> int:
+    """Blocking entry point behind ``repro worker``; exit code."""
+    worker = FleetWorker(url, token=token, name=name, poll=poll)
+    out(f"repro worker {worker.name} pulling from {worker.url}")
+    try:
+        done = worker.run_forever(max_jobs=max_jobs)
+    except KeyboardInterrupt:
+        done = worker.jobs_done
+    finally:
+        worker.close()
+    out(f"repro worker {worker.name}: {done} job(s) completed, "
+        f"{worker.jobs_failed} failed")
+    return 0 if worker.jobs_failed == 0 else 1

@@ -32,6 +32,7 @@ from repro.service.metrics import render_prometheus
 from repro.service.jobs import (
     CANCELLED,
     DONE,
+    EXECUTORS,
     FAILED,
     JobHandle,
     JobManager,
@@ -45,6 +46,7 @@ __all__ = [
     "ArtifactStore",
     "CANCELLED",
     "DONE",
+    "EXECUTORS",
     "FAILED",
     "JobHandle",
     "JobManager",

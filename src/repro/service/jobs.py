@@ -14,35 +14,48 @@ any typed api request or an :class:`~repro.api.ExperimentSpec`
   row carrying exactly the payload ``Session.stream`` yields, so a
   drained event stream is bit-identical to the blocking result;
 - :meth:`JobHandle.result` — block for the typed result;
-- :meth:`JobHandle.cancel` — stop between rows.  The worker closes the
-  underlying stream generator, which the runners answer by abandoning
-  their pools (``shutdown(wait=False, cancel_futures=True)``), so a
-  cancelled sweep leaks no workers.
+- :meth:`JobHandle.cancel` — stop between rows.
 
-Jobs run on a bounded thread pool sharing **one** :class:`Session` —
-every expensive artifact (compiled substrates, placements, golden
-mappings, netlists) is shared across concurrent jobs, which is the
-entire point of serving through a session instead of forking one per
-request.  Grid specs (:attr:`ExperimentSpec.is_grid`) fan out into one
-child job per cell under a parent handle that aggregates progress and
+Admission goes through a :class:`~repro.fleet.Scheduler` — a priority
+queue (per-submission ``priority``, FIFO within class) with
+per-client quotas and a bounded depth — instead of a bare thread-pool
+hand-off.  Execution is pluggable via ``executor``:
+
+- ``"thread"`` (default): dispatcher threads run jobs on the one
+  shared :class:`Session`, so concurrent jobs share every expensive
+  cached artifact (compiled substrates, placements, golden mappings);
+- ``"process"``: each job runs in a fresh worker process that streams
+  the same wire events a remote fleet worker would POST, applied by
+  the same commit path — process rows are bit-identical to thread
+  rows by construction;
+- ``"external"``: no local execution at all; jobs wait for remote
+  ``repro worker`` processes to pull them via :meth:`lease_job` /
+  :meth:`apply_worker_events` (the HTTP fleet endpoints).
+
+Leases make remote execution crash-safe: a worker that stops posting
+events misses its TTL, the lease expires, and the job requeues with a
+bounded retry budget.  With an artifact ``store`` attached the
+manager also journals every top-level submission and state transition
+(:class:`~repro.fleet.Journal`), so :meth:`recover` on a restarted
+coordinator resubmits whatever was in flight — with ``resume=True``,
+replaying finished stages from the store instead of recomputing.
+
+Grid specs (:attr:`ExperimentSpec.is_grid`) fan out into one child
+job per cell under a parent handle that aggregates progress and
 results.
-
-With an :class:`~repro.service.artifacts.ArtifactStore` attached,
-every finished stage is persisted as schema-contract JSON, and
-``resume=True`` re-submissions *replay* completed stages from the
-store instead of recomputing them (rows included, so streams stay
-bit-identical across a resume).
 """
 
 from __future__ import annotations
 
+import builtins
 import itertools
+import multiprocessing
 import threading
 import time
 import traceback as _tb
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+import repro.errors as _errors_mod
 from repro.api import ExperimentSpec, Session, request_from_dict
 from repro.api.requests import (
     AreaRequest,
@@ -53,10 +66,14 @@ from repro.api.requests import (
     YieldRequest,
     request_total_rows,
 )
-from repro.api.results import SpecResult
+from repro.api.results import SpecResult, result_from_dict
 from repro.api.serialize import stamp
 from repro.api.session import stage_rows
-from repro.errors import JobCancelled, JobError, JobNotFound
+from repro.errors import JobCancelled, JobError, JobNotFound, ReproError
+from repro.fleet.journal import JOURNAL_NAME, Journal, pending_submissions
+from repro.fleet.leases import LeaseTable
+from repro.fleet.scheduler import Scheduler
+from repro.fleet.worker import process_job_main
 from repro.utils.telemetry import GLOBAL
 
 #: Job lifecycle states.
@@ -68,6 +85,9 @@ CANCELLED = "cancelled"
 
 #: States a job never leaves.
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: Supported execution backends for locally-dispatched jobs.
+EXECUTORS = ("thread", "process", "external")
 
 #: The stage kind each bare request type folds as (mirrors the spec
 #: stage vocabulary, so one fold path serves both job flavours).
@@ -89,6 +109,26 @@ def _format_traceback(exc: BaseException) -> str:
     return "".join(_tb.format_exception(type(exc), exc, exc.__traceback__))
 
 
+def _restore_error(event: dict) -> BaseException:
+    """A typed exception for a worker-reported ``error`` event.
+
+    Re-raises under the library's own class — or a plain builtin
+    ``Exception`` subclass — when the worker named one, so
+    ``handle.result()`` raises what a thread-executed job would have;
+    anything unrecognized comes back as :class:`JobError`.
+    """
+    message = str(event.get("error") or "worker reported a failure")
+    name = event.get("error_type")
+    cls = getattr(_errors_mod, name, None) if isinstance(name, str) \
+        else None
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = getattr(builtins, name, None) if isinstance(name, str) \
+            else None
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = JobError
+    return cls(message)
+
+
 @dataclass(frozen=True)
 class JobStatus:
     """One observable snapshot of a job."""
@@ -104,6 +144,8 @@ class JobStatus:
     error_type: "str | None" = None    # exception class name
     traceback: "str | None" = None     # formatted traceback text
     children: tuple = ()           # child job ids (grid parents only)
+    priority: int = 0
+    retries: int = 0               # lease-expiry requeues so far
 
     def to_dict(self) -> dict:
         return stamp("job_status", {
@@ -118,6 +160,8 @@ class JobStatus:
             "error_type": self.error_type,
             "traceback": self.traceback,
             "children": list(self.children),
+            "priority": self.priority,
+            "retries": self.retries,
         })
 
 
@@ -126,7 +170,8 @@ class _Job:
 
     def __init__(self, job_id: str, kind: str, name: str, payload,
                  resume: bool, rows_total: int,
-                 parent: "_Job | None" = None) -> None:
+                 parent: "_Job | None" = None, priority: int = 0,
+                 client: "str | None" = None) -> None:
         self.job_id = job_id
         self.kind = kind
         self.name = name
@@ -134,6 +179,8 @@ class _Job:
         self.resume = resume
         self.rows_total = rows_total
         self.parent = parent
+        self.priority = priority
+        self.client = client
         self.children: list[_Job] = []
         self.cond = threading.Condition()
         self.state = QUEUED
@@ -143,8 +190,10 @@ class _Job:
         self.error: BaseException | None = None
         self.events: list[dict] = []
         self.cancel_event = threading.Event()
-        self.future = None
+        self.retries = 0
+        self.lease = None
         self.submitted_at = time.perf_counter()
+        self.finished_at: float | None = None
 
 
 class JobHandle:
@@ -231,38 +280,90 @@ class JobHandle:
 
 
 class JobManager:
-    """Bounded worker pool executing api requests and specs as jobs.
+    """Scheduled execution of api requests and specs as jobs.
 
-    ``workers`` bounds how many jobs run concurrently (further
-    submissions queue); every job executes on the one shared
-    ``session``, so concurrent jobs share its caches.  ``store``
-    (an :class:`~repro.service.artifacts.ArtifactStore`) enables
-    artifact persistence and ``resume=True``.
+    ``workers`` bounds local concurrency (dispatcher threads pulling
+    from the scheduler); ``executor`` picks how dispatched jobs run
+    (``"thread"`` on the shared ``session``, ``"process"`` in a fresh
+    process per job, ``"external"`` not at all — remote workers lease
+    them instead).  ``store`` (an
+    :class:`~repro.service.artifacts.ArtifactStore`) enables artifact
+    persistence, ``resume=True`` and — unless ``journal=False`` —
+    the crash journal behind :meth:`recover`.  ``max_queue``,
+    ``quotas`` and per-submission ``priority`` are scheduler policy;
+    ``lease_ttl``/``max_retries`` govern fleet leases.
     """
 
     def __init__(self, session: "Session | None" = None, workers: int = 2,
-                 store=None, retain: int = 512) -> None:
+                 store=None, retain: int = 512, executor: str = "thread",
+                 lease_ttl: float = 30.0, max_retries: int = 3,
+                 max_queue: int = 1024,
+                 quotas: "dict[str, int] | None" = None,
+                 journal: bool = True) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise JobError(f"workers must be a positive int, got {workers!r}")
         if not isinstance(retain, int) or retain < 1:
             raise JobError(f"retain must be a positive int, got {retain!r}")
+        if executor not in EXECUTORS:
+            raise JobError(f"executor must be one of {EXECUTORS}, "
+                           f"got {executor!r}")
+        if not (isinstance(lease_ttl, (int, float)) and lease_ttl > 0):
+            raise JobError(f"lease_ttl must be positive, got {lease_ttl!r}")
+        if not isinstance(max_retries, int) or max_retries < 0:
+            raise JobError(
+                f"max_retries must be a non-negative int, got {max_retries!r}"
+            )
         self.session = session if session is not None else Session()
         self.store = store
         self.workers = workers
+        self.executor = executor
+        self.lease_ttl = float(lease_ttl)
+        self.max_retries = max_retries
         #: terminal jobs kept in the table (a long-lived server must
         #: not hold every finished job's event log forever); the
-        #: oldest finished jobs are pruned past this count.
+        #: oldest-*finished* jobs are pruned past this count.
         self.retain = retain
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-job"
-        )
+        self._scheduler = Scheduler(max_queue=max_queue, quotas=quotas)
+        self._leases = LeaseTable()
+        self._journal: "Journal | None" = None
+        if store is not None and journal:
+            self._journal = Journal(store.root / JOURNAL_NAME)
         self._jobs: dict[str, _Job] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
+        self._stop = threading.Event()
+        self._monitor: "threading.Thread | None" = None
+        self._dispatchers: list[threading.Thread] = []
+        if executor != "external":
+            for i in range(workers):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-job-{i}", daemon=True,
+                )
+                thread.start()
+                self._dispatchers.append(thread)
+
+    # -- scheduler passthroughs ---------------------------------------------- #
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def leases(self) -> LeaseTable:
+        return self._leases
+
+    @property
+    def journal(self) -> "Journal | None":
+        return self._journal
+
+    def queue_depth(self) -> int:
+        return self._scheduler.depth()
 
     # -- submission ---------------------------------------------------------- #
-    def submit(self, task, *, resume: bool = False) -> JobHandle:
+    def submit(self, task, *, resume: bool = False, priority: int = 0,
+               client: "str | None" = None,
+               _job_id: "str | None" = None) -> JobHandle:
         """Submit a request or spec for execution; returns its handle.
 
         ``task`` may be a typed request, an :class:`ExperimentSpec`,
@@ -271,8 +372,16 @@ class JobManager:
         out into one child job per cell under an aggregating parent
         handle.  ``resume=True`` requires the manager's artifact store
         and replays already-completed stages from it.
+
+        ``priority`` orders dispatch (higher first, FIFO within a
+        class); ``client`` attributes the job for quota accounting.
+        Raises :class:`~repro.errors.QueueFull` /
+        :class:`~repro.errors.QuotaExceeded` when the scheduler
+        refuses admission.
         """
         task = self._coerce(task)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise JobError(f"priority must be an int, got {priority!r}")
         if resume and self.store is None:
             raise JobError(
                 "resume needs an artifact store: construct the "
@@ -282,8 +391,11 @@ class JobManager:
             if self._closed:
                 raise JobError("manager is shut down")
         if isinstance(task, ExperimentSpec) and task.is_grid:
-            return self._submit_grid(task, resume)
-        return self._submit_one(task, resume, parent=None)
+            return self._submit_grid(task, resume, priority, client,
+                                     _job_id)
+        return self._submit_one(task, resume, parent=None,
+                                priority=priority, client=client,
+                                job_id=_job_id)
 
     @staticmethod
     def _coerce(task):
@@ -293,18 +405,21 @@ class JobManager:
             return request_from_dict(task)
         return task
 
-    def _new_id(self) -> str:
-        return f"job-{next(self._ids)}"
+    def _new_id(self, job_id: "str | None" = None) -> str:
+        return job_id if job_id is not None else f"job-{next(self._ids)}"
 
     def _register(self, job: _Job) -> None:
         with self._lock:
             self._jobs[job.job_id] = job
+            retained = len(self._jobs)
         GLOBAL.inc("jobs.submitted", kind=job.kind)
         GLOBAL.gauge_add("jobs.queue_depth", 1)
-        self._emit(job, {"event": "status", "state": QUEUED})
+        GLOBAL.gauge_set("jobs.retained", retained)
+        self._journal_submit(job)
 
-    def _create_job(self, task, resume: bool,
-                    parent: "_Job | None") -> _Job:
+    def _create_job(self, task, resume: bool, parent: "_Job | None",
+                    priority: int = 0, client: "str | None" = None,
+                    job_id: "str | None" = None) -> _Job:
         if isinstance(task, ExperimentSpec):
             kind, name, total = "spec", task.name, task.total_rows()
         else:
@@ -315,37 +430,128 @@ class JobManager:
                 )
             kind, name, total = "request", task.TYPE_TAG, \
                 request_total_rows(task)
-        job = _Job(self._new_id(), kind, name, task, resume, total,
-                   parent=parent)
+        job = _Job(self._new_id(job_id), kind, name, task, resume, total,
+                   parent=parent, priority=priority, client=client)
         if parent is not None:
             parent.children.append(job)
-        self._register(job)
         return job
 
-    def _submit_one(self, task, resume: bool,
-                    parent: "_Job | None") -> JobHandle:
-        job = self._create_job(task, resume, parent)
-        job.future = self._pool.submit(self._run_job, job)
+    def _admit(self, job: _Job, *, force: bool) -> None:
+        """Emit ``queued``, push to the scheduler, register.
+
+        The status event precedes the push so a dispatcher that grabs
+        the job instantly still logs ``queued`` before ``running``;
+        on a scheduler refusal (:class:`~repro.errors.QueueFull`) the
+        quota charge is returned and nothing was registered.
+        """
+        self._emit(job, {"event": "status", "state": QUEUED})
+        try:
+            self._scheduler.push(job, priority=job.priority, force=force)
+        except JobError:
+            self._scheduler.release(job.client)
+            raise
+        self._register(job)
+
+    def _submit_one(self, task, resume: bool, parent: "_Job | None",
+                    priority: int = 0, client: "str | None" = None,
+                    job_id: "str | None" = None) -> JobHandle:
+        job = self._create_job(task, resume, parent, priority, client,
+                               job_id)
+        if parent is None:
+            self._scheduler.charge(client)
+            self._admit(job, force=False)
+        else:
+            # a grid child was admitted with its parent: capacity and
+            # quota were the parent's to pay
+            self._admit(job, force=True)
         return JobHandle(self, job)
 
-    def _submit_grid(self, spec: ExperimentSpec, resume: bool) -> JobHandle:
+    def _submit_grid(self, spec: ExperimentSpec, resume: bool,
+                     priority: int = 0, client: "str | None" = None,
+                     job_id: "str | None" = None) -> JobHandle:
         children = spec.expand()
-        parent = _Job(self._new_id(), "grid", spec.name, spec, resume,
-                      sum(c.total_rows() for c in children))
+        self._scheduler.charge(client)
+        parent = _Job(self._new_id(job_id), "grid", spec.name, spec,
+                      resume, sum(c.total_rows() for c in children),
+                      priority=priority, client=client)
+        self._emit(parent, {"event": "status", "state": QUEUED})
         self._register(parent)
         with parent.cond:
             parent.state = RUNNING
         GLOBAL.gauge_add("jobs.queue_depth", -1)
         GLOBAL.gauge_add("jobs.running", 1)
         self._emit(parent, {"event": "status", "state": RUNNING})
+        self._journal_state(parent, RUNNING)
         # every child record joins parent.children *before* any child
-        # starts: a fast first child finishing mid-submission must not
-        # let _maybe_finish_grid conclude the whole grid is done
-        jobs = [self._create_job(child_spec, resume, parent)
+        # is pushed: a fast first child finishing mid-submission must
+        # not let _maybe_finish_grid conclude the whole grid is done
+        jobs = [self._create_job(child_spec, resume, parent,
+                                 priority=priority)
                 for child_spec in children]
         for job in jobs:
-            job.future = self._pool.submit(self._run_job, job)
+            self._admit(job, force=True)
         return JobHandle(self, parent)
+
+    # -- journal ------------------------------------------------------------- #
+    def _journal_append(self, record: dict) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(record)
+        except OSError:
+            pass  # a full disk must not take the coordinator down
+
+    def _journal_submit(self, job: _Job) -> None:
+        if job.parent is not None:  # children replay via their parent
+            return
+        self._journal_append({
+            "event": "submit", "job_id": job.job_id,
+            "kind": job.kind, "name": job.name,
+            "task": job.payload.to_dict(),
+            "priority": job.priority, "client": job.client,
+            "resume": job.resume,
+        })
+
+    def _journal_state(self, job: _Job, state: str) -> None:
+        if job.parent is not None:
+            return
+        self._journal_append({"event": "state", "job_id": job.job_id,
+                              "state": state})
+
+    def recover(self) -> "list[JobHandle]":
+        """Resubmit every journaled job that never went terminal.
+
+        The crash-restart half of the journal: replays the results
+        dir's ``journal.ndjson``, fast-forwards the id counter past
+        everything ever issued, and resubmits pending top-level jobs
+        under their original ids with ``resume=True`` — so finished
+        stages come back from the :class:`ArtifactStore` instead of
+        recomputing.  Returns the recovered handles (empty without a
+        journal).  Never called implicitly: a fresh manager over an
+        old results dir stays inert until the server entry point asks.
+        """
+        if self._journal is None:
+            return []
+        next_id, pending = pending_submissions(self._journal.replay())
+        with self._lock:
+            self._ids = itertools.count(next_id)
+        handles = []
+        for record in pending:
+            task = record.get("task")
+            if not isinstance(task, dict):
+                continue
+            try:
+                handles.append(self.submit(
+                    task, resume=self.store is not None,
+                    priority=int(record.get("priority") or 0),
+                    _job_id=record.get("job_id"),
+                ))
+            except ReproError:
+                continue  # a malformed journal entry loses one job,
+                #           not the restart
+        if handles:
+            GLOBAL.inc("fleet.jobs.recovered", value=len(handles))
+        return handles
 
     # -- observation --------------------------------------------------------- #
     def handle(self, job_id: str) -> JobHandle:
@@ -357,11 +563,58 @@ class JobManager:
             raise JobNotFound(f"unknown job id {job_id!r}")
         return JobHandle(self, job)
 
-    def jobs(self) -> "list[JobStatus]":
-        """Status snapshots of every job, in submission order."""
+    def jobs(self, state: "str | None" = None,
+             limit: "int | None" = None) -> "list[JobStatus]":
+        """Status snapshots in submission order.
+
+        ``state`` filters to one lifecycle state; ``limit`` keeps only
+        the *newest* that many snapshots (after filtering) — the
+        fleet-scale listing contract behind ``GET /v1/jobs``.
+        """
+        if state is not None and state not in (QUEUED, RUNNING,
+                                               *TERMINAL_STATES):
+            raise JobError(
+                f"unknown state filter {state!r} (expected one of "
+                f"queued/running/done/failed/cancelled)"
+            )
+        if limit is not None and (not isinstance(limit, int) or limit < 1):
+            raise JobError(f"limit must be a positive int, got {limit!r}")
         with self._lock:
             records = list(self._jobs.values())
-        return [self._status_of(job) for job in records]
+        snaps = [self._status_of(job) for job in records]
+        if state is not None:
+            snaps = [s for s in snaps if s.state == state]
+        if limit is not None:
+            snaps = snaps[-limit:]
+        return snaps
+
+    def result_payload(self, job_id: str) -> dict:
+        """A terminal job's result as a JSON payload (``GET
+        /v1/jobs/{id}/result``): the typed result's ``to_dict`` (a
+        list of them for a grid parent), or the error fields for a
+        failed/cancelled job.  :class:`JobError` while the job is
+        still live."""
+        job = self.handle(job_id)._job
+        with job.cond:
+            state = job.state
+            result = job.result
+            error = job.error
+        if state not in TERMINAL_STATES:
+            raise JobError(
+                f"job {job_id} is still {state}; its result is not ready"
+            )
+        payload = None
+        if result is not None:
+            payload = [r.to_dict() for r in result] \
+                if isinstance(result, tuple) else result.to_dict()
+        return {
+            "job_id": job_id,
+            "state": state,
+            "result": payload,
+            "error": str(error) if error is not None else None,
+            "error_type": type(error).__name__
+            if error is not None else None,
+        }
 
     def _status_of(self, job: _Job) -> JobStatus:
         with job.cond:
@@ -379,6 +632,8 @@ class JobManager:
                 traceback=_format_traceback(job.error)
                 if job.error is not None else None,
                 children=tuple(c.job_id for c in job.children),
+                priority=job.priority,
+                retries=job.retries,
             )
 
     # -- cancellation -------------------------------------------------------- #
@@ -386,8 +641,9 @@ class JobManager:
         """Cancel a job (and, for a grid parent, all its children).
 
         ``True`` when the job was still live: a queued job is
-        cancelled before it starts, a running one stops at its next
-        row boundary (closing the stream abandons the runners' pools).
+        cancelled before it starts, a locally-running one stops at its
+        next row boundary, a leased one is finished immediately (the
+        worker learns on its next event post and abandons).
         """
         return self._cancel_job(self.handle(job_id)._job)
 
@@ -400,11 +656,21 @@ class JobManager:
         # — a finished child may have been pruned from the job table
         for child in list(job.children):
             self._cancel_job(child)
-        # a still-queued future never runs; finish the record ourselves
-        if job.future is not None and job.future.cancel():
+        if self._scheduler.remove(job):
+            # still queued: it will never be popped; finish it ourselves
             self._finish(job, CANCELLED)
         elif job.kind == "grid":
             self._maybe_finish_grid(job)
+        else:
+            lease = job.lease
+            if lease is not None and \
+                    self._leases.release(lease.lease_id) is not None:
+                # leased out: the worker discovers the cancellation on
+                # its next post (410), we finish the record now
+                GLOBAL.gauge_add("fleet.leases.active", -1)
+                with job.cond:
+                    job.lease = None
+                self._finish(job, CANCELLED)
         return True
 
     # -- lifecycle plumbing -------------------------------------------------- #
@@ -446,6 +712,7 @@ class JobManager:
             job.state = state
             job.result = result
             job.error = error
+            job.finished_at = time.perf_counter()
             # the terminal event rides the same lock hold as the state
             # flip: observers never see a terminal state whose `done`
             # event is still in flight
@@ -464,6 +731,9 @@ class JobManager:
         GLOBAL.inc("jobs.finished", state=state)
         GLOBAL.observe("jobs.latency_seconds",
                        time.perf_counter() - job.submitted_at)
+        self._journal_state(job, state)
+        if job.parent is None:
+            self._scheduler.release(job.client)
         parent = job.parent
         if parent is not None:
             self._emit_flat(parent, {"event": "child", "state": state,
@@ -472,16 +742,21 @@ class JobManager:
         self._prune()
 
     def _prune(self) -> None:
-        """Drop the oldest finished jobs past ``retain`` from the
+        """Drop the oldest-*finished* jobs past ``retain`` from the
         table (their event logs go with them; live handles keep
         working, but :meth:`handle` lookups turn into
-        :class:`JobNotFound`)."""
+        :class:`JobNotFound`).  Exposes the table size as the
+        ``jobs.retained`` gauge."""
         with self._lock:
-            terminal = [job_id for job_id, job in self._jobs.items()
+            terminal = [(job.finished_at or 0.0, job_id)
+                        for job_id, job in self._jobs.items()
                         if job.state in TERMINAL_STATES]
             excess = len(terminal) - self.retain
-            for job_id in terminal[:excess] if excess > 0 else ():
-                del self._jobs[job_id]
+            if excess > 0:
+                terminal.sort()
+                for _, job_id in terminal[:excess]:
+                    del self._jobs[job_id]
+            GLOBAL.gauge_set("jobs.retained", len(self._jobs))
 
     def _maybe_finish_grid(self, parent: _Job) -> None:
         children = list(parent.children)
@@ -503,18 +778,74 @@ class JobManager:
                          result=tuple(c.result for c in children))
 
     def _row(self, job: _Job, stage: "str | None", item) -> None:
+        self._commit_row(job, stage, item.to_dict())
+
+    def _commit_row(self, job: _Job, stage: "str | None", data) -> None:
         with job.cond:
+            if job.state in TERMINAL_STATES:
+                return  # a stale post must not extend a finished log
             job.rows_done += 1
             job.stage = stage
-        self._emit(job, {"event": "row", "stage": stage,
-                         "data": item.to_dict()})
+        self._emit(job, {"event": "row", "stage": stage, "data": data})
+
+    def _commit_stage(self, job: _Job, event: dict) -> None:
+        """Apply a worker ``stage`` event (spec jobs): persist the
+        stage result and emit the same artifact-bearing event a
+        thread-executed job would have."""
+        index = event.get("index")
+        name = event.get("stage")
+        out = {"event": "stage", "stage": name,
+               "skipped": bool(event.get("skipped"))}
+        if index is not None:
+            out["index"] = index
+        if self.store is not None and job.kind == "spec" and \
+                isinstance(event.get("data"), dict) and index is not None:
+            spec = job.payload
+            kind = event.get("kind") or spec.stages[int(index)]["stage"]
+            out["artifact"] = self.store.save_stage(
+                spec, int(index), str(name), str(kind),
+                result_from_dict(event["data"]),
+            )
+        self._emit(job, out)
+
+    def _commit_done(self, job: _Job, event: dict):
+        """Restore a worker ``done`` event's typed result; persist
+        bare-request artifacts (and emit their stage event) exactly
+        like the thread path."""
+        payload = event.get("result")
+        result = result_from_dict(payload) if isinstance(payload, dict) \
+            else None
+        if job.kind == "request" and result is not None and \
+                self.store is not None:
+            relpath = self.store.save_request_result(job.payload, result)
+            stage_kind = job.name[:-len("_request")] \
+                if job.name.endswith("_request") else job.name
+            self._emit(job, {"event": "stage", "stage": stage_kind,
+                             "skipped": bool(event.get("skipped")),
+                             "artifact": relpath})
+        return result
 
     def _check_cancel(self, job: _Job) -> None:
         if job.cancel_event.is_set():
             raise _CancelJob()
 
-    # -- execution ----------------------------------------------------------- #
-    def _run_job(self, job: _Job) -> None:
+    # -- local dispatch ------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        """One local worker: pull from the scheduler, execute, repeat.
+
+        On shutdown the loop drains whatever is already queued (the
+        thread-pool contract `shutdown(wait=True)` used to provide)
+        before exiting — unless those jobs were cancelled away.
+        """
+        while True:
+            job = self._scheduler.pop(timeout=0.1)
+            if job is not None:
+                self._execute(job)
+                continue
+            if self._stop.is_set():
+                return
+
+    def _execute(self, job: _Job) -> None:
         if job.cancel_event.is_set():
             self._finish(job, CANCELLED)
             return
@@ -523,8 +854,11 @@ class JobManager:
         GLOBAL.gauge_add("jobs.queue_depth", -1)
         GLOBAL.gauge_add("jobs.running", 1)
         self._emit(job, {"event": "status", "state": RUNNING})
+        self._journal_state(job, RUNNING)
         try:
-            if job.kind == "spec":
+            if self.executor == "process":
+                result = self._run_process_job(job)
+            elif job.kind == "spec":
                 result = self._run_spec_job(job)
             else:
                 result = self._run_request_job(job)
@@ -574,7 +908,7 @@ class JobManager:
     def _run_spec_job(self, job: _Job):
         spec = job.payload
         completed: dict = {}
-        if job.resume and self.store is not None:
+        if (job.resume or job.retries) and self.store is not None:
             completed = self.store.completed_stages(spec)
         names = spec.stage_names()
         kinds = [s["stage"] for s in spec.stages]
@@ -606,22 +940,320 @@ class JobManager:
         return SpecResult(name=spec.name, workload=spec.workload,
                           stages=tuple(stage_results))
 
-    # -- teardown ------------------------------------------------------------ #
+    # -- process executor ---------------------------------------------------- #
+    def _run_process_job(self, job: _Job):
+        """Run one job in a fresh worker process over the fleet's wire
+        protocol: the child streams the same events a remote worker
+        would POST, the parent commits them through the same path —
+        held under a real lease, renewed while the child is alive."""
+        lease = self._leases.grant(job, worker=f"process:{job.job_id}",
+                                   ttl=self.lease_ttl)
+        with job.cond:
+            job.lease = lease
+        GLOBAL.gauge_add("fleet.leases.active", 1)
+        GLOBAL.inc("fleet.leases.granted", executor="process")
+        payload = self._lease_payload(job, lease)
+        ctx = multiprocessing.get_context()
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=process_job_main, args=(send, payload),
+                           name=f"repro-fleet-{job.job_id}", daemon=True)
+        proc.start()
+        send.close()
+        try:
+            while True:
+                self._check_cancel(job)
+                with job.cond:
+                    if job.lease is not lease:
+                        # the lease was collected (expiry under a
+                        # pathological stall, or a racing cancel) —
+                        # the job belongs to someone else now; a stale
+                        # commit must not corrupt it
+                        raise _CancelJob()
+                if recv.poll(0.1):
+                    try:
+                        event = recv.recv()
+                    except EOFError as exc:
+                        raise JobError(
+                            f"worker process for {job.job_id} closed its "
+                            f"pipe without a result"
+                        ) from exc
+                    kind = event.get("event")
+                    if kind == "row":
+                        self._commit_row(job, event.get("stage"),
+                                         event.get("data"))
+                    elif kind == "stage":
+                        self._commit_stage(job, event)
+                    elif kind == "done":
+                        GLOBAL.inc("fleet.leases.completed",
+                                   executor="process")
+                        return self._commit_done(job, event)
+                    elif kind == "error":
+                        raise _restore_error(event)
+                elif not proc.is_alive():
+                    raise JobError(
+                        f"worker process for {job.job_id} died "
+                        f"(exit code {proc.exitcode})"
+                    )
+                try:
+                    self._leases.renew(lease.lease_id)
+                except JobError:
+                    pass  # collected by a racing cancel; loop notices
+        finally:
+            if self._leases.release(lease.lease_id) is not None:
+                GLOBAL.gauge_add("fleet.leases.active", -1)
+            with job.cond:
+                if job.lease is lease:  # a requeue may hold a new one
+                    job.lease = None
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=10.0)
+            recv.close()
+
+    # -- fleet leasing ------------------------------------------------------- #
+    def lease_job(self, worker: str = "", wait: float = 0.0,
+                  ttl: "float | None" = None) -> "dict | None":
+        """Grant the next runnable job to a pulling worker.
+
+        The remote half of the scheduler: pops the highest-priority
+        pending job (blocking up to ``wait`` seconds), grants a lease,
+        flips the job to ``running`` and returns the lease document —
+        task payload, lease id, TTL, and any resume material the
+        artifact store holds.  ``None`` when nothing is pending (or
+        the manager is draining/paused).
+        """
+        wait = max(0.0, min(float(wait), 60.0))
+        deadline = time.monotonic() + wait
+        while True:
+            remaining = max(0.0, deadline - time.monotonic())
+            job = self._scheduler.pop(timeout=remaining)
+            if job is None:
+                return None
+            if job.cancel_event.is_set():
+                self._finish(job, CANCELLED)
+                continue
+            lease = self._leases.grant(job, worker,
+                                       self.lease_ttl if ttl is None
+                                       else ttl)
+            with job.cond:
+                job.state = RUNNING
+                job.lease = lease
+            GLOBAL.gauge_add("jobs.queue_depth", -1)
+            GLOBAL.gauge_add("jobs.running", 1)
+            GLOBAL.gauge_add("fleet.leases.active", 1)
+            GLOBAL.inc("fleet.leases.granted", executor="remote")
+            self._emit(job, {"event": "status", "state": RUNNING})
+            self._journal_state(job, RUNNING)
+            self._journal_append({"event": "lease", "job_id": job.job_id,
+                                  "lease_id": lease.lease_id,
+                                  "worker": worker})
+            self._ensure_monitor()
+            try:
+                return self._lease_payload(job, lease)
+            except Exception as exc:  # corrupted resume artifact etc.
+                if self._leases.release(lease.lease_id) is not None:
+                    GLOBAL.gauge_add("fleet.leases.active", -1)
+                with job.cond:
+                    job.lease = None
+                self._emit(job, {"event": "error", "error": str(exc),
+                                 "error_type": type(exc).__name__,
+                                 "traceback": _format_traceback(exc)})
+                self._finish(job, FAILED, error=exc)
+                return None
+
+    def _lease_payload(self, job: _Job, lease) -> dict:
+        doc = {
+            "lease_id": lease.lease_id,
+            "job_id": job.job_id,
+            "ttl": lease.ttl,
+            "kind": job.kind,
+            "name": job.name,
+            "attempt": job.retries,
+            "task": job.payload.to_dict(),
+        }
+        if self.store is None or not (job.resume or job.retries):
+            return doc
+        if job.kind == "spec":
+            completed = self.store.completed_stages(job.payload)
+            if completed:
+                doc["resume_completed"] = {
+                    str(index): result.to_dict()
+                    for index, result in completed.items()
+                }
+        elif job.kind == "request":
+            loaded = self.store.load_request_result(job.payload)
+            if loaded is not None:
+                doc["resume_result"] = loaded.to_dict()
+        return doc
+
+    def apply_worker_events(self, lease_id: str, events,
+                            worker: str = "") -> dict:
+        """Commit a worker's posted event batch against its lease.
+
+        Every post renews the lease (heartbeats are just empty
+        renewals).  Row/stage events land through the same commit path
+        the process executor uses; ``done`` finishes the job with the
+        restored typed result; ``error`` fails it under the worker's
+        reported exception type.  Raises
+        :class:`~repro.errors.LeaseExpired` for an unknown/expired
+        lease (the HTTP 410) — a late worker's stale events must not
+        corrupt a requeued job.  The response tells the worker whether
+        to keep going (``cancelled``).
+        """
+        lease = self._leases.renew(lease_id)
+        job = lease.job
+        with job.cond:
+            terminal = job.state in TERMINAL_STATES
+        if terminal or job.cancel_event.is_set():
+            # nothing more to commit; release so expiry never requeues
+            if self._leases.release(lease_id) is not None:
+                GLOBAL.gauge_add("fleet.leases.active", -1)
+            with job.cond:
+                job.lease = None
+                state = job.state
+            return {"ok": True, "cancelled": True, "state": state}
+        if not isinstance(events, (list, tuple)):
+            raise JobError("worker events payload must be a list")
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            kind = event.get("event")
+            if kind == "heartbeat":
+                continue
+            if kind == "row":
+                self._commit_row(job, event.get("stage"),
+                                 event.get("data"))
+            elif kind == "stage":
+                self._commit_stage(job, event)
+            elif kind == "done":
+                result = self._commit_done(job, event)
+                if self._leases.release(lease_id) is not None:
+                    GLOBAL.gauge_add("fleet.leases.active", -1)
+                GLOBAL.inc("fleet.leases.completed", executor="remote")
+                with job.cond:
+                    job.lease = None
+                self._finish(job, DONE, result=result)
+                break
+            elif kind == "error":
+                self._emit(job, {
+                    "event": "error", "error": event.get("error"),
+                    "error_type": event.get("error_type"),
+                    "traceback": event.get("traceback"),
+                })
+                if self._leases.release(lease_id) is not None:
+                    GLOBAL.gauge_add("fleet.leases.active", -1)
+                with job.cond:
+                    job.lease = None
+                self._finish(job, FAILED, error=_restore_error(event))
+                break
+        with job.cond:
+            state = job.state
+        return {"ok": True, "cancelled": job.cancel_event.is_set(),
+                "state": state}
+
+    def _ensure_monitor(self) -> None:
+        with self._lock:
+            if self._monitor is not None or self._closed:
+                return
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-lease-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(0.1):
+            for lease in self._leases.expired():
+                self._on_lease_expired(lease)
+
+    def _on_lease_expired(self, lease) -> None:
+        """Requeue (or fail) a job whose worker went quiet."""
+        job = lease.job
+        GLOBAL.gauge_add("fleet.leases.active", -1)
+        GLOBAL.inc("fleet.leases.expired")
+        with job.cond:
+            if job.state in TERMINAL_STATES:
+                return
+            job.lease = None
+            job.retries += 1
+            retries = job.retries
+        if retries > self.max_retries:
+            self._finish(job, FAILED, error=JobError(
+                f"lease {lease.lease_id} (worker {lease.worker!r}) "
+                f"expired on attempt {retries}; retry budget of "
+                f"{self.max_retries} exhausted"
+            ))
+            return
+        with job.cond:
+            job.state = QUEUED
+            job.rows_done = 0
+            job.stage = None
+        GLOBAL.gauge_add("jobs.running", -1)
+        GLOBAL.gauge_add("jobs.queue_depth", 1)
+        GLOBAL.inc("fleet.jobs.requeued")
+        self._emit(job, {"event": "requeued", "attempt": retries,
+                         "reason": f"lease {lease.lease_id} expired"})
+        self._emit(job, {"event": "status", "state": QUEUED})
+        self._journal_state(job, QUEUED)
+        # re-admission of already-accepted work bypasses the queue cap
+        self._scheduler.push(job, priority=job.priority, force=True)
+
+    # -- drain / teardown ---------------------------------------------------- #
+    def live_jobs(self) -> "list[_Job]":
+        """Top-level jobs not yet terminal (children ride parents)."""
+        with self._lock:
+            records = [job for job in self._jobs.values()
+                       if job.parent is None]
+        live = []
+        for job in records:
+            with job.cond:
+                if job.state not in TERMINAL_STATES:
+                    live.append(job)
+        return live
+
+    def drain(self, timeout: float = 10.0) -> "list[str]":
+        """Stop handing out work and wait for running jobs to finish.
+
+        Pauses the scheduler (local dispatchers and remote leases both
+        stop pulling; queued jobs stay queued *and journaled*), then
+        waits up to ``timeout`` seconds for in-flight jobs to go
+        terminal.  Returns the ids of jobs still live at expiry — the
+        abandoned work a graceful shutdown reports (and the journal
+        records for the next start to recover).
+        """
+        self._scheduler.pause()
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            if not self.live_jobs():
+                break
+            time.sleep(0.05)
+        abandoned = [job.job_id for job in self.live_jobs()]
+        self._journal_append({"event": "shutdown",
+                              "abandoned": abandoned})
+        return abandoned
+
     def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
         """Stop accepting jobs; optionally cancel everything live.
 
-        Also releases the session's shared-memory publications — the
-        coordinator is the segments' owner, so a clean server exit must
-        unlink them (workers that are still draining keep their own
-        mappings alive until they exit).
+        ``wait=True`` lets dispatchers drain the already-admitted
+        queue first (the thread-pool contract submissions were
+        accepted under).  Also releases the session's shared-memory
+        publications — the coordinator is the segments' owner, so a
+        clean server exit must unlink them (workers that are still
+        draining keep their own mappings alive until they exit).
         """
         with self._lock:
             self._closed = True
             jobs = list(self._jobs.values())
         if cancel:
             for job in jobs:
-                self.cancel(job.job_id)
-        self._pool.shutdown(wait=wait, cancel_futures=cancel)
+                self._cancel_job(job)
+        self._stop.set()
+        self._scheduler.wake()
+        if wait:
+            for thread in self._dispatchers:
+                thread.join()
+            if self._monitor is not None:
+                self._monitor.join(timeout=5.0)
         self.session.close()
 
     def __enter__(self) -> "JobManager":

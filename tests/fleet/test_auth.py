@@ -1,0 +1,95 @@
+"""Bearer-token auth: config validation and header matching."""
+
+import json
+
+import pytest
+
+from repro.errors import AuthError, RequestError
+from repro.fleet import TokenAuth
+
+
+def _write(tmp_path, doc):
+    path = tmp_path / "tokens.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+@pytest.fixture
+def auth(tmp_path):
+    return TokenAuth.load(_write(tmp_path, {"tokens": [
+        {"token": "s3cret-alice", "client": "alice", "quota": 2},
+        {"token": "s3cret-fleet", "client": "fleet-workers"},
+    ]}))
+
+
+class TestLoad:
+    def test_valid_file(self, auth):
+        assert len(auth) == 2
+        assert auth.quotas() == {"alice": 2}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RequestError, match="cannot read"):
+            TokenAuth.load(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "tokens.json"
+        path.write_text("{nope")
+        with pytest.raises(RequestError, match="cannot read"):
+            TokenAuth.load(path)
+
+    def test_needs_a_tokens_list(self, tmp_path):
+        with pytest.raises(RequestError, match="'tokens' list"):
+            TokenAuth.load(_write(tmp_path, {"token": "x"}))
+
+    def test_empty_tokens_list(self, tmp_path):
+        with pytest.raises(RequestError, match="no tokens"):
+            TokenAuth.load(_write(tmp_path, {"tokens": []}))
+
+    def test_entry_needs_token_and_client(self, tmp_path):
+        with pytest.raises(RequestError, match="'token' string"):
+            TokenAuth.load(_write(tmp_path,
+                                  {"tokens": [{"client": "alice"}]}))
+        with pytest.raises(RequestError, match="'client' string"):
+            TokenAuth.load(_write(tmp_path, {"tokens": [{"token": "x"}]}))
+
+    def test_quota_must_be_positive_int(self, tmp_path):
+        for bad in (0, -1, 1.5, "four"):
+            with pytest.raises(RequestError, match="quota"):
+                TokenAuth.load(_write(tmp_path, {"tokens": [
+                    {"token": "x", "client": "alice", "quota": bad}
+                ]}))
+
+    def test_duplicate_token_rejected(self, tmp_path):
+        with pytest.raises(RequestError, match="duplicate"):
+            TokenAuth.load(_write(tmp_path, {"tokens": [
+                {"token": "x", "client": "alice"},
+                {"token": "x", "client": "bob"},
+            ]}))
+
+
+class TestAuthenticate:
+    def test_known_token_names_its_client(self, auth):
+        client = auth.authenticate("Bearer s3cret-alice")
+        assert client.name == "alice"
+        assert client.quota == 2
+
+    def test_scheme_is_case_insensitive(self, auth):
+        assert auth.authenticate("bearer s3cret-fleet").name == \
+            "fleet-workers"
+
+    def test_missing_header(self, auth):
+        with pytest.raises(AuthError, match="missing Authorization"):
+            auth.authenticate(None)
+
+    def test_wrong_scheme(self, auth):
+        with pytest.raises(AuthError, match="Bearer"):
+            auth.authenticate("Basic s3cret-alice")
+
+    def test_unknown_token_never_echoed(self, auth):
+        with pytest.raises(AuthError) as err:
+            auth.authenticate("Bearer super-secret-guess")
+        assert "super-secret-guess" not in str(err.value)
+
+    def test_empty_token(self, auth):
+        with pytest.raises(AuthError):
+            auth.authenticate("Bearer ")

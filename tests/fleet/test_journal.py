@@ -1,0 +1,105 @@
+"""The crash journal: append, replay, and what a restart owes."""
+
+import json
+
+from repro.fleet import Journal, pending_submissions
+
+
+def _submit(job_id, task=None, **extra):
+    record = {"event": "submit", "job_id": job_id,
+              "task": task or {"type": "sweep_request"}}
+    record.update(extra)
+    return record
+
+
+def _state(job_id, state):
+    return {"event": "state", "job_id": job_id, "state": state}
+
+
+class TestAppendReplay:
+    def test_round_trip_in_order(self, tmp_path):
+        journal = Journal(tmp_path / "journal.ndjson")
+        records = [_submit("job-1"), _state("job-1", "running"),
+                   _state("job-1", "done")]
+        for record in records:
+            journal.append(record)
+        assert journal.replay() == records
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert Journal(tmp_path / "never-written.ndjson").replay() == []
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        journal = Journal(path)
+        journal.append(_submit("job-1"))
+        journal.append(_state("job-1", "running"))
+        # exactly what a crash mid-append leaves behind
+        with open(path, "a") as fh:
+            fh.write('{"event": "state", "job_id": "jo')
+        records = journal.replay()
+        assert len(records) == 2
+        assert records[-1] == _state("job-1", "running")
+
+    def test_blank_and_non_object_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        journal = Journal(path)
+        journal.append(_submit("job-1"))
+        with open(path, "a") as fh:
+            fh.write("\n[1, 2, 3]\n\"just a string\"\n")
+        journal.append(_state("job-1", "done"))
+        assert journal.replay() == [_submit("job-1"),
+                                    _state("job-1", "done")]
+
+    def test_append_writes_one_compact_line(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        Journal(path).append(_submit("job-1"))
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["job_id"] == "job-1"
+        assert ": " not in line  # compact separators, one line per record
+
+
+class TestPendingSubmissions:
+    def test_terminal_jobs_are_not_owed(self, tmp_path):
+        records = [
+            _submit("job-1"), _state("job-1", "running"),
+            _state("job-1", "done"),
+            _submit("job-2"), _state("job-2", "running"),
+            _state("job-2", "failed"),
+            _submit("job-3"), _state("job-3", "cancelled"),
+        ]
+        next_id, pending = pending_submissions(records)
+        assert pending == []
+        assert next_id == 4
+
+    def test_inflight_jobs_come_back_in_order(self):
+        records = [
+            _submit("job-1"), _state("job-1", "running"),  # crashed mid-run
+            _submit("job-2"),                              # never started
+            _submit("job-3"), _state("job-3", "done"),
+        ]
+        next_id, pending = pending_submissions(records)
+        assert [r["job_id"] for r in pending] == ["job-1", "job-2"]
+        assert next_id == 4
+
+    def test_next_id_clears_every_ordinal_ever_seen(self):
+        records = [_submit("job-17"), _state("job-17", "done"),
+                   {"event": "lease", "job_id": "job-41",
+                    "lease_id": "lease-x", "worker": "w"}]
+        next_id, _ = pending_submissions(records)
+        assert next_id == 42
+
+    def test_empty_journal_starts_at_one(self):
+        assert pending_submissions([]) == (1, [])
+
+    def test_requeue_after_running_still_pending(self):
+        # lease expired, coordinator journaled the flip back to queued
+        records = [_submit("job-1"), _state("job-1", "running"),
+                   _state("job-1", "queued")]
+        _, pending = pending_submissions(records)
+        assert [r["job_id"] for r in pending] == ["job-1"]
+
+    def test_malformed_ids_do_not_break_the_counter(self):
+        records = [_submit("job-oops"), _submit("job-2")]
+        next_id, pending = pending_submissions(records)
+        assert next_id == 3
+        assert len(pending) == 2

@@ -1,0 +1,108 @@
+"""Lease lifecycle: grant, renew, expire, fence the latecomer."""
+
+import pytest
+
+from repro.errors import JobError, LeaseExpired
+from repro.fleet import LeaseTable
+
+
+class Job:
+    def __init__(self, job_id="job-1"):
+        self.job_id = job_id
+
+
+class Clock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(clock=clock)
+
+
+class TestGrant:
+    def test_grant_returns_a_live_lease(self, table):
+        job = Job()
+        lease = table.grant(job, worker="w1", ttl=30.0)
+        assert lease.lease_id.startswith("lease-")
+        assert lease.job is job
+        assert lease.worker == "w1"
+        assert table.active() == 1
+
+    def test_lease_ids_are_unique(self, table):
+        ids = {table.grant(Job(), ttl=30.0).lease_id for _ in range(32)}
+        assert len(ids) == 32
+
+    def test_nonpositive_ttl_rejected(self, table):
+        for bad in (0, -1.0):
+            with pytest.raises(JobError):
+                table.grant(Job(), ttl=bad)
+
+    def test_snapshot_carries_the_wire_fields(self, table):
+        table.grant(Job("job-7"), worker="w2", ttl=5.0)
+        (doc,) = table.snapshot()
+        assert doc["job_id"] == "job-7"
+        assert doc["worker"] == "w2"
+        assert doc["ttl"] == 5.0
+        assert doc["renewals"] == 0
+
+
+class TestRenew:
+    def test_renew_extends_the_deadline(self, table, clock):
+        lease = table.grant(Job(), ttl=10.0)
+        clock.tick(8.0)
+        table.renew(lease.lease_id)
+        clock.tick(8.0)  # 16s total: dead without the renewal
+        assert table.expired() == []
+        assert lease.renewals == 1
+
+    def test_renew_unknown_lease_raises(self, table):
+        with pytest.raises(LeaseExpired):
+            table.renew("lease-nope")
+
+    def test_renew_after_collection_raises(self, table, clock):
+        lease = table.grant(Job(), ttl=1.0)
+        clock.tick(2.0)
+        assert [l.lease_id for l in table.expired()] == [lease.lease_id]
+        # the slow worker comes back: it must learn the lease is gone
+        with pytest.raises(LeaseExpired):
+            table.renew(lease.lease_id)
+
+
+class TestExpiry:
+    def test_expired_collects_only_the_dead(self, table, clock):
+        dead = table.grant(Job("job-1"), ttl=1.0)
+        table.grant(Job("job-2"), ttl=60.0)
+        clock.tick(5.0)
+        collected = table.expired()
+        assert [l.lease_id for l in collected] == [dead.lease_id]
+        assert table.active() == 1
+
+    def test_expired_is_a_one_shot_pop(self, table, clock):
+        table.grant(Job(), ttl=1.0)
+        clock.tick(5.0)
+        assert len(table.expired()) == 1
+        assert table.expired() == []
+
+    def test_release_prevents_expiry(self, table, clock):
+        lease = table.grant(Job(), ttl=1.0)
+        assert table.release(lease.lease_id) is lease
+        clock.tick(5.0)
+        assert table.expired() == []
+
+    def test_release_unknown_is_none(self, table):
+        assert table.release("lease-nope") is None

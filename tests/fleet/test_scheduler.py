@@ -1,0 +1,193 @@
+"""Scheduler policy: priority, FIFO, capacity, quotas, pause."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobError, QueueFull, QuotaExceeded
+from repro.fleet import Scheduler
+
+
+class Job:
+    """A stand-in payload; the scheduler never looks inside."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return f"Job({self.tag})"
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        sch = Scheduler()
+        low, high = Job("low"), Job("high")
+        sch.push(low, priority=0)
+        sch.push(high, priority=5)
+        assert sch.pop() is high
+        assert sch.pop() is low
+        assert sch.pop() is None
+
+    def test_fifo_within_one_class(self):
+        sch = Scheduler()
+        jobs = [Job(i) for i in range(8)]
+        for job in jobs:
+            sch.push(job, priority=3)
+        assert [sch.pop() for _ in jobs] == jobs
+
+    def test_negative_priority_sorts_last(self):
+        sch = Scheduler()
+        back, front = Job("back"), Job("front")
+        sch.push(back, priority=-2)
+        sch.push(front, priority=0)
+        assert sch.pop() is front
+        assert sch.pop() is back
+
+    def test_depth_tracks_pending(self):
+        sch = Scheduler()
+        assert sch.depth() == 0
+        sch.push(Job("a"))
+        sch.push(Job("b"))
+        assert sch.depth() == 2
+        sch.pop()
+        assert sch.depth() == 1
+
+
+class TestCapacity:
+    def test_queue_full_raises(self):
+        sch = Scheduler(max_queue=2)
+        sch.push(Job("a"))
+        sch.push(Job("b"))
+        with pytest.raises(QueueFull):
+            sch.push(Job("c"))
+
+    def test_force_bypasses_the_cap(self):
+        sch = Scheduler(max_queue=1)
+        sch.push(Job("a"))
+        requeued = Job("requeued")
+        sch.push(requeued, priority=9, force=True)
+        assert sch.pop() is requeued
+
+    def test_pop_frees_a_slot(self):
+        sch = Scheduler(max_queue=1)
+        sch.push(Job("a"))
+        sch.pop()
+        sch.push(Job("b"))  # no raise
+
+    def test_bad_max_queue_rejected(self):
+        for bad in (0, -1, "many", 2.5):
+            with pytest.raises(JobError):
+                Scheduler(max_queue=bad)
+
+
+class TestQuotas:
+    def test_charge_past_quota_raises(self):
+        sch = Scheduler(quotas={"alice": 2})
+        sch.charge("alice")
+        sch.charge("alice")
+        with pytest.raises(QuotaExceeded):
+            sch.charge("alice")
+        assert sch.inflight("alice") == 2
+
+    def test_release_returns_the_slot(self):
+        sch = Scheduler(quotas={"alice": 1})
+        sch.charge("alice")
+        sch.release("alice")
+        sch.charge("alice")  # no raise
+        assert sch.inflight("alice") == 1
+
+    def test_unquotaed_client_is_unlimited_but_counted(self):
+        sch = Scheduler(quotas={"alice": 1})
+        for _ in range(5):
+            sch.charge("bob")
+        assert sch.inflight("bob") == 5
+
+    def test_anonymous_client_is_free(self):
+        sch = Scheduler(quotas={"alice": 1})
+        sch.charge(None)
+        sch.release(None)  # both no-ops
+
+
+class TestRemove:
+    def test_removed_job_is_never_popped(self):
+        sch = Scheduler()
+        doomed, kept = Job("doomed"), Job("kept")
+        sch.push(doomed)
+        sch.push(kept)
+        assert sch.remove(doomed) is True
+        assert sch.pop() is kept
+        assert sch.pop() is None
+
+    def test_remove_unknown_is_false(self):
+        sch = Scheduler()
+        assert sch.remove(Job("ghost")) is False
+
+    def test_remove_after_pop_is_false(self):
+        sch = Scheduler()
+        job = Job("gone")
+        sch.push(job)
+        sch.pop()
+        assert sch.remove(job) is False
+
+
+class TestPause:
+    def test_paused_pop_hands_out_nothing(self):
+        sch = Scheduler()
+        sch.push(Job("a"))
+        sch.pause()
+        assert sch.paused
+        assert sch.pop(timeout=0.0) is None
+        assert sch.depth() == 1  # still queued, nothing lost
+
+    def test_drain_pops_through_a_pause(self):
+        sch = Scheduler()
+        job = Job("a")
+        sch.push(job)
+        sch.pause()
+        assert sch.pop(timeout=0.0, drain=True) is job
+
+    def test_resume_reopens(self):
+        sch = Scheduler()
+        job = Job("a")
+        sch.push(job)
+        sch.pause()
+        sch.resume()
+        assert sch.pop() is job
+
+
+class TestBlockingPop:
+    def test_timeout_expires_to_none(self):
+        sch = Scheduler()
+        start = time.monotonic()
+        assert sch.pop(timeout=0.05) is None
+        assert time.monotonic() - start >= 0.04
+
+    def test_blocked_pop_wakes_on_push(self):
+        sch = Scheduler()
+        job = Job("late")
+        got = []
+
+        def puller():
+            got.append(sch.pop(timeout=5.0))
+
+        thread = threading.Thread(target=puller)
+        thread.start()
+        time.sleep(0.05)
+        sch.push(job)
+        thread.join(timeout=5.0)
+        assert got == [job]
+
+    def test_wake_unblocks_without_a_job(self):
+        sch = Scheduler()
+        got = []
+
+        def puller():
+            got.append(sch.pop(timeout=0.3))
+
+        thread = threading.Thread(target=puller)
+        thread.start()
+        time.sleep(0.05)
+        sch.wake()  # pop re-checks, finds nothing, keeps waiting out
+        thread.join(timeout=5.0)
+        assert got == [None]

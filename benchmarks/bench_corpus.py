@@ -1,0 +1,109 @@
+"""Regression-corpus throughput: shared Session vs cold per-case runs.
+
+The corpus runner executes every pinned case through one shared
+:class:`~repro.api.Session`, so cases that target the same fitted
+device reuse the compiled substrate (``compiled_rrg_for`` cache)
+instead of rebuilding it.  This bench measures what that sharing buys
+against the worst case — a cold ``Session`` per case — while holding
+both modes to the pinned goldens.
+
+Gates (asserted, not just reported):
+
+- **bit-identity** — both modes reproduce every case's ``golden.json``
+  byte-for-byte (``run_corpus``/``run_case`` diff the canonical JSON);
+- **reuse** — the shared-session sweep performs strictly fewer
+  substrate builds than cases run.
+
+Runs two ways:
+
+- under pytest (``pytest benchmarks/bench_corpus.py -s``);
+- standalone (``python benchmarks/bench_corpus.py [--smoke]``) for CI;
+  the corpus is small enough that ``--smoke`` runs the full tree too.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.api import Session
+from repro.arch.compiled import clear_rrg_cache, compiled_rrg_for
+from repro.netlist.frontend.corpus import discover_cases, run_case, run_corpus
+from repro.utils.tables import TextTable
+
+CORPUS_ROOT = "regression_tests"
+
+
+def _shared(root) -> "tuple[dict, float, int]":
+    clear_rrg_cache()
+    session = Session()
+    t0 = time.perf_counter()
+    report = run_corpus(session, root)
+    elapsed = time.perf_counter() - t0
+    return report, elapsed, compiled_rrg_for.cache_info().misses
+
+
+def _cold(root) -> "tuple[list, float]":
+    reports = []
+    t0 = time.perf_counter()
+    for case_dir in discover_cases(root):
+        clear_rrg_cache()
+        reports.append(run_case(Session(), case_dir))
+    return reports, time.perf_counter() - t0
+
+
+def _measure(root) -> dict:
+    shared_report, t_shared, builds = _shared(root)
+    cold_reports, t_cold = _cold(root)
+
+    assert shared_report["ok"], shared_report
+    assert all(r["status"] == "ok" for r in cold_reports), cold_reports
+    n_cases = len(shared_report["cases"])
+    assert builds < n_cases, (
+        f"shared session rebuilt the substrate {builds}x for "
+        f"{n_cases} cases — cache sharing regressed"
+    )
+    return {
+        "cases": n_cases,
+        "t_shared": t_shared,
+        "t_cold": t_cold,
+        "speedup": t_cold / t_shared,
+        "substrate_builds_shared": builds,
+    }
+
+
+def _report(row: dict) -> None:
+    t = TextTable(
+        ["mode", "cases", "time [s]", "substrate builds"],
+        title="Regression corpus (goldens bit-identical in both modes)",
+    )
+    t.add_row(["cold Session per case", row["cases"],
+               f"{row['t_cold']:.2f}", row["cases"]])
+    t.add_row(["shared Session", row["cases"], f"{row['t_shared']:.2f}",
+               row["substrate_builds_shared"]])
+    print(t.render())
+
+
+def main(argv) -> int:
+    from benchlib import write_bench
+
+    row = _measure(CORPUS_ROOT)
+    _report(row)
+    write_bench(
+        "corpus", speedup=row["speedup"],
+        wall_s=row["t_shared"] + row["t_cold"], gate=True, detail=row,
+    )
+    print(f"corpus bench ok: {row['cases']} cases bit-identical, "
+          f"{row['substrate_builds_shared']} substrate build(s) shared, "
+          f"{row['speedup']:.2f}x vs cold sessions")
+    return 0
+
+
+# -- pytest entry point ---------------------------------------------------- #
+def test_corpus_shared_session_reuse(benchmark=None):
+    row = _measure(CORPUS_ROOT)
+    assert row["substrate_builds_shared"] < row["cases"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

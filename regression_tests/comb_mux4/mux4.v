@@ -1,0 +1,14 @@
+// 4:1 multiplexer from gate primitives
+module mux4 (d0, d1, d2, d3, s0, s1, y);
+  input d0, d1, d2, d3, s0, s1;
+  output y;
+  wire n0, n1;
+  wire t0, t1, t2, t3;
+  not (n0, s0);
+  not (n1, s1);
+  and (t0, d0, n0, n1);
+  and (t1, d1, s0, n1);
+  and (t2, d2, n0, s1);
+  and (t3, d3, s0, s1);
+  or  (y, t0, t1, t2, t3);
+endmodule

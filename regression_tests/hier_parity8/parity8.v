@@ -1,0 +1,18 @@
+// 8-input parity from two xor4 submodules
+module xor4 (a, b, c, d, y);
+  input a, b, c, d;
+  output y;
+  wire t0, t1;
+  xor (t0, a, b);
+  xor (t1, c, d);
+  xor (y, t0, t1);
+endmodule
+
+module parity8 (i0, i1, i2, i3, i4, i5, i6, i7, p);
+  input i0, i1, i2, i3, i4, i5, i6, i7;
+  output p;
+  wire p0, p1;
+  xor4 lo (i0, i1, i2, i3, p0);
+  xor4 hi (.a(i4), .b(i5), .c(i6), .d(i7), .y(p1));
+  xor (p, p0, p1);
+endmodule

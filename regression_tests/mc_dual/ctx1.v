@@ -1,0 +1,9 @@
+// context 1: compare-equal over the same pin set
+module eq2 (a0, a1, b0, b1, eq);
+  input a0, a1, b0, b1;
+  output eq;
+  wire x0, x1;
+  xnor (x0, a0, b0);
+  xnor (x1, a1, b1);
+  and  (eq, x0, x1);
+endmodule

@@ -1,0 +1,11 @@
+// 4-stage shift register with an inverted tap
+module shift4 (din, q3, tap);
+  input din;
+  output q3, tap;
+  wire q0, q1, q2;
+  dff f0 (q0, din);
+  dff f1 (q1, q0);
+  dff f2 (q2, q1);
+  dff f3 (q3, q2);
+  assign tap = ~q1;
+endmodule

@@ -41,6 +41,8 @@ from repro.api.requests import (
     AreaRequest,
     BatchRequest,
     ExecutionConfig,
+    IMPORT_FORMATS,
+    ImportRequest,
     MapRequest,
     ReorderRequest,
     REQUEST_TYPES,
@@ -52,6 +54,7 @@ from repro.api.requests import (
 from repro.api.results import (
     AreaResult,
     BatchResult,
+    ImportResult,
     MapResult,
     ReorderResult,
     ReportResult,
@@ -81,6 +84,9 @@ __all__ = [
     "ExecutionConfig",
     "ExperimentSpec",
     "GRID_AXES",
+    "IMPORT_FORMATS",
+    "ImportRequest",
+    "ImportResult",
     "MapRequest",
     "MapResult",
     "REQUEST_TYPES",

@@ -400,6 +400,106 @@ class ReorderRequest(_Request):
         _check_fraction("mutation", self.mutation)
 
 
+#: Source formats an :class:`ImportRequest` accepts (mirrors
+#: :data:`repro.netlist.frontend.FORMATS`; duplicated literally so the
+#: request layer stays import-light).
+IMPORT_FORMATS = ("blif", "verilog")
+
+#: Keys allowed in one :class:`ImportRequest` source mapping.
+_SOURCE_KEYS = ("text", "format", "name")
+
+
+@dataclass(frozen=True)
+class ImportRequest(_Request):
+    """Import external netlist sources (BLIF / structural Verilog) and
+    map them as one multi-context program.
+
+    Each entry of ``sources`` is a mapping with ``text`` (the source
+    document), ``format`` (one of :data:`IMPORT_FORMATS`) and an
+    optional ``name`` label used in error messages and context stats —
+    one source per context.  ``grid=None`` auto-fits the architecture
+    to the program; an explicit ``grid`` (plus optional channel
+    ``width``) pins it, which is what the regression corpus does so
+    goldens survive fit-heuristic changes.
+    """
+
+    TYPE_TAG = "import_request"
+    _TUPLE_FIELDS = ("sources",)
+
+    sources: tuple[dict, ...] = ()
+    name: str | None = None
+    k: int = 4
+    grid: int | None = None
+    width: int | None = None
+    share_aware: bool = True
+    verify: bool = True
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise RequestError("sources must name at least one netlist")
+        cleaned = []
+        for i, source in enumerate(self.sources):
+            if not isinstance(source, dict):
+                raise RequestError(
+                    f"sources[{i}] must be a mapping with 'text' and "
+                    f"'format', got {type(source).__name__}"
+                )
+            unknown = set(source) - set(_SOURCE_KEYS)
+            if unknown:
+                raise RequestError(
+                    f"sources[{i}] has unknown keys {sorted(unknown)} "
+                    f"(known: {', '.join(_SOURCE_KEYS)})"
+                )
+            text = source.get("text")
+            if not isinstance(text, str) or not text.strip():
+                raise RequestError(
+                    f"sources[{i}] needs a non-empty 'text' string"
+                )
+            fmt = source.get("format")
+            if fmt not in IMPORT_FORMATS:
+                raise RequestError(
+                    f"sources[{i}] format must be one of "
+                    f"{IMPORT_FORMATS}, got {fmt!r}"
+                )
+            label = source.get("name")
+            if label is not None and not isinstance(label, str):
+                raise RequestError(
+                    f"sources[{i}] name must be a string, got {label!r}"
+                )
+            entry = {"text": text, "format": fmt}
+            if label is not None:
+                entry["name"] = label
+            cleaned.append(entry)
+        object.__setattr__(self, "sources", tuple(cleaned))
+        if self.name is not None and not isinstance(self.name, str):
+            raise RequestError(
+                f"name must be a string or None, got {self.name!r}"
+            )
+        if not isinstance(self.k, int) or isinstance(self.k, bool) \
+                or not 2 <= self.k <= 8:
+            raise RequestError(
+                f"k must be an int in [2, 8], got {self.k!r}"
+            )
+        if self.grid is not None and (
+            not isinstance(self.grid, int) or self.grid < 3
+        ):
+            raise RequestError(
+                f"grid must be None or an int >= 3, got {self.grid!r}"
+            )
+        if self.width is not None:
+            if self.grid is None:
+                raise RequestError(
+                    "width requires an explicit grid (auto-fit picks "
+                    "its own channel width)"
+                )
+            if not isinstance(self.width, int) or self.width < 1:
+                raise RequestError(
+                    f"width must be None or a positive int, "
+                    f"got {self.width!r}"
+                )
+
+
 def request_total_rows(request) -> int:
     """How many rows :meth:`repro.api.Session.stream` will yield for
     ``request`` — known before any work runs, so progress reporters
@@ -413,7 +513,8 @@ def request_total_rows(request) -> int:
     if isinstance(request, YieldRequest):
         return len(request.spares) if request.spares is not None \
             else len(request.rates)
-    if isinstance(request, (MapRequest, AreaRequest, ReorderRequest)):
+    if isinstance(request, (MapRequest, AreaRequest, ReorderRequest,
+                            ImportRequest)):
         return 1
     raise RequestError(
         f"unsupported request type {type(request).__name__}"
@@ -424,7 +525,7 @@ def request_total_rows(request) -> int:
 REQUEST_TYPES = {
     cls.TYPE_TAG: cls
     for cls in (MapRequest, BatchRequest, SweepRequest, YieldRequest,
-                AreaRequest, ReorderRequest)
+                AreaRequest, ReorderRequest, ImportRequest)
 }
 
 

@@ -327,11 +327,74 @@ class SpecResult(_Result):
             )
 
 
+@dataclass(frozen=True)
+class ImportResult(_Result):
+    """Outcome of importing and mapping external netlist sources.
+
+    ``contexts`` carries one stats dict per imported source (name,
+    format, and the tech-mapped netlist's inputs/outputs/luts/dffs/
+    depth/nets).  The serialized form of this result is exactly what
+    the regression corpus pins as golden JSON.
+    """
+
+    TYPE_TAG = "import_result"
+    _TUPLE_FIELDS = ("contexts", "grid", "route_iterations")
+
+    name: str
+    contexts: tuple[dict, ...]
+    grid: tuple[int, int]
+    n_contexts: int
+    verified: bool
+    share_aware: bool
+    wirelength: int
+    critical_path: float
+    route_iterations: tuple[int, ...]
+    reuse_fraction: float
+    #: the full in-memory mapped program, for downstream consumers;
+    #: never serialized.
+    mapped: object | None = field(default=None, compare=False,
+                                  repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "contexts", tuple(self.contexts))
+
+    @classmethod
+    def from_mapped(cls, name: str, contexts_meta, mapped,
+                    verified: bool) -> "ImportResult":
+        """Build from a :class:`MappedProgram` plus the per-context
+        metadata :func:`repro.netlist.frontend.load_program` emits."""
+        from repro.route.timing import critical_path
+
+        worst = max(
+            critical_path(mapped.rrg, mapped.program.contexts[i],
+                          mapped.routes[i], mapped.placements[i])
+            for i in range(mapped.program.n_contexts)
+        )
+        return cls(
+            name=name,
+            contexts=tuple(dict(m) for m in contexts_meta),
+            grid=(mapped.params.cols, mapped.params.rows),
+            n_contexts=mapped.program.n_contexts,
+            verified=verified,
+            share_aware=mapped.share_aware,
+            wirelength=sum(
+                rr.wirelength(mapped.rrg) for rr in mapped.routes
+            ),
+            critical_path=worst,
+            route_iterations=tuple(
+                rr.iterations for rr in mapped.routes
+            ),
+            reuse_fraction=mapped.reuse_fraction(),
+            mapped=mapped,
+        )
+
+
 #: Type tag -> result class, for generic deserialization.
 RESULT_TYPES = {
     cls.TYPE_TAG: cls
     for cls in (MapResult, BatchResult, SweepResult, YieldResult,
-                AreaResult, ReorderResult, ReportResult, SpecResult)
+                AreaResult, ReorderResult, ReportResult, SpecResult,
+                ImportResult)
 }
 
 

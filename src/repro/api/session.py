@@ -42,6 +42,7 @@ from repro.api.requests import (
     AreaRequest,
     BatchRequest,
     ExecutionConfig,
+    ImportRequest,
     MapRequest,
     ReorderRequest,
     SweepRequest,
@@ -50,6 +51,7 @@ from repro.api.requests import (
 from repro.api.results import (
     AreaResult,
     BatchResult,
+    ImportResult,
     MapResult,
     ReorderResult,
     ReportResult,
@@ -474,6 +476,34 @@ class Session:
         progress(1, 1, result)
         yield result
 
+    # -- import ------------------------------------------------------------- #
+    def _run_import(self, req: ImportRequest) -> ImportResult:
+        from repro.analysis.experiments import verify_mapped
+        from repro.netlist.frontend import arch_for, load_program
+
+        cfg = req.execution
+        program, metas = load_program(req.sources, k=req.k,
+                                      name=req.name)
+        params = None
+        if req.grid is not None:
+            params = arch_for(program, req.grid, width=req.width,
+                              k=req.k)
+        mapped = self.map_program(
+            program, params, share_aware=req.share_aware,
+            seed=cfg.seed, effort=cfg.effort_or(MAP_EFFORT),
+            route_workers=cfg.route_workers,
+        )
+        verified = (
+            verify_mapped(mapped, seed=cfg.seed) if req.verify else False
+        )
+        return ImportResult.from_mapped(program.name, metas, mapped,
+                                        verified)
+
+    def _stream_import(self, req: ImportRequest, progress):
+        result = self._run_import(req)
+        progress(1, 1, result)
+        yield result
+
     # -- specs -------------------------------------------------------------- #
     def iter_spec_events(self, spec: ExperimentSpec, progress=None,
                          completed: "dict[int, object] | None" = None):
@@ -574,6 +604,7 @@ class Session:
         YieldRequest: _run_yield,
         AreaRequest: _run_area,
         ReorderRequest: _run_reorder,
+        ImportRequest: _run_import,
     }
 
     _STREAM = {
@@ -583,6 +614,7 @@ class Session:
         YieldRequest: _stream_yield,
         AreaRequest: _stream_area,
         ReorderRequest: _stream_reorder,
+        ImportRequest: _stream_import,
     }
 
 
@@ -626,6 +658,15 @@ def stage_payload(result) -> "tuple[str, dict] | None":
             "cost_before": result.cost_before,
             "cost_after": result.cost_after,
             "saving": result.saving,
+        }
+    if isinstance(result, ImportResult):
+        return "import", {
+            "name": result.name,
+            "contexts": result.n_contexts,
+            "grid": list(result.grid),
+            "verified": result.verified,
+            "wirelength": result.wirelength,
+            "critical_path": result.critical_path,
         }
     return None
 

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from repro.api.requests import (
     BatchRequest,
     ExecutionConfig,
+    ImportRequest,
     MapRequest,
     ReorderRequest,
     SweepRequest,
@@ -68,7 +69,8 @@ from repro.errors import RequestError, SpecError
 
 #: Stage names a spec may use.  ``report`` takes no request — it
 #: summarizes whatever ran before it.
-STAGES = ("map", "batch", "sweep", "yield", "reorder", "report")
+STAGES = ("map", "batch", "sweep", "yield", "reorder", "import",
+          "report")
 
 _STAGE_REQUESTS = {
     "map": MapRequest,
@@ -76,6 +78,7 @@ _STAGE_REQUESTS = {
     "sweep": SweepRequest,
     "yield": YieldRequest,
     "reorder": ReorderRequest,
+    "import": ImportRequest,
 }
 
 #: Spec-header keys stages inherit unless they override them.

@@ -13,6 +13,8 @@ Exposes the library's main flows without writing Python::
         --backend process                     # routing design-space sweep
     python -m repro yield --defect-rate 0.01,0.03 --trials 16 \
         --backend process                     # Monte Carlo yield campaign
+    python -m repro import top.blif --grid 6 --json  # map your netlist
+    python -m repro corpus --backend all --jobs       # regression corpus
     python -m repro run examples/specs/ci_smoke.json --json  # run a spec
     python -m repro trace examples/specs/ci_smoke.json -o trace.json
     python -m repro serve --port 8321 --results-dir results  # HTTP service
@@ -180,6 +182,62 @@ def build_parser() -> argparse.ArgumentParser:
                         "result (visible in --json output)")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of tables")
+
+    p = sub.add_parser(
+        "import",
+        help="import BLIF / structural-Verilog netlists and map them "
+             "as one multi-context program",
+    )
+    p.add_argument("files", nargs="+",
+                   help="netlist source files, one per context "
+                        "('-' reads a single source from stdin)")
+    p.add_argument("--format", choices=["auto", "blif", "verilog"],
+                   default="auto",
+                   help="source format (auto: by file extension "
+                        ".blif/.v/.sv; explicit format required for "
+                        "stdin)")
+    p.add_argument("--name", default=None,
+                   help="program name (default: first netlist's name)")
+    p.add_argument("--k", type=int, default=4,
+                   help="LUT input width for tech mapping")
+    p.add_argument("--grid", type=int, default=None,
+                   help="pin the fabric side length (default: auto-fit "
+                        "to the program)")
+    p.add_argument("--width", type=int, default=None,
+                   help="channel width (requires --grid)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--effort", type=float, default=None,
+                   help="placement effort (default: the mapping flow's)")
+    p.add_argument("--naive", action="store_true",
+                   help="disable redundancy-aware mapping")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip functional verification of the mapped "
+                        "program")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result as JSON instead of a summary")
+
+    p = sub.add_parser(
+        "corpus",
+        help="run the pinned netlist regression corpus and diff every "
+             "result against its golden JSON",
+    )
+    p.add_argument("--root", default="regression_tests",
+                   help="corpus directory tree (default: "
+                        "regression_tests)")
+    p.add_argument("--backend",
+                   choices=["sequential", "thread", "process", "all"],
+                   default="sequential",
+                   help="backend(s) every case must reproduce its "
+                        "golden on ('all' runs all three)")
+    p.add_argument("--jobs", action="store_true",
+                   help="also submit each case's serialized request "
+                        "through the job manager (the `repro serve` "
+                        "submission path)")
+    p.add_argument("--update", action="store_true",
+                   help="rewrite goldens from this run (deliberate "
+                        "changes only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the corpus report as JSON")
 
     p = sub.add_parser(
         "run", help="execute a declarative ExperimentSpec JSON file"
@@ -518,6 +576,84 @@ def cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_import(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.api import ExecutionConfig, ImportRequest
+    from repro.netlist.frontend import EXTENSIONS
+
+    sources = []
+    for path in args.files:
+        if path == "-":
+            if args.format == "auto":
+                print("error: stdin needs an explicit --format",
+                      file=sys.stderr)
+                return 2
+            sources.append({"text": sys.stdin.read(),
+                            "format": args.format, "name": "<stdin>"})
+            continue
+        fmt = args.format
+        if fmt == "auto":
+            fmt = EXTENSIONS.get(os.path.splitext(path)[1].lower())
+            if fmt is None:
+                print(f"error: cannot infer format of {path!r}; pass "
+                      f"--format blif|verilog", file=sys.stderr)
+                return 2
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+        sources.append({"text": text, "format": fmt, "name": path})
+    request = ImportRequest(
+        sources=tuple(sources), name=args.name, k=args.k,
+        grid=args.grid, width=args.width,
+        share_aware=not args.naive, verify=not args.no_verify,
+        execution=ExecutionConfig(seed=args.seed, effort=args.effort),
+    )
+    result = _session().run(request)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"program {result.name!r}: {result.n_contexts} context(s) on "
+          f"grid {result.grid[0]}x{result.grid[1]}, "
+          f"verified={result.verified}")
+    for ctx in result.contexts:
+        print(f"  {ctx['name']} ({ctx['format']}): {ctx['luts']} LUTs, "
+              f"{ctx['dffs']} DFFs, depth {ctx['depth']}, "
+              f"{ctx['inputs']}/{ctx['outputs']} io")
+    print(f"wirelength={result.wirelength} "
+          f"critical_path={result.critical_path:.2f} "
+          f"reuse={result.reuse_fraction:.1%}")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.netlist.frontend.corpus import run_corpus
+
+    backends = (
+        ("sequential", "thread", "process") if args.backend == "all"
+        else (args.backend,)
+    )
+    report = run_corpus(_session(), args.root, backends=backends,
+                        update=args.update, check_jobs=args.jobs)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if report["ok"] else 1
+    for case in report["cases"]:
+        runs = " ".join(
+            f"{label}={'ok' if match else 'DIFF'}"
+            for label, match in case["runs"].items()
+        )
+        print(f"{case['case']}: {case['status']} ({runs})")
+    verdict = "ok" if report["ok"] else "FAILED"
+    print(f"corpus {verdict}: {len(report['cases'])} case(s) on "
+          f"{'/'.join(report['backends'])}"
+          f"{' + jobs' if report['check_jobs'] else ''}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.api import ExperimentSpec
 
@@ -787,6 +923,8 @@ _COMMANDS = {
     "reorder": cmd_reorder,
     "sweep": cmd_sweep,
     "yield": cmd_yield,
+    "import": cmd_import,
+    "corpus": cmd_corpus,
     "run": cmd_run,
     "trace": cmd_trace,
     "serve": cmd_serve,
@@ -797,15 +935,22 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.errors import AuthError, JobError, RequestError
+    from repro.errors import (
+        AuthError,
+        JobError,
+        MappingError,
+        RequestError,
+        SynthesisError,
+    )
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (RequestError, JobError, AuthError) as exc:
+    except (RequestError, JobError, AuthError, SynthesisError,
+            MappingError) as exc:
         # one altitude for every command: invalid request/spec values
-        # (including SpecError) and job-layer misuse report as
-        # `error: ...` and exit 2
+        # (including SpecError), job-layer misuse, and netlist
+        # import/synthesis failures report as `error: ...` and exit 2
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -23,14 +23,19 @@ Appends are fsync-free by design (the artifact store is the source of
 truth for *results*; the journal only needs to survive process death,
 not power loss) but each line is written atomically under a lock.
 Replay tolerates a truncated final line — exactly what a crash
-mid-append leaves behind.
+mid-append leaves behind — silently, and skips corrupt *mid-file*
+lines with a warning plus a ``fleet.journal.skipped`` counter bump
+(those indicate damage beyond a normal crash).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
+
+from repro.utils.telemetry import GLOBAL
 
 #: Journal filename inside a results dir.
 JOURNAL_NAME = "journal.ndjson"
@@ -58,24 +63,39 @@ class Journal:
     def replay(self) -> "list[dict]":
         """Every parseable record, in append order.
 
-        A truncated or garbled line (the tail a crash leaves) is
-        skipped, not fatal — everything before it already told us what
-        was in flight.
+        A truncated or garbled *final* line (the tail a crash leaves)
+        is skipped silently — everything before it already told us
+        what was in flight.  A corrupt line anywhere *earlier* means
+        something else damaged the file (disk fault, manual edit), so
+        it is still skipped rather than fatal, but loudly: a warning
+        names the line and the ``fleet.journal.skipped`` counter is
+        bumped so monitoring sees it.
         """
         if not self.path.is_file():
             return []
         records = []
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(record, dict):
-                    records.append(record)
+            lines = fh.readlines()
+        last = len(lines) - 1
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            record = None
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                pass
+            if isinstance(record, dict):
+                records.append(record)
+                continue
+            if i == last:
+                continue  # crash-truncated tail: expected, silent
+            GLOBAL.inc("fleet.journal.skipped")
+            warnings.warn(
+                f"{self.path}:{i + 1}: skipping corrupt journal "
+                f"record (mid-file, not a crash tail)",
+                RuntimeWarning, stacklevel=2)
         return records
 
 

@@ -1,0 +1,404 @@
+"""BLIF importer/exporter for the netlist frontend.
+
+Reads the Berkeley Logic Interchange Format subset real tool flows
+emit for LUT networks — ``.model`` / ``.inputs`` / ``.outputs`` /
+``.names`` (cover rows), ``.latch`` and ``.subckt`` — and lowers it to
+a :class:`~repro.netlist.netlist.Netlist`.  Multi-model files are
+flattened: the *first* ``.model`` is the top (the BLIF convention) and
+every ``.subckt`` instantiates another model in the file, its cells
+and internal nets prefixed with ``<instance>/``.
+
+Cover semantics
+---------------
+A ``.names`` cover is either an on-set (every row's output ``1``) or
+an off-set (every row's output ``0``); mixing the two in one cover is
+an error.  ``-`` input positions are don't-cares; an empty cover is
+the constant 0 (so ``.names z`` followed by a bare ``1`` row is the
+constant 1).  Every row's input pattern must be exactly as wide as the
+cover's input list — a mismatch raises
+:class:`~repro.errors.SynthesisError` with file/line context.
+
+Sequential boundary policy
+--------------------------
+``.latch <d> <q> [<type> <control>] [<init>]`` lowers to a single-clock
+DFF: the latch *type* and *control* clock are accepted and ignored
+(the device model has one implicit global clock, so every latch is
+treated as rising-edge on it), and the power-on state is fixed at 0 —
+an ``<init>`` of ``0``, ``2`` (don't care) or ``3`` (unknown) is
+accepted, an ``<init>`` of ``1`` is rejected rather than silently
+mis-simulated.  This is the same boundary the rest of the pipeline
+assumes (:meth:`Netlist.evaluate` defaults DFF state to 0).
+
+Naming scheme
+-------------
+Net names are the BLIF symbols.  An INPUT cell is named after its
+symbol, a LUT/DFF cell after the net it drives, and a primary-output
+cell ``po_<net>`` — cells and nets live in one namespace, so the
+prefix keeps a PO from colliding with the LUT driving its net.
+:func:`to_blif` inverts the scheme, so frontend-imported netlists
+round-trip export→reimport structurally identically (the test suite
+asserts it via ``Netlist.to_dict``).
+
+Every deliberate parse/build failure raises
+:class:`~repro.errors.SynthesisError` whose message starts with
+``<path>:<line>:`` so corpus cases and CLI users see where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SynthesisError
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import CellKind, Netlist
+
+#: Directives the importer understands; anything else dotted is an error.
+_DIRECTIVES = (".model", ".inputs", ".outputs", ".names", ".latch",
+               ".subckt", ".end")
+
+#: ``.latch`` type tokens (accepted, ignored — single global clock).
+_LATCH_TYPES = ("fe", "re", "ah", "al", "as")
+
+
+def _err(path: str, line: int, msg: str) -> SynthesisError:
+    return SynthesisError(f"{path}:{line}: {msg}")
+
+
+@dataclass
+class _Names:
+    inputs: list[str]
+    output: str
+    rows: list[tuple[str, str]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class _Latch:
+    d: str
+    q: str
+    init: str
+    line: int = 0
+
+
+@dataclass
+class _Subckt:
+    model: str
+    bindings: dict[str, str]
+    line: int = 0
+
+
+@dataclass
+class _Model:
+    name: str
+    line: int
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    names: list[_Names] = field(default_factory=list)
+    latches: list[_Latch] = field(default_factory=list)
+    subckts: list[_Subckt] = field(default_factory=list)
+
+
+def _logical_lines(text: str):
+    """(line number, tokens) per logical line: comments stripped,
+    ``\\`` continuations joined (the reported line is where it began)."""
+    out: list[tuple[int, list[str]]] = []
+    pending: list[str] = []
+    start = 0
+    for i, raw in enumerate(text.splitlines(), start=1):
+        hash_at = raw.find("#")
+        if hash_at >= 0:
+            raw = raw[:hash_at]
+        stripped = raw.strip()
+        cont = stripped.endswith("\\")
+        if cont:
+            stripped = stripped[:-1].strip()
+        if stripped:
+            if not pending:
+                start = i
+            pending.extend(stripped.split())
+        if pending and not cont:
+            out.append((start, pending))
+            pending = []
+    if pending:
+        out.append((start, pending))
+    return out
+
+
+def _parse_models(text: str, path: str) -> list[_Model]:
+    models: list[_Model] = []
+    current: _Model | None = None
+    ended = False
+    for line, tokens in _logical_lines(text):
+        head = tokens[0]
+        if head.startswith("."):
+            if head not in _DIRECTIVES:
+                raise _err(path, line, f"unknown BLIF directive {head!r}")
+            if head == ".model":
+                if len(tokens) != 2:
+                    raise _err(path, line, ".model takes exactly one name")
+                if any(m.name == tokens[1] for m in models):
+                    raise _err(path, line,
+                               f"duplicate model {tokens[1]!r}")
+                current = _Model(tokens[1], line)
+                models.append(current)
+                ended = False
+                continue
+            if current is None or ended:
+                raise _err(path, line,
+                           f"{head} outside a .model/.end block")
+            if head == ".inputs":
+                current.inputs.extend(tokens[1:])
+            elif head == ".outputs":
+                current.outputs.extend(tokens[1:])
+            elif head == ".names":
+                if len(tokens) < 2:
+                    raise _err(path, line, ".names needs an output net")
+                current.names.append(
+                    _Names(list(tokens[1:-1]), tokens[-1], line=line)
+                )
+            elif head == ".latch":
+                args = tokens[1:]
+                if len(args) < 2:
+                    raise _err(path, line,
+                               ".latch needs <input> <output>")
+                d, q, rest = args[0], args[1], args[2:]
+                init = "3"
+                if rest and rest[0] in _LATCH_TYPES:
+                    if len(rest) < 2:
+                        raise _err(path, line,
+                                   f".latch type {rest[0]!r} needs a "
+                                   f"control clock")
+                    rest = rest[2:]
+                if rest:
+                    init = rest[0]
+                    rest = rest[1:]
+                if rest:
+                    raise _err(path, line,
+                               f"trailing .latch tokens {rest!r}")
+                if init not in ("0", "1", "2", "3"):
+                    raise _err(path, line,
+                               f"bad .latch init value {init!r}")
+                if init == "1":
+                    raise _err(
+                        path, line,
+                        "unsupported .latch init value 1: the device "
+                        "powers on with every DFF at 0 (see the "
+                        "sequential boundary policy); re-encode the "
+                        "netlist with an inverted state bit",
+                    )
+                current.latches.append(_Latch(d, q, init, line=line))
+            elif head == ".subckt":
+                if len(tokens) < 2:
+                    raise _err(path, line, ".subckt needs a model name")
+                bindings: dict[str, str] = {}
+                for tok in tokens[2:]:
+                    if "=" not in tok:
+                        raise _err(path, line,
+                                   f"bad .subckt binding {tok!r} "
+                                   f"(want formal=actual)")
+                    formal, actual = tok.split("=", 1)
+                    if not formal or not actual:
+                        raise _err(path, line,
+                                   f"bad .subckt binding {tok!r}")
+                    if formal in bindings:
+                        raise _err(path, line,
+                                   f"duplicate .subckt binding for "
+                                   f"{formal!r}")
+                    bindings[formal] = actual
+                current.subckts.append(
+                    _Subckt(tokens[1], bindings, line=line)
+                )
+            elif head == ".end":
+                ended = True
+            continue
+        # a cover row for the most recent .names
+        if current is None or ended or not current.names:
+            raise _err(path, line,
+                       f"unexpected token {head!r} (cover rows must "
+                       f"follow a .names directive)")
+        cover = current.names[-1]
+        if cover.inputs:
+            if len(tokens) != 2:
+                raise _err(path, line,
+                           f"cover row wants '<pattern> <value>', "
+                           f"got {' '.join(tokens)!r}")
+            pattern, value = tokens
+        else:
+            if len(tokens) != 1:
+                raise _err(path, line,
+                           f"constant cover row wants a single value, "
+                           f"got {' '.join(tokens)!r}")
+            pattern, value = "", tokens[0]
+        if value not in ("0", "1"):
+            raise _err(path, line,
+                       f"cover output must be 0 or 1, got {value!r}")
+        if any(ch not in "01-" for ch in pattern):
+            raise _err(path, line,
+                       f"cover pattern may only use 0/1/-, "
+                       f"got {pattern!r}")
+        if len(pattern) != len(cover.inputs):
+            raise _err(
+                path, line,
+                f"cover row arity mismatch for .names output "
+                f"{cover.output!r}: pattern {pattern!r} has "
+                f"{len(pattern)} column(s) but the input list names "
+                f"{len(cover.inputs)}",
+            )
+        cover.rows.append((pattern, value))
+    if not models:
+        raise _err(path, 1, "no .model found")
+    return models
+
+
+def _cover_table(cover: _Names, path: str) -> TruthTable:
+    n = len(cover.inputs)
+    if n > 16:
+        raise _err(path, cover.line,
+                   f".names cover has {n} inputs (max 16)")
+    if not cover.rows:
+        return TruthTable.constant(0, n)
+    values = {v for _, v in cover.rows}
+    if len(values) > 1:
+        raise _err(path, cover.line,
+                   f".names cover for {cover.output!r} mixes on-set "
+                   f"and off-set rows")
+    onset = values == {"1"}
+    bits = 0
+    for word in range(1 << n):
+        for pattern, _ in cover.rows:
+            ok = True
+            for j, ch in enumerate(pattern):
+                if ch != "-" and int(ch) != ((word >> j) & 1):
+                    ok = False
+                    break
+            if ok:
+                bits |= 1 << word
+                break
+    if not onset:
+        bits ^= (1 << (1 << n)) - 1
+    return TruthTable(n, bits)
+
+
+def parse_blif(text: str, path: str = "<blif>") -> Netlist:
+    """Parse BLIF ``text`` into a validated :class:`Netlist`.
+
+    The first ``.model`` is the top; ``.subckt`` hierarchies are
+    flattened with ``<instance>/`` prefixes.  ``path`` labels error
+    messages (``<path>:<line>: ...``).
+    """
+    models = _parse_models(text, path)
+    by_name = {m.name: m for m in models}
+    top = models[0]
+    nl = Netlist(top.name)
+    cell_lines: dict[str, int] = {}
+
+    def build(model: _Model, prefix: str, bindings: dict[str, str],
+              stack: tuple[str, ...], inst_line: int) -> None:
+        if model.name in stack:
+            chain = " -> ".join(stack + (model.name,))
+            raise _err(path, inst_line,
+                       f"recursive .subckt instantiation: {chain}")
+
+        def net(symbol: str) -> str:
+            return bindings.get(symbol, prefix + symbol)
+
+        for cover in model.names:
+            table = _cover_table(cover, path)
+            out = net(cover.output)
+            try:
+                nl.add_lut(out, [net(i) for i in cover.inputs], out, table)
+            except SynthesisError as exc:
+                raise _err(path, cover.line, str(exc)) from exc
+            cell_lines[out] = cover.line
+        for latch in model.latches:
+            q = net(latch.q)
+            try:
+                nl.add_dff(q, net(latch.d), q)
+            except SynthesisError as exc:
+                raise _err(path, latch.line, str(exc)) from exc
+            cell_lines[q] = latch.line
+        for i, sub in enumerate(model.subckts):
+            child = by_name.get(sub.model)
+            if child is None:
+                raise _err(path, sub.line,
+                           f"unknown .subckt model {sub.model!r} "
+                           f"(models in file: "
+                           f"{', '.join(sorted(by_name))})")
+            child_ports = set(child.inputs) | set(child.outputs)
+            for formal in sub.bindings:
+                if formal not in child_ports:
+                    raise _err(path, sub.line,
+                               f"model {child.name!r} has no port "
+                               f"{formal!r}")
+            inst_prefix = f"{prefix}{child.name}${i}/"
+            child_bindings = {
+                formal: net(actual)
+                for formal, actual in sub.bindings.items()
+            }
+            build(child, inst_prefix, child_bindings,
+                  stack + (model.name,), sub.line)
+
+    for symbol in top.inputs:
+        try:
+            nl.add_input(symbol)
+        except SynthesisError as exc:
+            raise _err(path, top.line, str(exc)) from exc
+    build(top, "", {}, (), top.line)
+    for symbol in top.outputs:
+        try:
+            nl.add_output(f"po_{symbol}", symbol)
+        except SynthesisError as exc:
+            raise _err(path, top.line, str(exc)) from exc
+    # undriven-net check first, with the line of the reading cell — the
+    # generic validate() below would only know the file
+    for cell in nl.cells.values():
+        for in_net in cell.inputs:
+            if in_net not in nl.net_driver:
+                raise _err(path, cell_lines.get(cell.name, top.line),
+                           f"cell {cell.name!r} reads undriven net "
+                           f"{in_net!r}")
+    try:
+        nl.validate()
+    except SynthesisError as exc:
+        raise SynthesisError(f"{path}: {exc}") from exc
+    return nl
+
+
+def to_blif(netlist: Netlist, name: str | None = None) -> str:
+    """Serialize ``netlist`` as a single-model BLIF document.
+
+    Inverts the importer's naming scheme: a PO cell ``po_<net>`` lists
+    its net directly in ``.outputs``; any other PO name is preserved
+    through a buffer cover, so reimporting is structurally identical
+    for frontend-imported netlists and functionally identical for any
+    netlist.
+    """
+    lines = [f".model {name or netlist.name}"]
+    inputs = [c.output for c in netlist.inputs()]
+    if inputs:
+        lines.append(".inputs " + " ".join(inputs))
+    outputs: list[str] = []
+    buffers: list[tuple[str, str]] = []
+    for c in netlist.outputs():
+        net = c.inputs[0]
+        if c.name == f"po_{net}" or c.name == net:
+            outputs.append(net)
+        else:
+            buffers.append((net, c.name))
+            outputs.append(c.name)
+    if outputs:
+        lines.append(".outputs " + " ".join(outputs))
+    for c in netlist.dffs():
+        lines.append(f".latch {c.inputs[0]} {c.output} 0")
+    for c in netlist.luts():
+        lines.append(".names " + " ".join([*c.inputs, c.output]))
+        n = c.table.n_inputs
+        for word in range(1 << n):
+            if c.table.evaluate(word):
+                pattern = "".join(str((word >> j) & 1) for j in range(n))
+                lines.append(f"{pattern} 1" if pattern else "1")
+    for net, po in buffers:
+        lines.append(f".names {net} {po}")
+        lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,177 @@
+"""The pinned regression corpus: netlist cases with golden results.
+
+A corpus is a directory tree (``regression_tests/`` in this repo) of
+case directories, each holding::
+
+    regression_tests/<case>/
+        case.json       # sources + import options
+        *.blif, *.v     # the netlist sources case.json names
+        golden.json     # pinned ImportResult.to_dict() payload
+
+``case.json`` shape::
+
+    {"sources": [{"file": "top.blif", "format": "blif"}, ...],
+     "options": {"grid": 5, "width": 8, "k": 4, "seed": 0, ...}}
+
+``options`` maps straight onto :class:`~repro.api.ImportRequest`
+fields (``seed`` lands in the request's execution config; every case
+pins an explicit ``grid`` so goldens survive auto-fit heuristic
+changes).  The runner executes every case through a normal
+:class:`~repro.api.Session` — optionally on several backends, and
+optionally through :class:`~repro.service.JobManager` submission of
+the *serialized* request (the exact path ``repro serve`` jobs take) —
+and diffs each result's JSON against the golden byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.requests import ExecutionConfig, ImportRequest
+from repro.errors import RequestError
+
+#: Filenames with fixed meaning inside a case directory.
+CASE_FILE = "case.json"
+GOLDEN_FILE = "golden.json"
+
+#: ImportRequest fields settable from a case's ``options`` block
+#: (``seed`` is routed into the execution config).
+_OPTION_KEYS = ("name", "k", "grid", "width", "share_aware", "verify",
+                "seed")
+
+
+def canonical_json(payload: dict) -> str:
+    """The byte form goldens are pinned in (and compared as)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def discover_cases(root) -> "list[Path]":
+    """Case directories under ``root`` (any depth), sorted by name."""
+    root = Path(root)
+    if not root.is_dir():
+        raise RequestError(f"corpus root {str(root)!r} is not a directory")
+    return sorted((p.parent for p in root.rglob(CASE_FILE)),
+                  key=lambda p: str(p))
+
+
+def load_case(case_dir) -> ImportRequest:
+    """Build the :class:`ImportRequest` a case directory describes."""
+    case_dir = Path(case_dir)
+    path = case_dir / CASE_FILE
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RequestError(f"unreadable corpus case {str(path)!r}: "
+                           f"{exc}") from exc
+    if not isinstance(doc, dict):
+        raise RequestError(f"corpus case {str(path)!r} must be a JSON "
+                           f"object")
+    sources = []
+    for i, entry in enumerate(doc.get("sources", ())):
+        if not isinstance(entry, dict) or "file" not in entry \
+                or "format" not in entry:
+            raise RequestError(
+                f"{str(path)!r}: sources[{i}] needs 'file' and 'format'"
+            )
+        src_path = case_dir / entry["file"]
+        try:
+            text = src_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RequestError(
+                f"{str(path)!r}: cannot read source "
+                f"{entry['file']!r}: {exc}"
+            ) from exc
+        sources.append({"text": text, "format": entry["format"],
+                        "name": entry["file"]})
+    options = doc.get("options", {})
+    if not isinstance(options, dict):
+        raise RequestError(f"{str(path)!r}: options must be an object")
+    unknown = set(options) - set(_OPTION_KEYS)
+    if unknown:
+        raise RequestError(
+            f"{str(path)!r}: unknown options {sorted(unknown)} "
+            f"(known: {', '.join(_OPTION_KEYS)})"
+        )
+    kwargs = {key: options[key] for key in _OPTION_KEYS
+              if key in options and key != "seed"}
+    kwargs.setdefault("name", case_dir.name)
+    return ImportRequest(
+        sources=tuple(sources),
+        execution=ExecutionConfig(seed=options.get("seed", 0)),
+        **kwargs,
+    )
+
+
+def _with_backend(request: ImportRequest, backend: str) -> ImportRequest:
+    from dataclasses import replace
+
+    return replace(request,
+                   execution=replace(request.execution, backend=backend))
+
+
+def run_case(session, case_dir, backends=("sequential",),
+             update: bool = False, check_jobs: bool = False) -> dict:
+    """Execute one case and diff it against its golden.
+
+    Returns a report dict: ``status`` is ``"ok"`` (all runs matched the
+    golden), ``"diff"`` (some run disagreed), ``"new"`` (no golden on
+    disk; run with ``update=True`` to pin one) or ``"updated"``
+    (golden (re)written).  ``runs`` maps each run label (backend name,
+    plus ``"jobs"`` when ``check_jobs``) to ``True``/``False`` match —
+    every run must reproduce the golden *bit-identically*.
+    """
+    case_dir = Path(case_dir)
+    request = load_case(case_dir)
+    golden_path = case_dir / GOLDEN_FILE
+    results: dict[str, str] = {}
+    for backend in backends:
+        result = session.run(_with_backend(request, backend))
+        results[backend] = canonical_json(result.to_dict())
+    if check_jobs:
+        from repro.service.jobs import JobManager
+
+        with JobManager(session=session) as manager:
+            handle = manager.submit(request.to_dict())
+            results["jobs"] = canonical_json(
+                handle.result(timeout=600).to_dict()
+            )
+    reference = next(iter(results.values()))
+    report = {"case": case_dir.name, "path": str(case_dir)}
+    if update:
+        golden_path.write_text(reference, encoding="utf-8")
+        report["status"] = "updated"
+        report["runs"] = {label: text == reference
+                          for label, text in results.items()}
+        return report
+    if not golden_path.is_file():
+        report["status"] = "new"
+        report["runs"] = {label: False for label in results}
+        return report
+    golden = golden_path.read_text(encoding="utf-8")
+    report["runs"] = {label: text == golden
+                      for label, text in results.items()}
+    report["status"] = "ok" if all(report["runs"].values()) else "diff"
+    return report
+
+
+def run_corpus(session, root, backends=("sequential",),
+               update: bool = False, check_jobs: bool = False) -> dict:
+    """Execute every case under ``root``; see :func:`run_case`.
+
+    The returned report's ``ok`` is true only when every run of every
+    case reproduced its golden bit-identically (or, with ``update``,
+    when every rewrite was internally consistent across runs).
+    """
+    cases = discover_cases(root)
+    if not cases:
+        raise RequestError(f"no {CASE_FILE} cases under {str(root)!r}")
+    reports = [run_case(session, case_dir, backends=backends,
+                        update=update, check_jobs=check_jobs)
+               for case_dir in cases]
+    ok = all(
+        r["status"] in ("ok", "updated") and all(r["runs"].values())
+        for r in reports
+    )
+    return {"root": str(root), "backends": list(backends),
+            "check_jobs": check_jobs, "cases": reports, "ok": ok}

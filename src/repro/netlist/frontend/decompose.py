@@ -1,0 +1,85 @@
+"""Width reduction for imported netlists.
+
+The frontend accepts ``.names`` covers and gate primitives of any
+arity (up to the 16-input :class:`TruthTable` ceiling), but
+:func:`repro.netlist.techmap.tech_map` has no feasible cut for a cell
+wider than the target ``k``.  :func:`decompose_wide` bridges the gap:
+every LUT with more than ``k`` inputs is Shannon-expanded into a tree
+of cofactor LUTs joined by 3-input muxes, so the result is mappable
+for any ``k >= 3``.
+
+The pass is functionally transparent — it first shrinks each wide
+table to its true support (often enough by itself) and only then
+splits on the highest remaining input.  Cells at or under width ``k``
+are copied through untouched, preserving names, tables, and insertion
+order, so narrow netlists round-trip bit-identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.netlist.logic import TruthTable, mux_table
+from repro.netlist.netlist import Cell, CellKind, Netlist
+
+
+def decompose_wide(netlist: Netlist, k: int = 4) -> Netlist:
+    """Return ``netlist`` with every LUT wider than ``k`` inputs
+    rewritten as a mux tree of narrow LUTs.
+
+    Returns the input object unchanged when nothing is wide.  Raises
+    :class:`MappingError` if wide cells exist and ``k < 3`` (the mux
+    join itself needs three inputs).
+    """
+    wide = [c for c in netlist.luts() if c.table.n_inputs > k]
+    if not wide:
+        return netlist
+    if k < 3:
+        raise MappingError(
+            f"cannot decompose {len(wide)} wide cell(s) for k={k}: "
+            f"Shannon decomposition needs k >= 3"
+        )
+    out = Netlist(netlist.name)
+    taken = set(netlist.nets()) | set(netlist.cells)
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        while True:
+            name = f"{base}$d{counter[0]}"
+            counter[0] += 1
+            if name not in taken:
+                taken.add(name)
+                return name
+
+    def emit(table: TruthTable, input_nets: list[str], base: str) -> str:
+        """Build LUTs computing ``table`` over ``input_nets``; returns
+        the net carrying the result."""
+        shrunk, kept = table.shrink_to_support()
+        nets = [input_nets[j] for j in kept]
+        if shrunk.n_inputs <= k:
+            net = fresh(base)
+            out.add_lut(net, nets, net, shrunk)
+            return net
+        sel_index = shrunk.n_inputs - 1
+        lo = emit(shrunk.cofactor(sel_index, 0), nets[:-1], base)
+        hi = emit(shrunk.cofactor(sel_index, 1), nets[:-1], base)
+        net = fresh(base)
+        out.add_lut(net, [lo, hi, nets[-1]], net, mux_table())
+        return net
+
+    for cell in netlist.cells.values():
+        if cell.kind is not CellKind.LUT or cell.table.n_inputs <= k:
+            out.add_cell(Cell(cell.name, cell.kind, list(cell.inputs),
+                              cell.output, cell.table))
+            continue
+        shrunk, kept = cell.table.shrink_to_support()
+        nets = [cell.inputs[j] for j in kept]
+        if shrunk.n_inputs <= k:
+            out.add_lut(cell.name, nets, cell.output, shrunk)
+            continue
+        sel_index = shrunk.n_inputs - 1
+        lo = emit(shrunk.cofactor(sel_index, 0), nets[:-1], cell.output)
+        hi = emit(shrunk.cofactor(sel_index, 1), nets[:-1], cell.output)
+        out.add_lut(cell.name, [lo, hi, nets[-1]], cell.output,
+                    mux_table())
+    out.validate()
+    return out

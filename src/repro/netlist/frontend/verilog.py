@@ -1,0 +1,461 @@
+"""Structural-Verilog subset importer for the netlist frontend.
+
+Parses the gate-level subset synthesis flows emit — modules over
+scalar nets, gate primitives, module instances and continuous
+assigns — and lowers it to a :class:`~repro.netlist.netlist.Netlist`
+with the same naming scheme as the BLIF importer (nets keep their
+source names, LUT/DFF cells are named after the net they drive,
+primary outputs become ``po_<net>`` cells).
+
+Supported grammar (scalar nets only)::
+
+    module NAME (port, port, ...);
+      input a, b;          // port directions
+      output y;
+      wire w1, w2;         // internal nets
+      and  g1 (y, a, b);   // gate primitives, output first;
+      not  (w1, a);        //   instance name optional
+      dff  q1 (q, d);      // single-clock D flip-flop primitive
+      SUB  u0 (.p(a), .q(w1));   // module instance, named ports
+      SUB  u1 (a, w1);           //   or positional (port-list order)
+      assign w2 = a;       // buffer / inverter / constant
+      assign y  = ~w1;
+      assign z  = 1'b0;
+    endmodule
+
+Gate primitives: ``and``/``or``/``nand``/``nor``/``xor``/``xnor``
+(2+ inputs), ``not``/``buf`` (1 input), and ``dff (q, d)`` — the
+sequential boundary follows the BLIF importer's policy (one implicit
+global clock, power-on state 0).  Multi-module files are flattened
+exactly like BLIF ``.subckt`` hierarchies: the *last* module in the
+file is the top (the usual bottom-up ordering), unless ``top=`` names
+one explicitly; instances prefix internal cells/nets with
+``<instance>/``.
+
+Every deliberate failure raises
+:class:`~repro.errors.SynthesisError` whose message starts with
+``<path>:<line>:``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SynthesisError
+from repro.netlist.logic import TruthTable
+from repro.netlist.netlist import Netlist
+
+#: Gate-primitive library: name -> truth-table factory over n inputs.
+#: Inputs are in source order (output operand excluded).
+GATE_LIBRARY = {
+    "and": lambda n: TruthTable.from_function(
+        n, lambda *bits: all(bits)),
+    "or": lambda n: TruthTable.from_function(
+        n, lambda *bits: any(bits)),
+    "nand": lambda n: TruthTable.from_function(
+        n, lambda *bits: not all(bits)),
+    "nor": lambda n: TruthTable.from_function(
+        n, lambda *bits: not any(bits)),
+    "xor": lambda n: TruthTable.from_function(
+        n, lambda *bits: sum(bits) % 2 == 1),
+    "xnor": lambda n: TruthTable.from_function(
+        n, lambda *bits: sum(bits) % 2 == 0),
+    "not": lambda n: TruthTable.inverter(),
+    "buf": lambda n: TruthTable.identity(),
+}
+
+#: Primitives with a fixed single input.
+_UNARY = ("not", "buf")
+
+_KEYWORDS = {"module", "endmodule", "input", "output", "wire", "assign"}
+
+_TOKEN_RE = re.compile(
+    r"1'b[01]|[A-Za-z_][A-Za-z0-9_$]*|[(),;=~.]|\S"
+)
+
+
+def _err(path: str, line: int, msg: str) -> SynthesisError:
+    return SynthesisError(f"{path}:{line}: {msg}")
+
+
+@dataclass
+class _Gate:
+    op: str                 # GATE_LIBRARY key or "dff"
+    out: str
+    ins: list[str]
+    line: int
+
+
+@dataclass
+class _Assign:
+    out: str
+    src: str                # identifier, or "0"/"1" constant
+    invert: bool
+    line: int
+
+
+@dataclass
+class _Inst:
+    module: str
+    name: str
+    named: dict[str, str] | None   # port -> net (named form)
+    positional: list[str] | None   # nets in port-list order
+    line: int
+
+
+@dataclass
+class _Module:
+    name: str
+    line: int
+    ports: list[str] = field(default_factory=list)
+    directions: dict[str, str] = field(default_factory=dict)
+    wires: list[str] = field(default_factory=list)
+    gates: list[_Gate] = field(default_factory=list)
+    assigns: list[_Assign] = field(default_factory=list)
+    insts: list[_Inst] = field(default_factory=list)
+
+
+def _strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            if j < 0:
+                out.append(text[i:].replace("", ""))
+                # unterminated block comment: keep newlines only
+                out[-1] = "".join(
+                    ch if ch == "\n" else " " for ch in text[i:]
+                )
+                break
+            out.append("".join(
+                ch if ch == "\n" else " " for ch in text[i:j + 2]
+            ))
+            i = j + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+class _Tokens:
+    def __init__(self, text: str, path: str) -> None:
+        self.path = path
+        self.items: list[tuple[str, int]] = []
+        for lineno, line in enumerate(_strip_comments(text).splitlines(),
+                                      start=1):
+            for m in _TOKEN_RE.finditer(line):
+                self.items.append((m.group(0), lineno))
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.items[self.pos][0] if self.pos < len(self.items) \
+            else None
+
+    @property
+    def line(self) -> int:
+        if self.pos < len(self.items):
+            return self.items[self.pos][1]
+        return self.items[-1][1] if self.items else 1
+
+    def next(self, what: str = "token") -> str:
+        if self.pos >= len(self.items):
+            raise _err(self.path, self.line,
+                       f"unexpected end of file (wanted {what})")
+        tok, _ = self.items[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next(repr(tok))
+        if got != tok:
+            raise _err(self.path, self.items[self.pos - 1][1],
+                       f"expected {tok!r}, got {got!r}")
+
+    def ident(self, what: str = "identifier") -> str:
+        line = self.line
+        tok = self.next(what)
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", tok):
+            raise _err(self.path, line, f"expected {what}, got {tok!r}")
+        return tok
+
+
+def _parse_ident_list(toks: _Tokens, terminator: str = ";") -> list[str]:
+    names = [toks.ident()]
+    while toks.peek() == ",":
+        toks.expect(",")
+        names.append(toks.ident())
+    toks.expect(terminator)
+    return names
+
+
+def _parse_module(toks: _Tokens) -> _Module:
+    line = toks.line
+    toks.expect("module")
+    mod = _Module(toks.ident("module name"), line)
+    if toks.peek() == "(":
+        toks.expect("(")
+        if toks.peek() != ")":
+            mod.ports.append(toks.ident("port"))
+            while toks.peek() == ",":
+                toks.expect(",")
+                mod.ports.append(toks.ident("port"))
+        toks.expect(")")
+    toks.expect(";")
+    path = toks.path
+    while True:
+        tok = toks.peek()
+        line = toks.line
+        if tok is None:
+            raise _err(path, line, "unexpected end of file (wanted "
+                                   "'endmodule')")
+        if tok == "endmodule":
+            toks.next()
+            return mod
+        if tok in ("input", "output"):
+            toks.next()
+            for name in _parse_ident_list(toks):
+                if name in mod.directions:
+                    raise _err(path, line,
+                               f"duplicate direction for port {name!r}")
+                mod.directions[name] = tok
+            continue
+        if tok == "wire":
+            toks.next()
+            mod.wires.extend(_parse_ident_list(toks))
+            continue
+        if tok == "assign":
+            toks.next()
+            out = toks.ident("assign target")
+            toks.expect("=")
+            invert = False
+            if toks.peek() == "~":
+                toks.expect("~")
+                invert = True
+            src_line = toks.line
+            src = toks.next("assign source")
+            if src in ("1'b0", "1'b1"):
+                if invert:
+                    raise _err(path, src_line,
+                               "cannot invert a constant literal; "
+                               "write the other constant")
+                src = src[-1]
+            elif not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", src):
+                raise _err(path, src_line,
+                           f"assign source must be a net or 1'b0/1'b1, "
+                           f"got {src!r}")
+            mod.assigns.append(_Assign(out, src, invert, line))
+            toks.expect(";")
+            continue
+        # a gate primitive or a module instance
+        kind = toks.ident("gate or module name")
+        if kind in _KEYWORDS:
+            raise _err(path, line, f"unexpected keyword {kind!r}")
+        inst_name = ""
+        if toks.peek() != "(":
+            inst_name = toks.ident("instance name")
+        toks.expect("(")
+        if kind in GATE_LIBRARY or kind == "dff":
+            operands = [toks.ident("net")]
+            while toks.peek() == ",":
+                toks.expect(",")
+                operands.append(toks.ident("net"))
+            toks.expect(")")
+            toks.expect(";")
+            if kind == "dff":
+                if len(operands) != 2:
+                    raise _err(path, line,
+                               f"dff takes (q, d), got "
+                               f"{len(operands)} operand(s)")
+            elif kind in _UNARY:
+                if len(operands) != 2:
+                    raise _err(path, line,
+                               f"{kind} takes (out, in), got "
+                               f"{len(operands)} operand(s)")
+            elif len(operands) < 3:
+                raise _err(path, line,
+                           f"{kind} takes (out, in, in, ...), got "
+                           f"{len(operands)} operand(s)")
+            mod.gates.append(
+                _Gate(kind, operands[0], operands[1:], line)
+            )
+            continue
+        named: dict[str, str] | None = None
+        positional: list[str] | None = None
+        if toks.peek() == ".":
+            named = {}
+            while True:
+                toks.expect(".")
+                port = toks.ident("port")
+                toks.expect("(")
+                net = toks.ident("net")
+                toks.expect(")")
+                if port in named:
+                    raise _err(path, line,
+                               f"duplicate connection for port "
+                               f"{port!r}")
+                named[port] = net
+                if toks.peek() != ",":
+                    break
+                toks.expect(",")
+        else:
+            positional = []
+            if toks.peek() != ")":
+                positional.append(toks.ident("net"))
+                while toks.peek() == ",":
+                    toks.expect(",")
+                    positional.append(toks.ident("net"))
+        toks.expect(")")
+        toks.expect(";")
+        mod.insts.append(_Inst(kind, inst_name, named, positional, line))
+
+
+def parse_verilog(text: str, path: str = "<verilog>",
+                  top: str | None = None) -> Netlist:
+    """Parse structural Verilog ``text`` into a validated
+    :class:`Netlist`.
+
+    ``top`` selects the top module by name; by default the *last*
+    module in the file is the top (bottom-up convention).  Hierarchies
+    are flattened with ``<instance>/`` prefixes.
+    """
+    toks = _Tokens(text, path)
+    modules: list[_Module] = []
+    while toks.peek() is not None:
+        if toks.peek() != "module":
+            raise _err(path, toks.line,
+                       f"expected 'module', got {toks.peek()!r}")
+        mod = _parse_module(toks)
+        if any(m.name == mod.name for m in modules):
+            raise _err(path, mod.line, f"duplicate module {mod.name!r}")
+        modules.append(mod)
+    if not modules:
+        raise _err(path, 1, "no module found")
+    by_name = {m.name: m for m in modules}
+    if top is not None:
+        if top not in by_name:
+            raise _err(path, 1,
+                       f"top module {top!r} not in file (modules: "
+                       f"{', '.join(sorted(by_name))})")
+        top_mod = by_name[top]
+    else:
+        top_mod = modules[-1]
+
+    for mod in modules:
+        for port in mod.ports:
+            if port not in mod.directions:
+                raise _err(path, mod.line,
+                           f"port {port!r} of module {mod.name!r} "
+                           f"has no input/output declaration")
+        for name, _direction in mod.directions.items():
+            if name not in mod.ports:
+                raise _err(path, mod.line,
+                           f"{name!r} declared input/output but not "
+                           f"listed in module {mod.name!r}'s ports")
+
+    nl = Netlist(top_mod.name)
+    cell_lines: dict[str, int] = {}
+    counters = {"const": 0}
+
+    def build(mod: _Module, prefix: str, bindings: dict[str, str],
+              stack: tuple[str, ...], inst_line: int) -> None:
+        if mod.name in stack:
+            chain = " -> ".join(stack + (mod.name,))
+            raise _err(path, inst_line,
+                       f"recursive module instantiation: {chain}")
+        declared = set(mod.ports) | set(mod.wires)
+
+        def net(symbol: str, line: int) -> str:
+            if symbol not in declared:
+                raise _err(path, line,
+                           f"undeclared net {symbol!r} in module "
+                           f"{mod.name!r} (declare it as "
+                           f"input/output/wire)")
+            return bindings.get(symbol, prefix + symbol)
+
+        def add_lut(out: str, ins: list[str], table: TruthTable,
+                    line: int) -> None:
+            try:
+                nl.add_lut(out, ins, out, table)
+            except SynthesisError as exc:
+                raise _err(path, line, str(exc)) from exc
+            cell_lines[out] = line
+
+        for g in mod.gates:
+            out = net(g.out, g.line)
+            ins = [net(i, g.line) for i in g.ins]
+            if g.op == "dff":
+                try:
+                    nl.add_dff(out, ins[0], out)
+                except SynthesisError as exc:
+                    raise _err(path, g.line, str(exc)) from exc
+                cell_lines[out] = g.line
+                continue
+            add_lut(out, ins, GATE_LIBRARY[g.op](len(ins)), g.line)
+        for a in mod.assigns:
+            out = net(a.out, a.line)
+            if a.src in ("0", "1"):
+                add_lut(out, [], TruthTable.constant(int(a.src)), a.line)
+                continue
+            table = TruthTable.inverter() if a.invert \
+                else TruthTable.identity()
+            add_lut(out, [net(a.src, a.line)], table, a.line)
+        for i, inst in enumerate(mod.insts):
+            child = by_name.get(inst.module)
+            if child is None:
+                raise _err(path, inst.line,
+                           f"unknown gate or module {inst.module!r} "
+                           f"(primitives: "
+                           f"{', '.join(sorted(GATE_LIBRARY))}, dff; "
+                           f"modules: {', '.join(sorted(by_name))})")
+            if inst.named is not None:
+                for port in inst.named:
+                    if port not in child.ports:
+                        raise _err(path, inst.line,
+                                   f"module {child.name!r} has no "
+                                   f"port {port!r}")
+                pairs = list(inst.named.items())
+            else:
+                if len(inst.positional or []) != len(child.ports):
+                    raise _err(path, inst.line,
+                               f"module {child.name!r} has "
+                               f"{len(child.ports)} port(s), got "
+                               f"{len(inst.positional or [])} "
+                               f"connection(s)")
+                pairs = list(zip(child.ports, inst.positional or []))
+            label = inst.name or f"u{i}"
+            child_bindings = {
+                port: net(actual, inst.line) for port, actual in pairs
+            }
+            build(child, f"{prefix}{label}/", child_bindings,
+                  stack + (mod.name,), inst.line)
+
+    for port in top_mod.ports:
+        if top_mod.directions[port] == "input":
+            try:
+                nl.add_input(port)
+            except SynthesisError as exc:
+                raise _err(path, top_mod.line, str(exc)) from exc
+    build(top_mod, "", {}, (), top_mod.line)
+    for port in top_mod.ports:
+        if top_mod.directions[port] == "output":
+            try:
+                nl.add_output(f"po_{port}", port)
+            except SynthesisError as exc:
+                raise _err(path, top_mod.line, str(exc)) from exc
+    for cell in nl.cells.values():
+        for in_net in cell.inputs:
+            if in_net not in nl.net_driver:
+                raise _err(path, cell_lines.get(cell.name, top_mod.line),
+                           f"cell {cell.name!r} reads undriven net "
+                           f"{in_net!r}")
+    try:
+        nl.validate()
+    except SynthesisError as exc:
+        raise SynthesisError(f"{path}: {exc}") from exc
+    return nl

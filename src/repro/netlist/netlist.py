@@ -268,6 +268,60 @@ class Netlist:
                 arrays[c.output] = c.table.to_array()[word]
         return arrays
 
+    # -- serialization --------------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """Versioned JSON form (the :mod:`repro.api.serialize`
+        contract): cell list in insertion order, truth tables as
+        ``{n_inputs, bits}`` with the bits hex-encoded (they can exceed
+        64 bits).  ``from_dict(to_dict(nl))`` reproduces the netlist
+        exactly.
+        """
+        from repro.api.serialize import stamp
+
+        cells = []
+        for c in self.cells.values():
+            entry = {
+                "name": c.name,
+                "kind": c.kind.value,
+                "inputs": list(c.inputs),
+                "output": c.output,
+            }
+            if c.table is not None:
+                entry["table"] = {
+                    "n_inputs": c.table.n_inputs,
+                    "bits": format(c.table.bits, "x"),
+                }
+            cells.append(entry)
+        return stamp("netlist", {"name": self.name, "cells": cells})
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Netlist":
+        """Rebuild from :meth:`to_dict` output; validates the result.
+
+        Raises :class:`~repro.errors.RequestError` on a bad envelope
+        and :class:`SynthesisError` on an inconsistent cell list.
+        """
+        from repro.api.serialize import check
+
+        check(d, "netlist")
+        out = cls(d.get("name", "netlist"))
+        for i, entry in enumerate(d.get("cells", ())):
+            try:
+                kind = CellKind(entry["kind"])
+                table = None
+                if entry.get("table") is not None:
+                    table = TruthTable(entry["table"]["n_inputs"],
+                                       int(entry["table"]["bits"], 16))
+                out.add_cell(Cell(entry["name"], kind,
+                                  list(entry.get("inputs", ())),
+                                  entry.get("output", ""), table))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SynthesisError(
+                    f"malformed netlist cell entry {i}: {exc}"
+                ) from exc
+        out.validate()
+        return out
+
     # -- misc ------------------------------------------------------------------ #
     def stats(self) -> dict[str, int]:
         return {

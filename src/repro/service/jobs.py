@@ -60,6 +60,7 @@ from repro.api import ExperimentSpec, Session, request_from_dict
 from repro.api.requests import (
     AreaRequest,
     BatchRequest,
+    ImportRequest,
     MapRequest,
     ReorderRequest,
     SweepRequest,
@@ -98,6 +99,7 @@ _REQUEST_STAGE_KINDS = {
     YieldRequest: "yield",
     AreaRequest: "area",
     ReorderRequest: "reorder",
+    ImportRequest: "import",
 }
 
 

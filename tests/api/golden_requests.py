@@ -15,11 +15,37 @@ from repro.api import (
     BatchRequest,
     ExecutionConfig,
     ExperimentSpec,
+    ImportRequest,
     MapRequest,
     ReorderRequest,
     SweepRequest,
     YieldRequest,
 )
+
+#: A small two-context import (one BLIF, one Verilog source) behind
+#: the ``import_result`` fixture.
+GOLDEN_BLIF = """\
+.model blinker
+.inputs a b c
+.outputs y q
+.names a b ab
+11 1
+.names ab c y
+10 1
+01 1
+.latch y q re clk 0
+.end
+"""
+
+GOLDEN_VERILOG = """\
+module blinker2 (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire ab;
+  and (ab, a, b);
+  xor (y, ab, c);
+endmodule
+"""
 
 GOLDEN_REQUESTS = {
     "map_result": MapRequest(
@@ -39,6 +65,15 @@ GOLDEN_REQUESTS = {
         execution=ExecutionConfig(effort=0.2),
     ),
     "area_result": AreaRequest(),
+    "import_result": ImportRequest(
+        sources=(
+            {"text": GOLDEN_BLIF, "format": "blif", "name": "blinker"},
+            {"text": GOLDEN_VERILOG, "format": "verilog",
+             "name": "blinker2"},
+        ),
+        name="golden-import", grid=5, width=8,
+        execution=ExecutionConfig(seed=7),
+    ),
     "reorder_result": ReorderRequest(
         workload="adder", contexts=4, mutation=0.15,
         execution=ExecutionConfig(seed=7),

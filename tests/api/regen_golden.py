@@ -13,27 +13,28 @@ sys.path.insert(0, os.path.dirname(__file__))
 
 from golden_requests import GOLDEN_REQUESTS, GOLDEN_SPEC  # noqa: E402
 
-from repro.api import Session  # noqa: E402
+from repro.api import Session, build_circuit  # noqa: E402
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _write(name: str, payload: dict) -> None:
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
 def main() -> None:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     session = Session()
     for name, request in GOLDEN_REQUESTS.items():
-        result = session.run(request)
-        path = os.path.join(GOLDEN_DIR, f"{name}.json")
-        with open(path, "w") as fh:
-            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {path}")
-    result = session.run_spec(GOLDEN_SPEC)
-    path = os.path.join(GOLDEN_DIR, "spec_result.json")
-    with open(path, "w") as fh:
-        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {path}")
+        _write(name, session.run(request).to_dict())
+    _write("spec_result", session.run_spec(GOLDEN_SPEC).to_dict())
+    # the Netlist JSON contract (satellite of the frontend work): the
+    # deterministic tech-mapped adder, serialized cell by cell
+    _write("netlist", build_circuit("adder").to_dict())
 
 
 if __name__ == "__main__":

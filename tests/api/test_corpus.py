@@ -1,0 +1,129 @@
+"""The pinned regression corpus reproduces bit-identically everywhere.
+
+The full tree runs on the sequential backend; one representative case
+additionally runs on thread/process backends, through JobManager
+submission of the serialized request, and through a real HTTP
+``repro serve`` round-trip — all held to byte-identical goldens.
+"""
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.errors import RequestError
+from repro.netlist.frontend.corpus import (
+    GOLDEN_FILE,
+    canonical_json,
+    discover_cases,
+    load_case,
+    run_case,
+    run_corpus,
+)
+
+CORPUS_ROOT = os.path.join(os.path.dirname(__file__), "..", "..",
+                           "regression_tests")
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def test_corpus_shape():
+    cases = discover_cases(CORPUS_ROOT)
+    assert len(cases) >= 8
+    grids = set()
+    formats = set()
+    multi = 0
+    latched = 0
+    for case_dir in cases:
+        request = load_case(case_dir)
+        grids.add(request.grid)
+        formats.update(s["format"] for s in request.sources)
+        if len(request.sources) > 1:
+            multi += 1
+        if any(".latch" in s["text"] or "dff" in s["text"]
+               for s in request.sources):
+            latched += 1
+        assert (case_dir / GOLDEN_FILE).is_file()
+    assert len(grids) >= 2, "corpus must span >= 2 arch grids"
+    assert formats == {"blif", "verilog"}
+    assert multi >= 2, "corpus must include multi-context programs"
+    assert latched >= 2, "corpus must include sequential designs"
+
+
+def test_corpus_sequential_bit_identical(session):
+    report = run_corpus(session, CORPUS_ROOT, backends=("sequential",))
+    assert report["ok"], json.dumps(report, indent=2)
+    assert len(report["cases"]) >= 8
+
+
+def test_one_case_across_backends_and_jobs(session):
+    case_dir = os.path.join(CORPUS_ROOT, "mc_dual")
+    report = run_case(session, case_dir,
+                      backends=("sequential", "thread", "process"),
+                      check_jobs=True)
+    assert report["status"] == "ok", json.dumps(report, indent=2)
+    assert set(report["runs"]) == {"sequential", "thread", "process",
+                                   "jobs"}
+
+
+def test_one_case_through_http_serve(session):
+    from repro.service import JobManager, ReproService
+
+    case_dir = os.path.join(CORPUS_ROOT, "comb_adder2")
+    request = load_case(case_dir)
+    with open(os.path.join(case_dir, GOLDEN_FILE)) as fh:
+        golden = fh.read()
+    manager = JobManager(session=session, workers=1)
+    svc = ReproService(manager, port=0)
+    svc.start()
+    try:
+        host, port = svc.address
+        body = json.dumps({"request": request.to_dict()}).encode()
+        req = urllib.request.Request(
+            f"http://{host}:{port}/v1/jobs", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req) as resp:
+            job_id = json.loads(resp.read())["job"]["job_id"]
+        # the events stream blocks until the job is terminal
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/jobs/{job_id}/events"
+        ) as resp:
+            for _ in resp:
+                pass
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/jobs/{job_id}/result"
+        ) as resp:
+            doc = json.loads(resp.read())
+    finally:
+        svc.stop()
+        manager.shutdown(wait=False, cancel=True)
+    assert canonical_json(doc["result"]) == golden
+
+
+def test_update_rewrites_and_new_detection(session, tmp_path):
+    # a private copy: "new" without a golden, "updated" after --update
+    import shutil
+
+    src = os.path.join(CORPUS_ROOT, "comb_adder2")
+    dst = tmp_path / "comb_adder2"
+    shutil.copytree(src, dst)
+    (dst / GOLDEN_FILE).unlink()
+    report = run_case(session, dst)
+    assert report["status"] == "new"
+    report = run_case(session, dst, update=True)
+    assert report["status"] == "updated"
+    with open(os.path.join(src, GOLDEN_FILE)) as fh:
+        assert (dst / GOLDEN_FILE).read_text() == fh.read()
+    report = run_case(session, dst)
+    assert report["status"] == "ok"
+
+
+def test_empty_root_rejected(session, tmp_path):
+    with pytest.raises(RequestError, match="no case.json"):
+        run_corpus(session, tmp_path)

@@ -60,3 +60,15 @@ def test_golden_spec_result(session):
     result = session.run_spec(GOLDEN_SPEC)
     _assert_same(json.loads(json.dumps(result.to_dict())),
                  _load("spec_result"))
+
+
+def test_golden_netlist():
+    from repro.api import build_circuit
+    from repro.netlist import Netlist
+
+    golden = _load("netlist")
+    nl = build_circuit("adder")
+    _assert_same(json.loads(json.dumps(nl.to_dict())), golden)
+    # and the fixture itself rebuilds into an equivalent netlist
+    rebuilt = Netlist.from_dict(golden)
+    _assert_same(json.loads(json.dumps(rebuilt.to_dict())), golden)

@@ -1,8 +1,16 @@
 """The crash journal: append, replay, and what a restart owes."""
 
 import json
+import warnings
+
+import pytest
 
 from repro.fleet import Journal, pending_submissions
+from repro.utils.telemetry import GLOBAL
+
+
+def _skipped() -> int:
+    return GLOBAL.snapshot()["counters"].get("fleet.journal.skipped", 0)
 
 
 def _submit(job_id, task=None, **extra):
@@ -36,9 +44,13 @@ class TestAppendReplay:
         # exactly what a crash mid-append leaves behind
         with open(path, "a") as fh:
             fh.write('{"event": "state", "job_id": "jo')
-        records = journal.replay()
+        before = _skipped()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # crash tail must stay silent
+            records = journal.replay()
         assert len(records) == 2
         assert records[-1] == _state("job-1", "running")
+        assert _skipped() == before  # tail truncation is not "corruption"
 
     def test_blank_and_non_object_lines_are_skipped(self, tmp_path):
         path = tmp_path / "journal.ndjson"
@@ -47,8 +59,38 @@ class TestAppendReplay:
         with open(path, "a") as fh:
             fh.write("\n[1, 2, 3]\n\"just a string\"\n")
         journal.append(_state("job-1", "done"))
-        assert journal.replay() == [_submit("job-1"),
-                                    _state("job-1", "done")]
+        with pytest.warns(RuntimeWarning):
+            assert journal.replay() == [_submit("job-1"),
+                                        _state("job-1", "done")]
+
+    def test_mid_file_corruption_warns_and_counts(self, tmp_path):
+        path = tmp_path / "journal.ndjson"
+        journal = Journal(path)
+        journal.append(_submit("job-1"))
+        with open(path, "a") as fh:
+            fh.write('{"event": "state", "job_id": "job-1", "sta\n')
+        journal.append(_state("job-1", "running"))
+        before = _skipped()
+        with pytest.warns(RuntimeWarning, match=r":2: .*mid-file"):
+            records = journal.replay()
+        # the good records on either side of the damage both survive
+        assert records == [_submit("job-1"), _state("job-1", "running")]
+        assert _skipped() == before + 1
+
+    def test_recovery_spans_mid_file_damage(self, tmp_path):
+        # the headline property: a corrupt line must not cost us the
+        # pending jobs recorded after it
+        path = tmp_path / "journal.ndjson"
+        journal = Journal(path)
+        journal.append(_submit("job-1"))
+        journal.append(_state("job-1", "done"))
+        with open(path, "a") as fh:
+            fh.write("%% not json at all %%\n")
+        journal.append(_submit("job-2"))
+        with pytest.warns(RuntimeWarning):
+            next_id, pending = pending_submissions(journal.replay())
+        assert next_id == 3
+        assert [r["job_id"] for r in pending] == ["job-2"]
 
     def test_append_writes_one_compact_line(self, tmp_path):
         path = tmp_path / "journal.ndjson"
